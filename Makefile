@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench reports examples all clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reports:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; \
+		$(PYTHON) $$ex > /dev/null || exit 1; \
+	done
+	@echo "all examples ran clean"
+
+all: test reports bench examples
+
+clean:
+	rm -rf .pytest_cache .hypothesis build src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

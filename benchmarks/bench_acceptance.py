@@ -1,0 +1,39 @@
+"""E0 (meta) -- the acceptance harness as a bench: the results dashboard.
+
+Runs the quick verdicts for every experiment (``repro.reproduce``) and
+archives the dashboard as ``results/SUMMARY.txt`` -- the one-page answer
+to "what does this repository reproduce, and does it still?".  The timed
+part measures the full battery's latency (it is designed to stay under a
+few seconds so it can gate CI).
+"""
+
+import pytest
+
+from repro.reproduce import CHECKS, render, run_all
+
+
+class TestAcceptanceDashboard:
+    def test_summary_report(self, record_report):
+        results = run_all()
+        record_report("SUMMARY", render(results))
+        failures = [r for r in results if not r.passed]
+        assert not failures, [f"{r.experiment}: {r.detail}" for r in failures]
+
+    def test_covers_every_registered_experiment(self):
+        results = run_all()
+        assert [r.experiment for r in results] == [c[0] for c in CHECKS]
+
+    def test_battery_is_fast(self):
+        results = run_all()
+        assert sum(r.seconds for r in results) < 10.0
+
+
+class TestAcceptanceBenchmarks:
+    def test_full_battery(self, benchmark):
+        benchmark.pedantic(
+            lambda: run_all(), rounds=3, iterations=1, warmup_rounds=1
+        )
+
+    @pytest.mark.parametrize("only", ["E5", "E6", "E14"])
+    def test_single_check(self, benchmark, only):
+        benchmark(lambda: run_all(only=[only]))

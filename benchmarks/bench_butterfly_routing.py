@@ -1,0 +1,132 @@
+"""E19 (extension) -- butterfly routing of the GCA's read patterns.
+
+Section 1: "Concurrent reading can be handled in certain networks, in
+particular butterfly networks, by special routing algorithms, e.g.
+Ranade's algorithm."  This bench routes the measured per-generation read
+patterns of a real CC run through a simulated butterfly, with and
+without request combining, and tabulates the network cycles next to the
+generation's congestion δ.
+
+Expected shape: the broadcast generations (δ = n+1) serialise without
+combining (≈ δ + log p cycles) but collapse to ≈ log p with combining;
+the reduction generations (δ = 1) are network-bound (log p) either way.
+"""
+
+import pytest
+
+from repro.core.machine import connected_components_interpreter
+from repro.graphs.generators import random_graph
+from repro.network.butterfly import ButterflyNetwork, route_read_pattern
+from repro.util.formatting import render_table
+from repro.util.intmath import ceil_log2, next_power_of_two
+
+N = 8
+
+
+def first_iteration_stats():
+    log = connected_components_interpreter(random_graph(N, 0.4, seed=N)).access_log
+    wanted = []
+    for stats in log.generations:
+        if stats.label == "gen0" or not stats.label.startswith("it0."):
+            continue
+        wanted.append(stats)
+    return wanted
+
+
+class TestButterflyRouting:
+    def test_report(self, record_report):
+        ports = next_power_of_two(N * (N + 1))
+        rows = []
+        for stats in first_iteration_stats():
+            if not stats.reads_per_cell:
+                continue
+            combined = route_read_pattern(
+                stats.reads_per_cell, ports=ports, combining=True
+            )
+            plain = route_read_pattern(
+                stats.reads_per_cell, ports=ports, combining=False
+            )
+            rows.append([
+                stats.label, stats.total_reads, stats.max_congestion,
+                plain.cycles, combined.cycles,
+            ])
+        record_report(
+            "butterfly_routing",
+            render_table(
+                ["generation", "reads", "delta", "cycles (plain)",
+                 "cycles (combining)"],
+                rows,
+                title=(
+                    f"Butterfly routing of generation read patterns "
+                    f"(n = {N}, {ports}-port network)"
+                ),
+            ),
+        )
+
+    def test_combining_tames_broadcasts(self):
+        """On the broadcast generations combining must beat plain routing
+        by at least ~delta/(2 log p)."""
+        ports = next_power_of_two(N * (N + 1))
+        for stats in first_iteration_stats():
+            if stats.max_congestion < N:  # broadcast generations only
+                continue
+            combined = route_read_pattern(
+                stats.reads_per_cell, ports=ports, combining=True
+            )
+            plain = route_read_pattern(
+                stats.reads_per_cell, ports=ports, combining=False
+            )
+            assert combined.cycles < plain.cycles, stats.label
+            assert combined.cycles <= 4 * ceil_log2(ports), stats.label
+
+    def test_low_congestion_generations_network_bound(self):
+        ports = next_power_of_two(N * (N + 1))
+        for stats in first_iteration_stats():
+            if stats.max_congestion != 1 or not stats.reads_per_cell:
+                continue
+            combined = route_read_pattern(
+                stats.reads_per_cell, ports=ports, combining=True
+            )
+            assert combined.cycles <= 4 * ceil_log2(ports), stats.label
+
+
+class TestButterflyBenchmarks:
+    @pytest.mark.parametrize("p", [64, 256])
+    def test_broadcast_routing(self, benchmark, p):
+        net = ButterflyNetwork(p, combining=True)
+        reqs = [(s, 0) for s in range(p)]
+        benchmark(lambda: net.route(reqs))
+
+    def test_generation_pattern_routing(self, benchmark):
+        stats = first_iteration_stats()[0]
+        ports = next_power_of_two(N * (N + 1))
+        benchmark(lambda: route_read_pattern(
+            stats.reads_per_cell, ports=ports, combining=True
+        ))
+
+
+class TestNetworkComparison:
+    def test_three_network_report(self, record_report):
+        """Static wiring vs butterfly vs mesh on pure broadcasts -- the
+        'configurability beats universal emulation' argument."""
+        from repro.network.mesh import square_mesh
+        from repro.util.formatting import render_table
+
+        rows = []
+        for p in (16, 64, 256):
+            reqs = [(s, 0) for s in range(p)]
+            bfly = ButterflyNetwork(p, combining=True).route(reqs).cycles
+            mesh = square_mesh(p, combining=True).route(reqs).cycles
+            plain = square_mesh(p, combining=False).route(reqs).cycles
+            rows.append([p, 1, bfly, mesh, plain])
+        record_report(
+            "network_comparison",
+            render_table(
+                ["p (broadcast)", "static wiring", "butterfly+combine",
+                 "mesh+combine", "mesh plain"],
+                rows,
+                title="Broadcast delivery cycles by communication structure",
+            ),
+        )
+        for _p, static, bfly, mesh, plain in rows:
+            assert static < bfly < mesh < plain

@@ -1,0 +1,99 @@
+"""E3 -- Figure 2: the 12-generation state machine.
+
+Figure 2 specifies, per generation, the pointer operation and the data
+operation the controller selects.  This bench verifies the executable
+state machine against the figure's structure -- 12 numbered generations,
+the reduction/jumping sub-generation loops, the per-state operations
+pinned by golden traces -- and times the controller and the per-generation
+rule dispatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.field import FieldLayout
+from repro.core.schedule import full_schedule
+from repro.core.state_machine import HirschbergStateMachine
+from repro.core.trace import TraceRecorder
+from repro.graphs.generators import from_edges
+from repro.util.formatting import render_table
+
+#: The golden K2 trace: first column of D (the C vector) after every
+#: generation of the single iteration, derived by hand from Figure 2 in
+#: DESIGN.md and pinned here.
+K2_COLUMN0_TRACE = {
+    "gen0": [0, 1],
+    "it0.gen1": [0, 0],       # gen 1 clobbers column 0 with C(0) (harmless)
+    "it0.gen2": [6, 0],       # (0,0) masked to INF=6; (1,0) keeps C(0)=0
+    "it0.gen3.sub0": [1, 0],  # row minima arrive in column 0
+    "it0.gen4": [1, 0],       # no INF left: T = [1, 0]
+    "it0.gen5": [1, 1],       # T copied along rows: column 0 = T(0)
+    "it0.gen6": [1, 6],       # members kept: (0,0) keeps T(0)=1, (1,0) INF
+    "it0.gen7.sub0": [1, 0],
+    "it0.gen8": [1, 0],       # step 3 result: T = [1, 0]
+    "it0.gen9": [1, 0],       # C <- T (column 0 already is T)
+    "it0.gen10.sub0": [0, 1], # jump: C(0)=C(1)=0, C(1)=C(0)=1 (pair split)
+    "it0.gen11": [0, 0],      # min(C, T(C)) resolves the pair
+}
+
+
+class TestFigure2StateMachine:
+    def test_golden_k2_trace(self, record_report):
+        recorder = TraceRecorder(from_edges(2, [(0, 1)]))
+        snapshots = recorder.run()
+        rows = []
+        for snap in snapshots:
+            col0 = snap.D_after[:2, 0].tolist()
+            assert col0 == K2_COLUMN0_TRACE[snap.label], snap.label
+            rows.append([snap.label, snap.step, str(col0)])
+        record_report(
+            "fig2_k2_trace",
+            render_table(
+                ["generation", "step", "C column after"],
+                rows,
+                title="Figure 2 state machine: golden K2 trace",
+            ),
+        )
+        assert recorder.labels.tolist() == [0, 0]
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 12, 16])
+    def test_dynamic_controller_equals_static_schedule(self, n):
+        dynamic = [s.label for s in HirschbergStateMachine(n)]
+        static = [s.label for s in full_schedule(n)]
+        assert dynamic == static
+
+    def test_state_operations_report(self, record_report):
+        """Render the per-generation pointer/data operations (the Figure 2
+        table) as executed for n = 4."""
+        layout = FieldLayout(4)
+        rows = []
+        for sched in full_schedule(4, iterations=1):
+            rule = sched.rule
+            probe = next(
+                (i for i in range(layout.size) if rule.active(layout, i)), None
+            )
+            pointer = (
+                rule.pointer(layout, probe, 0) if probe is not None and rule.reads
+                else "-"
+            )
+            rows.append(
+                [sched.label, sched.step, type(rule).__name__, probe, pointer]
+            )
+        record_report(
+            "fig2_operations",
+            render_table(
+                ["generation", "step", "rule", "first active cell", "its pointer(d=0)"],
+                rows,
+                title="Figure 2 reproduction: generation rules as executed (n=4)",
+            ),
+        )
+
+
+class TestFigure2Benchmarks:
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_controller_walk(self, benchmark, n):
+        benchmark(lambda: list(HirschbergStateMachine(n)))
+
+    def test_k2_full_trace(self, benchmark):
+        graph = from_edges(2, [(0, 1)])
+        benchmark(lambda: TraceRecorder(graph).run())

@@ -1,0 +1,102 @@
+"""E4 -- Figure 3: access patterns for n = 4.
+
+Figure 3 shows, for every generation at ``n = 4``, which cells are active
+(shaded) and which cell each active cell reads (cells labelled by linear
+index; the first four rows form D_square, the last row D_N).  This bench
+regenerates the panels from the executable rules, pins the
+paper-checkable facts (active counts, read targets of the static
+generations), and archives the ASCII rendition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import figure3_patterns
+from repro.graphs.generators import from_edges
+
+N = 4
+
+#: Paper-checkable facts: active cells per panel at n = 4 (Table 1 column
+#: evaluated at n = 4; gens 3/7/10 are the first sub-generation).
+EXPECTED_ACTIVE = {
+    "gen0": 20,
+    "gen1": 20,
+    "gen2": 16,
+    "gen3.sub0": 8,
+    "gen3.sub1": 4,
+    "gen4": 4,
+    "gen5": 20,
+    "gen6": 16,
+    "gen7.sub0": 8,
+    "gen7.sub1": 4,
+    "gen8": 4,
+    "gen9": 20,
+    "gen10.sub0": 4,
+    "gen10.sub1": 4,
+    "gen11": 4,
+}
+
+
+class TestFigure3Reproduction:
+    def test_active_counts(self):
+        patterns = figure3_patterns(N)
+        for label, expected in EXPECTED_ACTIVE.items():
+            assert patterns[label].active_count == expected, label
+
+    def test_static_read_targets(self):
+        patterns = figure3_patterns(N)
+        # gen1: column i reads cell i*n (the paper's P<j>[i] = <i>[0])
+        g1 = patterns["gen1"].targets
+        for i in range(N):
+            assert (g1[:, i] == i * N).all()
+        # gen2: row j reads cell n^2 + j (P<j>[i] = <n>[j])
+        g2 = patterns["gen2"].targets
+        for j in range(N):
+            assert (g2[j, :] == N * N + j).all()
+        # gen4: only column 0, reading D_N[j]
+        g4 = patterns["gen4"].targets
+        assert [g4[j, 0] for j in range(N)] == [16, 17, 18, 19]
+        assert (g4[:, 1:] == -1).all()
+
+    def test_reduction_strides(self):
+        patterns = figure3_patterns(N)
+        sub0 = patterns["gen3.sub0"].targets
+        # active cells at columns 0 and 2 read their +1 neighbour
+        assert sub0[0, 0] == 1 and sub0[0, 2] == 3
+        sub1 = patterns["gen3.sub1"].targets
+        assert sub1[0, 0] == 2 and sub1[0, 2] == -1
+
+    def test_report(self, record_report):
+        patterns = figure3_patterns(N)
+        parts = [f"Figure 3 reproduction: access patterns for n = {N}",
+                 "(entry = linear index read; x = active, no read; . = passive)"]
+        for label, pattern in patterns.items():
+            parts.append(f"\n[{label}] active cells: {pattern.active_count}")
+            parts.append(pattern.render())
+        record_report("fig3_access_patterns", "\n".join(parts))
+
+    def test_concrete_graph_consistency(self):
+        """The schematic panels agree with a real run's first-iteration
+        patterns for all position-determined generations."""
+        from repro.core.field import FieldLayout
+        from repro.core.schedule import full_schedule
+        from repro.core.trace import access_pattern
+        from repro.core.vectorized import apply_generation
+
+        graph = from_edges(N, [(0, 1), (2, 3)])
+        layout = FieldLayout(N)
+        A = graph.matrix.astype(np.int64)
+        D = np.zeros((N + 1, N), dtype=np.int64)
+        schematic = figure3_patterns(N)
+        for sched in full_schedule(N, iterations=1):
+            live = access_pattern(sched, D, layout)
+            label = sched.label.replace("it0.", "")
+            if sched.number not in (10, 11):  # data independent
+                assert np.array_equal(live.targets, schematic[label].targets), label
+            D = apply_generation(sched, D, A, layout)
+
+
+class TestFigure3Benchmarks:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_pattern_generation(self, benchmark, n):
+        benchmark(lambda: figure3_patterns(n))

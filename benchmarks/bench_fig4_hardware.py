@@ -1,0 +1,93 @@
+"""E6 -- Section 4 / Figure 4: the FPGA synthesis result.
+
+The paper's single synthesis data point (Altera Cyclone II EP2C70,
+Quartus II)::
+
+    N x (N+1) = 272 cells; logic elements = 23,051;
+    register bits = 2,192; clock frequency = 71 MHz
+
+We have no FPGA toolchain, so the experiment is reproduced by the
+structural cost model of :mod:`repro.hardware` (mux/register/comparator
+counts derived from the actual rule set, one scale constant calibrated at
+n = 16 -- see DESIGN.md, "Substitutions").  Expected: exact agreement at
+the calibration point; a plausible sweep shape elsewhere (quadratic cell
+and LE growth, ~n^2 log n register bits, slowly degrading fmax).
+"""
+
+import pytest
+
+from repro.hardware import (
+    CellKind,
+    analyze_static_sources,
+    count_cells,
+    estimate,
+    largest_feasible_n,
+    mux_input_summary,
+    paper_report,
+    synthesize,
+)
+from repro.util.formatting import render_table
+
+SWEEP = [4, 8, 16, 32, 64]
+
+
+class TestFigure4Reproduction:
+    def test_calibration_point(self):
+        model, paper = synthesize(16), paper_report()
+        assert model.cells == paper.cells == 272
+        assert model.logic_elements == paper.logic_elements == 23051
+        assert model.register_bits == paper.register_bits == 2192
+        assert model.fmax_mhz == paper.fmax_mhz == 71.0
+
+    def test_cell_split_matches_figure4(self):
+        """Figure 4: n^2 standard cells + n extended cells."""
+        for n in SWEEP:
+            counts = count_cells(n)
+            assert counts[CellKind.STANDARD] == n * n
+            assert counts[CellKind.EXTENDED] == n
+
+    def test_report(self, record_report):
+        paper = paper_report()
+        rows = [["paper (n=16)", paper.cells, f"{paper.logic_elements:,}",
+                 f"{paper.register_bits:,}", paper.fmax_mhz, "-"]]
+        for n in SWEEP:
+            est = synthesize(n)
+            muxes = mux_input_summary(n)
+            rows.append(
+                [f"model (n={n})", est.cells, f"{est.logic_elements:,}",
+                 f"{est.register_bits:,}", est.fmax_mhz,
+                 f"{muxes[CellKind.STANDARD]}/{muxes[CellKind.EXTENDED]}"]
+            )
+        rows.append(["largest n on EP2C70 (model)", largest_feasible_n(),
+                     "-", "-", "-", "-"])
+        record_report(
+            "fig4_hardware",
+            render_table(
+                ["design", "cells", "logic elements", "register bits",
+                 "fmax MHz", "mux inputs std/ext"],
+                rows,
+                title="Section 4 synthesis reproduction (cost model)",
+            ),
+        )
+
+    def test_sweep_shape(self):
+        estimates = [estimate(n) for n in SWEEP]
+        # cells quadratic
+        assert [e.cells for e in estimates] == [n * (n + 1) for n in SWEEP]
+        # LEs and register bits strictly increasing
+        les = [e.logic_elements for e in estimates]
+        regs = [e.register_bits for e in estimates]
+        assert les == sorted(les) and regs == sorted(regs)
+        # fmax decreasing but within 3x across the sweep
+        fmax = [e.fmax_mhz for e in estimates]
+        assert fmax == sorted(fmax, reverse=True)
+        assert fmax[0] / fmax[-1] < 3
+
+
+class TestFigure4Benchmarks:
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_cost_estimation(self, benchmark, n):
+        benchmark(lambda: estimate(n))
+
+    def test_source_analysis(self, benchmark):
+        benchmark(lambda: analyze_static_sources(16))

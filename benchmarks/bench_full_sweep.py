@@ -1,0 +1,78 @@
+"""E17 (harness) -- the combined engine sweep, archived as JSON.
+
+Runs the declarative sweep across engines, workload families and sizes,
+verifies every result against the oracle, and archives both a summary
+table and the raw per-run JSON under ``benchmarks/results/`` -- the
+"who wins where" overview figure for this reproduction.
+"""
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepSpec,
+    dumps_records,
+    run_sweep,
+    summarize,
+)
+from repro.util.formatting import render_table
+
+
+class TestFullSweep:
+    def test_report(self, record_report):
+        spec = SweepSpec(
+            name="full",
+            sizes=[8, 16, 32, 64],
+            engines=["vectorized", "reference", "unionfind", "row"],
+            densities=[0.1],
+            workload="random",
+            seeds=[0, 1, 2],
+        )
+        records = run_sweep(spec)
+        assert all(r.correct for r in records)
+        rows = summarize(records)
+        record_report(
+            "full_sweep",
+            render_table(
+                ["engine", "n", "runs", "median ms", "all correct", "generations"],
+                rows,
+                title=f"Engine sweep ({spec.run_count} runs, workload=random p=0.1)",
+            ),
+        )
+        # archive raw records alongside the summary
+        from benchmarks.conftest import RESULTS_DIR
+
+        (RESULTS_DIR / "full_sweep.json").write_text(dumps_records(records))
+
+    def test_workload_families_sweep(self, record_report):
+        parts = []
+        for workload in ("random", "path", "tree", "planted"):
+            spec = SweepSpec(
+                name=workload,
+                sizes=[16, 32],
+                engines=["vectorized"],
+                densities=[0.15],
+                workload=workload,
+                seeds=[0, 1],
+            )
+            records = run_sweep(spec)
+            assert all(r.correct for r in records), workload
+            rows = [[workload] + row for row in summarize(records)]
+            parts.extend(rows)
+        record_report(
+            "workload_sweep",
+            render_table(
+                ["workload", "engine", "n", "runs", "median ms",
+                 "all correct", "generations"],
+                parts,
+                title="Workload-family sweep (all oracle-verified)",
+            ),
+        )
+
+
+class TestSweepBenchmarks:
+    @pytest.mark.parametrize("engine", ["vectorized", "reference", "unionfind"])
+    def test_single_engine_sweep(self, benchmark, engine):
+        spec = SweepSpec(
+            name="bench", sizes=[16, 32], engines=[engine], seeds=[0]
+        )
+        benchmark(lambda: run_sweep(spec))

@@ -1,0 +1,78 @@
+"""E14 (extension) -- the GCA as a general parallel model.
+
+The paper motivates the GCA with its breadth: "graph algorithms,
+hypercube algorithms, logic simulation, numerical algorithms, ...".  This
+bench exercises the algorithm library built on the generic engine
+(reduction, prefix sums, list ranking, bitonic sort) and tabulates their
+generation counts against the closed forms -- evidence that the engine,
+not just the one mapped algorithm, reproduces the model.
+"""
+
+import pytest
+
+from repro.gca.algorithms import (
+    bitonic_generations,
+    gca_bitonic_sort,
+    gca_list_ranking,
+    gca_prefix_sum,
+    gca_reduce,
+)
+from repro.util.formatting import render_table
+from repro.util.intmath import ceil_log2
+from repro.util.rng import as_generator
+
+
+def workload(n: int, seed: int = 0):
+    rng = as_generator(seed)
+    return rng.integers(-1000, 1000, size=n).tolist()
+
+
+class TestAlgorithmLibrary:
+    def test_report(self, record_report):
+        rows = []
+        for n in (8, 16, 64, 256):
+            log = ceil_log2(n)
+            rows.append(["reduce(min)", n, log, "log n"])
+            rows.append(["prefix sum", n, log, "log n"])
+            rows.append(["list ranking", n, log, "log n"])
+            rows.append(
+                ["bitonic sort", n, bitonic_generations(n), "log n (log n + 1)/2"]
+            )
+        record_report(
+            "gca_algorithms",
+            render_table(
+                ["algorithm", "n", "generations", "closed form"],
+                rows,
+                title="GCA algorithm library: generation counts",
+            ),
+        )
+
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_all_correct(self, n):
+        values = workload(n)
+        assert gca_reduce(values, "min") == min(values)
+        assert gca_prefix_sum(values)[-1] == sum(values)
+        assert gca_bitonic_sort(values) == sorted(values)
+        chain = list(range(1, n)) + [n - 1]
+        assert gca_list_ranking(chain)[0] == n - 1
+
+
+class TestAlgorithmBenchmarks:
+    @pytest.mark.parametrize("n", [64, 256])
+    def test_reduce(self, benchmark, n):
+        values = workload(n)
+        benchmark(lambda: gca_reduce(values, "min"))
+
+    @pytest.mark.parametrize("n", [64, 256])
+    def test_prefix_sum(self, benchmark, n):
+        values = workload(n)
+        benchmark(lambda: gca_prefix_sum(values))
+
+    @pytest.mark.parametrize("n", [64, 256])
+    def test_bitonic_sort(self, benchmark, n):
+        values = workload(n)
+        benchmark(lambda: gca_bitonic_sort(values))
+
+    def test_list_ranking(self, benchmark):
+        chain = list(range(1, 256)) + [255]
+        benchmark(lambda: gca_list_ranking(chain))

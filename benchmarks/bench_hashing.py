@@ -1,0 +1,99 @@
+"""E12 (extension) -- memory-mapping congestion: hashing vs aware mapping.
+
+Quantifies the Section 1 discussion: an algorithm-aware module mapping is
+optimal when "the neighbour relations are known beforehand"; an
+unfortunate mapping serialises the broadcasts; universal hashing rescues
+the unfortunate case but "the congestion can only get down to a value of
+O(log p)" -- i.e. it lands between the aware optimum and the adversarial
+worst case.
+
+Expected ordering of peak module congestion: aware <= hash << adversarial,
+with the naive round-robin collapsing whenever p | n.
+"""
+
+import pytest
+
+from repro.analysis.hashing import (
+    UniversalHash,
+    adversarial_mapping,
+    aware_mapping,
+    compare_mappings,
+    direct_mapping,
+    mapping_congestion,
+)
+from repro.core.machine import connected_components_interpreter
+from repro.core.vectorized import run_vectorized
+from repro.graphs.generators import random_graph
+from repro.util.formatting import render_table
+
+CASES = [(8, 4), (16, 4), (16, 8)]
+
+
+def measured_log(n: int):
+    if n <= 8:
+        return connected_components_interpreter(random_graph(n, 0.4, seed=n)).access_log
+    return run_vectorized(random_graph(n, 0.4, seed=n), record_access=True).access_log
+
+
+class TestHashingStudy:
+    def test_report(self, record_report):
+        rows = []
+        for n, modules in CASES:
+            log = measured_log(n)
+            for prof in compare_mappings(log, n, modules):
+                rows.append([
+                    n, modules, prof.mapping_name, prof.peak,
+                    prof.total_serialised_cycles,
+                ])
+        record_report(
+            "hashing_congestion",
+            render_table(
+                ["n", "modules", "mapping", "peak module load",
+                 "serialised cycles"],
+                rows,
+                title="Memory-mapping congestion (Section 1 discussion)",
+            ),
+        )
+
+    @pytest.mark.parametrize("n,modules", CASES)
+    def test_expected_ordering(self, n, modules):
+        profiles = {p.mapping_name: p for p in compare_mappings(measured_log(n), n, modules)}
+        aware = profiles["aware"].peak
+        hashed = profiles["universal-hash (median of samples)"].peak
+        adversarial = profiles["adversarial"].peak
+        assert aware <= hashed
+        assert hashed < adversarial
+
+    def test_naive_round_robin_collapse(self):
+        """When p divides n the naive layout puts the whole hot column on
+        one module -- the 'unfortunate mapping' made concrete."""
+        n, modules = 8, 4
+        log = measured_log(n)
+        naive = mapping_congestion(log, direct_mapping(modules), modules, "direct")
+        aware = mapping_congestion(log, aware_mapping(n, modules), modules, "aware")
+        assert naive.peak >= 2 * aware.peak
+
+    def test_hash_variance_bounded(self):
+        """Independent hash draws land in a narrow band above the aware
+        optimum -- the distributional claim behind 'universal hashing'."""
+        n, modules = 8, 4
+        log = measured_log(n)
+        aware = mapping_congestion(log, aware_mapping(n, modules), modules, "aware")
+        peaks = [
+            mapping_congestion(log, UniversalHash.sample(modules, seed=k), modules, "h").peak
+            for k in range(12)
+        ]
+        assert min(peaks) >= aware.peak          # never beats tailor-made
+        assert max(peaks) <= adversarial_peak(log, n, modules)
+
+
+def adversarial_peak(log, n, modules):
+    return mapping_congestion(
+        log, adversarial_mapping(n * (n + 1), modules), modules, "adv"
+    ).peak
+
+
+class TestHashingBenchmarks:
+    def test_profile_evaluation(self, benchmark):
+        log = measured_log(8)
+        benchmark(lambda: compare_mappings(log, 8, 4))

@@ -1,0 +1,67 @@
+"""E16 (extension) -- logic simulation on the GCA (Section 1, class [11]).
+
+One cell per gate, pointers as input nets, ``depth`` generations to
+settle a combinational circuit.  The bench verifies adders of several
+widths exhaustively/selectively against Python arithmetic and reports
+gate counts / depths; the timed part measures simulation throughput.
+"""
+
+import pytest
+
+from repro.gca.logic_simulation import LogicSimulator, ripple_carry_adder
+from repro.util.formatting import render_table
+from repro.util.rng import as_generator
+
+
+def build(bits: int):
+    circuit, a, b, cin = ripple_carry_adder(bits)
+    return LogicSimulator(circuit), circuit, a, b, cin
+
+
+def add_with(sim, a, b, cin, bits, x, y, c=0):
+    inputs = {a[i]: (x >> i) & 1 for i in range(bits)}
+    inputs.update({b[i]: (y >> i) & 1 for i in range(bits)})
+    inputs[cin] = c
+    out = sim.run(inputs)
+    return sum(out[f"sum{i}"] << i for i in range(bits)) + (out["carry_out"] << bits)
+
+
+class TestLogicSimulation:
+    def test_report(self, record_report):
+        rows = []
+        for bits in (1, 2, 4, 8, 16):
+            sim, circuit, *_ = build(bits)
+            rows.append([bits, circuit.size, sim.depth,
+                         f"{sim.depth} generations/op"])
+        record_report(
+            "logic_simulation",
+            render_table(
+                ["adder bits", "gates", "depth", "GCA cost"],
+                rows,
+                title="Logic simulation on the GCA (application class demo)",
+            ),
+        )
+
+    @pytest.mark.parametrize("bits", [2, 4])
+    def test_exhaustive_small(self, bits):
+        sim, _c, a, b, cin = build(bits)
+        for x in range(2**bits):
+            for y in range(2**bits):
+                assert add_with(sim, a, b, cin, bits, x, y) == x + y
+
+    def test_random_wide(self):
+        bits = 12
+        sim, _c, a, b, cin = build(bits)
+        rng = as_generator(0)
+        for _ in range(25):
+            x = int(rng.integers(0, 2**bits))
+            y = int(rng.integers(0, 2**bits))
+            c = int(rng.integers(0, 2))
+            assert add_with(sim, a, b, cin, bits, x, y, c) == x + y + c
+
+
+class TestLogicBenchmarks:
+    @pytest.mark.parametrize("bits", [4, 8, 16])
+    def test_addition_throughput(self, benchmark, bits):
+        sim, _c, a, b, cin = build(bits)
+        benchmark(lambda: add_with(sim, a, b, cin, bits, 123 % 2**bits, 77 % 2**bits))

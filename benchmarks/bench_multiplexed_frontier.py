@@ -1,0 +1,73 @@
+"""E11 (extension) -- the time-multiplexed cost/performance frontier.
+
+Models the multiprocessor GCA architecture of the paper's reference [4]
+(p processing units evaluating the cell field round-robin from BRAM) and
+sweeps the unit count: logic cost against run cycles.  Expected shape: a
+genuine Pareto frontier -- cycles fall ~1/p until the per-generation
+active-cell counts saturate, logic climbs linearly in p -- with the
+fully-parallel Section 4 design as the fast/expensive endpoint.
+"""
+
+import pytest
+
+from repro.core.schedule import total_generations
+from repro.hardware.multiplexed import (
+    best_cost_performance,
+    estimate_multiplexed,
+    frontier,
+)
+from repro.util.formatting import render_table
+
+N = 16
+
+
+class TestMultiplexedFrontier:
+    def test_report(self, record_report):
+        rows = []
+        for point in frontier(N):
+            rows.append([
+                point.units, point.total_cycles,
+                f"{point.logic_elements:,}", f"{point.bram_bits:,}",
+                f"{point.register_bits:,}", f"{point.runtime_us:.2f}",
+                f"{point.cost_performance:,.0f}",
+            ])
+        best = best_cost_performance(N)
+        rows.append([f"best={best.units}", best.total_cycles, "-", "-", "-",
+                     f"{best.runtime_us:.2f}", f"{best.cost_performance:,.0f}"])
+        record_report(
+            "multiplexed_frontier",
+            render_table(
+                ["units", "cycles", "logic elements", "BRAM bits",
+                 "register bits", "runtime us", "LE x us"],
+                rows,
+                title=f"Time-multiplexed frontier, n = {N} (reference [4] model)",
+            ),
+        )
+
+    def test_endpoints(self):
+        full = estimate_multiplexed(N, N * (N + 1))
+        assert full.total_cycles == total_generations(N)
+        single = estimate_multiplexed(N, 1)
+        assert single.total_cycles > 20 * full.total_cycles
+
+    def test_pareto(self):
+        points = frontier(N)
+        for a, b in zip(points, points[1:]):
+            assert b.total_cycles <= a.total_cycles
+            assert b.logic_elements > a.logic_elements
+
+    def test_sweet_spot_is_interior(self):
+        """With LE x runtime as the metric, neither extreme wins: the
+        broadcast generations keep few units busy, so full parallelism
+        wastes logic, while one unit wastes time."""
+        best = best_cost_performance(N)
+        assert 1 < best.units < N * (N + 1)
+
+
+class TestMultiplexedBenchmarks:
+    @pytest.mark.parametrize("units", [1, 16, 272])
+    def test_estimate(self, benchmark, units):
+        benchmark(lambda: estimate_multiplexed(N, units))
+
+    def test_frontier_sweep(self, benchmark):
+        benchmark(lambda: frontier(N))

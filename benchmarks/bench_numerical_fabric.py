@@ -1,0 +1,83 @@
+"""E20 (extension) -- the field as a semiring matrix fabric.
+
+The CC field's access patterns (column broadcast, local combine, row tree
+reduction) compose into semiring matrix-vector products: plus-times gives
+integer ``M @ x``, or-and gives BFS frontier expansion, min-plus gives
+shortest-path relaxation -- the "numerical algorithms" application class
+of Section 1 on the *same* fabric, with the same generation budget
+(``2 + log n`` per product).
+
+The bench verifies each kernel against its oracle (NumPy / BFS / SciPy
+dijkstra) and tabulates the generation budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gca.numerical import (
+    gca_bfs_levels,
+    gca_matvec,
+    gca_sssp,
+    generations_per_matvec,
+)
+from repro.graphs.generators import path_graph, random_graph
+from repro.graphs.metrics import bfs_distances
+from repro.util.formatting import render_table
+from repro.util.rng import as_generator
+
+
+class TestNumericalFabric:
+    def test_report(self, record_report):
+        rows = []
+        for n in (4, 16, 64, 256):
+            per = generations_per_matvec(n)
+            g = path_graph(n)
+            _levels, bfs_gens = gca_bfs_levels(g, 0)
+            _dist, sssp_gens = gca_sssp(g.matrix, 0)
+            rows.append([n, per, bfs_gens, sssp_gens])
+        record_report(
+            "numerical_fabric",
+            render_table(
+                ["n (path)", "gens/matvec (2+log n)",
+                 "BFS total gens", "SSSP total gens"],
+                rows,
+                title="Semiring matrix fabric on the CC field",
+            ),
+        )
+
+    @pytest.mark.parametrize("n", [8, 32])
+    def test_all_semirings_correct(self, n):
+        rng = as_generator(n)
+        M = rng.integers(-9, 10, size=(n, n))
+        x = rng.integers(-9, 10, size=n)
+        assert np.array_equal(gca_matvec(M, x).vector, M.astype(np.int64) @ x)
+        g = random_graph(n, 0.2, seed=n)
+        levels, _ = gca_bfs_levels(g, 0)
+        assert np.array_equal(levels, bfs_distances(g, 0))
+
+    def test_budget_formula(self):
+        for n in (2, 4, 8, 16, 256):
+            from repro.util.intmath import ceil_log2
+
+            assert generations_per_matvec(n) == 2 + ceil_log2(n)
+
+
+class TestNumericalBenchmarks:
+    @pytest.mark.parametrize("n", [64, 256])
+    def test_matvec(self, benchmark, n):
+        rng = as_generator(n)
+        M = rng.integers(-5, 6, size=(n, n))
+        x = rng.integers(-5, 6, size=n)
+        benchmark(lambda: gca_matvec(M, x))
+
+    @pytest.mark.parametrize("n", [32, 128])
+    def test_bfs(self, benchmark, n):
+        g = random_graph(n, 0.1, seed=n)
+        benchmark(lambda: gca_bfs_levels(g, 0))
+
+    def test_sssp(self, benchmark):
+        rng = as_generator(0)
+        n = 64
+        W = rng.integers(0, 9, size=(n, n))
+        W = np.triu(W, 1) + np.triu(W, 1).T
+        benchmark(lambda: gca_sssp(W, 0))

@@ -1,0 +1,87 @@
+"""E7 -- the replication/rotation congestion optimisation (Section 4).
+
+The paper: replicating arrays C and T per row (rotated by i positions in
+row i) "gets congestion down to 1", at the price of "extended cells in all
+places".  This ablation quantifies the trade on measured runs: total
+hardware cycles under serialised reads vs tree distribution vs
+replication, against the extra register bits and cell upgrades.
+
+Expected shape: replication collapses every generation to 1 cycle (total
+cycles = generation count); the serial strategy pays ~n cycles for each
+broadcast generation; tree distribution sits at ~log n -- while
+replication costs 2 n^2 w extra register bits and upgrades all n(n+1)
+cells to extended.
+"""
+
+import pytest
+
+from repro.core.machine import connected_components_interpreter
+from repro.core.vectorized import run_vectorized
+from repro.graphs.generators import complete_graph, random_graph
+from repro.hardware import ReadStrategy, ablation, run_cycles
+from repro.util.formatting import render_table
+
+SIZES = [4, 8, 16]
+
+
+def measured_log(n: int):
+    if n <= 8:
+        return connected_components_interpreter(
+            random_graph(n, 0.4, seed=n)
+        ).access_log
+    return run_vectorized(
+        random_graph(n, 0.4, seed=n), record_access=True
+    ).access_log
+
+
+class TestReplicationAblation:
+    def test_report(self, record_report):
+        rows = []
+        for n in SIZES:
+            log = measured_log(n)
+            for r in ablation(log, n):
+                rows.append(
+                    [n, r.strategy.value, log.total_generations,
+                     r.total_cycles, r.extra_register_bits, r.extended_cells]
+                )
+        record_report(
+            "replication_ablation",
+            render_table(
+                ["n", "strategy", "generations", "cycles",
+                 "extra reg bits", "extended cells"],
+                rows,
+                title="Replication ablation (Section 4 discussion)",
+            ),
+        )
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_replication_reaches_congestion_one(self, n):
+        log = measured_log(n)
+        assert run_cycles(log, ReadStrategy.REPLICATED) == log.total_generations
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_strategy_ordering(self, n):
+        log = measured_log(n)
+        serial = run_cycles(log, ReadStrategy.SERIAL)
+        tree = run_cycles(log, ReadStrategy.TREE)
+        replicated = run_cycles(log, ReadStrategy.REPLICATED)
+        assert serial >= tree >= replicated
+
+    def test_speedup_grows_with_n(self):
+        """The serial/replicated cycle ratio grows with n: congestion of
+        the broadcast generations is Theta(n) while their count is fixed."""
+        ratios = []
+        for n in (4, 16):
+            log = run_vectorized(complete_graph(n), record_access=True).access_log
+            ratios.append(
+                run_cycles(log, ReadStrategy.SERIAL)
+                / run_cycles(log, ReadStrategy.REPLICATED)
+            )
+        assert ratios[1] > ratios[0]
+
+
+class TestReplicationBenchmarks:
+    @pytest.mark.parametrize("strategy", list(ReadStrategy))
+    def test_cycle_accounting(self, benchmark, strategy):
+        log = run_vectorized(random_graph(16, 0.3, seed=1), record_access=True).access_log
+        benchmark(lambda: run_cycles(log, strategy))

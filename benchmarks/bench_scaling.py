@@ -1,0 +1,82 @@
+"""E9 -- engine throughput and scaling (implementation-level, beyond the
+paper's tables).
+
+Measures the wall-clock behaviour of the Python engines: the vectorised
+whole-field implementation vs the Listing-1 reference vs union-find, and
+the interpreter's overhead factor at small n.  Also demonstrates the
+algorithmic crossover motivating the paper: naive label propagation needs
+``diameter`` rounds (Theta(n) on paths) while the GCA's outer loop stays
+at ``ceil(log2 n)``.
+"""
+
+import pytest
+
+from repro.analysis import time_engines, render_timings
+from repro.core.vectorized import run_vectorized
+from repro.graphs.components import components_union_find
+from repro.graphs.generators import path_graph, random_graph
+from repro.hirschberg.reference import connected_components_reference
+from repro.hirschberg.variants import label_propagation_rounds
+from repro.util.formatting import render_table
+from repro.util.intmath import outer_iterations
+
+
+class TestScalingReport:
+    def test_timings_report(self, record_report):
+        parts = []
+        for n in (32, 128):
+            rows = time_engines(random_graph(n, 0.1, seed=n), repeats=3)
+            parts.append(render_timings(rows))
+        record_report("scaling_timings", "\n\n".join(parts))
+
+    def test_rounds_crossover_report(self, record_report):
+        rows = []
+        for n in (8, 16, 32, 64, 128):
+            g = path_graph(n)
+            naive = label_propagation_rounds(g)
+            # mapped onto one-handed GCA cells, each naive round needs a
+            # log n reduction ladder, so its generation cost is rounds*log n
+            naive_generations = naive * max(1, outer_iterations(n))
+            rows.append(
+                [n, naive, naive_generations, outer_iterations(n),
+                 run_vectorized(g).total_generations]
+            )
+        record_report(
+            "rounds_crossover",
+            render_table(
+                ["n (path)", "naive rounds", "naive generations",
+                 "Hirschberg iterations", "GCA generations"],
+                rows,
+                title="Diameter vs log n: why the O(log^2 n) algorithm wins",
+            ),
+        )
+        # the crossover claim: on high-diameter inputs the naive scheme's
+        # generation cost overtakes Hirschberg's O(log^2 n)
+        for n, naive, naive_gens, iters, gens in rows:
+            assert naive == n - 1            # Theta(diameter)
+            assert iters == outer_iterations(n)
+            if n >= 32:
+                assert naive_gens > gens
+
+
+class TestEngineBenchmarks:
+    @pytest.mark.parametrize("n", [32, 64, 128, 256])
+    def test_vectorized(self, benchmark, n):
+        graph = random_graph(n, 0.05, seed=n)
+        benchmark(lambda: run_vectorized(graph))
+
+    @pytest.mark.parametrize("n", [32, 128])
+    def test_reference(self, benchmark, n):
+        graph = random_graph(n, 0.05, seed=n)
+        benchmark(lambda: connected_components_reference(graph))
+
+    @pytest.mark.parametrize("n", [32, 128])
+    def test_union_find_baseline(self, benchmark, n):
+        graph = random_graph(n, 0.05, seed=n)
+        benchmark(lambda: components_union_find(graph))
+
+    def test_interpreter_small(self, benchmark):
+        from repro.core.machine import connected_components_interpreter
+
+        graph = random_graph(8, 0.3, seed=0)
+        benchmark(lambda: connected_components_interpreter(graph))

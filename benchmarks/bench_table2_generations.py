@@ -1,0 +1,48 @@
+"""E2 -- Table 2: generations per Hirschberg step.
+
+Regenerates Table 2: for each ``n`` the run's generations are attributed
+to their Hirschberg step and compared with the paper's per-step formulas
+(step 1: 1; steps 2/3: ``1 + log n + 1 + 1``; step 4: 1; step 5:
+``log n``; step 6: 1).  Expected: exact match for every ``n``, including
+non-powers of two via ``ceil(log2)``.
+"""
+
+import pytest
+
+from repro.analysis import compare_table2, render_table2
+from repro.core.machine import connected_components_interpreter
+from repro.core.schedule import full_schedule, generations_per_step
+from repro.core.vectorized import run_vectorized
+from repro.graphs.generators import random_graph
+
+SIZES = [4, 8, 16, 32]
+
+
+class TestTable2Reproduction:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_report(self, n, record_report):
+        log = run_vectorized(
+            random_graph(n, 0.3, seed=n), record_access=True
+        ).access_log
+        rows = compare_table2(n, log)
+        record_report(f"table2_n{n}", render_table2(n, rows))
+        assert all(r.matches for r in rows)
+
+    def test_non_power_of_two(self, record_report):
+        n = 12
+        log = connected_components_interpreter(
+            random_graph(n, 0.3, seed=n)
+        ).access_log
+        rows = compare_table2(n, log)
+        record_report(f"table2_n{n}", render_table2(n, rows))
+        assert all(r.matches for r in rows)
+
+
+class TestTable2Benchmarks:
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_schedule_construction(self, benchmark, n):
+        benchmark(lambda: full_schedule(n))
+
+    @pytest.mark.parametrize("n", [16, 1024])
+    def test_closed_form_evaluation(self, benchmark, n):
+        benchmark(lambda: generations_per_step(n))

@@ -1,0 +1,54 @@
+"""E5 -- the total-generation bound: ``1 + log(n) * (3 log(n) + 8)``.
+
+Section 3 claims the complete algorithm runs in this many generations
+(``O(log^2 n)`` on ``n(n+1)`` cells).  This bench executes real runs
+across a sweep of ``n`` (powers of two and non-powers), counts generations
+and joins them with the closed form.  Expected: exact equality everywhere,
+with ``ceil(log2 n)`` substituted for ``log n``.
+"""
+
+import pytest
+
+from repro.analysis import measured_total, predicted_total, render_totals
+from repro.core.vectorized import run_vectorized
+from repro.graphs.generators import path_graph, random_graph
+
+MEASURED_SIZES = [2, 3, 4, 5, 8, 12, 16, 32, 64]
+FORMULA_SIZES = [128, 256, 512]
+
+
+class TestTotalGenerations:
+    def test_report(self, record_report):
+        rows = []
+        for n in MEASURED_SIZES:
+            res = run_vectorized(random_graph(n, 0.3, seed=n), record_access=True)
+            rows.append(measured_total(n, res.access_log))
+        for n in FORMULA_SIZES:  # closed form only, execution too large
+            rows.append(predicted_total(n))
+        record_report("total_generations", render_totals(rows))
+        assert all(r.matches for r in rows)
+
+    def test_graph_independence(self):
+        """The count is oblivious: identical on the empty and the path
+        graph."""
+        n = 16
+        empty = run_vectorized(random_graph(n, 0.0, seed=0), record_access=True)
+        chain = run_vectorized(path_graph(n), record_access=True)
+        assert empty.total_generations == chain.total_generations
+
+    def test_log_squared_growth(self):
+        """Doubling n adds Theta(log n) generations -- quadratic in the
+        logarithm, not in n."""
+        totals = {n: predicted_total(n).predicted_total for n in (64, 128, 256)}
+        assert totals[128] - totals[64] == 3 * (2 * 7 - 1) + 8  # (3k^2+8k)' at k=7
+        assert totals[256] - totals[128] < totals[128]
+
+
+class TestTotalGenerationsBenchmarks:
+    @pytest.mark.parametrize("n", [16, 64, 128])
+    def test_full_run(self, benchmark, n):
+        graph = random_graph(n, 0.1, seed=n)
+        benchmark(lambda: run_vectorized(graph))
+
+    def test_closed_form(self, benchmark):
+        benchmark(lambda: [predicted_total(n) for n in range(2, 300)])

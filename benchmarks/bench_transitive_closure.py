@@ -1,0 +1,88 @@
+"""E13 (extension / future work) -- transitive closure on the GCA.
+
+The paper's conclusion: "Our future work will comprise the implementation
+of more elaborate PRAM algorithms."  Transitive closure is the companion
+problem of Hirschberg's original STOC'76 paper; here it runs as
+``ceil(log2 n)`` Boolean squarings on a two-handed n x n GCA field with a
+rotation-balanced access pattern (every cell read exactly twice per
+sub-generation -- zero hotspots).
+
+The bench verifies the generation formula ``log n * (n + 1)``, the
+perfectly balanced congestion, and that connected components fall out of
+the closure by a row minimum; it also contrasts the closure machine's
+costs with the dedicated CC machine (the closure computes strictly more
+-- all-pairs reachability -- for a Theta(n / log n) factor more time).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import total_generations
+from repro.extensions.transitive_closure import (
+    closure_generations,
+    transitive_closure_gca,
+    transitive_closure_reference,
+)
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import random_graph
+from repro.util.formatting import render_table
+
+SIZES = [4, 8, 16]
+
+
+class TestClosureReproduction:
+    def test_report(self, record_report):
+        rows = []
+        for n in SIZES:
+            g = random_graph(n, 0.3, seed=n)
+            res = transitive_closure_gca(g)
+            peak = max(
+                (s.max_congestion for s in res.access_log), default=0
+            )
+            rows.append([
+                n, res.squarings, res.total_generations,
+                closure_generations(n), peak, total_generations(n),
+            ])
+        record_report(
+            "transitive_closure",
+            render_table(
+                ["n", "squarings", "closure gens", "formula log n (n+1)",
+                 "peak delta", "CC gens (for contrast)"],
+                rows,
+                title="Transitive closure on the GCA (future-work extension)",
+            ),
+        )
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_against_oracle(self, n):
+        g = random_graph(n, 0.3, seed=n)
+        res = transitive_closure_gca(g, record_access=False)
+        assert np.array_equal(res.closure, transitive_closure_reference(g))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_generation_formula(self, n):
+        g = random_graph(n, 0.3, seed=n)
+        assert transitive_closure_gca(g).total_generations == closure_generations(n)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_congestion_perfectly_balanced(self, n):
+        res = transitive_closure_gca(random_graph(n, 0.3, seed=n))
+        multiply_subgens = [s for s in res.access_log if ".k" in s.label]
+        assert all(s.max_congestion == 2 for s in multiply_subgens)
+
+    def test_components_fall_out(self):
+        g = random_graph(12, 0.15, seed=7)
+        res = transitive_closure_gca(g, record_access=False)
+        assert np.array_equal(res.component_labels(), canonical_labels(g))
+
+
+class TestClosureBenchmarks:
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_gca_closure(self, benchmark, n):
+        graph = random_graph(n, 0.1, seed=n)
+        benchmark(lambda: transitive_closure_gca(graph, record_access=False))
+
+    @pytest.mark.parametrize("n", [64, 256])
+    def test_reference_closure(self, benchmark, n):
+        graph = random_graph(n, 0.05, seed=n)
+        benchmark(lambda: transitive_closure_reference(graph))

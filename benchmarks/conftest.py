@@ -1,0 +1,29 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures.  Besides the
+pytest-benchmark timings, each bench renders its paper-vs-measured report
+through :func:`record_report`, which prints it and archives it under
+``benchmarks/results/`` so the artefacts survive the run (EXPERIMENTS.md
+indexes them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_report():
+    """Return a callable ``record(name, text)`` that persists a report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return record

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""The GCA as a generalisation of the classical CA.
+
+The paper introduces the GCA as "an universal extension of the CA model":
+fix the pointers to local neighbours and a GCA is an ordinary cellular
+automaton.  This example runs Conway's Game of Life and a majority-vote
+automaton on the same engine that executes the connected-components
+algorithm.
+
+Run:  python examples/classical_ca.py
+"""
+
+import numpy as np
+
+from repro.gca import CellularAutomaton, game_of_life_rule, majority_rule
+
+
+def show(grid: np.ndarray, title: str) -> None:
+    print(title)
+    for row in grid:
+        print("  " + " ".join("#" if v else "." for v in row))
+
+
+def main() -> None:
+    # --- Game of Life: a glider moves one cell diagonally per 4 steps ----
+    grid = np.zeros((8, 8), dtype=np.int64)
+    for r, c in [(0, 1), (1, 2), (2, 0), (2, 1), (2, 2)]:   # glider
+        grid[r, c] = 1
+    life = CellularAutomaton(8, 8, game_of_life_rule, initial=grid)
+    show(life.grid, "Game of Life, t = 0:")
+    life.step(4)
+    show(life.grid, "t = 4 (glider shifted by (1, 1)):")
+    shifted = np.roll(np.roll(grid, 1, axis=0), 1, axis=1)
+    assert np.array_equal(life.grid, shifted), "glider did not translate"
+    print("glider translation verified\n")
+
+    # --- majority smoothing: noise collapses to consensus patches ---------
+    rng = np.random.default_rng(3)
+    noisy = (rng.random((10, 10)) < 0.45).astype(np.int64)
+    majority = CellularAutomaton(10, 10, majority_rule, initial=noisy)
+    show(majority.grid, "majority vote, t = 0 (noise):")
+    majority.step(6)
+    show(majority.grid, "t = 6 (smoothed):")
+
+
+if __name__ == "__main__":
+    main()

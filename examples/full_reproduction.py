@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""One-shot reproduction driver: regenerate every paper artefact inline.
+
+Runs the measured side of each experiment (Tables 1-2, the Figure 2/3
+structures, the total-generation bound, the synthesis model, the
+replication ablation and the model comparison) on a single field size and
+prints the paper-vs-measured reports -- a compact, self-contained version
+of what ``pytest benchmarks/ --benchmark-disable`` archives under
+``benchmarks/results/``.
+
+Run:  python examples/full_reproduction.py [n]
+"""
+
+import sys
+
+import repro
+from repro.analysis import (
+    compare_models,
+    compare_table1,
+    compare_table2,
+    measured_total,
+    render_model_comparison,
+    render_table1,
+    render_table2,
+    render_totals,
+)
+from repro.core.machine import connected_components_interpreter
+from repro.core.trace import figure3_patterns
+from repro.hardware import ReadStrategy, ablation, paper_report, synthesize
+
+
+def main() -> None:
+    # tolerate foreign argv (e.g. when executed by the smoke tests)
+    n = int(sys.argv[1]) if len(sys.argv) > 1 and sys.argv[1].isdigit() else 8
+    graph = repro.random_graph(n, 0.3, seed=n)
+    print(f"reproduction run on G({n}, 0.3), seed {n}: {graph.edge_count} edges\n")
+
+    run = connected_components_interpreter(graph)
+    oracle = repro.canonical_labels(graph)
+    assert (run.labels == oracle).all(), "labels diverged from oracle!"
+    print(f"labels verified against union-find "
+          f"({run.component_count} components)\n")
+
+    # --- Tables 1 and 2, totals -----------------------------------------
+    print(render_table1(n, compare_table1(n, run.access_log)), "\n")
+    print(render_table2(n, compare_table2(n, run.access_log)), "\n")
+    print(render_totals([measured_total(n, run.access_log)]), "\n")
+
+    # --- Figure 3 (n = 4 panels, counts only here) -----------------------
+    patterns = figure3_patterns(4)
+    actives = {label: p.active_count for label, p in patterns.items()}
+    print(f"Figure 3 (n = 4) active cells per generation: {actives}\n")
+
+    # --- Section 4 -------------------------------------------------------
+    print("Section 4 synthesis:")
+    print(f"  paper: {paper_report().summary()}")
+    print(f"  model: {synthesize(16).summary()}\n")
+
+    print("replication ablation (measured cycles):")
+    for row in ablation(run.access_log, n):
+        print(f"  {row.strategy.value:>10}: {row.total_cycles} cycles")
+    print()
+
+    # --- model comparison --------------------------------------------------
+    print(render_model_comparison(compare_models(graph)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Explore the FPGA cost model (the Section 4 reproduction).
+
+Prints the model's synthesis estimate next to the paper's published
+Cyclone II result, sweeps the field size, and quantifies the
+replication-vs-congestion trade-off the paper discusses.
+
+Run:  python examples/hardware_explorer.py
+"""
+
+import repro
+from repro.core.machine import connected_components_interpreter
+from repro.hardware import (
+    ReadStrategy,
+    ablation,
+    largest_feasible_n,
+    mux_input_summary,
+    paper_report,
+    replication_cost,
+    synthesize,
+)
+from repro.util.formatting import render_table
+
+
+def main() -> None:
+    # --- the published data point vs the model --------------------------
+    paper = paper_report()
+    model = synthesize(paper.n)
+    print("Section 4 synthesis result (n = 16):")
+    print(f"  paper: {paper.summary()}")
+    print(f"  model: {model.summary()}")
+    print(f"  device utilisation (EP2C70): {model.device_utilisation:.1%}")
+
+    # --- sweep -----------------------------------------------------------
+    rows = []
+    for n in (4, 8, 16, 32, 64):
+        est = synthesize(n)
+        rows.append([n, est.cells, f"{est.logic_elements:,}",
+                     f"{est.register_bits:,}", est.fmax_mhz])
+    print()
+    print(render_table(
+        ["n", "cells", "logic elements", "register bits", "fmax MHz"],
+        rows, title="Model sweep"))
+    print(f"\nlargest n fitting the EP2C70 (model): {largest_feasible_n()}")
+
+    # --- cell structure ----------------------------------------------------
+    muxes = mux_input_summary(16)
+    print("\nneighbour-mux inputs at n = 16 (derived from the rule set):")
+    for kind, inputs in muxes.items():
+        print(f"  {kind.value:>8}: {inputs} static sources")
+
+    # --- replication ablation (Section 4 discussion) ----------------------
+    n = 8
+    g = repro.random_graph(n, 0.4, seed=11)
+    run = connected_components_interpreter(g)
+    print(f"\nreplication ablation on a measured run (n = {n}):")
+    for row in ablation(run.access_log, n):
+        print(
+            f"  {row.strategy.value:>10}: {row.total_cycles:4d} cycles, "
+            f"+{row.extra_register_bits} register bits, "
+            f"{row.extended_cells} extended cells"
+        )
+    cost = replication_cost(n)
+    print(
+        f"  (replication upgrades {cost.extended_cell_increase} cells "
+        f"to extended)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Connected-component labelling of a binary image with the GCA algorithm.
+
+Connected-component labelling is the classic application behind the
+paper's graph-algorithm motivation: foreground pixels of a binary image
+form a 4-connectivity graph, and the regions of the image are exactly the
+graph's connected components.  This example builds the pixel graph, runs
+the GCA algorithm, and prints the labelled image.
+
+Run:  python examples/image_labeling.py
+"""
+
+import numpy as np
+
+import repro
+from repro.graphs.generators import image_to_graph
+
+
+IMAGE = np.array(
+    [
+        [1, 1, 0, 0, 0, 1, 1, 0],
+        [1, 0, 0, 1, 0, 0, 1, 0],
+        [0, 0, 1, 1, 1, 0, 0, 0],
+        [0, 0, 0, 1, 0, 0, 1, 1],
+        [1, 0, 0, 0, 0, 0, 1, 0],
+        [1, 1, 0, 1, 1, 0, 0, 0],
+    ],
+    dtype=np.int64,
+)
+
+
+def main() -> None:
+    rows, cols = IMAGE.shape
+    print("input image (1 = foreground):")
+    for r in range(rows):
+        print("  " + " ".join("#" if v else "." for v in IMAGE[r]))
+
+    # Pixel graph: one node per pixel, edges between 4-adjacent foreground
+    # pixels; background pixels stay isolated nodes.
+    graph, node_of_pixel = image_to_graph(IMAGE)
+    result = repro.gca_connected_components(graph)
+
+    # Map component representatives to compact region ids (foreground only).
+    labels = result.labels
+    region_of: dict = {}
+    labelled = np.full(IMAGE.shape, -1, dtype=np.int64)
+    for r in range(rows):
+        for c in range(cols):
+            if IMAGE[r, c]:
+                rep = int(labels[node_of_pixel[r, c]])
+                region_of.setdefault(rep, len(region_of))
+                labelled[r, c] = region_of[rep]
+
+    print(f"\nfound {len(region_of)} foreground regions:")
+    for r in range(rows):
+        print(
+            "  "
+            + " ".join(
+                chr(ord("A") + labelled[r, c]) if labelled[r, c] >= 0 else "."
+                for c in range(cols)
+            )
+        )
+
+    # Sanity: pixels in one region are connected, different regions are not.
+    a, b = node_of_pixel[0, 0], node_of_pixel[1, 0]
+    assert result.same_component(a, b), "vertically adjacent pixels must join"
+    c0, c5 = node_of_pixel[0, 0], node_of_pixel[0, 5]
+    assert not result.same_component(c0, c5), "separate blobs must not join"
+    print("\nadjacency sanity checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Logic simulation on the GCA — another of the paper's application classes.
+
+Builds an 8-bit ripple-carry adder as a gate netlist, compiles it onto
+the GCA engine (one cell per gate, pointers = input nets), and simulates
+additions; the circuit settles in ``depth`` synchronous generations.
+
+Run:  python examples/logic_circuit.py
+"""
+
+from repro.gca.logic_simulation import LogicSimulator, ripple_carry_adder
+
+BITS = 8
+
+
+def main() -> None:
+    circuit, a_in, b_in, carry_in = ripple_carry_adder(BITS)
+    sim = LogicSimulator(circuit)
+    print(
+        f"{BITS}-bit ripple-carry adder: {circuit.size} gates "
+        f"(incl. {len(circuit.input_ids)} inputs), depth {sim.depth} "
+        f"-> {sim.depth} GCA generations per addition"
+    )
+
+    def add(x: int, y: int, c: int = 0) -> int:
+        inputs = {a_in[i]: (x >> i) & 1 for i in range(BITS)}
+        inputs.update({b_in[i]: (y >> i) & 1 for i in range(BITS)})
+        inputs[carry_in] = c
+        out = sim.run(inputs)
+        return sum(out[f"sum{i}"] << i for i in range(BITS)) + (
+            out["carry_out"] << BITS
+        )
+
+    cases = [(0, 0), (1, 1), (100, 55), (200, 56), (255, 255), (170, 85)]
+    for x, y in cases:
+        result = add(x, y)
+        marker = "ok" if result == x + y else "WRONG"
+        print(f"  {x:3d} + {y:3d} = {result:3d}   [{marker}]")
+        assert result == x + y
+
+    # with carry-in
+    assert add(10, 20, 1) == 31
+    print("  10 +  20 + cin = 31   [ok]")
+    print("\nall additions verified against Python arithmetic")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro -- reproduction of "Implementing Hirschberg's PRAM-Algorithm for
+Connected Components on a Global Cellular Automaton" (Jendrsczok, Hoffmann,
+Keller; IPPS/IPDPS 2007).
+
+Quickstart::
+
+    import repro
+    graph = repro.random_graph(64, 0.1, seed=7)
+    result = repro.gca_connected_components(graph)
+    print(result.component_count, result.labels)
+
+Packages
+--------
+``repro.gca``
+    The Global Cellular Automaton engine (cells, rules, synchronous
+    generations, congestion instrumentation) plus classical CAs.
+``repro.pram``
+    A synchronous PRAM simulator with EREW/CREW/CROW/CRCW checking and
+    Brent scheduling.
+``repro.graphs``
+    Adjacency matrices, graph generators and sequential baselines.
+``repro.hirschberg``
+    The reference algorithm (Listing 1), its PRAM rendition and variants.
+``repro.core``
+    The paper's GCA mapping: field layout, the 12 generations, the state
+    machine, the interpreter and the vectorised engine.
+``repro.hardware``
+    The FPGA cost model reproducing Section 4's synthesis figures.
+``repro.analysis``
+    Congestion/complexity analytics reproducing Tables 1 and 2.
+"""
+
+from repro.core.api import ComponentsResult, gca_connected_components
+from repro.core.trace import TraceRecorder, figure3_patterns
+from repro.core.vectorized import connected_components_vectorized
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.graphs.components import canonical_labels, count_components
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_edges,
+    grid_graph,
+    path_graph,
+    planted_components,
+    random_graph,
+    star_graph,
+    union_of_cliques,
+)
+from repro.core.row_machine import connected_components_row_gca
+from repro.extensions.spanning_forest import spanning_forest
+from repro.extensions.transitive_closure import transitive_closure_gca
+from repro.hirschberg.reference import hirschberg_reference
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComponentsResult",
+    "gca_connected_components",
+    "TraceRecorder",
+    "figure3_patterns",
+    "connected_components_vectorized",
+    "AdjacencyMatrix",
+    "canonical_labels",
+    "count_components",
+    "complete_graph",
+    "cycle_graph",
+    "empty_graph",
+    "from_edges",
+    "grid_graph",
+    "path_graph",
+    "planted_components",
+    "random_graph",
+    "star_graph",
+    "union_of_cliques",
+    "hirschberg_reference",
+    "connected_components_row_gca",
+    "spanning_forest",
+    "transitive_closure_gca",
+    "__version__",
+]

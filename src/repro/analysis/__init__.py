@@ -1,0 +1,120 @@
+"""Analysis toolkit: the quantitative reproductions of Tables 1/2 and the
+complexity and cost-model claims.
+
+* :mod:`~repro.analysis.congestion` -- Table 1 (active cells, reads, δ);
+* :mod:`~repro.analysis.complexity` -- Table 2 and the total-generation
+  bound ``1 + log n (3 log n + 8)``;
+* :mod:`~repro.analysis.comparison` -- GCA vs PRAM vs sequential costs and
+  engine wall-clock timings;
+* :mod:`~repro.analysis.report` -- text-table rendering for the benches.
+"""
+
+from repro.analysis.comparison import (
+    ModelRow,
+    TimingRow,
+    compare_models,
+    predicted_comparison,
+    time_engines,
+)
+from repro.analysis.complexity import (
+    Table2Row,
+    TotalGenerations,
+    compare_table2,
+    gca_cells,
+    gca_time,
+    gca_work,
+    measured_generations_per_step,
+    measured_total,
+    pram_work_optimal_processors,
+    predicted_table2,
+    predicted_total,
+    schedule_total,
+    sequential_time,
+)
+from repro.analysis.hashing import (
+    CongestionProfile,
+    UniversalHash,
+    adversarial_mapping,
+    aware_mapping,
+    compare_mappings,
+    direct_mapping,
+    mapping_congestion,
+)
+from repro.analysis.congestion import (
+    MeasuredRow,
+    Table1Comparison,
+    Table1Row,
+    compare_table1,
+    exact_expected_table1,
+    measured_table1,
+    paper_table1,
+)
+from repro.analysis.sweep import (
+    ENGINES,
+    WORKLOADS,
+    RunRecord,
+    SweepSpec,
+    dumps_records,
+    load_records,
+    loads_records,
+    run_sweep,
+    save_records,
+    summarize,
+)
+from repro.analysis.report import (
+    render_model_comparison,
+    render_table1,
+    render_table2,
+    render_timings,
+    render_totals,
+)
+
+__all__ = [
+    "ModelRow",
+    "TimingRow",
+    "compare_models",
+    "predicted_comparison",
+    "time_engines",
+    "Table2Row",
+    "TotalGenerations",
+    "compare_table2",
+    "gca_cells",
+    "gca_time",
+    "gca_work",
+    "measured_generations_per_step",
+    "measured_total",
+    "pram_work_optimal_processors",
+    "predicted_table2",
+    "predicted_total",
+    "schedule_total",
+    "sequential_time",
+    "CongestionProfile",
+    "UniversalHash",
+    "adversarial_mapping",
+    "aware_mapping",
+    "compare_mappings",
+    "direct_mapping",
+    "mapping_congestion",
+    "MeasuredRow",
+    "Table1Comparison",
+    "Table1Row",
+    "compare_table1",
+    "exact_expected_table1",
+    "measured_table1",
+    "paper_table1",
+    "ENGINES",
+    "WORKLOADS",
+    "RunRecord",
+    "SweepSpec",
+    "dumps_records",
+    "load_records",
+    "loads_records",
+    "run_sweep",
+    "save_records",
+    "summarize",
+    "render_model_comparison",
+    "render_table1",
+    "render_table2",
+    "render_timings",
+    "render_totals",
+]

@@ -1,0 +1,198 @@
+"""Cross-model comparison: GCA vs PRAM vs sequential (Sections 1 and 3).
+
+The paper's conceptual point is that PRAM work-optimality (minimise
+``P * t_p``) and GCA optimality (minimise hardware, where memory dominates
+and cells are cheap) are different criteria.  This module runs the same
+graph through
+
+* the GCA (generations, cells, memory cells),
+* the PRAM simulator (steps, Brent-adjusted time, work, peak congestion),
+* the sequential baseline (``Theta(n^2)`` matrix scan),
+
+and emits one row per model so the bench can print who wins under which
+metric.  Wall-clock timing of the Python engines is also provided for the
+throughput bench (E9), clearly separated from the model metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.analysis.complexity import (
+    gca_cells,
+    gca_time,
+    gca_work,
+    sequential_time,
+)
+from repro.core.vectorized import run_vectorized
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.graphs.components import components_union_find
+from repro.hirschberg.pram_impl import hirschberg_on_pram
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+
+@dataclass(frozen=True)
+class ModelRow:
+    """One model's cost figures on one input."""
+
+    model: str
+    n: int
+    time_units: int           # generations / Brent steps / sequential ops
+    processing_elements: int
+    work: int                 # PEs x time (PRAM convention)
+    memory_cells: int         # state words the model needs
+    peak_congestion: int
+    labels_correct: bool
+
+
+def compare_models(
+    graph: GraphLike,
+    pram_processors: Optional[int] = None,
+) -> List[ModelRow]:
+    """Run all three models on ``graph`` and tabulate their costs.
+
+    ``pram_processors`` defaults to ``n^2`` (full parallelism); pass fewer
+    to see Brent's theorem inflate the PRAM time.
+    """
+    g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+    n = g.n
+    oracle = components_union_find(g)
+
+    # --- GCA ------------------------------------------------------------
+    gca = run_vectorized(g, record_access=True)
+    gca_peak = gca.access_log.peak_congestion if gca.access_log else 0
+    rows = [
+        ModelRow(
+            model="gca",
+            n=n,
+            time_units=gca.total_generations,
+            processing_elements=gca_cells(n),
+            work=gca_cells(n) * gca.total_generations,
+            memory_cells=2 * n * (n + 1) + n * n,  # D + P + A planes
+            peak_congestion=gca_peak,
+            labels_correct=bool(np.array_equal(gca.labels, oracle)),
+        )
+    ]
+
+    # --- PRAM -----------------------------------------------------------
+    p = pram_processors if pram_processors is not None else max(1, n * n)
+    pram = hirschberg_on_pram(g, processors=p)
+    rows.append(
+        ModelRow(
+            model="pram",
+            n=n,
+            time_units=pram.time,
+            processing_elements=p,
+            work=pram.work,
+            memory_cells=n * n + 2 * n + n * n,  # A + C + T + temporaries
+            peak_congestion=pram.peak_read_congestion,
+            labels_correct=bool(np.array_equal(pram.labels, oracle)),
+        )
+    )
+
+    # --- sequential -------------------------------------------------------
+    rows.append(
+        ModelRow(
+            model="sequential",
+            n=n,
+            time_units=sequential_time(n),
+            processing_elements=1,
+            work=sequential_time(n),
+            memory_cells=n * n + n,
+            peak_congestion=0,
+            labels_correct=True,
+        )
+    )
+    return rows
+
+
+def predicted_comparison(n: int) -> List[ModelRow]:
+    """Closed-form comparison (no execution), for large-``n`` tables."""
+    from repro.util.intmath import ceil_log2
+
+    log = max(1, ceil_log2(max(2, n)))
+    pram_time = 2 + log * (9 + 3 * log)  # steps of the simulator's program
+    return [
+        ModelRow(
+            model="gca",
+            n=n,
+            time_units=gca_time(n),
+            processing_elements=gca_cells(n),
+            work=gca_work(n),
+            memory_cells=2 * n * (n + 1) + n * n,
+            peak_congestion=n + 1,
+            labels_correct=True,
+        ),
+        ModelRow(
+            model="pram",
+            n=n,
+            time_units=pram_time,
+            processing_elements=n * n,
+            work=n * n * pram_time,
+            memory_cells=2 * n * n + 2 * n,
+            peak_congestion=n,
+            labels_correct=True,
+        ),
+        ModelRow(
+            model="sequential",
+            n=n,
+            time_units=sequential_time(n),
+            processing_elements=1,
+            work=sequential_time(n),
+            memory_cells=n * n + n,
+            peak_congestion=0,
+            labels_correct=True,
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# wall-clock throughput of the Python engines (bench E9)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TimingRow:
+    """Wall-clock timing of one engine on one input."""
+
+    engine: str
+    n: int
+    seconds: float
+
+
+def time_engines(
+    graph: GraphLike,
+    engines: Optional[List[str]] = None,
+    repeats: int = 3,
+) -> List[TimingRow]:
+    """Best-of-``repeats`` wall-clock time per engine.
+
+    Engines: ``"vectorized"``, ``"reference"``, ``"unionfind"`` and (for
+    small ``n`` only -- it is an interpreter) ``"interpreter"``.
+    """
+    from repro.core.machine import connected_components_interpreter
+    from repro.hirschberg.reference import connected_components_reference
+
+    g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+    chosen = engines or ["vectorized", "reference", "unionfind"]
+    runners = {
+        "vectorized": lambda: run_vectorized(g).labels,
+        "reference": lambda: connected_components_reference(g),
+        "unionfind": lambda: components_union_find(g),
+        "interpreter": lambda: connected_components_interpreter(g).labels,
+    }
+    rows = []
+    for name in chosen:
+        if name not in runners:
+            raise ValueError(f"unknown engine {name!r}; have {sorted(runners)}")
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            runners[name]()
+            best = min(best, time.perf_counter() - start)
+        rows.append(TimingRow(engine=name, n=g.n, seconds=best))
+    return rows

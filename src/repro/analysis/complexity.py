@@ -1,0 +1,174 @@
+"""Table 2 and the total-generation bound (Section 3, "Time complexity").
+
+The paper's complexity statement: steps 1, 4 and 6 take one generation;
+steps 2 and 3 take ``1 + log n + 1 + 1`` each (the row-minimum reduction
+needs ``log n`` sub-generations); step 5 takes ``log n``; so one outer
+iteration costs ``3 log n + 8`` generations and the whole algorithm
+
+    total = 1 + log(n) * (3 log(n) + 8)        (O(log^2 n))
+
+using ``n(n+1)`` processors (cells).  This module evaluates the closed
+forms, extracts the measured counterpart from a run, and provides the
+work/cost figures for the GCA-vs-PRAM discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.schedule import (
+    STEP_OF_GENERATION,
+    full_schedule,
+    generations_per_iteration,
+    generations_per_step,
+    total_generations,
+)
+from repro.gca.instrumentation import AccessLog
+from repro.util.intmath import ceil_log2, outer_iterations
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2: a Hirschberg step and its generation count."""
+
+    step: int
+    paper_formula: str
+    predicted: int
+    measured: Optional[int] = None
+
+    @property
+    def matches(self) -> bool:
+        return self.measured is None or self.measured == self.predicted
+
+
+_PAPER_FORMULAS = {
+    1: "1",
+    2: "1 + log(n) + 1 + 1",
+    3: "1 + log(n) + 1 + 1",
+    4: "1",
+    5: "log(n)",
+    6: "1",
+}
+
+
+def predicted_table2(n: int) -> List[Table2Row]:
+    """Table 2 evaluated at ``n`` (per-iteration counts; step 1 once)."""
+    per_step = generations_per_step(n)
+    return [
+        Table2Row(step=s, paper_formula=_PAPER_FORMULAS[s], predicted=per_step[s])
+        for s in sorted(per_step)
+    ]
+
+
+def measured_generations_per_step(log: AccessLog, iteration: int = 0) -> Dict[int, int]:
+    """Generations executed per Hirschberg step in one iteration of a
+    recorded run (step 1 counts the one-off generation 0)."""
+    counts: Dict[int, int] = {s: 0 for s in range(1, 7)}
+    prefix = f"it{iteration}."
+    for stats in log.generations:
+        label = stats.label
+        if label == "gen0":
+            counts[1] += 1
+            continue
+        if not label.startswith(prefix):
+            continue
+        number = int(label.split(".")[1][3:])
+        counts[STEP_OF_GENERATION[number]] += 1
+    return counts
+
+
+def compare_table2(n: int, log: AccessLog) -> List[Table2Row]:
+    """Predicted vs measured Table 2 for iteration 0 of a recorded run."""
+    measured = measured_generations_per_step(log)
+    return [
+        Table2Row(
+            step=row.step,
+            paper_formula=row.paper_formula,
+            predicted=row.predicted,
+            measured=measured.get(row.step, 0),
+        )
+        for row in predicted_table2(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# the total bound
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TotalGenerations:
+    """Predicted vs measured generation totals for one ``n``."""
+
+    n: int
+    log_n: int
+    iterations: int
+    per_iteration: int
+    predicted_total: int
+    measured_total: Optional[int] = None
+
+    @property
+    def matches(self) -> bool:
+        return self.measured_total is None or self.measured_total == self.predicted_total
+
+
+def predicted_total(n: int) -> TotalGenerations:
+    """The paper's bound ``1 + log n (3 log n + 8)`` with ``ceil(log2)``."""
+    check_positive("n", n)
+    return TotalGenerations(
+        n=n,
+        log_n=ceil_log2(max(1, n)),
+        iterations=outer_iterations(n),
+        per_iteration=generations_per_iteration(n),
+        predicted_total=total_generations(n),
+    )
+
+
+def schedule_total(n: int) -> int:
+    """Length of the concrete schedule -- the structural measurement that
+    must equal the closed form for every ``n``."""
+    return len(full_schedule(n))
+
+
+def measured_total(n: int, log: AccessLog) -> TotalGenerations:
+    """Join the closed form with a run's actual generation count."""
+    base = predicted_total(n)
+    return TotalGenerations(
+        n=base.n,
+        log_n=base.log_n,
+        iterations=base.iterations,
+        per_iteration=base.per_iteration,
+        predicted_total=base.predicted_total,
+        measured_total=log.total_generations,
+    )
+
+
+# ----------------------------------------------------------------------
+# cost-model quantities for the GCA-vs-PRAM discussion (Sections 1 and 3)
+# ----------------------------------------------------------------------
+
+def gca_time(n: int) -> int:
+    """GCA parallel time in generations."""
+    return total_generations(n)
+
+def gca_cells(n: int) -> int:
+    """GCA processing elements (cells)."""
+    return n * (n + 1)
+
+def gca_work(n: int) -> int:
+    """GCA cost in the PRAM sense: cells x generations -- deliberately
+    *not* work-optimal (Theta(n^2 log^2 n) vs sequential Theta(n^2)); the
+    paper argues cells are cheap in FPGAs so this metric misleads."""
+    return gca_cells(n) * gca_time(n)
+
+def sequential_time(n: int) -> int:
+    """Sequential complexity on dense adjacency-matrix input: Theta(n^2)."""
+    check_positive("n", n)
+    return n * n
+
+def pram_work_optimal_processors(n: int) -> int:
+    """The processor count a work-optimal PRAM version would use:
+    ``P = t_s / t_p = n^2 / log^2 n`` (Section 3)."""
+    log = max(1, ceil_log2(max(2, n)))
+    return max(1, (n * n) // (log * log))

@@ -1,0 +1,254 @@
+"""Table 1: active cells, read accesses and congestion per generation.
+
+The paper's Table 1 characterises each generation by the number of active
+cells and a histogram of concurrent read accesses ("δ = # of concurrent
+read accesses (congestion)" for "# cells with read access").  The values in
+the paper are closed-form expressions in ``n``; this module encodes them
+(:func:`paper_table1`), extracts the measured equivalents from a run's
+:class:`~repro.gca.instrumentation.AccessLog` (:func:`measured_table1`),
+and joins the two (:func:`compare_table1`).
+
+The paper's table is partially approximate -- e.g. generation 3's read
+count ``(n-1)^2`` is the power-of-two aggregate ``n(n-1)`` rounded, and
+generation 9's counts ignore the simultaneous ``D_N`` archive the prose
+describes.  Known deviations are annotated on the rows (``note``) and the
+comparison reports them honestly rather than forcing a match; see
+EXPERIMENTS.md for the per-``n`` outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gca.instrumentation import AccessLog, GenerationStats, merge_stats
+from repro.util.intmath import ceil_log2
+from repro.util.validation import check_positive
+
+Histogram = List[Tuple[int, int]]  # (#cells, delta) pairs, delta desc
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (generation) row of Table 1."""
+
+    step: int
+    generation: int
+    active_cells: int
+    read_histogram: Histogram      # only cells with delta >= 1
+    note: str = ""
+
+    @property
+    def max_congestion(self) -> int:
+        return max((delta for _c, delta in self.read_histogram), default=0)
+
+    @property
+    def cells_read(self) -> int:
+        return sum(c for c, _delta in self.read_histogram)
+
+
+def paper_table1(n: int) -> List[Table1Row]:
+    """Table 1's closed-form rows evaluated at ``n``.
+
+    The zero-congestion entries ("# cells with 0 read accesses") the paper
+    lists are omitted from the histograms -- they are the complement of the
+    cells read and carry no information; the rows keep only δ >= 1.
+    Generations 3 and 7 are the aggregates over their ``log n``
+    sub-generations, as in the paper.
+    """
+    check_positive("n", n)
+    rows = [
+        Table1Row(1, 0, n * (n + 1), [],
+                  note="initialisation, no reads"),
+        Table1Row(2, 1, n * (n + 1), [(n, n + 1)]),
+        Table1Row(2, 2, n * n, [(n, n)]),
+        Table1Row(2, 3, (n * n) // 2, [((n - 1) ** 2, 1)],
+                  note="aggregate over log n sub-generations; the paper's "
+                       "(n-1)^2 approximates the exact n(n-1) reads"),
+        Table1Row(2, 4, n, [(n, 1)]),
+        Table1Row(3, 5, n * (n + 1), [(n, n + 1)], note="see gen. 1"),
+        Table1Row(3, 6, n * n, [(n, n)], note="see gen. 2"),
+        Table1Row(3, 7, (n * n) // 2, [((n - 1) ** 2, 1)], note="see gen. 3"),
+        Table1Row(3, 8, n, [(n, 1)], note="see gen. 4"),
+        Table1Row(4, 9, (n - 1) ** 2, [(n, n - 1)],
+                  note="the paper's count excludes the simultaneous D_N "
+                       "archive; measured active is n(n+1) and delta n+1"),
+        Table1Row(5, 10, n, [(n, n)],
+                  note="delta is the worst case (all pointers colliding); "
+                       "measured delta is data dependent, <= n"),
+        Table1Row(6, 11, n, [(n, n)], note="worst case, as gen. 10"),
+    ]
+    return rows
+
+
+# ----------------------------------------------------------------------
+# measured side
+# ----------------------------------------------------------------------
+
+def _first_iteration_stats(log: AccessLog) -> Dict[int, List[GenerationStats]]:
+    """Group the log's generation stats of iteration 0 (plus generation 0)
+    by paper generation number."""
+    grouped: Dict[int, List[GenerationStats]] = {}
+    for stats in log.generations:
+        label = stats.label
+        if label == "gen0":
+            grouped.setdefault(0, []).append(stats)
+            continue
+        if not label.startswith("it0."):
+            continue
+        part = label.split(".")[1]          # "gen3"
+        number = int(part[3:])
+        grouped.setdefault(number, []).append(stats)
+    return grouped
+
+
+@dataclass
+class MeasuredRow:
+    """Measured Table 1 row (iteration 0 of a run).
+
+    ``read_histogram`` aggregates the whole sub-generation ladder (so a
+    cell read in every jump sub-generation shows the summed count), while
+    ``peak_sub_congestion`` is the maximum *within one generation* -- the
+    quantity the paper's delta bounds.
+    """
+
+    generation: int
+    active_cells: int
+    read_histogram: Histogram
+    sub_generations: int = 1
+    peak_sub_congestion: int = 0
+
+    @property
+    def max_congestion(self) -> int:
+        return max((delta for _c, delta in self.read_histogram), default=0)
+
+    @property
+    def cells_read(self) -> int:
+        return sum(c for c, _delta in self.read_histogram)
+
+
+def measured_table1(log: AccessLog) -> List[MeasuredRow]:
+    """Extract measured Table 1 rows from a run's access log.
+
+    Sub-generations of generations 3/7/10 are merged like the paper's
+    aggregate rows (active cells of the *first* sub-generation -- the
+    paper's ``n^2/2`` refers to it -- read histogram summed over all).
+    """
+    grouped = _first_iteration_stats(log)
+    rows: List[MeasuredRow] = []
+    for number in sorted(grouped):
+        parts = grouped[number]
+        merged = merge_stats(f"gen{number}", parts)
+        # Sub-generation groups (3/7/10) report the first sub-generation's
+        # activity -- the paper's n^2/2 and n figures are per-sub counts --
+        # while the read histogram aggregates the whole ladder.
+        if number in (3, 7, 10):
+            active = parts[0].active_cells
+        else:
+            active = merged.active_cells
+        histogram = merged.congestion_histogram()
+        rows.append(
+            MeasuredRow(
+                generation=number,
+                active_cells=active,
+                read_histogram=histogram,
+                sub_generations=len(parts),
+                peak_sub_congestion=max(p.max_congestion for p in parts),
+            )
+        )
+    return rows
+
+
+@dataclass
+class Table1Comparison:
+    """Paper-vs-measured join for one generation."""
+
+    generation: int
+    step: int
+    paper_active: int
+    measured_active: int
+    paper_histogram: Histogram
+    measured_histogram: Histogram
+    measured_peak: int = 0
+    note: str = ""
+
+    @property
+    def active_matches(self) -> bool:
+        return self.paper_active == self.measured_active
+
+    @property
+    def paper_max_congestion(self) -> int:
+        return max((d for _c, d in self.paper_histogram), default=0)
+
+    @property
+    def measured_max_congestion(self) -> int:
+        """Peak congestion within one (sub-)generation -- comparable to the
+        paper's delta even where the histogram aggregates a ladder."""
+        if self.measured_peak:
+            return self.measured_peak
+        return max((d for _c, d in self.measured_histogram), default=0)
+
+    @property
+    def congestion_within_paper_bound(self) -> bool:
+        """Whether the measured peak congestion stays within the paper's
+        figure.  Generation 9 is exempt: the paper's ``n - 1`` omits the
+        simultaneous ``D_N`` archive and self-reads, so the faithful
+        implementation measures ``n + 1`` there (documented deviation)."""
+        if self.generation == 9:
+            return self.measured_max_congestion <= self.paper_max_congestion + 2
+        return self.measured_max_congestion <= self.paper_max_congestion
+
+
+def compare_table1(n: int, log: AccessLog) -> List[Table1Comparison]:
+    """Join the paper's Table 1 with the measured rows of ``log``."""
+    paper_rows = {row.generation: row for row in paper_table1(n)}
+    measured_rows = {row.generation: row for row in measured_table1(log)}
+    out = []
+    for number in sorted(paper_rows):
+        p = paper_rows[number]
+        m = measured_rows.get(number)
+        out.append(
+            Table1Comparison(
+                generation=number,
+                step=p.step,
+                paper_active=p.active_cells,
+                measured_active=m.active_cells if m else 0,
+                paper_histogram=p.read_histogram,
+                measured_histogram=m.read_histogram if m else [],
+                measured_peak=m.peak_sub_congestion if m else 0,
+                note=p.note,
+            )
+        )
+    return out
+
+
+def exact_expected_table1(n: int) -> Dict[int, Dict[str, int]]:
+    """The *exact* closed forms this implementation satisfies (derived in
+    DESIGN.md and enforced by the tests), for reference alongside the
+    paper's approximate table.  Keys: generation number; values: active
+    cells, total reads, max delta (worst case over inputs).
+    """
+    check_positive("n", n)
+    log = ceil_log2(max(2, n))
+    # total reads of a full reduction ladder: sum over s of per-row active
+    reduction_reads = 0
+    for s in range(log):
+        stride = 1 << s
+        cols = len([c for c in range(0, n, 2 * stride) if c + stride < n])
+        reduction_reads += n * cols
+    return {
+        0: {"active": n * (n + 1), "reads": 0, "max_delta": 0},
+        1: {"active": n * (n + 1), "reads": n * (n + 1), "max_delta": n + 1},
+        2: {"active": n * n, "reads": n * n, "max_delta": n},
+        3: {"active_first_sub": n * (n // 2),
+            "reads": reduction_reads, "max_delta": 1},
+        4: {"active": n, "reads": n, "max_delta": 1},
+        5: {"active": n * (n + 1), "reads": n * (n + 1), "max_delta": n + 1},
+        6: {"active": n * n, "reads": n * n, "max_delta": n},
+        7: {"active_first_sub": n * (n // 2),
+            "reads": reduction_reads, "max_delta": 1},
+        8: {"active": n, "reads": n, "max_delta": 1},
+        9: {"active": n * (n + 1), "reads": n * (n + 1), "max_delta": n + 1},
+        10: {"active": n, "reads_per_sub": n, "max_delta": n},
+        11: {"active": n, "reads": n, "max_delta": n},
+    }

@@ -1,0 +1,184 @@
+"""Memory-mapping congestion: deterministic vs universal hashing (Sec. 1).
+
+The introduction discusses how PRAM shared memory is mapped onto GCA cells
+or memory modules: "Unfortunate mappings can be prevented either by
+choosing an appropriate mapping in case where the neighbour relations are
+known beforehand, or by applying universal hashing.  Universal hashing
+presents two difficulties.  First, the owner relationship may get lost,
+second the congestion can only get down to a value of O(log p) for hash
+function classes that can be easily implemented."
+
+This module makes that discussion measurable.  A *mapping* assigns each
+cell (memory location) to one of ``p`` modules; a generation's **module
+congestion** is the maximum number of reads any one module serves.  We
+provide:
+
+* :func:`aware_mapping` -- the algorithm-aware diagonal layout (module
+  ``(row + col) mod p``), balanced for this algorithm's hot groups;
+* :func:`direct_mapping` -- naive round-robin ``x mod p`` (collapses the
+  hot first column whenever ``p`` divides ``n``);
+* :func:`adversarial_mapping` -- the "unfortunate" blocked layout, under
+  which the broadcast generations hammer one module;
+* :class:`UniversalHash` -- the classic multiply-shift family
+  ``h(x) = ((a x + b) mod P) mod p``, sampled per run;
+* :func:`mapping_congestion` -- evaluates any mapping against a recorded
+  :class:`~repro.gca.instrumentation.AccessLog`.
+
+The bench shows the paper's claims quantitatively: the aware mapping wins,
+the adversarial mapping degrades to Theta(reads/1) on broadcasts, and the
+hashed mapping lands near the balanced optimum with overwhelming
+probability (with the O(log p)-ish tail the paper mentions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.gca.instrumentation import AccessLog
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive
+
+Mapping = Callable[[int], int]
+
+_MERSENNE = (1 << 61) - 1  # a Mersenne prime, the classic modulus choice
+
+
+def direct_mapping(modules: int) -> Mapping:
+    """Naive round-robin layout: location ``x`` lives on module ``x mod p``.
+
+    Simple but oblivious to the field geometry: when ``p`` divides ``n``
+    the hot first column (cells ``i * n``) collapses onto module 0.
+    """
+    check_positive("modules", modules)
+    return lambda x: x % modules
+
+
+def aware_mapping(n: int, modules: int) -> Mapping:
+    """The algorithm-aware layout ("choosing an appropriate mapping in
+    case where the neighbour relations are known beforehand"): module
+    ``(row + col) mod p``.  The diagonal skew spreads both hot groups of
+    this algorithm -- the first column (read by the broadcasts) and the
+    bottom row (read by the masking generations) -- across all modules
+    for every ``p``.
+    """
+    check_positive("n", n)
+    check_positive("modules", modules)
+    return lambda x: ((x // n) + (x % n)) % modules
+
+
+def adversarial_mapping(size: int, modules: int) -> Mapping:
+    """Blocked layout: the first ``ceil(size/p)`` locations share module 0,
+    and so on.  For the GCA algorithm this is "unfortunate": the whole
+    first column (the C vector, the hottest data) lands on one module."""
+    check_positive("size", size)
+    check_positive("modules", modules)
+    block = -(-size // modules)
+    return lambda x: min(x // block, modules - 1)
+
+
+@dataclass(frozen=True)
+class UniversalHash:
+    """One member of the universal family ``((a x + b) mod P) mod p``."""
+
+    a: int
+    b: int
+    modules: int
+
+    def __call__(self, x: int) -> int:
+        return ((self.a * x + self.b) % _MERSENNE) % self.modules
+
+    @staticmethod
+    def sample(modules: int, seed: SeedLike = None) -> "UniversalHash":
+        """Draw a random member of the family."""
+        check_positive("modules", modules)
+        rng = as_generator(seed)
+        return UniversalHash(
+            a=int(rng.integers(1, _MERSENNE)),
+            b=int(rng.integers(0, _MERSENNE)),
+            modules=modules,
+        )
+
+
+@dataclass
+class CongestionProfile:
+    """Module congestion of one mapping over a recorded run."""
+
+    mapping_name: str
+    modules: int
+    per_generation_max: List[int]
+
+    @property
+    def peak(self) -> int:
+        """Worst per-generation module congestion of the run."""
+        return max(self.per_generation_max, default=0)
+
+    @property
+    def total_serialised_cycles(self) -> int:
+        """Run duration if every generation costs its module congestion
+        (each module serves one read per cycle)."""
+        return sum(max(1, m) for m in self.per_generation_max)
+
+
+def mapping_congestion(
+    log: AccessLog, mapping: Mapping, modules: int, name: str
+) -> CongestionProfile:
+    """Evaluate ``mapping`` against the read streams of ``log``."""
+    check_positive("modules", modules)
+    per_generation = []
+    for stats in log.generations:
+        loads: Dict[int, int] = {}
+        for cell, reads in stats.reads_per_cell.items():
+            module = mapping(cell)
+            if not 0 <= module < modules:
+                raise ValueError(
+                    f"mapping {name!r} sent cell {cell} to module {module}, "
+                    f"outside [0, {modules})"
+                )
+            loads[module] = loads.get(module, 0) + reads
+        per_generation.append(max(loads.values(), default=0))
+    return CongestionProfile(
+        mapping_name=name, modules=modules, per_generation_max=per_generation
+    )
+
+
+def compare_mappings(
+    log: AccessLog,
+    n: int,
+    modules: int,
+    hash_samples: int = 5,
+    seed: SeedLike = 0,
+) -> List[CongestionProfile]:
+    """Profile the four mapping strategies on one recorded run.
+
+    The hashed profile reports the *median-peak* sample of
+    ``hash_samples`` independent draws (universal hashing is a
+    distribution, not a single function).
+    """
+    size = n * (n + 1)
+    profiles = [
+        mapping_congestion(log, aware_mapping(n, modules), modules, "aware"),
+        mapping_congestion(log, direct_mapping(modules), modules, "direct"),
+        mapping_congestion(
+            log, adversarial_mapping(size, modules), modules, "adversarial"
+        ),
+    ]
+    rng = as_generator(seed)
+    hashed = [
+        mapping_congestion(
+            log, UniversalHash.sample(modules, rng), modules, f"hash{k}"
+        )
+        for k in range(max(1, hash_samples))
+    ]
+    hashed.sort(key=lambda prof: prof.peak)
+    median = hashed[len(hashed) // 2]
+    profiles.append(
+        CongestionProfile(
+            mapping_name="universal-hash (median of samples)",
+            modules=modules,
+            per_generation_max=median.per_generation_max,
+        )
+    )
+    return profiles

@@ -1,0 +1,99 @@
+"""Rendering of the analysis results as paper-style text tables.
+
+Each ``render_*`` function takes the structured comparison objects of this
+package and produces the aligned ASCII table the benchmark harnesses print
+(and EXPERIMENTS.md archives).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.complexity import Table2Row, TotalGenerations
+from repro.analysis.comparison import ModelRow, TimingRow
+from repro.analysis.congestion import Table1Comparison
+from repro.util.formatting import render_table
+
+
+def _histogram_text(histogram: Sequence) -> str:
+    if not histogram:
+        return "-"
+    return ", ".join(f"{cells}@{delta}" for cells, delta in histogram)
+
+
+def render_table1(n: int, comparisons: List[Table1Comparison]) -> str:
+    """Paper-vs-measured Table 1 ("#cells@delta" = #cells with that
+    congestion; only delta >= 1 entries are shown)."""
+    rows = []
+    for c in comparisons:
+        rows.append(
+            [
+                c.step,
+                c.generation,
+                c.paper_active,
+                c.measured_active,
+                _histogram_text(c.paper_histogram),
+                _histogram_text(c.measured_histogram),
+                "yes" if c.active_matches else "no",
+            ]
+        )
+    return render_table(
+        ["step", "gen", "active(paper)", "active(meas)",
+         "reads(paper)", "reads(meas)", "active=="],
+        rows,
+        title=f"Table 1 reproduction, n = {n}",
+    )
+
+
+def render_table2(n: int, rows: List[Table2Row]) -> str:
+    """Paper-vs-measured Table 2."""
+    body = [
+        [r.step, r.paper_formula, r.predicted,
+         "-" if r.measured is None else r.measured,
+         "yes" if r.matches else "no"]
+        for r in rows
+    ]
+    return render_table(
+        ["step", "paper formula", "predicted", "measured", "match"],
+        body,
+        title=f"Table 2 reproduction, n = {n}",
+    )
+
+
+def render_totals(rows: List[TotalGenerations]) -> str:
+    """The total-generation bound across a sweep of ``n``."""
+    body = [
+        [r.n, r.log_n, r.iterations, r.per_iteration, r.predicted_total,
+         "-" if r.measured_total is None else r.measured_total,
+         "yes" if r.matches else "no"]
+        for r in rows
+    ]
+    return render_table(
+        ["n", "log n", "iters", "gens/iter", "1+log n(3log n+8)",
+         "measured", "match"],
+        body,
+        title="Total generations: 1 + log(n) * (3 log(n) + 8)",
+    )
+
+
+def render_model_comparison(rows: List[ModelRow]) -> str:
+    """GCA vs PRAM vs sequential cost table."""
+    body = [
+        [r.model, r.n, r.time_units, r.processing_elements, r.work,
+         r.memory_cells, r.peak_congestion,
+         "yes" if r.labels_correct else "NO"]
+        for r in rows
+    ]
+    return render_table(
+        ["model", "n", "time", "PEs", "work", "memory", "peak delta", "correct"],
+        body,
+        title="Model comparison (time in model-native units)",
+    )
+
+
+def render_timings(rows: List[TimingRow]) -> str:
+    """Wall-clock engine timings."""
+    body = [[r.engine, r.n, f"{r.seconds * 1e3:.3f}"] for r in rows]
+    return render_table(
+        ["engine", "n", "ms (best)"], body, title="Engine wall-clock timings"
+    )

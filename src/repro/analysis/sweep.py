@@ -1,0 +1,212 @@
+"""Declarative experiment sweeps for the benchmark harness.
+
+The reproduction benches each regenerate one table/figure; this module
+provides the generic machinery for *parameter sweeps* across them:
+
+* :class:`SweepSpec` -- a declarative grid (sizes x densities x engines x
+  seeds) with a workload family;
+* :func:`run_sweep` -- executes the grid, verifying every result against
+  the union-find oracle, timing the engine, and collecting the
+  model-level metrics (generations, work, peak congestion) where the
+  engine exposes them;
+* :class:`RunRecord` + JSON (de)serialisation -- archive-stable records
+  so sweeps can be compared across machines/runs;
+* :func:`summarize` -- aggregation into printable rows (median seconds
+  per (engine, n)).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.machine import connected_components_interpreter
+from repro.core.row_machine import RowGCA
+from repro.core.vectorized import run_vectorized
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.graphs.components import canonical_labels, components_union_find
+from repro.graphs.generators import (
+    path_graph,
+    planted_components,
+    random_graph,
+    random_spanning_tree,
+)
+from repro.hirschberg.pram_impl import hirschberg_on_pram
+from repro.hirschberg.reference import connected_components_reference
+
+PathLike = Union[str, Path]
+
+#: Workload families available to sweeps: name -> (n, density, seed) -> graph.
+WORKLOADS: Dict[str, Callable[[int, float, int], AdjacencyMatrix]] = {
+    "random": lambda n, p, seed: random_graph(n, p, seed=seed),
+    "path": lambda n, p, seed: path_graph(n),
+    "tree": lambda n, p, seed: random_spanning_tree(n, seed=seed),
+    "planted": lambda n, p, seed: planted_components(
+        [max(1, n // 4)] * 4, intra_p=max(p, 0.2), seed=seed
+    ),
+}
+
+
+def _run_engine(name: str, graph: AdjacencyMatrix) -> Dict[str, Optional[int]]:
+    """Execute one engine; returns labels plus engine-native metrics."""
+    if name == "vectorized":
+        res = run_vectorized(graph)
+        return {"labels": res.labels, "generations": res.total_generations,
+                "work": None, "peak_congestion": None}
+    if name == "interpreter":
+        res = connected_components_interpreter(graph)
+        return {"labels": res.labels,
+                "generations": res.total_generations,
+                "work": res.access_log.total_active,
+                "peak_congestion": res.access_log.peak_congestion}
+    if name == "reference":
+        return {"labels": connected_components_reference(graph),
+                "generations": None, "work": None, "peak_congestion": None}
+    if name == "pram":
+        res = hirschberg_on_pram(graph)
+        return {"labels": res.labels, "generations": res.parallel_steps,
+                "work": res.work, "peak_congestion": res.peak_read_congestion}
+    if name == "row":
+        res = RowGCA(graph).run()
+        return {"labels": res.labels, "generations": res.total_generations,
+                "work": res.access_log.total_active,
+                "peak_congestion": res.access_log.peak_congestion}
+    if name == "unionfind":
+        return {"labels": components_union_find(graph),
+                "generations": None, "work": None, "peak_congestion": None}
+    raise ValueError(f"unknown engine {name!r}")
+
+
+ENGINES = ("vectorized", "interpreter", "reference", "pram", "row", "unionfind")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep grid."""
+
+    name: str
+    sizes: Sequence[int]
+    engines: Sequence[str] = ("vectorized", "reference", "unionfind")
+    densities: Sequence[float] = (0.1,)
+    workload: str = "random"
+    seeds: Sequence[int] = (0,)
+
+    def validate(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; have {sorted(WORKLOADS)}"
+            )
+        for engine in self.engines:
+            if engine not in ENGINES:
+                raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
+        if not self.sizes:
+            raise ValueError("sizes must be non-empty")
+
+    @property
+    def run_count(self) -> int:
+        return (len(self.sizes) * len(self.engines) * len(self.densities)
+                * len(self.seeds))
+
+
+@dataclass
+class RunRecord:
+    """One (engine, workload-instance) execution's outcome."""
+
+    sweep: str
+    engine: str
+    workload: str
+    n: int
+    density: float
+    seed: int
+    seconds: float
+    correct: bool
+    generations: Optional[int] = None
+    work: Optional[int] = None
+    peak_congestion: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def run_sweep(spec: SweepSpec) -> List[RunRecord]:
+    """Execute the sweep grid; every run is oracle-verified."""
+    spec.validate()
+    records: List[RunRecord] = []
+    for n in spec.sizes:
+        for density in spec.densities:
+            for seed in spec.seeds:
+                graph = WORKLOADS[spec.workload](n, density, seed)
+                oracle = canonical_labels(graph)
+                for engine in spec.engines:
+                    start = time.perf_counter()
+                    result = _run_engine(engine, graph)
+                    elapsed = time.perf_counter() - start
+                    records.append(
+                        RunRecord(
+                            sweep=spec.name,
+                            engine=engine,
+                            workload=spec.workload,
+                            n=graph.n,
+                            density=density,
+                            seed=seed,
+                            seconds=elapsed,
+                            correct=bool(np.array_equal(result["labels"], oracle)),
+                            generations=result["generations"],
+                            work=result["work"],
+                            peak_congestion=result["peak_congestion"],
+                        )
+                    )
+    return records
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+
+def dumps_records(records: Sequence[RunRecord]) -> str:
+    """Serialise records to a JSON document."""
+    return json.dumps([r.to_dict() for r in records], indent=2)
+
+
+def loads_records(text: str) -> List[RunRecord]:
+    """Parse records written by :func:`dumps_records`."""
+    raw = json.loads(text)
+    if not isinstance(raw, list):
+        raise ValueError("expected a JSON list of run records")
+    return [RunRecord(**entry) for entry in raw]
+
+
+def save_records(records: Sequence[RunRecord], path: PathLike) -> None:
+    Path(path).write_text(dumps_records(records))
+
+
+def load_records(path: PathLike) -> List[RunRecord]:
+    return loads_records(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+
+def summarize(records: Sequence[RunRecord]) -> List[List[object]]:
+    """Aggregate to rows ``[engine, n, runs, median_ms, all_correct,
+    generations]`` sorted by engine then n."""
+    groups: Dict[tuple, List[RunRecord]] = {}
+    for r in records:
+        groups.setdefault((r.engine, r.n), []).append(r)
+    rows = []
+    for (engine, n), group in sorted(groups.items()):
+        times = sorted(r.seconds for r in group)
+        median = times[len(times) // 2]
+        gens = {r.generations for r in group if r.generations is not None}
+        rows.append([
+            engine, n, len(group), round(median * 1e3, 3),
+            all(r.correct for r in group),
+            sorted(gens)[0] if len(gens) == 1 else (sorted(gens) if gens else "-"),
+        ])
+    return rows

@@ -1,0 +1,264 @@
+"""Command-line interface.
+
+Installed as ``python -m repro`` (see ``__main__.py``). Sub-commands:
+
+``solve``
+    Compute the connected components of a graph (edge-list file or a
+    built-in generator) with a selectable engine.
+``tables``
+    Print the Table 1 / Table 2 / total-generation reproductions for one
+    field size.
+``synthesize``
+    Print the Section 4 hardware estimate for one field size.
+``trace``
+    Replay a small instance generation by generation (Figure 3 style).
+``closure``
+    All-pairs reachability via the GCA transitive-closure machine.
+``sweep``
+    Run an oracle-verified engine sweep and print the summary (optionally
+    archiving the raw records as JSON).
+``reproduce``
+    Run the acceptance harness: a quick PASS/FAIL verdict for every
+    experiment E1-E20.
+
+Examples::
+
+    python -m repro solve graph.edges --method vectorized
+    python -m repro solve --random 64 --p 0.1 --seed 7
+    python -m repro tables --n 8
+    python -m repro synthesize --n 16
+    python -m repro trace --n 4 --edges 0-1,1-3
+    python -m repro closure --n 6 --edges 0-1,1-2,4-5 --query 0-2
+    python -m repro sweep --sizes 8,16 --engines vectorized,unionfind
+    python -m repro reproduce [--only E1,E6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import (
+    compare_table1,
+    compare_table2,
+    measured_total,
+    render_table1,
+    render_table2,
+    render_totals,
+)
+from repro.core.api import gca_connected_components
+from repro.core.machine import connected_components_interpreter
+from repro.core.trace import TraceRecorder
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.graphs.generators import from_edges, random_graph
+from repro.graphs.io import load_edge_list
+from repro.hardware import paper_report, synthesize
+
+
+def _parse_edges(spec: str) -> List[tuple]:
+    """Parse ``"0-1,1-3"`` into ``[(0, 1), (1, 3)]``."""
+    edges = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pieces = part.split("-")
+        if len(pieces) != 2:
+            raise ValueError(f"malformed edge {part!r}; expected 'a-b'")
+        edges.append((int(pieces[0]), int(pieces[1])))
+    return edges
+
+
+def _load_graph(args: argparse.Namespace) -> AdjacencyMatrix:
+    if args.graph_file:
+        return load_edge_list(args.graph_file)
+    if args.random:
+        return random_graph(args.random, args.p, seed=args.seed)
+    raise SystemExit("solve: provide an edge-list file or --random N")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result = gca_connected_components(graph, method=args.method)
+    print(f"n = {graph.n}, edges = {graph.edge_count}, method = {args.method}")
+    print(f"components: {result.component_count}")
+    if args.labels:
+        print("labels:", " ".join(map(str, result.labels.tolist())))
+    else:
+        for component in result.components():
+            print(f"  [{component[0]}] {component}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    n = args.n
+    graph = random_graph(n, 0.3, seed=args.seed)
+    res = connected_components_interpreter(graph)
+    print(render_table1(n, compare_table1(n, res.access_log)))
+    print()
+    print(render_table2(n, compare_table2(n, res.access_log)))
+    print()
+    print(render_totals([measured_total(n, res.access_log)]))
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    report = synthesize(args.n)
+    print(f"model  (n={args.n:3d}): {report.summary()}")
+    if args.n == paper_report().n:
+        print(f"paper  (n= 16): {paper_report().summary()}")
+    print(f"device utilisation (EP2C70): {report.device_utilisation:.1%}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    edges = _parse_edges(args.edges) if args.edges else []
+    graph = from_edges(args.n, edges)
+    recorder = TraceRecorder(graph)
+    recorder.run()
+    print(recorder.render())
+    return 0
+
+
+def _cmd_closure(args: argparse.Namespace) -> int:
+    from repro.extensions.transitive_closure import transitive_closure_gca
+
+    edges = _parse_edges(args.edges) if args.edges else []
+    graph = from_edges(args.n, edges)
+    result = transitive_closure_gca(graph, record_access=False)
+    print(f"n = {args.n}, edges = {graph.edge_count}, "
+          f"squarings = {result.squarings}")
+    if args.query:
+        for a, b in _parse_edges(args.query):
+            print(f"reachable({a}, {b}) = {result.reachable(a, b)}")
+    else:
+        for i in range(args.n):
+            reach = np.flatnonzero(result.closure[i]).tolist()
+            print(f"  {i}: {reach}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweep import SweepSpec, dumps_records, run_sweep, summarize
+    from repro.util.formatting import render_table
+
+    spec = SweepSpec(
+        name="cli",
+        sizes=[int(x) for x in args.sizes.split(",") if x],
+        engines=[e for e in args.engines.split(",") if e],
+        densities=[args.p],
+        workload=args.workload,
+        seeds=list(range(args.repeats)),
+    )
+    records = run_sweep(spec)
+    print(render_table(
+        ["engine", "n", "runs", "median ms", "all correct", "generations"],
+        summarize(records),
+        title=f"sweep: {spec.run_count} runs, workload={spec.workload}",
+    ))
+    if not all(r.correct for r in records):
+        print("error: some runs diverged from the oracle", file=sys.stderr)
+        return 1
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(dumps_records(records))
+        print(f"records written to {args.json}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.reproduce import render, run_all
+
+    only = [x for x in args.only.split(",") if x] if args.only else None
+    results = run_all(only=only)
+    print(render(results))
+    return 0 if results and all(r.passed for r in results) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Hirschberg's connected-components algorithm on a Global "
+            "Cellular Automaton (IPPS 2007 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="compute connected components")
+    solve.add_argument("graph_file", nargs="?", help="edge-list file")
+    solve.add_argument("--random", type=int, metavar="N",
+                       help="use a random G(N, p) instead of a file")
+    solve.add_argument("--p", type=float, default=0.1,
+                       help="edge probability for --random (default 0.1)")
+    solve.add_argument("--seed", type=int, default=None, help="random seed")
+    solve.add_argument(
+        "--method",
+        choices=["vectorized", "interpreter", "reference", "pram"],
+        default="vectorized",
+    )
+    solve.add_argument("--labels", action="store_true",
+                       help="print the raw label vector")
+    solve.set_defaults(func=_cmd_solve)
+
+    tables = sub.add_parser("tables", help="print the Table 1/2 reproductions")
+    tables.add_argument("--n", type=int, default=8, help="field size")
+    tables.add_argument("--seed", type=int, default=0)
+    tables.set_defaults(func=_cmd_tables)
+
+    synth = sub.add_parser("synthesize", help="hardware cost estimate")
+    synth.add_argument("--n", type=int, default=16, help="field size")
+    synth.set_defaults(func=_cmd_synthesize)
+
+    trace = sub.add_parser("trace", help="generation-by-generation replay")
+    trace.add_argument("--n", type=int, default=4, help="node count")
+    trace.add_argument("--edges", default="",
+                       help="comma-separated edges, e.g. 0-1,1-3")
+    trace.set_defaults(func=_cmd_trace)
+
+    closure = sub.add_parser("closure", help="all-pairs reachability (GCA)")
+    closure.add_argument("--n", type=int, default=4, help="node count")
+    closure.add_argument("--edges", default="",
+                         help="comma-separated edges, e.g. 0-1,1-3")
+    closure.add_argument("--query", default="",
+                         help="reachability queries, e.g. 0-3,1-2")
+    closure.set_defaults(func=_cmd_closure)
+
+    sweep = sub.add_parser("sweep", help="oracle-verified engine sweep")
+    sweep.add_argument("--sizes", default="8,16", help="comma-separated n")
+    sweep.add_argument("--engines", default="vectorized,unionfind")
+    sweep.add_argument("--p", type=float, default=0.1, help="edge probability")
+    sweep.add_argument("--workload", default="random",
+                       choices=["random", "path", "tree", "planted"])
+    sweep.add_argument("--repeats", type=int, default=1, help="seeds per cell")
+    sweep.add_argument("--json", default="", help="archive records to file")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="PASS/FAIL verdict for every experiment"
+    )
+    reproduce.add_argument("--only", default="",
+                           help="comma-separated experiment ids, e.g. E1,E6")
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, IndexError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

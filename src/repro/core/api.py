@@ -1,0 +1,118 @@
+"""The top-level convenience API of the library.
+
+Most users want one call::
+
+    from repro import gca_connected_components
+    result = gca_connected_components(graph)
+    result.labels          # node -> component representative (minimum index)
+    result.components()    # the components as node lists
+
+``method`` selects the execution engine:
+
+* ``"vectorized"`` (default) -- whole-array NumPy execution, fast;
+* ``"interpreter"`` -- the cell-accurate engine with full congestion
+  instrumentation (slow; use for measurement, small ``n``);
+* ``"reference"`` -- the plain data-parallel Listing-1 program (no GCA
+  field; the specification the others are validated against);
+* ``"pram"`` -- the Listing-1 program on the access-checked PRAM simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.machine import connected_components_interpreter
+from repro.core.vectorized import run_vectorized
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.hirschberg.pram_impl import hirschberg_on_pram
+from repro.hirschberg.reference import hirschberg_reference
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+_METHODS = ("vectorized", "interpreter", "reference", "pram")
+
+
+@dataclass
+class ComponentsResult:
+    """Result of a connected-components run.
+
+    Attributes
+    ----------
+    labels:
+        ``labels[i]`` is the representative (minimum node index) of node
+        ``i``'s component -- the paper's super-node convention.
+    method:
+        The engine that produced the result.
+    detail:
+        The engine-specific result object (``VectorizedResult``,
+        ``InterpreterResult``, ``ReferenceResult`` or ``PRAMRunResult``)
+        for callers that need instrumentation data.
+    """
+
+    labels: np.ndarray
+    method: str
+    detail: object
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return int(self.labels.shape[0])
+
+    @property
+    def component_count(self) -> int:
+        """Number of connected components."""
+        return int(np.unique(self.labels).size)
+
+    def components(self) -> List[List[int]]:
+        """The components as sorted node lists, ordered by representative."""
+        groups: dict = {}
+        for node, label in enumerate(self.labels.tolist()):
+            groups.setdefault(label, []).append(node)
+        return [sorted(groups[k]) for k in sorted(groups)]
+
+    def same_component(self, a: int, b: int) -> bool:
+        """Whether nodes ``a`` and ``b`` are connected."""
+        return bool(self.labels[a] == self.labels[b])
+
+
+def gca_connected_components(
+    graph: GraphLike,
+    method: str = "vectorized",
+    iterations: Optional[int] = None,
+) -> ComponentsResult:
+    """Compute the connected components of ``graph`` with the GCA algorithm.
+
+    Parameters
+    ----------
+    graph:
+        An :class:`~repro.graphs.adjacency.AdjacencyMatrix` or a square
+        symmetric 0/1 array.
+    method:
+        One of ``"vectorized"``, ``"interpreter"``, ``"reference"``,
+        ``"pram"`` (see module docstring).
+    iterations:
+        Override the outer-iteration count (default ``ceil(log2 n)``).
+
+    Returns
+    -------
+    ComponentsResult
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+    if method == "vectorized":
+        detail = run_vectorized(g, iterations=iterations)
+        labels = detail.labels
+    elif method == "interpreter":
+        detail = connected_components_interpreter(g, iterations=iterations)
+        labels = detail.labels
+    elif method == "reference":
+        detail = hirschberg_reference(g, iterations=iterations)
+        labels = detail.labels
+    else:  # pram
+        detail = hirschberg_on_pram(g, iterations=iterations)
+        labels = detail.labels
+    return ComponentsResult(labels=labels, method=method, detail=detail)

@@ -1,0 +1,217 @@
+"""The cell-field layout of the GCA algorithm (Section 3 of the paper).
+
+``n^2`` cells ``(i, j)`` are arranged in a square matrix; ``n`` extra cells
+form an additional bottom row for intermediate results.  Assembled, the
+cell fields overlay three matrices::
+
+    D : (n+1) x n   data
+    P : (n+1) x n   pointers
+    A :  n    x n   adjacency input (square part only)
+
+Notation (paper, Section 3)::
+
+    index = linear index of D and P : 0 .. n^2 + n - 1
+    j     = row(index)    : 0 .. n
+    i     = col(index)    : 0 .. n-1
+    D<j>[i]  = element at row j, column i
+    D_square = first n rows of D          (written D-box in the paper)
+    D_N      = last row of D
+
+The first column of ``D_square`` corresponds to the vectors ``C``/``T`` of
+the reference algorithm; the last row saves intermediate copies of them.
+
+:class:`FieldLayout` is pure address arithmetic (shared by the interpreter,
+the vectorised implementation and the hardware model); :class:`CellField`
+adds the actual state arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.util.sentinels import infinity_for
+from repro.util.validation import check_index, check_positive
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    """Address arithmetic for the ``(n+1) x n`` cell field."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        check_positive("n", self.n)
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Number of rows, ``n + 1`` (square part plus the bottom row)."""
+        return self.n + 1
+
+    @property
+    def cols(self) -> int:
+        """Number of columns, ``n``."""
+        return self.n
+
+    @property
+    def size(self) -> int:
+        """Total number of cells, ``n(n+1)``."""
+        return self.n * (self.n + 1)
+
+    @property
+    def square_size(self) -> int:
+        """Number of cells in the square part, ``n^2``."""
+        return self.n * self.n
+
+    @property
+    def last_row_start(self) -> int:
+        """Linear index of ``D_N[0]`` -- the paper's ``n^2`` offset."""
+        return self.n * self.n
+
+    @property
+    def infinity(self) -> int:
+        """The infinity sentinel used by generations 2/6."""
+        return infinity_for(self.n)
+
+    # ------------------------------------------------------------------
+    def row(self, index: int) -> int:
+        """``row(index)`` of the paper: 0..n."""
+        check_index("index", index, self.size)
+        return index // self.n
+
+    def col(self, index: int) -> int:
+        """``col(index)`` of the paper: 0..n-1."""
+        check_index("index", index, self.size)
+        return index % self.n
+
+    def index(self, row: int, col: int) -> int:
+        """Linear index of ``D<row>[col]``."""
+        check_index("row", row, self.rows)
+        check_index("col", col, self.cols)
+        return row * self.n + col
+
+    def is_last_row(self, index: int) -> bool:
+        """Whether ``index`` addresses a ``D_N`` cell."""
+        return self.row(index) == self.n
+
+    def is_first_column(self, index: int) -> bool:
+        """Whether ``index`` addresses a ``D[0]`` (first-column) cell."""
+        return self.col(index) == 0
+
+    def is_square(self, index: int) -> bool:
+        """Whether ``index`` addresses a ``D_square`` cell."""
+        return index < self.square_size
+
+    def coordinates(self, index: int) -> Tuple[int, int]:
+        """``(row, col)`` of ``index``."""
+        return self.row(index), self.col(index)
+
+    # ------------------------------------------------------------------
+    def first_column_indices(self) -> np.ndarray:
+        """Linear indices of ``D_square``'s first column (the C/T vector)."""
+        return np.arange(self.n, dtype=np.int64) * self.n
+
+    def last_row_indices(self) -> np.ndarray:
+        """Linear indices of ``D_N``."""
+        return self.last_row_start + np.arange(self.n, dtype=np.int64)
+
+    def row_indices(self, row: int) -> np.ndarray:
+        """Linear indices of row ``row``."""
+        check_index("row", row, self.rows)
+        return row * self.n + np.arange(self.n, dtype=np.int64)
+
+    def column_indices(self, col: int) -> np.ndarray:
+        """Linear indices of column ``col`` (full field, n+1 entries)."""
+        check_index("col", col, self.cols)
+        return col + self.n * np.arange(self.rows, dtype=np.int64)
+
+
+class CellField:
+    """The concrete field state: ``D``, ``P`` and the constant ``A`` plane.
+
+    Parameters
+    ----------
+    graph:
+        The input graph; its adjacency matrix populates the per-cell
+        constant ``a`` of the square cells (bottom-row cells carry ``a=0``).
+    """
+
+    def __init__(self, graph: GraphLike):
+        g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+        self.graph = g
+        self.layout = FieldLayout(g.n)
+        self._D = np.zeros((self.layout.rows, self.layout.cols), dtype=np.int64)
+        self._P = np.zeros((self.layout.rows, self.layout.cols), dtype=np.int64)
+        self._A = np.zeros(self.layout.size, dtype=np.int64)
+        self._A[: self.layout.square_size] = g.matrix.ravel()
+        self._A.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of graph nodes."""
+        return self.layout.n
+
+    @property
+    def D(self) -> np.ndarray:
+        """The data matrix, shape ``(n+1, n)`` (live view)."""
+        return self._D
+
+    @property
+    def P(self) -> np.ndarray:
+        """The pointer matrix, shape ``(n+1, n)`` (live view)."""
+        return self._P
+
+    @property
+    def A_plane(self) -> np.ndarray:
+        """The flattened adjacency constants, length ``n(n+1)`` (read-only)."""
+        return self._A
+
+    @property
+    def D_square(self) -> np.ndarray:
+        """View of the square part ``D_square`` (first ``n`` rows)."""
+        return self._D[: self.n, :]
+
+    @property
+    def D_N(self) -> np.ndarray:
+        """View of the last row ``D_N``."""
+        return self._D[self.n, :]
+
+    @property
+    def C_column(self) -> np.ndarray:
+        """Copy of the first column of ``D_square`` -- the C/T vector."""
+        return self._D[: self.n, 0].copy()
+
+    def flat_data(self) -> np.ndarray:
+        """Copy of ``D`` linearised to length ``n(n+1)``."""
+        return self._D.ravel().copy()
+
+    def flat_pointers(self) -> np.ndarray:
+        """Copy of ``P`` linearised to length ``n(n+1)``."""
+        return self._P.ravel().copy()
+
+    def load_flat(self, data: np.ndarray = None, pointers: np.ndarray = None) -> None:
+        """Overwrite ``D``/``P`` from flat arrays of length ``n(n+1)``."""
+        if data is not None:
+            data = np.asarray(data, dtype=np.int64)
+            if data.shape != (self.layout.size,):
+                raise ValueError(
+                    f"data must have shape ({self.layout.size},), got {data.shape}"
+                )
+            self._D[...] = data.reshape(self.layout.rows, self.layout.cols)
+        if pointers is not None:
+            pointers = np.asarray(pointers, dtype=np.int64)
+            if pointers.shape != (self.layout.size,):
+                raise ValueError(
+                    f"pointers must have shape ({self.layout.size},), got {pointers.shape}"
+                )
+            self._P[...] = pointers.reshape(self.layout.rows, self.layout.cols)
+
+    def __repr__(self) -> str:
+        return f"CellField(n={self.n}, cells={self.layout.size})"

@@ -1,0 +1,294 @@
+"""The twelve generations of the GCA algorithm (Figure 2 of the paper).
+
+Each generation is a pair (pointer operation, data operation) applied by
+every *active* cell; activity depends only on the cell's position (and the
+sub-generation counter), pointers may additionally depend on the cell's own
+data (generations 10/11 -- the "extended cells").
+
+The table below summarises the implementation; ``j = row(index)``,
+``i = col(index)``, ``N2 = n^2`` (start of the last row), ``INF`` the
+infinity sentinel, ``a`` the cell's adjacency constant.  ``D_square`` are
+the rows ``j < n``; ``D_N`` is the row ``j = n``.
+
+====  =======================  ==========================  =============================================
+gen   active cells             pointer p                   data operation
+====  =======================  ==========================  =============================================
+0     all                      (no read)                   d <- j
+1     all                      i * n                       d <- d*
+2     D_square                 N2 + j                      d <- d if (a = 1 and d != d*) else INF
+3.s   aligned pairs, j < n     index + 2^s                 d <- min(d, d*)
+4     i = 0, j < n             N2 + j                      d <- d* if d = INF else d
+5     all                      i * n                       d <- d if j = n else d*
+6     D_square                 N2 + i                      d <- d if (d* = j and d != j) else INF
+7.s   = generation 3.s
+8     = generation 4
+9     all                      i*n if j = n else j*n       d <- d*
+10.s  i = 0, j < n             d * n                       d <- d*
+11    i = 0, j < n             d * n + 1                   d <- min(d, d*)
+====  =======================  ==========================  =============================================
+
+Two readings deviate from the scanned paper text and are justified in
+DESIGN.md ("Faithfulness notes"):
+
+* generation 6 points at ``D_N[col]`` (the prose says ``<n>[j]``): step 3
+  needs ``C(col)`` to test membership ``C(col) = j``, and ``C`` lives in
+  ``D_N`` indexed by node, i.e. by column;
+* generation 6's keep-condition is ``(d* = j) and (d != j)`` (the
+  complement of the prose's kill-condition, which is garbled in the scan).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.field import FieldLayout
+
+
+class Generation(ABC):
+    """One generation's cell behaviour, in scalar (per-cell) form.
+
+    The interpreter adapts instances to the generic GCA engine; the
+    vectorised implementation mirrors them with whole-array operations and
+    is cross-validated cell by cell in the tests.
+    """
+
+    #: Diagnostic name, e.g. ``"gen2"`` or ``"gen3.sub1"``.
+    label: str = "generation"
+    #: Whether active cells perform a global read this generation.
+    reads: bool = True
+
+    @abstractmethod
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        """Whether the cell at ``index`` computes this generation."""
+
+    @abstractmethod
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        """The pointer operation (may depend on the cell's own data)."""
+
+    @abstractmethod
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        """The data operation; returns the cell's next ``d``."""
+
+
+class Gen0Initialise(Generation):
+    """Generation 0: ``d <- row(index)`` for the whole field.
+
+    The reference algorithm only needs ``C(i) <- i`` in the first column,
+    but initialising the whole field "keeps the GCA algorithm (and the
+    logic in a hardware implementation) as simple as possible"; the other
+    columns are overwritten in generation 1 anyway.
+    """
+
+    label = "gen0"
+    reads = False
+
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        return True
+
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        return index  # unused; kept in range for safety
+
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        return layout.row(index)
+
+
+class Gen1CopyVectorToRows(Generation):
+    """Generation 1: copy the C vector (first column) into every row.
+
+    ``P<j>[i] = <i>[0]``, ``d <- d*``: afterwards every row -- including
+    ``D_N`` -- holds ``[C(0), C(1), ..., C(n-1)]``.
+    """
+
+    label = "gen1"
+
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        return True
+
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        return layout.col(index) * layout.n
+
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        return d_star
+
+
+class Gen2MaskNonNeighbors(Generation):
+    """Generation 2: keep only foreign-component neighbour candidates.
+
+    Cell ``(j, i)`` holds ``C(i)`` and reads ``d* = D_N[j] = C(j)``; it
+    keeps its value iff ``A(j, i) = 1`` and ``C(i) != C(j)``, otherwise it
+    becomes INF.  The surviving entries of row ``j`` are exactly the step-2
+    candidate set ``{C(i) | A(j,i)=1, C(i) != C(j)}``.
+    """
+
+    label = "gen2"
+
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        return layout.is_square(index)
+
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        return layout.last_row_start + layout.row(index)
+
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        return d if (a == 1 and d != d_star) else layout.infinity
+
+
+class Gen3ReduceMin(Generation):
+    """Generations 3/7 (one sub-generation): tree reduction of row minima.
+
+    Sub-generation ``s`` activates the cells whose column is aligned to
+    ``2^(s+1)`` and whose partner at stride ``2^s`` is inside the row;
+    each active cell takes ``min(d, d*)`` with its partner.  After
+    ``ceil(log2 n)`` sub-generations column 0 holds each row's minimum.
+    """
+
+    def __init__(self, sub_generation: int, label: str = "gen3"):
+        if sub_generation < 0:
+            raise ValueError(f"sub_generation must be >= 0, got {sub_generation}")
+        self.sub_generation = sub_generation
+        self.stride = 1 << sub_generation
+        self.label = f"{label}.sub{sub_generation}"
+
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        if layout.is_last_row(index):
+            return False
+        col = layout.col(index)
+        return col % (2 * self.stride) == 0 and col + self.stride < layout.n
+
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        return index + self.stride
+
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        return d_star if d_star < d else d
+
+
+class Gen4FallbackToOwn(Generation):
+    """Generations 4/8: replace an INF minimum by the node's own label.
+
+    Only the first column computes: if the row minimum is INF (no foreign
+    neighbour / no member candidate), the cell re-reads ``D_N[j]`` -- which
+    still holds ``C(j)`` -- realising the "if none then C(i)" clause.
+    """
+
+    def __init__(self, label: str = "gen4"):
+        self.label = label
+
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        return layout.is_first_column(index) and not layout.is_last_row(index)
+
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        return layout.last_row_start + layout.row(index)
+
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        return d_star if d == layout.infinity else d
+
+
+class Gen5CopyVectorToRowsKeepLast(Generation):
+    """Generation 5: like generation 1, but ``D_N`` keeps its value.
+
+    The first column now holds the step-2 result ``T``; it is copied into
+    every row of ``D_square`` while the last row retains the saved ``C``
+    vector (needed by generations 6 and 8).
+    """
+
+    label = "gen5"
+
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        return True
+
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        return layout.col(index) * layout.n
+
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        return d if layout.is_last_row(index) else d_star
+
+
+class Gen6MaskNonMembers(Generation):
+    """Generation 6: keep only the members' candidates for each super node.
+
+    Cell ``(j, i)`` holds ``T(i)`` (copied in generation 5) and reads
+    ``d* = D_N[i] = C(i)``; it keeps its value iff ``C(i) = j`` (node ``i``
+    is a member of component ``j``) and ``T(i) != j`` (the candidate is
+    non-trivial), otherwise INF.  Row ``j`` then holds step 3's candidate
+    set ``{T(i) | C(i) = j, T(i) != j}``.
+    """
+
+    label = "gen6"
+
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        return layout.is_square(index)
+
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        return layout.last_row_start + layout.col(index)
+
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        j = layout.row(index)
+        return d if (d_star == j and d != j) else layout.infinity
+
+
+class Gen9DistributeAndArchive(Generation):
+    """Generation 9: broadcast T along rows and archive it in ``D_N``.
+
+    ``D_square`` cell ``(j, i)`` reads ``D<j>[0] = T(j)``, so every column
+    of the square becomes a copy of T (column 1 is what generation 11
+    dereferences); last-row cell ``(n, i)`` reads ``D<i>[0] = T(i)``, so
+    ``D_N`` archives T itself.  Since step 4 is ``C <- T``, the first
+    column now *is* the new C.
+    """
+
+    label = "gen9"
+
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        return True
+
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        if layout.is_last_row(index):
+            return layout.col(index) * layout.n
+        return layout.row(index) * layout.n
+
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        return d_star
+
+
+class Gen10PointerJump(Generation):
+    """Generation 10 (one of ``ceil(log2 n)`` sub-generations): jumping.
+
+    Only the first column computes; the pointer is *data dependent*
+    (``p = d * n`` -- the cell of row ``C(j)``, column 0), realising
+    ``C(j) <- C(C(j))`` in a single generation.  These are the paper's
+    "extended cells".
+    """
+
+    def __init__(self, sub_generation: int):
+        if sub_generation < 0:
+            raise ValueError(f"sub_generation must be >= 0, got {sub_generation}")
+        self.sub_generation = sub_generation
+        self.label = f"gen10.sub{sub_generation}"
+
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        return layout.is_first_column(index) and not layout.is_last_row(index)
+
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        return d * layout.n
+
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        return d_star
+
+
+class Gen11ResolvePairs(Generation):
+    """Generation 11: ``C(j) <- min(C(j), T(C(j)))``.
+
+    Data-dependent pointer ``p = d * n + 1`` dereferences column 1, which
+    has held ``T`` since generation 9; taking the minimum with the own
+    value resolves mutual super-node pairs to the smaller index (step 6).
+    """
+
+    label = "gen11"
+
+    def active(self, layout: FieldLayout, index: int) -> bool:
+        return layout.is_first_column(index) and not layout.is_last_row(index)
+
+    def pointer(self, layout: FieldLayout, index: int, d: int) -> int:
+        return d * layout.n + 1
+
+    def data(self, layout: FieldLayout, index: int, d: int, a: int, d_star: int) -> int:
+        return d_star if d_star < d else d

@@ -1,0 +1,219 @@
+"""The n-cell design alternative (Section 3's design decision).
+
+"The first design decision is about the number and the structure of the
+cells.  [...] For this algorithm we decide between n and n^2 cells.  We
+have decided for the n^2 case because we want to design and evaluate the
+GCA algorithm with the highest degree of parallelism."
+
+This module implements the road not taken: a GCA with only **n cells**,
+one per graph node.  Cell ``i`` stores its own registers ``C(i)``/``T(i)``
+(plus a scratch register) and its row ``A(i, .)`` of the adjacency matrix
+as local constants.  The minimum computations of steps 2 and 3 cannot be
+tree-reduced across cells any more; instead each cell *scans* the other
+cells in ``n - 1`` sub-generations using a **rotation access pattern**
+(cell ``i`` reads cell ``(i + k) mod n`` in sub-generation ``k``), so
+every sub-generation has congestion exactly 1.
+
+Step 3's scan needs both the partner's ``C`` and ``T`` registers, so the
+row machine is a **two-handed** GCA (the paper's terminology); everything
+else is one-handed.
+
+Costs compared to the paper's n^2-cell design (the ablation
+`benchmarks/bench_ncells_ablation.py` tabulates this):
+
+================  =======================  =========================
+quantity          n^2-cell design          n-cell design (this file)
+================  =======================  =========================
+cells             n(n + 1)                 n
+generations       1 + log n (3 log n + 8)  1 + log n (2n + log n + 7)
+peak congestion   n + 1 (broadcasts)       <= n (only pointer jumping)
+state memory      ~3 n^2 words             n^2 bits + 3n words
+================  =======================  =========================
+
+Both designs store Theta(n^2) bits -- the adjacency matrix dominates --
+which is exactly the paper's argument for why reducing the cell count
+below n^2 buys no asymptotic hardware advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.gca.instrumentation import AccessLog, GenerationStats
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.util.intmath import jump_iterations, outer_iterations
+from repro.util.sentinels import infinity_for
+from repro.util.validation import check_positive
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+
+def row_generations_per_iteration(n: int) -> int:
+    """Closed form for one outer iteration of the n-cell design.
+
+    init2 + (n-1) scan2 + fix2 + init3 + n scan3 + fix3 + adopt +
+    log n jumps + resolve  =  2n + 5 + log n.
+    """
+    check_positive("n", n)
+    return 2 * n + 5 + jump_iterations(n)
+
+
+def row_total_generations(n: int, iterations: Optional[int] = None) -> int:
+    """Total generations: ``1 + iterations * (2n + 5 + log n)``.
+
+    The leading 1 is the initialisation generation (``C(i) <- i``).
+    """
+    check_positive("n", n)
+    iters = outer_iterations(n) if iterations is None else iterations
+    return 1 + iters * row_generations_per_iteration(n)
+
+
+@dataclass
+class RowGCAResult:
+    """Outcome of an n-cell run."""
+
+    labels: np.ndarray
+    n: int
+    iterations: int
+    access_log: AccessLog = field(default_factory=AccessLog)
+
+    @property
+    def total_generations(self) -> int:
+        return self.access_log.total_generations
+
+    @property
+    def component_count(self) -> int:
+        return int(np.unique(self.labels).size)
+
+
+class RowGCA:
+    """The n-cell GCA machine.
+
+    The implementation is vectorised (all n cells advance as NumPy rows)
+    but follows strict synchronous semantics: every sub-generation reads
+    the register state from the start of the sub-generation and commits
+    at its end.  Access statistics are recorded per sub-generation with
+    the same :class:`~repro.gca.instrumentation.GenerationStats` shape the
+    n^2-cell machines use, so the ablation can compare them directly.
+    """
+
+    def __init__(self, graph: GraphLike, iterations: Optional[int] = None,
+                 record_access: bool = True):
+        g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+        self.graph = g
+        self.n = g.n
+        self.inf = infinity_for(g.n)
+        self.iterations = (
+            outer_iterations(g.n) if iterations is None else iterations
+        )
+        if self.iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {self.iterations}")
+        self.record_access = record_access
+        self.access_log = AccessLog()
+        self.C = np.zeros(g.n, dtype=np.int64)
+        self.T = np.zeros(g.n, dtype=np.int64)
+        self.S = np.zeros(g.n, dtype=np.int64)  # scratch register
+
+    # ------------------------------------------------------------------
+    def _record(self, label: str, active: int, targets: Optional[np.ndarray],
+                reads_per_target: int = 1) -> None:
+        if not self.record_access:
+            return
+        reads = {}
+        if targets is not None and targets.size:
+            counts = np.bincount(targets, minlength=self.n) * reads_per_target
+            reads = {int(i): int(c) for i, c in enumerate(counts) if c}
+        self.access_log.record(
+            GenerationStats(label=label, active_cells=active, reads_per_cell=reads)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> RowGCAResult:
+        """Execute the full algorithm and return the result."""
+        n, inf = self.n, self.inf
+        ids = np.arange(n, dtype=np.int64)
+        A = self.graph.matrix
+
+        # generation 0: C(i) <- i (local, no reads)
+        self.C = ids.copy()
+        self._record("gen0", n, None)
+
+        for it in range(self.iterations):
+            tag = f"it{it}"
+
+            # ---- step 2: scan for the smallest foreign neighbour -------
+            self.S[:] = inf
+            self._record(f"{tag}.s2init", n, None)
+            for k in range(1, n):
+                partner = (ids + k) % n
+                c_p = self.C[partner]                     # one global read
+                adjacent = A[ids, partner] == 1
+                foreign = c_p != self.C
+                better = adjacent & foreign & (c_p < self.S)
+                self.S = np.where(better, c_p, self.S)
+                self._record(f"{tag}.s2scan{k}", n, partner)
+            self.T = np.where(self.S == inf, self.C, self.S)
+            self._record(f"{tag}.s2fix", n, None)
+
+            # ---- step 3: scan the members' candidates ------------------
+            self.S[:] = inf
+            self._record(f"{tag}.s3init", n, None)
+            for k in range(n):
+                partner = (ids + k) % n
+                c_p = self.C[partner]                     # two global reads
+                t_p = self.T[partner]                     # (two-handed cell)
+                member = c_p == ids
+                nontrivial = t_p != ids
+                better = member & nontrivial & (t_p < self.S)
+                self.S = np.where(better, t_p, self.S)
+                self._record(f"{tag}.s3scan{k}", n, partner, reads_per_target=2)
+            new_T = np.where(self.S == inf, self.C, self.S)
+            self.T = new_T
+            self._record(f"{tag}.s3fix", n, None)
+
+            # ---- step 4: adopt (local) ---------------------------------
+            self.C = self.T.copy()
+            self._record(f"{tag}.s4adopt", n, None)
+
+            # ---- step 5: pointer jumping -------------------------------
+            for j in range(jump_iterations(n)):
+                targets = self.C.copy()
+                self.C = self.C[targets]
+                self._record(f"{tag}.s5jump{j}", n, targets)
+
+            # ---- step 6: resolve mutual pairs --------------------------
+            targets = self.C.copy()
+            self.C = np.minimum(self.C, self.T[targets])
+            self._record(f"{tag}.s6resolve", n, targets)
+
+        return RowGCAResult(
+            labels=self.C.copy(),
+            n=n,
+            iterations=self.iterations,
+            access_log=self.access_log,
+        )
+
+
+def connected_components_row_gca(
+    graph: GraphLike, iterations: Optional[int] = None
+) -> np.ndarray:
+    """Convenience wrapper: canonical labels via the n-cell design."""
+    return RowGCA(graph, iterations=iterations).run().labels
+
+
+def memory_words(n: int) -> dict:
+    """State storage of the two designs, in comparable units.
+
+    Words are ``2 ceil(log2 n)``-bit registers; the adjacency input is
+    counted in bits separately because both designs need it verbatim.
+    """
+    check_positive("n", n)
+    return {
+        "n2_design_words": 2 * n * (n + 1),   # D and P planes
+        "n2_design_adjacency_bits": n * n,
+        "row_design_words": 3 * n,            # C, T, S registers
+        "row_design_adjacency_bits": n * n,
+    }

@@ -1,0 +1,150 @@
+"""The control state machine of Figure 2.
+
+In the hardware design, a central state machine sequences the generations:
+each state selects the pointer operation and the data operation every cell
+applies, and log-counters drive the sub-generation loops of generations
+3/7 (reduction) and 10 (jumping) and the outer iteration loop.
+
+:class:`HirschbergStateMachine` is that controller in executable form.  It
+is deliberately separate from the *schedule* (the flat, precomputed list in
+:mod:`repro.core.schedule`): the state machine transitions dynamically like
+the hardware does, and the test-suite verifies the two views agree exactly
+-- the dynamic walk must emit the static schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.generations import Generation
+from repro.core.schedule import (
+    STEP_OF_GENERATION,
+    ScheduledGeneration,
+    iteration_generations,
+)
+from repro.util.intmath import (
+    jump_iterations,
+    outer_iterations,
+    reduction_subgenerations,
+)
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MachineState:
+    """The externally visible controller state."""
+
+    iteration: int
+    generation_number: int
+    sub_generation: int
+    step: int
+    done: bool
+
+    @property
+    def label(self) -> str:
+        if self.done:
+            return "done"
+        if self.generation_number == 0:
+            return "gen0"
+        base = f"it{self.iteration}.gen{self.generation_number}"
+        if self.generation_number in (3, 7, 10):
+            return f"{base}.sub{self.sub_generation}"
+        return base
+
+
+class HirschbergStateMachine:
+    """Sequences the generations of the GCA algorithm for ``n`` nodes.
+
+    Usage::
+
+        sm = HirschbergStateMachine(n)
+        while not sm.done:
+            scheduled = sm.advance()      # the generation to execute now
+            ...apply scheduled.rule...
+
+    The machine mirrors the hardware controller: generation 0 once, then
+    ``ceil(log2 n)`` iterations of generations 1..11 with the reduction and
+    jumping loops counted by sub-generation registers.
+    """
+
+    def __init__(self, n: int, iterations: Optional[int] = None):
+        self.n = check_positive("n", n)
+        self.iterations = (
+            outer_iterations(n) if iterations is None else iterations
+        )
+        if self.iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {self.iterations}")
+        self.subgens = reduction_subgenerations(n)
+        self.jumps = jump_iterations(n)
+        self._iteration = -1        # -1 while in generation 0
+        self._position = -1         # index into the current iteration's list
+        self._current_list = None
+        self._emitted_gen0 = False
+        self._generation_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the program has finished."""
+        if not self._emitted_gen0:
+            return False
+        if self.iterations == 0:
+            return True
+        if self._iteration < self.iterations - 1:
+            return False
+        return self._current_list is not None and self._position >= len(self._current_list) - 1
+
+    @property
+    def generations_executed(self) -> int:
+        """How many generations have been emitted so far."""
+        return self._generation_count
+
+    def state(self) -> MachineState:
+        """The current controller state (the *last emitted* generation, or
+        the pre-start state before the first :meth:`advance`)."""
+        if not self._emitted_gen0:
+            return MachineState(
+                iteration=-1, generation_number=0, sub_generation=0,
+                step=1, done=False,
+            )
+        if self._current_list is None or self._position < 0:
+            return MachineState(
+                iteration=-1, generation_number=0, sub_generation=0,
+                step=1, done=self.done,
+            )
+        sched = self._current_list[self._position]
+        return MachineState(
+            iteration=sched.iteration,
+            generation_number=sched.number,
+            sub_generation=sched.sub_generation,
+            step=STEP_OF_GENERATION[sched.number],
+            done=self.done,
+        )
+
+    # ------------------------------------------------------------------
+    def advance(self) -> ScheduledGeneration:
+        """Transition to the next generation and return it."""
+        if not self._emitted_gen0:
+            self._emitted_gen0 = True
+            self._generation_count += 1
+            from repro.core.generations import Gen0Initialise
+
+            return ScheduledGeneration(
+                iteration=-1, number=0, sub_generation=0, rule=Gen0Initialise()
+            )
+        if self._current_list is None or self._position >= len(self._current_list) - 1:
+            # Move to the next outer iteration.
+            if self._iteration >= self.iterations - 1:
+                raise StopIteration("the state machine has finished")
+            self._iteration += 1
+            self._current_list = iteration_generations(self.n, self._iteration)
+            self._position = 0
+        else:
+            self._position += 1
+        self._generation_count += 1
+        return self._current_list[self._position]
+
+    def __iter__(self) -> Iterator[ScheduledGeneration]:
+        while not self.done:
+            yield self.advance()

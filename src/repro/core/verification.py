@@ -1,0 +1,164 @@
+"""Lockstep verification: the GCA field checked against the reference.
+
+A :class:`LockstepValidator` runs the vectorised GCA field and the
+Listing-1 reference algorithm *side by side* and checks, at every
+synchronisation point (the end of each outer iteration), that the field's
+first column equals the reference's ``C`` vector -- plus structural
+invariants of the field itself (value ranges, ``D_N`` consistency).
+
+This serves two purposes:
+
+* **regression armour** -- any future change to a generation rule that
+  silently diverges from the reference is caught at the first iteration
+  boundary, with a precise report;
+* **failure injection** -- the test-suite corrupts the field mid-run and
+  asserts the validator detects it (the monitors are themselves tested,
+  not just trusted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.field import FieldLayout
+from repro.core.schedule import full_schedule
+from repro.core.vectorized import apply_generation
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.hirschberg.steps import one_iteration, step1_init
+from repro.util.intmath import jump_iterations, outer_iterations
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+
+class LockstepViolation(AssertionError):
+    """The field diverged from the reference or broke an invariant."""
+
+
+@dataclass
+class CheckRecord:
+    """One synchronisation point's verdict."""
+
+    iteration: int
+    label: str
+    ok: bool
+    message: str = ""
+
+
+@dataclass
+class LockstepReport:
+    """Outcome of a validated run."""
+
+    labels: np.ndarray
+    checks: List[CheckRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def failures(self) -> List[CheckRecord]:
+        return [c for c in self.checks if not c.ok]
+
+
+class LockstepValidator:
+    """Runs the GCA field against the reference, iteration by iteration.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    strict:
+        Raise :class:`LockstepViolation` at the first failed check
+        (default).  With ``strict=False`` all checks are recorded and
+        returned in the report instead.
+    """
+
+    def __init__(self, graph: GraphLike, strict: bool = True):
+        g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+        self.graph = g
+        self.layout = FieldLayout(g.n)
+        self.strict = strict
+        self._corruptor = None
+
+    def inject(self, after_label: str, corruptor) -> "LockstepValidator":
+        """Register a fault: after the generation labelled ``after_label``,
+        ``corruptor(D)`` may mutate the field in place (testing hook)."""
+        self._corruptor = (after_label, corruptor)
+        return self
+
+    # ------------------------------------------------------------------
+    def _check(self, report: LockstepReport, iteration: int, label: str,
+               condition: bool, message: str) -> None:
+        record = CheckRecord(iteration=iteration, label=label, ok=bool(condition),
+                             message="" if condition else message)
+        report.checks.append(record)
+        if self.strict and not record.ok:
+            raise LockstepViolation(f"[{label}] {message}")
+
+    def run(self) -> LockstepReport:
+        """Execute the validated run."""
+        n = self.graph.n
+        layout = self.layout
+        A = self.graph.matrix.astype(np.int64)
+        iters = outer_iterations(n)
+        jumps = jump_iterations(n)
+
+        D = np.zeros((n + 1, n), dtype=np.int64)
+        C_ref = step1_init(n)
+        report = LockstepReport(labels=np.zeros(n, dtype=np.int64))
+
+        schedule = full_schedule(n)
+        ref_iteration = 0
+        for sched in schedule:
+            D = apply_generation(sched, D, A, layout)
+            if self._corruptor is not None and sched.label == self._corruptor[0]:
+                self._corruptor[1](D)
+
+            # field invariant: values are node ids, row numbers or INF
+            self._check(
+                report, ref_iteration, sched.label,
+                bool((D >= 0).all() and (D <= layout.infinity).all()),
+                f"field values out of range after {sched.label}",
+            )
+
+            if sched.number == 0:
+                self._check(
+                    report, ref_iteration, sched.label,
+                    bool(np.array_equal(D[:n, 0], C_ref)),
+                    "initialisation does not match C(i) = i",
+                )
+            elif sched.number == 4:
+                # after generation 4, column 0 must equal step 2's T
+                from repro.hirschberg.steps import step2_candidate_components
+
+                T2 = step2_candidate_components(self.graph, C_ref)
+                self._check(
+                    report, ref_iteration, sched.label,
+                    bool(np.array_equal(D[:n, 0], T2)),
+                    f"column 0 != step-2 T: {D[:n, 0].tolist()} vs {T2.tolist()}",
+                )
+            elif sched.number == 11:
+                # iteration boundary: advance the reference and compare C
+                C_ref, _T = one_iteration(self.graph, C_ref, jumps)
+                self._check(
+                    report, ref_iteration, sched.label,
+                    bool(np.array_equal(D[:n, 0], C_ref)),
+                    f"iteration {ref_iteration}: field C "
+                    f"{D[:n, 0].tolist()} != reference {C_ref.tolist()}",
+                )
+                ref_iteration += 1
+
+        self._check(
+            report, iters, "final",
+            bool(np.array_equal(D[:n, 0], C_ref)),
+            "final labels diverged from the reference",
+        )
+        report.labels = D[:n, 0].copy()
+        return report
+
+
+def validated_connected_components(graph: GraphLike) -> np.ndarray:
+    """Connected components with full lockstep verification enabled."""
+    return LockstepValidator(graph, strict=True).run().labels

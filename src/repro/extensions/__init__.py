@@ -1,0 +1,33 @@
+"""Extensions beyond the paper's core experiment.
+
+The paper's conclusion announces "the implementation of more elaborate
+PRAM algorithms" as future work, and Hirschberg's original STOC'76 paper
+treats transitive closure alongside connected components.  This package
+implements those natural next steps on the same engines:
+
+* :mod:`~repro.extensions.transitive_closure` -- reachability via
+  ``ceil(log2 n)`` Boolean matrix squarings on an ``n x n`` two-handed
+  GCA field (and a vectorised reference);
+* :mod:`~repro.extensions.spanning_forest` -- a spanning forest extracted
+  from the hook choices Hirschberg's algorithm makes, per iteration.
+"""
+
+from repro.extensions.spanning_forest import (
+    SpanningForestResult,
+    spanning_forest,
+)
+from repro.extensions.transitive_closure import (
+    TransitiveClosureResult,
+    reachability_matrix,
+    transitive_closure_gca,
+    transitive_closure_reference,
+)
+
+__all__ = [
+    "SpanningForestResult",
+    "spanning_forest",
+    "TransitiveClosureResult",
+    "reachability_matrix",
+    "transitive_closure_gca",
+    "transitive_closure_reference",
+]

@@ -1,0 +1,92 @@
+"""The Global Cellular Automaton (GCA) engine.
+
+The GCA model [Hoffmann et al. 2000/2001] extends the classical CA: cells
+still update synchronously under a local rule, but each cell carries an
+*access information part* (here: one pointer) through which it may read the
+state of **any** cell in the field, and the pointer may change from
+generation to generation.  Reads are concurrent, writes are owner-only
+(CROW semantics).
+
+Public surface:
+
+* :class:`~repro.gca.automaton.GlobalCellularAutomaton` -- the synchronous
+  interpreter with full access instrumentation;
+* :class:`~repro.gca.rules.Rule` / :class:`~repro.gca.rules.FunctionRule` /
+  :class:`~repro.gca.rules.RuleTable` -- the pointer-operation /
+  data-operation rule abstraction of the paper's Figure 2;
+* :class:`~repro.gca.cell.CellView`, :class:`~repro.gca.cell.Neighbor`,
+  :class:`~repro.gca.cell.CellUpdate` -- the per-cell value types;
+* :mod:`~repro.gca.instrumentation` -- active-cell / read-access /
+  congestion accounting (Table 1);
+* :mod:`~repro.gca.ca` -- classical CAs embedded in the GCA engine.
+"""
+
+from repro.gca.algorithms import (
+    gca_bitonic_sort,
+    gca_list_ranking,
+    gca_prefix_sum,
+    gca_reduce,
+)
+from repro.gca.automaton import GlobalCellularAutomaton
+from repro.gca.ca import CellularAutomaton, game_of_life_rule, majority_rule
+from repro.gca.cell import KEEP, CellUpdate, CellView, Neighbor
+from repro.gca.errors import (
+    GCAError,
+    HandednessViolation,
+    OwnerWriteViolation,
+    PointerRangeError,
+    RuleResultError,
+)
+from repro.gca.instrumentation import AccessLog, GenerationStats, merge_stats
+from repro.gca.numerical import (
+    UNREACHED,
+    gca_bfs_levels,
+    gca_matvec,
+    gca_sssp,
+    generations_per_matvec,
+    repeated_matvec,
+)
+from repro.gca.logic_simulation import (
+    Circuit,
+    GateKind,
+    LogicSimulator,
+    ripple_carry_adder,
+)
+from repro.gca.rules import FunctionRule, IdentityRule, Rule, RuleTable
+
+__all__ = [
+    "GlobalCellularAutomaton",
+    "gca_bitonic_sort",
+    "gca_list_ranking",
+    "gca_prefix_sum",
+    "gca_reduce",
+    "CellularAutomaton",
+    "game_of_life_rule",
+    "majority_rule",
+    "KEEP",
+    "CellUpdate",
+    "CellView",
+    "Neighbor",
+    "GCAError",
+    "HandednessViolation",
+    "OwnerWriteViolation",
+    "PointerRangeError",
+    "RuleResultError",
+    "AccessLog",
+    "UNREACHED",
+    "gca_bfs_levels",
+    "gca_matvec",
+    "gca_sssp",
+    "generations_per_matvec",
+    "repeated_matvec",
+    "Circuit",
+    "GateKind",
+    "LogicSimulator",
+    "ripple_carry_adder",
+    "GenerationStats",
+    "merge_stats",
+    "FunctionRule",
+    "IdentityRule",
+    "Rule",
+    "RuleTable",
+]

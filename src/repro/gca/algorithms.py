@@ -1,0 +1,196 @@
+"""A library of classic GCA algorithms on the generic engine.
+
+The paper lists the GCA's application classes: "graph algorithms,
+hypercube algorithms, logic simulation, numerical algorithms, ...".  This
+module implements representative members of those classes directly on the
+:class:`~repro.gca.automaton.GlobalCellularAutomaton`, demonstrating the
+engine's generality beyond the connected-components mapping and providing
+comparison material for the PRAM primitives of
+:mod:`repro.pram.program`:
+
+* :func:`gca_reduce` -- hypercube tree reduction (min/max/sum) in
+  ``ceil(log2 n)`` generations;
+* :func:`gca_prefix_sum` -- Hillis-Steele prefix sums by distance
+  doubling;
+* :func:`gca_list_ranking` -- Wyllie pointer jumping, the very mechanism
+  of the CC algorithm's generation 10;
+* :func:`gca_bitonic_sort` -- Batcher's bitonic sorter, the canonical
+  hypercube algorithm: ``O(log^2 n)`` generations of compare-exchange
+  with partners at hypercube distances.
+
+Every algorithm is a *uniform, one-handed* GCA: each cell issues exactly
+one global read per generation and writes only itself.  The compare-
+exchange of the bitonic sorter works under owner-write because both
+partners read each other and each keeps min or max according to its own
+position -- the standard trick that also powers the paper's CROW claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.gca.automaton import GlobalCellularAutomaton
+from repro.gca.cell import CellUpdate, CellView, Neighbor
+from repro.gca.rules import FunctionRule
+from repro.util.intmath import ceil_log2, is_power_of_two
+from repro.util.validation import check_positive
+
+
+def _engine(values: Sequence[int], record_access: bool = False) -> GlobalCellularAutomaton:
+    data = np.asarray(list(values), dtype=np.int64)
+    check_positive("n", data.size)
+    return GlobalCellularAutomaton(
+        size=data.size, initial_data=data, record_access=record_access
+    )
+
+
+# ----------------------------------------------------------------------
+# reduction
+# ----------------------------------------------------------------------
+
+_OPS: dict = {
+    "min": min,
+    "max": max,
+    "sum": lambda a, b: a + b,
+}
+
+
+def gca_reduce(values: Sequence[int], op_name: str = "min") -> int:
+    """Reduce ``values`` to one result in ``ceil(log2 n)`` generations.
+
+    Generation ``s`` lets the cells aligned to ``2^(s+1)`` read their
+    partner at stride ``2^s`` -- exactly the access pattern of the CC
+    algorithm's generations 3/7, lifted out as a standalone kernel.
+    The result lands in cell 0.
+    """
+    if op_name not in _OPS:
+        raise ValueError(f"op_name must be one of {sorted(_OPS)}, got {op_name!r}")
+    op = _OPS[op_name]
+    engine = _engine(values)
+    n = engine.size
+    for s in range(ceil_log2(n) if n > 1 else 0):
+        stride = 1 << s
+
+        def active(cell: CellView, _stride=stride) -> bool:
+            return cell.index % (2 * _stride) == 0 and cell.index + _stride < n
+
+        def pointer(cell: CellView, _stride=stride) -> int:
+            return cell.index + _stride
+
+        def update(cell: CellView, nb: Neighbor, _op=op) -> CellUpdate:
+            return CellUpdate(data=_op(cell.data, nb.data))
+
+        engine.step(FunctionRule(pointer, update, active, name=f"reduce{s}"))
+    return int(engine.data[0])
+
+
+# ----------------------------------------------------------------------
+# prefix sums
+# ----------------------------------------------------------------------
+
+def gca_prefix_sum(values: Sequence[int]) -> List[int]:
+    """Inclusive prefix sums by distance doubling (``ceil(log2 n)``
+    generations; cell ``i`` reads cell ``i - 2^s`` while it exists)."""
+    engine = _engine(values)
+    n = engine.size
+    for s in range(ceil_log2(n) if n > 1 else 0):
+        stride = 1 << s
+
+        def active(cell: CellView, _stride=stride) -> bool:
+            return cell.index >= _stride
+
+        def pointer(cell: CellView, _stride=stride) -> int:
+            return cell.index - _stride
+
+        def update(cell: CellView, nb: Neighbor) -> CellUpdate:
+            return CellUpdate(data=cell.data + nb.data)
+
+        engine.step(FunctionRule(pointer, update, active, name=f"scan{s}"))
+    return engine.data.tolist()
+
+
+# ----------------------------------------------------------------------
+# list ranking
+# ----------------------------------------------------------------------
+
+def gca_list_ranking(successors: Sequence[int]) -> List[int]:
+    """Rank a linked list (tail self-loops) by pointer jumping.
+
+    The cell state uses the *pointer part* as the list link -- the GCA's
+    access mechanism IS the data structure -- and the data part as the
+    accumulated rank; each generation performs
+    ``rank += rank(next); next = next(next)`` in one read of ``(d*, p*)``.
+    """
+    successors = list(successors)
+    n = len(successors)
+    check_positive("n", n)
+    for i, nxt in enumerate(successors):
+        if not 0 <= nxt < n:
+            raise ValueError(f"successor of {i} out of range: {nxt}")
+    ranks = [0 if successors[i] == i else 1 for i in range(n)]
+    engine = GlobalCellularAutomaton(size=n, initial_data=ranks,
+                                     initial_pointer=successors)
+
+    def pointer(cell: CellView) -> int:
+        return cell.pointer
+
+    def update(cell: CellView, nb: Neighbor) -> CellUpdate:
+        return CellUpdate(data=cell.data + nb.data, pointer=nb.pointer)
+
+    rule = FunctionRule(pointer, update, name="jump")
+    for _ in range(ceil_log2(n) if n > 1 else 0):
+        engine.step(rule)
+    return engine.data.tolist()
+
+
+# ----------------------------------------------------------------------
+# bitonic sort
+# ----------------------------------------------------------------------
+
+def gca_bitonic_sort(values: Sequence[int]) -> List[int]:
+    """Sort ``values`` ascending with Batcher's bitonic network.
+
+    Requires ``len(values)`` to be a power of two (the classical
+    hypercube formulation).  Runs ``log n (log n + 1) / 2`` generations;
+    in each, every cell reads its partner at hypercube distance ``2^s``
+    and keeps the minimum or maximum according to its position and the
+    block's direction -- a uniform one-handed rule.
+    """
+    data = list(values)
+    n = len(data)
+    check_positive("n", n)
+    if not is_power_of_two(n):
+        raise ValueError(f"bitonic sort requires a power-of-two size, got {n}")
+    engine = _engine(data)
+    log = ceil_log2(n)
+    for stage in range(1, log + 1):
+        for sub in range(stage - 1, -1, -1):
+            stride = 1 << sub
+
+            def pointer(cell: CellView, _stride=stride) -> int:
+                return cell.index ^ _stride
+
+            def update(cell: CellView, nb: Neighbor,
+                       _stride=stride, _stage=stage) -> CellUpdate:
+                ascending = (cell.index >> _stage) & 1 == 0
+                is_low = cell.index & _stride == 0
+                keep_small = ascending == is_low
+                if keep_small:
+                    return CellUpdate(data=min(cell.data, nb.data))
+                return CellUpdate(data=max(cell.data, nb.data))
+
+            engine.step(
+                FunctionRule(pointer, update, name=f"bitonic{stage}.{sub}")
+            )
+    return engine.data.tolist()
+
+
+def bitonic_generations(n: int) -> int:
+    """Generation count of the bitonic sorter: ``log n (log n + 1) / 2``."""
+    check_positive("n", n)
+    if not is_power_of_two(n):
+        raise ValueError(f"bitonic sort requires a power-of-two size, got {n}")
+    log = ceil_log2(n)
+    return log * (log + 1) // 2

@@ -1,0 +1,277 @@
+"""The synchronous GCA engine.
+
+A :class:`GlobalCellularAutomaton` owns a linear field of cells, each with a
+data part ``d``, a pointer part ``p`` and optional immutable auxiliary
+planes (per-cell constants such as the adjacency bit ``a``).  One call to
+:meth:`GlobalCellularAutomaton.step` executes one *generation*:
+
+1. every cell is shown an immutable snapshot of the field taken at the
+   start of the generation,
+2. active cells compute their pointer, read their global neighbour's
+   ``(d*, p*)`` **from the snapshot**, and compute their next state,
+3. all updates are committed at once.
+
+Because reads come from the snapshot and writes go only to the cell itself,
+the engine realises exactly the CROW (concurrent-read owner-write)
+semantics the paper relies on; write conflicts are impossible by
+construction and attempted violations raise
+:class:`~repro.gca.errors.OwnerWriteViolation`-family errors.
+
+The engine is deliberately an *interpreter*: it trades speed for
+per-generation observability (active cells, read targets, congestion),
+which is what the Table-1 reproduction needs.  The fast path for large
+fields is :mod:`repro.core.vectorized`, which is cross-validated against
+this interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.gca.cell import CellUpdate, CellView, Neighbor
+from repro.gca.errors import (
+    HandednessViolation,
+    PointerRangeError,
+    RuleResultError,
+)
+from repro.gca.instrumentation import AccessLog, GenerationStats, ReadRecorder
+from repro.gca.rules import Rule
+from repro.util.validation import check_positive
+
+
+class GlobalCellularAutomaton:
+    """A field of GCA cells plus the synchronous stepping machinery.
+
+    Parameters
+    ----------
+    size:
+        Number of cells in the (linearised) field.
+    initial_data, initial_pointer:
+        Initial values of the ``d`` and ``p`` planes; scalars broadcast.
+    aux:
+        Mapping from plane name to an integer array of length ``size``.
+        Auxiliary planes are constants: rules can read them through
+        :attr:`~repro.gca.cell.CellView.aux` but never write them.
+    hands:
+        Maximum number of global reads one cell may issue per generation
+        (the paper's algorithms are one-handed, the default).
+    record_access:
+        Keep per-generation :class:`~repro.gca.instrumentation.GenerationStats`
+        in :attr:`access_log`.  Costs memory proportional to reads; disable
+        for pure-throughput runs.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        initial_data: object = 0,
+        initial_pointer: object = 0,
+        aux: Optional[Mapping[str, np.ndarray]] = None,
+        hands: int = 1,
+        record_access: bool = True,
+    ):
+        self._size = check_positive("size", size)
+        self._hands = check_positive("hands", hands)
+        self._data = self._plane("initial_data", initial_data)
+        self._pointer = self._plane("initial_pointer", initial_pointer)
+        self._check_pointers(self._pointer)
+        self._aux: Dict[str, np.ndarray] = {}
+        for name, plane in (aux or {}).items():
+            arr = np.asarray(plane, dtype=np.int64)
+            if arr.shape != (self._size,):
+                raise ValueError(
+                    f"aux plane {name!r} must have shape ({self._size},), "
+                    f"got {arr.shape}"
+                )
+            arr = arr.copy()
+            arr.setflags(write=False)
+            self._aux[name] = arr
+        self._generation = 0
+        self._record_access = record_access
+        self.access_log = AccessLog()
+        # Aux planes are immutable: build each cell's aux mapping once
+        # instead of per cell per generation (the interpreter's hot loop).
+        from types import MappingProxyType
+
+        self._aux_cache = [
+            MappingProxyType(
+                {name: int(plane[index]) for name, plane in self._aux.items()}
+            )
+            for index in range(self._size)
+        ]
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _plane(self, name: str, value: object) -> np.ndarray:
+        arr = np.asarray(value, dtype=np.int64)
+        if arr.ndim == 0:
+            return np.full(self._size, int(arr), dtype=np.int64)
+        if arr.shape != (self._size,):
+            raise ValueError(
+                f"{name} must be a scalar or shape ({self._size},), got {arr.shape}"
+            )
+        return arr.copy()
+
+    def _check_pointers(self, pointers: np.ndarray) -> None:
+        bad = (pointers < 0) | (pointers >= self._size)
+        if bad.any():
+            first = int(np.flatnonzero(bad)[0])
+            raise PointerRangeError(
+                f"pointer of cell {first} is {int(pointers[first])}, "
+                f"outside the field [0, {self._size})"
+            )
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of cells."""
+        return self._size
+
+    @property
+    def hands(self) -> int:
+        """Declared handedness (max reads per cell per generation)."""
+        return self._hands
+
+    @property
+    def generation(self) -> int:
+        """Number of completed generations."""
+        return self._generation
+
+    @property
+    def data(self) -> np.ndarray:
+        """Copy of the data plane ``d``."""
+        return self._data.copy()
+
+    @property
+    def pointers(self) -> np.ndarray:
+        """Copy of the pointer plane ``p``."""
+        return self._pointer.copy()
+
+    def aux_plane(self, name: str) -> np.ndarray:
+        """The (read-only) auxiliary plane ``name``."""
+        if name not in self._aux:
+            raise KeyError(
+                f"unknown aux plane {name!r}; have {sorted(self._aux)}"
+            )
+        return self._aux[name]
+
+    def view(self, index: int) -> CellView:
+        """Immutable snapshot of cell ``index`` in the current state."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"cell index {index} out of range [0, {self._size})")
+        return CellView.make(
+            index=index,
+            data=int(self._data[index]),
+            pointer=int(self._pointer[index]),
+            aux={name: int(plane[index]) for name, plane in self._aux.items()},
+            generation=self._generation,
+        )
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, rule: Rule, label: Optional[str] = None) -> GenerationStats:
+        """Execute one synchronous generation under ``rule``.
+
+        Returns the generation's access statistics (also appended to
+        :attr:`access_log` when ``record_access`` is enabled).
+        """
+        old_data = self._data
+        old_pointer = self._pointer
+        new_data = old_data.copy()
+        new_pointer = old_pointer.copy()
+        recorder = ReadRecorder()
+        active = 0
+
+        for index in range(self._size):
+            cell = CellView(
+                index=index,
+                data=int(old_data[index]),
+                pointer=int(old_pointer[index]),
+                aux=self._aux_cache[index],
+                generation=self._generation,
+            )
+            reads_left = [self._hands]
+
+            def read(target: int, _reads_left=reads_left, _index=index) -> Neighbor:
+                if _reads_left[0] <= 0:
+                    raise HandednessViolation(
+                        f"cell {_index} exceeded the {self._hands}-handed "
+                        f"read budget in generation {self._generation}"
+                    )
+                _reads_left[0] -= 1
+                if not 0 <= target < self._size:
+                    raise PointerRangeError(
+                        f"cell {_index} computed pointer {target}, outside "
+                        f"the field [0, {self._size})"
+                    )
+                recorder.note(target)
+                return Neighbor(
+                    index=target,
+                    data=int(old_data[target]),
+                    pointer=int(old_pointer[target]),
+                )
+
+            update = rule.step(cell, read)
+            if update is None or not isinstance(update, CellUpdate):
+                raise RuleResultError(
+                    f"rule returned {update!r} for cell {index}; expected a "
+                    "CellUpdate"
+                )
+            if update.is_noop:
+                continue
+            active += 1
+            if update.data is not None:
+                new_data[index] = update.data
+            if update.pointer is not None:
+                if not 0 <= update.pointer < self._size:
+                    raise PointerRangeError(
+                        f"cell {index} stored pointer {update.pointer}, "
+                        f"outside the field [0, {self._size})"
+                    )
+                new_pointer[index] = update.pointer
+
+        self._data = new_data
+        self._pointer = new_pointer
+        self._generation += 1
+        stats = recorder.finish(
+            label=label or f"generation{self._generation - 1}",
+            active_cells=active,
+        )
+        if self._record_access:
+            self.access_log.record(stats)
+        return stats
+
+    def run(self, schedule: Sequence, labels: Optional[Sequence[str]] = None) -> List[GenerationStats]:
+        """Execute a sequence of rules, one generation each."""
+        if labels is not None and len(labels) != len(schedule):
+            raise ValueError(
+                f"got {len(labels)} labels for {len(schedule)} rules"
+            )
+        results = []
+        for k, rule in enumerate(schedule):
+            results.append(self.step(rule, label=labels[k] if labels else None))
+        return results
+
+    # ------------------------------------------------------------------
+    # direct state manipulation (testing / initialisation)
+    # ------------------------------------------------------------------
+    def load(self, data: Optional[np.ndarray] = None, pointers: Optional[np.ndarray] = None) -> None:
+        """Overwrite the ``d`` and/or ``p`` planes (initialisation hook)."""
+        if data is not None:
+            self._data = self._plane("data", data)
+        if pointers is not None:
+            pointers = self._plane("pointers", pointers)
+            self._check_pointers(pointers)
+            self._pointer = pointers
+
+    def __repr__(self) -> str:
+        return (
+            f"GlobalCellularAutomaton(size={self._size}, hands={self._hands}, "
+            f"generation={self._generation})"
+        )

@@ -1,0 +1,91 @@
+"""Cell-level value types of the GCA engine.
+
+The state of a GCA cell consists of a *data part* and an *access
+information part* (Figure 1 of the paper).  In this implementation the
+access part is a single pointer (the paper's algorithms are one-handed),
+and cells may additionally carry immutable per-cell constants -- the
+adjacency bit ``a`` in the connected-components algorithm.
+
+These types are deliberately tiny and immutable: the engine stores the
+whole field in NumPy arrays; :class:`CellView` and :class:`CellUpdate` are
+the per-cell façade the rule interface works with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping, Optional
+
+
+@dataclass(frozen=True)
+class CellView:
+    """Read-only snapshot of one cell at the start of a generation.
+
+    Attributes
+    ----------
+    index:
+        The cell's linear index in the field.
+    data:
+        The data part ``d``.
+    pointer:
+        The access part ``p`` (target linear index of the global neighbour).
+    aux:
+        Immutable per-cell constants (e.g. the adjacency bit ``a``); empty
+        mapping when the automaton declares no auxiliary planes.
+    generation:
+        The number of completed generations before this one (0-based).
+    """
+
+    index: int
+    data: int
+    pointer: int
+    aux: Mapping[str, int]
+    generation: int
+
+    @staticmethod
+    def make(
+        index: int,
+        data: int,
+        pointer: int,
+        aux: Optional[Mapping[str, int]] = None,
+        generation: int = 0,
+    ) -> "CellView":
+        """Build a view with a defensively wrapped aux mapping."""
+        return CellView(
+            index=index,
+            data=data,
+            pointer=pointer,
+            aux=MappingProxyType(dict(aux or {})),
+            generation=generation,
+        )
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """The global information ``(d*, p*)`` read from a neighbour cell."""
+
+    index: int
+    data: int
+    pointer: int
+
+
+@dataclass(frozen=True)
+class CellUpdate:
+    """The new state a rule computes for its own cell.
+
+    ``None`` fields keep the current value; the engine never lets a rule
+    touch another cell (owner-write).
+    """
+
+    data: Optional[int] = None
+    pointer: Optional[int] = None
+
+    @property
+    def is_noop(self) -> bool:
+        """``True`` iff the update changes nothing."""
+        return self.data is None and self.pointer is None
+
+
+KEEP = CellUpdate()
+"""The canonical "cell stays passive this generation" update."""

@@ -1,0 +1,31 @@
+"""Exception hierarchy of the GCA engine.
+
+All engine-level failures derive from :class:`GCAError` so callers can
+catch model violations separately from ordinary ``ValueError``/``TypeError``
+argument problems.
+"""
+
+from __future__ import annotations
+
+
+class GCAError(Exception):
+    """Base class for Global-Cellular-Automaton model violations."""
+
+
+class HandednessViolation(GCAError):
+    """A cell attempted more global reads in one generation than the
+    automaton's handedness permits (the paper's algorithm is one-handed:
+    a single ``(d*, p*)`` access per cell per generation)."""
+
+
+class PointerRangeError(GCAError):
+    """A pointer operation produced a target outside the cell field."""
+
+
+class OwnerWriteViolation(GCAError):
+    """A rule attempted to write the state of a foreign cell.  The GCA is a
+    CROW model: concurrent reads are free, writes are owner-only."""
+
+
+class RuleResultError(GCAError):
+    """A rule returned a malformed :class:`~repro.gca.cell.CellUpdate`."""

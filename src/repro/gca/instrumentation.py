@@ -1,0 +1,162 @@
+"""Access instrumentation: active cells, read accesses and congestion.
+
+The paper's Table 1 characterises each generation by
+
+* the number of **active cells** (cells modifying their state),
+* the number of cells **with read access** (cells being read), and
+* the **congestion** δ -- the number of concurrent read accesses each of
+  those cells receives.  The duration of a GCA step on real hardware is
+  bounded from below by the maximum congestion of any cell in the step.
+
+:class:`GenerationStats` captures all three for one generation;
+:class:`AccessLog` accumulates them over a run and exposes the histogram
+view Table 1 reports (pairs of ``#cells`` / ``δ``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class GenerationStats:
+    """Measured access behaviour of a single generation.
+
+    Attributes
+    ----------
+    label:
+        Diagnostic name, e.g. ``"gen2"`` or ``"gen3.sub1"``.
+    active_cells:
+        Number of cells that modified their state.
+    reads_per_cell:
+        ``reads_per_cell[i]`` = number of concurrent reads cell ``i``
+        received this generation (only cells with at least one read are
+        listed).
+    """
+
+    label: str
+    active_cells: int
+    reads_per_cell: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_reads(self) -> int:
+        """Total number of global read accesses issued this generation."""
+        return sum(self.reads_per_cell.values())
+
+    @property
+    def cells_read(self) -> int:
+        """Number of distinct cells that were read at least once."""
+        return len(self.reads_per_cell)
+
+    @property
+    def max_congestion(self) -> int:
+        """The generation's congestion bound: max reads into any one cell."""
+        return max(self.reads_per_cell.values(), default=0)
+
+    def congestion_histogram(self) -> List[Tuple[int, int]]:
+        """Histogram as ``(#cells, δ)`` pairs, highest δ first.
+
+        This is the exact shape of Table 1's last two columns: e.g.
+        generation 1 yields ``[(n, n+1)]`` -- ``n`` cells are each read by
+        ``n+1`` readers.
+        """
+        counter = Counter(self.reads_per_cell.values())
+        return sorted(
+            ((count, delta) for delta, count in counter.items()),
+            key=lambda pair: -pair[1],
+        )
+
+
+@dataclass
+class AccessLog:
+    """Accumulated per-generation statistics for a whole run."""
+
+    generations: List[GenerationStats] = field(default_factory=list)
+
+    def record(self, stats: GenerationStats) -> None:
+        """Append one generation's statistics."""
+        self.generations.append(stats)
+
+    def __len__(self) -> int:
+        return len(self.generations)
+
+    def __iter__(self):
+        return iter(self.generations)
+
+    def by_label(self, label: str) -> List[GenerationStats]:
+        """All generations whose label equals or starts with ``label``.
+
+        Sub-generations are labelled ``"<label>.sub<k>"``, so
+        ``by_label("gen3")`` returns the whole reduction ladder.
+        """
+        return [
+            g
+            for g in self.generations
+            if g.label == label or g.label.startswith(label + ".")
+        ]
+
+    @property
+    def total_generations(self) -> int:
+        """Number of recorded generations (sub-generations count singly,
+        matching the paper's generation total ``1 + log n (3 log n + 8)``)."""
+        return len(self.generations)
+
+    @property
+    def total_reads(self) -> int:
+        """Total global reads across the run."""
+        return sum(g.total_reads for g in self.generations)
+
+    @property
+    def total_active(self) -> int:
+        """Total active-cell count across the run (GCA 'work')."""
+        return sum(g.active_cells for g in self.generations)
+
+    @property
+    def peak_congestion(self) -> int:
+        """Maximum congestion over all generations."""
+        return max((g.max_congestion for g in self.generations), default=0)
+
+    def summary_rows(self) -> List[Tuple[str, int, int, int]]:
+        """Rows ``(label, active, cells_read, max_congestion)`` per
+        generation -- the raw material of the Table 1 bench."""
+        return [
+            (g.label, g.active_cells, g.cells_read, g.max_congestion)
+            for g in self.generations
+        ]
+
+
+def merge_stats(label: str, parts: Sequence[GenerationStats]) -> GenerationStats:
+    """Aggregate sub-generation statistics into one logical generation.
+
+    Active-cell counts add up; per-cell read counts add up (a cell read in
+    two sub-generations shows the summed δ).  Used when comparing against
+    Table 1, which reports the reduction generations 3/7 as single rows.
+    """
+    merged: GenerationStats = GenerationStats(label=label, active_cells=0)
+    for part in parts:
+        merged.active_cells += part.active_cells
+        for cell, reads in part.reads_per_cell.items():
+            merged.reads_per_cell[cell] = merged.reads_per_cell.get(cell, 0) + reads
+    return merged
+
+
+class ReadRecorder:
+    """Mutable per-generation read counter used inside the engine loop."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def note(self, target: int) -> None:
+        """Record one read of cell ``target``."""
+        self._counts[target] = self._counts.get(target, 0) + 1
+
+    def finish(self, label: str, active_cells: int) -> GenerationStats:
+        """Freeze the counts into a :class:`GenerationStats`."""
+        stats = GenerationStats(
+            label=label, active_cells=active_cells, reads_per_cell=self._counts
+        )
+        return stats

@@ -1,0 +1,281 @@
+"""Gate-level logic simulation on the GCA (application class of Sec. 1).
+
+The paper lists "logic simulation [11]" among the GCA's typical
+applications (Wiegand, Siemers, Richter: "Definition of a Configurable
+Architecture for Implementation of Global Cellular Automaton", 2004).
+The mapping is natural: one cell per gate, the cell's *pointers* are the
+gate's input nets, the data part is the gate's output value, and one
+synchronous generation evaluates every gate once.  A combinational
+circuit settles after ``depth`` generations; sequential behaviour falls
+out of the synchronous update (every cell doubles as a register, so the
+simulated circuit is automatically pipelined at gate granularity).
+
+This module provides
+
+* :class:`Circuit` -- a small netlist builder (inputs, NOT/AND/OR/XOR/
+  NAND/NOR gates, named outputs) with cycle detection and depth
+  computation;
+* :class:`LogicSimulator` -- the circuit compiled onto a two-handed
+  :class:`~repro.gca.automaton.GlobalCellularAutomaton`;
+* :func:`ripple_carry_adder` -- a generator for the classic test
+  circuit.
+
+The tests validate the simulator against direct Boolean evaluation over
+exhaustive and random input vectors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.gca.automaton import GlobalCellularAutomaton
+from repro.gca.cell import KEEP, CellUpdate, CellView
+from repro.gca.rules import Rule
+from repro.util.validation import check_type
+
+
+class GateKind(enum.Enum):
+    """Supported gate types (INPUT is a constant-driving pseudo gate)."""
+
+    INPUT = "input"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+
+
+_ARITY = {
+    GateKind.INPUT: 0,
+    GateKind.NOT: 1,
+    GateKind.AND: 2,
+    GateKind.OR: 2,
+    GateKind.XOR: 2,
+    GateKind.NAND: 2,
+    GateKind.NOR: 2,
+}
+
+_EVAL = {
+    GateKind.NOT: lambda a, b: 1 - a,
+    GateKind.AND: lambda a, b: a & b,
+    GateKind.OR: lambda a, b: a | b,
+    GateKind.XOR: lambda a, b: a ^ b,
+    GateKind.NAND: lambda a, b: 1 - (a & b),
+    GateKind.NOR: lambda a, b: 1 - (a | b),
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One netlist node."""
+
+    index: int
+    kind: GateKind
+    inputs: Tuple[int, ...]
+    name: Optional[str] = None
+
+
+class Circuit:
+    """A combinational netlist under construction.
+
+    Gates are referenced by the integer ids the builder methods return;
+    primary inputs are gates of kind INPUT.  The netlist must stay acyclic
+    (checked on :meth:`depth` / simulation).
+    """
+
+    def __init__(self) -> None:
+        self._gates: List[Gate] = []
+        self._outputs: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def input(self, name: Optional[str] = None) -> int:
+        """Add a primary input; returns its gate id."""
+        return self._add(GateKind.INPUT, (), name)
+
+    def gate(self, kind: GateKind, *inputs: int, name: Optional[str] = None) -> int:
+        """Add a gate of ``kind`` over ``inputs``; returns its id."""
+        check_type("kind", kind, GateKind)
+        if len(inputs) != _ARITY[kind]:
+            raise ValueError(
+                f"{kind.value} takes {_ARITY[kind]} inputs, got {len(inputs)}"
+            )
+        for src in inputs:
+            if not 0 <= src < len(self._gates):
+                raise IndexError(f"unknown gate id {src}")
+        return self._add(kind, tuple(inputs), name)
+
+    def not_(self, a: int, name: Optional[str] = None) -> int:
+        return self.gate(GateKind.NOT, a, name=name)
+
+    def and_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.gate(GateKind.AND, a, b, name=name)
+
+    def or_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.gate(GateKind.OR, a, b, name=name)
+
+    def xor_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        return self.gate(GateKind.XOR, a, b, name=name)
+
+    def output(self, name: str, gate_id: int) -> None:
+        """Declare gate ``gate_id`` as the named output ``name``."""
+        if not 0 <= gate_id < len(self._gates):
+            raise IndexError(f"unknown gate id {gate_id}")
+        self._outputs[name] = gate_id
+
+    def _add(self, kind: GateKind, inputs: Tuple[int, ...], name: Optional[str]) -> int:
+        gate = Gate(index=len(self._gates), kind=kind, inputs=inputs, name=name)
+        self._gates.append(gate)
+        return gate.index
+
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> List[Gate]:
+        return list(self._gates)
+
+    @property
+    def size(self) -> int:
+        """Number of gates including primary inputs."""
+        return len(self._gates)
+
+    @property
+    def input_ids(self) -> List[int]:
+        return [g.index for g in self._gates if g.kind is GateKind.INPUT]
+
+    @property
+    def outputs(self) -> Dict[str, int]:
+        return dict(self._outputs)
+
+    def depth(self) -> int:
+        """Longest input-to-output path in gates (0 for pure inputs).
+
+        Raises ``ValueError`` on combinational cycles.
+        """
+        depths: Dict[int, int] = {}
+        visiting: set = set()
+
+        def visit(idx: int) -> int:
+            if idx in depths:
+                return depths[idx]
+            if idx in visiting:
+                raise ValueError(f"combinational cycle through gate {idx}")
+            visiting.add(idx)
+            gate = self._gates[idx]
+            d = 0 if gate.kind is GateKind.INPUT else 1 + max(
+                (visit(src) for src in gate.inputs), default=0
+            )
+            visiting.discard(idx)
+            depths[idx] = d
+            return d
+
+        return max((visit(g.index) for g in self._gates), default=0)
+
+    def evaluate(self, inputs: Mapping[int, int]) -> Dict[str, int]:
+        """Direct recursive evaluation (the oracle for the simulator)."""
+        values: Dict[int, int] = {}
+
+        def value(idx: int) -> int:
+            if idx in values:
+                return values[idx]
+            gate = self._gates[idx]
+            if gate.kind is GateKind.INPUT:
+                if idx not in inputs:
+                    raise ValueError(f"input gate {idx} not assigned")
+                result = int(bool(inputs[idx]))
+            else:
+                operands = [value(src) for src in gate.inputs]
+                a = operands[0]
+                b = operands[1] if len(operands) > 1 else 0
+                result = _EVAL[gate.kind](a, b)
+            values[idx] = result
+            return result
+
+        self.depth()  # cycle check
+        return {name: value(idx) for name, idx in self._outputs.items()}
+
+
+class _GateRule(Rule):
+    """Evaluates each gate cell from its (up to two) input cells."""
+
+    def __init__(self, circuit: Circuit):
+        self._gates = circuit.gates
+
+    def pointer(self, cell: CellView) -> int:  # pragma: no cover - step() used
+        gate = self._gates[cell.index]
+        return gate.inputs[0] if gate.inputs else cell.index
+
+    def update(self, cell: CellView, neighbor) -> CellUpdate:  # pragma: no cover
+        raise NotImplementedError
+
+    def step(self, cell: CellView, read) -> CellUpdate:
+        gate = self._gates[cell.index]
+        if gate.kind is GateKind.INPUT:
+            return KEEP                      # inputs hold their value
+        a = read(gate.inputs[0]).data
+        b = read(gate.inputs[1]).data if len(gate.inputs) > 1 else 0
+        return CellUpdate(data=_EVAL[gate.kind](a, b))
+
+
+class LogicSimulator:
+    """A circuit compiled onto the GCA engine (two-handed cells).
+
+    One generation evaluates every gate once from the previous
+    generation's net values; after ``circuit.depth()`` generations all
+    outputs are settled.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._depth = circuit.depth()       # also validates acyclicity
+        self._rule = _GateRule(circuit)
+        self.engine = GlobalCellularAutomaton(
+            size=max(1, circuit.size),
+            initial_data=0,
+            hands=2,
+            record_access=False,
+        )
+
+    @property
+    def depth(self) -> int:
+        """Generations needed to settle the outputs."""
+        return self._depth
+
+    def run(self, inputs: Mapping[int, int]) -> Dict[str, int]:
+        """Apply ``inputs`` (gate id -> 0/1), settle, and read the outputs."""
+        data = self.engine.data
+        data[:] = 0
+        for idx in self.circuit.input_ids:
+            if idx not in inputs:
+                raise ValueError(f"input gate {idx} not assigned")
+            data[idx] = int(bool(inputs[idx]))
+        self.engine.load(data=data)
+        for _ in range(self._depth):
+            self.engine.step(self._rule)
+        values = self.engine.data
+        return {name: int(values[idx]) for name, idx in self.circuit.outputs.items()}
+
+
+def ripple_carry_adder(bits: int) -> Tuple[Circuit, List[int], List[int], int]:
+    """Build a ``bits``-bit ripple-carry adder.
+
+    Returns ``(circuit, a_inputs, b_inputs, carry_in)``; outputs are named
+    ``sum0..sum{bits-1}`` and ``carry_out``.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    c = Circuit()
+    a = [c.input(name=f"a{i}") for i in range(bits)]
+    b = [c.input(name=f"b{i}") for i in range(bits)]
+    carry = c.input(name="cin")
+    cin = carry
+    for i in range(bits):
+        axb = c.xor_(a[i], b[i])
+        s = c.xor_(axb, cin)
+        c.output(f"sum{i}", s)
+        and1 = c.and_(a[i], b[i])
+        and2 = c.and_(axb, cin)
+        cin = c.or_(and1, and2)
+    c.output("carry_out", cin)
+    return c, a, b, carry

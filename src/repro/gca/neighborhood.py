@@ -1,0 +1,80 @@
+"""Neighbourhood helpers: from classical CA neighbourhoods to global access.
+
+The GCA generalises the classical CA: a CA's fixed local neighbourhood is
+just the special case of pointers that never change and always address
+nearby cells.  These helpers translate 2-D grid neighbourhoods into linear
+pointer targets so classical automata can run on the
+:class:`~repro.gca.automaton.GlobalCellularAutomaton` engine, and provide
+the row/column address arithmetic the paper's field layout uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.util.validation import check_index, check_positive
+
+Offset = Tuple[int, int]
+
+VON_NEUMANN: Sequence[Offset] = ((-1, 0), (1, 0), (0, -1), (0, 1))
+"""The 4-neighbourhood of the classical CA."""
+
+MOORE: Sequence[Offset] = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+"""The 8-neighbourhood of the classical CA."""
+
+
+def linear_index(row: int, col: int, cols: int) -> int:
+    """Row-major linear index of grid position ``(row, col)``."""
+    check_positive("cols", cols)
+    if col < 0 or col >= cols:
+        raise IndexError(f"col must be in [0, {cols}), got {col}")
+    if row < 0:
+        raise IndexError(f"row must be >= 0, got {row}")
+    return row * cols + col
+
+
+def row_of(index: int, cols: int) -> int:
+    """Row of linear ``index`` in a grid with ``cols`` columns."""
+    check_positive("cols", cols)
+    if index < 0:
+        raise IndexError(f"index must be >= 0, got {index}")
+    return index // cols
+
+
+def col_of(index: int, cols: int) -> int:
+    """Column of linear ``index`` in a grid with ``cols`` columns."""
+    check_positive("cols", cols)
+    if index < 0:
+        raise IndexError(f"index must be >= 0, got {index}")
+    return index % cols
+
+
+def wrap_neighbors(
+    index: int, rows: int, cols: int, offsets: Sequence[Offset]
+) -> List[int]:
+    """Toroidally wrapped neighbour indices of ``index`` on a grid."""
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    check_index("index", index, rows * cols)
+    r, c = index // cols, index % cols
+    return [((r + dr) % rows) * cols + ((c + dc) % cols) for dr, dc in offsets]
+
+
+def clamp_neighbors(
+    index: int, rows: int, cols: int, offsets: Sequence[Offset]
+) -> List[int]:
+    """Neighbour indices with out-of-grid offsets dropped (open boundary)."""
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    check_index("index", index, rows * cols)
+    r, c = index // cols, index % cols
+    result = []
+    for dr, dc in offsets:
+        nr, nc = r + dr, c + dc
+        if 0 <= nr < rows and 0 <= nc < cols:
+            result.append(nr * cols + nc)
+    return result

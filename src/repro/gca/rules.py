@@ -1,0 +1,153 @@
+"""Rule abstractions of the GCA engine.
+
+A *rule* describes what one cell does during one generation.  The paper
+factors every generation into
+
+* a **pointer operation** -- compute the global neighbour's address from the
+  cell's own state and position ("actual access pattern"), and
+* a **data operation** -- combine the own state with the neighbour's
+  ``(d*, p*)`` into the next state.
+
+:class:`Rule` captures exactly that split.  Uniform automata use one rule
+for every cell (``GlobalCellularAutomaton(rule=...)``); non-uniform automata
+supply a rule per cell via :class:`RuleTable`.
+
+Rules never see a mutable field: the engine hands them immutable
+:class:`~repro.gca.cell.CellView`/:class:`~repro.gca.cell.Neighbor` values
+and applies the returned :class:`~repro.gca.cell.CellUpdate` to the cell
+itself only, enforcing the CROW (concurrent-read, owner-write) discipline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Sequence
+
+from repro.gca.cell import KEEP, CellUpdate, CellView, Neighbor
+
+
+class Rule(ABC):
+    """One generation's behaviour of a cell."""
+
+    def is_active(self, cell: CellView) -> bool:
+        """Whether the cell *modifies its state* this generation.
+
+        Passive cells perform no global read and no write; the paper's
+        Table 1 counts only active cells.  Default: active.
+        """
+        return True
+
+    @abstractmethod
+    def pointer(self, cell: CellView) -> int:
+        """The pointer operation: the linear index of the global neighbour."""
+
+    @abstractmethod
+    def update(self, cell: CellView, neighbor: Neighbor) -> CellUpdate:
+        """The data operation: the cell's next state given ``(d*, p*)``."""
+
+    def step(self, cell: CellView, read: Callable[[int], Neighbor]) -> CellUpdate:
+        """Execute this rule for ``cell``.
+
+        The default implementation performs the canonical one-handed
+        sequence (compute pointer, read neighbour, update).  Multi-handed
+        rules may override this to issue several reads through ``read``;
+        the engine enforces the automaton's declared handedness.
+        """
+        if not self.is_active(cell):
+            return KEEP
+        target = self.pointer(cell)
+        neighbor = read(target)
+        return self.update(cell, neighbor)
+
+
+class FunctionRule(Rule):
+    """Adapter building a :class:`Rule` from three callables.
+
+    Parameters
+    ----------
+    pointer_fn:
+        ``cell -> int`` pointer operation.
+    update_fn:
+        ``(cell, neighbor) -> CellUpdate`` data operation.
+    active_fn:
+        optional ``cell -> bool`` activity predicate (default: always on).
+    name:
+        diagnostic label used in traces and error messages.
+    """
+
+    def __init__(
+        self,
+        pointer_fn: Callable[[CellView], int],
+        update_fn: Callable[[CellView, Neighbor], CellUpdate],
+        active_fn: Optional[Callable[[CellView], bool]] = None,
+        name: str = "<anonymous>",
+    ):
+        self._pointer_fn = pointer_fn
+        self._update_fn = update_fn
+        self._active_fn = active_fn
+        self.name = name
+
+    def is_active(self, cell: CellView) -> bool:
+        return True if self._active_fn is None else bool(self._active_fn(cell))
+
+    def pointer(self, cell: CellView) -> int:
+        return self._pointer_fn(cell)
+
+    def update(self, cell: CellView, neighbor: Neighbor) -> CellUpdate:
+        return self._update_fn(cell, neighbor)
+
+    def __repr__(self) -> str:
+        return f"FunctionRule({self.name})"
+
+
+class IdentityRule(Rule):
+    """A rule under which every cell keeps its state and reads nothing.
+
+    Useful as the padding entry of a :class:`RuleTable` and in tests.
+    """
+
+    def is_active(self, cell: CellView) -> bool:
+        return False
+
+    def pointer(self, cell: CellView) -> int:  # pragma: no cover - inactive
+        return cell.index
+
+    def update(self, cell: CellView, neighbor: Neighbor) -> CellUpdate:  # pragma: no cover
+        return KEEP
+
+
+class RuleTable(Rule):
+    """Non-uniform automaton support: a rule per cell.
+
+    The paper's hardware implementation distinguishes *standard* cells from
+    *extended* cells (data-dependent neighbour choice); a :class:`RuleTable`
+    expresses such per-position behaviour while keeping the engine uniform.
+    """
+
+    def __init__(self, rules: Sequence[Rule]):
+        if not rules:
+            raise ValueError("RuleTable requires at least one rule")
+        self._rules = list(rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def rule_for(self, index: int) -> Rule:
+        """The rule assigned to cell ``index``."""
+        if not 0 <= index < len(self._rules):
+            raise IndexError(
+                f"no rule for cell {index}; table covers 0..{len(self._rules) - 1}"
+            )
+        return self._rules[index]
+
+    def is_active(self, cell: CellView) -> bool:
+        return self.rule_for(cell.index).is_active(cell)
+
+    def pointer(self, cell: CellView) -> int:
+        return self.rule_for(cell.index).pointer(cell)
+
+    def update(self, cell: CellView, neighbor: Neighbor) -> CellUpdate:
+        return self.rule_for(cell.index).update(cell, neighbor)
+
+    def step(self, cell: CellView, read: Callable[[int], Neighbor]) -> CellUpdate:
+        return self.rule_for(cell.index).step(cell, read)

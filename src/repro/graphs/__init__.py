@@ -1,0 +1,81 @@
+"""Graph substrate: adjacency matrices, generators and sequential baselines.
+
+Hirschberg's algorithm consumes an undirected graph as an ``n x n``
+adjacency matrix (the paper's constant ``A``).  This package provides:
+
+* :class:`repro.graphs.adjacency.AdjacencyMatrix` -- the validated matrix
+  type every algorithm in the library accepts;
+* :mod:`repro.graphs.generators` -- deterministic and random graph families
+  used by the tests, examples and benchmark workloads;
+* :mod:`repro.graphs.union_find` / :mod:`repro.graphs.components` -- the
+  sequential baselines (union-find, BFS/DFS) that define ground truth: the
+  canonical labelling assigns every node the minimum node index of its
+  component, exactly as the paper's super-node convention does;
+* :mod:`repro.graphs.io` -- edge-list round-tripping for external inputs.
+"""
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.graphs.components import (
+    canonical_labels,
+    components_scipy,
+    components_bfs,
+    components_dfs,
+    components_union_find,
+    count_components,
+)
+from repro.graphs.generators import (
+    barbell_graph,
+    bipartite_graph,
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_edges,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    planted_components,
+    random_graph,
+    star_graph,
+    union_of_cliques,
+)
+from repro.graphs.metrics import (
+    bfs_distances,
+    component_sizes,
+    degree_statistics,
+    diameter,
+    eccentricity,
+    is_connected,
+)
+from repro.graphs.union_find import UnionFind
+
+__all__ = [
+    "AdjacencyMatrix",
+    "UnionFind",
+    "bfs_distances",
+    "component_sizes",
+    "degree_statistics",
+    "diameter",
+    "eccentricity",
+    "is_connected",
+    "canonical_labels",
+    "components_scipy",
+    "components_bfs",
+    "components_dfs",
+    "components_union_find",
+    "count_components",
+    "barbell_graph",
+    "bipartite_graph",
+    "caterpillar_graph",
+    "complete_graph",
+    "cycle_graph",
+    "empty_graph",
+    "from_edges",
+    "grid_graph",
+    "lollipop_graph",
+    "path_graph",
+    "planted_components",
+    "random_graph",
+    "star_graph",
+    "union_of_cliques",
+]

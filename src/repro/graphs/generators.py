@@ -1,0 +1,295 @@
+"""Graph generators for tests, examples and benchmark workloads.
+
+The benchmark harness needs graph families with controllable structure:
+
+* *dense random* graphs -- the regime where Hirschberg's algorithm is
+  work-optimal (``m = Theta(n^2)``);
+* *planted components* -- known component structure for convergence and
+  correctness studies;
+* *paths/cycles/stars/cliques/grids* -- the deterministic shapes used in
+  unit tests and in the image-labelling example.
+
+All generators return :class:`repro.graphs.adjacency.AdjacencyMatrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive
+
+
+def empty_graph(n: int) -> AdjacencyMatrix:
+    """``n`` isolated nodes."""
+    n = check_positive("n", n)
+    return AdjacencyMatrix(np.zeros((n, n), dtype=np.int8))
+
+
+def complete_graph(n: int) -> AdjacencyMatrix:
+    """The clique ``K_n``."""
+    n = check_positive("n", n)
+    return AdjacencyMatrix(np.ones((n, n), dtype=np.int8))
+
+
+def path_graph(n: int) -> AdjacencyMatrix:
+    """The path ``0 - 1 - ... - (n-1)``.
+
+    Paths are the worst case for naive label propagation (diameter ``n-1``)
+    and therefore a good stress test for the ``O(log^2 n)`` bound.
+    """
+    n = check_positive("n", n)
+    m = np.zeros((n, n), dtype=np.int8)
+    idx = np.arange(n - 1)
+    m[idx, idx + 1] = 1
+    m[idx + 1, idx] = 1
+    return AdjacencyMatrix(m)
+
+
+def cycle_graph(n: int) -> AdjacencyMatrix:
+    """The cycle ``C_n`` (requires ``n >= 3`` to avoid parallel edges)."""
+    n = check_positive("n", n, minimum=3)
+    m = path_graph(n).matrix.copy()
+    m[0, n - 1] = m[n - 1, 0] = 1
+    return AdjacencyMatrix(m)
+
+
+def star_graph(n: int, center: int = 0) -> AdjacencyMatrix:
+    """A star: ``center`` linked to every other node."""
+    n = check_positive("n", n)
+    if not 0 <= center < n:
+        raise IndexError(f"center must be in [0, {n}), got {center}")
+    m = np.zeros((n, n), dtype=np.int8)
+    m[center, :] = 1
+    m[:, center] = 1
+    m[center, center] = 0
+    return AdjacencyMatrix(m)
+
+
+def grid_graph(rows: int, cols: int) -> AdjacencyMatrix:
+    """A 4-connected ``rows x cols`` grid, nodes numbered row-major.
+
+    This is the substrate of the image-labelling example: pixels are grid
+    nodes and foreground regions are connected components.
+    """
+    rows = check_positive("rows", rows)
+    cols = check_positive("cols", cols)
+    n = rows * cols
+    m = np.zeros((n, n), dtype=np.int8)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                m[node, node + 1] = m[node + 1, node] = 1
+            if r + 1 < rows:
+                m[node, node + cols] = m[node + cols, node] = 1
+    return AdjacencyMatrix(m)
+
+
+def from_edges(n: int, edges: Iterable[Tuple[int, int]]) -> AdjacencyMatrix:
+    """Graph on ``n`` nodes with the given undirected ``edges``.
+
+    Self-loops are rejected; duplicate edges are merged.
+    """
+    n = check_positive("n", n)
+    m = np.zeros((n, n), dtype=np.int8)
+    for i, j in edges:
+        if i == j:
+            raise ValueError(f"self-loop ({i}, {j}) is not allowed")
+        if not (0 <= i < n and 0 <= j < n):
+            raise IndexError(f"edge ({i}, {j}) out of range for n={n}")
+        m[i, j] = m[j, i] = 1
+    return AdjacencyMatrix(m)
+
+
+def union_of_cliques(sizes: Sequence[int]) -> AdjacencyMatrix:
+    """Disjoint cliques of the given ``sizes``, numbered consecutively.
+
+    ``union_of_cliques([3, 2])`` has components ``{0,1,2}`` and ``{3,4}``.
+    """
+    if not sizes:
+        raise ValueError("at least one clique size is required")
+    for s in sizes:
+        check_positive("clique size", s)
+    n = int(sum(sizes))
+    m = np.zeros((n, n), dtype=np.int8)
+    offset = 0
+    for s in sizes:
+        m[offset : offset + s, offset : offset + s] = 1
+        offset += s
+    return AdjacencyMatrix(m)
+
+
+def random_graph(n: int, p: float, seed: SeedLike = None) -> AdjacencyMatrix:
+    """Erdos-Renyi ``G(n, p)``.
+
+    ``p`` close to 1 gives the dense regime (``m = Theta(n^2)``) where the
+    paper's work-optimality discussion applies.
+    """
+    n = check_positive("n", n)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = as_generator(seed)
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    m = (upper | upper.T).astype(np.int8)
+    return AdjacencyMatrix(m)
+
+
+def planted_components(
+    sizes: Sequence[int],
+    intra_p: float = 0.6,
+    seed: SeedLike = None,
+    shuffle: bool = True,
+) -> AdjacencyMatrix:
+    """Random graph with a *planted* component structure.
+
+    Each block of ``sizes[k]`` nodes receives a random spanning tree (so the
+    block is guaranteed connected) plus additional intra-block edges with
+    probability ``intra_p``.  No inter-block edges are added, so the
+    components are exactly the blocks.  With ``shuffle=True`` node ids are
+    randomly permuted so components are not index-contiguous.
+    """
+    if not sizes:
+        raise ValueError("at least one component size is required")
+    if not 0.0 <= intra_p <= 1.0:
+        raise ValueError(f"intra_p must be in [0, 1], got {intra_p}")
+    rng = as_generator(seed)
+    n = int(sum(check_positive("component size", s) for s in sizes))
+    m = np.zeros((n, n), dtype=np.int8)
+    offset = 0
+    for s in sizes:
+        block = slice(offset, offset + s)
+        # Random spanning tree: connect node k to a random earlier node.
+        for k in range(1, s):
+            j = int(rng.integers(0, k))
+            m[offset + k, offset + j] = m[offset + j, offset + k] = 1
+        if s > 1 and intra_p > 0:
+            extra = np.triu(rng.random((s, s)) < intra_p, k=1)
+            sub = m[block, block] | (extra | extra.T).astype(np.int8)
+            m[block, block] = sub
+        offset += s
+    graph = AdjacencyMatrix(m)
+    if shuffle:
+        graph = graph.relabeled(rng.permutation(n))
+    return graph
+
+
+def worst_case_pairing(n: int) -> AdjacencyMatrix:
+    """A perfect matching ``(0,1), (2,3), ...``: every component is a mutual
+    super-node pair, maximising the 2-cycle resolution work of step 6.
+    """
+    n = check_positive("n", n, minimum=2)
+    edges = [(2 * k, 2 * k + 1) for k in range(n // 2)]
+    return from_edges(n, edges)
+
+
+def binary_tree_graph(n: int) -> AdjacencyMatrix:
+    """A complete binary tree on ``n`` nodes (heap numbering)."""
+    n = check_positive("n", n)
+    edges = [(child, (child - 1) // 2) for child in range(1, n)]
+    return from_edges(n, [(min(a, b), max(a, b)) for a, b in edges])
+
+
+def random_spanning_tree(n: int, seed: SeedLike = None) -> AdjacencyMatrix:
+    """A uniformly random recursive tree on ``n`` nodes (single component,
+    minimum edge count) -- the sparse extreme of the benchmark workloads."""
+    n = check_positive("n", n)
+    rng = as_generator(seed)
+    edges = [(int(rng.integers(0, k)), k) for k in range(1, n)]
+    return from_edges(n, edges)
+
+
+def image_to_graph(image: np.ndarray) -> Tuple[AdjacencyMatrix, np.ndarray]:
+    """Build the 4-connectivity pixel graph of a binary image.
+
+    Returns ``(graph, node_of_pixel)`` where ``graph`` has one node per
+    pixel (background pixels are isolated nodes) and ``node_of_pixel`` maps
+    ``(row, col)`` to the node id.  Foreground pixels (non-zero) are linked
+    to their 4-neighbours when both are foreground, so the connected
+    components of the graph restricted to foreground nodes are exactly the
+    image's connected regions.
+    """
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError(f"image must be 2-D, got shape {image.shape}")
+    rows, cols = image.shape
+    node_of_pixel = np.arange(rows * cols).reshape(rows, cols)
+    edges = []
+    fg = image != 0
+    for r in range(rows):
+        for c in range(cols):
+            if not fg[r, c]:
+                continue
+            if c + 1 < cols and fg[r, c + 1]:
+                edges.append((node_of_pixel[r, c], node_of_pixel[r, c + 1]))
+            if r + 1 < rows and fg[r + 1, c]:
+                edges.append((node_of_pixel[r, c], node_of_pixel[r + 1, c]))
+    return from_edges(rows * cols, edges), node_of_pixel
+
+
+def bipartite_graph(
+    left: int, right: int, p: float = 1.0, seed: SeedLike = None
+) -> AdjacencyMatrix:
+    """A (random) bipartite graph: nodes ``0..left-1`` vs ``left..left+right-1``,
+    each cross pair linked with probability ``p`` (1.0 = complete bipartite)."""
+    left = check_positive("left", left)
+    right = check_positive("right", right)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = as_generator(seed)
+    n = left + right
+    m = np.zeros((n, n), dtype=np.int8)
+    block = (rng.random((left, right)) < p).astype(np.int8)
+    m[:left, left:] = block
+    m[left:, :left] = block.T
+    return AdjacencyMatrix(m)
+
+
+def lollipop_graph(clique: int, tail: int) -> AdjacencyMatrix:
+    """A clique of ``clique`` nodes with a path of ``tail`` nodes attached --
+    high density on one side, maximum diameter on the other, the classic
+    stress shape for congestion-vs-depth trade-offs."""
+    clique = check_positive("clique", clique)
+    tail = check_positive("tail", tail, minimum=0) if tail else 0
+    n = clique + tail
+    m = np.zeros((n, n), dtype=np.int8)
+    m[:clique, :clique] = 1
+    for k in range(tail):
+        a = clique - 1 + k
+        b = clique + k
+        m[a, b] = m[b, a] = 1
+    return AdjacencyMatrix(m)
+
+
+def barbell_graph(clique: int, bridge: int) -> AdjacencyMatrix:
+    """Two ``clique``-cliques joined by a path of ``bridge`` nodes."""
+    clique = check_positive("clique", clique)
+    if bridge < 0:
+        raise ValueError(f"bridge must be >= 0, got {bridge}")
+    n = 2 * clique + bridge
+    m = np.zeros((n, n), dtype=np.int8)
+    m[:clique, :clique] = 1
+    m[clique + bridge:, clique + bridge:] = 1
+    chain = [clique - 1] + list(range(clique, clique + bridge)) + [clique + bridge]
+    for a, b in zip(chain, chain[1:]):
+        m[a, b] = m[b, a] = 1
+    return AdjacencyMatrix(m)
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> AdjacencyMatrix:
+    """A path ("spine") of ``spine`` nodes, each carrying ``legs_per_node``
+    pendant leaves -- a tree with many degree-1 nodes."""
+    spine = check_positive("spine", spine)
+    if legs_per_node < 0:
+        raise ValueError(f"legs_per_node must be >= 0, got {legs_per_node}")
+    n = spine * (1 + legs_per_node)
+    edges = [(k, k + 1) for k in range(spine - 1)]
+    leaf = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((s, leaf))
+            leaf += 1
+    return from_edges(n, edges)

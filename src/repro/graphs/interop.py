@@ -1,0 +1,65 @@
+"""NetworkX interoperability.
+
+Conversions between :class:`~repro.graphs.adjacency.AdjacencyMatrix` and
+``networkx.Graph``.  Besides user convenience, this gives the test-suite
+an *external* connectivity oracle (``networkx.connected_components``) that
+shares no code with the library's own union-find/BFS/DFS oracles.
+
+NetworkX is an optional dependency: importing this module without it
+raises ``ImportError`` with a clear message, and the rest of the library
+never imports it.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyMatrix
+
+try:  # pragma: no cover - exercised implicitly on import
+    import networkx as nx
+except ImportError as _exc:  # pragma: no cover
+    raise ImportError(
+        "repro.graphs.interop requires networkx; install it or avoid this module"
+    ) from _exc
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+
+def to_networkx(graph: GraphLike) -> "nx.Graph":
+    """Convert to a ``networkx.Graph`` with nodes ``0..n-1``."""
+    g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+    out = nx.Graph()
+    out.add_nodes_from(range(g.n))
+    out.add_edges_from(g.edges())
+    return out
+
+
+def from_networkx(graph: "nx.Graph") -> AdjacencyMatrix:
+    """Convert a ``networkx`` graph (nodes relabelled to ``0..n-1`` in
+    sorted order; edge data is discarded, self-loops dropped)."""
+    nodes = sorted(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    if n == 0:
+        raise ValueError("cannot convert an empty networkx graph")
+    m = np.zeros((n, n), dtype=np.int8)
+    for u, v in graph.edges():
+        if u == v:
+            continue
+        m[index[u], index[v]] = m[index[v], index[u]] = 1
+    return AdjacencyMatrix(m)
+
+
+def networkx_canonical_labels(graph: GraphLike) -> np.ndarray:
+    """Component labels via ``networkx.connected_components`` -- the
+    external oracle (node -> minimum node index of its component)."""
+    g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+    labels = np.empty(g.n, dtype=np.int64)
+    for component in nx.connected_components(to_networkx(g)):
+        rep = min(component)
+        for node in component:
+            labels[node] = rep
+    return labels

@@ -1,0 +1,85 @@
+"""Edge-list I/O for adjacency matrices.
+
+Simple text formats so examples can load external graphs and benchmark
+results can be archived:
+
+* edge-list: first line ``n``, then one ``i j`` pair per line;
+* dense matrix: whitespace-separated 0/1 rows (NumPy ``savetxt`` style).
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.graphs.generators import from_edges
+
+PathLike = Union[str, Path]
+
+
+def dumps_edge_list(graph: AdjacencyMatrix) -> str:
+    """Serialise ``graph`` to the edge-list text format."""
+    lines = [str(graph.n)]
+    lines.extend(f"{i} {j}" for i, j in graph.edges())
+    return "\n".join(lines) + "\n"
+
+
+def loads_edge_list(text: str) -> AdjacencyMatrix:
+    """Parse the edge-list text format produced by :func:`dumps_edge_list`.
+
+    Blank lines and ``#`` comments are ignored.
+    """
+    lines = [
+        ln.strip()
+        for ln in text.splitlines()
+        if ln.strip() and not ln.lstrip().startswith("#")
+    ]
+    if not lines:
+        raise ValueError("empty edge-list document")
+    try:
+        n = int(lines[0])
+    except ValueError as exc:
+        raise ValueError(f"first line must be the node count, got {lines[0]!r}") from exc
+    edges: List[Tuple[int, int]] = []
+    for ln in lines[1:]:
+        parts = ln.split()
+        if len(parts) != 2:
+            raise ValueError(f"malformed edge line {ln!r}")
+        edges.append((int(parts[0]), int(parts[1])))
+    return from_edges(n, edges)
+
+
+def save_edge_list(graph: AdjacencyMatrix, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in edge-list format."""
+    Path(path).write_text(dumps_edge_list(graph))
+
+
+def load_edge_list(path: PathLike) -> AdjacencyMatrix:
+    """Read a graph from an edge-list file."""
+    return loads_edge_list(Path(path).read_text())
+
+
+def save_matrix(graph: AdjacencyMatrix, path: PathLike) -> None:
+    """Write ``graph`` as a dense 0/1 matrix text file."""
+    np.savetxt(path, graph.matrix, fmt="%d")
+
+
+def load_matrix(path: PathLike) -> AdjacencyMatrix:
+    """Read a dense 0/1 matrix text file as a graph."""
+    data = np.loadtxt(path, dtype=np.int64)
+    if data.ndim == 0:  # 1x1 matrix collapses to a scalar
+        data = data.reshape(1, 1)
+    elif data.ndim == 1:  # a single row collapses to 1-D
+        data = data.reshape(1, -1)
+    return AdjacencyMatrix(data)
+
+
+def dumps_matrix(graph: AdjacencyMatrix) -> str:
+    """Serialise ``graph`` as dense matrix text."""
+    buf = _io.StringIO()
+    np.savetxt(buf, graph.matrix, fmt="%d")
+    return buf.getvalue()

@@ -1,0 +1,99 @@
+"""Graph metrics used by the examples and benchmark workload reports.
+
+Small, oracle-grade implementations (BFS based) of the structural metrics
+the convergence discussions need: diameter/eccentricity (the quantity the
+naive label-propagation baseline is bounded by), component size
+distributions and degree statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.graphs.components import canonical_labels
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+
+def _as_graph(graph: GraphLike) -> AdjacencyMatrix:
+    if isinstance(graph, AdjacencyMatrix):
+        return graph
+    return AdjacencyMatrix(np.asarray(graph))
+
+
+def bfs_distances(graph: GraphLike, source: int) -> np.ndarray:
+    """Hop distances from ``source``; ``-1`` for unreachable nodes."""
+    g = _as_graph(graph)
+    if not 0 <= source < g.n:
+        raise IndexError(f"source must be in [0, {g.n}), got {source}")
+    dist = np.full(g.n, -1, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nb in np.flatnonzero(g.matrix[node]):
+            if dist[nb] == -1:
+                dist[nb] = dist[node] + 1
+                queue.append(int(nb))
+    return dist
+
+
+def eccentricity(graph: GraphLike, node: int) -> int:
+    """Greatest distance from ``node`` within its component."""
+    dist = bfs_distances(graph, node)
+    return int(dist.max(initial=0))
+
+
+def diameter(graph: GraphLike) -> int:
+    """Largest eccentricity over all nodes (per-component; the maximum
+    over components of each component's diameter)."""
+    g = _as_graph(graph)
+    best = 0
+    for node in range(g.n):
+        best = max(best, eccentricity(g, node))
+    return best
+
+
+def component_sizes(graph: GraphLike) -> List[int]:
+    """Sizes of the connected components, descending."""
+    labels = canonical_labels(_as_graph(graph))
+    _, counts = np.unique(labels, return_counts=True)
+    return sorted(counts.tolist(), reverse=True)
+
+
+def degree_statistics(graph: GraphLike) -> Dict[str, float]:
+    """Min / max / mean degree and the edge count."""
+    g = _as_graph(graph)
+    degrees = g.degrees()
+    return {
+        "min_degree": int(degrees.min()),
+        "max_degree": int(degrees.max()),
+        "mean_degree": float(degrees.mean()) if g.n else 0.0,
+        "edges": g.edge_count,
+    }
+
+
+def is_connected(graph: GraphLike) -> bool:
+    """Whether the graph has exactly one component."""
+    g = _as_graph(graph)
+    if g.n == 0:
+        return True
+    return bool((bfs_distances(g, 0) >= 0).all())
+
+
+def summary(graph: GraphLike) -> str:
+    """One-paragraph textual summary (used by examples)."""
+    g = _as_graph(graph)
+    sizes = component_sizes(g)
+    stats = degree_statistics(g)
+    return (
+        f"n={g.n} edges={stats['edges']} density={g.density:.3f} "
+        f"components={len(sizes)} largest={sizes[0] if sizes else 0} "
+        f"diameter={diameter(g)} "
+        f"degree[min/mean/max]={stats['min_degree']}/"
+        f"{stats['mean_degree']:.2f}/{stats['max_degree']}"
+    )

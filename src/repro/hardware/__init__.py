@@ -1,0 +1,115 @@
+"""FPGA hardware cost model (the Section 4 substitute).
+
+We cannot run Quartus II against a Cyclone II device, so the synthesis
+experiment is reproduced by a structural cost model calibrated against the
+paper's single published data point; see DESIGN.md ("Substitutions").
+
+* :mod:`~repro.hardware.cells` -- standard/extended cell classification and
+  static source-set analysis derived from the actual rule set;
+* :mod:`~repro.hardware.cost_model` -- register/LE/fmax estimates;
+* :mod:`~repro.hardware.synthesis` -- Section-4-style report records;
+* :mod:`~repro.hardware.replication` -- the C/T replication+rotation
+  congestion optimisation, quantified.
+"""
+
+from repro.hardware.cells import (
+    CellKind,
+    CellStructure,
+    analyze_static_sources,
+    cell_kind,
+    count_cells,
+    mux_input_summary,
+)
+from repro.hardware.cost_model import (
+    PAPER_CELLS,
+    PAPER_FMAX_MHZ,
+    PAPER_LOGIC_ELEMENTS,
+    PAPER_N,
+    PAPER_REGISTER_BITS,
+    CostEstimate,
+    critical_path_levels,
+    data_width,
+    estimate,
+    fmax_mhz,
+    logic_elements,
+    logic_units,
+    register_bits,
+)
+from repro.hardware.replication import (
+    AblationRow,
+    ReadStrategy,
+    ReplicationCost,
+    ablation,
+    build_replicas,
+    generation_cycles,
+    replica_congestion,
+    replication_cost,
+    rotated_position,
+    run_cycles,
+)
+from repro.hardware.multiplexed import (
+    MultiplexedEstimate,
+    best_cost_performance,
+    estimate_multiplexed,
+    frontier,
+    generation_active_counts,
+)
+from repro.hardware.verilog import (
+    VerilogDesign,
+    design_statistics,
+    generate_verilog,
+)
+from repro.hardware.synthesis import (
+    EP2C70_LOGIC_ELEMENTS,
+    SynthesisReport,
+    largest_feasible_n,
+    paper_report,
+    sweep,
+    synthesize,
+)
+
+__all__ = [
+    "CellKind",
+    "CellStructure",
+    "analyze_static_sources",
+    "cell_kind",
+    "count_cells",
+    "mux_input_summary",
+    "CostEstimate",
+    "critical_path_levels",
+    "data_width",
+    "estimate",
+    "fmax_mhz",
+    "logic_elements",
+    "logic_units",
+    "register_bits",
+    "PAPER_N",
+    "PAPER_CELLS",
+    "PAPER_LOGIC_ELEMENTS",
+    "PAPER_REGISTER_BITS",
+    "PAPER_FMAX_MHZ",
+    "AblationRow",
+    "ReadStrategy",
+    "ReplicationCost",
+    "ablation",
+    "build_replicas",
+    "generation_cycles",
+    "replica_congestion",
+    "replication_cost",
+    "rotated_position",
+    "run_cycles",
+    "MultiplexedEstimate",
+    "best_cost_performance",
+    "estimate_multiplexed",
+    "frontier",
+    "generation_active_counts",
+    "VerilogDesign",
+    "design_statistics",
+    "generate_verilog",
+    "SynthesisReport",
+    "EP2C70_LOGIC_ELEMENTS",
+    "largest_feasible_n",
+    "paper_report",
+    "sweep",
+    "synthesize",
+]

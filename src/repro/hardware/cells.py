@@ -1,0 +1,122 @@
+"""Cell kinds and static access-structure analysis (Figure 4).
+
+The hardware design "separates the field into ``n^2`` standard cells and
+``n`` extended cells with the ability to choose the neighbor cell on the
+basis of the cell data".  Standard cells connect to a small set of
+*statically known* neighbours selected by a generation-addressed
+multiplexer; extended cells (the first column, which executes the
+data-dependent generations 10 and 11) additionally need a second
+multiplexer addressed by the cell data.
+
+This module classifies cells and -- directly from the generation rules --
+computes each cell's static source set, i.e. the inputs of its neighbour
+multiplexer.  The cost model consumes these counts, so the hardware
+estimate is derived from the *actual* algorithm structure rather than
+hand-waved constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from repro.core.field import FieldLayout
+from repro.core.schedule import full_schedule
+from repro.util.validation import check_positive
+
+
+class CellKind(enum.Enum):
+    """Hardware cell classes of the paper's Figure 4."""
+
+    STANDARD = "standard"
+    EXTENDED = "extended"
+
+
+def cell_kind(layout: FieldLayout, index: int) -> CellKind:
+    """Classify cell ``index``.
+
+    Extended cells are exactly the first column of the square field: they
+    execute the data-dependent generations 10 and 11.  The remaining
+    ``n(n-1)`` square cells and the ``n`` bottom-row cells are standard --
+    ``n^2`` standard plus ``n`` extended in total, matching Section 4.
+    """
+    if layout.is_first_column(index) and not layout.is_last_row(index):
+        return CellKind.EXTENDED
+    return CellKind.STANDARD
+
+
+def count_cells(n: int) -> Dict[CellKind, int]:
+    """Cell counts by kind: ``n^2`` standard, ``n`` extended."""
+    check_positive("n", n)
+    return {CellKind.STANDARD: n * n, CellKind.EXTENDED: n}
+
+
+@dataclass(frozen=True)
+class CellStructure:
+    """The per-cell hardware structure derived from the rule set.
+
+    Attributes
+    ----------
+    index:
+        Linear cell index.
+    kind:
+        Standard or extended.
+    static_sources:
+        The distinct cells this cell reads through *position-determined*
+        pointers (generations 1-9) -- the inputs of the generation mux.
+    data_mux_inputs:
+        Inputs of the data-addressed mux (0 for standard cells, ``n`` for
+        extended cells: generation 10/11 can dereference any row).
+    """
+
+    index: int
+    kind: CellKind
+    static_sources: FrozenSet[int]
+    data_mux_inputs: int
+
+    @property
+    def generation_mux_inputs(self) -> int:
+        """Inputs of the generation-addressed neighbour multiplexer."""
+        return len(self.static_sources)
+
+
+def analyze_static_sources(n: int) -> List[CellStructure]:
+    """Derive every cell's static source set from one iteration's rules.
+
+    Data-dependent generations (10, 11) are excluded from the static set
+    and accounted as the extended cells' ``n``-input data mux instead.
+    """
+    check_positive("n", n)
+    layout = FieldLayout(n)
+    sources: List[Set[int]] = [set() for _ in range(layout.size)]
+    for sched in full_schedule(n, iterations=1):
+        if sched.number in (0, 10, 11):
+            continue
+        rule = sched.rule
+        for index in range(layout.size):
+            if rule.active(layout, index):
+                # d=0 is a safe placeholder: these pointers ignore d.
+                sources[index].add(rule.pointer(layout, index, 0))
+    result = []
+    for index in range(layout.size):
+        kind = cell_kind(layout, index)
+        result.append(
+            CellStructure(
+                index=index,
+                kind=kind,
+                static_sources=frozenset(sources[index]),
+                data_mux_inputs=n if kind is CellKind.EXTENDED else 0,
+            )
+        )
+    return result
+
+
+def mux_input_summary(n: int) -> Dict[CellKind, int]:
+    """Maximum generation-mux inputs per cell kind -- the figure the
+    multiplexer sizing of the cost model uses."""
+    structures = analyze_static_sources(n)
+    summary: Dict[CellKind, int] = {CellKind.STANDARD: 0, CellKind.EXTENDED: 0}
+    for s in structures:
+        summary[s.kind] = max(summary[s.kind], s.generation_mux_inputs)
+    return summary

@@ -1,0 +1,164 @@
+"""Parametric FPGA cost model (the Section 4 substitute).
+
+We have no Cyclone II device or Quartus II; instead we estimate the three
+figures the paper reports -- logic elements, register bits, fmax -- from
+the *structure* of the design, calibrated against the single published
+data point (``n = 16``: 272 cells, 23,051 LEs, 2,192 register bits,
+71 MHz).  The model:
+
+* **cells** -- exact: ``n^2`` standard + ``n`` extended = ``n(n+1)``.
+* **register bits** -- each cell keeps a data register of
+  ``2 * ceil(log2 n)`` bits (wide enough for node ids 0..n-1, row numbers
+  up to n and an infinity encoding, and matching the published
+  2,192 = 272 x 8 + 16 at n = 16); each extended cell keeps one extra
+  state bit.  This term is structural, the widths are the calibrated fit.
+* **logic elements** -- counted in 4-LUT-equivalent *units* derived from
+  the real per-cell multiplexer structure (static source sets computed
+  from the rule set by :mod:`repro.hardware.cells`), comparator/minimum
+  logic and condition decoding, then scaled by a single constant chosen so
+  the model reproduces 23,051 LEs at ``n = 16``.
+* **fmax** -- a logic-depth model: the critical path traverses the
+  neighbour multiplexer tree (depth ``ceil(log2 inputs)``) and the
+  comparator (depth ``ceil(log2 width)``); per-level delay calibrated so
+  fmax(16) = 71 MHz.
+
+Because only the n=16 point is published, the *sweep* produced by the
+bench is a model prediction whose value lies in its shape (linear cell
+growth, ~n^2 log n register bits, mux-depth-limited clock), not in its
+absolute accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.cells import CellKind, analyze_static_sources, count_cells
+from repro.util.intmath import ceil_log2
+from repro.util.validation import check_positive
+
+#: The single published synthesis data point (Section 4).
+PAPER_N = 16
+PAPER_CELLS = 272
+PAPER_LOGIC_ELEMENTS = 23_051
+PAPER_REGISTER_BITS = 2_192
+PAPER_FMAX_MHZ = 71.0
+PAPER_DEVICE = "ALTERA CYCLONE II EP2C70"
+
+
+def data_width(n: int) -> int:
+    """Data-register width per cell: ``2 * ceil(log2 n)`` bits (min 2).
+
+    Wide enough for node ids, row numbers and an infinity encoding; equals
+    8 bits at n = 16, matching the published register budget.
+    """
+    check_positive("n", n)
+    return max(2, 2 * ceil_log2(max(2, n)))
+
+
+def register_bits(n: int) -> int:
+    """Total register bits: one data register per cell plus one extra bit
+    per extended cell (272 * 8 + 16 = 2,192 at n = 16)."""
+    counts = count_cells(n)
+    cells = counts[CellKind.STANDARD] + counts[CellKind.EXTENDED]
+    return cells * data_width(n) + counts[CellKind.EXTENDED]
+
+
+def _mux_units(inputs: int, width: int) -> int:
+    """4-LUT units of a ``width``-bit ``inputs``-to-1 multiplexer
+    (``inputs - 1`` two-to-one muxes per bit)."""
+    if inputs <= 1:
+        return 0
+    return (inputs - 1) * width
+
+
+def logic_units(n: int) -> Dict[str, int]:
+    """Structural LE units by component, before calibration scaling."""
+    check_positive("n", n)
+    w = data_width(n)
+    structures = analyze_static_sources(n)
+    gen_mux = sum(_mux_units(s.generation_mux_inputs, w) for s in structures)
+    data_mux = sum(_mux_units(s.data_mux_inputs, w) for s in structures)
+    cells = len(structures)
+    # Per-cell datapath: min/compare (w units), infinity detect and
+    # condition decode (w units), state-machine decode (4 units).
+    datapath = cells * (2 * w + 4)
+    # Global control: iteration / sub-generation counters and state decode.
+    control = 8 * (2 * ceil_log2(max(2, n)) + 12)
+    return {
+        "generation_mux": gen_mux,
+        "data_mux": data_mux,
+        "datapath": datapath,
+        "control": control,
+    }
+
+
+def total_logic_units(n: int) -> int:
+    """Sum of all structural units."""
+    return sum(logic_units(n).values())
+
+
+#: Calibration: one scale factor reproducing the published LE count.
+LE_SCALE = PAPER_LOGIC_ELEMENTS / 15_328  # total_logic_units(16) == 15_328
+
+
+def logic_elements(n: int) -> int:
+    """Estimated logic elements (calibrated; exact at n = 16)."""
+    return round(LE_SCALE * total_logic_units(n))
+
+
+def critical_path_levels(n: int) -> int:
+    """Logic levels on the critical path: generation-mux tree, the
+    extended cells' data-mux tree, and the comparator."""
+    w = data_width(n)
+    structures = analyze_static_sources(n)
+    max_static = max(s.generation_mux_inputs for s in structures)
+    max_data = max(s.data_mux_inputs for s in structures)
+    mux_depth = ceil_log2(max(2, max_static)) + ceil_log2(max(2, max_data))
+    cmp_depth = ceil_log2(max(2, w)) + 1
+    return mux_depth + cmp_depth
+
+
+# fmax(n) = 1000 / (T0 + T_LEVEL * levels(n))  [MHz, delays in ns]
+_T_LEVEL_NS = 0.9
+_T0_NS = 1000.0 / PAPER_FMAX_MHZ - _T_LEVEL_NS * 11  # levels(16) == 11
+
+
+def fmax_mhz(n: int) -> float:
+    """Estimated maximum clock frequency in MHz (71.0 at n = 16)."""
+    period_ns = _T0_NS + _T_LEVEL_NS * critical_path_levels(n)
+    return 1000.0 / period_ns
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """The complete resource estimate for one field size."""
+
+    n: int
+    cells: int
+    standard_cells: int
+    extended_cells: int
+    data_width: int
+    register_bits: int
+    logic_elements: int
+    fmax_mhz: float
+
+    @property
+    def le_per_cell(self) -> float:
+        """Average logic elements per cell."""
+        return self.logic_elements / self.cells
+
+
+def estimate(n: int) -> CostEstimate:
+    """Full cost estimate for a field over ``n`` nodes."""
+    counts = count_cells(n)
+    return CostEstimate(
+        n=n,
+        cells=counts[CellKind.STANDARD] + counts[CellKind.EXTENDED],
+        standard_cells=counts[CellKind.STANDARD],
+        extended_cells=counts[CellKind.EXTENDED],
+        data_width=data_width(n),
+        register_bits=register_bits(n),
+        logic_elements=logic_elements(n),
+        fmax_mhz=round(fmax_mhz(n), 1),
+    )

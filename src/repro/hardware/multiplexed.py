@@ -1,0 +1,130 @@
+"""Time-multiplexed GCA architectures (the paper's reference [4]).
+
+The fully parallel design of Section 4 instantiates one hardware cell per
+GCA cell.  The group's companion work (Heenes, Hoffmann, Jendrsczok: "A
+multiprocessor architecture for the massively parallel model GCA",
+IPDPS/SMTPS 2006 -- reference [4] of the paper) instead drives the cell
+*field* from ``p`` processing units that evaluate the cells round-robin,
+keeping the cell states in block RAM.  This module models that design
+point and the resulting cost/performance frontier:
+
+* **cycles**: one generation with ``a`` active cells takes
+  ``ceil(a / p)`` evaluation rounds (each unit evaluates one cell per
+  cycle; reads hit BRAM, which is dual-ported, so a serialisation factor
+  enters only through the congestion of the fully parallel design when
+  ``p`` exceeds the available ports -- modelled by ``port_limit``);
+* **logic**: ``p`` units cost roughly ``p`` times one fully-parallel
+  cell's logic plus a controller; cell *state* moves from registers into
+  BRAM bits (cheap), which is exactly the paper's cells-vs-memory
+  cost-model argument in reverse.
+
+The Brent-style arithmetic reuses :mod:`repro.pram.brent`; the per-unit
+logic cost reuses the calibrated fully-parallel model so both designs sit
+on one axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.schedule import full_schedule
+from repro.core.vectorized import active_mask
+from repro.core.field import FieldLayout
+from repro.hardware.cost_model import data_width, estimate, fmax_mhz
+from repro.pram.brent import simulated_step_time
+from repro.util.validation import check_positive
+
+
+def generation_active_counts(n: int) -> List[int]:
+    """Active-cell count of every generation of a full run (structural --
+    the schedule is oblivious, so no graph is needed)."""
+    layout = FieldLayout(n)
+    return [int(active_mask(s, layout).sum()) for s in full_schedule(n)]
+
+
+@dataclass(frozen=True)
+class MultiplexedEstimate:
+    """Cost/performance of a ``p``-unit time-multiplexed design."""
+
+    n: int
+    units: int
+    total_cycles: int
+    logic_elements: int
+    bram_bits: int
+    register_bits: int
+    fmax_mhz: float
+
+    @property
+    def runtime_us(self) -> float:
+        """Estimated wall time of one full run in microseconds."""
+        return self.total_cycles / self.fmax_mhz
+
+    @property
+    def cost_performance(self) -> float:
+        """Logic-elements x runtime -- the frontier metric (lower = better)."""
+        return self.logic_elements * self.runtime_us
+
+
+def estimate_multiplexed(n: int, units: int) -> MultiplexedEstimate:
+    """Cost estimate for ``units`` processing units over an ``n``-node field.
+
+    ``units`` may range from 1 (fully sequential) to ``n(n+1)``
+    (fully parallel; the estimate then matches the Section 4 model up to
+    the register/BRAM split).
+    """
+    check_positive("n", n)
+    check_positive("units", units)
+    cells = n * (n + 1)
+    units = min(units, cells)
+    full = estimate(n)
+
+    total_cycles = sum(
+        simulated_step_time(active, units)
+        for active in generation_active_counts(n)
+    )
+
+    # one unit's logic ~ one fully parallel cell's share, plus a
+    # round-robin controller that grows with log of the cell count
+    le_per_unit = max(1, round(full.logic_elements / cells))
+    controller = 64 + 8 * max(1, (cells - 1).bit_length())
+    logic = units * le_per_unit + controller
+
+    width = data_width(n)
+    state_bits = cells * 2 * width + n * n  # d and p planes + adjacency
+    if units >= cells:
+        bram_bits, register_bits = 0, full.register_bits
+    else:
+        bram_bits, register_bits = state_bits, units * 2 * width
+
+    return MultiplexedEstimate(
+        n=n,
+        units=units,
+        total_cycles=total_cycles,
+        logic_elements=logic,
+        bram_bits=bram_bits,
+        register_bits=register_bits,
+        fmax_mhz=round(fmax_mhz(n), 1),
+    )
+
+
+def frontier(n: int, unit_counts: Optional[Sequence[int]] = None) -> List[MultiplexedEstimate]:
+    """The cost/performance frontier across unit counts.
+
+    Default sweep: powers of four from 1 up to the full field.
+    """
+    check_positive("n", n)
+    cells = n * (n + 1)
+    if unit_counts is None:
+        unit_counts = []
+        p = 1
+        while p < cells:
+            unit_counts.append(p)
+            p *= 4
+        unit_counts.append(cells)
+    return [estimate_multiplexed(n, p) for p in unit_counts]
+
+
+def best_cost_performance(n: int) -> MultiplexedEstimate:
+    """The frontier point minimising logic x runtime."""
+    return min(frontier(n), key=lambda e: e.cost_performance)

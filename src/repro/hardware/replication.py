@@ -1,0 +1,167 @@
+"""The replication/rotation congestion optimisation (Section 4 discussion).
+
+"While the congestion suggests that some of the steps are very slow, the
+static nature of the communication can be used to either implement the
+concurrent reads in a tree-like manner, or to use replication for arrays C
+and T to get congestion down to 1.  For example, in the second step, each
+cell (i, j) accesses C(i) and C(j).  If the array C is replicated in each
+row, rotated by i positions in row i, then all cells in row i could access
+all the C(i) values in this row, and each cell of this row could access
+the C(i) value in its column.  This however would require extended cells
+in all places."
+
+This module quantifies that trade for all three read-distribution
+strategies:
+
+* ``SERIAL`` -- concurrent reads of one cell are serialised: a generation
+  takes ``max(1, delta_max)`` cycles;
+* ``TREE``   -- reads are served by a distribution tree:
+  ``1 + ceil(log2 delta_max)`` cycles;
+* ``REPLICATED`` -- C/T live rotated in every row, all broadcast reads are
+  local: 1 cycle per generation, but every cell becomes extended and the
+  replicas cost registers.
+
+The rotation itself is modelled (and unit-tested) as an address transform:
+with replica ``R<i>[(i + k) mod n] = C(k)``, the value ``C(k)`` needed by
+cell ``(i, k)`` is available *inside row i*, hence congestion 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.gca.instrumentation import AccessLog
+from repro.hardware.cost_model import data_width, estimate
+from repro.util.intmath import ceil_log2
+from repro.util.validation import check_positive
+
+
+class ReadStrategy(enum.Enum):
+    """How concurrent reads of one cell are realised in hardware."""
+
+    SERIAL = "serial"
+    TREE = "tree"
+    REPLICATED = "replicated"
+
+
+def rotated_position(row: int, source: int, n: int) -> int:
+    """Column of ``C(source)`` within row ``row`` after rotation by ``row``.
+
+    The replica layout stores ``C(k)`` of row ``i`` at column
+    ``(i + k) mod n`` ("rotated by i positions in row i").
+    """
+    check_positive("n", n)
+    if not 0 <= row < n or not 0 <= source < n:
+        raise IndexError(f"row/source must be in [0, {n}), got {row}/{source}")
+    return (row + source) % n
+
+
+def build_replicas(values: np.ndarray) -> np.ndarray:
+    """The ``n x n`` replica matrix: row ``i`` holds ``values`` rotated by
+    ``i`` positions (``R[i, (i + k) % n] = values[k]``)."""
+    values = np.asarray(values)
+    n = values.shape[0]
+    replicas = np.empty((n, n), dtype=values.dtype)
+    cols = (np.arange(n)[:, None] + np.arange(n)[None, :]) % n
+    replicas[np.arange(n)[:, None], cols] = values[None, :]
+    return replicas
+
+
+def replica_congestion(n: int) -> int:
+    """Read congestion of the broadcast generations under replication: each
+    cell finds every needed C/T value inside its own row, so 1."""
+    check_positive("n", n)
+    return 1
+
+
+def generation_cycles(delta_max: int, strategy: ReadStrategy) -> int:
+    """Hardware cycles one generation takes under ``strategy`` when its
+    peak congestion is ``delta_max``."""
+    if delta_max < 0:
+        raise ValueError(f"delta_max must be >= 0, got {delta_max}")
+    if strategy is ReadStrategy.REPLICATED:
+        return 1
+    if delta_max <= 1:
+        return 1
+    if strategy is ReadStrategy.SERIAL:
+        return delta_max
+    return 1 + ceil_log2(delta_max)
+
+
+def run_cycles(log: AccessLog, strategy: ReadStrategy) -> int:
+    """Total cycles of a recorded run under ``strategy``."""
+    return sum(
+        generation_cycles(g.max_congestion, strategy) for g in log.generations
+    )
+
+
+@dataclass(frozen=True)
+class ReplicationCost:
+    """Hardware cost delta of the replication scheme."""
+
+    n: int
+    extra_register_bits: int
+    baseline_extended_cells: int
+    replicated_extended_cells: int
+
+    @property
+    def extended_cell_increase(self) -> int:
+        return self.replicated_extended_cells - self.baseline_extended_cells
+
+
+def replication_cost(n: int) -> ReplicationCost:
+    """Registers and cell upgrades the replication scheme requires.
+
+    Two replicated arrays (C and T), one rotated copy per row:
+    ``2 * n^2 * width`` extra register bits; and "extended cells in all
+    places": all ``n(n+1)`` cells need data-addressed source selection.
+    """
+    check_positive("n", n)
+    base = estimate(n)
+    return ReplicationCost(
+        n=n,
+        extra_register_bits=2 * n * n * data_width(n),
+        baseline_extended_cells=base.extended_cells,
+        replicated_extended_cells=base.cells,
+    )
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One row of the replication ablation (strategy x metric)."""
+
+    strategy: ReadStrategy
+    total_cycles: int
+    extra_register_bits: int
+    extended_cells: int
+
+
+def ablation(
+    log: AccessLog, n: int
+) -> List[AblationRow]:
+    """The Section-4 trade-off, quantified on a measured run."""
+    cost = replication_cost(n)
+    base = estimate(n)
+    rows = []
+    for strategy in ReadStrategy:
+        rows.append(
+            AblationRow(
+                strategy=strategy,
+                total_cycles=run_cycles(log, strategy),
+                extra_register_bits=(
+                    cost.extra_register_bits
+                    if strategy is ReadStrategy.REPLICATED
+                    else 0
+                ),
+                extended_cells=(
+                    cost.replicated_extended_cells
+                    if strategy is ReadStrategy.REPLICATED
+                    else base.extended_cells
+                ),
+            )
+        )
+    return rows

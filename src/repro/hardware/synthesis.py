@@ -1,0 +1,97 @@
+"""Synthesis-report facade (the Section 4 result line).
+
+The paper reports one synthesis result::
+
+    N x (N+1) = 272 cells; logic elements = 23,051; register bits = 2,192;
+    clock frequency = 71 MHz        (ALTERA CYCLONE II EP2C70, Quartus II)
+
+:func:`synthesize` produces the same record from the cost model;
+:func:`paper_report` is the published constant; the Figure-4 bench prints
+both side by side and sweeps ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hardware.cost_model import (
+    PAPER_CELLS,
+    PAPER_DEVICE,
+    PAPER_FMAX_MHZ,
+    PAPER_LOGIC_ELEMENTS,
+    PAPER_N,
+    PAPER_REGISTER_BITS,
+    CostEstimate,
+    estimate,
+)
+
+#: Capacity of the paper's device: the EP2C70 has 68,416 logic elements.
+EP2C70_LOGIC_ELEMENTS = 68_416
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """One synthesis result row."""
+
+    device: str
+    n: int
+    cells: int
+    logic_elements: int
+    register_bits: int
+    fmax_mhz: float
+    source: str  # "paper" or "model"
+
+    def summary(self) -> str:
+        """Section-4-style one-liner."""
+        return (
+            f"N x (N+1) = {self.cells} cells; logic elements = "
+            f"{self.logic_elements:,}; register bits = {self.register_bits:,}; "
+            f"clock frequency = {self.fmax_mhz:g} MHz"
+        )
+
+    @property
+    def device_utilisation(self) -> float:
+        """Fraction of the EP2C70's logic elements consumed."""
+        return self.logic_elements / EP2C70_LOGIC_ELEMENTS
+
+
+def paper_report() -> SynthesisReport:
+    """The published Section 4 data point."""
+    return SynthesisReport(
+        device=PAPER_DEVICE,
+        n=PAPER_N,
+        cells=PAPER_CELLS,
+        logic_elements=PAPER_LOGIC_ELEMENTS,
+        register_bits=PAPER_REGISTER_BITS,
+        fmax_mhz=PAPER_FMAX_MHZ,
+        source="paper",
+    )
+
+
+def synthesize(n: int) -> SynthesisReport:
+    """Model-based synthesis estimate for a field over ``n`` nodes."""
+    est: CostEstimate = estimate(n)
+    return SynthesisReport(
+        device=PAPER_DEVICE + " (model)",
+        n=n,
+        cells=est.cells,
+        logic_elements=est.logic_elements,
+        register_bits=est.register_bits,
+        fmax_mhz=est.fmax_mhz,
+        source="model",
+    )
+
+
+def sweep(sizes: List[int]) -> List[SynthesisReport]:
+    """Synthesis estimates across field sizes."""
+    return [synthesize(n) for n in sizes]
+
+
+def largest_feasible_n(max_logic_elements: int = EP2C70_LOGIC_ELEMENTS) -> int:
+    """The largest ``n`` whose estimated design fits the device -- the
+    practical scalability statement of the conclusion, quantified."""
+    n = 1
+    while estimate(n + 1).logic_elements <= max_logic_elements:
+        n += 1
+    return n

@@ -1,0 +1,70 @@
+"""Hirschberg's connected-components algorithm (the paper's Listing 1).
+
+* :mod:`~repro.hirschberg.steps` -- the six steps as pure vector ops;
+* :mod:`~repro.hirschberg.reference` -- the reference data-parallel run;
+* :mod:`~repro.hirschberg.pram_impl` -- the same program executed on the
+  access-mode-checked PRAM simulator (demonstrating the CROW claim);
+* :mod:`~repro.hirschberg.variants` -- literal-step-6, HCS'79 and naive
+  label-propagation comparison points.
+"""
+
+from repro.hirschberg.edgelist import (
+    EdgeListGraph,
+    EdgeListResult,
+    connected_components_edgelist,
+    random_edge_list,
+    spanning_forest_edgelist,
+)
+from repro.hirschberg.fastsv import (
+    FastSVResult,
+    fastsv_on_pram,
+    fastsv_reference,
+)
+from repro.hirschberg.pram_impl import PRAMRunResult, hirschberg_on_pram
+from repro.hirschberg.reference import (
+    ReferenceResult,
+    connected_components_reference,
+    hirschberg_reference,
+)
+from repro.hirschberg.steps import (
+    one_iteration,
+    step1_init,
+    step2_candidate_components,
+    step3_supernode_min,
+    step4_adopt,
+    step5_pointer_jump,
+    step6_resolve_pairs,
+)
+from repro.hirschberg.variants import (
+    hirschberg_literal_step6,
+    label_propagation,
+    label_propagation_rounds,
+    supernode_only_step3,
+)
+
+__all__ = [
+    "EdgeListGraph",
+    "EdgeListResult",
+    "connected_components_edgelist",
+    "random_edge_list",
+    "spanning_forest_edgelist",
+    "FastSVResult",
+    "fastsv_on_pram",
+    "fastsv_reference",
+    "PRAMRunResult",
+    "hirschberg_on_pram",
+    "ReferenceResult",
+    "connected_components_reference",
+    "hirschberg_reference",
+    "one_iteration",
+    "step1_init",
+    "step2_candidate_components",
+    "step3_supernode_min",
+    "step4_adopt",
+    "step5_pointer_jump",
+    "step6_resolve_pairs",
+    "hirschberg_literal_step6",
+    "label_propagation",
+    "label_propagation_rounds",
+    "supernode_only_step3",
+]

@@ -1,0 +1,261 @@
+"""Work-efficient edge-list variant of Hirschberg's algorithm.
+
+The paper's field works on the dense adjacency matrix -- ``Theta(n^2)``
+cells, the regime where Hirschberg's algorithm is work-optimal.  For
+*sparse* graphs a modern library user wants the same iteration structure
+at ``O((n + m) log n)`` work.  This module provides exactly that: the six
+steps re-expressed over an edge list with ``numpy.minimum.at`` scatter
+reductions instead of row-wise matrix minima.
+
+Semantically it is the same algorithm -- identical iteration structure,
+identical per-iteration labellings (asserted against the reference in the
+tests) -- so it also documents that the paper's mapping decisions
+(the ``n^2`` temporaries, the tree reductions) are an artefact of the
+*dense* target architecture, not of the algorithm.
+
+Scales comfortably to hundreds of thousands of nodes; see
+``benchmarks/bench_edgelist_scaling.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.util.intmath import jump_iterations, outer_iterations
+from repro.util.validation import check_positive
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+
+@dataclass(frozen=True)
+class EdgeListGraph:
+    """A graph as directed edge arrays (both directions present).
+
+    Attributes
+    ----------
+    n:
+        Node count.
+    src, dst:
+        Arrays of equal length; every undirected edge ``{u, v}`` appears
+        as both ``(u, v)`` and ``(v, u)`` so per-node reductions see all
+        neighbours.
+    """
+
+    n: int
+    src: np.ndarray
+    dst: np.ndarray
+
+    @property
+    def edge_count(self) -> int:
+        """Number of *undirected* edges."""
+        return int(self.src.size) // 2
+
+    @staticmethod
+    def from_edges(n: int, edges) -> "EdgeListGraph":
+        """Build from an iterable of undirected ``(u, v)`` pairs."""
+        check_positive("n", n)
+        pairs = [(int(u), int(v)) for u, v in edges]
+        for u, v in pairs:
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {v}) is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise IndexError(f"edge ({u}, {v}) out of range for n={n}")
+        if pairs:
+            arr = np.asarray(pairs, dtype=np.int64)
+            src = np.concatenate([arr[:, 0], arr[:, 1]])
+            dst = np.concatenate([arr[:, 1], arr[:, 0]])
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+        return EdgeListGraph(n=n, src=src, dst=dst)
+
+    @staticmethod
+    def from_adjacency(graph: GraphLike) -> "EdgeListGraph":
+        """Convert a dense adjacency graph."""
+        g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+        rows, cols = np.nonzero(g.matrix)
+        return EdgeListGraph(
+            n=g.n, src=rows.astype(np.int64), dst=cols.astype(np.int64)
+        )
+
+
+@dataclass
+class EdgeListResult:
+    """Outcome of an edge-list run."""
+
+    labels: np.ndarray
+    iterations: int
+
+    @property
+    def component_count(self) -> int:
+        return int(np.unique(self.labels).size)
+
+
+def _scatter_min(target: np.ndarray, index: np.ndarray, values: np.ndarray) -> None:
+    """``target[index] = min(target[index], values)`` elementwise groups."""
+    if index.size:
+        np.minimum.at(target, index, values)
+
+
+def _one_iteration(
+    graph: EdgeListGraph, C: np.ndarray, jumps: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Steps 2-6 over the edge list.  Returns ``(new C, step-3 T)``."""
+    n = graph.n
+    sentinel = np.int64(n)  # one past any node id: the edge-list infinity
+
+    # step 2: T(u) = min{ C(v) : (u,v) edge, C(v) != C(u) } else C(u)
+    T = np.full(n, sentinel, dtype=np.int64)
+    cu, cv = C[graph.src], C[graph.dst]
+    foreign = cu != cv
+    _scatter_min(T, graph.src[foreign], cv[foreign])
+    T = np.where(T == sentinel, C, T)
+
+    # step 3: T'(i) = min{ T(j) : C(j) = i, T(j) != i } else C(i)
+    T3 = np.full(n, sentinel, dtype=np.int64)
+    nontrivial = T != C          # T(j) != C(j) implies T(j) != i for i=C(j)
+    _scatter_min(T3, C[nontrivial], T[nontrivial])
+    T3 = np.where(T3 == sentinel, C, T3)
+
+    # step 4: hook
+    C = T3.copy()
+    # step 5: pointer jumping
+    for _ in range(jumps):
+        C = C[C]
+    # step 6: resolve mutual pairs
+    C = np.minimum(C, T3[C])
+    return C, T3
+
+
+def connected_components_edgelist(
+    graph: Union[EdgeListGraph, GraphLike],
+    iterations: Optional[int] = None,
+) -> EdgeListResult:
+    """Canonical component labels over an edge list.
+
+    Accepts an :class:`EdgeListGraph` or any dense graph (converted).
+    """
+    g = (
+        graph
+        if isinstance(graph, EdgeListGraph)
+        else EdgeListGraph.from_adjacency(graph)
+    )
+    n = g.n
+    total = outer_iterations(n) if iterations is None else iterations
+    if total < 0:
+        raise ValueError(f"iterations must be >= 0, got {total}")
+    jumps = jump_iterations(n)
+    C = np.arange(n, dtype=np.int64)
+    for _ in range(total):
+        C, _T = _one_iteration(g, C, jumps)
+    return EdgeListResult(labels=C, iterations=total)
+
+
+def random_edge_list(n: int, m: int, seed=None) -> EdgeListGraph:
+    """A random multigraph-free edge list with ~``m`` undirected edges --
+    the workload generator for the large-scale bench (sampling pairs
+    directly instead of materialising an n x n matrix)."""
+    from repro.util.rng import as_generator
+
+    check_positive("n", n)
+    if n < 2 or m <= 0:
+        return EdgeListGraph.from_edges(n, [])
+    rng = as_generator(seed)
+    u = rng.integers(0, n, size=2 * m)
+    v = rng.integers(0, n, size=2 * m)
+    keep = u != v
+    lo = np.minimum(u[keep], v[keep])
+    hi = np.maximum(u[keep], v[keep])
+    pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)[:m]
+    return EdgeListGraph.from_edges(n, [tuple(p) for p in pairs])
+
+
+# ----------------------------------------------------------------------
+# spanning forest at edge-list scale
+# ----------------------------------------------------------------------
+
+def _scatter_argmin(
+    n: int, index: np.ndarray, values: np.ndarray, witnesses: np.ndarray,
+    sentinel_value: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Grouped ``(min value, witness of a minimal entry)`` via packing.
+
+    Packs ``value * n + witness`` (both < n) so one ``minimum.at`` yields
+    the minimum value together with the smallest witness attaining it --
+    the scatter-reduction form of the dense variant's argmin.
+    """
+    packed_sentinel = sentinel_value * n + (n - 1)
+    packed = np.full(n, packed_sentinel, dtype=np.int64)
+    if index.size:
+        np.minimum.at(packed, index, values * n + witnesses)
+    best_value = packed // n
+    best_witness = packed % n
+    return best_value, best_witness
+
+
+def spanning_forest_edgelist(
+    graph: Union[EdgeListGraph, GraphLike],
+    iterations: Optional[int] = None,
+) -> Tuple[np.ndarray, list]:
+    """Spanning forest over an edge list: ``(labels, forest_edges)``.
+
+    The same hook-witness extraction as
+    :func:`repro.extensions.spanning_forest.spanning_forest`, expressed
+    with packed scatter-argmin reductions so it scales with the edge
+    count.  The forest is acyclic, spans every component, and uses only
+    graph edges (oracle-verified in the tests up to 10^5 nodes).
+    """
+    g = (
+        graph
+        if isinstance(graph, EdgeListGraph)
+        else EdgeListGraph.from_adjacency(graph)
+    )
+    n = g.n
+    total = outer_iterations(n) if iterations is None else iterations
+    if total < 0:
+        raise ValueError(f"iterations must be >= 0, got {total}")
+    jumps = jump_iterations(n)
+    sentinel = np.int64(n)
+    C = np.arange(n, dtype=np.int64)
+    forest: list = []
+
+    for _ in range(total):
+        # step 2 with witnesses: T[u] = min foreign C[v]; W[u] = that v
+        cu, cv = C[g.src], C[g.dst]
+        foreign = cu != cv
+        T, W = _scatter_argmin(
+            n, g.src[foreign], cv[foreign], g.dst[foreign], int(sentinel)
+        )
+        had_candidate = T != sentinel
+        T = np.where(had_candidate, T, C)
+
+        # step 3 with witnesses: per super node s, the member j whose T won
+        nontrivial = (T != C) & had_candidate
+        members = np.flatnonzero(nontrivial)
+        T3, J = _scatter_argmin(
+            n, C[members], T[members], members, int(sentinel)
+        )
+        hooked = T3 != sentinel
+        T3 = np.where(hooked, T3, C)
+
+        # collect hook edges (drop the larger side of mutual pairs)
+        supernodes = np.flatnonzero((C == np.arange(n)) & hooked)
+        for s in supernodes.tolist():
+            target = int(T3[s])
+            if int(T3[target]) == s and C[target] == target and target < s:
+                continue
+            j = int(J[s])
+            w = int(W[j])
+            forest.append((min(j, w), max(j, w)))
+
+        # steps 4-6
+        C = T3.copy()
+        for _j in range(jumps):
+            C = C[C]
+        C = np.minimum(C, T3[C])
+
+    return C, forest

@@ -1,0 +1,202 @@
+"""Hirschberg's algorithm executed on the PRAM simulator.
+
+The paper notes that although Hirschberg's algorithm is usually stated for
+a CREW PRAM, "only a CROW PRAM is really needed".  This module runs
+Listing 1 on :class:`repro.pram.machine.PRAM` under a *selectable* access
+mode, with an ownership assignment under which every write is owner-only:
+
+* ``C[i]`` and ``T[i]`` are owned by (virtual) processor ``i``;
+* the ``n^2`` reduction temporaries ``TMP[i*n + j]`` ("In order to compute
+  the min function in steps 2 and 3 in parallel n^2 temporary variables
+  have to be reserved") are owned by processor ``i*n + j``.
+
+Running under ``AccessMode.CROW`` therefore succeeds -- which *is* the
+paper's claim, dynamically checked -- while the same program under
+``AccessMode.EREW`` raises a read conflict (steps 2/5/6 read ``C``
+concurrently).
+
+The min computations use exactly the tree reduction the GCA mapping uses
+(``log n`` strided halving steps), so the PRAM step count is structurally
+comparable to the GCA generation count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.pram.machine import PRAM, StepContext
+from repro.pram.memory import AccessMode, SharedMemory
+from repro.util.intmath import (
+    jump_iterations,
+    outer_iterations,
+    reduction_subgenerations,
+)
+from repro.util.sentinels import infinity_for
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+
+@dataclass
+class PRAMRunResult:
+    """Outcome of a PRAM execution of Hirschberg's algorithm."""
+
+    labels: np.ndarray
+    machine: PRAM
+
+    @property
+    def parallel_steps(self) -> int:
+        """Synchronous steps executed."""
+        return self.machine.cost.steps
+
+    @property
+    def time(self) -> int:
+        """Brent-adjusted parallel time."""
+        return self.machine.cost.time
+
+    @property
+    def work(self) -> int:
+        """Total operations (active virtual processors summed over steps)."""
+        return self.machine.cost.work
+
+    @property
+    def peak_read_congestion(self) -> int:
+        """Maximum concurrent reads of one shared location in any step."""
+        return max(
+            (s.max_read_congestion for s in self.machine.step_stats), default=0
+        )
+
+
+def hirschberg_on_pram(
+    graph: GraphLike,
+    processors: Optional[int] = None,
+    mode: AccessMode = AccessMode.CROW,
+    iterations: Optional[int] = None,
+) -> PRAMRunResult:
+    """Run Listing 1 on a PRAM.
+
+    Parameters
+    ----------
+    graph:
+        Undirected input graph with ``n`` nodes.
+    processors:
+        Physical processor count ``p`` (default ``n^2``, the maximum
+        parallelism any step requests; fewer processors engage the Brent
+        scheduling in the time accounting).
+    mode:
+        Shared-memory discipline to enforce.  The program is correct under
+        CREW, CROW and CRCW; EREW raises ``ReadConflictError``.
+    iterations:
+        Outer iterations (default ``ceil(log2 n)``).
+    """
+    g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+    n = g.n
+    inf = infinity_for(n)
+    total_iters = outer_iterations(n) if iterations is None else iterations
+    jumps = jump_iterations(n)
+    subgens = reduction_subgenerations(n)
+    p = processors if processors is not None else max(1, n * n)
+
+    memory = SharedMemory(mode=mode)
+    # Ownership: processor i owns C[i]/T[i]; processor i*n+j owns TMP[i*n+j].
+    memory.allocate("A", n * n, initial=g.matrix.ravel())
+    memory.allocate("C", n, owners=np.arange(n))
+    memory.allocate("T", n, owners=np.arange(n))
+    memory.allocate("TMP", n * n, owners=np.arange(n * n))
+    machine = PRAM(processors=p, memory=memory)
+
+    # ----- step 1: C(i) <- i ------------------------------------------------
+    def init(ctx: StepContext) -> None:
+        ctx.write("C", ctx.pid, ctx.pid)
+
+    machine.parallel_step(range(n), init, label="step1")
+
+    for _ in range(total_iters):
+        # ----- step 2: candidates TMP[i,j] = C(j) if A(i,j) & foreign ------
+        def fill_step2(ctx: StepContext) -> None:
+            i, j = divmod(ctx.pid, n)
+            a = ctx.read("A", i * n + j)
+            cj = ctx.read("C", j)
+            ci = ctx.read("C", i)
+            ctx.write("TMP", ctx.pid, cj if (a == 1 and cj != ci) else inf)
+
+        machine.parallel_step(range(n * n), fill_step2, label="step2.fill")
+        _reduce_rows(machine, n, subgens, label="step2")
+
+        def finish_step2(ctx: StepContext) -> None:
+            best = ctx.read("TMP", ctx.pid * n)
+            ci = ctx.read("C", ctx.pid)
+            ctx.write("T", ctx.pid, ci if best == inf else best)
+
+        machine.parallel_step(range(n), finish_step2, label="step2.finish")
+
+        # ----- step 3: supernode gathers members' candidates ---------------
+        def fill_step3(ctx: StepContext) -> None:
+            i, j = divmod(ctx.pid, n)
+            cj = ctx.read("C", j)
+            tj = ctx.read("T", j)
+            ctx.write("TMP", ctx.pid, tj if (cj == i and tj != i) else inf)
+
+        machine.parallel_step(range(n * n), fill_step3, label="step3.fill")
+        _reduce_rows(machine, n, subgens, label="step3")
+
+        def finish_step3(ctx: StepContext) -> None:
+            best = ctx.read("TMP", ctx.pid * n)
+            ci = ctx.read("C", ctx.pid)
+            ctx.write("T", ctx.pid, ci if best == inf else best)
+
+        machine.parallel_step(range(n), finish_step3, label="step3.finish")
+
+        # ----- step 4: C <- T ----------------------------------------------
+        def adopt(ctx: StepContext) -> None:
+            ctx.write("C", ctx.pid, ctx.read("T", ctx.pid))
+
+        machine.parallel_step(range(n), adopt, label="step4")
+
+        # ----- step 5: pointer jumping C(i) <- C(C(i)) ----------------------
+        def jump(ctx: StepContext) -> None:
+            ci = ctx.read("C", ctx.pid)
+            ctx.write("C", ctx.pid, ctx.read("C", ci))
+
+        for _j in range(jumps):
+            machine.parallel_step(range(n), jump, label="step5")
+
+        # ----- step 6: C(i) <- min(C(i), T(C(i))) ---------------------------
+        def resolve(ctx: StepContext) -> None:
+            ci = ctx.read("C", ctx.pid)
+            tci = ctx.read("T", ci)
+            ctx.write("C", ctx.pid, min(ci, tci))
+
+        machine.parallel_step(range(n), resolve, label="step6")
+
+    labels = memory.array("C").copy()
+    return PRAMRunResult(labels=labels, machine=machine)
+
+
+def _reduce_rows(machine: PRAM, n: int, subgens: int, label: str) -> None:
+    """Tree-reduce each TMP row to its minimum in ``TMP[i*n]``.
+
+    Sub-step ``s`` activates processors at positions ``j`` aligned to
+    ``2^(s+1)`` whose partner ``j + 2^s`` is inside the row -- exactly the
+    GCA's generation-3 access pattern, and owner-write compliant because
+    each active processor writes only its own temporary.
+    """
+    for s in range(subgens):
+        stride = 1 << s
+        active = [
+            i * n + j
+            for i in range(n)
+            for j in range(0, n, stride * 2)
+            if j + stride < n
+        ]
+
+        def reduce_pair(ctx: StepContext, _stride=stride) -> None:
+            own = ctx.read("TMP", ctx.pid)
+            partner = ctx.read("TMP", ctx.pid + _stride)
+            if partner < own:
+                ctx.write("TMP", ctx.pid, partner)
+
+        machine.parallel_step(active, reduce_pair, label=f"{label}.reduce{s}")

@@ -1,0 +1,113 @@
+"""The six steps of Hirschberg's algorithm as composable vector operations.
+
+Listing 1 of the paper (the *reference algorithm*)::
+
+    1. for all i in parallel do C(i) <- i
+       do steps 2 through 6 for log n iterations
+    2. for all i in parallel do
+         T(i) <- min_j { C(j) | A(i,j)=1 and C(j) != C(i) }   else C(i)
+    3. for all i in parallel do
+         T(i) <- min_j { T(j) | C(j)=i and T(j) != i }        else C(i)
+    4. for all i in parallel do C(i) <- T(i)
+    5. repeat for log n iterations:
+         for all i in parallel do C(i) <- C(C(i))
+    6. for all i in parallel do C(i) <- min(C(i), T(C(i)))
+
+Step 6 as printed in the paper reads ``C(i) <- min{C(T(i)), T(i)}``;
+executed *after* the pointer jumping of step 5 that version fails to
+resolve mutual super-node pairs (2-cycles) -- on ``K_2`` it oscillates
+forever.  The GCA implementation of the same paper (generation 11:
+pointer ``p = d*n + 1`` into the column that stores T, data operation
+``d <- min(d, d*)``) computes ``C(i) <- min(C(i), T(C(i)))``, which does
+resolve 2-cycles; we therefore treat generation 11 as the authoritative
+semantics for step 6 (see DESIGN.md, "Faithfulness notes").
+
+Every function here is a pure ``numpy`` transformation over the state
+vectors, so the reference algorithm, its PRAM rendering and the GCA
+mapping can all be tested against the same primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.util.sentinels import infinity_for
+
+
+def step1_init(n: int) -> np.ndarray:
+    """Step 1: every node starts as its own component: ``C(i) = i``."""
+    return np.arange(n, dtype=np.int64)
+
+
+def step2_candidate_components(
+    graph: AdjacencyMatrix, C: np.ndarray
+) -> np.ndarray:
+    """Step 2: ``T(i)`` = smallest *foreign* neighbouring component of ``i``.
+
+    ``T(i) = min_j { C(j) | A(i,j) = 1 and C(j) != C(i) }``, defaulting to
+    ``C(i)`` when node ``i`` has no neighbour outside its own component.
+    """
+    n = graph.n
+    inf = infinity_for(n)
+    adjacent = graph.matrix.astype(bool)
+    foreign = C[None, :] != C[:, None]
+    candidates = np.where(adjacent & foreign, C[None, :], inf)
+    T = candidates.min(axis=1)
+    return np.where(T == inf, C, T)
+
+
+def step3_supernode_min(C: np.ndarray, T: np.ndarray) -> np.ndarray:
+    """Step 3: each super node picks the smallest candidate its members found.
+
+    ``T'(i) = min_j { T(j) | C(j) = i and T(j) != i }``, defaulting to
+    ``C(i)``.  For non-super-nodes the member set ``{j | C(j) = i}`` is
+    empty, so they receive ``C(i)`` unchanged.
+    """
+    n = C.shape[0]
+    inf = infinity_for(n)
+    ids = np.arange(n, dtype=np.int64)
+    member = C[None, :] == ids[:, None]
+    nontrivial = T[None, :] != ids[:, None]
+    candidates = np.where(member & nontrivial, T[None, :], inf)
+    T_new = candidates.min(axis=1)
+    return np.where(T_new == inf, C, T_new)
+
+
+def step4_adopt(T: np.ndarray) -> np.ndarray:
+    """Step 4: ``C(i) <- T(i)`` -- components hook onto their chosen target."""
+    return T.copy()
+
+
+def step5_pointer_jump(C: np.ndarray, iterations: int) -> np.ndarray:
+    """Step 5: ``iterations`` rounds of synchronous pointer jumping
+    ``C(i) <- C(C(i))``, collapsing the hook trees to (near-)roots."""
+    if iterations < 0:
+        raise ValueError(f"iterations must be >= 0, got {iterations}")
+    for _ in range(iterations):
+        C = C[C]
+    return C
+
+
+def step6_resolve_pairs(C: np.ndarray, T: np.ndarray) -> np.ndarray:
+    """Step 6: ``C(i) <- min(C(i), T(C(i)))`` -- resolve mutual super-node
+    pairs so both sides of a 2-cycle agree on the smaller index.
+
+    ``T`` must be the step-3 output of the *same* iteration (the GCA keeps
+    it in the last row / column 1 of the field for exactly this purpose).
+    """
+    return np.minimum(C, T[C])
+
+
+def one_iteration(
+    graph: AdjacencyMatrix, C: np.ndarray, jump_iterations: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run steps 2-6 once; returns ``(new C, the step-3 T)``."""
+    T = step2_candidate_components(graph, C)
+    T = step3_supernode_min(C, T)
+    C = step4_adopt(T)
+    C = step5_pointer_jump(C, jump_iterations)
+    C = step6_resolve_pairs(C, T)
+    return C, T

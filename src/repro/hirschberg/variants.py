@@ -1,0 +1,132 @@
+"""Algorithm variants around the reference implementation.
+
+The paper situates Hirschberg's algorithm in a family (Hirschberg 1976;
+Hirschberg, Chandra, Sarwate 1979; Chin, Lam, Chen 1982).  The variants
+here serve the benchmark suite:
+
+* :func:`hirschberg_literal_step6` -- Listing 1 *exactly as printed*
+  (step 6 = ``C(i) <- min(C(T(i)), T(i))`` executed after jumping).  Kept
+  to document why the printed version is not self-sufficient: it fails to
+  resolve mutual super-node pairs (see DESIGN.md), which the test-suite
+  demonstrates on ``K_2``.
+* :func:`label_propagation` -- the naive ``C(i) <- min(C(i), min_j C(j))``
+  relaxation; converges in ``diameter`` rounds and is the classical
+  comparison point showing why the ``O(log^2 n)`` algorithm matters on
+  high-diameter graphs.
+* :func:`supernode_only_step3` -- step 3 restricted to super nodes, the
+  HCS'79 formulation; equivalent output, used as a cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.hirschberg.steps import (
+    step1_init,
+    step2_candidate_components,
+    step3_supernode_min,
+    step4_adopt,
+    step5_pointer_jump,
+)
+from repro.util.intmath import jump_iterations, outer_iterations
+from repro.util.sentinels import infinity_for
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+
+def _as_graph(graph: GraphLike) -> AdjacencyMatrix:
+    if isinstance(graph, AdjacencyMatrix):
+        return graph
+    return AdjacencyMatrix(np.asarray(graph))
+
+
+def hirschberg_literal_step6(
+    graph: GraphLike, iterations: Optional[int] = None
+) -> np.ndarray:
+    """Listing 1 with step 6 exactly as printed: ``C(i) <- min(C(T(i)), T(i))``.
+
+    Not guaranteed to converge to the canonical labelling (2-cycles can
+    oscillate); exists so the test-suite can document the failure mode that
+    motivated the generation-11 reading.
+    """
+    g = _as_graph(graph)
+    n = g.n
+    total = outer_iterations(n) if iterations is None else iterations
+    jumps = jump_iterations(n)
+    C = step1_init(n)
+    for _ in range(total):
+        T = step2_candidate_components(g, C)
+        T = step3_supernode_min(C, T)
+        C = step4_adopt(T)
+        C = step5_pointer_jump(C, jumps)
+        C = np.minimum(C[T], T)  # the printed step 6
+    return C
+
+
+def supernode_only_step3(
+    graph: GraphLike, iterations: Optional[int] = None
+) -> np.ndarray:
+    """The HCS'79 formulation: step 3 only updates super nodes (``i`` with
+    ``C(i) = i``); other nodes keep their step-2 value but step 4 then
+    adopts the *super node's* choice via ``C(i) <- T(C(i))``.
+
+    Produces the same labelling as the reference algorithm.
+    """
+    g = _as_graph(graph)
+    n = g.n
+    total = outer_iterations(n) if iterations is None else iterations
+    jumps = jump_iterations(n)
+    C = step1_init(n)
+    for _ in range(total):
+        T2 = step2_candidate_components(g, C)
+        T3 = step3_supernode_min(C, T2)
+        # Members adopt the decision of their super node; super nodes adopt
+        # their own.  Because step3 gives non-super-nodes T3(i) = C(i), the
+        # reference's step4 (C <- T3) followed by jumping reaches the same
+        # fixpoint; here we hook members directly to T3(C(i)).
+        C = T3[C]
+        C = step5_pointer_jump(C, jumps)
+        C = np.minimum(C, T3[C])
+    return C
+
+
+def label_propagation(graph: GraphLike, max_rounds: Optional[int] = None) -> np.ndarray:
+    """Naive parallel relaxation: every round, each node takes the minimum
+    label in its closed neighbourhood.  Converges in ``diameter`` rounds --
+    ``O(n)`` on paths -- and is the baseline against which the
+    ``O(log^2 n)`` bound is benchmarked.
+    """
+    g = _as_graph(graph)
+    n = g.n
+    inf = infinity_for(n)
+    limit = max_rounds if max_rounds is not None else n
+    C = step1_init(n)
+    adjacent = g.matrix.astype(bool)
+    for _ in range(limit):
+        neighbor_min = np.where(adjacent, C[None, :], inf).min(axis=1)
+        new_C = np.minimum(C, neighbor_min)
+        if np.array_equal(new_C, C):
+            break
+        C = new_C
+    return C
+
+
+def label_propagation_rounds(graph: GraphLike) -> int:
+    """Number of rounds :func:`label_propagation` needs to converge --
+    the measured comparison series for the scaling bench."""
+    g = _as_graph(graph)
+    n = g.n
+    inf = infinity_for(n)
+    C = step1_init(n)
+    adjacent = g.matrix.astype(bool)
+    rounds = 0
+    while True:
+        neighbor_min = np.where(adjacent, C[None, :], inf).min(axis=1)
+        new_C = np.minimum(C, neighbor_min)
+        if np.array_equal(new_C, C):
+            return rounds
+        C = new_C
+        rounds += 1

@@ -1,0 +1,32 @@
+"""Interconnection-network substrate (Section 1's routing discussion).
+
+"Concurrent reading can be handled in certain networks, in particular
+butterfly networks, by special routing algorithms, e.g. Ranade's
+algorithm.  [...] The duration of the communication is not only
+determined by the congestion, but also by the communication network.
+A fully connected network may not be realizable."
+
+This package provides the butterfly network that discussion assumes:
+
+* :mod:`~repro.network.butterfly` -- a synchronous store-and-forward
+  butterfly router with optional Ranade-style *combining* of same-
+  destination read requests, plus delivery verification and cycle
+  accounting;
+* :mod:`~repro.network.mesh` -- a 2-D mesh with XY routing, the
+  contrast case for the configurable-communication argument.
+"""
+
+from repro.network.butterfly import (
+    ButterflyNetwork,
+    RouteResult,
+    route_read_pattern,
+)
+from repro.network.mesh import MeshNetwork, square_mesh
+
+__all__ = [
+    "ButterflyNetwork",
+    "MeshNetwork",
+    "square_mesh",
+    "RouteResult",
+    "route_read_pattern",
+]

@@ -1,0 +1,199 @@
+"""A synchronous butterfly router with Ranade-style request combining.
+
+The network has ``p = 2^k`` ports and ``k`` switch stages.  Stage ``s``
+switch ``(s, r)`` forwards packets toward their destination by fixing one
+address bit per stage: a packet at ``(s, r)`` bound for destination ``d``
+leaves on the *straight* edge to ``(s+1, r)`` if bit ``k-1-s`` of ``r``
+already equals that bit of ``d``, else on the *cross* edge to
+``(s+1, r XOR 2^(k-1-s))``.
+
+Each switch output forwards **one packet per cycle** (store-and-forward,
+FIFO queues).  The model's point is the paper's point about concurrent
+reads:
+
+* **without combining**, ``c`` read requests for one memory cell must all
+  cross the destination's last edge one by one -- the network serialises
+  exactly the congestion δ, so a broadcast generation costs Θ(δ) cycles;
+* **with combining** (Ranade), two requests for the *same* destination
+  meeting in a queue merge into one packet (the reply is later fanned
+  back out along the merge tree).  A ``p``-way concurrent read then
+  collapses stage by stage and delivers in Θ(log p) cycles.
+
+The simulator is deliberately simple -- no virtual channels, no reply
+phase (its cost mirrors the request phase by symmetry) -- but it is a
+real packet-stepping simulation with conservation checks, not a formula.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Sequence, Tuple
+
+from repro.util.intmath import ceil_log2, is_power_of_two
+from repro.util.validation import check_positive
+
+
+@dataclass
+class _Packet:
+    """A (possibly combined) read request."""
+
+    destination: int
+    weight: int  # how many original requests this packet represents
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one batch of requests."""
+
+    ports: int
+    stages: int
+    cycles: int
+    delivered: Dict[int, int]      # destination -> original request count
+    combined: bool
+    packets_injected: int
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.delivered.values())
+
+
+class ButterflyNetwork:
+    """A ``p``-port butterfly (``p`` a power of two).
+
+    Parameters
+    ----------
+    ports:
+        Number of input/output ports (sources and memory modules).
+    combining:
+        Merge same-destination packets that meet in a queue (Ranade).
+    """
+
+    def __init__(self, ports: int, combining: bool = True):
+        check_positive("ports", ports)
+        if not is_power_of_two(ports):
+            raise ValueError(f"ports must be a power of two, got {ports}")
+        self.ports = ports
+        self.stages = ceil_log2(ports) if ports > 1 else 0
+        self.combining = combining
+
+    # ------------------------------------------------------------------
+    def _next_row(self, stage: int, row: int, destination: int) -> int:
+        """Row of the stage-``stage`` switch's chosen successor."""
+        bit = self.stages - 1 - stage
+        if ((row >> bit) & 1) == ((destination >> bit) & 1):
+            return row
+        return row ^ (1 << bit)
+
+    def route(self, requests: Sequence[Tuple[int, int]]) -> RouteResult:
+        """Route ``(source, destination)`` read requests; returns cycle
+        count and per-destination delivery tallies.
+
+        One switch forwards one packet per cycle per output queue; all
+        switches operate synchronously.
+        """
+        for src, dst in requests:
+            if not 0 <= src < self.ports or not 0 <= dst < self.ports:
+                raise ValueError(
+                    f"request ({src}, {dst}) outside the {self.ports}-port network"
+                )
+        if self.stages == 0:
+            delivered: Dict[int, int] = {}
+            for _src, dst in requests:
+                delivered[dst] = delivered.get(dst, 0) + 1
+            return RouteResult(
+                ports=self.ports, stages=0,
+                cycles=1 if requests else 0,
+                delivered=delivered, combined=self.combining,
+                packets_injected=len(requests),
+            )
+
+        # queues[stage][row]: packets waiting at switch (stage, row)
+        queues: List[Dict[int, Deque[_Packet]]] = [
+            {} for _ in range(self.stages + 1)
+        ]
+
+        def enqueue(stage: int, row: int, packet: _Packet) -> None:
+            queue = queues[stage].setdefault(row, deque())
+            if self.combining:
+                for waiting in queue:
+                    if waiting.destination == packet.destination:
+                        waiting.weight += packet.weight
+                        return
+            queue.append(packet)
+
+        for src, dst in requests:
+            enqueue(0, src, _Packet(destination=dst, weight=1))
+
+        delivered = {}
+        cycles = 0
+        in_flight = sum(len(q) for q in queues[0].values())
+        while in_flight:
+            cycles += 1
+            # process stages from last to first so a packet moves at most
+            # one hop per cycle
+            for stage in range(self.stages, -1, -1):
+                for row in list(queues[stage].keys()):
+                    queue = queues[stage][row]
+                    if not queue:
+                        continue
+                    packet = queue.popleft()
+                    if stage == self.stages:
+                        delivered[packet.destination] = (
+                            delivered.get(packet.destination, 0) + packet.weight
+                        )
+                    else:
+                        enqueue(
+                            stage + 1,
+                            self._next_row(stage, row, packet.destination),
+                            packet,
+                        )
+            in_flight = sum(
+                len(q) for stage_q in queues for q in stage_q.values()
+            )
+
+        return RouteResult(
+            ports=self.ports,
+            stages=self.stages,
+            cycles=cycles,
+            delivered=delivered,
+            combined=self.combining,
+            packets_injected=len(requests),
+        )
+
+
+def route_read_pattern(
+    reads_per_cell: Dict[int, int],
+    readers_per_cell: Dict[int, List[int]] = None,
+    ports: int = None,
+    combining: bool = True,
+) -> RouteResult:
+    """Route a GCA generation's read pattern through a butterfly.
+
+    ``reads_per_cell`` is the instrumentation's per-target read count
+    (:attr:`~repro.gca.instrumentation.GenerationStats.reads_per_cell`).
+    Sources are synthesised round-robin unless ``readers_per_cell`` gives
+    them explicitly; cell indices are folded onto the network's ports
+    (``index mod ports``).  ``ports`` defaults to the smallest power of
+    two covering the largest index.
+    """
+    if not reads_per_cell:
+        net = ButterflyNetwork(max(1, ports or 1) if is_power_of_two(max(1, ports or 1)) else 1,
+                               combining=combining)
+        return net.route([])
+    max_index = max(reads_per_cell)
+    if ports is None:
+        ports = 1 << ceil_log2(max(2, max_index + 1))
+    net = ButterflyNetwork(ports, combining=combining)
+    requests: List[Tuple[int, int]] = []
+    source_cursor = 0
+    for target, count in sorted(reads_per_cell.items()):
+        dst = target % ports
+        if readers_per_cell and target in readers_per_cell:
+            for reader in readers_per_cell[target]:
+                requests.append((reader % ports, dst))
+        else:
+            for _ in range(count):
+                requests.append((source_cursor % ports, dst))
+                source_cursor += 1
+    return net.route(requests)

@@ -1,0 +1,123 @@
+"""A 2-D mesh router -- the contrast case to the butterfly.
+
+Section 1 closes its routing discussion with the FPGA argument: "the
+communication structure can be adapted to the needs of the application.
+Thus, for many problems, the configurability of a GCA can provide better
+performance than a universal PRAM emulation."  To quantify that, this
+module provides the *other* universal network one would consider -- a
+``rows x cols`` mesh with dimension-order (XY) routing and store-and-
+forward switching -- so the bench can line up three delivery models for
+the same measured read patterns:
+
+* dedicated static wiring (the synthesised GCA): 1 cycle per generation,
+  by construction;
+* butterfly with combining: ``Theta(log p)`` (see
+  :mod:`repro.network.butterfly`);
+* mesh: ``Theta(sqrt(p))`` base latency plus serialisation at hot
+  destinations.
+
+Requests travel first along the row (X), then along the column (Y); each
+link forwards one packet per cycle with FIFO queues, and same-destination
+requests can optionally combine in a queue, exactly as in the butterfly
+model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Sequence, Tuple
+
+from repro.network.butterfly import RouteResult
+from repro.util.validation import check_positive
+
+
+@dataclass
+class _Packet:
+    destination: int
+    weight: int
+
+
+class MeshNetwork:
+    """A ``rows x cols`` mesh with XY routing.
+
+    Ports are the ``rows * cols`` switch positions (row-major); every
+    switch injects/ejects locally.
+    """
+
+    def __init__(self, rows: int, cols: int, combining: bool = True):
+        self.rows = check_positive("rows", rows)
+        self.cols = check_positive("cols", cols)
+        self.combining = combining
+
+    @property
+    def ports(self) -> int:
+        return self.rows * self.cols
+
+    # ------------------------------------------------------------------
+    def _next_hop(self, position: int, destination: int) -> int:
+        """XY routing: fix the column first, then the row."""
+        r, c = divmod(position, self.cols)
+        dr, dc = divmod(destination, self.cols)
+        if c != dc:
+            return r * self.cols + (c + (1 if dc > c else -1))
+        return (r + (1 if dr > r else -1)) * self.cols + c
+
+    def route(self, requests: Sequence[Tuple[int, int]]) -> RouteResult:
+        """Route ``(source, destination)`` requests; one packet per switch
+        per cycle (single-ported switches -- the conservative model)."""
+        for src, dst in requests:
+            if not 0 <= src < self.ports or not 0 <= dst < self.ports:
+                raise ValueError(
+                    f"request ({src}, {dst}) outside the "
+                    f"{self.rows}x{self.cols} mesh"
+                )
+
+        queues: Dict[int, Deque[_Packet]] = {}
+
+        def enqueue(position: int, packet: _Packet) -> None:
+            queue = queues.setdefault(position, deque())
+            if self.combining:
+                for waiting in queue:
+                    if waiting.destination == packet.destination:
+                        waiting.weight += packet.weight
+                        return
+            queue.append(packet)
+
+        for src, dst in requests:
+            enqueue(src, _Packet(destination=dst, weight=1))
+
+        delivered: Dict[int, int] = {}
+        cycles = 0
+        while any(queues.values()):
+            cycles += 1
+            moves: List[Tuple[int, _Packet]] = []
+            for position in list(queues.keys()):
+                queue = queues[position]
+                if not queue:
+                    continue
+                packet = queue.popleft()
+                if packet.destination == position:
+                    delivered[position] = delivered.get(position, 0) + packet.weight
+                else:
+                    moves.append((self._next_hop(position, packet.destination), packet))
+            for position, packet in moves:
+                enqueue(position, packet)
+
+        return RouteResult(
+            ports=self.ports,
+            stages=self.rows + self.cols - 2,   # worst-case hop count
+            cycles=cycles,
+            delivered=delivered,
+            combined=self.combining,
+            packets_injected=len(requests),
+        )
+
+
+def square_mesh(ports: int, combining: bool = True) -> MeshNetwork:
+    """The smallest square mesh with at least ``ports`` positions."""
+    check_positive("ports", ports)
+    side = 1
+    while side * side < ports:
+        side += 1
+    return MeshNetwork(side, side, combining=combining)

@@ -1,0 +1,70 @@
+"""A synchronous PRAM simulator with access-mode enforcement.
+
+The paper frames the GCA as an implementation platform for CROW PRAM
+algorithms; this package provides the PRAM side of that bridge:
+
+* :class:`~repro.pram.memory.SharedMemory` -- named integer arrays with
+  dynamic EREW/CREW/CROW/CRCW checking and per-step congestion statistics;
+* :class:`~repro.pram.machine.PRAM` -- synchronous parallel steps in the
+  ``for all i in parallel do`` style, with buffered writes;
+* :mod:`~repro.pram.brent` -- Brent-scheduling of ``P(n)`` virtual PEs onto
+  ``p`` physical PEs;
+* :mod:`~repro.pram.accounting` -- time / work / cost bookkeeping for the
+  work-optimality discussion of Section 3.
+"""
+
+from repro.pram.accounting import CostModel, StepCharge
+from repro.pram.brent import (
+    BrentAssignment,
+    block_schedule,
+    brent_time_bound,
+    round_robin_schedule,
+    simulated_step_time,
+)
+from repro.pram.errors import (
+    OwnershipError,
+    PRAMError,
+    ProgramError,
+    ReadConflictError,
+    WriteConflictError,
+)
+from repro.pram.machine import PRAM, StepContext
+from repro.pram.memory import AccessMode, CombinePolicy, SharedMemory
+from repro.pram.program import (
+    Program,
+    Step,
+    list_ranking_program,
+    prefix_sum_program,
+    reduction_program,
+    run_list_ranking,
+    run_prefix_sum,
+    run_reduction,
+)
+
+__all__ = [
+    "PRAM",
+    "StepContext",
+    "Program",
+    "Step",
+    "list_ranking_program",
+    "prefix_sum_program",
+    "reduction_program",
+    "run_list_ranking",
+    "run_prefix_sum",
+    "run_reduction",
+    "SharedMemory",
+    "AccessMode",
+    "CombinePolicy",
+    "CostModel",
+    "StepCharge",
+    "BrentAssignment",
+    "block_schedule",
+    "brent_time_bound",
+    "round_robin_schedule",
+    "simulated_step_time",
+    "PRAMError",
+    "ProgramError",
+    "ReadConflictError",
+    "WriteConflictError",
+    "OwnershipError",
+]

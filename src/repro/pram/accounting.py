@@ -1,0 +1,93 @@
+"""Work/time/cost accounting for PRAM executions.
+
+PRAM algorithmics evaluates an algorithm by its parallel time ``t_p``, its
+processor count ``P`` and its work ``w = t_p * P``; an algorithm is
+*work-optimal* when ``w = Theta(t_s)``, the sequential complexity.  The
+paper contrasts this with the GCA cost model, where cells are cheap and the
+``n^2`` memory dominates.  This module provides the PRAM side of that
+comparison; :mod:`repro.analysis.comparison` joins both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class StepCharge:
+    """The cost of one parallel step."""
+
+    label: Optional[str]
+    virtual_processors: int
+    time_units: int
+
+    @property
+    def work(self) -> int:
+        """Operations performed in this step (one per virtual processor)."""
+        return self.virtual_processors
+
+
+@dataclass
+class CostModel:
+    """Accumulates step charges for one machine run."""
+
+    processors: int
+    charges: List[StepCharge] = field(default_factory=list)
+
+    def charge_step(
+        self,
+        virtual_processors: int,
+        time_units: int,
+        label: Optional[str] = None,
+    ) -> None:
+        """Record one step with ``virtual_processors`` active PEs taking
+        ``time_units`` (already Brent-adjusted by the machine)."""
+        if virtual_processors < 0:
+            raise ValueError(f"virtual_processors must be >= 0, got {virtual_processors}")
+        if time_units < 1:
+            raise ValueError(f"time_units must be >= 1, got {time_units}")
+        self.charges.append(
+            StepCharge(
+                label=label,
+                virtual_processors=virtual_processors,
+                time_units=time_units,
+            )
+        )
+
+    @property
+    def steps(self) -> int:
+        """Number of parallel steps executed."""
+        return len(self.charges)
+
+    @property
+    def time(self) -> int:
+        """Total parallel time in (Brent-adjusted) step units."""
+        return sum(c.time_units for c in self.charges)
+
+    @property
+    def work(self) -> int:
+        """Total operations executed (sum of active virtual processors)."""
+        return sum(c.work for c in self.charges)
+
+    @property
+    def cost(self) -> int:
+        """The processor-time product ``p * t`` (the classical "cost")."""
+        return self.processors * self.time
+
+    def speedup(self, sequential_time: int) -> float:
+        """Speedup over a sequential algorithm taking ``sequential_time``."""
+        if self.time == 0:
+            raise ZeroDivisionError("no steps executed yet")
+        return sequential_time / self.time
+
+    def efficiency(self, sequential_time: int) -> float:
+        """Efficiency = speedup / processors (1.0 is work-optimal use)."""
+        return self.speedup(sequential_time) / self.processors
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"p={self.processors} steps={self.steps} time={self.time} "
+            f"work={self.work} cost={self.cost}"
+        )

@@ -1,0 +1,96 @@
+"""Brent-scheduling: simulating many virtual PEs on few physical ones.
+
+Brent's theorem states that an algorithm performing ``w`` operations in
+``t`` parallel steps runs on ``p`` processors in at most ``w/p + t`` steps.
+The paper invokes it for the GCA mapping: "each cell shall sequentially
+simulate ``P(n)/p`` processing elements round robin".
+
+This module provides both the static partitioning (which virtual processor
+runs on which physical one, in which sub-round) and the timing arithmetic;
+:class:`~repro.pram.machine.PRAM` uses the arithmetic implicitly, while the
+explicit schedule feeds the GCA-vs-PRAM comparison and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.intmath import ceil_div
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BrentAssignment:
+    """Where and when a virtual processor executes."""
+
+    virtual_pid: int
+    physical_pid: int
+    sub_round: int
+
+
+def round_robin_schedule(virtual: int, physical: int) -> List[BrentAssignment]:
+    """Round-robin assignment of ``virtual`` PEs to ``physical`` PEs.
+
+    Virtual PE ``v`` runs on physical PE ``v % physical`` during sub-round
+    ``v // physical`` -- exactly the paper's "round robin" prescription.
+
+    >>> [(a.virtual_pid, a.physical_pid, a.sub_round)
+    ...  for a in round_robin_schedule(5, 2)]
+    [(0, 0, 0), (1, 1, 0), (2, 0, 1), (3, 1, 1), (4, 0, 2)]
+    """
+    if virtual < 0:
+        raise ValueError(f"virtual must be >= 0, got {virtual}")
+    check_positive("physical", physical)
+    return [
+        BrentAssignment(
+            virtual_pid=v,
+            physical_pid=v % physical,
+            sub_round=v // physical,
+        )
+        for v in range(virtual)
+    ]
+
+
+def block_schedule(virtual: int, physical: int) -> List[BrentAssignment]:
+    """Blocked assignment: physical PE ``q`` runs the contiguous slice of
+    virtual PEs ``[q * ceil(v/p), ...)``.  Blocked layouts preserve memory
+    locality when virtual PEs own contiguous shared-memory regions.
+    """
+    if virtual < 0:
+        raise ValueError(f"virtual must be >= 0, got {virtual}")
+    check_positive("physical", physical)
+    per = ceil_div(virtual, physical) if virtual else 0
+    result = []
+    for v in range(virtual):
+        q = v // per if per else 0
+        result.append(
+            BrentAssignment(virtual_pid=v, physical_pid=q, sub_round=v % per)
+        )
+    return result
+
+
+def simulated_step_time(virtual: int, physical: int) -> int:
+    """Time units one parallel step of ``virtual`` PEs takes on ``physical``
+    PEs: ``ceil(virtual / physical)`` (minimum 1 even for an empty step,
+    because the synchronisation barrier itself costs a unit).
+
+    >>> [simulated_step_time(v, 4) for v in (0, 1, 4, 5, 8)]
+    [1, 1, 1, 2, 2]
+    """
+    if virtual < 0:
+        raise ValueError(f"virtual must be >= 0, got {virtual}")
+    check_positive("physical", physical)
+    return max(1, ceil_div(virtual, physical))
+
+
+def brent_time_bound(work: int, depth: int, physical: int) -> int:
+    """Brent's upper bound ``ceil(work / p) + depth`` on simulated time.
+
+    >>> brent_time_bound(100, 10, 10)
+    20
+    """
+    if work < 0 or depth < 0:
+        raise ValueError("work and depth must be >= 0")
+    check_positive("physical", physical)
+    return ceil_div(work, physical) + depth

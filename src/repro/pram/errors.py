@@ -1,0 +1,24 @@
+"""Exception hierarchy of the PRAM simulator."""
+
+from __future__ import annotations
+
+
+class PRAMError(Exception):
+    """Base class for PRAM model violations."""
+
+
+class ReadConflictError(PRAMError):
+    """Two processors read the same location in one step under EREW."""
+
+
+class WriteConflictError(PRAMError):
+    """Two processors wrote the same location in one step under a model
+    that forbids concurrent writes (EREW/CREW/CROW)."""
+
+
+class OwnershipError(PRAMError):
+    """A processor wrote a location it does not own under CROW."""
+
+
+class ProgramError(PRAMError):
+    """A PRAM program is malformed (unknown array, bad processor count...)."""

@@ -1,0 +1,118 @@
+"""The synchronous PRAM machine.
+
+A :class:`PRAM` owns a :class:`~repro.pram.memory.SharedMemory` and executes
+*parallel steps*: in one step, every active processor runs the same step
+function (SIMD-style, matching the original formulation of Hirschberg's
+algorithm for vector machines).  All reads observe the memory state at the
+beginning of the step; all writes commit atomically at the end; access-mode
+violations surface as exceptions at commit time.
+
+Processor activity is expressed with index ranges so programs read like the
+paper's ``for all i in parallel do`` notation::
+
+    machine.parallel_step(range(n), body)
+
+Accounting (:class:`~repro.pram.accounting.CostModel`) charges one time unit
+per step and one unit of work per active processor, plus the Brent factor
+when more virtual processors are requested than the machine physically has.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.pram.accounting import CostModel
+from repro.pram.errors import ProgramError
+from repro.pram.memory import AccessMode, SharedMemory, StepAccessStats
+from repro.util.intmath import ceil_div
+from repro.util.validation import check_positive
+
+
+class StepContext:
+    """The façade a step function uses to touch shared memory.
+
+    One context is created per (virtual) processor per step.  It records
+    every access for congestion accounting and routes reads/writes through
+    the step transaction so synchronous semantics hold.
+    """
+
+    __slots__ = ("pid", "_txn")
+
+    def __init__(self, pid: int, txn) -> None:
+        self.pid = pid
+        self._txn = txn
+
+    def read(self, name: str, offset: int) -> int:
+        """Read ``name[offset]`` (value as of the step's beginning)."""
+        return self._txn.read(self.pid, name, offset)
+
+    def write(self, name: str, offset: int, value: int) -> None:
+        """Write ``name[offset]`` (visible after the step commits)."""
+        self._txn.write(self.pid, name, offset, value)
+
+
+StepFunction = Callable[[StepContext], None]
+
+
+class PRAM:
+    """A synchronous PRAM with ``processors`` physical processors.
+
+    Parameters
+    ----------
+    processors:
+        Physical processor count ``p``.  Programs may request more *virtual*
+        processors per step; Brent's theorem is applied automatically: a
+        step with ``v`` virtual processors costs ``ceil(v / p)`` time units.
+    memory:
+        The shared memory; defaults to a fresh CREW memory.
+    """
+
+    def __init__(self, processors: int, memory: Optional[SharedMemory] = None):
+        self._processors = check_positive("processors", processors)
+        self.memory = memory if memory is not None else SharedMemory(AccessMode.CREW)
+        self.cost = CostModel(processors=self._processors)
+        self.step_stats: List[StepAccessStats] = []
+
+    @property
+    def processors(self) -> int:
+        """Physical processor count ``p``."""
+        return self._processors
+
+    def parallel_step(
+        self,
+        pids: Iterable[int],
+        body: StepFunction,
+        label: Optional[str] = None,
+    ) -> StepAccessStats:
+        """Run ``body`` once per virtual processor id in ``pids``, as one
+        synchronous step.
+
+        Returns the step's access statistics.  Raises the shared memory's
+        conflict errors if the program violates the access mode.
+        """
+        pid_list = list(pids)
+        if any(p < 0 for p in pid_list):
+            raise ProgramError(f"negative processor ids in step: {pid_list[:5]}")
+        txn = self.memory.begin_step()
+        for pid in pid_list:
+            body(StepContext(pid, txn))
+        stats = txn.commit()
+        virtual = len(pid_list)
+        self.cost.charge_step(
+            virtual_processors=virtual,
+            time_units=max(1, ceil_div(virtual, self._processors)),
+            label=label,
+        )
+        self.step_stats.append(stats)
+        return stats
+
+    def sequential(self, body: Callable[[], None]) -> None:
+        """Run host-side setup code that is *not* part of the parallel cost
+        (input loading etc.).  Provided for readability of programs."""
+        body()
+
+    def __repr__(self) -> str:
+        return (
+            f"PRAM(p={self._processors}, mode={self.memory.mode.value}, "
+            f"steps={len(self.step_stats)})"
+        )

@@ -1,0 +1,257 @@
+"""PRAM shared memory with access-mode enforcement.
+
+The paper observes that the GCA resembles the **CROW** PRAM -- concurrent
+read, owner write: every processor may read any cell, but each memory
+location is written only by its dedicated owner.  This module implements a
+shared memory that *checks* such disciplines dynamically:
+
+* ``EREW``  -- exclusive read, exclusive write;
+* ``CREW``  -- concurrent read, exclusive write;
+* ``CROW``  -- concurrent read, owner write (write exclusivity follows from
+  ownership);
+* ``CRCW``  -- concurrent read/write with a combining policy (``ARBITRARY``,
+  ``PRIORITY`` = lowest processor id wins, ``MIN`` = minimum value wins).
+
+Memory is organised as named integer arrays ("the constant A, the variables
+C, T and the temporary variables ... stored in the common memory").  Reads
+during a step see the state at the beginning of the step; writes are
+buffered and committed when the step ends, which makes the simulator's step
+semantics identical to the synchronous PRAM of the literature.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.pram.errors import (
+    OwnershipError,
+    ProgramError,
+    ReadConflictError,
+    WriteConflictError,
+)
+from repro.util.validation import check_positive
+
+
+class AccessMode(enum.Enum):
+    """PRAM access disciplines."""
+
+    EREW = "EREW"
+    CREW = "CREW"
+    CROW = "CROW"
+    CRCW = "CRCW"
+
+
+class CombinePolicy(enum.Enum):
+    """Concurrent-write resolution under CRCW."""
+
+    ARBITRARY = "ARBITRARY"
+    PRIORITY = "PRIORITY"
+    MIN = "MIN"
+
+
+Location = Tuple[str, int]
+"""A shared-memory address: (array name, flat offset)."""
+
+
+@dataclass
+class StepAccessStats:
+    """Access counts for one PRAM step (the analogue of the GCA's
+    per-generation congestion accounting)."""
+
+    reads_per_location: Dict[Location, int] = field(default_factory=dict)
+    writes_per_location: Dict[Location, int] = field(default_factory=dict)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.reads_per_location.values())
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self.writes_per_location.values())
+
+    @property
+    def max_read_congestion(self) -> int:
+        """Maximum concurrent reads of any one location this step."""
+        return max(self.reads_per_location.values(), default=0)
+
+    @property
+    def max_write_congestion(self) -> int:
+        return max(self.writes_per_location.values(), default=0)
+
+
+class SharedMemory:
+    """Named integer arrays with per-step access checking.
+
+    Use :meth:`allocate` to create arrays, then hand the memory to a
+    :class:`~repro.pram.machine.PRAM`; user step functions interact with it
+    through the machine's :class:`~repro.pram.machine.StepContext`.
+    """
+
+    def __init__(self, mode: AccessMode = AccessMode.CREW,
+                 combine: CombinePolicy = CombinePolicy.ARBITRARY):
+        if not isinstance(mode, AccessMode):
+            raise TypeError(f"mode must be an AccessMode, got {type(mode).__name__}")
+        self._mode = mode
+        self._combine = combine
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._owners: Dict[str, Optional[np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> AccessMode:
+        """The enforced access discipline."""
+        return self._mode
+
+    def allocate(
+        self,
+        name: str,
+        size: int,
+        initial: object = 0,
+        owners: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Create array ``name`` of ``size`` integers.
+
+        ``owners`` assigns an owning processor id to each location (required
+        for CROW writes to the array; ignored under other modes).
+        """
+        if name in self._arrays:
+            raise ProgramError(f"array {name!r} already allocated")
+        size = check_positive("size", size)
+        arr = np.asarray(initial, dtype=np.int64)
+        if arr.ndim == 0:
+            arr = np.full(size, int(arr), dtype=np.int64)
+        else:
+            arr = arr.astype(np.int64).ravel().copy()
+            if arr.size != size:
+                raise ProgramError(
+                    f"initial data for {name!r} has {arr.size} elements, "
+                    f"expected {size}"
+                )
+        self._arrays[name] = arr
+        if owners is not None:
+            owners = np.asarray(owners, dtype=np.int64).ravel().copy()
+            if owners.size != size:
+                raise ProgramError(
+                    f"owner map for {name!r} has {owners.size} entries, "
+                    f"expected {size}"
+                )
+            self._owners[name] = owners
+        else:
+            self._owners[name] = None
+        return arr
+
+    def array(self, name: str) -> np.ndarray:
+        """Direct (un-checked) view of array ``name`` -- for setup and for
+        reading results after a program has finished."""
+        if name not in self._arrays:
+            raise ProgramError(f"unknown array {name!r}; have {sorted(self._arrays)}")
+        return self._arrays[name]
+
+    def names(self) -> List[str]:
+        """Allocated array names."""
+        return sorted(self._arrays)
+
+    # ------------------------------------------------------------------
+    # step transaction protocol (driven by the PRAM machine)
+    # ------------------------------------------------------------------
+    def begin_step(self) -> "_StepTransaction":
+        """Open a transaction: reads see current state, writes are buffered."""
+        return _StepTransaction(self)
+
+    def _commit(self, txn: "_StepTransaction") -> StepAccessStats:
+        stats = StepAccessStats(
+            reads_per_location=dict(txn.read_counts),
+            writes_per_location={
+                loc: len(writes) for loc, writes in txn.writes.items()
+            },
+        )
+        # read-conflict checks
+        if self._mode is AccessMode.EREW:
+            for loc, count in txn.read_counts.items():
+                if count > 1:
+                    raise ReadConflictError(
+                        f"{count} concurrent reads of {loc} under EREW"
+                    )
+        # write-conflict checks / combining
+        for (name, offset), writes in txn.writes.items():
+            if self._mode is AccessMode.CROW:
+                owners = self._owners.get(name)
+                for pid, _value in writes:
+                    if owners is None:
+                        raise OwnershipError(
+                            f"array {name!r} has no owner map; CROW writes "
+                            "require ownership"
+                        )
+                    if owners[offset] != pid:
+                        raise OwnershipError(
+                            f"processor {pid} wrote {name}[{offset}] owned "
+                            f"by processor {int(owners[offset])}"
+                        )
+            if len(writes) > 1:
+                if self._mode in (AccessMode.EREW, AccessMode.CREW, AccessMode.CROW):
+                    pids = sorted(pid for pid, _ in writes)
+                    raise WriteConflictError(
+                        f"processors {pids} wrote {name}[{offset}] "
+                        f"concurrently under {self._mode.value}"
+                    )
+                value = self._combine_writes(writes)
+            else:
+                value = writes[0][1]
+            self._arrays[name][offset] = value
+        return stats
+
+    def _combine_writes(self, writes: List[Tuple[int, int]]) -> int:
+        if self._combine is CombinePolicy.ARBITRARY:
+            # Deterministic "arbitrary": highest processor id, so tests can
+            # rely on the outcome while still exercising the policy switch.
+            return max(writes)[1]
+        if self._combine is CombinePolicy.PRIORITY:
+            return min(writes)[1]
+        if self._combine is CombinePolicy.MIN:
+            return min(value for _pid, value in writes)
+        raise ProgramError(f"unknown combine policy {self._combine}")
+
+
+class _StepTransaction:
+    """Collects the reads and buffered writes of one synchronous step."""
+
+    __slots__ = ("memory", "read_counts", "writes", "snapshot")
+
+    def __init__(self, memory: SharedMemory):
+        self.memory = memory
+        self.read_counts: Dict[Location, int] = {}
+        self.writes: Dict[Location, List[Tuple[int, int]]] = {}
+        # Copy-on-read snapshot is unnecessary: writes are buffered, so the
+        # arrays themselves are immutable during the step.
+        self.snapshot = memory._arrays
+
+    def read(self, pid: int, name: str, offset: int) -> int:
+        arr = self.snapshot.get(name)
+        if arr is None:
+            raise ProgramError(f"unknown array {name!r}")
+        if not 0 <= offset < arr.size:
+            raise ProgramError(
+                f"processor {pid} read {name}[{offset}] out of range "
+                f"[0, {arr.size})"
+            )
+        loc = (name, offset)
+        self.read_counts[loc] = self.read_counts.get(loc, 0) + 1
+        return int(arr[offset])
+
+    def write(self, pid: int, name: str, offset: int, value: int) -> None:
+        arr = self.snapshot.get(name)
+        if arr is None:
+            raise ProgramError(f"unknown array {name!r}")
+        if not 0 <= offset < arr.size:
+            raise ProgramError(
+                f"processor {pid} wrote {name}[{offset}] out of range "
+                f"[0, {arr.size})"
+            )
+        self.writes.setdefault((name, offset), []).append((pid, int(value)))
+
+    def commit(self) -> StepAccessStats:
+        return self.memory._commit(self)

@@ -1,0 +1,209 @@
+"""Declarative PRAM programs and a library of classic building blocks.
+
+The paper closes with "our future work will comprise the implementation of
+more elaborate PRAM algorithms".  This module provides the scaffolding that
+makes such programs convenient to express and account:
+
+* :class:`Step` / :class:`Program` -- a program is a named sequence of
+  parallel steps; each step declares *which* virtual processors are active
+  (as a function of the instance size) and *what* each does.  Programs run
+  on any :class:`~repro.pram.machine.PRAM`, inheriting its access-mode
+  checking and cost accounting.
+* a library of the standard PRAM primitives Hirschberg-style algorithms
+  build on: parallel **reduction**, **prefix sums** (Hillis-Steele) and
+  **list ranking** by pointer jumping -- each returning both the result
+  and the machine for cost inspection.
+
+These are genuine CREW programs: the tests run them under access-mode
+enforcement and assert both results and step counts (``O(log n)`` depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pram.machine import PRAM, StepContext
+from repro.pram.memory import AccessMode, SharedMemory
+from repro.util.intmath import ceil_log2
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Step:
+    """One parallel step of a program.
+
+    Attributes
+    ----------
+    name:
+        Label used in the cost accounting.
+    pids:
+        The active virtual processor ids.
+    body:
+        The per-processor step function.
+    """
+
+    name: str
+    pids: Sequence[int]
+    body: Callable[[StepContext], None]
+
+
+@dataclass
+class Program:
+    """A named sequence of parallel steps."""
+
+    name: str
+    steps: List[Step] = field(default_factory=list)
+
+    def add(self, name: str, pids: Iterable[int],
+            body: Callable[[StepContext], None]) -> "Program":
+        """Append a step (chainable)."""
+        self.steps.append(Step(name=name, pids=list(pids), body=body))
+        return self
+
+    def run(self, machine: PRAM) -> PRAM:
+        """Execute all steps in order on ``machine``."""
+        for step in self.steps:
+            machine.parallel_step(step.pids, step.body,
+                                  label=f"{self.name}.{step.name}")
+        return machine
+
+    @property
+    def depth(self) -> int:
+        """Number of parallel steps (the program's time on enough PEs)."""
+        return len(self.steps)
+
+    @property
+    def work(self) -> int:
+        """Total operations (sum of active processors over steps)."""
+        return sum(len(s.pids) for s in self.steps)
+
+
+# ----------------------------------------------------------------------
+# library programs
+# ----------------------------------------------------------------------
+
+def reduction_program(n: int, op_name: str = "min") -> Program:
+    """Tree reduction of ``X[0..n)`` into ``X[0]`` in ``ceil(log2 n)`` steps.
+
+    ``op_name``: ``"min"``, ``"max"`` or ``"sum"``.
+    """
+    check_positive("n", n)
+    ops = {
+        "min": min,
+        "max": max,
+        "sum": lambda a, b: a + b,
+    }
+    if op_name not in ops:
+        raise ValueError(f"op_name must be one of {sorted(ops)}, got {op_name!r}")
+    op = ops[op_name]
+    program = Program(name=f"reduce_{op_name}")
+    for s in range(ceil_log2(n) if n > 1 else 0):
+        stride = 1 << s
+        active = [i for i in range(0, n, 2 * stride) if i + stride < n]
+
+        def body(ctx: StepContext, _stride=stride, _op=op) -> None:
+            own = ctx.read("X", ctx.pid)
+            partner = ctx.read("X", ctx.pid + _stride)
+            ctx.write("X", ctx.pid, _op(own, partner))
+
+        program.add(f"level{s}", active, body)
+    return program
+
+
+def run_reduction(values: Sequence[int], op_name: str = "min",
+                  processors: Optional[int] = None,
+                  mode: AccessMode = AccessMode.CREW) -> Tuple[int, PRAM]:
+    """Reduce ``values`` on a fresh PRAM; returns ``(result, machine)``."""
+    values = list(values)
+    n = len(values)
+    check_positive("n", n)
+    memory = SharedMemory(mode)
+    memory.allocate("X", n, initial=values, owners=np.arange(n))
+    machine = PRAM(processors=processors or max(1, n), memory=memory)
+    reduction_program(n, op_name).run(machine)
+    return int(memory.array("X")[0]), machine
+
+
+def prefix_sum_program(n: int) -> Program:
+    """Inclusive prefix sums by the Hillis-Steele doubling scheme.
+
+    ``X[i] <- X[i - 2^s] + X[i]`` for ``s = 0 .. ceil(log2 n) - 1``;
+    depth ``ceil(log2 n)``, work ``O(n log n)`` (the classic non-work-
+    optimal variant, chosen for its GCA-like obliviousness).
+    """
+    check_positive("n", n)
+    program = Program(name="prefix_sum")
+    for s in range(ceil_log2(n) if n > 1 else 0):
+        stride = 1 << s
+        active = list(range(stride, n))
+
+        def body(ctx: StepContext, _stride=stride) -> None:
+            left = ctx.read("X", ctx.pid - _stride)
+            own = ctx.read("X", ctx.pid)
+            ctx.write("X", ctx.pid, left + own)
+
+        program.add(f"level{s}", active, body)
+    return program
+
+
+def run_prefix_sum(values: Sequence[int],
+                   processors: Optional[int] = None,
+                   mode: AccessMode = AccessMode.CREW) -> Tuple[List[int], PRAM]:
+    """Prefix sums of ``values``; returns ``(sums, machine)``."""
+    values = list(values)
+    n = len(values)
+    check_positive("n", n)
+    memory = SharedMemory(mode)
+    memory.allocate("X", n, initial=values, owners=np.arange(n))
+    machine = PRAM(processors=processors or max(1, n), memory=memory)
+    prefix_sum_program(n).run(machine)
+    return memory.array("X").tolist(), machine
+
+
+def list_ranking_program(n: int) -> Program:
+    """Wyllie's list ranking by pointer jumping.
+
+    Input: ``NEXT[i]`` = successor in a linked list (tail points to
+    itself), ``RANK[i]`` initialised to 0 for the tail and 1 otherwise.
+    After ``ceil(log2 n)`` jumping steps ``RANK[i]`` is the distance of
+    ``i`` from the tail.  This is the same pointer-jumping engine as the
+    GCA's generation 10, in PRAM form.
+    """
+    check_positive("n", n)
+    program = Program(name="list_ranking")
+    for s in range(ceil_log2(n) if n > 1 else 0):
+
+        def body(ctx: StepContext) -> None:
+            nxt = ctx.read("NEXT", ctx.pid)
+            own_rank = ctx.read("RANK", ctx.pid)
+            ctx.write("RANK", ctx.pid, own_rank + ctx.read("RANK", nxt))
+            ctx.write("NEXT", ctx.pid, ctx.read("NEXT", nxt))
+
+        program.add(f"jump{s}", range(n), body)
+    return program
+
+
+def run_list_ranking(successors: Sequence[int],
+                     processors: Optional[int] = None,
+                     mode: AccessMode = AccessMode.CREW) -> Tuple[List[int], PRAM]:
+    """Rank the linked list given by ``successors`` (tail self-loops).
+
+    Returns ``(ranks, machine)`` where ``ranks[i]`` = hops from ``i`` to
+    the tail.
+    """
+    successors = list(successors)
+    n = len(successors)
+    check_positive("n", n)
+    for i, s in enumerate(successors):
+        if not 0 <= s < n:
+            raise ValueError(f"successor of {i} out of range: {s}")
+    ranks = [0 if successors[i] == i else 1 for i in range(n)]
+    memory = SharedMemory(mode)
+    memory.allocate("NEXT", n, initial=successors, owners=np.arange(n))
+    memory.allocate("RANK", n, initial=ranks, owners=np.arange(n))
+    machine = PRAM(processors=processors or max(1, n), memory=memory)
+    list_ranking_program(n).run(machine)
+    return memory.array("RANK").tolist(), machine

@@ -1,0 +1,93 @@
+"""Plain-text rendering of tables and cell fields.
+
+The benchmark harnesses print the same rows the paper's tables report and
+render the Figure-3 access patterns as ASCII grids; this module holds the
+shared renderers so every report looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 22], [333, 4]]))
+      a |  b
+    ----+---
+      1 | 22
+    333 |  4
+    """
+    str_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        str_rows.append([str(c) for c in row])
+    widths = [max(len(r[col]) for r in str_rows) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.rjust(w) for h, w in zip(str_rows[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_matrix(
+    matrix: np.ndarray,
+    infinity: Optional[int] = None,
+    highlight: Optional[np.ndarray] = None,
+) -> str:
+    """Render an integer matrix, optionally replacing ``infinity`` with "oo"
+    and marking ``highlight`` (boolean mask) cells with a trailing ``*``.
+
+    Used to print the D field generation by generation (Figure 3 style).
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {matrix.shape}")
+    if highlight is not None and highlight.shape != matrix.shape:
+        raise ValueError(
+            f"highlight shape {highlight.shape} != matrix shape {matrix.shape}"
+        )
+
+    def cell_text(r: int, c: int) -> str:
+        v = matrix[r, c]
+        text = "oo" if infinity is not None and v == infinity else str(v)
+        if highlight is not None and highlight[r, c]:
+            text += "*"
+        return text
+
+    texts = [
+        [cell_text(r, c) for c in range(matrix.shape[1])]
+        for r in range(matrix.shape[0])
+    ]
+    width = max(len(t) for row in texts for t in row)
+    return "\n".join(" ".join(t.rjust(width) for t in row) for row in texts)
+
+
+def render_histogram(pairs: Sequence[tuple], value_label: str = "delta") -> str:
+    """Render a (count-of-cells, value) histogram like Table 1's read-access
+    columns: ``"<#cells> cells with <value_label>=<value>"`` per line.
+    """
+    lines = []
+    for count, value in pairs:
+        lines.append(f"{count} cells with {value_label}={value}")
+    return "\n".join(lines) if lines else f"no cells with any {value_label}"
+
+
+def format_ratio(measured: float, predicted: float) -> str:
+    """Format a measured/predicted comparison as ``"measured/predicted (xR)"``.
+
+    ``predicted == 0`` yields "n/a" for the ratio rather than dividing.
+    """
+    if predicted == 0:
+        return f"{measured}/0 (n/a)"
+    return f"{measured}/{predicted} (x{measured / predicted:.3f})"

@@ -1,0 +1,112 @@
+"""Integer arithmetic helpers.
+
+The paper counts iterations and sub-generations in terms of ``log n``; all of
+those counts are integers, and for non-power-of-two ``n`` the correct reading
+is the ceiling logarithm (enough doubling steps to cover ``n``).  These
+helpers centralise that arithmetic so every module agrees on the same
+definitions.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` iff ``value`` is a positive power of two.
+
+    >>> [v for v in range(1, 20) if is_power_of_two(v)]
+    [1, 2, 4, 8, 16]
+    """
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def floor_log2(value: int) -> int:
+    """Return ``floor(log2(value))`` for a positive integer.
+
+    >>> [floor_log2(v) for v in (1, 2, 3, 4, 7, 8)]
+    [0, 1, 1, 2, 2, 3]
+    """
+    if value <= 0:
+        raise ValueError(f"floor_log2 requires a positive integer, got {value}")
+    return value.bit_length() - 1
+
+
+def ceil_log2(value: int) -> int:
+    """Return ``ceil(log2(value))`` for a positive integer.
+
+    This is the number of halving steps needed to reduce ``value`` items to
+    one, and equivalently the number of doubling strides a tree reduction
+    over ``value`` elements requires.
+
+    >>> [ceil_log2(v) for v in (1, 2, 3, 4, 5, 8, 9)]
+    [0, 1, 2, 2, 3, 3, 4]
+    """
+    if value <= 0:
+        raise ValueError(f"ceil_log2 requires a positive integer, got {value}")
+    return (value - 1).bit_length()
+
+
+def next_power_of_two(value: int) -> int:
+    """Return the smallest power of two ``>= value``.
+
+    >>> [next_power_of_two(v) for v in (1, 2, 3, 4, 5, 9)]
+    [1, 2, 4, 4, 8, 16]
+    """
+    if value <= 0:
+        raise ValueError(f"next_power_of_two requires a positive integer, got {value}")
+    return 1 << ceil_log2(value)
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Return ``ceil(numerator / denominator)`` for non-negative operands.
+
+    Used by the Brent-scheduling layer of the PRAM simulator to compute how
+    many virtual processors each physical processor must emulate.
+
+    >>> [ceil_div(n, 4) for n in (0, 1, 4, 5, 8, 9)]
+    [0, 1, 1, 2, 2, 3]
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def outer_iterations(n: int) -> int:
+    """Number of outer iterations of Hirschberg's algorithm for ``n`` nodes.
+
+    The component count at least halves per iteration, so ``ceil(log2 n)``
+    iterations always suffice.  A single-node graph needs no iteration at
+    all, but running zero iterations would skip initialisation bookkeeping in
+    some callers, so we clamp to a minimum of one whenever ``n > 1`` and
+    return 0 for ``n <= 1``.
+
+    >>> [outer_iterations(n) for n in (1, 2, 3, 4, 8, 9)]
+    [0, 1, 2, 2, 3, 4]
+    """
+    if n <= 1:
+        return 0
+    return ceil_log2(n)
+
+
+def jump_iterations(n: int) -> int:
+    """Number of pointer-jumping repetitions inside step 5 (``ceil(log2 n)``).
+
+    >>> [jump_iterations(n) for n in (1, 2, 4, 5)]
+    [0, 1, 2, 3]
+    """
+    if n <= 1:
+        return 0
+    return ceil_log2(n)
+
+
+def reduction_subgenerations(n: int) -> int:
+    """Number of sub-generations a row-minimum tree reduction over ``n``
+    elements needs (generations 3, 7 of the GCA algorithm).
+
+    >>> [reduction_subgenerations(n) for n in (1, 2, 3, 4, 8)]
+    [0, 1, 2, 2, 3]
+    """
+    if n <= 1:
+        return 0
+    return ceil_log2(n)

@@ -1,0 +1,44 @@
+"""Deterministic random-number conventions.
+
+Every stochastic component of the library (graph generators, workload
+builders, failure-injection tests) accepts either a seed or a ready
+:class:`numpy.random.Generator`; this module provides the single conversion
+point so reproducibility rules live in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    * ``None`` -> a fresh, OS-seeded generator,
+    * ``int`` -> ``np.random.default_rng(seed)``,
+    * a ``Generator`` -> returned unchanged (shared state, deliberate).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn(seed: SeedLike, index: int) -> np.random.Generator:
+    """Derive an independent child generator for parallel workload streams.
+
+    ``spawn(seed, i)`` with distinct ``i`` gives streams that are
+    statistically independent and stable across runs for integer seeds.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Child streams of a live generator: jump via spawning new seeds.
+        return np.random.default_rng(seed.integers(0, 2**63 - 1) + index)
+    base = 0 if seed is None else int(seed)
+    return np.random.default_rng(np.random.SeedSequence(entropy=base, spawn_key=(index,)))

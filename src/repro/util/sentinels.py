@@ -1,0 +1,46 @@
+"""Finite representation of the paper's infinity value.
+
+Generations 2 and 6 of the GCA algorithm mark cells that must not
+participate in the row-minimum reduction by writing the symbol "infinity"
+into their data field.  Hardware (and a fixed-width integer simulation)
+cannot store a true infinity, so we use a sentinel that is strictly larger
+than every value that can legitimately appear in a data field:
+
+* node numbers ``0 .. n-1``,
+* the row numbers ``0 .. n`` written by generation 0,
+* linear indices ``0 .. n(n+1)-1`` (never stored in ``d``, but reserving
+  headroom above them keeps the invariant trivially safe).
+
+``infinity_for(n) == n * (n + 1)`` satisfies all three and still fits the
+``ceil(log2(n^2+n+1))``-bit registers the hardware model budgets for.
+"""
+
+from __future__ import annotations
+
+
+def infinity_for(n: int) -> int:
+    """Return the infinity sentinel for a field built over ``n`` nodes.
+
+    >>> infinity_for(4)
+    20
+    >>> infinity_for(1)
+    2
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return n * (n + 1)
+
+
+def is_infinite(value: int, n: int) -> bool:
+    """Return ``True`` iff ``value`` is the infinity sentinel for ``n`` nodes.
+
+    Values *above* the sentinel are rejected as corruption rather than being
+    treated as infinite, because no rule ever produces them.
+    """
+    sentinel = infinity_for(n)
+    if value > sentinel:
+        raise ValueError(
+            f"data value {value} exceeds the infinity sentinel {sentinel} "
+            f"for n={n}; the field is corrupted"
+        )
+    return value == sentinel

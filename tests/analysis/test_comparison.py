@@ -1,0 +1,82 @@
+"""Tests for the cross-model comparison toolkit."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    compare_models,
+    predicted_comparison,
+    time_engines,
+)
+from repro.graphs.generators import random_graph
+
+
+class TestCompareModels:
+    def setup_method(self):
+        self.graph = random_graph(8, 0.3, seed=4)
+        self.rows = compare_models(self.graph)
+
+    def by_model(self):
+        return {r.model: r for r in self.rows}
+
+    def test_all_models_present(self):
+        assert {r.model for r in self.rows} == {"gca", "pram", "sequential"}
+
+    def test_all_correct(self):
+        assert all(r.labels_correct for r in self.rows)
+
+    def test_parallel_time_beats_sequential(self):
+        rows = self.by_model()
+        assert rows["gca"].time_units < rows["sequential"].time_units
+        assert rows["pram"].time_units < rows["sequential"].time_units
+
+    def test_parallel_work_exceeds_sequential(self):
+        rows = self.by_model()
+        assert rows["gca"].work > rows["sequential"].work
+
+    def test_sequential_uses_one_pe(self):
+        assert self.by_model()["sequential"].processing_elements == 1
+
+    def test_memory_dominated_by_n_squared(self):
+        n = self.graph.n
+        for r in self.rows:
+            assert r.memory_cells >= n * n
+
+    def test_custom_processor_count(self):
+        few = compare_models(self.graph, pram_processors=4)
+        pram_few = next(r for r in few if r.model == "pram")
+        pram_full = self.by_model()["pram"]
+        assert pram_few.time_units > pram_full.time_units
+
+
+class TestPredictedComparison:
+    def test_no_execution_needed_for_large_n(self):
+        rows = predicted_comparison(1024)
+        models = {r.model: r for r in rows}
+        assert models["gca"].time_units == 1 + 10 * (3 * 10 + 8)
+        assert models["sequential"].time_units == 1024 * 1024
+
+    def test_crossover_character(self):
+        """The asymptotic story: parallel time is polylog, sequential is
+        quadratic, so the gap explodes with n."""
+        small = {r.model: r for r in predicted_comparison(4)}
+        large = {r.model: r for r in predicted_comparison(4096)}
+        gap_small = small["sequential"].time_units / small["gca"].time_units
+        gap_large = large["sequential"].time_units / large["gca"].time_units
+        assert gap_large > gap_small * 100
+
+
+class TestTimeEngines:
+    def test_default_engines(self):
+        rows = time_engines(random_graph(16, 0.2, seed=0), repeats=1)
+        assert {r.engine for r in rows} == {"vectorized", "reference", "unionfind"}
+        assert all(r.seconds >= 0 for r in rows)
+
+    def test_interpreter_opt_in(self):
+        rows = time_engines(
+            random_graph(4, 0.5, seed=0), engines=["interpreter"], repeats=1
+        )
+        assert rows[0].engine == "interpreter"
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            time_engines(random_graph(4, 0.5, seed=0), engines=["magic"])

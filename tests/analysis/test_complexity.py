@@ -1,0 +1,104 @@
+"""Tests for the Table 2 / total-generation reproduction."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    compare_table2,
+    gca_cells,
+    gca_time,
+    gca_work,
+    measured_generations_per_step,
+    measured_total,
+    pram_work_optimal_processors,
+    predicted_table2,
+    predicted_total,
+    schedule_total,
+    sequential_time,
+)
+from repro.core.machine import connected_components_interpreter
+from repro.graphs.generators import random_graph
+from repro.util.intmath import ceil_log2
+
+
+def run_log(n=8):
+    return connected_components_interpreter(random_graph(n, 0.4, seed=1)).access_log
+
+
+class TestPredictedTable2:
+    def test_row_structure(self):
+        rows = predicted_table2(16)
+        assert [r.step for r in rows] == [1, 2, 3, 4, 5, 6]
+        assert [r.predicted for r in rows] == [1, 7, 7, 1, 4, 1]
+
+    def test_formula_strings(self):
+        rows = {r.step: r for r in predicted_table2(4)}
+        assert rows[2].paper_formula == "1 + log(n) + 1 + 1"
+        assert rows[5].paper_formula == "log(n)"
+
+
+class TestMeasuredTable2:
+    def test_measured_matches_predicted(self):
+        n = 8
+        rows = compare_table2(n, run_log(n))
+        for row in rows:
+            assert row.matches, row
+
+    def test_counts_by_step(self):
+        counts = measured_generations_per_step(run_log(8))
+        assert counts == {1: 1, 2: 6, 3: 6, 4: 1, 5: 3, 6: 1}
+
+    def test_later_iteration(self):
+        counts = measured_generations_per_step(run_log(8), iteration=2)
+        # step 1 (gen0) only counted once globally, still attributed
+        assert counts[2] == 6 and counts[5] == 3
+
+
+class TestTotals:
+    def test_predicted_closed_form(self):
+        t = predicted_total(16)
+        assert t.log_n == 4
+        assert t.per_iteration == 3 * 4 + 8
+        assert t.predicted_total == 1 + 4 * 20
+
+    def test_schedule_agrees_with_formula(self):
+        for n in (2, 3, 4, 7, 8, 16, 31, 32):
+            assert schedule_total(n) == predicted_total(n).predicted_total
+
+    def test_measured_total_matches(self):
+        n = 8
+        t = measured_total(n, run_log(n))
+        assert t.matches
+        assert t.measured_total == t.predicted_total
+
+    def test_growth_is_log_squared(self):
+        """total(n) / log^2(n) approaches the constant 3."""
+        ratios = [
+            predicted_total(n).predicted_total / ceil_log2(n) ** 2
+            for n in (2**k for k in range(3, 11))
+        ]
+        assert all(earlier >= later for earlier, later in zip(ratios, ratios[1:]))
+        assert 3.0 < ratios[-1] < 4.0
+
+
+class TestCostQuantities:
+    def test_gca_cells(self):
+        assert gca_cells(16) == 272
+
+    def test_gca_time_positive(self):
+        assert gca_time(16) == predicted_total(16).predicted_total
+
+    def test_work_not_optimal(self):
+        """GCA work exceeds the sequential bound by ~log^2 n -- the paper's
+        deliberate departure from PRAM work-optimality."""
+        n = 64
+        assert gca_work(n) > sequential_time(n)
+        assert gca_work(n) < sequential_time(n) * (3 * ceil_log2(n) ** 2 + 60)
+
+    def test_sequential_time(self):
+        assert sequential_time(10) == 100
+        with pytest.raises(ValueError):
+            sequential_time(0)
+
+    def test_work_optimal_processors(self):
+        assert pram_work_optimal_processors(16) == 256 // 16
+        assert pram_work_optimal_processors(2) >= 1

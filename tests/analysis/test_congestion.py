@@ -1,0 +1,143 @@
+"""Tests for the Table 1 reproduction (repro.analysis.congestion)."""
+
+import pytest
+
+from repro.analysis.congestion import (
+    compare_table1,
+    exact_expected_table1,
+    measured_table1,
+    paper_table1,
+)
+from repro.core.machine import connected_components_interpreter
+from repro.core.vectorized import run_vectorized
+from repro.graphs.generators import complete_graph, path_graph, random_graph
+
+
+def run_log(n=8, seed=0):
+    return connected_components_interpreter(random_graph(n, 0.4, seed=seed)).access_log
+
+
+class TestPaperTable1:
+    def test_row_count(self):
+        assert len(paper_table1(8)) == 12
+
+    def test_formulas_at_8(self):
+        rows = {r.generation: r for r in paper_table1(8)}
+        assert rows[0].active_cells == 72
+        assert rows[1].active_cells == 72
+        assert rows[1].read_histogram == [(8, 9)]
+        assert rows[2].active_cells == 64
+        assert rows[3].active_cells == 32
+        assert rows[9].active_cells == 49
+        assert rows[10].read_histogram == [(8, 8)]
+
+    def test_steps_assigned(self):
+        rows = paper_table1(4)
+        assert [r.step for r in rows] == [1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 5, 6]
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            paper_table1(0)
+
+
+class TestMeasuredTable1:
+    def test_generation_numbers_complete(self):
+        rows = measured_table1(run_log())
+        assert [r.generation for r in rows] == list(range(12))
+
+    def test_subgeneration_counts(self):
+        rows = {r.generation: r for r in measured_table1(run_log(8))}
+        assert rows[3].sub_generations == 3
+        assert rows[7].sub_generations == 3
+        assert rows[10].sub_generations == 3
+        assert rows[1].sub_generations == 1
+
+    def test_exact_expectations_hold(self):
+        """Measured counts equal the implementation's exact closed forms."""
+        n = 8
+        rows = {r.generation: r for r in measured_table1(run_log(n))}
+        exact = exact_expected_table1(n)
+        assert rows[0].active_cells == exact[0]["active"]
+        assert rows[1].active_cells == exact[1]["active"]
+        assert rows[1].max_congestion == exact[1]["max_delta"]
+        assert rows[2].active_cells == exact[2]["active"]
+        assert rows[2].max_congestion == exact[2]["max_delta"]
+        assert rows[3].active_cells == exact[3]["active_first_sub"]
+        assert rows[3].cells_read <= exact[3]["reads"]
+        assert rows[4].active_cells == exact[4]["active"]
+        assert rows[9].active_cells == exact[9]["active"]
+        assert rows[9].max_congestion == exact[9]["max_delta"]
+
+    def test_interpreter_and_vectorized_agree(self):
+        g = random_graph(6, 0.4, seed=3)
+        slow = measured_table1(connected_components_interpreter(g).access_log)
+        fast = measured_table1(run_vectorized(g, record_access=True).access_log)
+        for s, f in zip(slow, fast):
+            assert s.generation == f.generation
+            assert s.active_cells == f.active_cells
+            assert s.read_histogram == f.read_histogram
+
+
+class TestCompareTable1:
+    def test_matching_generations(self):
+        """Generations 0-8 and 11 match the paper's active counts exactly;
+        9 and 10 deviate as documented."""
+        n = 8
+        comparisons = compare_table1(n, run_log(n))
+        by_gen = {c.generation: c for c in comparisons}
+        for gen in (0, 1, 2, 4, 5, 6, 8, 11):
+            assert by_gen[gen].active_matches, gen
+        assert not by_gen[9].active_matches  # documented deviation
+
+    def test_congestion_bounds(self):
+        n = 8
+        comparisons = compare_table1(n, run_log(n))
+        for c in comparisons:
+            assert c.congestion_within_paper_bound, c.generation
+
+    def test_data_dependent_congestion_below_worst_case(self):
+        """On a sparse graph gen 10/11 congestion stays below the paper's
+        worst-case n."""
+        n = 8
+        log = connected_components_interpreter(path_graph(n)).access_log
+        by_gen = {c.generation: c for c in compare_table1(n, log)}
+        assert by_gen[10].measured_max_congestion <= n
+        assert by_gen[11].measured_max_congestion <= n
+
+    def test_worst_case_congestion_nearly_reached(self):
+        """On the complete graph almost every jump pointer collides in the
+        first iteration (delta = n-1; the full n requires the converged
+        all-equal labelling of a later iteration)."""
+        n = 8
+        log = connected_components_interpreter(complete_graph(n)).access_log
+        by_gen = {c.generation: c for c in compare_table1(n, log)}
+        assert by_gen[10].measured_max_congestion == n - 1
+
+    def test_worst_case_congestion_in_later_iteration(self):
+        """Once the labelling has converged (iteration 2 on K_n), all n jump
+        pointers collide on cell <0>[0]: the paper's worst case delta = n."""
+        n = 8
+        log = connected_components_interpreter(complete_graph(n)).access_log
+        it1_jumps = [s for s in log.generations if s.label.startswith("it1.gen10")]
+        assert max(s.max_congestion for s in it1_jumps) == n
+
+
+class TestExactFormsAcrossSizes:
+    """The implementation's exact closed forms hold for every n, not just
+    the showcase sizes (hypothesis over the interpreter)."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 6, 7, 9, 10])
+    def test_measured_matches_exact(self, n):
+        log_data = connected_components_interpreter(
+            random_graph(n, 0.5, seed=n)
+        ).access_log
+        rows = {r.generation: r for r in measured_table1(log_data)}
+        exact = exact_expected_table1(n)
+        for gen in (0, 1, 2, 4, 5, 6, 8, 9, 11):
+            assert rows[gen].active_cells == exact[gen]["active"], (n, gen)
+        for gen in (1, 2, 5, 6, 9):
+            assert rows[gen].max_congestion == exact[gen]["max_delta"], (n, gen)
+        if n > 1:
+            for gen in (3, 7):
+                assert rows[gen].active_cells == exact[gen]["active_first_sub"], (n, gen)
+                assert rows[gen].cells_read <= exact[gen]["reads"], (n, gen)

@@ -1,0 +1,108 @@
+"""Tests for the memory-mapping congestion study."""
+
+import pytest
+
+from repro.analysis.hashing import (
+    UniversalHash,
+    adversarial_mapping,
+    aware_mapping,
+    compare_mappings,
+    direct_mapping,
+    mapping_congestion,
+)
+from repro.core.machine import connected_components_interpreter
+from repro.graphs.generators import random_graph
+
+
+def run_log(n=8):
+    return connected_components_interpreter(random_graph(n, 0.4, seed=1)).access_log
+
+
+class TestMappings:
+    def test_direct_round_robin(self):
+        m = direct_mapping(4)
+        assert [m(x) for x in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_aware_diagonal(self):
+        m = aware_mapping(4, 4)
+        # cell (row, col) -> (row + col) mod p
+        assert m(0) == 0        # (0,0)
+        assert m(5) == 2        # (1,1)
+        assert m(4) == 1        # (1,0)
+
+    def test_aware_spreads_first_column(self):
+        n, p = 8, 4
+        m = aware_mapping(n, p)
+        first_col = {m(i * n) for i in range(n)}
+        assert len(first_col) == p  # all modules used
+
+    def test_direct_collapses_first_column(self):
+        n, p = 8, 4  # p divides n: hot column all on module 0
+        m = direct_mapping(p)
+        assert {m(i * n) for i in range(n)} == {0}
+
+    def test_adversarial_blocked(self):
+        m = adversarial_mapping(20, 4)
+        assert m(0) == 0 and m(4) == 0 and m(5) == 1 and m(19) == 3
+
+    def test_universal_hash_range(self):
+        h = UniversalHash.sample(7, seed=0)
+        assert all(0 <= h(x) < 7 for x in range(1000))
+
+    def test_universal_hash_deterministic_for_seed(self):
+        a = UniversalHash.sample(5, seed=3)
+        b = UniversalHash.sample(5, seed=3)
+        assert (a.a, a.b) == (b.a, b.b)
+
+
+class TestCongestionProfiles:
+    def test_profile_shape(self):
+        log = run_log()
+        prof = mapping_congestion(log, direct_mapping(4), 4, "direct")
+        assert len(prof.per_generation_max) == log.total_generations
+        assert prof.peak >= 1
+
+    def test_out_of_range_mapping_rejected(self):
+        log = run_log()
+        with pytest.raises(ValueError):
+            mapping_congestion(log, lambda x: 99, 4, "broken")
+
+    def test_single_module_serialises_everything(self):
+        log = run_log()
+        prof = mapping_congestion(log, lambda x: 0, 1, "one")
+        per_gen_reads = [g.total_reads for g in log.generations]
+        assert prof.per_generation_max == per_gen_reads
+
+
+class TestPaperClaims:
+    """The Section 1 discussion, quantified."""
+
+    def test_aware_beats_adversarial(self):
+        n = 8
+        profiles = {p.mapping_name: p for p in compare_mappings(run_log(n), n, 4)}
+        assert profiles["aware"].peak < profiles["adversarial"].peak
+
+    def test_hashing_beats_adversarial(self):
+        n = 8
+        profiles = compare_mappings(run_log(n), n, 4)
+        by_name = {p.mapping_name: p for p in profiles}
+        hashed = by_name["universal-hash (median of samples)"]
+        assert hashed.peak < by_name["adversarial"].peak
+
+    def test_hashing_worse_than_aware(self):
+        """The paper's caveat: hashing cannot beat the tailor-made mapping
+        (it carries an O(log p)-flavoured overhead)."""
+        n = 8
+        profiles = {p.mapping_name: p for p in compare_mappings(run_log(n), n, 4)}
+        hashed = profiles["universal-hash (median of samples)"]
+        assert hashed.peak >= profiles["aware"].peak
+
+    def test_more_modules_reduce_congestion(self):
+        n = 8
+        log = run_log(n)
+        peaks = [
+            mapping_congestion(log, aware_mapping(n, p), p, "aware").peak
+            for p in (1, 2, 4, 8)
+        ]
+        assert peaks == sorted(peaks, reverse=True)
+        assert peaks[-1] < peaks[0]

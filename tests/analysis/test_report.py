@@ -1,0 +1,53 @@
+"""Tests for the analysis report rendering."""
+
+from repro.analysis.comparison import compare_models, time_engines
+from repro.analysis.complexity import compare_table2, measured_total, predicted_total
+from repro.analysis.congestion import compare_table1
+from repro.analysis.report import (
+    render_model_comparison,
+    render_table1,
+    render_table2,
+    render_timings,
+    render_totals,
+)
+from repro.core.machine import connected_components_interpreter
+from repro.graphs.generators import random_graph
+
+
+def run_log(n=4):
+    return connected_components_interpreter(random_graph(n, 0.5, seed=0)).access_log
+
+
+class TestRenderers:
+    def test_table1_contains_rows(self):
+        n = 4
+        out = render_table1(n, compare_table1(n, run_log(n)))
+        assert "Table 1 reproduction" in out
+        assert "gen" in out
+        assert len(out.splitlines()) == 3 + 12  # title + header + rule + rows
+
+    def test_table1_histogram_format(self):
+        out = render_table1(4, compare_table1(4, run_log(4)))
+        assert "@" in out  # #cells@delta notation
+
+    def test_table2(self):
+        n = 4
+        out = render_table2(n, compare_table2(n, run_log(n)))
+        assert "log(n)" in out
+        assert "yes" in out
+
+    def test_totals(self):
+        rows = [predicted_total(4), measured_total(4, run_log(4))]
+        out = render_totals(rows)
+        assert "1+log n(3log n+8)" in out
+        assert out.count("\n") >= 3
+
+    def test_model_comparison(self):
+        out = render_model_comparison(compare_models(random_graph(4, 0.5, seed=1)))
+        assert "gca" in out and "pram" in out and "sequential" in out
+
+    def test_timings(self):
+        rows = time_engines(random_graph(6, 0.4, seed=2), repeats=1)
+        out = render_timings(rows)
+        assert "ms (best)" in out
+        assert "vectorized" in out

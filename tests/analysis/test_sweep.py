@@ -1,0 +1,112 @@
+"""Tests for the sweep runner."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    ENGINES,
+    RunRecord,
+    SweepSpec,
+    dumps_records,
+    load_records,
+    loads_records,
+    run_sweep,
+    save_records,
+    summarize,
+)
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="unit",
+        sizes=[4, 6],
+        engines=["vectorized", "unionfind"],
+        densities=[0.3],
+        workload="random",
+        seeds=[0],
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestSpec:
+    def test_run_count(self):
+        spec = small_spec(sizes=[4, 8], engines=["vectorized"], seeds=[0, 1])
+        assert spec.run_count == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_spec(workload="nope").validate()
+        with pytest.raises(ValueError):
+            small_spec(engines=["warp-drive"]).validate()
+        with pytest.raises(ValueError):
+            small_spec(sizes=[]).validate()
+
+    def test_known_engines(self):
+        assert "vectorized" in ENGINES and "row" in ENGINES
+
+
+class TestRunSweep:
+    def test_grid_size(self):
+        records = run_sweep(small_spec())
+        assert len(records) == 4  # 2 sizes x 2 engines
+
+    def test_all_correct(self):
+        records = run_sweep(small_spec(engines=["vectorized", "reference",
+                                                "pram", "row", "unionfind"]))
+        assert all(r.correct for r in records)
+
+    def test_engine_metrics_populated(self):
+        records = run_sweep(small_spec(engines=["interpreter"], sizes=[4]))
+        rec = records[0]
+        assert rec.generations == 29  # total_generations(4)
+        assert rec.work is not None and rec.work > 0
+        assert rec.peak_congestion == 5
+
+    def test_workload_families(self):
+        for workload in ("random", "path", "tree", "planted"):
+            records = run_sweep(
+                small_spec(workload=workload, sizes=[8], engines=["vectorized"])
+            )
+            assert records[0].correct, workload
+
+    def test_timings_nonnegative(self):
+        records = run_sweep(small_spec())
+        assert all(r.seconds >= 0 for r in records)
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        records = run_sweep(small_spec())
+        parsed = loads_records(dumps_records(records))
+        assert parsed == records
+
+    def test_file_roundtrip(self, tmp_path):
+        records = run_sweep(small_spec(sizes=[4]))
+        path = tmp_path / "sweep.json"
+        save_records(records, path)
+        assert load_records(path) == records
+
+    def test_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            loads_records('{"not": "a list"}')
+
+
+class TestSummarize:
+    def test_rows_shape(self):
+        records = run_sweep(small_spec(seeds=[0, 1, 2]))
+        rows = summarize(records)
+        # one row per (engine, n)
+        assert len(rows) == 4
+        engine, n, runs, median_ms, correct, gens = rows[0]
+        assert runs == 3
+        assert correct is True
+        assert median_ms >= 0
+
+    def test_generation_column(self):
+        records = run_sweep(small_spec(engines=["vectorized"], sizes=[4]))
+        rows = summarize(records)
+        assert rows[0][5] == 29
+
+    def test_handles_engines_without_generations(self):
+        records = run_sweep(small_spec(engines=["unionfind"], sizes=[4]))
+        assert summarize(records)[0][5] == "-"

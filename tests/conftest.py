@@ -1,0 +1,114 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_edges,
+    grid_graph,
+    path_graph,
+    planted_components,
+    random_graph,
+    star_graph,
+    union_of_cliques,
+    worst_case_pairing,
+)
+
+
+# ----------------------------------------------------------------------
+# a deterministic corpus of structurally diverse graphs
+# ----------------------------------------------------------------------
+
+def build_corpus():
+    """Small named graphs covering the structural corner cases."""
+    return {
+        "singleton": empty_graph(1),
+        "two_isolated": empty_graph(2),
+        "k2": from_edges(2, [(0, 1)]),
+        "k3": complete_graph(3),
+        "k5": complete_graph(5),
+        "path4": path_graph(4),
+        "path7": path_graph(7),
+        "path9": path_graph(9),
+        "cycle6": cycle_graph(6),
+        "star8": star_graph(8),
+        "star_center3": star_graph(6, center=3),
+        "grid3x4": grid_graph(3, 4),
+        "cliques_3_2": union_of_cliques([3, 2]),
+        "cliques_4_1_3": union_of_cliques([4, 1, 3]),
+        "pairing8": worst_case_pairing(8),
+        "pairing9": worst_case_pairing(9),
+        "planted": planted_components([5, 3, 2], intra_p=0.5, seed=1),
+        "random_sparse": random_graph(12, 0.1, seed=2),
+        "random_medium": random_graph(10, 0.3, seed=3),
+        "random_dense": random_graph(9, 0.8, seed=4),
+        "empty10": empty_graph(10),
+        "k8": complete_graph(8),
+    }
+
+
+CORPUS = build_corpus()
+
+
+@pytest.fixture(params=sorted(CORPUS), ids=sorted(CORPUS))
+def corpus_graph(request) -> AdjacencyMatrix:
+    """Parametrised over every corpus graph."""
+    return CORPUS[request.param]
+
+
+@pytest.fixture
+def k2() -> AdjacencyMatrix:
+    return CORPUS["k2"]
+
+
+@pytest.fixture
+def path4() -> AdjacencyMatrix:
+    return CORPUS["path4"]
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def adjacency_matrices(draw, min_n: int = 1, max_n: int = 16):
+    """Random undirected graphs as AdjacencyMatrix."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    if n == 1:
+        return AdjacencyMatrix(np.zeros((1, 1), dtype=np.int8))
+    pair_count = n * (n - 1) // 2
+    bits = draw(
+        st.lists(st.booleans(), min_size=pair_count, max_size=pair_count)
+    )
+    m = np.zeros((n, n), dtype=np.int8)
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if bits[k]:
+                m[i, j] = m[j, i] = 1
+            k += 1
+    return AdjacencyMatrix(m)
+
+
+@st.composite
+def labelled_partitions(draw, min_n: int = 1, max_n: int = 20):
+    """A size-n partition expressed as a parent-of mapping (for union-find
+    property tests): list of (a, b) union operations."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=2 * n,
+        )
+    )
+    return n, ops

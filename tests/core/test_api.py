@@ -1,0 +1,69 @@
+"""Tests for the top-level public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.api import ComponentsResult, gca_connected_components
+from repro.graphs.generators import from_edges, union_of_cliques
+
+
+class TestGcaConnectedComponents:
+    def test_default_method(self):
+        res = gca_connected_components(union_of_cliques([2, 3]))
+        assert res.method == "vectorized"
+        assert res.labels.tolist() == [0, 0, 2, 2, 2]
+
+    def test_accepts_plain_array(self):
+        m = np.array([[0, 1], [1, 0]])
+        res = gca_connected_components(m)
+        assert res.labels.tolist() == [0, 0]
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            gca_connected_components(union_of_cliques([2]), method="quantum")
+
+    @pytest.mark.parametrize("method", ["vectorized", "interpreter", "reference", "pram"])
+    def test_detail_objects(self, method):
+        res = gca_connected_components(union_of_cliques([2, 2]), method=method)
+        assert res.method == method
+        assert res.detail is not None
+
+    def test_iterations_forwarded(self):
+        res = gca_connected_components(
+            union_of_cliques([4, 4]), method="vectorized", iterations=0
+        )
+        assert res.labels.tolist() == list(range(8))
+
+
+class TestComponentsResult:
+    def make(self) -> ComponentsResult:
+        return gca_connected_components(from_edges(5, [(0, 4), (1, 2)]))
+
+    def test_counts(self):
+        res = self.make()
+        assert res.n == 5
+        assert res.component_count == 3
+
+    def test_components_sorted(self):
+        assert self.make().components() == [[0, 4], [1, 2], [3]]
+
+    def test_same_component(self):
+        res = self.make()
+        assert res.same_component(0, 4)
+        assert not res.same_component(0, 1)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_reexports(self):
+        assert callable(repro.gca_connected_components)
+        assert callable(repro.random_graph)
+        assert callable(repro.canonical_labels)
+        assert callable(repro.hirschberg_reference)
+
+    def test_all_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,110 @@
+"""Unit tests for the cell-field layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.field import CellField, FieldLayout
+from repro.graphs.generators import from_edges, random_graph
+
+
+class TestFieldLayout:
+    def test_shape_constants(self):
+        lay = FieldLayout(4)
+        assert lay.rows == 5
+        assert lay.cols == 4
+        assert lay.size == 20
+        assert lay.square_size == 16
+        assert lay.last_row_start == 16
+        assert lay.infinity == 20
+
+    def test_row_col(self):
+        lay = FieldLayout(4)
+        assert lay.row(0) == 0 and lay.col(0) == 0
+        assert lay.row(7) == 1 and lay.col(7) == 3
+        assert lay.row(16) == 4 and lay.col(16) == 0
+
+    def test_index_roundtrip(self):
+        lay = FieldLayout(5)
+        for idx in range(lay.size):
+            assert lay.index(lay.row(idx), lay.col(idx)) == idx
+            assert lay.coordinates(idx) == (lay.row(idx), lay.col(idx))
+
+    def test_range_checks(self):
+        lay = FieldLayout(4)
+        with pytest.raises(IndexError):
+            lay.row(20)
+        with pytest.raises(IndexError):
+            lay.index(5, 0)
+        with pytest.raises(IndexError):
+            lay.index(0, 4)
+
+    def test_predicates(self):
+        lay = FieldLayout(3)
+        assert lay.is_last_row(9) and lay.is_last_row(11)
+        assert not lay.is_last_row(8)
+        assert lay.is_first_column(0) and lay.is_first_column(3)
+        assert not lay.is_first_column(1)
+        assert lay.is_square(8) and not lay.is_square(9)
+
+    def test_index_vectors(self):
+        lay = FieldLayout(3)
+        assert lay.first_column_indices().tolist() == [0, 3, 6]
+        assert lay.last_row_indices().tolist() == [9, 10, 11]
+        assert lay.row_indices(1).tolist() == [3, 4, 5]
+        assert lay.column_indices(1).tolist() == [1, 4, 7, 10]
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            FieldLayout(0)
+
+
+class TestCellField:
+    def test_shapes(self):
+        g = random_graph(4, 0.5, seed=0)
+        f = CellField(g)
+        assert f.D.shape == (5, 4)
+        assert f.P.shape == (5, 4)
+        assert f.A_plane.shape == (20,)
+
+    def test_adjacency_embedded(self):
+        g = from_edges(3, [(0, 2)])
+        f = CellField(g)
+        A = f.A_plane[:9].reshape(3, 3)
+        assert np.array_equal(A, g.matrix)
+        assert f.A_plane[9:].tolist() == [0, 0, 0]  # bottom row has no A
+
+    def test_a_plane_readonly(self):
+        f = CellField(from_edges(2, [(0, 1)]))
+        with pytest.raises(ValueError):
+            f.A_plane[0] = 1
+
+    def test_views_alias_storage(self):
+        f = CellField(from_edges(3, []))
+        f.D_square[0, 0] = 42
+        assert f.D[0, 0] == 42
+        f.D_N[1] = 7
+        assert f.D[3, 1] == 7
+
+    def test_c_column_copy(self):
+        f = CellField(from_edges(3, []))
+        c = f.C_column
+        c[0] = 99
+        assert f.D[0, 0] == 0  # copies do not write back
+
+    def test_flat_roundtrip(self):
+        f = CellField(from_edges(2, [(0, 1)]))
+        data = np.arange(6)
+        pointers = np.arange(6) % 6
+        f.load_flat(data=data, pointers=pointers)
+        assert f.flat_data().tolist() == data.tolist()
+        assert f.flat_pointers().tolist() == pointers.tolist()
+
+    def test_load_flat_shape_checked(self):
+        f = CellField(from_edges(2, [(0, 1)]))
+        with pytest.raises(ValueError):
+            f.load_flat(data=np.arange(5))
+        with pytest.raises(ValueError):
+            f.load_flat(pointers=np.arange(7))
+
+    def test_repr(self):
+        assert "cells=6" in repr(CellField(from_edges(2, [(0, 1)])))

@@ -1,0 +1,213 @@
+"""Unit tests for the twelve generation rules (scalar semantics).
+
+These tests pin each generation's pointer operation, activity set and data
+operation to the paper's Figure 2 (with the documented DESIGN.md readings),
+independent of the engines that execute them.
+"""
+
+import pytest
+
+from repro.core.field import FieldLayout
+from repro.core.generations import (
+    Gen0Initialise,
+    Gen1CopyVectorToRows,
+    Gen2MaskNonNeighbors,
+    Gen3ReduceMin,
+    Gen4FallbackToOwn,
+    Gen5CopyVectorToRowsKeepLast,
+    Gen6MaskNonMembers,
+    Gen9DistributeAndArchive,
+    Gen10PointerJump,
+    Gen11ResolvePairs,
+)
+
+LAY = FieldLayout(4)  # 5x4 field, INF = 20, last row starts at 16
+
+
+class TestGen0:
+    def test_no_reads(self):
+        assert Gen0Initialise.reads is False
+
+    def test_active_everywhere(self):
+        g = Gen0Initialise()
+        assert all(g.active(LAY, i) for i in range(LAY.size))
+
+    def test_data_is_row_number(self):
+        g = Gen0Initialise()
+        assert g.data(LAY, 0, 99, 0, 0) == 0
+        assert g.data(LAY, 7, 99, 0, 0) == 1
+        assert g.data(LAY, 17, 99, 0, 0) == 4
+
+
+class TestGen1:
+    def test_pointer_targets_first_column(self):
+        g = Gen1CopyVectorToRows()
+        # cell (j, i) points to <i>[0] = i*n
+        assert g.pointer(LAY, LAY.index(2, 3), 0) == 12
+        assert g.pointer(LAY, LAY.index(4, 1), 0) == 4
+
+    def test_data_copies_neighbor(self):
+        g = Gen1CopyVectorToRows()
+        assert g.data(LAY, 5, 1, 0, 42) == 42
+
+    def test_active_everywhere(self):
+        g = Gen1CopyVectorToRows()
+        assert sum(g.active(LAY, i) for i in range(LAY.size)) == 20
+
+
+class TestGen2:
+    def test_square_only(self):
+        g = Gen2MaskNonNeighbors()
+        assert g.active(LAY, 15)
+        assert not g.active(LAY, 16)
+
+    def test_pointer_targets_dn_row(self):
+        g = Gen2MaskNonNeighbors()
+        # cell in row j reads D_N[j] = n^2 + j
+        assert g.pointer(LAY, LAY.index(2, 1), 0) == 18
+
+    def test_keep_condition(self):
+        g = Gen2MaskNonNeighbors()
+        # keep own d when adjacent and foreign
+        assert g.data(LAY, 5, d=3, a=1, d_star=1) == 3
+        # same component -> INF
+        assert g.data(LAY, 5, d=3, a=1, d_star=3) == 20
+        # not adjacent -> INF
+        assert g.data(LAY, 5, d=3, a=0, d_star=1) == 20
+
+
+class TestGen3:
+    def test_stride_doubling(self):
+        assert Gen3ReduceMin(0).stride == 1
+        assert Gen3ReduceMin(2).stride == 4
+
+    def test_active_alignment_sub0(self):
+        g = Gen3ReduceMin(0)
+        # columns 0, 2 active (partner in range); 1, 3 passive
+        row1 = [g.active(LAY, LAY.index(1, c)) for c in range(4)]
+        assert row1 == [True, False, True, False]
+
+    def test_active_alignment_sub1(self):
+        g = Gen3ReduceMin(1)
+        row0 = [g.active(LAY, LAY.index(0, c)) for c in range(4)]
+        assert row0 == [True, False, False, False]
+
+    def test_last_row_excluded(self):
+        g = Gen3ReduceMin(0)
+        assert not g.active(LAY, LAY.index(4, 0))
+
+    def test_pointer_is_partner(self):
+        g = Gen3ReduceMin(1)
+        assert g.pointer(LAY, 4, 0) == 6
+
+    def test_data_is_min(self):
+        g = Gen3ReduceMin(0)
+        assert g.data(LAY, 0, 5, 0, 3) == 3
+        assert g.data(LAY, 0, 2, 0, 9) == 2
+
+    def test_boundary_guard_non_power_of_two(self):
+        lay5 = FieldLayout(5)
+        g = Gen3ReduceMin(2)  # stride 4: only col 0 has partner 4 < 5
+        actives = [g.active(lay5, lay5.index(0, c)) for c in range(5)]
+        assert actives == [True, False, False, False, False]
+
+    def test_rejects_negative_sub(self):
+        with pytest.raises(ValueError):
+            Gen3ReduceMin(-1)
+
+    def test_label(self):
+        assert Gen3ReduceMin(1, label="gen7").label == "gen7.sub1"
+
+
+class TestGen4:
+    def test_first_column_square_only(self):
+        g = Gen4FallbackToOwn()
+        assert g.active(LAY, LAY.index(1, 0))
+        assert not g.active(LAY, LAY.index(1, 1))
+        assert not g.active(LAY, LAY.index(4, 0))
+
+    def test_fallback_on_infinity(self):
+        g = Gen4FallbackToOwn()
+        assert g.data(LAY, 0, d=20, a=0, d_star=7) == 7
+        assert g.data(LAY, 0, d=2, a=0, d_star=7) == 2
+
+    def test_pointer(self):
+        g = Gen4FallbackToOwn()
+        assert g.pointer(LAY, LAY.index(3, 0), 0) == 19
+
+
+class TestGen5:
+    def test_last_row_keeps(self):
+        g = Gen5CopyVectorToRowsKeepLast()
+        assert g.data(LAY, LAY.index(4, 2), d=5, a=0, d_star=9) == 5
+        assert g.data(LAY, LAY.index(2, 2), d=5, a=0, d_star=9) == 9
+
+    def test_same_pointer_as_gen1(self):
+        g5, g1 = Gen5CopyVectorToRowsKeepLast(), Gen1CopyVectorToRows()
+        for idx in range(LAY.size):
+            assert g5.pointer(LAY, idx, 0) == g1.pointer(LAY, idx, 0)
+
+
+class TestGen6:
+    def test_pointer_targets_dn_column(self):
+        g = Gen6MaskNonMembers()
+        # cell (j, i) reads D_N[i] = n^2 + i  (the DESIGN.md reading)
+        assert g.pointer(LAY, LAY.index(2, 1), 0) == 17
+
+    def test_keep_condition(self):
+        g = Gen6MaskNonMembers()
+        idx = LAY.index(2, 1)  # row j = 2
+        # member (C(i)=j) with non-trivial candidate (T(i) != j): keep
+        assert g.data(LAY, idx, d=0, a=0, d_star=2) == 0
+        # member with trivial candidate: INF
+        assert g.data(LAY, idx, d=2, a=0, d_star=2) == 20
+        # non-member: INF
+        assert g.data(LAY, idx, d=0, a=0, d_star=3) == 20
+
+    def test_square_only(self):
+        g = Gen6MaskNonMembers()
+        assert not g.active(LAY, 17)
+
+
+class TestGen9:
+    def test_square_points_to_own_row_head(self):
+        g = Gen9DistributeAndArchive()
+        assert g.pointer(LAY, LAY.index(2, 3), 0) == 8
+
+    def test_last_row_points_to_column_row_head(self):
+        g = Gen9DistributeAndArchive()
+        assert g.pointer(LAY, LAY.index(4, 3), 0) == 12
+
+    def test_copies(self):
+        g = Gen9DistributeAndArchive()
+        assert g.data(LAY, 0, 1, 0, 33) == 33
+
+
+class TestGen10:
+    def test_data_dependent_pointer(self):
+        g = Gen10PointerJump(0)
+        assert g.pointer(LAY, 0, d=2) == 8  # row C(j)=2, column 0
+
+    def test_only_first_column(self):
+        g = Gen10PointerJump(0)
+        assert g.active(LAY, LAY.index(2, 0))
+        assert not g.active(LAY, LAY.index(2, 1))
+        assert not g.active(LAY, LAY.index(4, 0))
+
+    def test_label_carries_sub(self):
+        assert Gen10PointerJump(2).label == "gen10.sub2"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Gen10PointerJump(-1)
+
+
+class TestGen11:
+    def test_pointer_dereferences_column1(self):
+        g = Gen11ResolvePairs()
+        assert g.pointer(LAY, 0, d=2) == 9  # <2>[1]
+
+    def test_min_semantics(self):
+        g = Gen11ResolvePairs()
+        assert g.data(LAY, 0, d=3, a=0, d_star=1) == 1
+        assert g.data(LAY, 0, d=0, a=0, d_star=5) == 0

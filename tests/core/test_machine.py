@@ -1,0 +1,102 @@
+"""Tests for the cell-accurate interpreter (GCAConnectedComponents)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.machine import (
+    GCAConnectedComponents,
+    connected_components_interpreter,
+)
+from repro.core.schedule import total_generations
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import from_edges, path_graph, random_graph
+from tests.conftest import adjacency_matrices
+
+
+class TestCorrectness:
+    def test_corpus(self, corpus_graph):
+        res = connected_components_interpreter(corpus_graph)
+        assert np.array_equal(res.labels, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=8))
+    @settings(max_examples=15, deadline=None)
+    def test_random(self, g):
+        res = connected_components_interpreter(g)
+        assert np.array_equal(res.labels, canonical_labels(g))
+
+
+class TestInstrumentation:
+    def test_generation_count_matches_formula(self):
+        for n in (2, 4, 5, 8):
+            g = random_graph(n, 0.4, seed=n)
+            res = connected_components_interpreter(g)
+            assert res.total_generations == total_generations(n)
+            assert res.access_log.total_generations == total_generations(n)
+
+    def test_one_handed_throughout(self):
+        """Every generation issues at most one read per active cell."""
+        g = random_graph(6, 0.5, seed=1)
+        res = connected_components_interpreter(g)
+        for stats in res.access_log:
+            assert stats.total_reads <= 6 * 7  # never more than one per cell
+
+    def test_gen0_reads_nothing(self):
+        g = path_graph(4)
+        res = connected_components_interpreter(g)
+        gen0 = res.access_log.by_label("gen0")[0]
+        assert gen0.total_reads == 0
+        assert gen0.active_cells == 20
+
+    def test_gen1_congestion(self):
+        """Generation 1: first-column cells are read by n+1 readers each."""
+        n = 4
+        res = connected_components_interpreter(path_graph(n))
+        gen1 = res.access_log.by_label("it0.gen1")[0]
+        assert gen1.congestion_histogram() == [(n, n + 1)]
+
+    def test_reduction_congestion_is_one(self):
+        n = 8
+        res = connected_components_interpreter(path_graph(n))
+        for stats in res.access_log.by_label("it0.gen3"):
+            assert stats.max_congestion == 1
+
+
+class TestMachineObject:
+    def test_stepwise_execution(self):
+        m = GCAConnectedComponents(path_graph(4))
+        first = m.step_generation()
+        assert first.label == "gen0"
+        assert m.D[:4, 0].tolist() == [0, 1, 2, 3]
+
+    def test_labels_property_after_run(self):
+        m = GCAConnectedComponents(from_edges(3, [(0, 2)]))
+        m.run()
+        assert m.labels.tolist() == [0, 1, 0]
+
+    def test_run_callback(self):
+        seen = []
+        m = GCAConnectedComponents(path_graph(2))
+        m.run(on_generation=lambda label, machine: seen.append(label))
+        assert seen[0] == "gen0"
+        assert len(seen) == total_generations(2)
+
+    def test_field_synced_after_run(self):
+        m = GCAConnectedComponents(path_graph(4))
+        m.run()
+        assert np.array_equal(m.field.D, m.D)
+
+    def test_iterations_override(self):
+        res = connected_components_interpreter(path_graph(8), iterations=1)
+        assert res.iterations == 1
+        assert res.total_generations == total_generations(8, iterations=1)
+
+    def test_d_p_shapes(self):
+        m = GCAConnectedComponents(path_graph(3))
+        assert m.D.shape == (4, 3)
+        assert m.P.shape == (4, 3)
+
+    def test_n1(self):
+        res = connected_components_interpreter(from_edges(1, []))
+        assert res.labels.tolist() == [0]
+        assert res.total_generations == 1

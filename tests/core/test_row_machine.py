@@ -1,0 +1,116 @@
+"""Tests for the n-cell design alternative (repro.core.row_machine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.row_machine import (
+    RowGCA,
+    connected_components_row_gca,
+    memory_words,
+    row_generations_per_iteration,
+    row_total_generations,
+)
+from repro.core.schedule import total_generations
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import complete_graph, path_graph, random_graph
+from repro.util.intmath import ceil_log2
+from tests.conftest import adjacency_matrices
+
+
+class TestCorrectness:
+    def test_corpus(self, corpus_graph):
+        got = connected_components_row_gca(corpus_graph)
+        assert np.array_equal(got, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=16))
+    @settings(max_examples=40)
+    def test_random(self, g):
+        got = connected_components_row_gca(g)
+        assert np.array_equal(got, canonical_labels(g))
+
+    def test_singleton(self):
+        res = RowGCA(random_graph(1, 0.0)).run()
+        assert res.labels.tolist() == [0]
+        assert res.iterations == 0
+
+
+class TestGenerationCounts:
+    @pytest.mark.parametrize("n", [2, 3, 4, 8, 13, 16])
+    def test_total_matches_closed_form(self, n):
+        res = RowGCA(path_graph(n)).run()
+        assert res.total_generations == row_total_generations(n)
+
+    def test_per_iteration_formula(self):
+        # 2n + 5 + log n
+        assert row_generations_per_iteration(8) == 16 + 5 + 3
+        assert row_generations_per_iteration(16) == 32 + 5 + 4
+
+    def test_linear_growth(self):
+        """The n-cell design pays Theta(n) per iteration -- the price of
+        giving up the n^2-cell tree reduction."""
+        per = [row_generations_per_iteration(n) for n in (8, 16, 32)]
+        assert per[1] > 1.6 * per[0]
+        assert per[2] > 1.6 * per[1]
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_slower_than_square_design(self, n):
+        assert row_total_generations(n) > total_generations(n)
+
+
+class TestAccessBehaviour:
+    def test_scan_congestion_is_one(self):
+        """The rotation scans give every sub-generation congestion 1."""
+        res = RowGCA(random_graph(8, 0.4, seed=0)).run()
+        for stats in res.access_log:
+            if ".s2scan" in stats.label:
+                assert stats.max_congestion == 1, stats.label
+            if ".s3scan" in stats.label:
+                assert stats.max_congestion == 2, stats.label  # two-handed
+
+    def test_jump_congestion_bounded_by_n(self):
+        n = 8
+        res = RowGCA(complete_graph(n)).run()
+        peaks = [
+            s.max_congestion for s in res.access_log if ".s5jump" in s.label
+        ]
+        assert max(peaks) <= n
+
+    def test_local_generations_read_nothing(self):
+        res = RowGCA(path_graph(4)).run()
+        for stats in res.access_log:
+            if any(tag in stats.label for tag in ("init", "fix", "adopt")) or stats.label == "gen0":
+                assert stats.total_reads == 0, stats.label
+
+    def test_record_access_off(self):
+        res = RowGCA(path_graph(4), record_access=False).run()
+        assert res.total_generations == 0  # nothing logged
+        assert np.array_equal(res.labels, canonical_labels(path_graph(4)))
+
+    def test_total_reads_closed_form(self):
+        """Scans read once per cell per sub-generation; step 3 reads twice."""
+        n = 8
+        res = RowGCA(path_graph(n)).run()
+        it0 = [s for s in res.access_log if s.label.startswith("it0.")]
+        scan2 = sum(s.total_reads for s in it0 if ".s2scan" in s.label)
+        scan3 = sum(s.total_reads for s in it0 if ".s3scan" in s.label)
+        assert scan2 == n * (n - 1)
+        assert scan3 == 2 * n * n
+
+
+class TestDesignComparison:
+    def test_memory_parity(self):
+        """Both designs are dominated by the n^2 adjacency bits -- the
+        paper's argument that fewer cells buy no asymptotic memory win."""
+        words = memory_words(32)
+        assert words["n2_design_adjacency_bits"] == words["row_design_adjacency_bits"]
+        assert words["row_design_words"] < words["n2_design_words"]
+
+    def test_iterations_unchanged(self):
+        """Outer-loop structure is shared: same ceil(log2 n) iterations."""
+        res = RowGCA(path_graph(16)).run()
+        assert res.iterations == ceil_log2(16)
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ValueError):
+            RowGCA(path_graph(4), iterations=-1)

@@ -1,0 +1,107 @@
+"""Unit tests for the generation schedule and Table 2 closed forms."""
+
+import pytest
+
+from repro.core.schedule import (
+    STEP_OF_GENERATION,
+    full_schedule,
+    generations_per_iteration,
+    generations_per_step,
+    iteration_generations,
+    total_generations,
+)
+from repro.util.intmath import ceil_log2, outer_iterations
+
+
+class TestStepMapping:
+    def test_every_generation_mapped(self):
+        assert sorted(STEP_OF_GENERATION) == list(range(12))
+
+    def test_paper_assignment(self):
+        assert STEP_OF_GENERATION[0] == 1
+        assert all(STEP_OF_GENERATION[g] == 2 for g in (1, 2, 3, 4))
+        assert all(STEP_OF_GENERATION[g] == 3 for g in (5, 6, 7, 8))
+        assert STEP_OF_GENERATION[9] == 4
+        assert STEP_OF_GENERATION[10] == 5
+        assert STEP_OF_GENERATION[11] == 6
+
+
+class TestIterationGenerations:
+    def test_numbered_sequence(self):
+        gens = iteration_generations(8, 0)
+        numbers = [g.number for g in gens]
+        log = 3
+        expected = (
+            [1, 2] + [3] * log + [4, 5, 6] + [7] * log + [8, 9] + [10] * log + [11]
+        )
+        assert numbers == expected
+
+    def test_sub_generation_indices(self):
+        gens = iteration_generations(8, 1)
+        subs3 = [g.sub_generation for g in gens if g.number == 3]
+        assert subs3 == [0, 1, 2]
+
+    def test_labels(self):
+        gens = iteration_generations(4, 2)
+        labels = [g.label for g in gens]
+        assert labels[0] == "it2.gen1"
+        assert "it2.gen3.sub0" in labels
+        assert labels[-1] == "it2.gen11"
+
+    def test_steps_attached(self):
+        for g in iteration_generations(4, 0):
+            assert g.step == STEP_OF_GENERATION[g.number]
+
+
+class TestFullSchedule:
+    def test_starts_with_gen0(self):
+        sched = full_schedule(8)
+        assert sched[0].number == 0
+        assert sched[0].label == "gen0"
+
+    def test_length_matches_formula(self):
+        for n in (2, 3, 4, 5, 8, 16, 33):
+            assert len(full_schedule(n)) == total_generations(n)
+
+    def test_explicit_iterations(self):
+        assert len(full_schedule(8, iterations=1)) == 1 + generations_per_iteration(8)
+
+    def test_zero_iterations(self):
+        sched = full_schedule(8, iterations=0)
+        assert len(sched) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            full_schedule(8, iterations=-1)
+
+    def test_n1_is_init_only(self):
+        assert [g.number for g in full_schedule(1)] == [0]
+
+
+class TestClosedForms:
+    def test_table2_at_8(self):
+        per = generations_per_step(8)
+        assert per == {1: 1, 2: 6, 3: 6, 4: 1, 5: 3, 6: 1}
+
+    def test_table2_formula_shape(self):
+        for n in (2, 4, 16, 64):
+            log = ceil_log2(n)
+            per = generations_per_step(n)
+            assert per[2] == per[3] == 3 + log
+            assert per[5] == log
+            assert per[1] == per[4] == per[6] == 1
+
+    def test_per_iteration_is_3log_plus_8(self):
+        for n in (2, 4, 8, 16, 32, 64, 128):
+            assert generations_per_iteration(n) == 3 * ceil_log2(n) + 8
+
+    def test_total_formula(self):
+        """total = 1 + log(n) * (3 log(n) + 8), the paper's bound."""
+        for n in (2, 4, 8, 16, 32, 256):
+            log = ceil_log2(n)
+            assert total_generations(n) == 1 + log * (3 * log + 8)
+
+    def test_total_uses_outer_iterations_for_non_powers(self):
+        for n in (3, 5, 9, 33):
+            iters = outer_iterations(n)
+            assert total_generations(n) == 1 + iters * generations_per_iteration(n)

@@ -1,0 +1,87 @@
+"""Unit tests for the Figure 2 state machine."""
+
+import pytest
+
+from repro.core.schedule import full_schedule
+from repro.core.state_machine import HirschbergStateMachine
+
+
+class TestDynamicWalk:
+    def test_emits_static_schedule(self):
+        """The dynamic controller must emit exactly the static schedule."""
+        for n in (1, 2, 3, 4, 8, 9):
+            sm = HirschbergStateMachine(n)
+            dynamic = [s.label for s in sm]
+            static = [s.label for s in full_schedule(n)]
+            assert dynamic == static, f"n={n}"
+
+    def test_generation_count(self):
+        sm = HirschbergStateMachine(8)
+        list(sm)
+        assert sm.generations_executed == len(full_schedule(8))
+
+    def test_done_lifecycle(self):
+        sm = HirschbergStateMachine(2)
+        assert not sm.done
+        steps = 0
+        while not sm.done:
+            sm.advance()
+            steps += 1
+        assert steps == len(full_schedule(2))
+
+    def test_advance_after_done_raises(self):
+        sm = HirschbergStateMachine(1)
+        sm.advance()  # gen0
+        assert sm.done
+        with pytest.raises(StopIteration):
+            sm.advance()
+
+
+class TestStateReporting:
+    def test_initial_state(self):
+        sm = HirschbergStateMachine(4)
+        st = sm.state()
+        assert st.generation_number == 0
+        assert st.label == "gen0"
+        assert not st.done
+
+    def test_state_tracks_emission(self):
+        sm = HirschbergStateMachine(4)
+        sm.advance()                 # gen0
+        sm.advance()                 # it0.gen1
+        st = sm.state()
+        assert st.iteration == 0
+        assert st.generation_number == 1
+        assert st.step == 2
+        assert st.label == "it0.gen1"
+
+    def test_sub_generation_label(self):
+        sm = HirschbergStateMachine(4)
+        labels = []
+        for _ in range(5):           # gen0, gen1, gen2, gen3.sub0, gen3.sub1
+            labels.append(sm.advance().label)
+        assert labels[3] == "it0.gen3.sub0"
+        assert sm.state().label == "it0.gen3.sub1"
+
+    def test_done_state_label(self):
+        sm = HirschbergStateMachine(1)
+        sm.advance()
+        assert sm.done
+
+
+class TestConfiguration:
+    def test_explicit_iterations(self):
+        sm = HirschbergStateMachine(8, iterations=1)
+        assert len(list(sm)) == len(full_schedule(8, iterations=1))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            HirschbergStateMachine(0)
+        with pytest.raises(ValueError):
+            HirschbergStateMachine(4, iterations=-2)
+
+    def test_counters_exposed(self):
+        sm = HirschbergStateMachine(16)
+        assert sm.subgens == 4
+        assert sm.jumps == 4
+        assert sm.iterations == 4

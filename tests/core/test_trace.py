@@ -1,0 +1,118 @@
+"""Tests for the trace recorder and Figure 3 access patterns."""
+
+import numpy as np
+
+from repro.core.field import FieldLayout
+from repro.core.schedule import full_schedule
+from repro.core.trace import (
+    TraceRecorder,
+    access_pattern,
+    figure3_patterns,
+)
+from repro.graphs.generators import from_edges, path_graph
+
+
+class TestFigure3Patterns:
+    """Pin the n = 4 access patterns the paper's Figure 3 depicts."""
+
+    def setup_method(self):
+        self.patterns = figure3_patterns(4)
+
+    def test_all_panels_present(self):
+        assert "gen0" in self.patterns
+        assert "gen1" in self.patterns
+        assert "gen3.sub0" in self.patterns
+        assert "gen11" in self.patterns
+
+    def test_gen1_pattern(self):
+        """Gen 1: every cell of column i reads cell <i>[0] (indices 0,4,8,12)."""
+        p = self.patterns["gen1"]
+        assert p.active_count == 20
+        for col, head in enumerate([0, 4, 8, 12]):
+            assert (p.targets[:, col] == head).all()
+            assert p.reads_of(head) == 5  # n+1 readers per head
+
+    def test_gen2_pattern(self):
+        """Gen 2: row j of the square reads D_N[j] (indices 16..19)."""
+        p = self.patterns["gen2"]
+        assert p.active_count == 16
+        for row in range(4):
+            assert (p.targets[row, :] == 16 + row).all()
+        assert (p.targets[4, :] == -1).all()  # last row passive
+
+    def test_gen3_tree_reduction_pattern(self):
+        p0 = self.patterns["gen3.sub0"]
+        # active columns 0 and 2; each reads its right neighbour
+        assert p0.targets[0, 0] == 1 and p0.targets[0, 2] == 3
+        assert p0.targets[0, 1] == -1
+        p1 = self.patterns["gen3.sub1"]
+        assert p1.targets[0, 0] == 2
+        assert p1.targets[0, 2] == -1
+
+    def test_gen9_pattern(self):
+        p = self.patterns["gen9"]
+        # square rows read their own row head; last row reads column heads
+        assert (p.targets[2, :] == 8).all()
+        assert p.targets[4, 0] == 0 and p.targets[4, 3] == 12
+
+    def test_gen10_identity_field(self):
+        # on the identity labelling C(j) = j the jump reads row j itself
+        p = self.patterns["gen10.sub0"]
+        assert [p.targets[j, 0] for j in range(4)] == [0, 4, 8, 12]
+
+    def test_gen0_active_no_read(self):
+        p = self.patterns["gen0"]
+        assert p.active_count == 20
+        assert (p.targets == -1).all()
+
+    def test_render_shapes(self):
+        text = self.patterns["gen1"].render()
+        assert len(text.splitlines()) == 5  # n+1 rows
+
+
+class TestAccessPattern:
+    def test_reads_of(self):
+        layout = FieldLayout(4)
+        sched = full_schedule(4, iterations=1)[1]  # gen1
+        D = np.zeros((5, 4), dtype=np.int64)
+        p = access_pattern(sched, D, layout)
+        assert p.reads_of(0) == 5
+        assert p.reads_of(1) == 0
+
+
+class TestTraceRecorder:
+    def test_full_run(self):
+        g = from_edges(4, [(0, 1), (1, 3)])
+        rec = TraceRecorder(g)
+        snaps = rec.run()
+        assert len(snaps) == len(full_schedule(4))
+        assert rec.labels.tolist() == [0, 0, 2, 0]
+
+    def test_snapshots_chain(self):
+        rec = TraceRecorder(path_graph(4))
+        snaps = rec.run()
+        for a, b in zip(snaps, snaps[1:]):
+            assert np.array_equal(a.D_after, b.D_before)
+
+    def test_gen0_snapshot(self):
+        rec = TraceRecorder(path_graph(4))
+        snaps = rec.run()
+        assert snaps[0].label == "gen0"
+        assert snaps[0].D_after[:, 0].tolist() == [0, 1, 2, 3, 4]
+
+    def test_render_smoke(self):
+        rec = TraceRecorder(from_edges(2, [(0, 1)]))
+        text = rec.render()
+        assert "gen0" in text
+        assert "final labels: [0, 0]" in text
+
+    def test_render_triggers_run(self):
+        rec = TraceRecorder(path_graph(2))
+        assert rec.snapshots == []
+        rec.render()
+        assert rec.snapshots  # run() invoked lazily
+
+    def test_iterations_override(self):
+        rec = TraceRecorder(path_graph(8), iterations=1)
+        snaps = rec.run()
+        assert len(snaps) == len(full_schedule(8, iterations=1))

@@ -1,0 +1,140 @@
+"""Tests for the vectorised engine, including per-generation semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.field import FieldLayout
+from repro.core.schedule import full_schedule, total_generations
+from repro.core.vectorized import (
+    active_mask,
+    apply_generation,
+    connected_components_vectorized,
+    pointer_targets,
+    run_vectorized,
+)
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import path_graph, random_graph
+from tests.conftest import adjacency_matrices
+
+
+class TestCorrectness:
+    def test_corpus(self, corpus_graph):
+        got = connected_components_vectorized(corpus_graph)
+        assert np.array_equal(got, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=20))
+    @settings(max_examples=60)
+    def test_random(self, g):
+        got = connected_components_vectorized(g)
+        assert np.array_equal(got, canonical_labels(g))
+
+    def test_larger_instance(self):
+        g = random_graph(96, 0.03, seed=5)
+        assert np.array_equal(
+            connected_components_vectorized(g), canonical_labels(g)
+        )
+
+
+class TestActiveMasks:
+    def setup_method(self):
+        self.n = 4
+        self.layout = FieldLayout(self.n)
+        self.sched = {s.label: s for s in full_schedule(self.n, iterations=1)}
+
+    def counts(self, label):
+        return int(active_mask(self.sched[label], self.layout).sum())
+
+    def test_paper_active_counts(self):
+        n = self.n
+        assert self.counts("gen0") == n * (n + 1)
+        assert self.counts("it0.gen1") == n * (n + 1)
+        assert self.counts("it0.gen2") == n * n
+        assert self.counts("it0.gen3.sub0") == n * n // 2
+        assert self.counts("it0.gen4") == n
+        assert self.counts("it0.gen5") == n * (n + 1)
+        assert self.counts("it0.gen6") == n * n
+        assert self.counts("it0.gen9") == n * (n + 1)
+        assert self.counts("it0.gen10.sub0") == n
+        assert self.counts("it0.gen11") == n
+
+    def test_reduction_mask_shrinks(self):
+        sub0 = self.counts("it0.gen3.sub0")
+        sub1 = self.counts("it0.gen3.sub1")
+        assert sub1 < sub0
+
+
+class TestPointerTargets:
+    def test_gen0_has_none(self):
+        layout = FieldLayout(4)
+        sched = full_schedule(4, iterations=1)[0]
+        D = np.zeros((5, 4), dtype=np.int64)
+        assert pointer_targets(sched, D, layout) is None
+
+    def test_targets_in_range_every_generation(self):
+        n = 4
+        layout = FieldLayout(n)
+        g = random_graph(n, 0.5, seed=2)
+        A = g.matrix.astype(np.int64)
+        D = np.zeros((n + 1, n), dtype=np.int64)
+        for sched in full_schedule(n):
+            t = pointer_targets(sched, D, layout)
+            if t is not None:
+                assert t.min() >= 0 and t.max() < layout.size
+            D = apply_generation(sched, D, A, layout)
+
+    def test_data_dependent_targets(self):
+        n = 4
+        layout = FieldLayout(n)
+        sched = [s for s in full_schedule(n) if s.number == 10][0]
+        D = np.zeros((n + 1, n), dtype=np.int64)
+        D[:n, 0] = [2, 0, 1, 3]
+        t = pointer_targets(sched, D, layout)
+        assert t.tolist() == [8, 0, 4, 12]
+
+
+class TestRunner:
+    def test_total_generations(self):
+        for n in (2, 5, 8):
+            res = run_vectorized(random_graph(n, 0.3, seed=n))
+            assert res.total_generations == total_generations(n)
+
+    def test_snapshots(self):
+        res = run_vectorized(path_graph(4), keep_snapshots=True)
+        assert len(res.snapshots) == res.total_generations
+        assert res.snapshots[0][:4, 0].tolist() == [0, 1, 2, 3]
+
+    def test_callback(self):
+        labels = []
+        run_vectorized(path_graph(2), on_generation=lambda s, D: labels.append(s.label))
+        assert labels[0] == "gen0"
+
+    def test_access_log_optional(self):
+        res = run_vectorized(path_graph(4))
+        assert res.access_log is None
+        res2 = run_vectorized(path_graph(4), record_access=True)
+        assert res2.access_log is not None
+        assert res2.access_log.total_generations == res2.total_generations
+
+    def test_component_count(self):
+        res = run_vectorized(path_graph(4))
+        assert res.component_count == 1
+
+    def test_iterations_override(self):
+        res = run_vectorized(path_graph(8), iterations=0)
+        assert res.labels.tolist() == list(range(8))
+
+
+class TestAccessLogEquivalence:
+    def test_matches_interpreter_log(self):
+        """The vectorised access accounting must equal the interpreter's."""
+        from repro.core.machine import connected_components_interpreter
+
+        g = random_graph(5, 0.4, seed=9)
+        slow = connected_components_interpreter(g)
+        fast = run_vectorized(g, record_access=True)
+        assert len(slow.access_log) == len(fast.access_log)
+        for s, f in zip(slow.access_log, fast.access_log):
+            assert s.label == f.label
+            assert s.active_cells == f.active_cells, s.label
+            assert s.reads_per_cell == f.reads_per_cell, s.label

@@ -1,0 +1,104 @@
+"""Tests for the lockstep validator, including failure injection.
+
+The validator is only trustworthy if it *detects* divergence, so these
+tests corrupt the field mid-run in several ways and assert the monitors
+fire -- and fire at the right place.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.verification import (
+    LockstepValidator,
+    LockstepViolation,
+    validated_connected_components,
+)
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import complete_graph, path_graph, random_graph
+from tests.conftest import adjacency_matrices
+
+
+class TestCleanRuns:
+    def test_corpus(self, corpus_graph):
+        labels = validated_connected_components(corpus_graph)
+        assert np.array_equal(labels, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=12))
+    @settings(max_examples=25)
+    def test_random(self, g):
+        report = LockstepValidator(g, strict=False).run()
+        assert report.ok, report.failures()
+
+    def test_report_structure(self):
+        report = LockstepValidator(path_graph(4), strict=False).run()
+        assert report.ok
+        labels_checked = [c for c in report.checks if c.label.endswith("gen11")]
+        assert len(labels_checked) >= 2  # one per iteration
+        assert report.checks[-1].label == "final"
+
+
+class TestFailureInjection:
+    def test_corrupted_label_detected(self):
+        """Flipping a C entry after an iteration boundary must be caught
+        at the next boundary."""
+        def corrupt(D):
+            D[0, 0] = D[0, 0] + 1 if D[0, 0] + 1 < D.shape[1] else 0
+
+        validator = LockstepValidator(complete_graph(8), strict=True)
+        validator.inject("it0.gen11", corrupt)
+        with pytest.raises(LockstepViolation):
+            validator.run()
+
+    def test_out_of_range_value_detected_immediately(self):
+        def corrupt(D):
+            D[2, 1] = 10**9
+
+        validator = LockstepValidator(path_graph(8), strict=True)
+        validator.inject("it0.gen5", corrupt)
+        with pytest.raises(LockstepViolation, match="out of range"):
+            validator.run()
+
+    def test_corrupted_t_detected_at_gen4(self):
+        def corrupt(D):
+            D[1, 0] = 7  # falsify the step-2 minimum (true value is 0)
+
+        validator = LockstepValidator(path_graph(8), strict=True)
+        validator.inject("it0.gen3.sub2", corrupt)
+        with pytest.raises(LockstepViolation, match="step-2 T"):
+            validator.run()
+
+    def test_nonstrict_records_failures(self):
+        def corrupt(D):
+            D[0, 0] = 1
+
+        validator = LockstepValidator(complete_graph(4), strict=False)
+        validator.inject("it0.gen11", corrupt)
+        report = validator.run()
+        assert not report.ok
+        assert report.failures()
+
+    def test_benign_corruption_of_dead_cells_passes(self):
+        """Corrupting a cell whose value is overwritten before being read
+        again must NOT trip the validator -- the monitors check semantics,
+        not bit-identity of scratch space."""
+        def corrupt(D):
+            D[2, 3] = 0  # interior cell, rewritten by the next broadcast
+
+        validator = LockstepValidator(path_graph(4), strict=True)
+        validator.inject("it0.gen11", corrupt)  # before next gen1 broadcast
+        report = validator.run()
+        assert report.ok
+
+
+class TestInjectionPlumbing:
+    def test_inject_returns_self(self):
+        v = LockstepValidator(path_graph(2))
+        assert v.inject("gen0", lambda D: None) is v
+
+    def test_unknown_label_never_fires(self):
+        fired = []
+        v = LockstepValidator(path_graph(2), strict=False)
+        v.inject("no.such.generation", lambda D: fired.append(1))
+        v.run()
+        assert not fired

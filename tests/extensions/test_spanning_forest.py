@@ -1,0 +1,89 @@
+"""Tests for the spanning-forest extension."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.extensions.spanning_forest import spanning_forest
+from repro.graphs.components import canonical_labels, count_components
+from repro.graphs.generators import (
+    complete_graph,
+    empty_graph,
+    from_edges,
+    path_graph,
+    random_graph,
+    worst_case_pairing,
+)
+from repro.graphs.union_find import UnionFind
+from tests.conftest import adjacency_matrices
+
+
+def assert_valid_forest(graph, result):
+    """A valid spanning forest: edges of the graph, acyclic, spanning."""
+    uf = UnionFind(graph.n)
+    for a, b in result.edges:
+        assert graph.has_edge(a, b), (a, b)
+        assert uf.union(a, b), f"cycle through edge ({a}, {b})"
+    assert uf.canonical_labels().tolist() == canonical_labels(graph).tolist()
+    assert result.edge_count == graph.n - count_components(graph)
+
+
+class TestKnownGraphs:
+    def test_k2(self):
+        res = spanning_forest(from_edges(2, [(0, 1)]))
+        assert res.edges == [(0, 1)]
+
+    def test_empty(self):
+        res = spanning_forest(empty_graph(5))
+        assert res.edges == []
+        assert res.component_count == 5
+
+    def test_path(self):
+        g = path_graph(6)
+        res = spanning_forest(g)
+        assert_valid_forest(g, res)
+        assert res.edge_count == 5
+
+    def test_complete(self):
+        g = complete_graph(7)
+        res = spanning_forest(g)
+        assert_valid_forest(g, res)
+        assert res.edge_count == 6
+
+    def test_pairing_resolves_mutual_hooks(self):
+        """Every component is a mutual pair: only one edge per pair may
+        survive (the smaller side's)."""
+        g = worst_case_pairing(10)
+        res = spanning_forest(g)
+        assert_valid_forest(g, res)
+        assert res.edges == [(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]
+
+
+class TestStructure:
+    def test_labels_match_reference(self, corpus_graph):
+        res = spanning_forest(corpus_graph)
+        assert np.array_equal(res.labels, canonical_labels(corpus_graph))
+
+    def test_per_iteration_partition(self):
+        g = random_graph(12, 0.2, seed=3)
+        res = spanning_forest(g)
+        flattened = [e for it in res.per_iteration_edges for e in it]
+        assert flattened == res.edges
+
+    def test_most_merging_in_first_iteration(self):
+        """On the complete graph all hooking happens in iteration 1."""
+        res = spanning_forest(complete_graph(8))
+        assert len(res.per_iteration_edges[0]) == 7
+        assert all(not it for it in res.per_iteration_edges[1:])
+
+
+class TestProperties:
+    @given(adjacency_matrices(max_n=16))
+    @settings(max_examples=50)
+    def test_always_valid_forest(self, g):
+        assert_valid_forest(g, spanning_forest(g))
+
+    @given(adjacency_matrices(max_n=12))
+    @settings(max_examples=30)
+    def test_edge_count_formula(self, g):
+        res = spanning_forest(g)
+        assert res.edge_count == g.n - count_components(g)

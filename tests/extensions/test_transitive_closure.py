@@ -1,0 +1,108 @@
+"""Tests for the transitive-closure extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.extensions.transitive_closure import (
+    closure_generations,
+    reachability_matrix,
+    transitive_closure_gca,
+    transitive_closure_reference,
+)
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import (
+    complete_graph,
+    empty_graph,
+    from_edges,
+    path_graph,
+    random_graph,
+    union_of_cliques,
+)
+from tests.conftest import adjacency_matrices
+
+
+class TestReference:
+    def test_path_reaches_everything(self):
+        B = transitive_closure_reference(path_graph(5))
+        assert B.all()
+
+    def test_empty_graph_identity(self):
+        B = transitive_closure_reference(empty_graph(4))
+        assert np.array_equal(B, np.eye(4, dtype=bool))
+
+    def test_block_structure(self):
+        B = transitive_closure_reference(union_of_cliques([2, 3]))
+        assert B[0, 1] and not B[0, 2]
+        assert B[2, 4] and not B[4, 1]
+
+    def test_alias(self):
+        g = path_graph(3)
+        assert np.array_equal(
+            reachability_matrix(g), transitive_closure_reference(g)
+        )
+
+
+class TestGCAClosure:
+    def test_corpus(self, corpus_graph):
+        res = transitive_closure_gca(corpus_graph, record_access=False)
+        assert np.array_equal(
+            res.closure, transitive_closure_reference(corpus_graph)
+        )
+
+    @given(adjacency_matrices(max_n=14))
+    @settings(max_examples=40)
+    def test_random(self, g):
+        res = transitive_closure_gca(g, record_access=False)
+        assert np.array_equal(res.closure, transitive_closure_reference(g))
+
+    def test_reachable_query(self):
+        res = transitive_closure_gca(from_edges(4, [(0, 1), (2, 3)]))
+        assert res.reachable(0, 1)
+        assert not res.reachable(1, 2)
+
+    def test_components_from_closure(self):
+        """Hirschberg'76's other direction: components follow from the
+        closure by a row minimum."""
+        g = random_graph(10, 0.2, seed=5)
+        res = transitive_closure_gca(g, record_access=False)
+        assert np.array_equal(res.component_labels(), canonical_labels(g))
+
+    def test_generation_count(self):
+        for n in (2, 4, 8, 9):
+            res = transitive_closure_gca(path_graph(n))
+            assert res.total_generations == closure_generations(n)
+
+    def test_closure_generations_formula(self):
+        assert closure_generations(8) == 3 * 9
+        assert closure_generations(1) == 0
+
+    def test_squarings_override(self):
+        # one squaring covers paths of length <= 2 only
+        g = path_graph(5)
+        res = transitive_closure_gca(g, squarings=1, record_access=False)
+        assert res.closure[0, 2] and not res.closure[0, 4]
+
+    def test_rejects_negative_squarings(self):
+        with pytest.raises(ValueError):
+            transitive_closure_gca(path_graph(3), squarings=-1)
+
+
+class TestAccessBalance:
+    def test_rotation_balances_reads(self):
+        """Every cell is read exactly twice per multiply sub-generation --
+        the rotated middle index removes hot spots entirely."""
+        res = transitive_closure_gca(complete_graph(6))
+        for stats in res.access_log:
+            if ".k" in stats.label:
+                assert stats.max_congestion == 2, stats.label
+                assert stats.total_reads == 2 * 36
+
+    def test_monotonicity(self):
+        """The closure only grows across squarings."""
+        g = path_graph(9)
+        prev = transitive_closure_gca(g, squarings=0, record_access=False).closure
+        for s in range(1, 4):
+            cur = transitive_closure_gca(g, squarings=s, record_access=False).closure
+            assert (prev <= cur).all()
+            prev = cur

@@ -1,0 +1,108 @@
+"""Tests for the GCA algorithm library (repro.gca.algorithms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gca.algorithms import (
+    bitonic_generations,
+    gca_bitonic_sort,
+    gca_list_ranking,
+    gca_prefix_sum,
+    gca_reduce,
+)
+
+ints = st.integers(min_value=-10**6, max_value=10**6)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("op,expected", [("min", -2), ("max", 9), ("sum", 12)])
+    def test_ops(self, op, expected):
+        assert gca_reduce([5, -2, 9, 0], op) == expected
+
+    def test_single(self):
+        assert gca_reduce([42]) == 42
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            gca_reduce([1], "median")
+
+    @given(st.lists(ints, min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_matches_builtin(self, values):
+        assert gca_reduce(values, "min") == min(values)
+        assert gca_reduce(values, "max") == max(values)
+        assert gca_reduce(values, "sum") == sum(values)
+
+
+class TestPrefixSum:
+    def test_known(self):
+        assert gca_prefix_sum([1, 2, 3, 4]) == [1, 3, 6, 10]
+
+    def test_single(self):
+        assert gca_prefix_sum([7]) == [7]
+
+    @given(st.lists(ints, min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_matches_cumsum(self, values):
+        assert gca_prefix_sum(values) == np.cumsum(values).tolist()
+
+
+class TestListRanking:
+    def test_chain(self):
+        assert gca_list_ranking([1, 2, 3, 3]) == [3, 2, 1, 0]
+
+    def test_single(self):
+        assert gca_list_ranking([0]) == [0]
+
+    def test_rejects_bad_successors(self):
+        with pytest.raises(ValueError):
+            gca_list_ranking([5, 0])
+
+    def test_agrees_with_pram_version(self):
+        from repro.pram.program import run_list_ranking
+
+        successors = [3, 0, 1, 5, 2, 5]  # 4 -> 2 -> 1 -> 0 -> 3 -> 5 (tail)
+        gca = gca_list_ranking(successors)
+        pram, _ = run_list_ranking(successors)
+        assert gca == pram
+
+    @given(st.integers(min_value=1, max_value=32), st.randoms())
+    @settings(max_examples=25)
+    def test_random_lists(self, n, rnd):
+        order = list(range(n))
+        rnd.shuffle(order)
+        successors = [0] * n
+        for pos, node in enumerate(order[:-1]):
+            successors[node] = order[pos + 1]
+        successors[order[-1]] = order[-1]
+        ranks = gca_list_ranking(successors)
+        for pos, node in enumerate(order):
+            assert ranks[node] == n - 1 - pos
+
+
+class TestBitonicSort:
+    def test_known(self):
+        assert gca_bitonic_sort([3, 1, 2, 0]) == [0, 1, 2, 3]
+
+    def test_duplicates(self):
+        assert gca_bitonic_sort([2, 2, 1, 1]) == [1, 1, 2, 2]
+
+    def test_already_sorted(self):
+        assert gca_bitonic_sort([1, 2, 3, 4, 5, 6, 7, 8]) == list(range(1, 9))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            gca_bitonic_sort([1, 2, 3])
+
+    def test_generation_count(self):
+        assert bitonic_generations(16) == 4 * 5 // 2
+        with pytest.raises(ValueError):
+            bitonic_generations(12)
+
+    @given(st.integers(min_value=0, max_value=5), st.randoms())
+    @settings(max_examples=30)
+    def test_random_powers_of_two(self, k, rnd):
+        values = [rnd.randint(-100, 100) for _ in range(2**k)]
+        assert gca_bitonic_sort(values) == sorted(values)

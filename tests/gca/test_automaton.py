@@ -1,0 +1,220 @@
+"""Unit tests for the GlobalCellularAutomaton engine."""
+
+import numpy as np
+import pytest
+
+from repro.gca.automaton import GlobalCellularAutomaton
+from repro.gca.cell import KEEP, CellUpdate
+from repro.gca.errors import (
+    HandednessViolation,
+    PointerRangeError,
+    RuleResultError,
+)
+from repro.gca.rules import FunctionRule, IdentityRule, Rule
+
+
+def shift_rule():
+    """Every cell copies its right neighbour's data (wrap-around)."""
+
+    def pointer(cell):
+        return (cell.index + 1) % 5
+
+    def update(cell, nb):
+        return CellUpdate(data=nb.data)
+
+    return FunctionRule(pointer, update, name="shift")
+
+
+class TestConstruction:
+    def test_scalar_broadcast(self):
+        a = GlobalCellularAutomaton(size=4, initial_data=7)
+        assert a.data.tolist() == [7, 7, 7, 7]
+
+    def test_array_initial(self):
+        a = GlobalCellularAutomaton(size=3, initial_data=[1, 2, 3])
+        assert a.data.tolist() == [1, 2, 3]
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalCellularAutomaton(size=3, initial_data=[1, 2])
+
+    def test_bad_initial_pointer_rejected(self):
+        with pytest.raises(PointerRangeError):
+            GlobalCellularAutomaton(size=3, initial_pointer=[0, 1, 3])
+
+    def test_aux_plane_shape_checked(self):
+        with pytest.raises(ValueError):
+            GlobalCellularAutomaton(size=3, aux={"a": np.zeros(2)})
+
+    def test_aux_plane_readonly(self):
+        a = GlobalCellularAutomaton(size=3, aux={"a": np.arange(3)})
+        with pytest.raises(ValueError):
+            a.aux_plane("a")[0] = 9
+
+    def test_unknown_aux_plane(self):
+        a = GlobalCellularAutomaton(size=3)
+        with pytest.raises(KeyError):
+            a.aux_plane("missing")
+
+
+class TestSynchrony:
+    def test_rotation_is_synchronous(self):
+        # all cells read simultaneously from the OLD state: a 5-cell ring
+        # rotating left must rotate exactly one position per generation.
+        a = GlobalCellularAutomaton(size=5, initial_data=[0, 1, 2, 3, 4])
+        a.step(shift_rule())
+        assert a.data.tolist() == [1, 2, 3, 4, 0]
+        a.step(shift_rule())
+        assert a.data.tolist() == [2, 3, 4, 0, 1]
+
+    def test_generation_counter(self):
+        a = GlobalCellularAutomaton(size=5)
+        assert a.generation == 0
+        a.step(shift_rule())
+        assert a.generation == 1
+
+    def test_swap_without_conflict(self):
+        # cells 0 and 1 swap by each reading the other -- impossible with
+        # in-place update, trivial with CROW synchronous semantics.
+        def pointer(cell):
+            return 1 - cell.index if cell.index < 2 else cell.index
+
+        def update(cell, nb):
+            return CellUpdate(data=nb.data)
+
+        a = GlobalCellularAutomaton(size=3, initial_data=[10, 20, 30])
+        a.step(FunctionRule(pointer, update))
+        assert a.data.tolist() == [20, 10, 30]
+
+
+class TestModelEnforcement:
+    def test_pointer_out_of_range(self):
+        rule = FunctionRule(lambda c: 99, lambda c, nb: KEEP)
+        a = GlobalCellularAutomaton(size=4)
+        with pytest.raises(PointerRangeError):
+            a.step(rule)
+
+    def test_stored_pointer_out_of_range(self):
+        rule = FunctionRule(lambda c: 0, lambda c, nb: CellUpdate(pointer=50))
+        a = GlobalCellularAutomaton(size=4)
+        with pytest.raises(PointerRangeError):
+            a.step(rule)
+
+    def test_handedness_enforced(self):
+        class Greedy(Rule):
+            def pointer(self, cell):
+                return 0
+
+            def update(self, cell, nb):
+                return KEEP
+
+            def step(self, cell, read):
+                read(0)
+                read(1)  # second read under hands=1
+                return KEEP
+
+        a = GlobalCellularAutomaton(size=4, hands=1)
+        with pytest.raises(HandednessViolation):
+            a.step(Greedy())
+
+    def test_two_handed_allows_two_reads(self):
+        class TwoReads(Rule):
+            def pointer(self, cell):
+                return 0
+
+            def update(self, cell, nb):
+                return KEEP
+
+            def step(self, cell, read):
+                a = read(0).data
+                b = read(1).data
+                return CellUpdate(data=a + b)
+
+        a = GlobalCellularAutomaton(size=4, initial_data=[3, 4, 0, 0], hands=2)
+        a.step(TwoReads())
+        assert a.data.tolist() == [7, 7, 7, 7]
+
+    def test_malformed_rule_result(self):
+        class Bad(Rule):
+            def pointer(self, cell):
+                return 0
+
+            def update(self, cell, nb):
+                return KEEP
+
+            def step(self, cell, read):
+                return "not an update"
+
+        a = GlobalCellularAutomaton(size=2)
+        with pytest.raises(RuleResultError):
+            a.step(Bad())
+
+
+class TestInstrumentation:
+    def test_active_counts(self):
+        a = GlobalCellularAutomaton(size=5, initial_data=[0, 1, 2, 3, 4])
+        stats = a.step(shift_rule(), label="rot")
+        assert stats.label == "rot"
+        assert stats.active_cells == 5
+        assert stats.total_reads == 5
+        assert stats.max_congestion == 1
+
+    def test_inactive_cells_not_counted(self):
+        a = GlobalCellularAutomaton(size=5)
+        stats = a.step(IdentityRule())
+        assert stats.active_cells == 0
+        assert stats.total_reads == 0
+
+    def test_congestion_hotspot(self):
+        rule = FunctionRule(lambda c: 0, lambda c, nb: CellUpdate(data=nb.data))
+        a = GlobalCellularAutomaton(size=6)
+        stats = a.step(rule)
+        assert stats.max_congestion == 6
+        assert stats.reads_per_cell == {0: 6}
+
+    def test_access_log_accumulates(self):
+        a = GlobalCellularAutomaton(size=5)
+        a.step(shift_rule())
+        a.step(shift_rule())
+        assert len(a.access_log) == 2
+        assert a.access_log.total_reads == 10
+
+    def test_record_access_off(self):
+        a = GlobalCellularAutomaton(size=5, record_access=False)
+        a.step(shift_rule())
+        assert len(a.access_log) == 0
+
+
+class TestStateAccess:
+    def test_view(self):
+        a = GlobalCellularAutomaton(size=3, initial_data=[5, 6, 7], aux={"a": [1, 0, 1]})
+        v = a.view(1)
+        assert v.data == 6 and v.aux["a"] == 0
+
+    def test_view_range_checked(self):
+        with pytest.raises(IndexError):
+            GlobalCellularAutomaton(size=3).view(3)
+
+    def test_load(self):
+        a = GlobalCellularAutomaton(size=3)
+        a.load(data=np.array([9, 8, 7]), pointers=np.array([2, 2, 2]))
+        assert a.data.tolist() == [9, 8, 7]
+        assert a.pointers.tolist() == [2, 2, 2]
+
+    def test_load_checks_pointers(self):
+        a = GlobalCellularAutomaton(size=3)
+        with pytest.raises(PointerRangeError):
+            a.load(pointers=np.array([0, 0, 9]))
+
+    def test_run_with_labels(self):
+        a = GlobalCellularAutomaton(size=5)
+        results = a.run([shift_rule(), shift_rule()], labels=["g0", "g1"])
+        assert [r.label for r in results] == ["g0", "g1"]
+
+    def test_run_label_mismatch(self):
+        a = GlobalCellularAutomaton(size=5)
+        with pytest.raises(ValueError):
+            a.run([shift_rule()], labels=["a", "b"])
+
+    def test_repr(self):
+        assert "size=5" in repr(GlobalCellularAutomaton(size=5))

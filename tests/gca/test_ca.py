@@ -1,0 +1,84 @@
+"""Unit tests for the classical-CA embedding (repro.gca.ca)."""
+
+import numpy as np
+import pytest
+
+from repro.gca.ca import (
+    CellularAutomaton,
+    game_of_life_rule,
+    majority_rule,
+)
+from repro.gca.neighborhood import VON_NEUMANN
+
+
+class TestGameOfLifeRule:
+    def test_survival(self):
+        assert game_of_life_rule(1, [1, 1, 0, 0, 0, 0, 0, 0]) == 1
+        assert game_of_life_rule(1, [1, 1, 1, 0, 0, 0, 0, 0]) == 1
+
+    def test_death(self):
+        assert game_of_life_rule(1, [1, 0, 0, 0, 0, 0, 0, 0]) == 0  # loneliness
+        assert game_of_life_rule(1, [1, 1, 1, 1, 0, 0, 0, 0]) == 0  # crowding
+
+    def test_birth(self):
+        assert game_of_life_rule(0, [1, 1, 1, 0, 0, 0, 0, 0]) == 1
+        assert game_of_life_rule(0, [1, 1, 0, 0, 0, 0, 0, 0]) == 0
+
+
+class TestMajorityRule:
+    def test_majority_one(self):
+        assert majority_rule(0, [1, 1, 1, 0]) == 1
+
+    def test_majority_zero(self):
+        assert majority_rule(1, [0, 0, 0, 1]) == 0
+
+    def test_tie_goes_zero(self):
+        # 5 votes total (4 nbrs + self): 2 ones of 5 -> 0
+        assert majority_rule(1, [1, 0, 0, 0]) == 0
+
+
+class TestCellularAutomaton:
+    def test_block_still_life(self):
+        grid = np.zeros((4, 4), dtype=np.int64)
+        grid[1:3, 1:3] = 1  # the 2x2 block is a still life
+        ca = CellularAutomaton(4, 4, game_of_life_rule, initial=grid)
+        ca.step(3)
+        assert np.array_equal(ca.grid, grid)
+
+    def test_blinker_period_two(self):
+        grid = np.zeros((5, 5), dtype=np.int64)
+        grid[2, 1:4] = 1  # horizontal blinker
+        ca = CellularAutomaton(5, 5, game_of_life_rule, initial=grid)
+        ca.step()
+        vertical = np.zeros((5, 5), dtype=np.int64)
+        vertical[1:4, 2] = 1
+        assert np.array_equal(ca.grid, vertical)
+        ca.step()
+        assert np.array_equal(ca.grid, grid)
+
+    def test_generation_counter(self):
+        ca = CellularAutomaton(3, 3, game_of_life_rule)
+        assert ca.generation == 0
+        ca.step(2)
+        assert ca.generation == 2
+
+    def test_custom_neighborhood(self):
+        # Von-Neumann majority on an all-ones grid stays all ones.
+        ones = np.ones((3, 3), dtype=np.int64)
+        ca = CellularAutomaton(3, 3, majority_rule, offsets=VON_NEUMANN, initial=ones)
+        ca.step()
+        assert np.array_equal(ca.grid, ones)
+
+    def test_initial_shape_checked(self):
+        with pytest.raises(ValueError):
+            CellularAutomaton(3, 3, game_of_life_rule, initial=np.zeros((2, 2)))
+
+    def test_step_count_checked(self):
+        ca = CellularAutomaton(3, 3, game_of_life_rule)
+        with pytest.raises(ValueError):
+            ca.step(0)
+
+    def test_empty_grid_stays_empty(self):
+        ca = CellularAutomaton(4, 4, game_of_life_rule)
+        ca.step(5)
+        assert ca.grid.sum() == 0

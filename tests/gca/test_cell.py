@@ -1,0 +1,45 @@
+"""Unit tests for repro.gca.cell."""
+
+import pytest
+
+from repro.gca.cell import KEEP, CellUpdate, CellView, Neighbor
+
+
+class TestCellView:
+    def test_make_defaults(self):
+        v = CellView.make(index=3, data=7, pointer=1)
+        assert (v.index, v.data, v.pointer, v.generation) == (3, 7, 1, 0)
+        assert dict(v.aux) == {}
+
+    def test_aux_immutable(self):
+        v = CellView.make(0, 0, 0, aux={"a": 1})
+        with pytest.raises(TypeError):
+            v.aux["a"] = 2
+
+    def test_aux_defensive_copy(self):
+        src = {"a": 1}
+        v = CellView.make(0, 0, 0, aux=src)
+        src["a"] = 99
+        assert v.aux["a"] == 1
+
+    def test_frozen(self):
+        v = CellView.make(0, 0, 0)
+        with pytest.raises(AttributeError):
+            v.data = 5
+
+
+class TestCellUpdate:
+    def test_noop_detection(self):
+        assert CellUpdate().is_noop
+        assert KEEP.is_noop
+        assert not CellUpdate(data=1).is_noop
+        assert not CellUpdate(pointer=1).is_noop
+
+    def test_data_zero_is_not_noop(self):
+        assert not CellUpdate(data=0).is_noop
+
+
+class TestNeighbor:
+    def test_fields(self):
+        nb = Neighbor(index=4, data=9, pointer=2)
+        assert (nb.index, nb.data, nb.pointer) == (4, 9, 2)

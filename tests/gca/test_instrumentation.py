@@ -1,0 +1,96 @@
+"""Unit tests for repro.gca.instrumentation."""
+
+from repro.gca.instrumentation import (
+    AccessLog,
+    GenerationStats,
+    ReadRecorder,
+    merge_stats,
+)
+
+
+def stats(label="g", active=0, reads=None):
+    return GenerationStats(label=label, active_cells=active, reads_per_cell=reads or {})
+
+
+class TestGenerationStats:
+    def test_totals(self):
+        s = stats(active=4, reads={0: 3, 1: 1})
+        assert s.total_reads == 4
+        assert s.cells_read == 2
+        assert s.max_congestion == 3
+
+    def test_empty(self):
+        s = stats()
+        assert s.max_congestion == 0
+        assert s.congestion_histogram() == []
+
+    def test_histogram_shape(self):
+        s = stats(reads={0: 5, 1: 5, 2: 1})
+        assert s.congestion_histogram() == [(2, 5), (1, 1)]
+
+
+class TestAccessLog:
+    def test_accumulation(self):
+        log = AccessLog()
+        log.record(stats("a", active=2, reads={0: 1}))
+        log.record(stats("b", active=3, reads={0: 2, 1: 1}))
+        assert len(log) == 2
+        assert log.total_generations == 2
+        assert log.total_reads == 4
+        assert log.total_active == 5
+        assert log.peak_congestion == 2
+
+    def test_by_label_prefix(self):
+        log = AccessLog()
+        log.record(stats("gen3.sub0"))
+        log.record(stats("gen3.sub1"))
+        log.record(stats("gen30"))
+        assert len(log.by_label("gen3")) == 2
+
+    def test_by_label_exact(self):
+        log = AccessLog()
+        log.record(stats("gen4"))
+        assert len(log.by_label("gen4")) == 1
+
+    def test_summary_rows(self):
+        log = AccessLog()
+        log.record(stats("x", active=1, reads={5: 2}))
+        assert log.summary_rows() == [("x", 1, 1, 2)]
+
+    def test_iteration(self):
+        log = AccessLog()
+        log.record(stats("a"))
+        assert [g.label for g in log] == ["a"]
+
+    def test_empty_peak(self):
+        assert AccessLog().peak_congestion == 0
+
+
+class TestMergeStats:
+    def test_sums_activity_and_reads(self):
+        merged = merge_stats(
+            "gen3",
+            [
+                stats("gen3.sub0", active=4, reads={0: 1, 2: 1}),
+                stats("gen3.sub1", active=2, reads={0: 1}),
+            ],
+        )
+        assert merged.active_cells == 6
+        assert merged.reads_per_cell == {0: 2, 2: 1}
+
+    def test_empty_merge(self):
+        merged = merge_stats("x", [])
+        assert merged.active_cells == 0
+        assert merged.reads_per_cell == {}
+
+
+class TestReadRecorder:
+    def test_counts(self):
+        rec = ReadRecorder()
+        rec.note(3)
+        rec.note(3)
+        rec.note(1)
+        s = rec.finish("lbl", active_cells=2)
+        assert s.reads_per_cell == {3: 2, 1: 1}
+        assert s.label == "lbl"
+        assert s.active_cells == 2

@@ -1,0 +1,163 @@
+"""Tests for the GCA logic simulator."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gca.logic_simulation import (
+    Circuit,
+    GateKind,
+    LogicSimulator,
+    ripple_carry_adder,
+)
+
+
+def simple_circuit():
+    """out = (a AND b) XOR (NOT c)"""
+    c = Circuit()
+    a, b, cc = c.input("a"), c.input("b"), c.input("c")
+    g1 = c.and_(a, b)
+    g2 = c.not_(cc)
+    c.output("out", c.xor_(g1, g2))
+    return c, (a, b, cc)
+
+
+class TestCircuitBuilder:
+    def test_gate_ids_sequential(self):
+        c = Circuit()
+        assert c.input() == 0
+        assert c.not_(0) == 1
+        assert c.and_(0, 1) == 2
+
+    def test_arity_checked(self):
+        c = Circuit()
+        a = c.input()
+        with pytest.raises(ValueError):
+            c.gate(GateKind.NOT, a, a)
+        with pytest.raises(ValueError):
+            c.gate(GateKind.AND, a)
+
+    def test_unknown_input_rejected(self):
+        c = Circuit()
+        with pytest.raises(IndexError):
+            c.not_(5)
+
+    def test_output_validation(self):
+        c = Circuit()
+        with pytest.raises(IndexError):
+            c.output("x", 3)
+
+    def test_depth(self):
+        c, _ = simple_circuit()
+        assert c.depth() == 2
+
+    def test_depth_input_only(self):
+        c = Circuit()
+        c.input()
+        assert c.depth() == 0
+
+    def test_evaluate_oracle(self):
+        c, (a, b, cc) = simple_circuit()
+        assert c.evaluate({a: 1, b: 1, cc: 1})["out"] == 1  # 1 XOR 0
+        assert c.evaluate({a: 0, b: 1, cc: 0})["out"] == 1  # 0 XOR 1
+        assert c.evaluate({a: 1, b: 1, cc: 0})["out"] == 0  # 1 XOR 1
+
+    def test_missing_input_rejected(self):
+        c, (a, b, cc) = simple_circuit()
+        with pytest.raises(ValueError):
+            c.evaluate({a: 1})
+
+
+class TestSimulator:
+    def test_matches_oracle_exhaustively(self):
+        c, inputs = simple_circuit()
+        sim = LogicSimulator(c)
+        for bits in itertools.product((0, 1), repeat=3):
+            assignment = dict(zip(inputs, bits))
+            assert sim.run(assignment) == c.evaluate(assignment), bits
+
+    def test_depth_generations(self):
+        c, _ = simple_circuit()
+        assert LogicSimulator(c).depth == 2
+
+    def test_all_gate_kinds(self):
+        c = Circuit()
+        a, b = c.input(), c.input()
+        c.output("and", c.gate(GateKind.AND, a, b))
+        c.output("or", c.gate(GateKind.OR, a, b))
+        c.output("xor", c.gate(GateKind.XOR, a, b))
+        c.output("nand", c.gate(GateKind.NAND, a, b))
+        c.output("nor", c.gate(GateKind.NOR, a, b))
+        c.output("not", c.gate(GateKind.NOT, a))
+        sim = LogicSimulator(c)
+        out = sim.run({a: 1, b: 0})
+        assert out == {"and": 0, "or": 1, "xor": 1, "nand": 1, "nor": 0, "not": 0}
+
+    def test_resimulation_with_new_inputs(self):
+        c, inputs = simple_circuit()
+        sim = LogicSimulator(c)
+        first = sim.run(dict(zip(inputs, (1, 1, 1))))   # 1 XOR 0 = 1
+        second = sim.run(dict(zip(inputs, (1, 1, 0))))  # 1 XOR 1 = 0
+        assert first != second  # state fully re-initialised
+
+    def test_missing_input(self):
+        c, inputs = simple_circuit()
+        with pytest.raises(ValueError):
+            LogicSimulator(c).run({inputs[0]: 1})
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("bits", [1, 2, 4])
+    def test_exhaustive(self, bits):
+        c, a, b, cin = ripple_carry_adder(bits)
+        sim = LogicSimulator(c)
+        for av in range(2**bits):
+            for bv in range(2**bits):
+                for cv in (0, 1):
+                    inputs = {a[i]: (av >> i) & 1 for i in range(bits)}
+                    inputs.update({b[i]: (bv >> i) & 1 for i in range(bits)})
+                    inputs[cin] = cv
+                    out = sim.run(inputs)
+                    got = sum(out[f"sum{i}"] << i for i in range(bits))
+                    got += out["carry_out"] << bits
+                    assert got == av + bv + cv
+
+    def test_depth_linear_in_bits(self):
+        d2 = LogicSimulator(ripple_carry_adder(2)[0]).depth
+        d6 = LogicSimulator(ripple_carry_adder(6)[0]).depth
+        assert d6 > d2
+        assert d6 <= 2 + 2 * 6 + 1
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+
+class TestRandomCircuits:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_dags_match_oracle(self, data):
+        """Random acyclic circuits: simulator == recursive evaluation."""
+        c = Circuit()
+        rng_inputs = [c.input() for _ in range(data.draw(st.integers(1, 4)))]
+        ids = list(rng_inputs)
+        for _ in range(data.draw(st.integers(1, 12))):
+            kind = data.draw(st.sampled_from(
+                [GateKind.NOT, GateKind.AND, GateKind.OR, GateKind.XOR,
+                 GateKind.NAND, GateKind.NOR]
+            ))
+            if kind is GateKind.NOT:
+                src = data.draw(st.sampled_from(ids))
+                ids.append(c.gate(kind, src))
+            else:
+                s1 = data.draw(st.sampled_from(ids))
+                s2 = data.draw(st.sampled_from(ids))
+                ids.append(c.gate(kind, s1, s2))
+        c.output("out", ids[-1])
+        assignment = {
+            i: data.draw(st.integers(0, 1)) for i in rng_inputs
+        }
+        sim = LogicSimulator(c)
+        assert sim.run(assignment) == c.evaluate(assignment)

@@ -1,0 +1,57 @@
+"""Unit tests for repro.gca.neighborhood."""
+
+import pytest
+
+from repro.gca.neighborhood import (
+    MOORE,
+    VON_NEUMANN,
+    clamp_neighbors,
+    col_of,
+    linear_index,
+    row_of,
+    wrap_neighbors,
+)
+
+
+class TestAddressArithmetic:
+    def test_linear_index(self):
+        assert linear_index(0, 0, 4) == 0
+        assert linear_index(2, 3, 4) == 11
+
+    def test_row_col_roundtrip(self):
+        for idx in range(20):
+            assert linear_index(row_of(idx, 5), col_of(idx, 5), 5) == idx
+
+    def test_range_checks(self):
+        with pytest.raises(IndexError):
+            linear_index(0, 4, 4)
+        with pytest.raises(IndexError):
+            linear_index(-1, 0, 4)
+        with pytest.raises(IndexError):
+            row_of(-1, 4)
+
+
+class TestNeighborhoods:
+    def test_sizes(self):
+        assert len(VON_NEUMANN) == 4
+        assert len(MOORE) == 8
+
+    def test_wrap_interior(self):
+        # 3x3 grid, center cell 4: Von-Neumann neighbours are 1,7,3,5
+        assert sorted(wrap_neighbors(4, 3, 3, VON_NEUMANN)) == [1, 3, 5, 7]
+
+    def test_wrap_corner(self):
+        # corner wraps toroidally: cell 0 of a 3x3 grid
+        nbs = wrap_neighbors(0, 3, 3, VON_NEUMANN)
+        assert sorted(nbs) == [1, 2, 3, 6]
+
+    def test_clamp_corner(self):
+        nbs = clamp_neighbors(0, 3, 3, VON_NEUMANN)
+        assert sorted(nbs) == [1, 3]
+
+    def test_clamp_interior_full(self):
+        assert len(clamp_neighbors(4, 3, 3, MOORE)) == 8
+
+    def test_index_checked(self):
+        with pytest.raises(IndexError):
+            wrap_neighbors(9, 3, 3, VON_NEUMANN)

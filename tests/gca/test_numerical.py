@@ -1,0 +1,153 @@
+"""Tests for the semiring matrix fabric (repro.gca.numerical)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gca.numerical import (
+    UNREACHED,
+    gca_bfs_levels,
+    gca_matvec,
+    gca_sssp,
+    generations_per_matvec,
+    repeated_matvec,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    empty_graph,
+    path_graph,
+    random_graph,
+)
+from repro.graphs.metrics import bfs_distances
+from tests.conftest import adjacency_matrices
+
+
+@st.composite
+def int_matvec_cases(draw, max_n=12):
+    n = draw(st.integers(1, max_n))
+    M = np.array(
+        draw(st.lists(
+            st.lists(st.integers(-20, 20), min_size=n, max_size=n),
+            min_size=n, max_size=n,
+        )),
+        dtype=np.int64,
+    )
+    x = np.array(draw(st.lists(st.integers(-20, 20), min_size=n, max_size=n)),
+                 dtype=np.int64)
+    return M, x
+
+
+class TestPlusTimes:
+    @given(int_matvec_cases())
+    @settings(max_examples=50)
+    def test_matches_numpy(self, case):
+        M, x = case
+        assert np.array_equal(gca_matvec(M, x).vector, M @ x)
+
+    def test_generation_budget(self):
+        M = np.zeros((8, 8), dtype=np.int64)
+        assert gca_matvec(M, np.zeros(8)).generations == 2 + 3
+        assert generations_per_matvec(1) == 2
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            gca_matvec(np.zeros((3, 3)), np.zeros(4))
+        with pytest.raises(ValueError):
+            gca_matvec(np.zeros((2, 3)), np.zeros(3))
+
+    def test_unknown_semiring(self):
+        with pytest.raises(ValueError):
+            gca_matvec(np.zeros((2, 2)), np.zeros(2), semiring="max_plus")
+
+    def test_repeated_walk_counting(self):
+        """(A^k e_s)[t] counts length-k walks s -> t."""
+        A = path_graph(5).matrix.astype(np.int64)
+        e0 = np.array([1, 0, 0, 0, 0], dtype=np.int64)
+        two = repeated_matvec(A, e0, 2).vector
+        assert np.array_equal(two, A @ A @ e0)
+        assert two[0] == 1 and two[2] == 1 and two[1] == 0
+
+    def test_repeated_rejects_negative(self):
+        with pytest.raises(ValueError):
+            repeated_matvec(np.zeros((2, 2)), np.zeros(2), -1)
+
+
+class TestOrAndBfs:
+    def test_corpus(self, corpus_graph):
+        levels, _ = gca_bfs_levels(corpus_graph, 0)
+        assert np.array_equal(levels, bfs_distances(corpus_graph, 0))
+
+    @given(adjacency_matrices(min_n=2, max_n=14), st.data())
+    @settings(max_examples=40)
+    def test_random_sources(self, g, data):
+        src = data.draw(st.integers(0, g.n - 1))
+        levels, _ = gca_bfs_levels(g, src)
+        assert np.array_equal(levels, bfs_distances(g, src))
+
+    def test_generation_cost_tracks_diameter(self):
+        levels, gens = gca_bfs_levels(path_graph(8), 0)
+        per = generations_per_matvec(8)
+        # 7 frontier expansions + 1 fixpoint-detecting product
+        assert gens == 8 * per
+
+    def test_isolated_source(self):
+        levels, _ = gca_bfs_levels(empty_graph(4), 2)
+        assert levels.tolist() == [-1, -1, 0, -1]
+
+    def test_source_checked(self):
+        with pytest.raises(IndexError):
+            gca_bfs_levels(empty_graph(3), 3)
+
+
+class TestMinPlusSssp:
+    def oracle(self, W, source):
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import dijkstra
+
+        sd = dijkstra(csr_matrix(np.where(W > 0, W, 0)), directed=False,
+                      indices=source)
+        return np.where(np.isinf(sd), UNREACHED, sd).astype(np.int64)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_weighted(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 14))
+        W = rng.integers(0, 9, size=(n, n))
+        W = np.triu(W, 1)
+        W = W + W.T
+        src = int(rng.integers(0, n))
+        dist, _ = gca_sssp(W, src)
+        assert np.array_equal(dist, self.oracle(W, src))
+
+    def test_unweighted_equals_bfs(self):
+        g = random_graph(10, 0.3, seed=1)
+        dist, _ = gca_sssp(g.matrix, 0)
+        levels = bfs_distances(g, 0)
+        expected = np.where(levels < 0, UNREACHED, levels)
+        assert np.array_equal(dist, expected)
+
+    def test_unreachable_marked(self):
+        W = np.zeros((3, 3), dtype=np.int64)
+        W[0, 1] = W[1, 0] = 5
+        dist, _ = gca_sssp(W, 0)
+        assert dist.tolist() == [0, 5, UNREACHED]
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            gca_sssp(np.array([[0, -1], [-1, 0]]), 0)
+
+    def test_triangle_shortcut(self):
+        # direct edge 0-2 weight 10 vs path 0-1-2 weight 2+3
+        W = np.array([
+            [0, 2, 10],
+            [2, 0, 3],
+            [10, 3, 0],
+        ])
+        dist, _ = gca_sssp(W, 0)
+        assert dist.tolist() == [0, 2, 5]
+
+    def test_relaxation_bounded_by_n_products(self):
+        g = complete_graph(8)
+        _dist, gens = gca_sssp(g.matrix, 0)
+        assert gens <= 8 * generations_per_matvec(8)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.gca.rules."""
+
+import pytest
+
+from repro.gca.cell import KEEP, CellUpdate, CellView, Neighbor
+from repro.gca.rules import FunctionRule, IdentityRule, Rule, RuleTable
+
+
+def view(index=0, data=0, pointer=0):
+    return CellView.make(index=index, data=data, pointer=pointer)
+
+
+def fake_read(target):
+    return Neighbor(index=target, data=100 + target, pointer=0)
+
+
+class CopyRule(Rule):
+    """Reads cell 0 and copies its data."""
+
+    def pointer(self, cell):
+        return 0
+
+    def update(self, cell, neighbor):
+        return CellUpdate(data=neighbor.data)
+
+
+class TestRuleProtocol:
+    def test_default_active(self):
+        assert CopyRule().is_active(view())
+
+    def test_step_sequence(self):
+        update = CopyRule().step(view(index=3), fake_read)
+        assert update.data == 100
+
+    def test_inactive_skips_read(self):
+        calls = []
+
+        def recording_read(t):
+            calls.append(t)
+            return fake_read(t)
+
+        rule = FunctionRule(
+            pointer_fn=lambda c: 0,
+            update_fn=lambda c, nb: CellUpdate(data=nb.data),
+            active_fn=lambda c: False,
+        )
+        assert rule.step(view(), recording_read) is KEEP
+        assert calls == []
+
+
+class TestFunctionRule:
+    def test_behaviour(self):
+        rule = FunctionRule(
+            pointer_fn=lambda c: c.index + 1,
+            update_fn=lambda c, nb: CellUpdate(data=nb.data + c.data),
+            name="shift",
+        )
+        update = rule.step(view(index=2, data=5), fake_read)
+        assert update.data == 100 + 3 + 5
+
+    def test_repr_contains_name(self):
+        assert "shift" in repr(FunctionRule(lambda c: 0, lambda c, nb: KEEP, name="shift"))
+
+
+class TestIdentityRule:
+    def test_never_active(self):
+        rule = IdentityRule()
+        assert not rule.is_active(view())
+        assert rule.step(view(), fake_read) is KEEP
+
+
+class TestRuleTable:
+    def test_per_cell_dispatch(self):
+        table = RuleTable([IdentityRule(), CopyRule()])
+        assert table.step(view(index=0), fake_read) is KEEP
+        assert table.step(view(index=1), fake_read).data == 100
+
+    def test_is_active_dispatch(self):
+        table = RuleTable([IdentityRule(), CopyRule()])
+        assert not table.is_active(view(index=0))
+        assert table.is_active(view(index=1))
+
+    def test_len(self):
+        assert len(RuleTable([IdentityRule()])) == 1
+
+    def test_missing_rule_raises(self):
+        table = RuleTable([CopyRule()])
+        with pytest.raises(IndexError):
+            table.step(view(index=5), fake_read)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RuleTable([])
+
+    def test_pointer_and_update_dispatch(self):
+        table = RuleTable([CopyRule(), CopyRule()])
+        assert table.pointer(view(index=1)) == 0
+        nb = Neighbor(index=0, data=42, pointer=0)
+        assert table.update(view(index=0), nb).data == 42

@@ -1,0 +1,134 @@
+"""Unit tests for repro.graphs.adjacency."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from tests.conftest import adjacency_matrices
+
+
+def tri() -> AdjacencyMatrix:
+    return AdjacencyMatrix(np.array([[0, 1, 1], [1, 0, 0], [1, 0, 0]]))
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        g = tri()
+        assert g.n == 3
+        assert g.edge_count == 2
+        assert 0 < g.density < 1
+
+    def test_diagonal_cleared(self):
+        m = np.array([[1, 1], [1, 1]])
+        g = AdjacencyMatrix(m)
+        assert g.matrix[0, 0] == 0 and g.matrix[1, 1] == 0
+        assert g.edge_count == 1
+
+    def test_input_copied(self):
+        m = np.array([[0, 1], [1, 0]], dtype=np.int8)
+        g = AdjacencyMatrix(m)
+        m[0, 1] = 0
+        assert g.has_edge(0, 1)
+
+    def test_matrix_readonly(self):
+        g = tri()
+        with pytest.raises(ValueError):
+            g.matrix[0, 1] = 0
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            AdjacencyMatrix(np.array([[0, 1], [0, 0]]))
+
+    def test_rejects_values(self):
+        with pytest.raises(ValueError):
+            AdjacencyMatrix(np.array([[0, 3], [3, 0]]))
+
+
+class TestQueries:
+    def test_has_edge_symmetric(self):
+        g = tri()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(1, 2)
+
+    def test_has_edge_range_checked(self):
+        with pytest.raises(IndexError):
+            tri().has_edge(0, 3)
+
+    def test_neighbors(self):
+        g = tri()
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(1).tolist() == [0]
+
+    def test_degrees(self):
+        assert tri().degrees().tolist() == [2, 1, 1]
+        assert tri().degree(0) == 2
+
+    def test_edges_upper_triangle(self):
+        assert tri().edge_list() == [(0, 1), (0, 2)]
+
+
+class TestDerived:
+    def test_subgraph(self):
+        sub = tri().subgraph([0, 2])
+        assert sub.n == 2
+        assert sub.has_edge(0, 1)
+
+    def test_subgraph_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            tri().subgraph([0, 0])
+
+    def test_subgraph_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            tri().subgraph([0, 5])
+
+    def test_complement(self):
+        comp = tri().complement()
+        assert not comp.has_edge(0, 1)
+        assert comp.has_edge(1, 2)
+
+    def test_complement_involution(self):
+        g = tri()
+        assert g.complement().complement() == g
+
+    def test_relabeled_preserves_structure(self):
+        g = tri()
+        r = g.relabeled([2, 0, 1])  # node 0 -> 2, 1 -> 0, 2 -> 1
+        assert r.has_edge(2, 0)     # old (0,1)
+        assert r.has_edge(2, 1)     # old (0,2)
+        assert not r.has_edge(0, 1)
+
+    def test_relabeled_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            tri().relabeled([0, 0, 1])
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a, b = tri(), tri()
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert tri() != AdjacencyMatrix(np.zeros((3, 3), dtype=np.int8))
+
+    def test_repr(self):
+        assert "n=3" in repr(tri())
+
+
+class TestProperties:
+    @given(adjacency_matrices(max_n=10))
+    def test_degree_sum_is_twice_edges(self, g):
+        assert int(g.degrees().sum()) == 2 * g.edge_count
+
+    @given(adjacency_matrices(max_n=10))
+    def test_complement_edge_count(self, g):
+        total = g.n * (g.n - 1) // 2
+        assert g.edge_count + g.complement().edge_count == total
+
+    @given(adjacency_matrices(max_n=8))
+    def test_relabel_roundtrip(self, g):
+        perm = list(range(g.n))[::-1]
+        inverse = [0] * g.n
+        for i, p in enumerate(perm):
+            inverse[p] = i
+        assert g.relabeled(perm).relabeled(inverse) == g

@@ -1,0 +1,119 @@
+"""Unit tests for the sequential connected-components baselines.
+
+The three oracles (union-find, BFS, DFS) must agree with each other on
+every input -- this is what lets the rest of the suite trust any one of
+them as ground truth.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.graphs.components import (
+    canonical_labels,
+    components_bfs,
+    components_dfs,
+    components_union_find,
+    count_components,
+    is_canonical_labelling,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    empty_graph,
+    from_edges,
+    path_graph,
+    union_of_cliques,
+)
+from tests.conftest import adjacency_matrices
+
+
+class TestKnownGraphs:
+    def test_empty_graph(self):
+        labels = canonical_labels(empty_graph(4))
+        assert labels.tolist() == [0, 1, 2, 3]
+        assert count_components(empty_graph(4)) == 4
+
+    def test_complete_graph(self):
+        assert canonical_labels(complete_graph(5)).tolist() == [0] * 5
+        assert count_components(complete_graph(5)) == 1
+
+    def test_path(self):
+        assert canonical_labels(path_graph(6)).tolist() == [0] * 6
+
+    def test_two_cliques(self):
+        labels = canonical_labels(union_of_cliques([3, 2]))
+        assert labels.tolist() == [0, 0, 0, 3, 3]
+
+    def test_accepts_plain_arrays(self):
+        m = np.array([[0, 1], [1, 0]])
+        assert components_union_find(m).tolist() == [0, 0]
+
+    def test_singleton(self):
+        assert canonical_labels(empty_graph(1)).tolist() == [0]
+
+
+class TestOracleAgreement:
+    @given(adjacency_matrices(max_n=14))
+    def test_three_oracles_agree(self, g):
+        uf = components_union_find(g)
+        bfs = components_bfs(g)
+        dfs = components_dfs(g)
+        assert np.array_equal(uf, bfs)
+        assert np.array_equal(uf, dfs)
+
+    @given(adjacency_matrices(max_n=14))
+    def test_labels_are_component_minima(self, g):
+        labels = canonical_labels(g)
+        for i in range(g.n):
+            # the label is <= i and is itself labelled with itself
+            assert labels[i] <= i
+            assert labels[labels[i]] == labels[i]
+
+    @given(adjacency_matrices(max_n=12))
+    def test_edges_connect_same_label(self, g):
+        labels = canonical_labels(g)
+        for i, j in g.edges():
+            assert labels[i] == labels[j]
+
+
+class TestIsCanonicalLabelling:
+    def test_accepts_oracle(self):
+        g = union_of_cliques([2, 3])
+        assert is_canonical_labelling(g, canonical_labels(g))
+
+    def test_rejects_wrong_shape(self):
+        g = empty_graph(3)
+        assert not is_canonical_labelling(g, np.zeros(2, dtype=np.int64))
+
+    def test_rejects_wrong_labels(self):
+        g = empty_graph(3)
+        assert not is_canonical_labelling(g, np.zeros(3, dtype=np.int64))
+
+
+class TestCountComponents:
+    @pytest.mark.parametrize(
+        "sizes,expected", [([5], 1), ([2, 2], 2), ([1, 1, 1], 3), ([4, 3, 2, 1], 4)]
+    )
+    def test_cliques(self, sizes, expected):
+        assert count_components(union_of_cliques(sizes)) == expected
+
+    def test_bridge_merges(self):
+        g = from_edges(4, [(0, 1), (2, 3), (1, 2)])
+        assert count_components(g) == 1
+
+
+class TestScipyOracle:
+    """scipy.sparse.csgraph as a second external oracle."""
+
+    def test_agrees_on_corpus(self, corpus_graph):
+        from repro.graphs.components import components_scipy
+
+        assert np.array_equal(
+            components_scipy(corpus_graph), canonical_labels(corpus_graph)
+        )
+
+    @given(adjacency_matrices(max_n=14))
+    def test_agrees_on_random(self, g):
+        from repro.graphs.components import components_scipy
+
+        assert np.array_equal(components_scipy(g), canonical_labels(g))

@@ -1,0 +1,263 @@
+"""Unit tests for repro.graphs.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.components import canonical_labels, count_components
+from repro.graphs.generators import (
+    binary_tree_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_edges,
+    grid_graph,
+    image_to_graph,
+    path_graph,
+    planted_components,
+    random_graph,
+    random_spanning_tree,
+    star_graph,
+    union_of_cliques,
+    worst_case_pairing,
+)
+
+
+class TestDeterministicShapes:
+    def test_empty(self):
+        g = empty_graph(5)
+        assert g.n == 5 and g.edge_count == 0
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.edge_count == 15
+        assert g.density == 1.0
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.edge_count == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_path_single_node(self):
+        assert path_graph(1).edge_count == 0
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.edge_count == 5
+        assert all(g.degree(i) == 2 for i in range(5))
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(i) == 1 for i in range(1, 6))
+
+    def test_star_custom_center(self):
+        g = star_graph(5, center=2)
+        assert g.degree(2) == 4
+
+    def test_star_center_checked(self):
+        with pytest.raises(IndexError):
+            star_graph(4, center=4)
+
+    def test_grid(self):
+        g = grid_graph(2, 3)
+        assert g.n == 6
+        assert g.edge_count == 7  # 2*2 horizontal + 3 vertical
+        assert count_components(g) == 1
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(7)
+        assert g.edge_count == 6
+        assert count_components(g) == 1
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = from_edges(3, [(0, 2)])
+        assert g.has_edge(0, 2) and not g.has_edge(0, 1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            from_edges(3, [(1, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            from_edges(3, [(0, 3)])
+
+    def test_duplicates_merged(self):
+        g = from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.edge_count == 1
+
+
+class TestUnionOfCliques:
+    def test_structure(self):
+        g = union_of_cliques([3, 2])
+        assert count_components(g) == 2
+        assert canonical_labels(g).tolist() == [0, 0, 0, 3, 3]
+
+    def test_singletons(self):
+        g = union_of_cliques([1, 1, 2])
+        assert count_components(g) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            union_of_cliques([])
+
+
+class TestWorstCasePairing:
+    def test_even(self):
+        g = worst_case_pairing(6)
+        assert g.edge_count == 3
+        assert canonical_labels(g).tolist() == [0, 0, 2, 2, 4, 4]
+
+    def test_odd_leaves_last_isolated(self):
+        g = worst_case_pairing(5)
+        assert g.degree(4) == 0
+
+
+class TestRandomGraph:
+    def test_determinism(self):
+        a = random_graph(10, 0.5, seed=1)
+        b = random_graph(10, 0.5, seed=1)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert random_graph(12, 0.5, seed=1) != random_graph(12, 0.5, seed=2)
+
+    def test_extremes(self):
+        assert random_graph(8, 0.0, seed=0).edge_count == 0
+        assert random_graph(8, 1.0, seed=0) == complete_graph(8)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            random_graph(4, 1.5)
+
+    def test_density_roughly_p(self):
+        g = random_graph(60, 0.3, seed=7)
+        assert 0.2 < g.density < 0.4
+
+
+class TestPlantedComponents:
+    def test_component_structure_preserved(self):
+        g = planted_components([4, 3, 2], intra_p=0.5, seed=9)
+        assert count_components(g) == 3
+        sizes = sorted(np.bincount(canonical_labels(g)).tolist(), reverse=True)
+        assert sorted(s for s in sizes if s) == [2, 3, 4]
+
+    def test_unshuffled_blocks_contiguous(self):
+        g = planted_components([3, 2], intra_p=0.0, seed=0, shuffle=False)
+        labels = canonical_labels(g)
+        assert labels.tolist() == [0, 0, 0, 3, 3]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            planted_components([])
+        with pytest.raises(ValueError):
+            planted_components([2], intra_p=2.0)
+
+
+class TestRandomSpanningTree:
+    def test_tree_properties(self):
+        g = random_spanning_tree(20, seed=4)
+        assert g.edge_count == 19
+        assert count_components(g) == 1
+
+
+class TestImageToGraph:
+    def test_two_blobs(self):
+        image = np.array([[1, 0, 1], [1, 0, 1]])
+        g, node_of = image_to_graph(image)
+        labels = canonical_labels(g)
+        assert labels[node_of[0, 0]] == labels[node_of[1, 0]]
+        assert labels[node_of[0, 2]] == labels[node_of[1, 2]]
+        assert labels[node_of[0, 0]] != labels[node_of[0, 2]]
+
+    def test_background_isolated(self):
+        image = np.array([[1, 0], [0, 1]])  # diagonal: 4-connectivity splits
+        g, node_of = image_to_graph(image)
+        labels = canonical_labels(g)
+        assert labels[node_of[0, 0]] != labels[node_of[1, 1]]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            image_to_graph(np.zeros(4))
+
+
+class TestBipartite:
+    def test_complete_bipartite(self):
+        from repro.graphs.generators import bipartite_graph
+
+        g = bipartite_graph(2, 3)
+        assert g.n == 5
+        assert g.edge_count == 6
+        # no intra-side edges
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(2, 3)
+        assert g.has_edge(0, 2)
+
+    def test_random_bipartite_structure(self):
+        from repro.graphs.generators import bipartite_graph
+
+        g = bipartite_graph(6, 6, p=0.5, seed=1)
+        for i in range(6):
+            for j in range(6):
+                assert not g.has_edge(i, j) or i == j is False
+        assert 0 < g.edge_count < 36
+
+    def test_rejects_bad_p(self):
+        from repro.graphs.generators import bipartite_graph
+
+        with pytest.raises(ValueError):
+            bipartite_graph(2, 2, p=1.5)
+
+
+class TestLollipopBarbellCaterpillar:
+    def test_lollipop(self):
+        from repro.graphs.generators import lollipop_graph
+        from repro.graphs.metrics import diameter
+
+        g = lollipop_graph(4, 5)
+        assert g.n == 9
+        assert count_components(g) == 1
+        assert diameter(g) == 6  # across the tail plus the clique
+
+    def test_barbell(self):
+        from repro.graphs.generators import barbell_graph
+
+        g = barbell_graph(3, 2)
+        assert g.n == 8
+        assert count_components(g) == 1
+        assert canonical_labels(g).tolist() == [0] * 8
+
+    def test_barbell_zero_bridge(self):
+        from repro.graphs.generators import barbell_graph
+
+        g = barbell_graph(3, 0)
+        assert g.n == 6
+        assert count_components(g) == 1
+
+    def test_caterpillar(self):
+        from repro.graphs.generators import caterpillar_graph
+
+        g = caterpillar_graph(4, 2)
+        assert g.n == 12
+        assert g.edge_count == 3 + 8  # spine + legs
+        assert count_components(g) == 1
+
+    def test_caterpillar_no_legs(self):
+        from repro.graphs.generators import caterpillar_graph
+        from repro.graphs.generators import path_graph
+
+        assert caterpillar_graph(5, 0) == path_graph(5)
+
+    def test_gca_solves_stress_shapes(self):
+        from repro.graphs.generators import barbell_graph, lollipop_graph
+        import repro
+
+        for g in (lollipop_graph(5, 7), barbell_graph(4, 3)):
+            assert np.array_equal(
+                repro.gca_connected_components(g).labels, canonical_labels(g)
+            )

@@ -1,0 +1,74 @@
+"""NetworkX interop tests -- including the external-oracle cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+networkx = pytest.importorskip("networkx")
+
+from repro.core.vectorized import connected_components_vectorized
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import from_edges, random_graph
+from repro.graphs.interop import (
+    from_networkx,
+    networkx_canonical_labels,
+    to_networkx,
+)
+from tests.conftest import adjacency_matrices
+
+
+class TestConversions:
+    def test_to_networkx(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 2
+        assert nxg.has_edge(0, 1)
+
+    def test_roundtrip(self):
+        g = random_graph(12, 0.3, seed=4)
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_from_networkx_relabels(self):
+        nxg = networkx.Graph()
+        nxg.add_edge("b", "a")
+        nxg.add_node("c")
+        g = from_networkx(nxg)
+        assert g.n == 3
+        assert g.has_edge(0, 1)     # 'a'-'b'
+        assert g.degree(2) == 0     # 'c'
+
+    def test_from_networkx_drops_self_loops(self):
+        nxg = networkx.Graph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.edge_count == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            from_networkx(networkx.Graph())
+
+    @given(adjacency_matrices(max_n=12))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, g):
+        assert from_networkx(to_networkx(g)) == g
+
+
+class TestExternalOracle:
+    """networkx shares no code with this library's oracles -- agreement
+    here independently validates the whole correctness chain."""
+
+    def test_internal_oracle_agrees(self, corpus_graph):
+        assert np.array_equal(
+            networkx_canonical_labels(corpus_graph),
+            canonical_labels(corpus_graph),
+        )
+
+    @given(adjacency_matrices(max_n=16))
+    @settings(max_examples=40)
+    def test_gca_agrees_with_networkx(self, g):
+        assert np.array_equal(
+            connected_components_vectorized(g),
+            networkx_canonical_labels(g),
+        )

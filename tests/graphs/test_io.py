@@ -1,0 +1,72 @@
+"""Unit tests for repro.graphs.io."""
+
+import pytest
+from hypothesis import given
+
+from repro.graphs.generators import from_edges, random_graph
+from repro.graphs.io import (
+    dumps_edge_list,
+    dumps_matrix,
+    load_edge_list,
+    load_matrix,
+    loads_edge_list,
+    save_edge_list,
+    save_matrix,
+)
+from tests.conftest import adjacency_matrices
+
+
+class TestEdgeListText:
+    def test_roundtrip(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        assert loads_edge_list(dumps_edge_list(g)) == g
+
+    def test_format(self):
+        g = from_edges(3, [(0, 2)])
+        assert dumps_edge_list(g) == "3\n0 2\n"
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# comment\n3\n\n0 1\n# another\n"
+        g = loads_edge_list(text)
+        assert g.has_edge(0, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            loads_edge_list("")
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            loads_edge_list("abc\n0 1\n")
+
+    def test_rejects_malformed_edge(self):
+        with pytest.raises(ValueError):
+            loads_edge_list("3\n0 1 2\n")
+
+    @given(adjacency_matrices(max_n=10))
+    def test_roundtrip_property(self, g):
+        assert loads_edge_list(dumps_edge_list(g)) == g
+
+
+class TestFiles:
+    def test_edge_list_file_roundtrip(self, tmp_path):
+        g = random_graph(8, 0.4, seed=0)
+        path = tmp_path / "g.edges"
+        save_edge_list(g, path)
+        assert load_edge_list(path) == g
+
+    def test_matrix_file_roundtrip(self, tmp_path):
+        g = random_graph(7, 0.5, seed=1)
+        path = tmp_path / "g.mat"
+        save_matrix(g, path)
+        assert load_matrix(path) == g
+
+    def test_matrix_single_node(self, tmp_path):
+        g = from_edges(1, [])
+        path = tmp_path / "one.mat"
+        save_matrix(g, path)
+        assert load_matrix(path) == g
+
+    def test_dumps_matrix_contains_rows(self):
+        g = from_edges(2, [(0, 1)])
+        text = dumps_matrix(g)
+        assert text.splitlines() == ["0 1", "1 0"]

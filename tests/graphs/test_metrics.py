@@ -1,0 +1,106 @@
+"""Tests for the graph metrics module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_edges,
+    grid_graph,
+    path_graph,
+    star_graph,
+    union_of_cliques,
+)
+from repro.graphs.metrics import (
+    bfs_distances,
+    component_sizes,
+    degree_statistics,
+    diameter,
+    eccentricity,
+    is_connected,
+    summary,
+)
+from tests.conftest import adjacency_matrices
+
+
+class TestBfsDistances:
+    def test_path(self):
+        assert bfs_distances(path_graph(5), 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable(self):
+        d = bfs_distances(from_edges(4, [(0, 1)]), 0)
+        assert d.tolist() == [0, 1, -1, -1]
+
+    def test_source_checked(self):
+        with pytest.raises(IndexError):
+            bfs_distances(path_graph(3), 3)
+
+
+class TestDiameter:
+    @pytest.mark.parametrize("g,expected", [
+        (path_graph(6), 5),
+        (cycle_graph(6), 3),
+        (complete_graph(5), 1),
+        (star_graph(7), 2),
+        (empty_graph(4), 0),
+        (grid_graph(3, 4), 5),
+    ])
+    def test_known_values(self, g, expected):
+        assert diameter(g) == expected
+
+    def test_eccentricity_center_vs_leaf(self):
+        g = path_graph(7)
+        assert eccentricity(g, 3) == 3
+        assert eccentricity(g, 0) == 6
+
+    @given(adjacency_matrices(min_n=2, max_n=10))
+    @settings(max_examples=25)
+    def test_diameter_bounds(self, g):
+        d = diameter(g)
+        assert 0 <= d < g.n
+
+
+class TestComponentSizes:
+    def test_cliques(self):
+        assert component_sizes(union_of_cliques([3, 1, 2])) == [3, 2, 1]
+
+    def test_connected(self):
+        assert component_sizes(complete_graph(4)) == [4]
+
+    @given(adjacency_matrices(max_n=12))
+    @settings(max_examples=25)
+    def test_sizes_sum_to_n(self, g):
+        assert sum(component_sizes(g)) == g.n
+
+
+class TestDegreeStats:
+    def test_star(self):
+        stats = degree_statistics(star_graph(5))
+        assert stats["max_degree"] == 4
+        assert stats["min_degree"] == 1
+        assert stats["edges"] == 4
+
+    def test_empty(self):
+        stats = degree_statistics(empty_graph(3))
+        assert stats["max_degree"] == 0
+        assert stats["mean_degree"] == 0.0
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert is_connected(path_graph(5))
+        assert not is_connected(union_of_cliques([2, 2]))
+
+    def test_singleton(self):
+        assert is_connected(empty_graph(1))
+
+
+class TestSummary:
+    def test_mentions_figures(self):
+        text = summary(path_graph(6))
+        assert "n=6" in text
+        assert "diameter=5" in text
+        assert "components=1" in text

@@ -1,0 +1,85 @@
+"""Unit tests for repro.graphs.union_find."""
+
+import pytest
+from hypothesis import given
+
+from repro.graphs.union_find import UnionFind
+from tests.conftest import labelled_partitions
+
+
+class TestBasics:
+    def test_initial_state(self):
+        uf = UnionFind(4)
+        assert uf.n == 4
+        assert uf.set_count == 4
+        assert all(uf.find(i) == i for i in range(4))
+
+    def test_union_reduces_count(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.set_count == 3
+        assert uf.connected(0, 1)
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.set_count == 3
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_find_range_checked(self):
+        with pytest.raises(IndexError):
+            UnionFind(3).find(3)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            UnionFind(0)
+
+
+class TestMinimumTracking:
+    def test_set_minimum(self):
+        uf = UnionFind(6)
+        uf.union(5, 3)
+        uf.union(3, 4)
+        assert uf.set_minimum(5) == 3
+        assert uf.set_minimum(0) == 0
+
+    def test_canonical_labels(self):
+        uf = UnionFind(5)
+        uf.union(1, 4)
+        uf.union(2, 3)
+        assert uf.canonical_labels().tolist() == [0, 1, 2, 2, 1]
+
+    def test_sets(self):
+        uf = UnionFind(5)
+        uf.union(1, 4)
+        assert uf.sets() == [[0], [1, 4], [2], [3]]
+
+
+class TestProperties:
+    @given(labelled_partitions(max_n=24))
+    def test_labels_are_set_minima(self, case):
+        n, ops = case
+        uf = UnionFind(n)
+        for a, b in ops:
+            uf.union(a, b)
+        labels = uf.canonical_labels()
+        # label of each element equals the min element sharing its root
+        for i in range(n):
+            same = [j for j in range(n) if uf.connected(i, j)]
+            assert labels[i] == min(same)
+
+    @given(labelled_partitions(max_n=24))
+    def test_set_count_consistent(self, case):
+        n, ops = case
+        uf = UnionFind(n)
+        for a, b in ops:
+            uf.union(a, b)
+        assert uf.set_count == len({uf.find(i) for i in range(n)})
+        assert uf.set_count == len(uf.sets())

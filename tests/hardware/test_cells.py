@@ -1,0 +1,62 @@
+"""Tests for cell classification and static source analysis."""
+
+from repro.core.field import FieldLayout
+from repro.hardware.cells import (
+    CellKind,
+    analyze_static_sources,
+    cell_kind,
+    count_cells,
+    mux_input_summary,
+)
+
+
+class TestCellKind:
+    def test_counts_match_section4(self):
+        counts = count_cells(16)
+        assert counts[CellKind.STANDARD] == 256
+        assert counts[CellKind.EXTENDED] == 16
+        assert sum(counts.values()) == 272  # the paper's N x (N+1)
+
+    def test_extended_cells_are_first_column(self):
+        lay = FieldLayout(4)
+        for idx in range(lay.size):
+            kind = cell_kind(lay, idx)
+            if lay.is_first_column(idx) and not lay.is_last_row(idx):
+                assert kind is CellKind.EXTENDED
+            else:
+                assert kind is CellKind.STANDARD
+
+
+class TestStaticSources:
+    def test_structure_count(self):
+        structures = analyze_static_sources(4)
+        assert len(structures) == 20
+
+    def test_sources_within_field(self):
+        lay = FieldLayout(8)
+        for s in analyze_static_sources(8):
+            for src in s.static_sources:
+                assert 0 <= src < lay.size
+
+    def test_extended_cells_have_data_mux(self):
+        for s in analyze_static_sources(4):
+            if s.kind is CellKind.EXTENDED:
+                assert s.data_mux_inputs == 4
+            else:
+                assert s.data_mux_inputs == 0
+
+    def test_every_cell_has_static_sources(self):
+        """Every cell participates in at least the broadcast generations."""
+        for s in analyze_static_sources(4):
+            assert s.generation_mux_inputs >= 1
+
+    def test_sources_grow_logarithmically(self):
+        """The generation mux grows with log n (reduction strides), not n."""
+        small = mux_input_summary(4)[CellKind.STANDARD]
+        large = mux_input_summary(16)[CellKind.STANDARD]
+        assert large <= small + 2  # + two extra reduction strides
+
+    def test_mux_summary_keys(self):
+        summary = mux_input_summary(8)
+        assert set(summary) == {CellKind.STANDARD, CellKind.EXTENDED}
+        assert summary[CellKind.EXTENDED] >= summary[CellKind.STANDARD] - 1

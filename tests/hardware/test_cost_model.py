@@ -1,0 +1,92 @@
+"""Tests for the calibrated FPGA cost model."""
+
+import pytest
+
+from repro.hardware.cost_model import (
+    PAPER_CELLS,
+    PAPER_FMAX_MHZ,
+    PAPER_LOGIC_ELEMENTS,
+    PAPER_N,
+    PAPER_REGISTER_BITS,
+    CostEstimate,
+    critical_path_levels,
+    data_width,
+    estimate,
+    fmax_mhz,
+    logic_elements,
+    logic_units,
+    register_bits,
+    total_logic_units,
+)
+
+
+class TestCalibrationPoint:
+    """The model must reproduce the published n = 16 synthesis exactly."""
+
+    def test_cells(self):
+        assert estimate(PAPER_N).cells == PAPER_CELLS == 272
+
+    def test_register_bits(self):
+        assert register_bits(PAPER_N) == PAPER_REGISTER_BITS == 2192
+
+    def test_logic_elements(self):
+        assert logic_elements(PAPER_N) == PAPER_LOGIC_ELEMENTS == 23051
+
+    def test_fmax(self):
+        assert round(fmax_mhz(PAPER_N), 1) == PAPER_FMAX_MHZ == 71.0
+
+
+class TestScalingShape:
+    def test_cells_quadratic(self):
+        assert estimate(8).cells == 72
+        assert estimate(32).cells == 1056
+
+    def test_register_bits_monotone(self):
+        values = [register_bits(n) for n in (2, 4, 8, 16, 32, 64)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_logic_elements_monotone(self):
+        values = [logic_elements(n) for n in (4, 8, 16, 32, 64)]
+        assert values == sorted(values)
+
+    def test_le_superlinear_in_cells(self):
+        """LEs grow at least as fast as the cell count."""
+        le_ratio = logic_elements(32) / logic_elements(16)
+        cell_ratio = estimate(32).cells / estimate(16).cells
+        assert le_ratio >= cell_ratio * 0.9
+
+    def test_fmax_degrades_slowly(self):
+        f4, f64 = fmax_mhz(4), fmax_mhz(64)
+        assert f64 < f4
+        assert f64 > f4 / 3  # logarithmic, not catastrophic
+
+    def test_critical_path_grows_with_n(self):
+        assert critical_path_levels(64) > critical_path_levels(4)
+
+
+class TestComponents:
+    def test_data_width(self):
+        assert data_width(16) == 8
+        assert data_width(4) == 4
+        assert data_width(1) >= 2
+
+    def test_logic_units_breakdown(self):
+        units = logic_units(8)
+        assert set(units) == {"generation_mux", "data_mux", "datapath", "control"}
+        assert all(v > 0 for v in units.values())
+        assert sum(units.values()) == total_logic_units(8)
+
+    def test_datapath_dominated_by_cells(self):
+        units = logic_units(16)
+        assert units["generation_mux"] > units["control"]
+
+    def test_estimate_dataclass(self):
+        est = estimate(8)
+        assert isinstance(est, CostEstimate)
+        assert est.standard_cells + est.extended_cells == est.cells
+        assert est.le_per_cell > 0
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            estimate(0)

@@ -1,0 +1,94 @@
+"""Tests for the time-multiplexed architecture model."""
+
+import pytest
+
+from repro.core.schedule import total_generations
+from repro.hardware.multiplexed import (
+    best_cost_performance,
+    estimate_multiplexed,
+    frontier,
+    generation_active_counts,
+)
+from repro.hardware.cost_model import estimate
+
+
+class TestActiveCounts:
+    def test_length_matches_schedule(self):
+        assert len(generation_active_counts(8)) == total_generations(8)
+
+    def test_known_values(self):
+        counts = generation_active_counts(4)
+        assert counts[0] == 20           # generation 0
+        assert counts[1] == 20           # generation 1
+        assert counts[2] == 16           # generation 2
+        assert counts[3] == 8            # generation 3.sub0
+
+
+class TestEstimates:
+    def test_fully_parallel_limit(self):
+        n = 8
+        cells = n * (n + 1)
+        est = estimate_multiplexed(n, cells)
+        # one cycle per generation when every cell has its own unit
+        assert est.total_cycles == total_generations(n)
+        assert est.bram_bits == 0
+        assert est.register_bits == estimate(n).register_bits
+
+    def test_single_unit_limit(self):
+        n = 8
+        est = estimate_multiplexed(n, 1)
+        # one cycle per active cell
+        assert est.total_cycles == sum(generation_active_counts(n))
+        assert est.bram_bits > 0
+
+    def test_units_clamped_to_cells(self):
+        n = 4
+        huge = estimate_multiplexed(n, 10_000)
+        full = estimate_multiplexed(n, n * (n + 1))
+        assert huge.units == full.units
+
+    def test_cycles_monotone_in_units(self):
+        n = 16
+        cycles = [estimate_multiplexed(n, p).total_cycles for p in (1, 4, 16, 64, 272)]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_logic_monotone_in_units(self):
+        n = 16
+        les = [estimate_multiplexed(n, p).logic_elements for p in (1, 4, 16, 64)]
+        assert les == sorted(les)
+
+    def test_runtime_derived(self):
+        est = estimate_multiplexed(8, 8)
+        assert est.runtime_us == pytest.approx(est.total_cycles / est.fmax_mhz)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            estimate_multiplexed(0, 1)
+        with pytest.raises(ValueError):
+            estimate_multiplexed(4, 0)
+
+
+class TestFrontier:
+    def test_default_sweep_covers_extremes(self):
+        points = frontier(8)
+        units = [p.units for p in points]
+        assert units[0] == 1
+        assert units[-1] == 72
+
+    def test_custom_units(self):
+        points = frontier(8, unit_counts=[2, 9])
+        assert [p.units for p in points] == [2, 9]
+
+    def test_best_point_interior_or_extreme(self):
+        best = best_cost_performance(16)
+        assert 1 <= best.units <= 272
+        all_points = frontier(16)
+        assert best.cost_performance == min(p.cost_performance for p in all_points)
+
+    def test_tradeoff_shape(self):
+        """More units: strictly more logic, no more cycles -- a genuine
+        Pareto frontier."""
+        points = frontier(16)
+        for a, b in zip(points, points[1:]):
+            assert b.logic_elements > a.logic_elements
+            assert b.total_cycles <= a.total_cycles

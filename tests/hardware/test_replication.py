@@ -1,0 +1,123 @@
+"""Tests for the replication/rotation congestion optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import connected_components_interpreter
+from repro.graphs.generators import complete_graph, random_graph
+from repro.hardware.replication import (
+    ReadStrategy,
+    ablation,
+    build_replicas,
+    generation_cycles,
+    replica_congestion,
+    replication_cost,
+    rotated_position,
+    run_cycles,
+)
+
+
+class TestRotation:
+    def test_rotated_position_layout(self):
+        # row i stores C(k) at column (i + k) mod n
+        assert rotated_position(0, 3, 4) == 3
+        assert rotated_position(2, 3, 4) == 1
+        assert rotated_position(3, 0, 4) == 3
+
+    def test_range_checked(self):
+        with pytest.raises(IndexError):
+            rotated_position(4, 0, 4)
+
+    def test_build_replicas_contents(self):
+        values = np.array([10, 20, 30, 40])
+        R = build_replicas(values)
+        for i in range(4):
+            for k in range(4):
+                assert R[i, rotated_position(i, k, 4)] == values[k]
+
+    def test_each_row_is_permutation(self):
+        R = build_replicas(np.arange(5))
+        for row in R:
+            assert sorted(row.tolist()) == list(range(5))
+
+    def test_no_column_collision(self):
+        """The rotation guarantees each row offset holds a distinct source,
+        so per-row lookups never collide -- congestion 1."""
+        n = 6
+        for i in range(n):
+            cols = [rotated_position(i, k, n) for k in range(n)]
+            assert sorted(cols) == list(range(n))
+
+    def test_replica_congestion_is_one(self):
+        assert replica_congestion(16) == 1
+
+
+class TestGenerationCycles:
+    def test_serial(self):
+        assert generation_cycles(0, ReadStrategy.SERIAL) == 1
+        assert generation_cycles(1, ReadStrategy.SERIAL) == 1
+        assert generation_cycles(9, ReadStrategy.SERIAL) == 9
+
+    def test_tree(self):
+        assert generation_cycles(1, ReadStrategy.TREE) == 1
+        assert generation_cycles(8, ReadStrategy.TREE) == 4
+        assert generation_cycles(9, ReadStrategy.TREE) == 5
+
+    def test_replicated(self):
+        assert generation_cycles(100, ReadStrategy.REPLICATED) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            generation_cycles(-1, ReadStrategy.SERIAL)
+
+
+class TestRunCycles:
+    def run_log(self, n=6):
+        return connected_components_interpreter(random_graph(n, 0.4, seed=0)).access_log
+
+    def test_strategy_ordering(self):
+        """serial >= tree >= replicated on any real run."""
+        log = self.run_log()
+        serial = run_cycles(log, ReadStrategy.SERIAL)
+        tree = run_cycles(log, ReadStrategy.TREE)
+        replicated = run_cycles(log, ReadStrategy.REPLICATED)
+        assert serial >= tree >= replicated
+
+    def test_replicated_equals_generations(self):
+        log = self.run_log()
+        assert run_cycles(log, ReadStrategy.REPLICATED) == log.total_generations
+
+    def test_serial_hurts_on_broadcast(self):
+        """The broadcast generations (delta = n+1) dominate serial cost."""
+        log = connected_components_interpreter(complete_graph(8)).access_log
+        serial = run_cycles(log, ReadStrategy.SERIAL)
+        assert serial > 2 * log.total_generations
+
+
+class TestReplicationCost:
+    def test_register_overhead(self):
+        cost = replication_cost(16)
+        # two arrays x n^2 entries x width
+        assert cost.extra_register_bits == 2 * 256 * 8
+
+    def test_all_cells_extended(self):
+        cost = replication_cost(8)
+        assert cost.replicated_extended_cells == 72
+        assert cost.baseline_extended_cells == 8
+        assert cost.extended_cell_increase == 64
+
+
+class TestAblation:
+    def test_rows_complete(self):
+        log = connected_components_interpreter(random_graph(6, 0.4, seed=1)).access_log
+        rows = ablation(log, 6)
+        assert {r.strategy for r in rows} == set(ReadStrategy)
+
+    def test_tradeoff_visible(self):
+        """Replication wins cycles but costs registers and extended cells."""
+        log = connected_components_interpreter(complete_graph(8)).access_log
+        rows = {r.strategy: r for r in ablation(log, 8)}
+        assert rows[ReadStrategy.REPLICATED].total_cycles < rows[ReadStrategy.SERIAL].total_cycles
+        assert rows[ReadStrategy.REPLICATED].extra_register_bits > 0
+        assert rows[ReadStrategy.SERIAL].extra_register_bits == 0
+        assert rows[ReadStrategy.REPLICATED].extended_cells > rows[ReadStrategy.SERIAL].extended_cells

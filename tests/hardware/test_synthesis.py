@@ -1,0 +1,62 @@
+"""Tests for the synthesis-report facade."""
+
+from repro.hardware.synthesis import (
+    EP2C70_LOGIC_ELEMENTS,
+    largest_feasible_n,
+    paper_report,
+    sweep,
+    synthesize,
+)
+
+
+class TestPaperReport:
+    def test_published_values(self):
+        r = paper_report()
+        assert r.n == 16
+        assert r.cells == 272
+        assert r.logic_elements == 23051
+        assert r.register_bits == 2192
+        assert r.fmax_mhz == 71.0
+        assert r.source == "paper"
+
+    def test_summary_format(self):
+        s = paper_report().summary()
+        assert "272 cells" in s
+        assert "23,051" in s
+        assert "71 MHz" in s
+
+
+class TestModelReport:
+    def test_model_matches_paper_at_16(self):
+        model, paper = synthesize(16), paper_report()
+        assert model.cells == paper.cells
+        assert model.logic_elements == paper.logic_elements
+        assert model.register_bits == paper.register_bits
+        assert model.fmax_mhz == paper.fmax_mhz
+
+    def test_source_marked(self):
+        assert synthesize(8).source == "model"
+
+    def test_utilisation(self):
+        assert 0.3 < synthesize(16).device_utilisation < 0.4  # 23051/68416
+
+
+class TestSweep:
+    def test_rows(self):
+        reports = sweep([4, 8, 16])
+        assert [r.n for r in reports] == [4, 8, 16]
+        assert all(r.source == "model" for r in reports)
+
+
+class TestFeasibility:
+    def test_largest_feasible(self):
+        n_max = largest_feasible_n()
+        assert synthesize(n_max).logic_elements <= EP2C70_LOGIC_ELEMENTS
+        assert synthesize(n_max + 1).logic_elements > EP2C70_LOGIC_ELEMENTS
+
+    def test_paper_design_fits(self):
+        assert largest_feasible_n() >= 16
+
+    def test_custom_budget(self):
+        small = largest_feasible_n(max_logic_elements=1000)
+        assert small < largest_feasible_n()

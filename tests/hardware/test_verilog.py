@@ -1,0 +1,98 @@
+"""Tests for the Verilog generator (structural validation)."""
+
+import pytest
+
+from repro.hardware.cells import CellKind, count_cells, mux_input_summary
+from repro.hardware.cost_model import data_width
+from repro.hardware.verilog import (
+    GENERATION_STATES,
+    VerilogDesign,
+    design_statistics,
+    generate_verilog,
+)
+
+
+@pytest.fixture(scope="module")
+def design4() -> VerilogDesign:
+    return generate_verilog(4)
+
+
+class TestStructure:
+    def test_four_modules(self, design4):
+        assert design_statistics(design4)["modules"] == 4
+        for name in ("gca_cell_standard", "gca_cell_extended",
+                     "gca_controller", "gca_field"):
+            assert f"module {name}" in design4.source
+
+    def test_instance_counts_match_cell_split(self, design4):
+        stats = design_statistics(design4)
+        counts = count_cells(4)
+        assert stats["standard_instances"] == counts[CellKind.STANDARD]
+        assert stats["extended_instances"] == counts[CellKind.EXTENDED]
+
+    def test_case_arms(self, design4):
+        stats = design_statistics(design4)
+        # standard cells implement generations 0-9; extended all 12
+        assert stats["case_arms_standard"] == 10
+        assert stats["case_arms_extended"] == len(GENERATION_STATES)
+
+    def test_register_width_matches_cost_model(self, design4):
+        assert f"parameter WIDTH = {data_width(4)}" in design4.module("gca_cell_standard")
+
+    def test_mux_arity_matches_analysis(self):
+        for n in (4, 8):
+            design = generate_verilog(n)
+            expected = mux_input_summary(n)[CellKind.EXTENDED]
+            assert f"parameter SOURCES = {expected}" in design.module("gca_cell_extended")
+
+    def test_controller_log_parameter(self, design4):
+        assert "parameter LOG_N = 2" in design4.module("gca_controller")
+
+    def test_unknown_module_rejected(self, design4):
+        with pytest.raises(KeyError):
+            design4.module("missing")
+
+
+class TestSemanticsMarkers:
+    """The generated data operations must encode the Figure 2 semantics."""
+
+    def test_standard_operations_present(self, design4):
+        cell = design4.module("gca_cell_standard")
+        assert "d_next = ROW;" in cell                       # gen 0
+        assert "(a_bit && d != d_n)" in cell                 # gen 2
+        assert "(d_star < d) ? d_star : d" in cell           # gens 3/7
+        assert "(d == INF) ? d_n : d" in cell                # gens 4/8
+        assert "(d_n == ROW && d != ROW)" in cell            # gen 6
+
+    def test_extended_jump_operations(self, design4):
+        cell = design4.module("gca_cell_extended")
+        assert "column_c[d*WIDTH +: WIDTH]" in cell          # gen 10
+        assert "(jump_t < d) ? jump_t : d" in cell           # gen 11
+
+    def test_field_exports_first_column(self, design4):
+        field = design4.module("gca_field")
+        assert "assign labels" in field
+        # first-column cells at linear indices 0, 4, 8, 12 for n = 4
+        for idx in (0, 4, 8, 12):
+            assert f"d[{idx}]" in field
+
+    def test_controller_loops(self, design4):
+        ctrl = design4.module("gca_controller")
+        assert "sub_generation == LOG_N - 1" in ctrl
+        assert "iteration == LOG_N - 1" in ctrl
+        assert "done <= 1'b1" in ctrl
+
+
+class TestScaling:
+    def test_design_grows_quadratically(self):
+        lines4 = design_statistics(generate_verilog(4))["lines"]
+        lines8 = design_statistics(generate_verilog(8))["lines"]
+        # cell instances dominate: 72/20 cells -> ~3x the lines
+        assert 2.0 < lines8 / lines4 < 5.0
+
+    def test_determinism(self):
+        assert generate_verilog(4).source == generate_verilog(4).source
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            generate_verilog(0)

@@ -1,0 +1,148 @@
+"""Tests for the work-efficient edge-list variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import path_graph, random_graph
+from repro.graphs.union_find import UnionFind
+from repro.hirschberg.edgelist import (
+    EdgeListGraph,
+    connected_components_edgelist,
+    random_edge_list,
+)
+from tests.conftest import adjacency_matrices
+
+
+class TestEdgeListGraph:
+    def test_from_edges(self):
+        g = EdgeListGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert g.n == 4
+        assert g.edge_count == 2
+        assert g.src.size == 4  # both directions
+
+    def test_empty(self):
+        g = EdgeListGraph.from_edges(3, [])
+        assert g.edge_count == 0
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            EdgeListGraph.from_edges(3, [(1, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            EdgeListGraph.from_edges(3, [(0, 3)])
+
+    def test_from_adjacency(self):
+        dense = random_graph(10, 0.3, seed=0)
+        g = EdgeListGraph.from_adjacency(dense)
+        assert g.n == 10
+        assert g.edge_count == dense.edge_count
+
+
+class TestCorrectness:
+    def test_corpus(self, corpus_graph):
+        got = connected_components_edgelist(corpus_graph).labels
+        assert np.array_equal(got, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=20))
+    @settings(max_examples=60)
+    def test_random(self, g):
+        got = connected_components_edgelist(g).labels
+        assert np.array_equal(got, canonical_labels(g))
+
+    def test_matches_reference_per_iteration(self):
+        """Same algorithm, same intermediate labellings as the dense
+        reference -- not just the same final answer."""
+        from repro.hirschberg.reference import hirschberg_reference
+
+        dense = random_graph(14, 0.25, seed=3)
+        ref = hirschberg_reference(dense, keep_history=True)
+        for k in range(1, ref.iterations + 1):
+            partial = connected_components_edgelist(dense, iterations=k).labels
+            assert np.array_equal(partial, ref.history[k]), k
+
+    def test_iterations_zero(self):
+        res = connected_components_edgelist(path_graph(5), iterations=0)
+        assert res.labels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ValueError):
+            connected_components_edgelist(path_graph(3), iterations=-1)
+
+
+class TestScale:
+    def test_fifty_thousand_nodes(self):
+        g = random_edge_list(50_000, 60_000, seed=2)
+        res = connected_components_edgelist(g)
+        uf = UnionFind(g.n)
+        half = g.src.size // 2
+        for u, v in zip(g.src[:half].tolist(), g.dst[:half].tolist()):
+            uf.union(u, v)
+        assert np.array_equal(res.labels, uf.canonical_labels())
+
+    def test_random_edge_list_shape(self):
+        g = random_edge_list(1000, 500, seed=0)
+        assert g.n == 1000
+        assert 0 < g.edge_count <= 500
+
+    def test_random_edge_list_degenerate(self):
+        assert random_edge_list(1, 10).edge_count == 0
+        assert random_edge_list(5, 0).edge_count == 0
+
+
+class TestSpanningForestEdgelist:
+    def assert_valid(self, graph, labels, forest):
+        import numpy as np
+
+        from repro.graphs.components import count_components
+
+        n = graph.n
+        uf = UnionFind(n)
+        for a, b in forest:
+            assert graph.has_edge(a, b), (a, b)
+            assert uf.union(a, b), f"cycle through ({a}, {b})"
+        assert np.array_equal(labels, canonical_labels(graph))
+        assert len(forest) == n - count_components(graph)
+
+    def test_corpus(self, corpus_graph):
+        from repro.hirschberg.edgelist import spanning_forest_edgelist
+
+        labels, forest = spanning_forest_edgelist(corpus_graph)
+        self.assert_valid(corpus_graph, labels, forest)
+
+    @given(adjacency_matrices(max_n=16))
+    @settings(max_examples=40)
+    def test_random(self, g):
+        from repro.hirschberg.edgelist import spanning_forest_edgelist
+
+        labels, forest = spanning_forest_edgelist(g)
+        self.assert_valid(g, labels, forest)
+
+    def test_agrees_with_dense_variant(self):
+        """Same witnesses as the dense extraction (both pick the smallest
+        witness attaining each minimum)."""
+        from repro.extensions.spanning_forest import spanning_forest
+        from repro.hirschberg.edgelist import spanning_forest_edgelist
+
+        g = random_graph(14, 0.25, seed=8)
+        _labels, forest = spanning_forest_edgelist(g)
+        dense = spanning_forest(g)
+        assert sorted(forest) == sorted(dense.edges)
+
+    def test_large_scale(self):
+        import numpy as np
+
+        from repro.hirschberg.edgelist import (
+            random_edge_list,
+            spanning_forest_edgelist,
+        )
+
+        g = random_edge_list(30_000, 40_000, seed=9)
+        labels, forest = spanning_forest_edgelist(g)
+        uf = UnionFind(g.n)
+        for a, b in forest:
+            assert uf.union(a, b)
+        assert np.array_equal(labels, uf.canonical_labels())
+        assert len(forest) == g.n - np.unique(labels).size

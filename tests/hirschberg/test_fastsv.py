@@ -1,0 +1,80 @@
+"""Tests for the CRCW min-hooking variant (FastSV-style)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import complete_graph, path_graph, random_graph
+from repro.hirschberg.fastsv import fastsv_on_pram, fastsv_reference
+from repro.pram.errors import WriteConflictError
+from repro.pram.memory import AccessMode
+from repro.util.intmath import ceil_log2
+from tests.conftest import adjacency_matrices
+
+
+class TestReference:
+    def test_corpus(self, corpus_graph):
+        res = fastsv_reference(corpus_graph)
+        assert np.array_equal(res.labels, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=20))
+    @settings(max_examples=50)
+    def test_random(self, g):
+        res = fastsv_reference(g)
+        assert np.array_equal(res.labels, canonical_labels(g))
+
+    def test_rounds_logarithmic_on_paths(self):
+        """Min-hooking converges in O(log n) rounds even on the
+        worst-case-diameter input."""
+        for n in (64, 256, 1024):
+            res = fastsv_reference(path_graph(n))
+            assert res.rounds <= 2 * ceil_log2(n), n
+
+    def test_single_round_on_clique(self):
+        res = fastsv_reference(complete_graph(16))
+        assert res.rounds <= 2
+
+    def test_round_cap_respected(self):
+        res = fastsv_reference(path_graph(64), max_rounds=1)
+        assert res.rounds == 1
+        # one round is not enough on a long path
+        assert res.component_count > 1
+
+
+class TestOnPram:
+    def test_corpus_small(self):
+        for n, p, seed in ((6, 0.4, 0), (8, 0.25, 1), (10, 0.2, 2)):
+            g = random_graph(n, p, seed=seed)
+            res = fastsv_on_pram(g)
+            assert np.array_equal(res.labels, canonical_labels(g))
+
+    def test_agrees_with_reference(self):
+        g = random_graph(9, 0.3, seed=5)
+        assert np.array_equal(
+            fastsv_on_pram(g).labels, fastsv_reference(g).labels
+        )
+
+    def test_needs_concurrent_writes(self):
+        """Under CREW the contested hooks must raise -- this family of
+        algorithms genuinely requires CRCW, unlike Listing 1 (CROW)."""
+        g = complete_graph(6)
+        with pytest.raises(WriteConflictError):
+            fastsv_on_pram(g, mode=AccessMode.CREW)
+
+    def test_isolated_nodes(self):
+        g = random_graph(5, 0.0, seed=0)
+        res = fastsv_on_pram(g)
+        assert res.labels.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestAccessModeStory:
+    def test_two_disciplines_two_algorithms(self):
+        """The complete access-mode picture: Listing 1 runs under CROW,
+        min-hooking requires CRCW; both label identically."""
+        from repro.hirschberg.pram_impl import hirschberg_on_pram
+
+        g = random_graph(8, 0.3, seed=3)
+        crow = hirschberg_on_pram(g, mode=AccessMode.CROW)
+        crcw = fastsv_on_pram(g, mode=AccessMode.CRCW)
+        assert np.array_equal(crow.labels, crcw.labels)

@@ -1,0 +1,78 @@
+"""Tests for Hirschberg's algorithm on the PRAM simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import complete_graph, path_graph, random_graph
+from repro.hirschberg.pram_impl import hirschberg_on_pram
+from repro.pram.memory import AccessMode
+from repro.pram.errors import ReadConflictError
+from tests.conftest import adjacency_matrices
+
+
+class TestCorrectness:
+    def test_corpus(self, corpus_graph):
+        res = hirschberg_on_pram(corpus_graph)
+        assert np.array_equal(res.labels, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=10))
+    @settings(max_examples=20, deadline=None)
+    def test_random(self, g):
+        res = hirschberg_on_pram(g)
+        assert np.array_equal(res.labels, canonical_labels(g))
+
+
+class TestAccessModes:
+    def test_crow_succeeds(self):
+        """The paper's claim: only a CROW PRAM is really needed."""
+        g = random_graph(8, 0.3, seed=0)
+        res = hirschberg_on_pram(g, mode=AccessMode.CROW)
+        assert np.array_equal(res.labels, canonical_labels(g))
+
+    def test_crew_succeeds(self):
+        g = random_graph(8, 0.3, seed=0)
+        res = hirschberg_on_pram(g, mode=AccessMode.CREW)
+        assert np.array_equal(res.labels, canonical_labels(g))
+
+    def test_erew_rejected(self):
+        """Steps 2/5/6 read C concurrently: EREW must fail."""
+        g = complete_graph(4)
+        with pytest.raises(ReadConflictError):
+            hirschberg_on_pram(g, mode=AccessMode.EREW)
+
+
+class TestCostAccounting:
+    def test_full_parallelism_time_equals_steps(self):
+        g = random_graph(8, 0.3, seed=1)
+        res = hirschberg_on_pram(g, processors=64)
+        assert res.time == res.parallel_steps
+
+    def test_brent_inflation(self):
+        g = random_graph(8, 0.3, seed=1)
+        full = hirschberg_on_pram(g, processors=64)
+        quarter = hirschberg_on_pram(g, processors=16)
+        assert quarter.parallel_steps == full.parallel_steps
+        assert quarter.time > full.time
+        assert quarter.work == full.work
+
+    def test_step_count_structure(self):
+        """Steps per iteration: fill + log n reductions + finish for steps
+        2 and 3, plus steps 4, 5 (log n jumps), 6; plus one init step."""
+        n = 8
+        g = path_graph(n)
+        res = hirschberg_on_pram(g)
+        log = 3  # ceil_log2(8)
+        per_iteration = (1 + log + 1) * 2 + 1 + log + 1
+        assert res.parallel_steps == 1 + log * per_iteration
+
+    def test_congestion_measured(self):
+        g = complete_graph(8)
+        res = hirschberg_on_pram(g)
+        # step 2 reads C(i) from every row processor: congestion >= n
+        assert res.peak_read_congestion >= 8
+
+    def test_work_positive(self):
+        res = hirschberg_on_pram(path_graph(4))
+        assert res.work > 0

@@ -1,0 +1,111 @@
+"""Unit + property tests for the reference algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import (
+    complete_graph,
+    empty_graph,
+    path_graph,
+    union_of_cliques,
+)
+from repro.hirschberg.reference import (
+    ReferenceResult,
+    connected_components_reference,
+    hirschberg_reference,
+)
+from tests.conftest import CORPUS, adjacency_matrices
+
+
+class TestCorrectness:
+    def test_corpus(self, corpus_graph):
+        got = connected_components_reference(corpus_graph)
+        assert np.array_equal(got, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=16))
+    @settings(max_examples=60)
+    def test_random_graphs(self, g):
+        assert np.array_equal(
+            connected_components_reference(g), canonical_labels(g)
+        )
+
+    def test_singleton(self):
+        res = hirschberg_reference(empty_graph(1))
+        assert res.labels.tolist() == [0]
+        assert res.iterations == 0
+
+
+class TestResultObject:
+    def test_component_count(self):
+        res = hirschberg_reference(union_of_cliques([3, 2, 1]))
+        assert res.component_count == 3
+
+    def test_components_listing(self):
+        res = hirschberg_reference(union_of_cliques([2, 2]))
+        assert res.components() == [[0, 1], [2, 3]]
+
+    def test_history(self):
+        res = hirschberg_reference(complete_graph(4), keep_history=True)
+        assert len(res.history) == res.iterations + 1
+        assert res.history[0].tolist() == [0, 1, 2, 3]
+        assert np.array_equal(res.history[-1], res.labels)
+
+    def test_no_history_by_default(self):
+        assert hirschberg_reference(complete_graph(4)).history == []
+
+    def test_hook_called_per_iteration(self):
+        calls = []
+        hirschberg_reference(
+            path_graph(8), on_iteration=lambda k, C, T: calls.append(k)
+        )
+        assert calls == [0, 1, 2]
+
+
+class TestIterationControl:
+    def test_explicit_iterations(self):
+        res = hirschberg_reference(path_graph(8), iterations=1)
+        assert res.iterations == 1
+
+    def test_zero_iterations_identity(self):
+        res = hirschberg_reference(path_graph(4), iterations=0)
+        assert res.labels.tolist() == [0, 1, 2, 3]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hirschberg_reference(path_graph(4), iterations=-1)
+
+    def test_extra_iterations_stable(self):
+        g = CORPUS["random_medium"]
+        base = hirschberg_reference(g)
+        more = hirschberg_reference(g, iterations=base.iterations + 3)
+        assert np.array_equal(base.labels, more.labels)
+
+
+class TestConvergenceBehaviour:
+    @given(adjacency_matrices(min_n=2, max_n=14))
+    @settings(max_examples=40)
+    def test_labels_monotone_nonincreasing(self, g):
+        """Across iterations, each node's label never increases: merging
+        always moves toward the component minimum."""
+        res = hirschberg_reference(g, keep_history=True)
+        for earlier, later in zip(res.history, res.history[1:]):
+            assert (later <= earlier).all()
+
+    @given(adjacency_matrices(min_n=2, max_n=14))
+    @settings(max_examples=40)
+    def test_component_count_nonincreasing(self, g):
+        res = hirschberg_reference(g, keep_history=True)
+        counts = [int(np.unique(h).size) for h in res.history]
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_path_halving(self):
+        """On a path, components at least halve each iteration until done
+        (the paper's log n argument)."""
+        res = hirschberg_reference(path_graph(16), keep_history=True)
+        counts = [int(np.unique(h).size) for h in res.history]
+        final = counts[-1]
+        for a, b in zip(counts, counts[1:]):
+            if a > final:
+                assert b <= (a + 1) // 2

@@ -1,0 +1,126 @@
+"""Unit tests for the six Hirschberg steps (repro.hirschberg.steps)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.graphs.generators import complete_graph, empty_graph, from_edges
+from repro.hirschberg.steps import (
+    one_iteration,
+    step1_init,
+    step2_candidate_components,
+    step3_supernode_min,
+    step4_adopt,
+    step5_pointer_jump,
+    step6_resolve_pairs,
+)
+from tests.conftest import adjacency_matrices
+
+
+class TestStep1:
+    def test_identity(self):
+        assert step1_init(5).tolist() == [0, 1, 2, 3, 4]
+
+
+class TestStep2:
+    def test_smallest_foreign_neighbor(self):
+        # 0-1, 1-2: node 1's smallest foreign neighbour component is 0
+        g = from_edges(3, [(0, 1), (1, 2)])
+        C = step1_init(3)
+        T = step2_candidate_components(g, C)
+        assert T.tolist() == [1, 0, 1]
+
+    def test_no_neighbor_keeps_own(self):
+        g = empty_graph(3)
+        C = step1_init(3)
+        assert step2_candidate_components(g, C).tolist() == [0, 1, 2]
+
+    def test_same_component_neighbors_ignored(self):
+        g = from_edges(3, [(0, 1)])
+        C = np.array([0, 0, 2])  # 0 and 1 already merged
+        T = step2_candidate_components(g, C)
+        assert T.tolist() == [0, 0, 2]
+
+    def test_minimum_selected(self):
+        # node 3 adjacent to components 2 and 0 -> picks 0
+        g = from_edges(4, [(3, 2), (3, 0)])
+        C = step1_init(4)
+        assert step2_candidate_components(g, C)[3] == 0
+
+
+class TestStep3:
+    def test_supernode_gathers_members(self):
+        C = np.array([0, 0, 2])
+        T = np.array([2, 2, 0])  # members of comp 0 found comp 2
+        out = step3_supernode_min(C, T)
+        assert out[0] == 2
+
+    def test_nonsupernode_gets_own_component(self):
+        C = np.array([0, 0, 2])
+        T = np.array([2, 2, 0])
+        out = step3_supernode_min(C, T)
+        assert out[1] == 0  # node 1 has no members: falls back to C(1)
+
+    def test_trivial_candidates_excluded(self):
+        # member found nothing (T(j) == supernode id): excluded
+        C = np.array([0, 0])
+        T = np.array([0, 0])
+        out = step3_supernode_min(C, T)
+        assert out.tolist() == [0, 0]
+
+
+class TestStep5:
+    def test_jump_collapses_chain(self):
+        C = np.array([0, 0, 1, 2])  # chain 3->2->1->0
+        out = step5_pointer_jump(C, 2)
+        assert out.tolist() == [0, 0, 0, 0]
+
+    def test_zero_iterations(self):
+        C = np.array([1, 0])
+        assert step5_pointer_jump(C, 0).tolist() == [1, 0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            step5_pointer_jump(np.array([0]), -1)
+
+
+class TestStep6:
+    def test_resolves_mutual_pair(self):
+        # after jumping, the K2 pair has split to self-roots
+        C = np.array([0, 1])
+        T = np.array([1, 0])
+        assert step6_resolve_pairs(C, T).tolist() == [0, 0]
+
+    def test_keeps_smaller(self):
+        C = np.array([0, 0])
+        T = np.array([0, 0])
+        assert step6_resolve_pairs(C, T).tolist() == [0, 0]
+
+
+class TestOneIteration:
+    def test_k2_converges_in_one(self):
+        g = from_edges(2, [(0, 1)])
+        C, T = one_iteration(g, step1_init(2), jump_iterations=1)
+        assert C.tolist() == [0, 0]
+        assert T.tolist() == [1, 0]
+
+    def test_complete_graph_one_iteration(self):
+        g = complete_graph(6)
+        C, _T = one_iteration(g, step1_init(6), jump_iterations=3)
+        assert C.tolist() == [0] * 6
+
+    @given(adjacency_matrices(min_n=2, max_n=12))
+    def test_iteration_invariants(self, g):
+        """One iteration preserves the labelling invariants:
+        C(i) <= i's old label never increases past merging, labels are
+        valid representatives (C(C(i)) == C(i)), and connected nodes'
+        labels only merge (never split)."""
+        n = g.n
+        from repro.util.intmath import jump_iterations
+
+        C, _ = one_iteration(g, step1_init(n), jump_iterations(n))
+        # labels are valid component representatives
+        assert np.array_equal(C[C], C)
+        # every label is the id of some node in the same new component
+        for i in range(n):
+            assert 0 <= C[i] < n

@@ -1,0 +1,75 @@
+"""Tests for the algorithm variants."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import from_edges, path_graph, worst_case_pairing
+from repro.hirschberg.variants import (
+    hirschberg_literal_step6,
+    label_propagation,
+    label_propagation_rounds,
+    supernode_only_step3,
+)
+from tests.conftest import adjacency_matrices
+
+
+class TestLiteralStep6:
+    def test_fails_on_k2(self):
+        """Documents why the printed step 6 cannot be taken literally:
+        executed after jumping it leaves the mutual pair oscillating."""
+        g = from_edges(2, [(0, 1)])
+        got = hirschberg_literal_step6(g)
+        assert got.tolist() != [0, 0]
+
+    def test_fails_on_pairings(self):
+        g = worst_case_pairing(6)
+        got = hirschberg_literal_step6(g)
+        assert not np.array_equal(got, canonical_labels(g))
+
+
+class TestSupernodeOnlyStep3:
+    def test_corpus(self, corpus_graph):
+        got = supernode_only_step3(corpus_graph)
+        assert np.array_equal(got, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=14))
+    @settings(max_examples=40)
+    def test_random(self, g):
+        assert np.array_equal(supernode_only_step3(g), canonical_labels(g))
+
+
+class TestLabelPropagation:
+    def test_corpus(self, corpus_graph):
+        got = label_propagation(corpus_graph)
+        assert np.array_equal(got, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=14))
+    @settings(max_examples=40)
+    def test_random(self, g):
+        assert np.array_equal(label_propagation(g), canonical_labels(g))
+
+    def test_round_cap_returns_partial(self):
+        g = path_graph(10)
+        partial = label_propagation(g, max_rounds=1)
+        assert not np.array_equal(partial, canonical_labels(g))
+
+    def test_rounds_equal_eccentricity_of_minimum(self):
+        # On a path 0-1-...-k the label 0 travels one hop per round.
+        g = path_graph(9)
+        assert label_propagation_rounds(g) == 8
+
+    def test_rounds_zero_for_empty(self):
+        g = from_edges(3, [])
+        assert label_propagation_rounds(g) == 0
+
+    def test_diameter_vs_log_crossover(self):
+        """The motivation for Hirschberg's algorithm: on high-diameter
+        graphs naive propagation needs Theta(n) rounds while the GCA's
+        outer loop stays at ceil(log2 n)."""
+        from repro.util.intmath import outer_iterations
+
+        n = 32
+        g = path_graph(n)
+        assert label_propagation_rounds(g) == n - 1
+        assert outer_iterations(n) == 5

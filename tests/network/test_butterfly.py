@@ -1,0 +1,134 @@
+"""Tests for the butterfly router and Ranade-style combining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.butterfly import (
+    ButterflyNetwork,
+    route_read_pattern,
+)
+from repro.util.intmath import ceil_log2
+
+
+class TestConstruction:
+    def test_stage_count(self):
+        assert ButterflyNetwork(1).stages == 0
+        assert ButterflyNetwork(8).stages == 3
+        assert ButterflyNetwork(256).stages == 8
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ButterflyNetwork(6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ButterflyNetwork(0)
+
+
+class TestDelivery:
+    def test_single_request(self):
+        r = ButterflyNetwork(8).route([(3, 5)])
+        assert r.delivered == {5: 1}
+        assert r.cycles == 4  # stages + ejection
+
+    def test_identity_requests(self):
+        p = 16
+        r = ButterflyNetwork(p).route([(i, i) for i in range(p)])
+        assert r.delivered == {i: 1 for i in range(p)}
+
+    def test_conservation(self):
+        """Every injected request is delivered exactly once (combining
+        preserves weights)."""
+        reqs = [(0, 3), (1, 3), (2, 3), (4, 7), (5, 3)]
+        for combining in (True, False):
+            r = ButterflyNetwork(8, combining=combining).route(reqs)
+            assert r.delivered == {3: 4, 7: 1}
+            assert r.total_requests == len(reqs)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ButterflyNetwork(4).route([(0, 9)])
+
+    def test_trivial_network(self):
+        r = ButterflyNetwork(1).route([(0, 0), (0, 0)])
+        assert r.delivered == {0: 2}
+
+    def test_empty_batch(self):
+        r = ButterflyNetwork(8).route([])
+        assert r.cycles == 0
+        assert r.delivered == {}
+
+    @given(st.integers(2, 5), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_batches_conserved(self, k, data):
+        p = 1 << k
+        count = data.draw(st.integers(1, 3 * p))
+        reqs = [
+            (data.draw(st.integers(0, p - 1)), data.draw(st.integers(0, p - 1)))
+            for _ in range(count)
+        ]
+        expected: dict = {}
+        for _s, d in reqs:
+            expected[d] = expected.get(d, 0) + 1
+        for combining in (True, False):
+            r = ButterflyNetwork(p, combining=combining).route(reqs)
+            assert r.delivered == expected
+
+
+class TestRanadeClaim:
+    """The Section 1 claim: combining turns broadcast reads from Theta(p)
+    into Theta(log p) network cycles."""
+
+    @pytest.mark.parametrize("p", [8, 16, 64, 256])
+    def test_broadcast_with_combining_is_logarithmic(self, p):
+        reqs = [(s, 0) for s in range(p)]
+        r = ButterflyNetwork(p, combining=True).route(reqs)
+        assert r.cycles <= ceil_log2(p) + 1
+
+    @pytest.mark.parametrize("p", [8, 16, 64])
+    def test_broadcast_without_combining_is_linear(self, p):
+        reqs = [(s, 0) for s in range(p)]
+        r = ButterflyNetwork(p, combining=False).route(reqs)
+        assert r.cycles >= p  # the destination edge serialises
+
+    def test_combining_never_slower(self):
+        import random
+
+        rnd = random.Random(0)
+        p = 32
+        for _ in range(5):
+            reqs = [(s, rnd.randrange(p)) for s in range(p)]
+            with_c = ButterflyNetwork(p, combining=True).route(reqs)
+            without = ButterflyNetwork(p, combining=False).route(reqs)
+            assert with_c.cycles <= without.cycles
+
+    def test_permutation_is_fast_either_way(self):
+        p = 64
+        perm = [(i, (i * 7 + 3) % p) for i in range(p)]
+        for combining in (True, False):
+            r = ButterflyNetwork(p, combining=combining).route(perm)
+            assert r.cycles <= 3 * ceil_log2(p)
+
+
+class TestReadPatternBridge:
+    def test_gca_generation_pattern(self):
+        """Route a real generation's reads (gen 1 on n = 8)."""
+        from repro.core.machine import connected_components_interpreter
+        from repro.graphs.generators import path_graph
+
+        log = connected_components_interpreter(path_graph(8)).access_log
+        gen1 = log.by_label("it0.gen1")[0]
+        with_c = route_read_pattern(gen1.reads_per_cell, combining=True)
+        without = route_read_pattern(gen1.reads_per_cell, combining=False)
+        assert with_c.total_requests == gen1.total_reads
+        assert with_c.cycles < without.cycles
+
+    def test_empty_pattern(self):
+        r = route_read_pattern({})
+        assert r.cycles == 0
+
+    def test_explicit_ports(self):
+        r = route_read_pattern({0: 3}, ports=8)
+        assert r.ports == 8
+        assert r.delivered == {0: 3}

@@ -1,0 +1,90 @@
+"""Tests for the mesh router."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.butterfly import ButterflyNetwork
+from repro.network.mesh import MeshNetwork, square_mesh
+
+
+class TestConstruction:
+    def test_ports(self):
+        assert MeshNetwork(3, 5).ports == 15
+
+    def test_square_mesh_rounds_up(self):
+        assert square_mesh(16).ports == 16
+        assert square_mesh(17).ports == 25
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            MeshNetwork(0, 4)
+
+
+class TestXYRouting:
+    def test_next_hop_fixes_column_first(self):
+        mesh = MeshNetwork(4, 4)
+        # from (0,0) to (2,3): move along the row first
+        assert mesh._next_hop(0, 11) == 1
+        # column aligned: move along the column
+        assert mesh._next_hop(3, 11) == 7
+
+    def test_single_request_hop_count(self):
+        mesh = MeshNetwork(4, 4)
+        r = mesh.route([(0, 15)])  # corner to corner: 6 hops + ejection
+        assert r.delivered == {15: 1}
+        assert r.cycles == 7
+
+    def test_local_delivery(self):
+        r = MeshNetwork(2, 2).route([(3, 3)])
+        assert r.cycles == 1
+        assert r.delivered == {3: 1}
+
+
+class TestDeliveryConservation:
+    @given(st.integers(2, 4), st.integers(2, 4), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_batches(self, rows, cols, data):
+        mesh_ports = rows * cols
+        count = data.draw(st.integers(1, 2 * mesh_ports))
+        reqs = [
+            (data.draw(st.integers(0, mesh_ports - 1)),
+             data.draw(st.integers(0, mesh_ports - 1)))
+            for _ in range(count)
+        ]
+        expected: dict = {}
+        for _s, d in reqs:
+            expected[d] = expected.get(d, 0) + 1
+        for combining in (True, False):
+            r = MeshNetwork(rows, cols, combining=combining).route(reqs)
+            assert r.delivered == expected
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            MeshNetwork(2, 2).route([(0, 7)])
+
+
+class TestNetworkComparison:
+    """The Section 1 performance ordering for broadcast reads:
+    static wiring (1) < butterfly+combining (log p) < mesh+combining
+    (sqrt p) << any network without combining (p)."""
+
+    @pytest.mark.parametrize("p", [16, 64, 256])
+    def test_broadcast_ordering(self, p):
+        reqs = [(s, 0) for s in range(p)]
+        bfly = ButterflyNetwork(p, combining=True).route(reqs).cycles
+        mesh = square_mesh(p, combining=True).route(reqs).cycles
+        plain = square_mesh(p, combining=False).route(reqs).cycles
+        assert 1 < bfly < mesh < plain
+        side = int(math.isqrt(p))
+        assert mesh <= 2 * side          # Theta(sqrt p)
+        assert plain >= p                # serialised at the destination
+
+    def test_mesh_combining_never_slower(self):
+        p = 36
+        reqs = [(s, (s * 5) % p) for s in range(p)]
+        with_c = square_mesh(p, combining=True).route(reqs).cycles
+        without = square_mesh(p, combining=False).route(reqs).cycles
+        assert with_c <= without

@@ -1,0 +1,45 @@
+"""Unit tests for the PRAM cost model."""
+
+import pytest
+
+from repro.pram.accounting import CostModel, StepCharge
+
+
+class TestStepCharge:
+    def test_work_equals_virtual(self):
+        assert StepCharge(label=None, virtual_processors=7, time_units=2).work == 7
+
+
+class TestCostModel:
+    def test_accumulation(self):
+        cm = CostModel(processors=4)
+        cm.charge_step(8, 2, label="a")
+        cm.charge_step(4, 1)
+        assert cm.steps == 2
+        assert cm.time == 3
+        assert cm.work == 12
+        assert cm.cost == 12  # 4 * 3
+
+    def test_validation(self):
+        cm = CostModel(processors=4)
+        with pytest.raises(ValueError):
+            cm.charge_step(-1, 1)
+        with pytest.raises(ValueError):
+            cm.charge_step(1, 0)
+
+    def test_speedup_and_efficiency(self):
+        cm = CostModel(processors=4)
+        cm.charge_step(4, 1)
+        cm.charge_step(4, 1)
+        assert cm.speedup(8) == 4.0
+        assert cm.efficiency(8) == 1.0
+
+    def test_speedup_requires_time(self):
+        with pytest.raises(ZeroDivisionError):
+            CostModel(processors=1).speedup(10)
+
+    def test_summary_mentions_figures(self):
+        cm = CostModel(processors=2)
+        cm.charge_step(2, 1)
+        s = cm.summary()
+        assert "p=2" in s and "work=2" in s

@@ -1,0 +1,75 @@
+"""Unit tests for Brent scheduling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pram.brent import (
+    block_schedule,
+    brent_time_bound,
+    round_robin_schedule,
+    simulated_step_time,
+)
+
+
+class TestRoundRobin:
+    def test_paper_round_robin(self):
+        sched = round_robin_schedule(5, 2)
+        assert [(a.virtual_pid, a.physical_pid, a.sub_round) for a in sched] == [
+            (0, 0, 0), (1, 1, 0), (2, 0, 1), (3, 1, 1), (4, 0, 2),
+        ]
+
+    def test_empty(self):
+        assert round_robin_schedule(0, 3) == []
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            round_robin_schedule(-1, 2)
+        with pytest.raises(ValueError):
+            round_robin_schedule(4, 0)
+
+    @given(st.integers(0, 200), st.integers(1, 16))
+    def test_every_virtual_assigned_once(self, v, p):
+        sched = round_robin_schedule(v, p)
+        assert sorted(a.virtual_pid for a in sched) == list(range(v))
+
+    @given(st.integers(0, 200), st.integers(1, 16))
+    def test_no_physical_double_booking(self, v, p):
+        sched = round_robin_schedule(v, p)
+        slots = [(a.physical_pid, a.sub_round) for a in sched]
+        assert len(slots) == len(set(slots))
+
+    @given(st.integers(1, 200), st.integers(1, 16))
+    def test_rounds_match_ceiling(self, v, p):
+        sched = round_robin_schedule(v, p)
+        assert max(a.sub_round for a in sched) + 1 == simulated_step_time(v, p)
+
+
+class TestBlockSchedule:
+    def test_contiguity(self):
+        sched = block_schedule(6, 2)  # 3 per processor
+        by_phys = {}
+        for a in sched:
+            by_phys.setdefault(a.physical_pid, []).append(a.virtual_pid)
+        assert by_phys == {0: [0, 1, 2], 1: [3, 4, 5]}
+
+    @given(st.integers(0, 100), st.integers(1, 10))
+    def test_complete_assignment(self, v, p):
+        sched = block_schedule(v, p)
+        assert sorted(a.virtual_pid for a in sched) == list(range(v))
+
+
+class TestTimes:
+    def test_simulated_step_time(self):
+        assert [simulated_step_time(v, 4) for v in (0, 1, 4, 5, 8)] == [1, 1, 1, 2, 2]
+
+    def test_brent_bound(self):
+        assert brent_time_bound(100, 10, 10) == 20
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            brent_time_bound(-1, 0, 1)
+
+    @given(st.integers(0, 10**6), st.integers(0, 1000), st.integers(1, 64))
+    def test_bound_at_least_depth(self, w, d, p):
+        assert brent_time_bound(w, d, p) >= d

@@ -1,0 +1,100 @@
+"""Unit tests for the PRAM machine."""
+
+import numpy as np
+import pytest
+
+from repro.pram.errors import ProgramError, WriteConflictError
+from repro.pram.machine import PRAM
+from repro.pram.memory import AccessMode, SharedMemory
+
+
+def make_machine(p=4, mode=AccessMode.CREW, size=8):
+    mem = SharedMemory(mode)
+    mem.allocate("A", size, initial=list(range(size)), owners=np.arange(size))
+    return PRAM(processors=p, memory=mem)
+
+
+class TestParallelStep:
+    def test_simd_body(self):
+        m = make_machine()
+        m.parallel_step(range(8), lambda ctx: ctx.write("A", ctx.pid, ctx.pid * 10))
+        assert m.memory.array("A").tolist() == [i * 10 for i in range(8)]
+
+    def test_synchronous_reads(self):
+        # parallel prefix-style shift: A[i] <- A[i+1] must read old values
+        m = make_machine()
+
+        def body(ctx):
+            ctx.write("A", ctx.pid, ctx.read("A", ctx.pid + 1))
+
+        m.parallel_step(range(7), body)
+        assert m.memory.array("A").tolist() == [1, 2, 3, 4, 5, 6, 7, 7]
+
+    def test_subset_of_processors(self):
+        m = make_machine()
+        m.parallel_step([2, 5], lambda ctx: ctx.write("A", ctx.pid, -1))
+        assert m.memory.array("A").tolist() == [0, 1, -1, 3, 4, -1, 6, 7]
+
+    def test_negative_pid_rejected(self):
+        m = make_machine()
+        with pytest.raises(ProgramError):
+            m.parallel_step([-1], lambda ctx: None)
+
+    def test_conflicts_surface(self):
+        m = make_machine()
+
+        def body(ctx):
+            ctx.write("A", 0, ctx.pid)
+
+        with pytest.raises(WriteConflictError):
+            m.parallel_step(range(2), body)
+
+    def test_step_stats_recorded(self):
+        m = make_machine()
+        m.parallel_step(range(4), lambda ctx: ctx.read("A", 0) and None)
+        assert len(m.step_stats) == 1
+        assert m.step_stats[0].max_read_congestion == 4
+
+
+class TestCostAccounting:
+    def test_time_with_enough_processors(self):
+        m = make_machine(p=8)
+        m.parallel_step(range(8), lambda ctx: None)
+        assert m.cost.time == 1
+        assert m.cost.work == 8
+
+    def test_brent_time_inflation(self):
+        m = make_machine(p=2)
+        m.parallel_step(range(8), lambda ctx: None)
+        assert m.cost.time == 4  # ceil(8/2)
+
+    def test_empty_step_costs_one(self):
+        m = make_machine()
+        m.parallel_step([], lambda ctx: None)
+        assert m.cost.time == 1
+        assert m.cost.work == 0
+
+    def test_step_labels(self):
+        m = make_machine()
+        m.parallel_step(range(2), lambda ctx: None, label="phase1")
+        assert m.cost.charges[0].label == "phase1"
+
+    def test_sequential_helper(self):
+        m = make_machine()
+        holder = []
+        m.sequential(lambda: holder.append(1))
+        assert holder == [1]
+        assert m.cost.steps == 0  # not charged
+
+    def test_repr(self):
+        assert "p=4" in repr(make_machine())
+
+
+class TestProcessorsValidation:
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            PRAM(processors=0)
+
+    def test_default_memory(self):
+        m = PRAM(processors=2)
+        assert m.memory.mode is AccessMode.CREW

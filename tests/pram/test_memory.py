@@ -1,0 +1,195 @@
+"""Unit tests for the PRAM shared memory and access-mode enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.pram.errors import (
+    OwnershipError,
+    ProgramError,
+    ReadConflictError,
+    WriteConflictError,
+)
+from repro.pram.memory import AccessMode, CombinePolicy, SharedMemory
+
+
+def fresh(mode=AccessMode.CREW, combine=CombinePolicy.ARBITRARY):
+    mem = SharedMemory(mode=mode, combine=combine)
+    mem.allocate("X", 4, owners=np.arange(4))
+    return mem
+
+
+class TestAllocation:
+    def test_scalar_initial(self):
+        mem = SharedMemory()
+        mem.allocate("A", 3, initial=7)
+        assert mem.array("A").tolist() == [7, 7, 7]
+
+    def test_array_initial(self):
+        mem = SharedMemory()
+        mem.allocate("A", 3, initial=[1, 2, 3])
+        assert mem.array("A").tolist() == [1, 2, 3]
+
+    def test_duplicate_name_rejected(self):
+        mem = fresh()
+        with pytest.raises(ProgramError):
+            mem.allocate("X", 2)
+
+    def test_size_mismatch_rejected(self):
+        mem = SharedMemory()
+        with pytest.raises(ProgramError):
+            mem.allocate("A", 3, initial=[1, 2])
+
+    def test_owner_size_checked(self):
+        mem = SharedMemory()
+        with pytest.raises(ProgramError):
+            mem.allocate("A", 3, owners=np.arange(2))
+
+    def test_unknown_array(self):
+        with pytest.raises(ProgramError):
+            fresh().array("nope")
+
+    def test_names(self):
+        assert fresh().names() == ["X"]
+
+    def test_mode_type_checked(self):
+        with pytest.raises(TypeError):
+            SharedMemory(mode="CREW")
+
+
+class TestStepSemantics:
+    def test_reads_see_step_start(self):
+        mem = fresh()
+        txn = mem.begin_step()
+        txn.write(0, "X", 0, 99)
+        assert txn.read(1, "X", 0) == 0      # buffered write invisible
+        txn.commit()
+        assert mem.array("X")[0] == 99        # visible after commit
+
+    def test_swap_two_locations(self):
+        mem = SharedMemory()
+        mem.allocate("A", 2, initial=[1, 2])
+        txn = mem.begin_step()
+        txn.write(0, "A", 0, txn.read(0, "A", 1))
+        txn.write(1, "A", 1, txn.read(1, "A", 0))
+        txn.commit()
+        assert mem.array("A").tolist() == [2, 1]
+
+    def test_out_of_range_read(self):
+        txn = fresh().begin_step()
+        with pytest.raises(ProgramError):
+            txn.read(0, "X", 4)
+
+    def test_out_of_range_write(self):
+        txn = fresh().begin_step()
+        with pytest.raises(ProgramError):
+            txn.write(0, "X", -1, 0)
+
+    def test_stats(self):
+        mem = fresh()
+        txn = mem.begin_step()
+        txn.read(0, "X", 2)
+        txn.read(1, "X", 2)
+        txn.write(3, "X", 3, 1)
+        stats = txn.commit()
+        assert stats.total_reads == 2
+        assert stats.max_read_congestion == 2
+        assert stats.total_writes == 1
+
+
+class TestEREW:
+    def test_concurrent_read_rejected(self):
+        mem = fresh(AccessMode.EREW)
+        txn = mem.begin_step()
+        txn.read(0, "X", 1)
+        txn.read(1, "X", 1)
+        with pytest.raises(ReadConflictError):
+            txn.commit()
+
+    def test_exclusive_read_ok(self):
+        mem = fresh(AccessMode.EREW)
+        txn = mem.begin_step()
+        txn.read(0, "X", 0)
+        txn.read(1, "X", 1)
+        txn.commit()
+
+    def test_concurrent_write_rejected(self):
+        mem = fresh(AccessMode.EREW)
+        txn = mem.begin_step()
+        txn.write(0, "X", 1, 5)
+        txn.write(1, "X", 1, 6)
+        with pytest.raises(WriteConflictError):
+            txn.commit()
+
+
+class TestCREW:
+    def test_concurrent_read_ok(self):
+        mem = fresh(AccessMode.CREW)
+        txn = mem.begin_step()
+        txn.read(0, "X", 1)
+        txn.read(1, "X", 1)
+        txn.commit()
+
+    def test_concurrent_write_rejected(self):
+        mem = fresh(AccessMode.CREW)
+        txn = mem.begin_step()
+        txn.write(0, "X", 1, 5)
+        txn.write(1, "X", 1, 6)
+        with pytest.raises(WriteConflictError):
+            txn.commit()
+
+
+class TestCROW:
+    def test_owner_write_ok(self):
+        mem = fresh(AccessMode.CROW)
+        txn = mem.begin_step()
+        txn.write(2, "X", 2, 5)
+        txn.commit()
+        assert mem.array("X")[2] == 5
+
+    def test_foreign_write_rejected(self):
+        mem = fresh(AccessMode.CROW)
+        txn = mem.begin_step()
+        txn.write(0, "X", 2, 5)
+        with pytest.raises(OwnershipError):
+            txn.commit()
+
+    def test_unowned_array_rejected(self):
+        mem = SharedMemory(AccessMode.CROW)
+        mem.allocate("Y", 2)  # no owner map
+        txn = mem.begin_step()
+        txn.write(0, "Y", 0, 1)
+        with pytest.raises(OwnershipError):
+            txn.commit()
+
+    def test_concurrent_reads_allowed(self):
+        mem = fresh(AccessMode.CROW)
+        txn = mem.begin_step()
+        for pid in range(4):
+            txn.read(pid, "X", 0)
+        txn.commit()
+
+
+class TestCRCW:
+    def test_arbitrary_policy_deterministic(self):
+        mem = fresh(AccessMode.CRCW, CombinePolicy.ARBITRARY)
+        txn = mem.begin_step()
+        txn.write(0, "X", 1, 100)
+        txn.write(3, "X", 1, 300)
+        txn.commit()
+        assert mem.array("X")[1] == 300  # highest pid wins (documented)
+
+    def test_priority_policy(self):
+        mem = fresh(AccessMode.CRCW, CombinePolicy.PRIORITY)
+        txn = mem.begin_step()
+        txn.write(2, "X", 1, 200)
+        txn.write(0, "X", 1, 100)
+        txn.commit()
+        assert mem.array("X")[1] == 100  # lowest pid wins
+
+    def test_min_policy(self):
+        mem = fresh(AccessMode.CRCW, CombinePolicy.MIN)
+        txn = mem.begin_step()
+        txn.write(0, "X", 1, 42)
+        txn.write(1, "X", 1, 7)
+        txn.commit()
+        assert mem.array("X")[1] == 7

@@ -1,0 +1,131 @@
+"""Tests for the PRAM program abstraction and the classic primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram.machine import PRAM
+from repro.pram.memory import AccessMode, SharedMemory
+from repro.pram.errors import ReadConflictError
+from repro.pram.program import (
+    Program,
+    list_ranking_program,
+    prefix_sum_program,
+    reduction_program,
+    run_list_ranking,
+    run_prefix_sum,
+    run_reduction,
+)
+from repro.util.intmath import ceil_log2
+
+
+class TestProgramAbstraction:
+    def test_chaining_and_depth(self):
+        prog = Program("p").add("a", [0], lambda ctx: None).add("b", [0, 1], lambda ctx: None)
+        assert prog.depth == 2
+        assert prog.work == 3
+
+    def test_run_labels_cost(self):
+        mem = SharedMemory()
+        mem.allocate("X", 2)
+        machine = PRAM(processors=2, memory=mem)
+        Program("demo").add("s0", range(2), lambda ctx: None).run(machine)
+        assert machine.cost.charges[0].label == "demo.s0"
+
+
+class TestReduction:
+    @pytest.mark.parametrize("op,expected", [("min", 1), ("max", 9), ("sum", 22)])
+    def test_ops(self, op, expected):
+        result, _ = run_reduction([4, 1, 9, 8], op_name=op)
+        assert result == expected
+
+    def test_single_element(self):
+        result, machine = run_reduction([7])
+        assert result == 7
+        assert machine.cost.steps == 0
+
+    def test_depth_is_log(self):
+        for n in (2, 5, 8, 16, 33):
+            assert reduction_program(n).depth == ceil_log2(n)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            reduction_program(4, "median")
+
+    def test_crow_clean(self):
+        """Aligned tree reduction is owner-write: runs under CROW."""
+        result, _ = run_reduction([5, 3, 8, 1], op_name="min", mode=AccessMode.CROW)
+        assert result == 1
+
+    def test_erew_clean(self):
+        """Each element is touched by at most one processor per level."""
+        result, _ = run_reduction([5, 3, 8, 1], op_name="min", mode=AccessMode.EREW)
+        assert result == 1
+
+    @given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_builtin(self, values):
+        assert run_reduction(values, "min")[0] == min(values)
+        assert run_reduction(values, "sum")[0] == sum(values)
+
+
+class TestPrefixSum:
+    def test_known(self):
+        sums, _ = run_prefix_sum([3, 1, 4, 1, 5])
+        assert sums == [3, 4, 8, 9, 14]
+
+    def test_depth(self):
+        assert prefix_sum_program(16).depth == 4
+
+    def test_erew_violation(self):
+        """Hillis-Steele reads X[i] twice per step across neighbours --
+        concurrent reads, so EREW rejects it while CREW accepts."""
+        with pytest.raises(ReadConflictError):
+            run_prefix_sum([1, 1, 1], mode=AccessMode.EREW)
+        sums, _ = run_prefix_sum([1, 1, 1], mode=AccessMode.CREW)
+        assert sums == [1, 2, 3]
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_cumsum(self, values):
+        sums, _ = run_prefix_sum(values)
+        assert sums == np.cumsum(values).tolist()
+
+
+class TestListRanking:
+    def test_chain(self):
+        # list 0 -> 1 -> 2 -> 3 (tail), ranks = hops to tail
+        ranks, _ = run_list_ranking([1, 2, 3, 3])
+        assert ranks == [3, 2, 1, 0]
+
+    def test_reversed_chain(self):
+        ranks, _ = run_list_ranking([0, 0, 1, 2])
+        assert ranks == [0, 1, 2, 3]
+
+    def test_singleton(self):
+        ranks, _ = run_list_ranking([0])
+        assert ranks == [0]
+
+    def test_depth_logarithmic(self):
+        n = 64
+        machine = run_list_ranking(list(range(1, n)) + [n - 1])[1]
+        assert machine.cost.steps == ceil_log2(n)
+
+    @given(st.integers(min_value=1, max_value=64), st.randoms())
+    @settings(max_examples=25, deadline=None)
+    def test_random_permuted_lists(self, n, rnd):
+        """Rank a list whose nodes are arbitrarily renumbered."""
+        order = list(range(n))
+        rnd.shuffle(order)
+        successors = [0] * n
+        for pos, node in enumerate(order[:-1]):
+            successors[node] = order[pos + 1]
+        successors[order[-1]] = order[-1]
+        ranks, _ = run_list_ranking(successors)
+        for pos, node in enumerate(order):
+            assert ranks[node] == n - 1 - pos
+
+    def test_rejects_bad_successor(self):
+        with pytest.raises(ValueError):
+            run_list_ranking([2, 0])

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _parse_edges, build_parser, main
+from repro.graphs.generators import random_graph
+from repro.graphs.io import save_edge_list
+
+
+class TestParseEdges:
+    def test_basic(self):
+        assert _parse_edges("0-1,1-3") == [(0, 1), (1, 3)]
+
+    def test_whitespace_and_empty(self):
+        assert _parse_edges(" 0-1 , ,2-3 ") == [(0, 1), (2, 3)]
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            _parse_edges("0-1-2")
+
+
+class TestSolve:
+    def test_random_graph(self, capsys):
+        assert main(["solve", "--random", "10", "--p", "0.3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "n = 10" in out
+        assert "components:" in out
+
+    def test_file_input(self, tmp_path, capsys):
+        g = random_graph(6, 0.4, seed=2)
+        path = tmp_path / "g.edges"
+        save_edge_list(g, path)
+        assert main(["solve", str(path)]) == 0
+        assert "n = 6" in capsys.readouterr().out
+
+    def test_labels_flag(self, capsys):
+        main(["solve", "--random", "4", "--p", "1.0", "--seed", "0", "--labels"])
+        out = capsys.readouterr().out
+        assert "labels: 0 0 0 0" in out
+
+    @pytest.mark.parametrize("method", ["vectorized", "interpreter", "reference", "pram"])
+    def test_all_methods(self, method, capsys):
+        assert main(["solve", "--random", "5", "--p", "0.5", "--seed", "3",
+                     "--method", method]) == 0
+
+    def test_missing_input(self):
+        with pytest.raises(SystemExit):
+            main(["solve"])
+
+    def test_missing_file_is_error_exit(self, capsys):
+        assert main(["solve", "/nonexistent/graph.edges"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTables:
+    def test_prints_all_three(self, capsys):
+        assert main(["tables", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 reproduction" in out
+        assert "Table 2 reproduction" in out
+        assert "Total generations" in out
+
+
+class TestSynthesize:
+    def test_paper_point(self, capsys):
+        assert main(["synthesize", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "23,051" in out
+        assert "paper" in out
+
+    def test_other_size_no_paper_line(self, capsys):
+        main(["synthesize", "--n", "8"])
+        out = capsys.readouterr().out
+        assert "model" in out and "paper" not in out
+
+
+class TestTrace:
+    def test_k2(self, capsys):
+        assert main(["trace", "--n", "2", "--edges", "0-1"]) == 0
+        out = capsys.readouterr().out
+        assert "final labels: [0, 0]" in out
+        assert "gen0" in out
+
+    def test_bad_edges_error(self, capsys):
+        assert main(["trace", "--n", "2", "--edges", "0-9"]) == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_help_smoke(self):
+        parser = build_parser()
+        assert "solve" in parser.format_help()
+
+
+class TestClosure:
+    def test_queries(self, capsys):
+        assert main(["closure", "--n", "5", "--edges", "0-1,1-2",
+                     "--query", "0-2,0-4"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable(0, 2) = True" in out
+        assert "reachable(0, 4) = False" in out
+
+    def test_full_listing(self, capsys):
+        assert main(["closure", "--n", "3", "--edges", "0-1"]) == 0
+        out = capsys.readouterr().out
+        assert "0: [0, 1]" in out
+        assert "2: [2]" in out
+
+
+class TestSweep:
+    def test_summary(self, capsys):
+        assert main(["sweep", "--sizes", "6", "--engines",
+                     "vectorized,unionfind"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized" in out and "unionfind" in out
+        assert "True" in out
+
+    def test_json_archive(self, tmp_path, capsys):
+        target = tmp_path / "records.json"
+        assert main(["sweep", "--sizes", "4", "--engines", "vectorized",
+                     "--json", str(target)]) == 0
+        from repro.analysis.sweep import load_records
+
+        records = load_records(target)
+        assert records and all(r.correct for r in records)
+
+    def test_workload_choice(self, capsys):
+        assert main(["sweep", "--sizes", "8", "--engines", "vectorized",
+                     "--workload", "path"]) == 0

@@ -1,0 +1,123 @@
+"""Golden-output regression tests.
+
+These pin the *exact rendered text* of the most important reports for one
+small instance, so formatting or accounting regressions surface as crisp
+diffs rather than as silently shifted numbers in the archived results.
+The graph is deterministic (a fixed edge set), so every figure below is
+fully reproducible.
+"""
+
+import textwrap
+
+import numpy as np
+
+from repro.analysis import (
+    compare_table2,
+    measured_total,
+    render_table2,
+    render_totals,
+)
+from repro.core.machine import connected_components_interpreter
+from repro.core.trace import TraceRecorder
+from repro.graphs.generators import from_edges
+from repro.hardware import paper_report, synthesize
+
+#: 4 nodes, two components {0,1,3} and {2}.
+GRAPH = from_edges(4, [(0, 1), (1, 3)])
+
+
+def run():
+    return connected_components_interpreter(GRAPH)
+
+
+class TestGoldenTables:
+    def test_table2_render(self):
+        res = run()
+        expected = textwrap.dedent("""\
+            Table 2 reproduction, n = 4
+            step |      paper formula | predicted | measured | match
+            -----+--------------------+-----------+----------+------
+               1 |                  1 |         1 |        1 |   yes
+               2 | 1 + log(n) + 1 + 1 |         5 |        5 |   yes
+               3 | 1 + log(n) + 1 + 1 |         5 |        5 |   yes
+               4 |                  1 |         1 |        1 |   yes
+               5 |             log(n) |         2 |        2 |   yes
+               6 |                  1 |         1 |        1 |   yes""")
+        assert render_table2(4, compare_table2(4, res.access_log)) == expected
+
+    def test_totals_render(self):
+        res = run()
+        expected = textwrap.dedent("""\
+            Total generations: 1 + log(n) * (3 log(n) + 8)
+            n | log n | iters | gens/iter | 1+log n(3log n+8) | measured | match
+            --+-------+-------+-----------+-------------------+----------+------
+            4 |     2 |     2 |        14 |                29 |       29 |   yes""")
+        assert render_totals([measured_total(4, res.access_log)]) == expected
+
+    def test_synthesis_summary(self):
+        line = synthesize(16).summary()
+        assert line == (
+            "N x (N+1) = 272 cells; logic elements = 23,051; "
+            "register bits = 2,192; clock frequency = 71 MHz"
+        )
+        assert line == paper_report().summary()
+
+
+class TestGoldenTrace:
+    def test_final_field_state(self):
+        """The complete final D matrix of the deterministic instance."""
+        rec = TraceRecorder(GRAPH)
+        rec.run()
+        final = rec.snapshots[-1].D_after
+        # components {0,1,3} -> 0 and {2} -> 2; T archived in D_N
+        assert final[:4, 0].tolist() == [0, 0, 2, 0]
+        assert rec.labels.tolist() == [0, 0, 2, 0]
+
+    def test_gen2_masking_snapshot(self):
+        """After generation 2 the square holds the candidate sets:
+        row j keeps C(i) only where A(j,i) = 1."""
+        rec = TraceRecorder(GRAPH)
+        rec.run()
+        snap = next(s for s in rec.snapshots if s.label == "it0.gen2")
+        inf = 20
+        assert snap.D_after[:4, :].tolist() == [
+            [inf, 1, inf, inf],     # node 0: neighbour 1
+            [0, inf, inf, 3],       # node 1: neighbours 0, 3
+            [inf, inf, inf, inf],   # node 2: isolated
+            [inf, 1, inf, inf],     # node 3: neighbour 1
+        ]
+
+    def test_first_iteration_labels(self):
+        """One iteration already merges the path 0-1-3."""
+        rec = TraceRecorder(GRAPH)
+        rec.run()
+        snap = next(s for s in rec.snapshots if s.label == "it0.gen11")
+        assert snap.D_after[:4, 0].tolist() == [0, 0, 2, 0]
+
+
+class TestGoldenAccessCounts:
+    def test_per_generation_summary(self):
+        """(label, active, cells-read, max-delta) rows of iteration 0."""
+        res = run()
+        rows = [
+            r for r in res.access_log.summary_rows()
+            if r[0].startswith("it0.") or r[0] == "gen0"
+        ]
+        expected = [
+            ("gen0", 20, 0, 0),
+            ("it0.gen1", 20, 4, 5),
+            ("it0.gen2", 16, 4, 4),
+            ("it0.gen3.sub0", 8, 8, 1),
+            ("it0.gen3.sub1", 4, 4, 1),
+            ("it0.gen4", 4, 4, 1),
+            ("it0.gen5", 20, 4, 5),
+            ("it0.gen6", 16, 4, 4),
+            ("it0.gen7.sub0", 8, 8, 1),
+            ("it0.gen7.sub1", 4, 4, 1),
+            ("it0.gen8", 4, 4, 1),
+            ("it0.gen9", 20, 4, 5),
+            ("it0.gen10.sub0", 4, 3, 2),
+            ("it0.gen10.sub1", 4, 3, 2),
+            ("it0.gen11", 4, 3, 2),
+        ]
+        assert rows == expected

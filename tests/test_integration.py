@@ -1,0 +1,149 @@
+"""End-to-end integration tests: realistic workflows through the public API.
+
+Each test exercises a complete user scenario (the examples' code paths) and
+asserts on final, externally meaningful results.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import (
+    compare_models,
+    compare_table1,
+    compare_table2,
+    measured_total,
+)
+from repro.core.machine import connected_components_interpreter
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import image_to_graph
+from repro.hardware import ReadStrategy, ablation, paper_report, synthesize
+from repro.pram import AccessMode, ReadConflictError
+from repro.hirschberg.pram_impl import hirschberg_on_pram
+
+
+class TestImageLabelingWorkflow:
+    def test_blob_separation(self):
+        image = np.array(
+            [
+                [1, 1, 0, 1],
+                [0, 1, 0, 1],
+                [0, 0, 0, 1],
+                [1, 0, 1, 1],
+            ]
+        )
+        graph, node_of = image_to_graph(image)
+        result = repro.gca_connected_components(graph)
+        # left blob
+        assert result.same_component(node_of[0, 0], node_of[1, 1])
+        # right column blob including the corner hook
+        assert result.same_component(node_of[0, 3], node_of[3, 2])
+        # isolated bottom-left pixel
+        assert not result.same_component(node_of[3, 0], node_of[0, 0])
+        assert not result.same_component(node_of[3, 0], node_of[3, 2])
+
+    def test_region_count(self):
+        image = np.eye(5, dtype=np.int64)  # 5 isolated diagonal pixels
+        graph, node_of = image_to_graph(image)
+        result = repro.gca_connected_components(graph)
+        fg_labels = {int(result.labels[node_of[i, i]]) for i in range(5)}
+        assert len(fg_labels) == 5
+
+
+class TestCommunityWorkflow:
+    def test_planted_communities_recovered(self):
+        sizes = [6, 5, 4, 3]
+        g = repro.planted_components(sizes, intra_p=0.4, seed=10)
+        result = repro.gca_connected_components(g)
+        assert result.component_count == 4
+        assert sorted(len(c) for c in result.components()) == [3, 4, 5, 6]
+
+    def test_convergence_trace(self):
+        g = repro.planted_components([8, 8], intra_p=0.3, seed=2)
+        counts = []
+        repro.hirschberg_reference(
+            g, on_iteration=lambda k, C, T: counts.append(int(np.unique(C).size))
+        )
+        assert counts[-1] == 2
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestMeasurementWorkflow:
+    def test_full_table_pipeline(self):
+        """The complete Table 1 + Table 2 + totals pipeline on one run."""
+        n = 4
+        g = repro.random_graph(n, 0.5, seed=6)
+        res = connected_components_interpreter(g)
+        t1 = compare_table1(n, res.access_log)
+        t2 = compare_table2(n, res.access_log)
+        tot = measured_total(n, res.access_log)
+        assert len(t1) == 12
+        assert all(row.matches for row in t2)
+        assert tot.matches
+
+    def test_model_comparison_pipeline(self):
+        rows = compare_models(repro.random_graph(6, 0.4, seed=7))
+        assert all(r.labels_correct for r in rows)
+
+
+class TestHardwareWorkflow:
+    def test_synthesis_reproduction(self):
+        assert synthesize(16).summary() == paper_report().summary()
+
+    def test_ablation_pipeline(self):
+        g = repro.random_graph(4, 0.6, seed=8)
+        log = connected_components_interpreter(g).access_log
+        rows = {r.strategy: r for r in ablation(log, 4)}
+        assert rows[ReadStrategy.REPLICATED].total_cycles <= rows[ReadStrategy.TREE].total_cycles
+        assert rows[ReadStrategy.TREE].total_cycles <= rows[ReadStrategy.SERIAL].total_cycles
+
+
+class TestPRAMWorkflow:
+    def test_crow_clean_erew_dirty(self):
+        g = repro.random_graph(6, 0.5, seed=9)
+        ok = hirschberg_on_pram(g, mode=AccessMode.CROW)
+        assert np.array_equal(ok.labels, canonical_labels(g))
+        with pytest.raises(ReadConflictError):
+            hirschberg_on_pram(g, mode=AccessMode.EREW)
+
+
+class TestRoundTripPersistence:
+    def test_save_solve_reload(self, tmp_path):
+        from repro.graphs.io import load_edge_list, save_edge_list
+
+        g = repro.random_graph(10, 0.25, seed=11)
+        path = tmp_path / "graph.edges"
+        save_edge_list(g, path)
+        reloaded = load_edge_list(path)
+        assert np.array_equal(
+            repro.gca_connected_components(g).labels,
+            repro.gca_connected_components(reloaded).labels,
+        )
+
+
+class TestScaleSmoke:
+    def test_vectorized_handles_hundreds_of_nodes(self):
+        g = repro.random_graph(200, 0.01, seed=12)
+        result = repro.gca_connected_components(g)
+        assert np.array_equal(result.labels, canonical_labels(g))
+
+    def test_dense_large(self):
+        g = repro.random_graph(128, 0.5, seed=13)
+        result = repro.gca_connected_components(g)
+        assert result.component_count == 1
+        assert result.labels.tolist() == [0] * 128
+
+
+class TestLargeFieldStress:
+    def test_vectorized_n512(self):
+        """A 512-node field (262k cells, 316 generations) end to end."""
+        g = repro.random_graph(512, 0.004, seed=99)
+        result = repro.gca_connected_components(g)
+        assert np.array_equal(result.labels, canonical_labels(g))
+
+    def test_oblivious_count_n512(self):
+        from repro.core.schedule import total_generations
+        from repro.core.vectorized import run_vectorized
+
+        res = run_vectorized(repro.random_graph(512, 0.004, seed=99))
+        assert res.total_generations == total_generations(512) == 316

@@ -1,0 +1,158 @@
+"""Cross-cutting property-based tests (the library's safety net).
+
+These hypothesis suites pin the global invariants that tie the whole
+reproduction together:
+
+* every engine computes the canonical labelling on arbitrary graphs;
+* the labelling is invariant under node relabelling (up to the
+  permutation), edge insertion only merges, and graph unions are
+  independent;
+* the structural counts (generations, reads, congestion) obey their
+  closed forms for arbitrary ``n``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import full_schedule, total_generations
+from repro.core.vectorized import connected_components_vectorized, run_vectorized
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.graphs.components import canonical_labels, count_components
+from repro.graphs.generators import from_edges
+from repro.hirschberg.reference import connected_components_reference
+from repro.util.intmath import ceil_log2, outer_iterations
+from tests.conftest import adjacency_matrices
+
+
+class TestEngineCorrectness:
+    @given(adjacency_matrices(max_n=24))
+    @settings(max_examples=80)
+    def test_vectorized_matches_oracle(self, g):
+        assert np.array_equal(connected_components_vectorized(g), canonical_labels(g))
+
+    @given(adjacency_matrices(max_n=16))
+    @settings(max_examples=40)
+    def test_reference_matches_oracle(self, g):
+        assert np.array_equal(connected_components_reference(g), canonical_labels(g))
+
+
+class TestLabellingInvariants:
+    @given(adjacency_matrices(max_n=14))
+    @settings(max_examples=40)
+    def test_labels_idempotent_fixpoint(self, g):
+        labels = connected_components_vectorized(g)
+        assert np.array_equal(labels[labels], labels)
+
+    @given(adjacency_matrices(max_n=14))
+    @settings(max_examples=40)
+    def test_labels_are_minima(self, g):
+        labels = connected_components_vectorized(g)
+        for rep in np.unique(labels):
+            members = np.flatnonzero(labels == rep)
+            assert members.min() == rep
+
+    @given(adjacency_matrices(min_n=2, max_n=12), st.data())
+    @settings(max_examples=30)
+    def test_edge_insertion_only_merges(self, g, data):
+        """Adding one edge never increases the component count and never
+        splits an existing component."""
+        i = data.draw(st.integers(0, g.n - 1))
+        j = data.draw(st.integers(0, g.n - 1))
+        if i == j:
+            return
+        before = connected_components_vectorized(g)
+        m = g.matrix.copy()
+        m[i, j] = m[j, i] = 1
+        after = connected_components_vectorized(AdjacencyMatrix(m))
+        assert int(np.unique(after).size) <= int(np.unique(before).size)
+        for a in range(g.n):
+            for b in range(g.n):
+                if before[a] == before[b]:
+                    assert after[a] == after[b]
+
+    @given(adjacency_matrices(min_n=1, max_n=8), adjacency_matrices(min_n=1, max_n=8))
+    @settings(max_examples=30)
+    def test_disjoint_union_independence(self, g1, g2):
+        """Components of a disjoint union = components of the parts."""
+        n1, n2 = g1.n, g2.n
+        m = np.zeros((n1 + n2, n1 + n2), dtype=np.int8)
+        m[:n1, :n1] = g1.matrix
+        m[n1:, n1:] = g2.matrix
+        combined = connected_components_vectorized(AdjacencyMatrix(m))
+        part1 = connected_components_vectorized(g1)
+        part2 = connected_components_vectorized(g2)
+        assert np.array_equal(combined[:n1], part1)
+        assert np.array_equal(combined[n1:], part2 + n1)
+
+    @given(adjacency_matrices(min_n=2, max_n=10), st.randoms())
+    @settings(max_examples=25)
+    def test_relabelling_equivariance(self, g, rnd):
+        """Permuting node ids permutes the partition accordingly."""
+        perm = list(range(g.n))
+        rnd.shuffle(perm)
+        relabelled = g.relabeled(perm)
+        base = connected_components_vectorized(g)
+        moved = connected_components_vectorized(relabelled)
+        # same-component relation must be preserved under the permutation
+        for a in range(g.n):
+            for b in range(g.n):
+                assert (base[a] == base[b]) == (moved[perm[a]] == moved[perm[b]])
+
+
+class TestStructuralCounts:
+    @given(st.integers(min_value=1, max_value=300))
+    def test_schedule_length_closed_form(self, n):
+        assert len(full_schedule(n)) == total_generations(n)
+
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_generation_count_independent_of_graph(self, n):
+        """The GCA's generation count depends only on n, never on the
+        edges -- it is an oblivious algorithm."""
+        empty = run_vectorized(from_edges(n, []))
+        chain = run_vectorized(from_edges(n, [(i, i + 1) for i in range(n - 1)]))
+        assert empty.total_generations == chain.total_generations
+        assert empty.total_generations == total_generations(n)
+
+    @given(adjacency_matrices(min_n=2, max_n=12))
+    @settings(max_examples=25)
+    def test_read_counts_graph_independent(self, g):
+        """Total reads per labelled generation match the empty-graph run:
+        the access *pattern* is data independent except for gens 10/11."""
+        ran = run_vectorized(g, record_access=True)
+        empty = run_vectorized(from_edges(g.n, []), record_access=True)
+        for a, b in zip(ran.access_log, empty.access_log):
+            assert a.label == b.label
+            assert a.total_reads == b.total_reads
+            assert a.active_cells == b.active_cells
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_peak_congestion_bound(self, n):
+        """No generation's congestion ever exceeds n + 1 (the broadcast
+        bound of generations 1/5/9)."""
+        res = run_vectorized(from_edges(n, [(i, i + 1) for i in range(n - 1)]),
+                             record_access=True)
+        assert res.access_log.peak_congestion <= n + 1
+
+    @given(st.integers(min_value=2, max_value=200))
+    def test_iterations_logarithmic(self, n):
+        assert outer_iterations(n) == ceil_log2(n)
+
+
+class TestConvergenceSpeed:
+    @given(adjacency_matrices(min_n=2, max_n=16))
+    @settings(max_examples=30)
+    def test_converges_within_log_iterations(self, g):
+        """ceil(log2 n) outer iterations always suffice (the paper's
+        halving argument) -- equality with the oracle at the default
+        iteration count is exactly that claim."""
+        labels = connected_components_vectorized(g)
+        assert np.array_equal(labels, canonical_labels(g))
+
+    @given(adjacency_matrices(min_n=2, max_n=16))
+    @settings(max_examples=30)
+    def test_component_count_stable_after_convergence(self, g):
+        more = run_vectorized(g, iterations=outer_iterations(g.n) + 2)
+        assert int(np.unique(more.labels).size) == count_components(g)

@@ -1,0 +1,74 @@
+"""Tests for the acceptance harness (repro.reproduce)."""
+
+import pytest
+
+from repro.reproduce import CHECKS, CheckResult, render, run_all
+
+
+class TestRegistry:
+    def test_all_twenty_experiments(self):
+        ids = [c[0] for c in CHECKS]
+        assert ids == [f"E{k}" for k in range(1, 21)]
+
+    def test_titles_unique(self):
+        titles = [c[1] for c in CHECKS]
+        assert len(titles) == len(set(titles))
+
+
+class TestRunAll:
+    def test_everything_passes(self):
+        results = run_all()
+        failures = [r for r in results if not r.passed]
+        assert not failures, [f"{r.experiment}: {r.detail}" for r in failures]
+        assert len(results) == 20
+
+    def test_only_filter(self):
+        results = run_all(only=["E3", "e6"])
+        assert [r.experiment for r in results] == ["E3", "E6"]
+        assert all(r.passed for r in results)
+
+    def test_unknown_filter_yields_nothing(self):
+        assert run_all(only=["E99"]) == []
+
+    def test_crash_is_failure_not_abort(self, monkeypatch):
+        import repro.reproduce as rp
+
+        def boom():
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(
+            rp, "CHECKS", [("EX", "exploding check", boom)]
+        )
+        results = rp.run_all()
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "injected" in results[0].detail
+
+
+class TestRender:
+    def test_pass_banner(self):
+        results = [CheckResult("E1", "t", True, "ok", 0.001)]
+        assert "ALL EXPERIMENTS PASS" in render(results)
+
+    def test_fail_banner(self):
+        results = [
+            CheckResult("E1", "t", True, "ok", 0.0),
+            CheckResult("E2", "u", False, "broken", 0.0),
+        ]
+        out = render(results)
+        assert "1 EXPERIMENT(S) FAILED" in out
+        assert "FAIL" in out
+
+
+class TestCli:
+    def test_reproduce_subset(self, capsys):
+        from repro.cli import main
+
+        assert main(["reproduce", "--only", "E3,E4,E14"]) == 0
+        out = capsys.readouterr().out
+        assert "E3" in out and "E14" in out and "PASS" in out
+
+    def test_reproduce_empty_filter_fails(self, capsys):
+        from repro.cli import main
+
+        assert main(["reproduce", "--only", "E99"]) == 1

@@ -1,0 +1,130 @@
+"""Stateful (model-based) hypothesis testing.
+
+Two rule-based state machines drive long random operation sequences:
+
+* :class:`UnionFindMachine` checks the union-find oracle against a naive
+  set-of-frozensets model -- if the oracle itself were wrong, every other
+  correctness result in the suite would be built on sand;
+* :class:`IncrementalConnectivityMachine` grows a graph edge by edge and
+  re-solves it with the vectorised GCA after every mutation, checking the
+  full labelling against the naive model -- connectivity as a *dynamic*
+  process, complementing the static random-graph properties.
+"""
+
+from typing import Dict, FrozenSet, Set
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.vectorized import connected_components_vectorized
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.graphs.union_find import UnionFind
+
+MAX_N = 12
+
+
+class _NaivePartition:
+    """The obviously-correct model: a set of frozensets."""
+
+    def __init__(self, n: int):
+        self.sets: Set[FrozenSet[int]] = {frozenset([i]) for i in range(n)}
+
+    def find_set(self, x: int) -> FrozenSet[int]:
+        for s in self.sets:
+            if x in s:
+                return s
+        raise AssertionError(f"element {x} lost from the partition")
+
+    def union(self, a: int, b: int) -> None:
+        sa, sb = self.find_set(a), self.find_set(b)
+        if sa is sb:
+            return
+        self.sets.discard(sa)
+        self.sets.discard(sb)
+        self.sets.add(sa | sb)
+
+    def labels(self, n: int):
+        out = [0] * n
+        for s in self.sets:
+            m = min(s)
+            for x in s:
+                out[x] = m
+        return out
+
+
+class UnionFindMachine(RuleBasedStateMachine):
+    """Union-find vs the naive partition model."""
+
+    @initialize(n=st.integers(min_value=1, max_value=MAX_N))
+    def setup(self, n):
+        self.n = n
+        self.uf = UnionFind(n)
+        self.model = _NaivePartition(n)
+
+    @rule(data=st.data())
+    def union(self, data):
+        a = data.draw(st.integers(0, self.n - 1), label="a")
+        b = data.draw(st.integers(0, self.n - 1), label="b")
+        expected_new = self.model.find_set(a) is not self.model.find_set(b)
+        assert self.uf.union(a, b) == expected_new
+        self.model.union(a, b)
+
+    @rule(data=st.data())
+    def connected_query(self, data):
+        a = data.draw(st.integers(0, self.n - 1), label="a")
+        b = data.draw(st.integers(0, self.n - 1), label="b")
+        assert self.uf.connected(a, b) == (
+            self.model.find_set(a) is self.model.find_set(b)
+        )
+
+    @invariant()
+    def count_and_labels_agree(self):
+        if not hasattr(self, "uf"):
+            return
+        assert self.uf.set_count == len(self.model.sets)
+        assert self.uf.canonical_labels().tolist() == self.model.labels(self.n)
+
+
+class IncrementalConnectivityMachine(RuleBasedStateMachine):
+    """Grow a graph edge by edge; the GCA must track the model partition."""
+
+    @initialize(n=st.integers(min_value=2, max_value=MAX_N))
+    def setup(self, n):
+        self.n = n
+        self.matrix = np.zeros((n, n), dtype=np.int8)
+        self.model = _NaivePartition(n)
+
+    @rule(data=st.data())
+    def add_edge(self, data):
+        a = data.draw(st.integers(0, self.n - 1), label="a")
+        b = data.draw(st.integers(0, self.n - 1), label="b")
+        if a == b:
+            return
+        self.matrix[a, b] = self.matrix[b, a] = 1
+        self.model.union(a, b)
+
+    @invariant()
+    def gca_matches_model(self):
+        if not hasattr(self, "matrix"):
+            return
+        labels = connected_components_vectorized(AdjacencyMatrix(self.matrix))
+        assert labels.tolist() == self.model.labels(self.n)
+
+
+TestUnionFindStateful = UnionFindMachine.TestCase
+TestUnionFindStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+TestIncrementalConnectivity = IncrementalConnectivityMachine.TestCase
+TestIncrementalConnectivity.settings = settings(
+    max_examples=15, stateful_step_count=15, deadline=None
+)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.util.formatting."""
+
+import numpy as np
+import pytest
+
+from repro.util.formatting import (
+    format_ratio,
+    render_histogram,
+    render_matrix,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 44]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_contents_present(self):
+        out = render_table(["col"], [["value"]])
+        assert "col" in out and "value" in out
+
+
+class TestRenderMatrix:
+    def test_basic(self):
+        out = render_matrix(np.array([[1, 2], [3, 4]]))
+        assert out.splitlines() == ["1 2", "3 4"]
+
+    def test_infinity_replacement(self):
+        out = render_matrix(np.array([[1, 99]]), infinity=99)
+        assert "oo" in out and "99" not in out
+
+    def test_highlight(self):
+        h = np.array([[True, False]])
+        out = render_matrix(np.array([[7, 8]]), highlight=h)
+        assert "7*" in out and "8*" not in out
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            render_matrix(np.zeros(3))
+        with pytest.raises(ValueError):
+            render_matrix(np.zeros((2, 2)), highlight=np.zeros((1, 2), dtype=bool))
+
+
+class TestRenderHistogram:
+    def test_pairs(self):
+        out = render_histogram([(8, 9), (64, 0)])
+        assert "8 cells with delta=9" in out
+        assert "64 cells with delta=0" in out
+
+    def test_empty(self):
+        assert "no cells" in render_histogram([])
+
+
+class TestFormatRatio:
+    def test_normal(self):
+        assert format_ratio(10, 20) == "10/20 (x0.500)"
+
+    def test_zero_prediction(self):
+        assert format_ratio(3, 0) == "3/0 (n/a)"

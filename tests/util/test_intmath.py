@@ -1,0 +1,112 @@
+"""Unit tests for repro.util.intmath."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intmath import (
+    ceil_div,
+    ceil_log2,
+    floor_log2,
+    is_power_of_two,
+    jump_iterations,
+    next_power_of_two,
+    outer_iterations,
+    reduction_subgenerations,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(1 << k) for k in range(40))
+
+    def test_non_powers(self):
+        assert not any(is_power_of_two(v) for v in (0, 3, 5, 6, 7, 9, 12, 100))
+
+    def test_negative(self):
+        assert not is_power_of_two(-4)
+
+
+class TestFloorLog2:
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (3, 1), (4, 2), (1023, 9), (1024, 10)])
+    def test_values(self, value, expected):
+        assert floor_log2(value) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            floor_log2(0)
+        with pytest.raises(ValueError):
+            floor_log2(-1)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_matches_math(self, v):
+        assert floor_log2(v) == int(math.floor(math.log2(v)))
+
+
+class TestCeilLog2:
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)])
+    def test_values(self, value, expected):
+        assert ceil_log2(value) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_bracketing(self, v):
+        k = ceil_log2(v)
+        assert (1 << k) >= v
+        if k > 0:
+            assert (1 << (k - 1)) < v
+
+
+class TestNextPowerOfTwo:
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_is_power_and_minimal(self, v):
+        p = next_power_of_two(v)
+        assert is_power_of_two(p)
+        assert p >= v
+        assert p // 2 < v
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize("a,b,expected", [(0, 3, 0), (1, 3, 1), (3, 3, 1), (4, 3, 2), (9, 3, 3)])
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_matches_math(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+
+class TestAlgorithmCounts:
+    def test_outer_iterations_small(self):
+        assert [outer_iterations(n) for n in (1, 2, 3, 4, 8, 9)] == [0, 1, 2, 2, 3, 4]
+
+    def test_jump_iterations_matches_outer(self):
+        for n in range(1, 100):
+            assert jump_iterations(n) == outer_iterations(n)
+
+    def test_reduction_subgenerations(self):
+        assert [reduction_subgenerations(n) for n in (1, 2, 4, 5, 16)] == [0, 1, 2, 3, 4]
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_halving_suffices(self, n):
+        # outer_iterations halvings reduce n components to 1
+        k = outer_iterations(n)
+        remaining = n
+        for _ in range(k):
+            remaining = (remaining + 1) // 2
+        assert remaining == 1

@@ -1,0 +1,41 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSpawn:
+    def test_distinct_streams(self):
+        a = spawn(7, 0).integers(0, 10**9, size=8)
+        b = spawn(7, 1).integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible(self):
+        a = spawn(7, 3).integers(0, 10**9, size=8)
+        b = spawn(7, 3).integers(0, 10**9, size=8)
+        assert np.array_equal(a, b)
+
+    def test_from_generator(self):
+        g = np.random.default_rng(0)
+        child = spawn(g, 0)
+        assert isinstance(child, np.random.Generator)

@@ -1,0 +1,38 @@
+"""Unit tests for repro.util.sentinels."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.sentinels import infinity_for, is_infinite
+
+
+class TestInfinityFor:
+    @pytest.mark.parametrize("n,expected", [(1, 2), (2, 6), (4, 20), (16, 272)])
+    def test_values(self, n, expected):
+        assert infinity_for(n) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            infinity_for(0)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_exceeds_every_legal_value(self, n):
+        inf = infinity_for(n)
+        assert inf > n           # row numbers go up to n
+        assert inf > n - 1       # node ids
+        assert inf >= n * (n + 1) - 1 + 1  # strictly above linear indices
+
+
+class TestIsInfinite:
+    def test_detects_sentinel(self):
+        assert is_infinite(infinity_for(8), 8)
+
+    def test_ordinary_values(self):
+        assert not is_infinite(0, 8)
+        assert not is_infinite(7, 8)
+        assert not is_infinite(71, 8)
+
+    def test_rejects_corruption(self):
+        with pytest.raises(ValueError):
+            is_infinite(infinity_for(8) + 1, 8)
