@@ -31,6 +31,7 @@ Packages
 """
 
 from repro.core.api import ComponentsResult, gca_connected_components
+from repro.core.batched import BatchedGCA, connected_components_batch
 from repro.core.trace import TraceRecorder, figure3_patterns
 from repro.core.vectorized import connected_components_vectorized
 from repro.graphs.adjacency import AdjacencyMatrix
@@ -57,6 +58,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ComponentsResult",
     "gca_connected_components",
+    "BatchedGCA",
+    "connected_components_batch",
     "TraceRecorder",
     "figure3_patterns",
     "connected_components_vectorized",

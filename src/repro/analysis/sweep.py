@@ -8,7 +8,11 @@ provides the generic machinery for *parameter sweeps* across them:
 * :func:`run_sweep` -- executes the grid, verifying every result against
   the union-find oracle, timing the engine, and collecting the
   model-level metrics (generations, work, peak congestion) where the
-  engine exposes them;
+  engine exposes them; ``jobs=N`` fans the grid cells out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`;
+* the ``"batched"`` engine -- groups a cell's seeds into **one**
+  :class:`~repro.core.batched.BatchedGCA` call, so the sweep measures the
+  throughput path the same harness otherwise measures per graph;
 * :class:`RunRecord` + JSON (de)serialisation -- archive-stable records
   so sweeps can be compared across machines/runs;
 * :func:`summarize` -- aggregation into printable rows (median seconds
@@ -19,12 +23,14 @@ from __future__ import annotations
 
 import json
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.batched import BatchedGCA
 from repro.core.machine import connected_components_interpreter
 from repro.core.row_machine import RowGCA
 from repro.core.vectorized import run_vectorized
@@ -58,6 +64,10 @@ def _run_engine(name: str, graph: AdjacencyMatrix) -> Dict[str, Optional[int]]:
         res = run_vectorized(graph)
         return {"labels": res.labels, "generations": res.total_generations,
                 "work": None, "peak_congestion": None}
+    if name == "vectorized_early":
+        res = run_vectorized(graph, early_exit=True)
+        return {"labels": res.labels, "generations": res.total_generations,
+                "work": None, "peak_congestion": None}
     if name == "interpreter":
         res = connected_components_interpreter(graph)
         return {"labels": res.labels,
@@ -82,7 +92,10 @@ def _run_engine(name: str, graph: AdjacencyMatrix) -> Dict[str, Optional[int]]:
     raise ValueError(f"unknown engine {name!r}")
 
 
-ENGINES = ("vectorized", "interpreter", "reference", "pram", "row", "unionfind")
+#: Engines selectable in sweeps.  ``batched`` is special: it executes all
+#: of a cell's seeds in one :class:`~repro.core.batched.BatchedGCA` call.
+ENGINES = ("vectorized", "vectorized_early", "interpreter", "reference",
+           "pram", "row", "unionfind", "batched")
 
 
 @dataclass(frozen=True)
@@ -128,40 +141,94 @@ class RunRecord:
     generations: Optional[int] = None
     work: Optional[int] = None
     peak_congestion: Optional[int] = None
+    batch_size: Optional[int] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
 
 
-def run_sweep(spec: SweepSpec) -> List[RunRecord]:
-    """Execute the sweep grid; every run is oracle-verified."""
-    spec.validate()
+def _run_cell(args: Tuple[SweepSpec, int, float]) -> List[RunRecord]:
+    """Execute one (n, density) grid cell: every seed on every engine.
+
+    Top-level (rather than a closure) so ``jobs=N`` can ship cells to a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
+    spec, n, density = args
+    instances = []
+    for seed in spec.seeds:
+        graph = WORKLOADS[spec.workload](n, density, seed)
+        instances.append((seed, graph, canonical_labels(graph)))
     records: List[RunRecord] = []
-    for n in spec.sizes:
-        for density in spec.densities:
-            for seed in spec.seeds:
-                graph = WORKLOADS[spec.workload](n, density, seed)
-                oracle = canonical_labels(graph)
-                for engine in spec.engines:
-                    start = time.perf_counter()
-                    result = _run_engine(engine, graph)
-                    elapsed = time.perf_counter() - start
-                    records.append(
-                        RunRecord(
-                            sweep=spec.name,
-                            engine=engine,
-                            workload=spec.workload,
-                            n=graph.n,
-                            density=density,
-                            seed=seed,
-                            seconds=elapsed,
-                            correct=bool(np.array_equal(result["labels"], oracle)),
-                            generations=result["generations"],
-                            work=result["work"],
-                            peak_congestion=result["peak_congestion"],
-                        )
+    for engine in spec.engines:
+        if engine == "batched":
+            graphs = [graph for _, graph, _ in instances]
+            start = time.perf_counter()
+            result = BatchedGCA(graphs).run()
+            elapsed = time.perf_counter() - start
+            generations = result.generations_run()
+            for slot, (seed, graph, oracle) in enumerate(instances):
+                records.append(
+                    RunRecord(
+                        sweep=spec.name,
+                        engine=engine,
+                        workload=spec.workload,
+                        n=graph.n,
+                        density=density,
+                        seed=seed,
+                        seconds=elapsed / len(instances),
+                        correct=bool(
+                            np.array_equal(result.labels[slot], oracle)
+                        ),
+                        generations=int(generations[slot]),
+                        batch_size=result.batch_size,
                     )
+                )
+            continue
+        for seed, graph, oracle in instances:
+            start = time.perf_counter()
+            result = _run_engine(engine, graph)
+            elapsed = time.perf_counter() - start
+            records.append(
+                RunRecord(
+                    sweep=spec.name,
+                    engine=engine,
+                    workload=spec.workload,
+                    n=graph.n,
+                    density=density,
+                    seed=seed,
+                    seconds=elapsed,
+                    correct=bool(np.array_equal(result["labels"], oracle)),
+                    generations=result["generations"],
+                    work=result["work"],
+                    peak_congestion=result["peak_congestion"],
+                )
+            )
     return records
+
+
+def run_sweep(spec: SweepSpec, jobs: int = 1) -> List[RunRecord]:
+    """Execute the sweep grid; every run is oracle-verified.
+
+    Parameters
+    ----------
+    spec:
+        The declarative grid.
+    jobs:
+        Number of worker processes.  ``1`` (default) runs in-process;
+        ``N > 1`` distributes the (n, density) grid cells over a
+        :class:`~concurrent.futures.ProcessPoolExecutor` (record order is
+        preserved; timings then reflect a loaded machine).
+    """
+    spec.validate()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cells = [(spec, n, density) for n in spec.sizes for density in spec.densities]
+    if jobs == 1 or len(cells) == 1:
+        parts = [_run_cell(cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            parts = list(pool.map(_run_cell, cells))
+    return [record for part in parts for record in part]
 
 
 # ----------------------------------------------------------------------

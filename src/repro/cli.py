@@ -82,9 +82,14 @@ def _load_graph(args: argparse.Namespace) -> AdjacencyMatrix:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    result = gca_connected_components(graph, method=args.method)
+    result = gca_connected_components(
+        graph, method=args.method, early_exit=args.early_exit
+    )
     print(f"n = {graph.n}, edges = {graph.edge_count}, method = {args.method}")
     print(f"components: {result.component_count}")
+    if args.early_exit and result.detail.converged_at_iteration is not None:
+        print(f"converged at iteration {result.detail.converged_at_iteration} "
+              f"({result.detail.total_generations} generations)")
     if args.labels:
         print("labels:", " ".join(map(str, result.labels.tolist())))
     else:
@@ -153,7 +158,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workload=args.workload,
         seeds=list(range(args.repeats)),
     )
-    records = run_sweep(spec)
+    records = run_sweep(spec, jobs=args.jobs)
     print(render_table(
         ["engine", "n", "runs", "median ms", "all correct", "generations"],
         summarize(records),
@@ -204,6 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--labels", action="store_true",
                        help="print the raw label vector")
+    solve.add_argument("--early-exit", action="store_true",
+                       help="stop at the label fixed point "
+                            "(vectorized method only)")
     solve.set_defaults(func=_cmd_solve)
 
     tables = sub.add_parser("tables", help="print the Table 1/2 reproductions")
@@ -236,6 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workload", default="random",
                        choices=["random", "path", "tree", "planted"])
     sweep.add_argument("--repeats", type=int, default=1, help="seeds per cell")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the grid cells (default 1)")
     sweep.add_argument("--json", default="", help="archive records to file")
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -8,11 +8,17 @@
 * :mod:`~repro.core.machine` -- the cell-accurate instrumented interpreter;
 * :mod:`~repro.core.row_machine` -- the n-cell design alternative;
 * :mod:`~repro.core.vectorized` -- whole-array execution (fast path);
+* :mod:`~repro.core.batched` -- many graphs per dispatch (throughput path);
 * :mod:`~repro.core.trace` -- generation traces and Figure 3 patterns;
 * :mod:`~repro.core.api` -- the one-call public interface.
 """
 
 from repro.core.api import ComponentsResult, gca_connected_components
+from repro.core.batched import (
+    BatchedGCA,
+    BatchedResult,
+    connected_components_batch,
+)
 from repro.core.field import CellField, FieldLayout
 from repro.core.machine import (
     GCAConnectedComponents,
@@ -58,6 +64,9 @@ from repro.core.vectorized import (
 __all__ = [
     "ComponentsResult",
     "gca_connected_components",
+    "BatchedGCA",
+    "BatchedResult",
+    "connected_components_batch",
     "CellField",
     "FieldLayout",
     "GCAConnectedComponents",

@@ -82,6 +82,7 @@ def gca_connected_components(
     graph: GraphLike,
     method: str = "vectorized",
     iterations: Optional[int] = None,
+    early_exit: bool = False,
 ) -> ComponentsResult:
     """Compute the connected components of ``graph`` with the GCA algorithm.
 
@@ -95,6 +96,10 @@ def gca_connected_components(
         ``"pram"`` (see module docstring).
     iterations:
         Override the outer-iteration count (default ``ceil(log2 n)``).
+    early_exit:
+        Stop the vectorised engine at the label fixed point instead of
+        running the full schedule (``method="vectorized"`` only; the
+        labels are identical either way).
 
     Returns
     -------
@@ -102,9 +107,14 @@ def gca_connected_components(
     """
     if method not in _METHODS:
         raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if early_exit and method != "vectorized":
+        raise ValueError(
+            f"early_exit is only supported by the vectorized engine, "
+            f"not {method!r}"
+        )
     g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
     if method == "vectorized":
-        detail = run_vectorized(g, iterations=iterations)
+        detail = run_vectorized(g, iterations=iterations, early_exit=early_exit)
         labels = detail.labels
     elif method == "interpreter":
         detail = connected_components_interpreter(g, iterations=iterations)

@@ -19,10 +19,19 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
 
-@dataclass
+
 class GenerationStats:
     """Measured access behaviour of a single generation.
+
+    The per-cell read counts can be supplied either as a ready-made
+    ``reads_per_cell`` mapping (the interpreter's path) or as a dense
+    ``read_counts`` array -- typically the ``np.bincount`` over the read
+    targets that the vectorised engines already compute.  In the latter
+    case the mapping is materialised lazily on first access, so hot loops
+    that only aggregate (``total_reads``, ``max_congestion``, ...) never
+    pay for building a Python dict.
 
     Attributes
     ----------
@@ -36,24 +45,58 @@ class GenerationStats:
         listed).
     """
 
-    label: str
-    active_cells: int
-    reads_per_cell: Dict[int, int] = field(default_factory=dict)
+    __slots__ = ("label", "active_cells", "_reads_dict", "_read_counts")
+
+    def __init__(
+        self,
+        label: str,
+        active_cells: int,
+        reads_per_cell: Optional[Dict[int, int]] = None,
+        read_counts: Optional[np.ndarray] = None,
+    ) -> None:
+        if reads_per_cell is not None and read_counts is not None:
+            raise ValueError("pass reads_per_cell or read_counts, not both")
+        self.label = label
+        self.active_cells = active_cells
+        self._read_counts = read_counts
+        if reads_per_cell is not None:
+            self._reads_dict: Optional[Dict[int, int]] = reads_per_cell
+        elif read_counts is None:
+            self._reads_dict = {}
+        else:
+            self._reads_dict = None
+
+    @property
+    def reads_per_cell(self) -> Dict[int, int]:
+        """The per-cell read counts as a mapping (materialised lazily)."""
+        if self._reads_dict is None:
+            counts = self._read_counts
+            self._reads_dict = {
+                int(i): int(counts[i]) for i in np.flatnonzero(counts)
+            }
+        return self._reads_dict
 
     @property
     def total_reads(self) -> int:
         """Total number of global read accesses issued this generation."""
-        return sum(self.reads_per_cell.values())
+        if self._reads_dict is None:
+            return int(self._read_counts.sum())
+        return sum(self._reads_dict.values())
 
     @property
     def cells_read(self) -> int:
         """Number of distinct cells that were read at least once."""
-        return len(self.reads_per_cell)
+        if self._reads_dict is None:
+            return int(np.count_nonzero(self._read_counts))
+        return len(self._reads_dict)
 
     @property
     def max_congestion(self) -> int:
         """The generation's congestion bound: max reads into any one cell."""
-        return max(self.reads_per_cell.values(), default=0)
+        if self._reads_dict is None:
+            counts = self._read_counts
+            return int(counts.max()) if counts.size else 0
+        return max(self._reads_dict.values(), default=0)
 
     def congestion_histogram(self) -> List[Tuple[int, int]]:
         """Histogram as ``(#cells, δ)`` pairs, highest δ first.
@@ -62,10 +105,33 @@ class GenerationStats:
         generation 1 yields ``[(n, n+1)]`` -- ``n`` cells are each read by
         ``n+1`` readers.
         """
-        counter = Counter(self.reads_per_cell.values())
+        if self._reads_dict is None:
+            counts = self._read_counts
+            deltas, cells = np.unique(counts[counts > 0], return_counts=True)
+            return [
+                (int(c), int(d)) for c, d in zip(cells[::-1], deltas[::-1])
+            ]
+        counter = Counter(self._reads_dict.values())
         return sorted(
             ((count, delta) for delta, count in counter.items()),
             key=lambda pair: -pair[1],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GenerationStats):
+            return NotImplemented
+        return (
+            self.label == other.label
+            and self.active_cells == other.active_cells
+            and self.reads_per_cell == other.reads_per_cell
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostic only
+        return (
+            f"GenerationStats(label={self.label!r}, "
+            f"active_cells={self.active_cells}, "
+            f"cells_read={self.cells_read}, "
+            f"max_congestion={self.max_congestion})"
         )
 
 

@@ -74,6 +74,53 @@ class TestRunSweep:
         assert all(r.seconds >= 0 for r in records)
 
 
+class TestBatchedEngine:
+    def test_batched_records_per_seed(self):
+        records = run_sweep(small_spec(engines=["batched"], sizes=[8],
+                                       seeds=[0, 1, 2]))
+        assert len(records) == 3
+        assert all(r.correct for r in records)
+        assert all(r.engine == "batched" for r in records)
+        assert all(r.batch_size == 3 for r in records)
+        assert all(r.generations is not None for r in records)
+
+    def test_batched_agrees_with_vectorized_early(self):
+        """Per-graph generation counts equal the single-engine early-exit
+        counts -- the batched engine retires graphs at the same point."""
+        spec = small_spec(engines=["vectorized_early", "batched"],
+                          sizes=[12], seeds=[0, 1, 2, 3])
+        records = run_sweep(spec)
+        by_engine = {}
+        for r in records:
+            by_engine.setdefault(r.engine, []).append(r)
+        early = sorted(by_engine["vectorized_early"], key=lambda r: r.seed)
+        batched = sorted(by_engine["batched"], key=lambda r: r.seed)
+        assert [r.generations for r in early] == [r.generations for r in batched]
+
+    def test_batched_seconds_amortised(self):
+        records = run_sweep(small_spec(engines=["batched"], sizes=[6],
+                                       seeds=[0, 1]))
+        assert records[0].seconds == records[1].seconds
+
+
+class TestParallelJobs:
+    def test_jobs_preserve_record_order(self):
+        spec = small_spec(sizes=[4, 6, 8], densities=[0.2, 0.5], seeds=[0, 1])
+        serial = run_sweep(spec)
+        fanned = run_sweep(spec, jobs=3)
+        key = lambda r: (r.engine, r.n, r.density, r.seed)
+        assert [key(r) for r in serial] == [key(r) for r in fanned]
+        assert all(r.correct for r in fanned)
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(small_spec(), jobs=0)
+
+    def test_single_cell_runs_in_process(self):
+        records = run_sweep(small_spec(sizes=[4]), jobs=4)
+        assert len(records) == 2
+
+
 class TestPersistence:
     def test_json_roundtrip(self):
         records = run_sweep(small_spec())

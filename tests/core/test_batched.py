@@ -1,0 +1,156 @@
+"""Tests for the batched engine (`repro.core.batched`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batched import (
+    BatchedGCA,
+    BatchedResult,
+    connected_components_batch,
+)
+from repro.core.machine import connected_components_interpreter
+from repro.core.schedule import generations_per_iteration, total_generations
+from repro.core.vectorized import run_vectorized
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import (
+    complete_graph,
+    empty_graph,
+    path_graph,
+    random_graph,
+)
+from repro.util.intmath import outer_iterations
+from tests.conftest import CORPUS, adjacency_matrices
+
+
+class TestCorrectness:
+    def test_corpus_as_one_size_buckets(self):
+        """Every corpus graph, routed through the mixed-size front-end."""
+        graphs = [CORPUS[k] for k in sorted(CORPUS)]
+        labels = connected_components_batch(graphs)
+        assert len(labels) == len(graphs)
+        for g, got in zip(graphs, labels):
+            assert np.array_equal(got, canonical_labels(g))
+
+    @pytest.mark.parametrize("early_exit", [False, True])
+    def test_same_size_batch(self, early_exit):
+        graphs = [random_graph(12, p, seed=s)
+                  for p in (0.05, 0.2, 0.6) for s in (0, 1)]
+        res = BatchedGCA(graphs, early_exit=early_exit).run()
+        for slot, g in enumerate(graphs):
+            assert np.array_equal(res.labels[slot], canonical_labels(g))
+
+    @given(
+        st.lists(adjacency_matrices(min_n=2, max_n=32), min_size=1, max_size=6),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_mixed_sizes_vs_oracle(self, graphs, early_exit):
+        """Randomized graphs (sizes 2-32, mixed densities): batched labels
+        must be bit-identical to the union-find oracle."""
+        labels = connected_components_batch(graphs, early_exit=early_exit)
+        for g, got in zip(graphs, labels):
+            assert np.array_equal(got, canonical_labels(g))
+
+    @given(adjacency_matrices(min_n=2, max_n=10))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_interpreter(self, g):
+        """Batched labels equal the cell-accurate interpreter's labels."""
+        slow = connected_components_interpreter(g)
+        res = BatchedGCA([g, g]).run()
+        assert np.array_equal(res.labels[0], slow.labels)
+        assert np.array_equal(res.labels[1], slow.labels)
+
+
+class TestConvergenceAccounting:
+    def test_matches_single_engine_early_exit(self):
+        graphs = [random_graph(16, p, seed=s)
+                  for p in (0.05, 0.3) for s in range(3)]
+        res = BatchedGCA(graphs).run()
+        for slot, g in enumerate(graphs):
+            single = run_vectorized(g, early_exit=True)
+            if single.converged_at_iteration is None:
+                assert res.converged_at_iteration[slot] == -1
+            else:
+                assert (res.converged_at_iteration[slot]
+                        == single.converged_at_iteration)
+            assert res.iterations_run[slot] == single.iterations
+            assert res.generations_run()[slot] == single.total_generations
+
+    def test_no_early_exit_runs_full_schedule(self):
+        n = 16
+        res = BatchedGCA([path_graph(n), empty_graph(n)],
+                         early_exit=False).run()
+        assert np.all(res.converged_at_iteration == -1)
+        assert np.all(res.iterations_run == outer_iterations(n))
+        assert np.all(res.generations_run() == total_generations(n))
+
+    def test_empty_graph_retires_first(self):
+        """An edgeless graph hits its fixed point in the first iteration."""
+        res = BatchedGCA([empty_graph(8), path_graph(8)]).run()
+        assert res.converged_at_iteration[0] == 0
+        assert res.iterations_run[0] == 1
+        assert res.converged_at_iteration[1] > 0
+
+    def test_generations_run_formula(self):
+        res = BatchedGCA([complete_graph(8)]).run()
+        expected = 1 + res.iterations_run * generations_per_iteration(8)
+        assert np.array_equal(res.generations_run(), expected)
+
+    def test_iterations_override(self):
+        res = BatchedGCA([path_graph(8)], iterations=0,
+                         early_exit=False).run()
+        assert res.labels[0].tolist() == list(range(8))
+
+
+class TestResultShape:
+    def test_fields(self):
+        graphs = [random_graph(8, 0.3, seed=s) for s in range(3)]
+        res = BatchedGCA(graphs).run()
+        assert isinstance(res, BatchedResult)
+        assert res.n == 8
+        assert res.batch_size == 3
+        assert res.labels.shape == (3, 8)
+        assert res.labels.dtype == np.int64
+        assert res.iterations_run.shape == (3,)
+        assert res.converged_at_iteration.shape == (3,)
+
+    def test_component_counts(self):
+        res = BatchedGCA([empty_graph(6), complete_graph(6)]).run()
+        assert res.component_counts.tolist() == [6, 1]
+
+    def test_batch_order_preserved(self):
+        """Retirement compaction must not permute output slots."""
+        graphs = [empty_graph(10), path_graph(10), complete_graph(10),
+                  random_graph(10, 0.15, seed=4)]
+        res = BatchedGCA(graphs).run()
+        for slot, g in enumerate(graphs):
+            assert np.array_equal(res.labels[slot], canonical_labels(g))
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one graph"):
+            BatchedGCA([])
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ValueError, match="connected_components_batch"):
+            BatchedGCA([path_graph(4), path_graph(5)])
+
+    def test_batch_front_end_accepts_mixed_sizes(self):
+        labels = connected_components_batch([path_graph(4), path_graph(5)])
+        assert [len(l) for l in labels] == [4, 5]
+
+    def test_batch_front_end_empty(self):
+        assert connected_components_batch([]) == []
+
+
+class TestDtypeSelection:
+    def test_int32_for_small_n(self):
+        eng = BatchedGCA([path_graph(8)])
+        assert eng._dtype == np.int32
+
+    def test_labels_always_int64(self):
+        res = BatchedGCA([path_graph(8)]).run()
+        assert res.labels.dtype == np.int64

@@ -14,7 +14,7 @@ from repro.core.vectorized import (
     run_vectorized,
 )
 from repro.graphs.components import canonical_labels
-from repro.graphs.generators import path_graph, random_graph
+from repro.graphs.generators import empty_graph, path_graph, random_graph
 from tests.conftest import adjacency_matrices
 
 
@@ -123,6 +123,81 @@ class TestRunner:
     def test_iterations_override(self):
         res = run_vectorized(path_graph(8), iterations=0)
         assert res.labels.tolist() == list(range(8))
+
+
+class TestEarlyExit:
+    @given(adjacency_matrices(min_n=2, max_n=20))
+    @settings(max_examples=50, deadline=None)
+    def test_labels_identical_to_full_run(self, g):
+        """Early exit stops at a fixed point, so the labels must be
+        bit-identical to the full schedule's."""
+        full = run_vectorized(g)
+        early = run_vectorized(g, early_exit=True)
+        assert np.array_equal(early.labels, full.labels)
+
+    def test_full_schedule_counts_unchanged(self):
+        """Regression (Table 2 invariant): with ``early_exit=False`` the
+        engine must execute exactly the closed-form generation count."""
+        for n in (2, 3, 5, 8, 16, 33):
+            g = random_graph(n, 0.3, seed=n)
+            res = run_vectorized(g, early_exit=False)
+            assert res.total_generations == total_generations(n)
+            assert res.converged_at_iteration is None
+
+    def test_converged_at_semantics(self):
+        """converged_at_iteration is the 0-based outer iteration whose
+        label column matched the previous one; counts reflect executed
+        work only."""
+        from repro.core.schedule import generations_per_iteration
+
+        g = empty_graph(16)  # fixed point after the first iteration
+        res = run_vectorized(g, early_exit=True)
+        assert res.converged_at_iteration == 0
+        assert res.iterations == 1
+        assert res.total_generations == 1 + generations_per_iteration(16)
+        assert np.array_equal(res.labels, np.arange(16))
+
+    def test_early_exit_can_skip_iterations(self):
+        g = random_graph(64, 0.1, seed=7)
+        full = run_vectorized(g)
+        early = run_vectorized(g, early_exit=True)
+        assert early.total_generations < full.total_generations
+        assert early.converged_at_iteration is not None
+
+    def test_no_convergence_before_schedule_end(self):
+        """A worst-case chain that needs every iteration reports no early
+        convergence marker."""
+        g = path_graph(8)
+        res = run_vectorized(g, early_exit=True)
+        full = run_vectorized(g)
+        assert np.array_equal(res.labels, full.labels)
+        if res.converged_at_iteration is None:
+            assert res.total_generations == full.total_generations
+
+
+class TestCallbackViews:
+    def test_callback_view_is_read_only(self):
+        def cb(sched, D):
+            with pytest.raises((ValueError, RuntimeError)):
+                D[0, 0] = 99
+
+        run_vectorized(path_graph(4), on_generation=cb)
+
+    def test_snapshot_view_is_read_only_but_stored_copy_writable(self):
+        res = run_vectorized(
+            path_graph(4),
+            keep_snapshots=True,
+            on_generation=lambda s, D: pytest.raises(
+                (ValueError, RuntimeError), D.__setitem__, (0, 0), 99
+            ),
+        )
+        # the archived snapshots themselves stay writable copies
+        assert all(s.flags.writeable for s in res.snapshots)
+
+    def test_snapshots_are_distinct_copies(self):
+        res = run_vectorized(path_graph(4), keep_snapshots=True)
+        assert res.snapshots[0] is not res.snapshots[1]
+        assert not np.array_equal(res.snapshots[0], res.snapshots[-1])
 
 
 class TestAccessLogEquivalence:

@@ -1,5 +1,7 @@
 """Unit tests for repro.gca.instrumentation."""
 
+import numpy as np
+
 from repro.gca.instrumentation import (
     AccessLog,
     GenerationStats,
@@ -27,6 +29,59 @@ class TestGenerationStats:
     def test_histogram_shape(self):
         s = stats(reads={0: 5, 1: 5, 2: 1})
         assert s.congestion_histogram() == [(2, 5), (1, 1)]
+
+
+class TestLazyReadCounts:
+    """The dense-array construction path used by the vectorised engine."""
+
+    def counts_stats(self, counts, label="g", active=3):
+        return GenerationStats(label=label, active_cells=active,
+                               read_counts=np.asarray(counts, dtype=np.int64))
+
+    def test_aggregates_without_dict(self):
+        s = self.counts_stats([3, 0, 1, 0])
+        assert s.total_reads == 4
+        assert s.cells_read == 2
+        assert s.max_congestion == 3
+        assert s.congestion_histogram() == [(1, 3), (1, 1)]
+
+    def test_dict_materialised_lazily(self):
+        s = self.counts_stats([0, 2, 0, 1])
+        assert s._reads_dict is None
+        assert s.reads_per_cell == {1: 2, 3: 1}
+        assert s._reads_dict is not None
+        assert s.reads_per_cell is s.reads_per_cell  # cached
+
+    def test_counts_and_dict_paths_agree(self):
+        counts = [0, 4, 1, 0, 2]
+        lazy = self.counts_stats(counts)
+        eager = GenerationStats(label="g", active_cells=3,
+                                reads_per_cell={1: 4, 2: 1, 4: 2})
+        assert lazy == eager
+        assert lazy.total_reads == eager.total_reads
+        assert lazy.max_congestion == eager.max_congestion
+        assert lazy.congestion_histogram() == eager.congestion_histogram()
+
+    def test_empty_counts(self):
+        s = self.counts_stats(np.zeros(0, dtype=np.int64))
+        assert s.total_reads == 0
+        assert s.max_congestion == 0
+        assert s.congestion_histogram() == []
+        assert s.reads_per_cell == {}
+
+    def test_both_sources_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            GenerationStats(label="g", active_cells=1,
+                            reads_per_cell={0: 1},
+                            read_counts=np.array([1]))
+
+    def test_repr_and_eq(self):
+        a = self.counts_stats([1, 0], label="x", active=1)
+        b = GenerationStats(label="x", active_cells=1, reads_per_cell={0: 1})
+        assert a == b
+        assert "x" in repr(a)
 
 
 class TestAccessLog:

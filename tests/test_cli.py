@@ -44,6 +44,17 @@ class TestSolve:
         assert main(["solve", "--random", "5", "--p", "0.5", "--seed", "3",
                      "--method", method]) == 0
 
+    def test_early_exit_flag(self, capsys):
+        assert main(["solve", "--random", "12", "--p", "0.4", "--seed", "1",
+                     "--early-exit"]) == 0
+        out = capsys.readouterr().out
+        assert "converged at iteration" in out
+
+    def test_early_exit_rejected_for_other_methods(self, capsys):
+        assert main(["solve", "--random", "5", "--p", "0.5", "--seed", "0",
+                     "--method", "interpreter", "--early-exit"]) == 2
+        assert "early_exit" in capsys.readouterr().err
+
     def test_missing_input(self):
         with pytest.raises(SystemExit):
             main(["solve"])
@@ -131,3 +142,14 @@ class TestSweep:
     def test_workload_choice(self, capsys):
         assert main(["sweep", "--sizes", "8", "--engines", "vectorized",
                      "--workload", "path"]) == 0
+
+    def test_batched_engine(self, capsys):
+        assert main(["sweep", "--sizes", "8", "--engines",
+                     "batched,vectorized_early", "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "batched" in out and "vectorized_early" in out
+
+    def test_jobs_flag(self, capsys):
+        assert main(["sweep", "--sizes", "4,6", "--engines", "vectorized",
+                     "--jobs", "2"]) == 0
+        assert "sweep:" in capsys.readouterr().out
