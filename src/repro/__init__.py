@@ -6,8 +6,13 @@ Quickstart::
 
     import repro
     graph = repro.random_graph(64, 0.1, seed=7)
-    result = repro.gca_connected_components(graph)
-    print(result.component_count, result.labels)
+    result = repro.connected_components(graph)      # engine="auto"
+    print(result.method, result.component_count, result.labels)
+
+At sparse scale, skip the dense matrix entirely::
+
+    graph = repro.random_edge_list(1_000_000, 5_000_000, seed=7)
+    result = repro.connected_components(graph)      # -> contracting engine
 
 Packages
 --------
@@ -30,7 +35,12 @@ Packages
     Congestion/complexity analytics reproducing Tables 1 and 2.
 """
 
-from repro.core.api import ComponentsResult, gca_connected_components
+from repro.core.api import (
+    ComponentsResult,
+    connected_components,
+    gca_connected_components,
+)
+from repro.core.dispatch import CostModel, choose_engine, explain_choice
 from repro.core.batched import BatchedGCA, connected_components_batch
 from repro.core.trace import TraceRecorder, figure3_patterns
 from repro.core.vectorized import connected_components_vectorized
@@ -51,13 +61,27 @@ from repro.graphs.generators import (
 from repro.core.row_machine import connected_components_row_gca
 from repro.extensions.spanning_forest import spanning_forest
 from repro.extensions.transitive_closure import transitive_closure_gca
+from repro.hirschberg.contracting import connected_components_contracting
+from repro.hirschberg.edgelist import (
+    EdgeListGraph,
+    connected_components_edgelist,
+    random_edge_list,
+)
 from repro.hirschberg.reference import hirschberg_reference
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ComponentsResult",
+    "connected_components",
     "gca_connected_components",
+    "CostModel",
+    "choose_engine",
+    "explain_choice",
+    "EdgeListGraph",
+    "connected_components_edgelist",
+    "connected_components_contracting",
+    "random_edge_list",
     "BatchedGCA",
     "connected_components_batch",
     "TraceRecorder",

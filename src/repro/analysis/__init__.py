@@ -49,14 +49,25 @@ from repro.analysis.congestion import (
     measured_table1,
     paper_table1,
 )
+from repro.analysis.shm import (
+    SharedArray,
+    SharedArrayRef,
+    SharedEdgeListRef,
+    SharedWorkspace,
+    attach_edge_list,
+    share_edge_list,
+)
 from repro.analysis.sweep import (
     ENGINES,
+    SPARSE_ENGINES,
     WORKLOADS,
     RunRecord,
+    SparseSweepSpec,
     SweepSpec,
     dumps_records,
     load_records,
     loads_records,
+    run_sparse_sweep,
     run_sweep,
     save_records,
     summarize,
@@ -102,13 +113,22 @@ __all__ = [
     "exact_expected_table1",
     "measured_table1",
     "paper_table1",
+    "SharedArray",
+    "SharedArrayRef",
+    "SharedEdgeListRef",
+    "SharedWorkspace",
+    "attach_edge_list",
+    "share_edge_list",
     "ENGINES",
+    "SPARSE_ENGINES",
     "WORKLOADS",
     "RunRecord",
+    "SparseSweepSpec",
     "SweepSpec",
     "dumps_records",
     "load_records",
     "loads_records",
+    "run_sparse_sweep",
     "run_sweep",
     "save_records",
     "summarize",

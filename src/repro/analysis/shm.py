@@ -1,0 +1,184 @@
+"""Zero-copy shared-memory plumbing for parallel sparse sweeps.
+
+The dense sweep runner ships each grid cell's *parameters* to its worker
+process and regenerates the graphs there -- fine at field sizes, but a
+non-starter for the sparse engines, where a single workload can be tens
+of millions of edge entries: pickling the arrays through the
+``ProcessPoolExecutor`` pipe (or regenerating them per worker) costs more
+than the solve.
+
+This module instead places the edge arrays (and per-run label slots) in
+POSIX shared memory (:mod:`multiprocessing.shared_memory`):
+
+* the parent builds the workload once and publishes it with
+  :func:`share_edge_list`;
+* workers receive only a tiny picklable :class:`SharedArrayRef` /
+  :class:`SharedEdgeListRef` descriptor (block name + shape + dtype),
+  attach with :func:`attach_edge_list`, and get NumPy views **backed by
+  the same physical pages** -- no copy, no serialisation;
+* results flow back the same way: each run writes its label vector into
+  a pre-allocated shared slot, so the parent can oracle-check and
+  cross-compare engines without any arrays crossing the process pipe.
+
+Lifetime rules follow the stdlib's: every attachment must be
+``close()``-d, and the creating side additionally ``unlink()``-s.
+:class:`SharedArray` is a context manager for the worker side;
+:class:`SharedWorkspace` gathers the parent side's blocks so one
+``with`` block owns the whole sweep's memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hirschberg.edgelist import EdgeListGraph
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """A picklable pointer to a shared-memory NumPy array."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class SharedArray:
+    """A NumPy array whose buffer lives in a shared-memory block.
+
+    Create on the parent side with :meth:`create` (copies the source data
+    in once) or :meth:`zeros`; attach on the worker side with
+    :meth:`attach`.  Usable as a context manager (closes on exit; the
+    owner must still :meth:`unlink`).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, ref: SharedArrayRef,
+                 owner: bool):
+        self._shm = shm
+        self.ref = ref
+        self.owner = owner
+        self.array = np.ndarray(
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf
+        )
+
+    @classmethod
+    def create(cls, source: np.ndarray) -> "SharedArray":
+        """A new shared block initialised with ``source``'s contents."""
+        source = np.ascontiguousarray(source)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, source.nbytes)
+        )
+        ref = SharedArrayRef(
+            name=shm.name, shape=source.shape, dtype=source.dtype.str
+        )
+        out = cls(shm, ref, owner=True)
+        out.array[...] = source
+        return out
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, ...], dtype=np.int64) -> "SharedArray":
+        """A new zero-filled shared block."""
+        dtype = np.dtype(dtype)
+        size = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        ref = SharedArrayRef(name=shm.name, shape=tuple(shape), dtype=dtype.str)
+        out = cls(shm, ref, owner=True)
+        out.array[...] = 0
+        return out
+
+    @classmethod
+    def attach(cls, ref: SharedArrayRef) -> "SharedArray":
+        """A zero-copy view of an existing block (worker side)."""
+        return cls(shared_memory.SharedMemory(name=ref.name), ref, owner=False)
+
+    def close(self) -> None:
+        """Release this process's mapping (views become invalid)."""
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the block (owner side, after every close)."""
+        self._shm.unlink()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class SharedEdgeListRef:
+    """A picklable pointer to a shared :class:`EdgeListGraph`."""
+
+    n: int
+    src: SharedArrayRef
+    dst: SharedArrayRef
+
+    @property
+    def edge_count(self) -> int:
+        return self.src.shape[0] // 2
+
+
+def share_edge_list(graph: EdgeListGraph) -> Tuple["SharedWorkspace", SharedEdgeListRef]:
+    """Publish ``graph``'s edge arrays in shared memory.
+
+    Returns the owning workspace (close+unlink when the sweep is done)
+    and the descriptor to hand to workers.
+    """
+    src = SharedArray.create(graph.src)
+    dst = SharedArray.create(graph.dst)
+    ref = SharedEdgeListRef(n=graph.n, src=src.ref, dst=dst.ref)
+    return SharedWorkspace([src, dst]), ref
+
+
+def attach_edge_list(ref: SharedEdgeListRef) -> Tuple[EdgeListGraph, List[SharedArray]]:
+    """Worker-side zero-copy view of a shared graph.
+
+    The returned graph's ``src``/``dst`` are views into the shared
+    blocks; keep the returned handles alive while the graph is in use
+    and ``close()`` them afterwards.
+    """
+    src = SharedArray.attach(ref.src)
+    dst = SharedArray.attach(ref.dst)
+    graph = EdgeListGraph(n=ref.n, src=src.array, dst=dst.array)
+    return graph, [src, dst]
+
+
+class SharedWorkspace:
+    """Owner of a set of shared blocks; one ``with`` per sweep."""
+
+    def __init__(self, blocks: Sequence[SharedArray] = ()):
+        self.blocks: List[SharedArray] = list(blocks)
+
+    def add(self, block: SharedArray) -> SharedArray:
+        self.blocks.append(block)
+        return block
+
+    def zeros(self, shape, dtype=np.int64) -> SharedArray:
+        """Allocate a zero-filled block owned by this workspace."""
+        return self.add(SharedArray.zeros(shape, dtype))
+
+    def close(self) -> None:
+        for block in self.blocks:
+            if block.array is not None:
+                block.close()
+
+    def unlink(self) -> None:
+        for block in self.blocks:
+            block.unlink()
+
+    def __enter__(self) -> "SharedWorkspace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()

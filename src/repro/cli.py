@@ -17,6 +17,9 @@ Installed as ``python -m repro`` (see ``__main__.py``). Sub-commands:
 ``sweep``
     Run an oracle-verified engine sweep and print the summary (optionally
     archiving the raw records as JSON).
+``sparse-sweep``
+    The sparse-scale counterpart: random edge lists shared with worker
+    processes via zero-copy shared memory.
 ``reproduce``
     Run the acceptance harness: a quick PASS/FAIL verdict for every
     experiment E1-E20.
@@ -25,11 +28,13 @@ Examples::
 
     python -m repro solve graph.edges --method vectorized
     python -m repro solve --random 64 --p 0.1 --seed 7
+    python -m repro solve --random-sparse 100000 300000 --method auto
     python -m repro tables --n 8
     python -m repro synthesize --n 16
     python -m repro trace --n 4 --edges 0-1,1-3
     python -m repro closure --n 6 --edges 0-1,1-2,4-5 --query 0-2
     python -m repro sweep --sizes 8,16 --engines vectorized,unionfind
+    python -m repro sparse-sweep --sizes 10000,50000 --jobs 4
     python -m repro reproduce [--only E1,E6]
 """
 
@@ -49,13 +54,14 @@ from repro.analysis import (
     render_table2,
     render_totals,
 )
-from repro.core.api import gca_connected_components
+from repro.core.api import GraphLike, connected_components
 from repro.core.machine import connected_components_interpreter
 from repro.core.trace import TraceRecorder
 from repro.graphs.adjacency import AdjacencyMatrix
 from repro.graphs.generators import from_edges, random_graph
 from repro.graphs.io import load_edge_list
 from repro.hardware import paper_report, synthesize
+from repro.hirschberg.edgelist import random_edge_list
 
 
 def _parse_edges(spec: str) -> List[tuple]:
@@ -72,29 +78,44 @@ def _parse_edges(spec: str) -> List[tuple]:
     return edges
 
 
-def _load_graph(args: argparse.Namespace) -> AdjacencyMatrix:
+def _load_graph(args: argparse.Namespace) -> GraphLike:
     if args.graph_file:
         return load_edge_list(args.graph_file)
+    if args.random_sparse:
+        n, m = args.random_sparse
+        return random_edge_list(n, m, seed=args.seed)
     if args.random:
         return random_graph(args.random, args.p, seed=args.seed)
-    raise SystemExit("solve: provide an edge-list file or --random N")
+    raise SystemExit(
+        "solve: provide an edge-list file, --random N or --random-sparse N M"
+    )
+
+
+#: ``solve`` suppresses the per-component listing above this many nodes
+#: (the listing is a Python loop; at sparse scale it would dwarf the solve).
+_LISTING_LIMIT = 10_000
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    result = gca_connected_components(
-        graph, method=args.method, early_exit=args.early_exit
+    result = connected_components(
+        graph, engine=args.method, early_exit=args.early_exit
     )
-    print(f"n = {graph.n}, edges = {graph.edge_count}, method = {args.method}")
+    shown = (f"auto -> {result.method}" if args.method == "auto"
+             else args.method)
+    print(f"n = {graph.n}, edges = {graph.edge_count}, method = {shown}")
     print(f"components: {result.component_count}")
     if args.early_exit and result.detail.converged_at_iteration is not None:
         print(f"converged at iteration {result.detail.converged_at_iteration} "
               f"({result.detail.total_generations} generations)")
     if args.labels:
         print("labels:", " ".join(map(str, result.labels.tolist())))
-    else:
+    elif graph.n <= _LISTING_LIMIT:
         for component in result.components():
             print(f"  [{component[0]}] {component}")
+    else:
+        print(f"(component listing suppressed for n > {_LISTING_LIMIT}; "
+              f"use --labels for the raw vector)")
     return 0
 
 
@@ -175,6 +196,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sparse_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweep import (
+        SparseSweepSpec,
+        dumps_records,
+        run_sparse_sweep,
+    )
+    from repro.util.formatting import render_table
+
+    spec = SparseSweepSpec(
+        name="cli-sparse",
+        sizes=[int(x) for x in args.sizes.split(",") if x],
+        edge_factors=[float(x) for x in args.edge_factors.split(",") if x],
+        engines=[e for e in args.engines.split(",") if e],
+        seeds=list(range(args.repeats)),
+    )
+    records = run_sparse_sweep(spec, jobs=args.jobs)
+    rows = [
+        [r.engine, r.resolved_engine, r.n, r.m,
+         round(r.seconds * 1e3, 3), r.correct]
+        for r in records
+    ]
+    print(render_table(
+        ["engine", "resolved", "n", "m", "ms", "correct"],
+        rows,
+        title=f"sparse sweep: {spec.run_count} runs (shared-memory workers)",
+    ))
+    if not all(r.correct for r in records):
+        print("error: some runs diverged from the oracle", file=sys.stderr)
+        return 1
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(dumps_records(records))
+        print(f"records written to {args.json}")
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.reproduce import render, run_all
 
@@ -199,13 +257,20 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("graph_file", nargs="?", help="edge-list file")
     solve.add_argument("--random", type=int, metavar="N",
                        help="use a random G(N, p) instead of a file")
+    solve.add_argument("--random-sparse", type=int, nargs=2,
+                       metavar=("N", "M"),
+                       help="use a sparse random edge list with N nodes "
+                            "and up to M edges (never densified)")
     solve.add_argument("--p", type=float, default=0.1,
                        help="edge probability for --random (default 0.1)")
     solve.add_argument("--seed", type=int, default=None, help="random seed")
     solve.add_argument(
         "--method",
-        choices=["vectorized", "interpreter", "reference", "pram"],
+        choices=["auto", "vectorized", "batched", "edgelist", "contracting",
+                 "interpreter", "reference", "pram"],
         default="vectorized",
+        help="execution engine; 'auto' dispatches on (n, m) via the "
+             "measured cost model and reports its choice",
     )
     solve.add_argument("--labels", action="store_true",
                        help="print the raw label vector")
@@ -248,6 +313,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the grid cells (default 1)")
     sweep.add_argument("--json", default="", help="archive records to file")
     sweep.set_defaults(func=_cmd_sweep)
+
+    sparse = sub.add_parser(
+        "sparse-sweep",
+        help="verified sparse-engine sweep over shared-memory edge lists",
+    )
+    sparse.add_argument("--sizes", default="10000,50000",
+                        help="comma-separated n")
+    sparse.add_argument("--edge-factors", default="2.0",
+                        help="comma-separated m/n ratios (default 2.0)")
+    sparse.add_argument("--engines", default="edgelist,contracting",
+                        help="comma-separated subset of "
+                             "edgelist,contracting,auto")
+    sparse.add_argument("--repeats", type=int, default=1,
+                        help="seeds per cell")
+    sparse.add_argument("--jobs", type=int, default=1,
+                        help="worker processes attaching zero-copy views "
+                             "(default 1)")
+    sparse.add_argument("--json", default="", help="archive records to file")
+    sparse.set_defaults(func=_cmd_sparse_sweep)
 
     reproduce = sub.add_parser(
         "reproduce", help="PASS/FAIL verdict for every experiment"

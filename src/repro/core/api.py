@@ -2,19 +2,33 @@
 
 Most users want one call::
 
-    from repro import gca_connected_components
-    result = gca_connected_components(graph)
+    from repro import connected_components
+    result = connected_components(graph)     # engine="auto"
     result.labels          # node -> component representative (minimum index)
     result.components()    # the components as node lists
 
-``method`` selects the execution engine:
+``engine`` selects the execution engine:
 
-* ``"vectorized"`` (default) -- whole-array NumPy execution, fast;
+* ``"auto"`` (default for :func:`connected_components`) -- pick the
+  cheapest feasible engine from the workload shape via the measured cost
+  model in :mod:`repro.core.dispatch`;
+* ``"vectorized"`` -- whole-array NumPy execution over the dense field;
+* ``"batched"`` -- the stacked batched field (one graph here; shines on
+  many graphs via :func:`repro.core.batched.connected_components_batch`);
+* ``"edgelist"`` -- the work-efficient ``O((n + m) log n)`` sparse
+  variant;
+* ``"contracting"`` -- the contracting sparse variant: every outer
+  iteration relabels supervertices and drops settled edges, so iteration
+  ``t`` runs on the surviving ``(n_t, m_t)`` only (fastest at large
+  sparse scale);
 * ``"interpreter"`` -- the cell-accurate engine with full congestion
   instrumentation (slow; use for measurement, small ``n``);
 * ``"reference"`` -- the plain data-parallel Listing-1 program (no GCA
   field; the specification the others are validated against);
 * ``"pram"`` -- the Listing-1 program on the access-checked PRAM simulator.
+
+:func:`gca_connected_components` is the historical entry point; its
+``method=`` is the same selector (default ``"vectorized"``).
 """
 
 from __future__ import annotations
@@ -24,15 +38,28 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.core.dispatch import CostModel, choose_engine
 from repro.core.machine import connected_components_interpreter
 from repro.core.vectorized import run_vectorized
 from repro.graphs.adjacency import AdjacencyMatrix
+from repro.hirschberg.contracting import connected_components_contracting
+from repro.hirschberg.edgelist import EdgeListGraph, connected_components_edgelist
 from repro.hirschberg.pram_impl import hirschberg_on_pram
 from repro.hirschberg.reference import hirschberg_reference
 
-GraphLike = Union[AdjacencyMatrix, np.ndarray]
+GraphLike = Union[AdjacencyMatrix, np.ndarray, EdgeListGraph]
 
-_METHODS = ("vectorized", "interpreter", "reference", "pram")
+_METHODS = (
+    "auto", "vectorized", "batched", "edgelist", "contracting",
+    "interpreter", "reference", "pram",
+)
+
+#: Engines that need the dense adjacency field.
+_DENSE_METHODS = ("vectorized", "batched", "interpreter", "reference", "pram")
+
+#: Largest ``n`` for which an :class:`EdgeListGraph` input is silently
+#: densified when a dense engine is requested explicitly.
+_DENSE_CONVERT_LIMIT = 8192
 
 
 @dataclass
@@ -48,13 +75,18 @@ class ComponentsResult:
         The engine that produced the result.
     detail:
         The engine-specific result object (``VectorizedResult``,
-        ``InterpreterResult``, ``ReferenceResult`` or ``PRAMRunResult``)
+        ``InterpreterResult``, ``ReferenceResult``, ``PRAMRunResult``,
+        ``EdgeListResult``, ``ContractingResult`` or ``BatchedResult``)
         for callers that need instrumentation data.
+    requested_method:
+        What the caller asked for; differs from ``method`` only for
+        ``"auto"``, where ``method`` records the dispatched engine.
     """
 
     labels: np.ndarray
     method: str
     detail: object
+    requested_method: Optional[str] = None
 
     @property
     def n(self) -> int:
@@ -78,6 +110,131 @@ class ComponentsResult:
         return bool(self.labels[a] == self.labels[b])
 
 
+def _to_adjacency(graph: GraphLike) -> AdjacencyMatrix:
+    """Densify for the field engines (guarded for edge-list inputs)."""
+    if isinstance(graph, AdjacencyMatrix):
+        return graph
+    if isinstance(graph, EdgeListGraph):
+        if graph.n > _DENSE_CONVERT_LIMIT:
+            raise ValueError(
+                f"cannot densify an EdgeListGraph with n={graph.n} "
+                f"(> {_DENSE_CONVERT_LIMIT}) for a dense engine; use "
+                f"engine='edgelist', 'contracting' or 'auto'"
+            )
+        matrix = np.zeros((graph.n, graph.n), dtype=np.int64)
+        matrix[graph.src, graph.dst] = 1
+        return AdjacencyMatrix(matrix)
+    return AdjacencyMatrix(np.asarray(graph))
+
+
+def _to_edge_list(graph: GraphLike) -> EdgeListGraph:
+    if isinstance(graph, EdgeListGraph):
+        return graph
+    g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+    return EdgeListGraph.from_adjacency(g)
+
+
+def _graph_shape(graph: GraphLike):
+    """Cheap ``(n, m)`` for the dispatcher, any input kind."""
+    if isinstance(graph, EdgeListGraph):
+        return graph.n, graph.edge_count
+    g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
+    return g.n, g.edge_count
+
+
+def connected_components(
+    graph: GraphLike,
+    engine: str = "auto",
+    iterations: Optional[int] = None,
+    early_exit: bool = False,
+    cost_model: Optional[CostModel] = None,
+) -> ComponentsResult:
+    """Compute the connected components of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        An :class:`~repro.graphs.adjacency.AdjacencyMatrix`, a square
+        symmetric 0/1 array, or a sparse
+        :class:`~repro.hirschberg.edgelist.EdgeListGraph`.
+    engine:
+        One of ``"auto"``, ``"vectorized"``, ``"batched"``,
+        ``"edgelist"``, ``"contracting"``, ``"interpreter"``,
+        ``"reference"``, ``"pram"`` (see module docstring).  ``"auto"``
+        dispatches on ``(n, m)`` via
+        :func:`repro.core.dispatch.choose_engine`.
+    iterations:
+        Override the outer-iteration count (default ``ceil(log2 n)``;
+        for the contracting engine this caps the contraction levels).
+    early_exit:
+        Stop at the label fixed point instead of running the full
+        schedule.  Supported by the vectorised engine only; with
+        ``engine="auto"`` this forces the vectorised engine.
+    cost_model:
+        Override the measured :class:`~repro.core.dispatch.CostModel`
+        used by ``"auto"`` (e.g. one from
+        :func:`repro.core.dispatch.calibrate`).
+
+    Returns
+    -------
+    ComponentsResult
+    """
+    if engine not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {engine!r}")
+    requested = engine
+    if engine == "auto":
+        if early_exit:
+            engine = "vectorized"
+        else:
+            n, m = _graph_shape(graph)
+            engine = choose_engine(n, m, batch_size=1, model=cost_model)
+            if engine == "batched":  # never dispatched for one graph
+                engine = "vectorized"
+    if early_exit and engine != "vectorized":
+        raise ValueError(
+            f"early_exit is only supported by the vectorized engine, "
+            f"not {engine!r}"
+        )
+
+    if engine == "vectorized":
+        detail = run_vectorized(
+            _to_adjacency(graph), iterations=iterations, early_exit=early_exit
+        )
+        labels = detail.labels
+    elif engine == "batched":
+        from repro.core.batched import BatchedGCA
+
+        detail = BatchedGCA([_to_adjacency(graph)], iterations=iterations).run()
+        labels = detail.labels[0]
+    elif engine == "edgelist":
+        detail = connected_components_edgelist(
+            _to_edge_list(graph), iterations=iterations
+        )
+        labels = detail.labels
+    elif engine == "contracting":
+        detail = connected_components_contracting(
+            _to_edge_list(graph), max_levels=iterations
+        )
+        labels = detail.labels
+    elif engine == "interpreter":
+        detail = connected_components_interpreter(
+            _to_adjacency(graph), iterations=iterations
+        )
+        labels = detail.labels
+    elif engine == "reference":
+        detail = hirschberg_reference(_to_adjacency(graph), iterations=iterations)
+        labels = detail.labels
+    else:  # pram
+        detail = hirschberg_on_pram(_to_adjacency(graph), iterations=iterations)
+        labels = detail.labels
+    return ComponentsResult(
+        labels=labels,
+        method=engine,
+        detail=detail,
+        requested_method=requested,
+    )
+
+
 def gca_connected_components(
     graph: GraphLike,
     method: str = "vectorized",
@@ -86,43 +243,10 @@ def gca_connected_components(
 ) -> ComponentsResult:
     """Compute the connected components of ``graph`` with the GCA algorithm.
 
-    Parameters
-    ----------
-    graph:
-        An :class:`~repro.graphs.adjacency.AdjacencyMatrix` or a square
-        symmetric 0/1 array.
-    method:
-        One of ``"vectorized"``, ``"interpreter"``, ``"reference"``,
-        ``"pram"`` (see module docstring).
-    iterations:
-        Override the outer-iteration count (default ``ceil(log2 n)``).
-    early_exit:
-        Stop the vectorised engine at the label fixed point instead of
-        running the full schedule (``method="vectorized"`` only; the
-        labels are identical either way).
-
-    Returns
-    -------
-    ComponentsResult
+    The historical entry point; identical to :func:`connected_components`
+    with ``engine=method`` (default ``"vectorized"`` rather than
+    ``"auto"``).
     """
-    if method not in _METHODS:
-        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
-    if early_exit and method != "vectorized":
-        raise ValueError(
-            f"early_exit is only supported by the vectorized engine, "
-            f"not {method!r}"
-        )
-    g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
-    if method == "vectorized":
-        detail = run_vectorized(g, iterations=iterations, early_exit=early_exit)
-        labels = detail.labels
-    elif method == "interpreter":
-        detail = connected_components_interpreter(g, iterations=iterations)
-        labels = detail.labels
-    elif method == "reference":
-        detail = hirschberg_reference(g, iterations=iterations)
-        labels = detail.labels
-    else:  # pram
-        detail = hirschberg_on_pram(g, iterations=iterations)
-        labels = detail.labels
-    return ComponentsResult(labels=labels, method=method, detail=detail)
+    return connected_components(
+        graph, engine=method, iterations=iterations, early_exit=early_exit
+    )

@@ -8,6 +8,11 @@
   label-propagation comparison points.
 """
 
+from repro.hirschberg.contracting import (
+    ContractingResult,
+    ContractionLevel,
+    connected_components_contracting,
+)
 from repro.hirschberg.edgelist import (
     EdgeListGraph,
     EdgeListResult,
@@ -43,6 +48,9 @@ from repro.hirschberg.variants import (
 )
 
 __all__ = [
+    "ContractingResult",
+    "ContractionLevel",
+    "connected_components_contracting",
     "EdgeListGraph",
     "EdgeListResult",
     "connected_components_edgelist",

@@ -1,0 +1,248 @@
+"""Contracting sparse (CSR) variant of Hirschberg's algorithm.
+
+The edge-list variant (:mod:`repro.hirschberg.edgelist`) already brings
+the paper's algorithm from ``Theta(n^2)`` field cells down to
+``O((n + m) log n)`` work -- but it keeps *all* ``n`` vertices and all
+``m`` edges live in every outer iteration, even though most of them are
+settled after the first round or two.  Modern concurrent-components work
+(Liu & Tarjan 2019; Burkhardt 2018) observes that the hook-and-shortcut
+iteration structure composes with **graph contraction**: once an outer
+iteration has merged vertices into supervertices, the next iteration only
+needs the *contracted* graph -- one vertex per supervertex, with
+intra-supervertex and duplicate edges removed.
+
+This module implements that scheme.  Each outer iteration:
+
+1. runs Hirschberg's steps 2-6 on the current contracted graph.  The
+   labels start every level from the identity (each supervertex is its
+   own supernode), so step 2 reduces to "minimum neighbour per vertex"
+   and step 3 to the identity.  The reduction runs either as a
+   MIN-combining scatter (``np.minimum.at`` -- the CRCW-MIN discipline of
+   :mod:`repro.hirschberg.fastsv`) or, when the level's CSR rows are
+   sorted, as a first-entry read off the CSR structure;
+2. relabels the surviving supervertices to a dense ``0..k-1`` range in
+   O(n_t) -- the hook forest is idempotent after step 6 (all cycles are
+   mutual pairs, resolved to their minimum), so the representatives are
+   exactly the fixed points of the label array and no sort is needed;
+3. maps the edges through the relabelling and drops the
+   intra-supervertex survivors, so level ``t+1`` runs on ``(n_{t+1},
+   m_{t+1})`` instead of ``(n, m)``;
+4. drops duplicate (parallel) contracted edges and rebuilds sorted CSR
+   rows **when that is linear-time profitable**: via a counting-table
+   dedup once ``k^2`` is comparable to the edge count, or via a packed
+   sort once the level is small.  Early huge levels skip the dedup --
+   a comparison sort of millions of keys costs more than the duplicate
+   scatters it would save (measured in
+   ``benchmarks/bench_sparse_scaling.py``) -- which only delays, never
+   loses, edges: the per-level edge count is non-increasing either way.
+
+A per-level minimum-original-index array plays the contraction stack:
+composing the per-level vertex maps and reading that array off at the end
+reproduces the paper's canonical labelling (component label = minimum
+*original* node index), validated against
+:func:`repro.hirschberg.fastsv.fastsv_reference` and the union-find
+oracle in the tests.
+
+Because every vertex with at least one incident edge merges with a
+neighbour each round, the number of non-isolated supervertices at least
+halves per level, so the engine terminates within ``ceil(log2 n)`` levels
+-- on real sparse graphs the active problem collapses much faster than
+that bound (the result records the measured ``(n_t, m_t)`` series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.hirschberg.edgelist import EdgeListGraph
+from repro.util.intmath import jump_iterations, outer_iterations
+
+GraphLike = Union[AdjacencyMatrix, np.ndarray]
+
+#: Dedup via a k*k counting table when it fits comfortably in memory:
+#: the table costs O(k^2) space but the dedup is pure linear passes.
+_DEDUP_TABLE_K = 4096
+
+#: Dedup via a packed ``np.unique`` sort below this directed edge count;
+#: beyond it a comparison sort costs more than the duplicates it saves.
+_DEDUP_SORT_M = 1 << 19
+
+
+@dataclass(frozen=True)
+class ContractionLevel:
+    """The problem size one outer iteration actually ran on."""
+
+    n: int            #: supervertices entering the level
+    m: int            #: directed edge-array length entering the level
+    jumps: int        #: pointer-jumping repetitions used (``ceil(log2 n)``)
+    deduplicated: bool  #: whether this level's edges were CSR-sorted/unique
+
+    @property
+    def edge_count(self) -> int:
+        """Undirected edge count entering the level (duplicates included
+        on levels the dedup policy skipped)."""
+        return self.m // 2
+
+
+@dataclass
+class ContractingResult:
+    """Outcome of a contracting run."""
+
+    labels: np.ndarray
+    levels: List[ContractionLevel]
+    contracted_to_empty: bool
+
+    @property
+    def iterations(self) -> int:
+        """Number of outer iterations (= contraction levels) executed."""
+        return len(self.levels)
+
+    @property
+    def component_count(self) -> int:
+        return int(np.unique(self.labels).size)
+
+    @property
+    def total_work(self) -> int:
+        """``sum(n_t + m_t)`` over the levels -- the contracted work, to
+        set against the edge-list variant's ``iterations * (n + m)``."""
+        return sum(level.n + level.m for level in self.levels)
+
+
+def _min_neighbour(
+    n: int, src: np.ndarray, dst: np.ndarray, sorted_rows: bool
+) -> np.ndarray:
+    """Step 2 from identity labels: ``T[u] = min(neighbours of u)``,
+    ``T[u] = u`` for isolated ``u``.
+
+    With sorted CSR rows the row minimum is the row's first entry; with
+    unsorted rows it is a MIN-combining scatter.
+    """
+    T = np.arange(n, dtype=np.int64)
+    if sorted_rows:
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        nonempty = indptr[:-1] < indptr[1:]
+        T[nonempty] = dst[indptr[:-1][nonempty]]
+    elif src.size:
+        sentinel = np.int64(n)
+        scattered = np.full(n, sentinel, dtype=np.int64)
+        np.minimum.at(scattered, src, dst)
+        found = scattered != sentinel
+        T[found] = scattered[found]
+    return T
+
+
+def _dedup_edges(
+    k: int, src: np.ndarray, dst: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, bool]:
+    """Drop duplicate directed edges and sort into CSR row order -- but
+    only through a linear-time (counting) or small sort; large levels are
+    returned unchanged with ``deduplicated=False``."""
+    if src.size == 0:
+        return src, dst, True
+    if k <= _DEDUP_TABLE_K:
+        # O(m + k^2) counting dedup; flatnonzero returns the surviving
+        # packed keys sorted, i.e. already in CSR row order.
+        table = np.zeros(k * k, dtype=bool)
+        table[src * np.int64(k) + dst] = True
+        key = np.flatnonzero(table)
+        return key // k, key % k, True
+    if src.size <= _DEDUP_SORT_M:
+        key = np.unique(src * np.int64(k) + dst)
+        return key // k, key % k, True
+    return src, dst, False
+
+
+def _one_contraction_round(
+    n: int, src: np.ndarray, dst: np.ndarray, sorted_rows: bool
+) -> Tuple[np.ndarray, int, np.ndarray, np.ndarray, bool, int]:
+    """Steps 2-6 from identity labels, then contract.
+
+    Returns ``(phi, k, new_src, new_dst, new_sorted, jumps)`` where
+    ``phi`` maps each current vertex to its supervertex in ``0..k-1``.
+    """
+    jumps = jump_iterations(n)
+    T = _min_neighbour(n, src, dst, sorted_rows)
+
+    # step 4: hook; step 5: pointer jumping; step 6: resolve mutual pairs.
+    C = T.copy()
+    for _ in range(jumps):
+        C = C[C]
+    C = np.minimum(C, T[C])
+
+    # Min-neighbour hooking admits no cycles longer than two, and step 6
+    # collapses each mutual pair to its minimum, so C is idempotent: the
+    # supervertex representatives are exactly its fixed points.  That
+    # yields a dense O(n) relabelling with no sort.
+    identity = np.arange(n, dtype=np.int64)
+    roots = C == identity
+    k = int(np.count_nonzero(roots))
+    new_id = np.cumsum(roots) - 1          # root -> dense id, in index order
+    phi = new_id[C]
+
+    # contract the edges: map endpoints, drop intra-supervertex edges,
+    # then dedup/sort when the policy says it pays.
+    ns, nd = phi[src], phi[dst]
+    foreign = ns != nd
+    ns, nd = ns[foreign], nd[foreign]
+    ns, nd, new_sorted = _dedup_edges(k, ns, nd)
+    return phi, k, ns, nd, new_sorted, jumps
+
+
+def connected_components_contracting(
+    graph: Union[EdgeListGraph, GraphLike],
+    max_levels: Optional[int] = None,
+) -> ContractingResult:
+    """Canonical component labels via contracting Hirschberg iterations.
+
+    Accepts an :class:`~repro.hirschberg.edgelist.EdgeListGraph` or any
+    dense graph (converted).  ``max_levels`` optionally caps the number of
+    contraction levels (for instrumentation); when the cap stops the run
+    before the edge set is empty, ``contracted_to_empty`` is ``False`` and
+    the labels describe the partial merge, not the final components.
+    """
+    g = (
+        graph
+        if isinstance(graph, EdgeListGraph)
+        else EdgeListGraph.from_adjacency(graph)
+    )
+    n0 = g.n
+    limit = outer_iterations(n0) if max_levels is None else max_levels
+    if limit < 0:
+        raise ValueError(f"max_levels must be >= 0, got {limit}")
+
+    src, dst = g.src, g.dst
+    keep = src != dst  # tolerate hand-built graphs with self-loops
+    if not keep.all():
+        src, dst = src[keep], dst[keep]
+    sorted_rows = False
+    n = n0
+    to_current = np.arange(n0, dtype=np.int64)  # original -> current vertex
+    orig_min = np.arange(n0, dtype=np.int64)    # current vertex -> min original
+    levels: List[ContractionLevel] = []
+
+    while src.size and len(levels) < limit:
+        level = ContractionLevel(
+            n=n, m=int(src.size), jumps=jump_iterations(n),
+            deduplicated=sorted_rows,
+        )
+        phi, k, src, dst, sorted_rows, _ = _one_contraction_round(
+            n, src, dst, sorted_rows
+        )
+        levels.append(level)
+        new_min = np.full(k, n0, dtype=np.int64)
+        np.minimum.at(new_min, phi, orig_min)
+        orig_min = new_min
+        to_current = phi[to_current]
+        n = k
+
+    labels = orig_min[to_current]
+    return ContractingResult(
+        labels=labels,
+        levels=levels,
+        contracted_to_empty=not src.size,
+    )

@@ -30,6 +30,25 @@ from repro.util.validation import check_positive
 
 GraphLike = Union[AdjacencyMatrix, np.ndarray]
 
+#: Largest ``n`` for which an (u, v) pair can be packed into one int64
+#: (``u * n + v < 2**63``); beyond it the constructors fall back to lexsort.
+_PACK_LIMIT = 3_000_000_000
+
+
+def _canonical_pairs(n: int, lo: np.ndarray, hi: np.ndarray):
+    """Sorted, duplicate-free ``(lo, hi)`` pairs with ``lo < hi``."""
+    if lo.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if n <= _PACK_LIMIT:
+        key = np.unique(lo * np.int64(n) + hi)
+        return key // n, key % n
+    order = np.lexsort((hi, lo))
+    lo, hi = lo[order], hi[order]
+    keep = np.ones(lo.size, dtype=bool)
+    keep[1:] = (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])
+    return lo[keep], hi[keep]
+
 
 @dataclass(frozen=True)
 class EdgeListGraph:
@@ -42,7 +61,9 @@ class EdgeListGraph:
     src, dst:
         Arrays of equal length; every undirected edge ``{u, v}`` appears
         as both ``(u, v)`` and ``(v, u)`` so per-node reductions see all
-        neighbours.
+        neighbours.  The constructors normalise their input: self-loops
+        are dropped and parallel edges deduplicated, so ``src.size`` is
+        exactly twice the number of distinct undirected edges.
     """
 
     n: int
@@ -55,23 +76,60 @@ class EdgeListGraph:
         return int(self.src.size) // 2
 
     @staticmethod
-    def from_edges(n: int, edges) -> "EdgeListGraph":
-        """Build from an iterable of undirected ``(u, v)`` pairs."""
+    def from_arrays(
+        n: int, u: np.ndarray, v: np.ndarray, assume_canonical: bool = False
+    ) -> "EdgeListGraph":
+        """Build from parallel endpoint arrays (vectorised).
+
+        Self-loops are dropped and parallel edges (including an edge given
+        in both orientations) are deduplicated.  ``assume_canonical=True``
+        skips the normalisation for callers that already hold sorted,
+        duplicate-free ``u < v`` pairs.
+        """
         check_positive("n", n)
-        pairs = [(int(u), int(v)) for u, v in edges]
-        for u, v in pairs:
-            if u == v:
-                raise ValueError(f"self-loop ({u}, {v}) is not allowed")
-            if not (0 <= u < n and 0 <= v < n):
-                raise IndexError(f"edge ({u}, {v}) out of range for n={n}")
-        if pairs:
-            arr = np.asarray(pairs, dtype=np.int64)
-            src = np.concatenate([arr[:, 0], arr[:, 1]])
-            dst = np.concatenate([arr[:, 1], arr[:, 0]])
+        u = np.ascontiguousarray(u, dtype=np.int64).ravel()
+        v = np.ascontiguousarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise ValueError(
+                f"endpoint arrays differ in length: {u.size} vs {v.size}"
+            )
+        if u.size:
+            low = min(int(u.min()), int(v.min()))
+            high = max(int(u.max()), int(v.max()))
+            if low < 0 or high >= n:
+                raise IndexError(
+                    f"edge endpoint out of range for n={n}: "
+                    f"saw values in [{low}, {high}]"
+                )
+        if not assume_canonical:
+            keep = u != v  # drop self-loops up front
+            lo = np.minimum(u[keep], v[keep])
+            hi = np.maximum(u[keep], v[keep])
+            u, v = _canonical_pairs(n, lo, hi)
+        if u.size:
+            src = np.concatenate([u, v])
+            dst = np.concatenate([v, u])
         else:
             src = np.empty(0, dtype=np.int64)
             dst = np.empty(0, dtype=np.int64)
         return EdgeListGraph(n=n, src=src, dst=dst)
+
+    @staticmethod
+    def from_edges(n: int, edges) -> "EdgeListGraph":
+        """Build from an iterable of undirected ``(u, v)`` pairs.
+
+        Self-loops are dropped and parallel edges deduplicated (an
+        undirected edge listed as both ``(u, v)`` and ``(v, u)`` counts
+        once).
+        """
+        check_positive("n", n)
+        pairs = [(int(u), int(v)) for u, v in edges]
+        if not pairs:
+            return EdgeListGraph.from_arrays(
+                n, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            )
+        arr = np.asarray(pairs, dtype=np.int64)
+        return EdgeListGraph.from_arrays(n, arr[:, 0], arr[:, 1])
 
     @staticmethod
     def from_adjacency(graph: GraphLike) -> "EdgeListGraph":
@@ -170,8 +228,8 @@ def random_edge_list(n: int, m: int, seed=None) -> EdgeListGraph:
     keep = u != v
     lo = np.minimum(u[keep], v[keep])
     hi = np.maximum(u[keep], v[keep])
-    pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)[:m]
-    return EdgeListGraph.from_edges(n, [tuple(p) for p in pairs])
+    lo, hi = _canonical_pairs(n, lo, hi)
+    return EdgeListGraph.from_arrays(n, lo[:m], hi[:m], assume_canonical=True)
 
 
 # ----------------------------------------------------------------------

@@ -1,18 +1,29 @@
 """Tests for the sweep runner."""
 
+import numpy as np
 import pytest
 
+from repro.analysis.shm import (
+    SharedArray,
+    SharedWorkspace,
+    attach_edge_list,
+    share_edge_list,
+)
 from repro.analysis.sweep import (
     ENGINES,
+    SPARSE_ENGINES,
     RunRecord,
+    SparseSweepSpec,
     SweepSpec,
     dumps_records,
     load_records,
     loads_records,
+    run_sparse_sweep,
     run_sweep,
     save_records,
     summarize,
 )
+from repro.hirschberg.edgelist import random_edge_list
 
 
 def small_spec(**overrides):
@@ -119,6 +130,113 @@ class TestParallelJobs:
     def test_single_cell_runs_in_process(self):
         records = run_sweep(small_spec(sizes=[4]), jobs=4)
         assert len(records) == 2
+
+
+class TestSparseDenseEngines:
+    def test_sparse_engines_on_dense_sweep(self):
+        spec = small_spec(engines=["edgelist", "contracting", "auto",
+                                   "unionfind"])
+        records = run_sweep(spec)
+        assert len(records) == 8
+        assert all(r.correct for r in records)
+
+
+class TestSharedMemory:
+    def test_array_create_attach_roundtrip(self):
+        source = np.arange(100, dtype=np.int64)
+        owner = SharedArray.create(source)
+        try:
+            view = SharedArray.attach(owner.ref)
+            assert np.array_equal(view.array, source)
+            view.array[0] = -7  # writes land in the same pages
+            assert owner.array[0] == -7
+            view.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_share_edge_list_zero_copy_views(self):
+        g = random_edge_list(50, 80, seed=0)
+        workspace, ref = share_edge_list(g)
+        try:
+            attached, handles = attach_edge_list(ref)
+            assert attached.n == g.n
+            assert np.array_equal(attached.src, g.src)
+            assert np.array_equal(attached.dst, g.dst)
+            assert ref.edge_count == g.edge_count
+            for h in handles:
+                h.close()
+        finally:
+            workspace.close()
+            workspace.unlink()
+
+    def test_workspace_context_manager_releases(self):
+        with SharedWorkspace() as ws:
+            block = ws.zeros((10,), np.int64)
+            name = block.ref.name
+            assert block.array.sum() == 0
+        # the block is unlinked on exit
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestSparseSweep:
+    def sparse_spec(self, **overrides):
+        defaults = dict(
+            name="unit-sparse",
+            sizes=[100, 400],
+            edge_factors=[1.5],
+            engines=["edgelist", "contracting"],
+            seeds=[0],
+        )
+        defaults.update(overrides)
+        return SparseSweepSpec(**defaults)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.sparse_spec(engines=["warp-drive"]).validate()
+        with pytest.raises(ValueError):
+            self.sparse_spec(sizes=[]).validate()
+        with pytest.raises(ValueError):
+            self.sparse_spec(engines=[]).validate()
+        with pytest.raises(ValueError):
+            self.sparse_spec(edge_factors=[-1.0]).validate()
+        assert "auto" in SPARSE_ENGINES
+
+    def test_grid_and_oracle_verification(self):
+        spec = self.sparse_spec(engines=["edgelist", "contracting", "auto"],
+                                seeds=[0, 1])
+        records = run_sparse_sweep(spec)
+        assert len(records) == spec.run_count == 12
+        assert all(r.correct for r in records)
+        assert all(r.m is not None and r.m >= 0 for r in records)
+        auto = [r for r in records if r.engine == "auto"]
+        assert all(r.resolved_engine in ("edgelist", "contracting") for r in auto)
+
+    def test_parallel_jobs_zero_copy(self):
+        spec = self.sparse_spec(seeds=[0, 1])
+        serial = run_sparse_sweep(spec, jobs=1)
+        fanned = run_sparse_sweep(spec, jobs=3)
+        key = lambda r: (r.engine, r.n, r.seed, r.m, r.correct)
+        assert [key(r) for r in serial] == [key(r) for r in fanned]
+        assert all(r.correct for r in fanned)
+
+    def test_cross_engine_agreement_above_oracle_limit(self):
+        spec = self.sparse_spec(sizes=[600], oracle_max_n=10)
+        records = run_sparse_sweep(spec, jobs=2)
+        assert all(r.correct for r in records)
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sparse_sweep(self.sparse_spec(), jobs=0)
+
+    def test_records_serialise(self):
+        records = run_sparse_sweep(self.sparse_spec(sizes=[50]))
+        parsed = loads_records(dumps_records(records))
+        assert parsed == records
+        assert parsed[0].m == records[0].m
 
 
 class TestPersistence:

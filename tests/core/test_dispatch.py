@@ -1,0 +1,136 @@
+"""Tests for the adaptive engine dispatcher and its cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import connected_components
+from repro.core.dispatch import (
+    DISPATCHABLE,
+    CostModel,
+    calibrate,
+    choose_engine,
+    explain_choice,
+    predict_costs,
+)
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import random_graph
+from repro.graphs.union_find import UnionFind
+from repro.hirschberg.edgelist import random_edge_list
+
+
+class TestPredictCosts:
+    def test_all_engines_priced(self):
+        costs = predict_costs(64, 200)
+        assert set(costs) == set(DISPATCHABLE)
+        assert all(v > 0 for v in costs.values())
+
+    def test_batched_requires_batch(self):
+        assert predict_costs(16, 30, batch_size=1)["batched"] == float("inf")
+        assert predict_costs(16, 30, batch_size=8)["batched"] < float("inf")
+
+    def test_memory_gates_dense_engines(self):
+        tiny_budget = CostModel(memory_budget=1024.0)
+        costs = predict_costs(10_000, 20_000, model=tiny_budget)
+        assert costs["vectorized"] == float("inf")
+        assert costs["interpreter"] == float("inf")
+        # sparse engines are never memory-gated by the dense budget
+        assert costs["edgelist"] < float("inf")
+        assert costs["contracting"] < float("inf")
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            predict_costs(0, 1)
+        with pytest.raises(ValueError):
+            predict_costs(4, -1)
+        with pytest.raises(ValueError):
+            predict_costs(4, 1, batch_size=0)
+
+
+class TestChooseEngine:
+    def test_large_sparse_goes_contracting(self):
+        assert choose_engine(2_000_000, 6_000_000) == "contracting"
+
+    def test_choice_is_always_dispatchable(self):
+        for n in (1, 4, 64, 1024, 100_000):
+            for m in (0, n, 4 * n):
+                assert choose_engine(n, m) in DISPATCHABLE
+
+    def test_instrumentation_forces_interpreter(self):
+        assert choose_engine(8, 10, require_instrumentation=True) == "interpreter"
+
+    def test_instrumentation_infeasible_raises(self):
+        tiny = CostModel(memory_budget=1024.0)
+        with pytest.raises(ValueError):
+            choose_engine(10_000, 100, model=tiny, require_instrumentation=True)
+
+    def test_respects_model_override(self):
+        # a model where scattering is free and everything else absurd
+        rigged = CostModel(
+            scatter_edge=1e-15, edgelist_iter_dispatch=1e-15,
+            contracting_unit=1.0, interpreter_cell_gen=1.0,
+            vectorized_gen_dispatch=1.0, vectorized_cell_gen=1.0,
+        )
+        assert choose_engine(1000, 2000, model=rigged) == "edgelist"
+
+
+class TestExplainChoice:
+    def test_fields(self):
+        doc = explain_choice(64, 100)
+        assert doc["n"] == 64 and doc["m"] == 100
+        assert doc["choice"] in doc["feasible"]
+        assert set(doc["predicted_seconds"]) == set(DISPATCHABLE)
+
+    def test_infeasible_excluded(self):
+        tiny = CostModel(memory_budget=1024.0)
+        doc = explain_choice(10_000, 100, model=tiny)
+        assert "vectorized" not in doc["feasible"]
+        assert doc["choice"] in ("edgelist", "contracting")
+
+
+class TestDecisionGridCorrectness:
+    """``engine="auto"`` must return oracle-identical labels across the
+    dispatcher's whole decision grid -- whatever it picks."""
+
+    @pytest.mark.parametrize("n,p", [
+        (2, 1.0), (8, 0.4), (16, 0.2), (48, 0.1), (48, 0.6), (96, 0.05),
+    ])
+    def test_dense_grid(self, n, p):
+        g = random_graph(n, p, seed=n)
+        res = connected_components(g, engine="auto")
+        assert res.requested_method == "auto"
+        assert res.method in DISPATCHABLE
+        assert np.array_equal(res.labels, canonical_labels(g))
+
+    @pytest.mark.parametrize("n,m", [
+        (1, 0), (2, 1), (100, 0), (500, 400), (5_000, 12_000), (20_000, 30_000),
+    ])
+    def test_sparse_grid(self, n, m):
+        g = random_edge_list(n, m, seed=n)
+        res = connected_components(g, engine="auto")
+        uf = UnionFind(g.n)
+        half = g.src.size // 2
+        for u, v in zip(g.src[:half].tolist(), g.dst[:half].tolist()):
+            uf.union(u, v)
+        assert np.array_equal(res.labels, uf.canonical_labels())
+
+    def test_every_forced_engine_agrees_with_auto(self):
+        g = random_graph(24, 0.2, seed=9)
+        auto = connected_components(g, engine="auto").labels
+        for engine in DISPATCHABLE:
+            forced = connected_components(g, engine=engine).labels
+            assert np.array_equal(forced, auto), engine
+
+
+class TestCalibrate:
+    def test_returns_positive_constants(self):
+        model = calibrate(seconds_budget=0.5)
+        assert isinstance(model, CostModel)
+        for field in ("interpreter_cell_gen", "vectorized_gen_dispatch",
+                      "vectorized_cell_gen", "batched_cell_gen",
+                      "scatter_edge", "edgelist_iter_dispatch",
+                      "contracting_unit", "contracting_level_dispatch"):
+            assert getattr(model, field) > 0, field
+
+    def test_calibrated_model_still_dispatches(self):
+        model = calibrate(seconds_budget=0.5)
+        assert choose_engine(1_000_000, 5_000_000, model=model) in DISPATCHABLE

@@ -1,18 +1,24 @@
 """Unit tests for repro.graphs.io."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 
 from repro.graphs.generators import from_edges, random_graph
 from repro.graphs.io import (
     dumps_edge_list,
+    dumps_edge_list_sparse,
     dumps_matrix,
     load_edge_list,
+    load_edge_list_sparse,
     load_matrix,
     loads_edge_list,
+    loads_edge_list_sparse,
     save_edge_list,
+    save_edge_list_sparse,
     save_matrix,
 )
+from repro.hirschberg.edgelist import EdgeListGraph, random_edge_list
 from tests.conftest import adjacency_matrices
 
 
@@ -47,6 +53,61 @@ class TestEdgeListText:
         assert loads_edge_list(dumps_edge_list(g)) == g
 
 
+class TestSparseEdgeListText:
+    def test_roundtrip(self):
+        g = random_edge_list(500, 1200, seed=0)
+        g2 = loads_edge_list_sparse(dumps_edge_list_sparse(g))
+        assert g2.n == g.n
+        assert np.array_equal(g2.src, g.src)
+        assert np.array_equal(g2.dst, g.dst)
+
+    def test_format_matches_dense_writer(self):
+        g = EdgeListGraph.from_edges(3, [(0, 2)])
+        assert dumps_edge_list_sparse(g) == "3\n0 2\n"
+
+    def test_interop_with_dense_loader(self):
+        sparse = EdgeListGraph.from_edges(5, [(0, 1), (2, 3)])
+        dense = loads_edge_list(dumps_edge_list_sparse(sparse))
+        assert dense.n == 5 and dense.edge_count == 2
+        # and the reverse direction
+        back = loads_edge_list_sparse(dumps_edge_list(dense))
+        assert back.edge_count == 2
+
+    def test_strict_path_handles_comments_and_blanks(self):
+        g = loads_edge_list_sparse("# comment\n4\n\n0 1\n# another\n2 3\n")
+        assert g.n == 4 and g.edge_count == 2
+
+    def test_fast_and_strict_paths_agree(self):
+        g = random_edge_list(200, 400, seed=1)
+        text = dumps_edge_list_sparse(g)
+        fast = loads_edge_list_sparse(text)
+        strict = loads_edge_list_sparse("# force strict\n" + text)
+        assert fast.n == strict.n
+        assert np.array_equal(fast.src, strict.src)
+
+    def test_normalises_messy_input(self):
+        g = loads_edge_list_sparse("4\n1 1\n0 1\n1 0\n0 1\n")
+        assert g.edge_count == 1  # self-loop dropped, duplicates merged
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            loads_edge_list_sparse("")
+
+    def test_rejects_odd_token_count(self):
+        with pytest.raises(ValueError):
+            loads_edge_list_sparse("4\n0 1 2\n")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            loads_edge_list_sparse("3\n0 7\n")
+        with pytest.raises(IndexError):
+            loads_edge_list_sparse("3\n0 -1\n")
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            loads_edge_list_sparse("abc\n0 1\n")
+
+
 class TestFiles:
     def test_edge_list_file_roundtrip(self, tmp_path):
         g = random_graph(8, 0.4, seed=0)
@@ -70,3 +131,10 @@ class TestFiles:
         g = from_edges(2, [(0, 1)])
         text = dumps_matrix(g)
         assert text.splitlines() == ["0 1", "1 0"]
+
+    def test_sparse_file_roundtrip(self, tmp_path):
+        g = random_edge_list(300, 700, seed=2)
+        path = tmp_path / "g.edges"
+        save_edge_list_sparse(g, path)
+        g2 = load_edge_list_sparse(path)
+        assert g2.n == g.n and np.array_equal(g2.src, g.src)

@@ -1,0 +1,161 @@
+"""Tests for the contracting sparse variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.components import canonical_labels
+from repro.graphs.generators import (
+    path_graph,
+    random_graph,
+    star_graph,
+    union_of_cliques,
+)
+from repro.graphs.union_find import UnionFind
+from repro.hirschberg.contracting import (
+    ContractingResult,
+    ContractionLevel,
+    connected_components_contracting,
+)
+from repro.hirschberg.edgelist import EdgeListGraph, random_edge_list
+from repro.hirschberg.fastsv import fastsv_reference
+from tests.conftest import adjacency_matrices
+
+
+def _oracle(graph: EdgeListGraph) -> np.ndarray:
+    uf = UnionFind(graph.n)
+    half = graph.src.size // 2
+    for u, v in zip(graph.src[:half].tolist(), graph.dst[:half].tolist()):
+        uf.union(u, v)
+    return uf.canonical_labels()
+
+
+class TestCorrectness:
+    def test_corpus(self, corpus_graph):
+        got = connected_components_contracting(corpus_graph).labels
+        assert np.array_equal(got, canonical_labels(corpus_graph))
+
+    @given(adjacency_matrices(max_n=20))
+    @settings(max_examples=60)
+    def test_random(self, g):
+        got = connected_components_contracting(g).labels
+        assert np.array_equal(got, canonical_labels(g))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 64])
+    def test_path(self, n):
+        g = path_graph(n)
+        res = connected_components_contracting(g)
+        assert np.array_equal(res.labels, np.zeros(n, dtype=np.int64))
+
+    @pytest.mark.parametrize("n", [2, 5, 33])
+    def test_star(self, n):
+        g = star_graph(n)
+        res = connected_components_contracting(g)
+        assert np.array_equal(res.labels, canonical_labels(g))
+
+    def test_disconnected_union(self):
+        g = union_of_cliques([4, 1, 6, 2])
+        res = connected_components_contracting(g)
+        assert np.array_equal(res.labels, canonical_labels(g))
+        assert res.component_count == 4
+
+    def test_agrees_with_fastsv(self):
+        for seed in range(5):
+            g = random_graph(40, 0.08, seed=seed)
+            ours = connected_components_contracting(g).labels
+            assert np.array_equal(ours, fastsv_reference(g).labels)
+
+    def test_edge_list_and_dense_inputs_agree(self):
+        dense = random_graph(25, 0.15, seed=7)
+        sparse = EdgeListGraph.from_adjacency(dense)
+        a = connected_components_contracting(dense)
+        b = connected_components_contracting(sparse)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestEdgeCases:
+    def test_single_vertex(self):
+        res = connected_components_contracting(path_graph(1))
+        assert res.labels.tolist() == [0]
+        assert res.iterations == 0
+        assert res.contracted_to_empty
+
+    def test_no_edges(self):
+        g = EdgeListGraph.from_edges(6, [])
+        res = connected_components_contracting(g)
+        assert res.labels.tolist() == list(range(6))
+        assert res.iterations == 0
+        assert res.component_count == 6
+
+    def test_two_nodes(self):
+        g = EdgeListGraph.from_edges(2, [(0, 1)])
+        res = connected_components_contracting(g)
+        assert res.labels.tolist() == [0, 0]
+
+
+class TestContractionStack:
+    def test_levels_shrink_monotonically(self):
+        g = random_edge_list(5_000, 9_000, seed=3)
+        res = connected_components_contracting(g)
+        ns = [level.n for level in res.levels]
+        assert ns == sorted(ns, reverse=True)
+        assert all(b < a for a, b in zip(ns, ns[1:]))
+        assert res.levels[0].n == g.n
+        assert res.contracted_to_empty
+
+    def test_level_count_logarithmic(self):
+        g = random_edge_list(10_000, 20_000, seed=1)
+        res = connected_components_contracting(g)
+        # non-isolated supervertex count at least halves per level
+        assert res.iterations <= int(np.ceil(np.log2(g.n))) + 1
+
+    def test_total_work(self):
+        g = random_edge_list(1_000, 2_000, seed=0)
+        res = connected_components_contracting(g)
+        assert res.total_work == sum(l.n + l.m for l in res.levels)
+        assert res.total_work >= g.n
+
+    def test_max_levels_truncates(self):
+        g = random_edge_list(5_000, 9_000, seed=3)
+        full = connected_components_contracting(g)
+        assert full.iterations > 1
+        capped = connected_components_contracting(g, max_levels=1)
+        assert capped.iterations == 1
+        assert not capped.contracted_to_empty
+        # truncation never merges across components: every partial group
+        # sits inside one true component
+        for lab in np.unique(capped.labels):
+            members = np.flatnonzero(capped.labels == lab)
+            assert np.unique(full.labels[members]).size == 1
+
+    def test_max_levels_zero_is_identity(self):
+        g = path_graph(5)
+        res = connected_components_contracting(g, max_levels=0)
+        assert res.labels.tolist() == [0, 1, 2, 3, 4]
+        assert res.iterations == 0
+
+    def test_rejects_negative_max_levels(self):
+        with pytest.raises(ValueError):
+            connected_components_contracting(path_graph(3), max_levels=-1)
+
+    def test_level_records(self):
+        res = connected_components_contracting(path_graph(8))
+        assert isinstance(res, ContractingResult)
+        for level in res.levels:
+            assert isinstance(level, ContractionLevel)
+            assert level.edge_count == level.m // 2
+
+
+class TestScale:
+    def test_fifty_thousand_nodes_vs_oracle(self):
+        g = random_edge_list(50_000, 70_000, seed=4)
+        res = connected_components_contracting(g)
+        assert np.array_equal(res.labels, _oracle(g))
+
+    def test_agrees_with_edgelist_at_scale(self):
+        from repro.hirschberg.edgelist import connected_components_edgelist
+
+        g = random_edge_list(200_000, 500_000, seed=5)
+        a = connected_components_contracting(g).labels
+        b = connected_components_edgelist(g).labels
+        assert np.array_equal(a, b)

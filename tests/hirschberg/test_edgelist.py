@@ -26,13 +26,44 @@ class TestEdgeListGraph:
         g = EdgeListGraph.from_edges(3, [])
         assert g.edge_count == 0
 
-    def test_rejects_self_loop(self):
+    def test_drops_self_loops(self):
+        g = EdgeListGraph.from_edges(3, [(1, 1), (0, 2)])
+        assert g.edge_count == 1
+        assert sorted(zip(g.src.tolist(), g.dst.tolist())) == [(0, 2), (2, 0)]
+
+    def test_deduplicates_parallel_edges(self):
+        # parallel copies and the reversed orientation all collapse to one
+        # undirected edge, so m (and the per-iteration scatter work) is not
+        # inflated by messy input
+        g = EdgeListGraph.from_edges(4, [(0, 1), (1, 0), (0, 1), (2, 3)])
+        assert g.edge_count == 2
+        assert g.src.size == 4
+        assert sorted(zip(g.src.tolist(), g.dst.tolist())) == [
+            (0, 1), (1, 0), (2, 3), (3, 2),
+        ]
+
+    def test_from_arrays_matches_from_edges(self):
+        import numpy as np
+
+        u = np.array([3, 1, 1, 2, 2], dtype=np.int64)
+        v = np.array([3, 0, 0, 4, 1], dtype=np.int64)
+        g_arr = EdgeListGraph.from_arrays(5, u, v)
+        g_edges = EdgeListGraph.from_edges(5, zip(u.tolist(), v.tolist()))
+        assert g_arr.edge_count == g_edges.edge_count == 3
+        assert (g_arr.src == g_edges.src).all()
+        assert (g_arr.dst == g_edges.dst).all()
+
+    def test_from_arrays_rejects_mismatched_lengths(self):
+        import numpy as np
+
         with pytest.raises(ValueError):
-            EdgeListGraph.from_edges(3, [(1, 1)])
+            EdgeListGraph.from_arrays(3, np.arange(2), np.arange(3))
 
     def test_rejects_out_of_range(self):
         with pytest.raises(IndexError):
             EdgeListGraph.from_edges(3, [(0, 3)])
+        with pytest.raises(IndexError):
+            EdgeListGraph.from_edges(3, [(-1, 2)])
 
     def test_from_adjacency(self):
         dense = random_graph(10, 0.3, seed=0)
