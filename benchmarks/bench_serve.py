@@ -1,0 +1,378 @@
+"""E23 (harness) -- serve throughput: micro-batching server vs naive loop.
+
+Drives the :mod:`repro.serve` request server with the mixed open-loop
+workload from the acceptance criterion (sizes 8..256 drawn with a
+small-request skew, sparse edge lists with a dense fraction available)
+and compares it against the naive baseline: one-request-at-a-time
+``connected_components(engine="auto")`` over the identical stream.
+
+Measurement shape: each rung is timed as a **burst** -- every request
+submitted up front, then all responses collected -- which is the
+saturated-throughput question a batching scheduler answers ("how fast
+does the backlog drain"), and the shape that is robust on a single-CPU
+runner where many closed-loop client threads just thrash the GIL.
+Naive and served timings are interleaved round-by-round and the medians
+compared, so machine-wide jitter hits both sides equally.
+
+Labels from the served responses are cross-checked against the
+union-find oracle on every rung before any timing is reported.  A
+second, non-timed overload section pushes a Poisson arrival stream with
+a tiny queue and tight deadlines through the server so the shed /
+deadline-miss counters in the committed report are real numbers, not
+zeros.
+
+The numbers are written as machine-readable JSON (``BENCH_serve.json``
+at the repo root when run as a script); the committed copy doubles as
+CI's performance baseline via ``--check`` (fail when any overlapping
+rung's served requests/sec drops more than 3x below it).
+
+Run standalone (CI runs the smoke variant)::
+
+    python benchmarks/bench_serve.py            # full ladder
+    python benchmarks/bench_serve.py --smoke
+    python benchmarks/bench_serve.py --smoke --check BENCH_serve.json
+
+or via pytest (report + timed benchmark)::
+
+    pytest benchmarks/bench_serve.py --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.graphs.components import components_union_find
+from repro.graphs.union_find import UnionFind
+from repro.hirschberg.edgelist import EdgeListGraph
+from repro.serve.loadgen import (
+    LoadSpec,
+    make_workload,
+    naive_seconds,
+    run_open_loop,
+)
+from repro.serve.server import Server, ServerConfig
+
+#: The full ladder of (request count, seed) rungs.  The first rung is
+#: shared with ``--smoke`` so the committed full report contains the
+#: baseline point CI's smoke ``--check`` compares against.
+FULL_POINTS: Tuple[Tuple[int, int], ...] = (
+    (150, 1),
+    (600, 1),
+    (1000, 1),
+)
+SMOKE_POINTS: Tuple[Tuple[int, int], ...] = ((150, 1),)
+
+#: Interleaved naive/served rounds per rung (median reported).
+FULL_ROUNDS = 5
+SMOKE_ROUNDS = 3
+
+#: ``--check`` fails when served requests/sec drop below baseline/3.
+CHECK_FACTOR = 3.0
+
+#: The acceptance bar: served throughput over the naive sequential loop.
+TARGET_SPEEDUP = 3.0
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _spec(count: int, seed: int) -> LoadSpec:
+    """The acceptance-criterion workload: sizes 8..256, small-skewed."""
+    return LoadSpec(count=count, sizes=(8, 16, 32, 64, 128, 256),
+                    size_skew=1.0, edge_factor=2.0, dense_fraction=0.1,
+                    seed=seed)
+
+
+def _oracle(graph) -> np.ndarray:
+    if isinstance(graph, EdgeListGraph):
+        uf = UnionFind(graph.n)
+        for u, v in zip(graph.src.tolist(), graph.dst.tolist()):
+            uf.union(u, v)
+        return uf.canonical_labels()
+    return components_union_find(graph)
+
+
+def _serve_burst(graphs, config: ServerConfig):
+    """One burst round: submit everything, drain, return timing + metrics."""
+    with Server(config) as server:
+        start = time.perf_counter()
+        handles = [server.submit(g) for g in graphs]
+        responses = [h.response(timeout=300.0) for h in handles]
+        seconds = time.perf_counter() - start
+        snapshot = server.metrics_snapshot()
+    return seconds, responses, snapshot
+
+
+def run_point(count: int, seed: int, rounds: int) -> dict:
+    """Interleaved naive/served medians for one rung, oracle-verified."""
+    graphs = make_workload(_spec(count, seed))
+    config = ServerConfig(workers=1, max_wait=0.002)
+
+    naive_s: List[float] = []
+    serve_s: List[float] = []
+    ratios: List[float] = []
+    responses = snapshot = None
+    for _ in range(rounds):
+        naive = naive_seconds(graphs)
+        seconds, responses, snapshot = _serve_burst(graphs, config)
+        naive_s.append(naive)
+        serve_s.append(seconds)
+        ratios.append(naive / seconds)
+
+    mismatches = 0
+    for g, r in zip(graphs, responses):
+        assert r.ok, f"request failed under benign load: {r.status}"
+        if not np.array_equal(r.labels, _oracle(g)):
+            mismatches += 1
+    assert mismatches == 0, f"{mismatches} label mismatches vs union-find"
+
+    naive_med = statistics.median(naive_s)
+    serve_med = statistics.median(serve_s)
+    latency = snapshot["latency"]
+    occupancy = snapshot["batch_occupancy"]
+    return {
+        "count": count,
+        "seed": seed,
+        "rounds": rounds,
+        "naive_seconds": naive_med,
+        "serve_seconds": serve_med,
+        # median of per-round ratios, not ratio of medians: each round
+        # pairs a naive and a served timing taken back to back, so
+        # machine-wide drift across rounds cancels inside each ratio
+        "speedup": statistics.median(ratios),
+        "requests_per_sec": count / serve_med,
+        "p50_ms": latency["p50_ms"],
+        "p95_ms": latency["p95_ms"],
+        "p99_ms": latency["p99_ms"],
+        "batches": snapshot["counters"]["batches"],
+        "mean_occupancy": occupancy["mean"],
+    }
+
+
+def run_overload(count: int = 120, seed: int = 7) -> dict:
+    """Open-loop Poisson overload: tiny queue, tight deadlines, shedding.
+
+    Not a timing rung -- this exists so the committed report carries
+    genuinely exercised shed / deadline-miss / timeout counters.
+    """
+    graphs = make_workload(_spec(count, seed))
+    config = ServerConfig(workers=1, max_wait=0.002, max_queue=8,
+                          admission="shed")
+    with Server(config) as server:
+        handles = run_open_loop(server, graphs, offered_rps=50_000.0,
+                                deadline=0.001, seed=seed)
+        responses = [h.response(timeout=60.0) for h in handles]
+        snapshot = server.metrics_snapshot()
+    counters = snapshot["counters"]
+    return {
+        "offered": count,
+        "ok": sum(r.ok for r in responses),
+        "shed": counters["shed"],
+        "timed_out": counters["timed_out"],
+        "deadline_misses": counters["deadline_misses"],
+    }
+
+
+def build_report(points: Sequence[Tuple[int, int]], rounds: int) -> dict:
+    """The full machine-readable benchmark document."""
+    results = [run_point(count, seed, rounds) for count, seed in points]
+    largest = max(results, key=lambda r: r["count"])
+    return {
+        "benchmark": "serve",
+        "config": {
+            "points": [list(p) for p in points],
+            "rounds": rounds,
+            "sizes": [8, 16, 32, 64, 128, 256],
+            "dense_fraction": 0.1,
+        },
+        "results": results,
+        "overload": run_overload(),
+        "speedups": {
+            "serve_vs_naive_at_largest": largest["speedup"],
+        },
+    }
+
+
+def validate_report(doc: dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed report."""
+    for key in ("benchmark", "config", "results", "overload", "speedups"):
+        if key not in doc:
+            raise ValueError(f"report missing key {key!r}")
+    if doc["benchmark"] != "serve":
+        raise ValueError(f"unexpected benchmark id {doc['benchmark']!r}")
+    if len(doc["results"]) != len(doc["config"]["points"]):
+        raise ValueError(
+            f"expected {len(doc['config']['points'])} results, "
+            f"got {len(doc['results'])}"
+        )
+    for r in doc["results"]:
+        for field in ("count", "naive_seconds", "serve_seconds", "speedup",
+                      "requests_per_sec"):
+            value = r.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(f"bad {field}={value!r} in rung {r}")
+    overload = doc["overload"]
+    for field in ("offered", "ok", "shed", "timed_out", "deadline_misses"):
+        value = overload.get(field)
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(f"bad overload.{field}={value!r}")
+    if overload["shed"] + overload["timed_out"] == 0:
+        raise ValueError("overload section exercised no backpressure path")
+
+
+def check_against_baseline(doc: dict, baseline: dict,
+                           factor: float = CHECK_FACTOR) -> List[str]:
+    """Regression guard: served requests/sec must stay within ``factor``
+    of the committed baseline on every (count, seed) rung both share.
+
+    Returns the list of violations (empty = pass).
+    """
+    base = {
+        (r["count"], r["seed"]): r["requests_per_sec"]
+        for r in baseline.get("results", [])
+    }
+    problems = []
+    overlap = False
+    for r in doc["results"]:
+        key = (r["count"], r["seed"])
+        if key not in base:
+            continue
+        overlap = True
+        if r["requests_per_sec"] * factor < base[key]:
+            problems.append(
+                f"{key}: {r['requests_per_sec']:.0f} req/s is more than "
+                f"{factor:.0f}x below baseline {base[key]:.0f}"
+            )
+    if not overlap:
+        problems.append("no overlapping (count, seed) rungs with baseline")
+    return problems
+
+
+def render(doc: dict) -> str:
+    lines = [
+        "Serve throughput: micro-batching server vs naive sequential loop "
+        "(rounds={rounds}, median)".format(**doc["config"]),
+        f"{'count':>6} | {'naive ms':>9} | {'serve ms':>9} | {'speedup':>7} "
+        f"| {'req/s':>7} | {'p95 ms':>7} | occupancy",
+        "-" * 72,
+    ]
+    for r in doc["results"]:
+        lines.append(
+            f"{r['count']:>6} | {r['naive_seconds'] * 1e3:>9.1f} "
+            f"| {r['serve_seconds'] * 1e3:>9.1f} | {r['speedup']:>6.2f}x "
+            f"| {r['requests_per_sec']:>7.0f} | {r['p95_ms']:>7.2f} "
+            f"| {r['mean_occupancy']}"
+        )
+    o = doc["overload"]
+    lines.append("")
+    lines.append(
+        f"overload ({o['offered']} offered, queue=8, deadline=1ms): "
+        f"{o['ok']} ok, {o['shed']} shed, {o['timed_out']} timed out, "
+        f"{o['deadline_misses']} deadline misses"
+    )
+    for name, value in doc["speedups"].items():
+        lines.append(f"{name}: {value:.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="first rung only, fewer rounds (CI-fast)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="interleaved rounds per rung (default "
+                             f"{FULL_ROUNDS}, smoke {SMOKE_ROUNDS})")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare against a committed report; exit 1 on "
+                             f"a >{CHECK_FACTOR:.0f}x throughput drop")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT.name})")
+    args = parser.parse_args(argv)
+
+    points = SMOKE_POINTS if args.smoke else FULL_POINTS
+    rounds = args.rounds or (SMOKE_ROUNDS if args.smoke else FULL_ROUNDS)
+    doc = build_report(points, rounds=rounds)
+    validate_report(doc)
+    print(render(doc))
+
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\n[report saved to {args.out}]")
+    json.loads(args.out.read_text())  # round-trip sanity
+
+    if not args.smoke:
+        speedup = doc["speedups"]["serve_vs_naive_at_largest"]
+        if speedup < TARGET_SPEEDUP:
+            print(f"error: served speedup {speedup:.2f}x is below the "
+                  f"{TARGET_SPEEDUP:.0f}x acceptance bar", file=sys.stderr)
+            return 1
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        problems = check_against_baseline(doc, baseline)
+        if problems:
+            for problem in problems:
+                print(f"error: perf regression: {problem}", file=sys.stderr)
+            return 1
+        print(f"check ok: within {CHECK_FACTOR:.0f}x of {args.check}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+class TestServe:
+    def test_report(self, record_report):
+        doc = build_report([(40, 1)], rounds=1)
+        validate_report(doc)
+        record_report("serve", render(doc))
+        from benchmarks.conftest import RESULTS_DIR
+
+        path = RESULTS_DIR / "serve.json"
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        assert json.loads(path.read_text())["benchmark"] == "serve"
+
+    def test_validate_rejects_malformed(self):
+        doc = build_report([(20, 1)], rounds=1)
+        bad = dict(doc)
+        del bad["overload"]
+        try:
+            validate_report(bad)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("validate_report accepted a malformed doc")
+
+    def test_check_guard_catches_regression(self):
+        doc = build_report([(20, 1)], rounds=1)
+        assert check_against_baseline(doc, doc) == []
+        slowed = json.loads(json.dumps(doc))
+        for r in slowed["results"]:
+            r["requests_per_sec"] /= 10.0
+        assert check_against_baseline(slowed, doc)
+
+    def test_check_guard_requires_overlap(self):
+        doc = build_report([(20, 1)], rounds=1)
+        assert check_against_baseline(doc, {"results": []})
+
+
+class TestServeBenchmarks:
+    def test_burst(self, benchmark):
+        graphs = make_workload(_spec(30, 1))
+        config = ServerConfig(workers=1, max_wait=0.002)
+        benchmark(lambda: _serve_burst(graphs, config))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

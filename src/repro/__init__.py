@@ -33,6 +33,9 @@ Packages
     The FPGA cost model reproducing Section 4's synthesis figures.
 ``repro.analysis``
     Congestion/complexity analytics reproducing Tables 1 and 2.
+``repro.serve``
+    The dynamic micro-batching request server: bounded admission,
+    deadline-aware batching scheduler, worker pools and serve metrics.
 """
 
 from repro.core.api import (
@@ -68,6 +71,7 @@ from repro.hirschberg.edgelist import (
     random_edge_list,
 )
 from repro.hirschberg.reference import hirschberg_reference
+from repro.serve import CCRequest, CCResponse, Server, ServerConfig, serve_many
 
 __version__ = "1.0.0"
 
@@ -101,6 +105,11 @@ __all__ = [
     "star_graph",
     "union_of_cliques",
     "hirschberg_reference",
+    "CCRequest",
+    "CCResponse",
+    "Server",
+    "ServerConfig",
+    "serve_many",
     "connected_components_row_gca",
     "spanning_forest",
     "transitive_closure_gca",

@@ -20,6 +20,11 @@ Installed as ``python -m repro`` (see ``__main__.py``). Sub-commands:
 ``sparse-sweep``
     The sparse-scale counterpart: random edge lists shared with worker
     processes via zero-copy shared memory.
+``serve-bench``
+    Drive the micro-batching request server with an open- or closed-loop
+    workload and print throughput, occupancy, tail latency and the
+    shed/deadline counters (optionally against the naive sequential
+    baseline).
 ``reproduce``
     Run the acceptance harness: a quick PASS/FAIL verdict for every
     experiment E1-E20.
@@ -35,13 +40,17 @@ Examples::
     python -m repro closure --n 6 --edges 0-1,1-2,4-5 --query 0-2
     python -m repro sweep --sizes 8,16 --engines vectorized,unionfind
     python -m repro sparse-sweep --sizes 10000,50000 --jobs 4
+    python -m repro serve-bench --count 200 --baseline
+    python -m repro serve-bench --rps 2000 --deadline 0.05 --json serve.json
     python -m repro reproduce [--only E1,E6]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -233,6 +242,78 @@ def _cmd_sparse_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import (
+        LoadSpec,
+        make_workload,
+        naive_seconds,
+        run_closed_loop,
+        run_open_loop,
+    )
+    from repro.serve.server import Server, ServerConfig
+
+    spec = LoadSpec(
+        count=args.count,
+        sizes=tuple(int(x) for x in args.sizes.split(",") if x),
+        size_skew=args.size_skew,
+        edge_factor=args.edge_factor,
+        dense_fraction=args.dense_fraction,
+        seed=args.seed,
+    )
+    graphs = make_workload(spec)
+    config = ServerConfig(
+        workers=args.workers,
+        max_wait=args.max_wait,
+        calibration=args.calibration,
+    )
+    deadline = args.deadline if args.deadline > 0 else None
+
+    naive = naive_seconds(graphs) if args.baseline else None
+    with Server(config) as server:
+        start = time.perf_counter()
+        if args.rps > 0:
+            handles = run_open_loop(server, graphs, offered_rps=args.rps,
+                                    deadline=deadline, seed=spec.seed)
+        else:
+            handles = run_closed_loop(server, graphs,
+                                      concurrency=args.concurrency,
+                                      deadline=deadline)
+        responses = [h.response(timeout=args.wait_timeout) for h in handles]
+        served = time.perf_counter() - start
+        snapshot = server.metrics_snapshot()
+
+    ok = sum(r.ok for r in responses)
+    print(f"served {ok}/{len(responses)} ok in {served * 1e3:.1f} ms "
+          f"({len(responses) / served:.0f} rps)")
+    if naive is not None:
+        print(f"naive sequential baseline: {naive * 1e3:.1f} ms "
+              f"(speedup {naive / served:.2f}x)")
+    occupancy = snapshot["batch_occupancy"]
+    print(f"batches: {snapshot['counters']['batches']} "
+          f"(mean occupancy {occupancy['mean']}, max {occupancy['max']})")
+    counters = snapshot["counters"]
+    print(f"shed: {counters['shed']}, timed out: {counters['timed_out']}, "
+          f"deadline misses: {counters['deadline_misses']}")
+    latency = snapshot["latency"]
+    if latency["count"]:
+        print(f"latency ms: p50 {latency['p50_ms']}, "
+              f"p95 {latency['p95_ms']}, p99 {latency['p99_ms']}")
+    if args.json:
+        from pathlib import Path
+
+        payload = dict(snapshot)
+        payload["bench"] = {
+            "count": len(responses),
+            "ok": ok,
+            "served_seconds": served,
+            "naive_seconds": naive,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2,
+                                              sort_keys=True) + "\n")
+        print(f"snapshot written to {args.json}")
+    return 0 if ok == len(responses) or args.allow_failures else 1
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.reproduce import render, run_all
 
@@ -332,6 +413,49 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 1)")
     sparse.add_argument("--json", default="", help="archive records to file")
     sparse.set_defaults(func=_cmd_sparse_sweep)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="micro-batching server benchmark (open or closed loop)",
+    )
+    serve.add_argument("--count", type=int, default=200,
+                       help="requests in the workload (default 200)")
+    serve.add_argument("--sizes", default="8,16,32,64,128,256",
+                       help="comma-separated node-count ladder")
+    serve.add_argument("--size-skew", type=float, default=1.0,
+                       help="weight ~ n^-skew; small requests dominate "
+                            "(default 1.0)")
+    serve.add_argument("--edge-factor", type=float, default=2.0,
+                       help="edges per node for sparse requests")
+    serve.add_argument("--dense-fraction", type=float, default=0.0,
+                       help="fraction of dense adjacency requests")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker threads (default 1)")
+    serve.add_argument("--max-wait", type=float, default=0.002,
+                       help="batching window seconds (default 0.002)")
+    serve.add_argument("--rps", type=float, default=0.0,
+                       help="open-loop offered rate; 0 = closed loop")
+    serve.add_argument("--concurrency", type=int, default=8,
+                       help="closed-loop client threads (default 8)")
+    serve.add_argument("--deadline", type=float, default=0.0,
+                       help="per-request deadline seconds; 0 = none")
+    serve.add_argument("--wait-timeout", type=float, default=120.0,
+                       help="seconds to wait for each response")
+    serve.add_argument(
+        "--calibration", choices=["default", "cached", "recalibrate"],
+        default="default",
+        help="'cached' loads/measures the per-host cost-model cache; "
+             "'recalibrate' forces a fresh measurement",
+    )
+    serve.add_argument("--baseline", action="store_true",
+                       help="also time the naive sequential baseline")
+    serve.add_argument("--allow-failures", action="store_true",
+                       help="exit 0 even when some requests did not "
+                            "resolve ok (overload experiments)")
+    serve.add_argument("--json", default="",
+                       help="write the metrics snapshot to a file")
+    serve.set_defaults(func=_cmd_serve_bench)
 
     reproduce = sub.add_parser(
         "reproduce", help="PASS/FAIL verdict for every experiment"

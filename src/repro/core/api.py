@@ -182,11 +182,20 @@ def connected_components(
     if engine not in _METHODS:
         raise ValueError(f"method must be one of {_METHODS}, got {engine!r}")
     requested = engine
+    n, m = _graph_shape(graph)
+    if n == 0:
+        # The empty graph has no components; every engine agrees trivially
+        # and none of the field machinery needs to be built.
+        return ComponentsResult(
+            labels=np.empty(0, dtype=np.int64),
+            method="vectorized" if engine == "auto" else engine,
+            detail=None,
+            requested_method=requested,
+        )
     if engine == "auto":
         if early_exit:
             engine = "vectorized"
         else:
-            n, m = _graph_shape(graph)
             engine = choose_engine(n, m, batch_size=1, model=cost_model)
             if engine == "batched":  # never dispatched for one graph
                 engine = "vectorized"

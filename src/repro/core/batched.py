@@ -89,6 +89,8 @@ class BatchedResult:
 
     def generations_run(self) -> np.ndarray:
         """Generations each graph executed: ``1 + iters * (3 log n + 8)``."""
+        if self.n == 0:
+            return np.zeros(self.batch_size, dtype=np.int64)
         return 1 + self.iterations_run * generations_per_iteration(self.n)
 
 
@@ -129,17 +131,31 @@ class BatchedGCA:
         if self.iterations < 0:
             raise ValueError(f"iterations must be >= 0, got {self.iterations}")
         self.early_exit = early_exit
-        self._not_adjacent = np.stack(mats) != 1
+        self._not_adjacent = np.stack(mats) != 1 if n else np.empty(
+            (self.batch_size, 0, 0), dtype=bool
+        )
         # the field only ever holds values 0..n(n+1); int32 halves the
         # memory traffic of the (memory-bound) whole-batch kernels
         self._dtype = (
-            np.int32 if infinity_for(n) <= np.iinfo(np.int32).max else np.int64
+            np.int32
+            if n == 0 or infinity_for(n) <= np.iinfo(np.int32).max
+            else np.int64
         )
 
     # ------------------------------------------------------------------
     def run(self) -> BatchedResult:
         n = self.n
         B = self.batch_size
+        if n == 0:
+            # A zero-node graph has no labels and needs no field at all.
+            return BatchedResult(
+                labels=np.empty((B, 0), dtype=np.int64),
+                n=0,
+                batch_size=B,
+                iterations=self.iterations,
+                iterations_run=np.zeros(B, dtype=np.int64),
+                converged_at_iteration=np.full(B, -1, dtype=np.int64),
+            )
         inf = infinity_for(n)
         subgens = reduction_subgenerations(n)
         jumps = jump_iterations(n)

@@ -45,9 +45,12 @@ measurements, not this paragraph.
 
 from __future__ import annotations
 
+import json
+import os
 import time
-from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 from repro.util.intmath import ceil_log2
 
@@ -94,6 +97,12 @@ class CostModel:
     contracting_levels: float = 2.5
     #: ...plus the fixed dispatch cost of one contraction level.
     contracting_level_dispatch: float = 1.0e-5
+    #: fixed per-request overhead of one full ``connected_components``
+    #: call (validation, graph conversion, result assembly) -- what a
+    #: *solo* request pays on top of the raw engine kernels.  Batched
+    #: execution pays it once per batch; the serve scheduler uses the
+    #: difference for its batch-vs-solo decision.
+    request_overhead: float = 2.5e-5
     #: dense field footprint per cell (double-buffered field + adjacency).
     dense_bytes_per_cell: float = 48.0
     #: interpreter footprint per cell (a Python object per cell).
@@ -263,6 +272,18 @@ def calibrate(
         base.contracting_levels
     )
 
+    # full-API call on a tiny dense input vs the raw engine on a
+    # pre-built edge list: the difference is the per-request overhead
+    # (validation, dense -> sparse conversion, result assembly).
+    from repro.core.api import connected_components
+    from repro.hirschberg.edgelist import EdgeListGraph
+
+    g8 = random_graph(8, 0.3, seed=1)
+    e8 = EdgeListGraph.from_adjacency(g8)
+    t_full = timed(lambda: connected_components(g8, engine="contracting"))
+    t_raw = timed(lambda: connected_components_contracting(e8))
+    overhead = max(t_full - t_raw, 1e-9)
+
     ge = random_edge_list(20_000, 40_000, seed=0)
     iters = ceil_log2(20_000)
     scatter = max(
@@ -285,4 +306,92 @@ def calibrate(
         edgelist_iter_dispatch=e_dispatch,
         contracting_unit=contract,
         contracting_level_dispatch=c_dispatch,
+        request_overhead=overhead,
     )
+
+
+# ----------------------------------------------------------------------
+# cost-model persistence
+# ----------------------------------------------------------------------
+#: Bumped whenever the :class:`CostModel` schema changes incompatibly;
+#: cache files with a different version are silently ignored.
+_CACHE_VERSION = 1
+
+
+def default_cache_path() -> Path:
+    """Where :func:`cached_cost_model` persists calibration results.
+
+    ``$REPRO_CACHE_DIR/costmodel.json`` when the variable is set (tests
+    and hermetic builds), else ``$XDG_CACHE_HOME/repro/costmodel.json``,
+    else ``~/.cache/repro/costmodel.json``.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override) / "costmodel.json"
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "costmodel.json"
+
+
+def save_cost_model(
+    model: CostModel, path: Union[str, Path, None] = None
+) -> Path:
+    """Persist ``model`` as JSON at ``path`` (default cache location)."""
+    path = Path(path) if path is not None else default_cache_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": _CACHE_VERSION,
+        "saved_at": time.time(),
+        "constants": asdict(model),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_cost_model(
+    path: Union[str, Path, None] = None
+) -> Optional[CostModel]:
+    """The :class:`CostModel` cached at ``path``, or ``None``.
+
+    Returns ``None`` when the file is missing, unparsable, from a
+    different schema version, or holds non-numeric constants -- a stale
+    cache must never break startup, only trigger recalibration.
+    """
+    path = Path(path) if path is not None else default_cache_path()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or payload.get("version") != _CACHE_VERSION:
+        return None
+    constants = payload.get("constants")
+    if not isinstance(constants, dict):
+        return None
+    known = {f.name for f in fields(CostModel)}
+    kept = {
+        k: float(v)
+        for k, v in constants.items()
+        if k in known and isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+    return replace(DEFAULT_COST_MODEL, **kept)
+
+
+def cached_cost_model(
+    path: Union[str, Path, None] = None,
+    recalibrate: bool = False,
+    seconds_budget: float = 1.0,
+) -> CostModel:
+    """The host's calibrated :class:`CostModel`, measured at most once.
+
+    Loads the cache written by a previous call (so server startup and
+    repeated CLI runs don't re-measure); on a miss -- or with
+    ``recalibrate=True``, the escape hatch after a hardware change --
+    runs :func:`calibrate` and persists the result.
+    """
+    if not recalibrate:
+        cached = load_cost_model(path)
+        if cached is not None:
+            return cached
+    model = calibrate(seconds_budget=seconds_budget)
+    save_cost_model(model, path)
+    return model

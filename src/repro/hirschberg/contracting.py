@@ -71,6 +71,10 @@ _DEDUP_TABLE_K = 4096
 #: beyond it a comparison sort costs more than the duplicates it saves.
 _DEDUP_SORT_M = 1 << 19
 
+#: Test pointer-jumping convergence (early exit) only on levels at least
+#: this big; below it the test costs more than the jumps it can save.
+_JUMP_CHECK_N = 512
+
 
 @dataclass(frozen=True)
 class ContractionLevel:
@@ -78,7 +82,7 @@ class ContractionLevel:
 
     n: int            #: supervertices entering the level
     m: int            #: directed edge-array length entering the level
-    jumps: int        #: pointer-jumping repetitions used (``ceil(log2 n)``)
+    jumps: int        #: pointer jumps executed (early-exits on convergence)
     deduplicated: bool  #: whether this level's edges were CSR-sorted/unique
 
     @property
@@ -165,13 +169,25 @@ def _one_contraction_round(
     Returns ``(phi, k, new_src, new_dst, new_sorted, jumps)`` where
     ``phi`` maps each current vertex to its supervertex in ``0..k-1``.
     """
-    jumps = jump_iterations(n)
     T = _min_neighbour(n, src, dst, sorted_rows)
 
     # step 4: hook; step 5: pointer jumping; step 6: resolve mutual pairs.
+    # The PRAM schedule prescribes ceil(log2 n) jumps, but hooking trees
+    # are only as deep as the longest chain of decreasing min-neighbour
+    # links -- a disjoint union of small blocks converges in two or
+    # three.  Jumping is monotone toward the roots and the identity once
+    # converged, so stopping at the first no-op jump is exact.  The
+    # convergence test costs about one gather, so it only runs on levels
+    # big enough for the saved jumps to outweigh it.
+    check = n >= _JUMP_CHECK_N
     C = T.copy()
-    for _ in range(jumps):
-        C = C[C]
+    jumps = 0
+    for _ in range(jump_iterations(n)):
+        nxt = C[C]
+        jumps += 1
+        if check and np.array_equal(nxt, C):
+            break
+        C = nxt
     C = np.minimum(C, T[C])
 
     # Min-neighbour hooking admits no cycles longer than two, and step 6
@@ -226,14 +242,13 @@ def connected_components_contracting(
     levels: List[ContractionLevel] = []
 
     while src.size and len(levels) < limit:
-        level = ContractionLevel(
-            n=n, m=int(src.size), jumps=jump_iterations(n),
-            deduplicated=sorted_rows,
-        )
-        phi, k, src, dst, sorted_rows, _ = _one_contraction_round(
+        m, was_sorted = int(src.size), sorted_rows
+        phi, k, src, dst, sorted_rows, jumps = _one_contraction_round(
             n, src, dst, sorted_rows
         )
-        levels.append(level)
+        levels.append(ContractionLevel(
+            n=n, m=m, jumps=jumps, deduplicated=was_sorted,
+        ))
         new_min = np.full(k, n0, dtype=np.int64)
         np.minimum.at(new_min, phi, orig_min)
         orig_min = new_min

@@ -1,0 +1,68 @@
+"""``repro.serve`` -- dynamic micro-batching request serving.
+
+The step from "fast library" to "service": a stream of independent
+connected-components requests is admitted through a bounded queue,
+packed into size buckets, priced by the dispatcher's measured cost
+model, and executed as stacked :class:`~repro.core.batched.BatchedGCA`
+batches (or solo sparse runs) on a worker pool -- with per-request
+deadlines, cancellation, retries, backpressure, graceful drain and a
+full serve-side metrics layer.
+
+Quickstart::
+
+    from repro.serve import Server, serve_many
+
+    responses = serve_many(graphs, deadline=0.5, workers=4)
+
+    with Server(workers=4, max_wait=0.002) as server:
+        handle = server.submit(graph, deadline=0.2)
+        labels = handle.result()
+        print(server.metrics.to_json())
+
+Modules
+-------
+``repro.serve.request``
+    :class:`CCRequest` / :class:`CCResponse` / :class:`ResultHandle`
+    value types and the terminal :class:`RequestStatus`.
+``repro.serve.scheduler``
+    The thread-free batching policy: buckets, flush triggers, cost-model
+    engine choice.
+``repro.serve.workers``
+    Execution backends: dense stacked runs, solo engines, the
+    shared-memory process pool for large sparse requests.
+``repro.serve.metrics``
+    Counters, occupancy and latency percentiles with JSON snapshots.
+``repro.serve.server``
+    The :class:`Server` tying it all together, and :func:`serve_many`.
+"""
+
+from repro.serve.metrics import ServeMetrics
+from repro.serve.request import (
+    CCRequest,
+    CCResponse,
+    QueueFull,
+    RequestStatus,
+    ResultHandle,
+    ServeError,
+    ServerClosed,
+)
+from repro.serve.scheduler import BatchPlanner
+from repro.serve.server import Server, ServerConfig, serve_many
+from repro.serve.workers import SparseProcessPool, WorkerDied
+
+__all__ = [
+    "BatchPlanner",
+    "CCRequest",
+    "CCResponse",
+    "QueueFull",
+    "RequestStatus",
+    "ResultHandle",
+    "ServeError",
+    "ServeMetrics",
+    "Server",
+    "ServerClosed",
+    "ServerConfig",
+    "SparseProcessPool",
+    "WorkerDied",
+    "serve_many",
+]

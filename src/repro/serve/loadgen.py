@@ -1,0 +1,145 @@
+"""Load generators for serve benchmarks and the ``serve-bench`` CLI.
+
+Two classic harness shapes:
+
+* **Open loop** (:func:`run_open_loop`) -- requests arrive on a Poisson
+  process at a fixed *offered* rate, regardless of how the server is
+  coping.  This is the honest way to measure tail latency and overload
+  behaviour: a slow server does not slow the arrival of new work, it
+  just watches its queue (and its shed/deadline-miss counters) grow.
+* **Closed loop** (:func:`run_closed_loop`) -- a fixed number of
+  synchronous clients, each submitting its next request only after the
+  previous one resolved.  Offered load adapts to service capacity;
+  good for measuring saturated throughput.
+
+:func:`make_workload` builds the mixed-size request stream (dense
+G(n, p) graphs over a size ladder, optionally with a sparse edge-list
+fraction), and :func:`naive_seconds` times the baseline the server is
+judged against: one-request-at-a-time ``connected_components`` with
+``engine="auto"`` on the same stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from threading import Thread
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.api import connected_components
+from repro.graphs.generators import random_graph
+from repro.hirschberg.edgelist import random_edge_list
+from repro.serve.request import GraphLike, ResultHandle
+from repro.serve.server import Server
+
+
+@dataclass
+class LoadSpec:
+    """A mixed request stream for the load generators.
+
+    Sizes are drawn from ``sizes`` with weight proportional to
+    ``n ** -size_skew`` -- the classic serving shape where small
+    requests are the high-QPS end and large ones the heavy tail
+    (``size_skew=0`` gives a uniform draw).  Requests are sparse
+    :class:`~repro.hirschberg.edgelist.EdgeListGraph` inputs with
+    ``edge_factor * n`` edges by default (the tier a request server
+    actually receives: edges, not materialised matrices); a
+    ``dense_fraction`` of dense ``G(n, p)`` adjacencies exercises the
+    stacked dense tier.
+    """
+
+    count: int = 200
+    sizes: Sequence[int] = (8, 16, 32, 64, 128, 256)
+    size_skew: float = 1.0
+    edge_factor: float = 2.0
+    dense_fraction: float = 0.0
+    p: float = 0.1
+    seed: Optional[int] = 0
+
+
+def make_workload(spec: LoadSpec) -> List[GraphLike]:
+    """The request stream described by ``spec``, in arrival order."""
+    rng = np.random.default_rng(spec.seed)
+    sizes = np.asarray(spec.sizes, dtype=float)
+    weights = sizes ** -spec.size_skew
+    weights /= weights.sum()
+    graphs: List[GraphLike] = []
+    for _ in range(spec.count):
+        n = int(rng.choice(sizes, p=weights))
+        if spec.dense_fraction and rng.random() < spec.dense_fraction:
+            graphs.append(random_graph(n, spec.p,
+                                       seed=int(rng.integers(2**31))))
+        else:
+            graphs.append(random_edge_list(
+                n, int(n * spec.edge_factor),
+                seed=int(rng.integers(2**31)),
+            ))
+    return graphs
+
+
+def naive_seconds(graphs: Sequence[GraphLike]) -> float:
+    """Wall seconds for the naive baseline: sequential ``engine="auto"``."""
+    start = time.perf_counter()
+    for g in graphs:
+        connected_components(g, engine="auto")
+    return time.perf_counter() - start
+
+
+def run_open_loop(
+    server: Server,
+    graphs: Sequence[GraphLike],
+    offered_rps: float,
+    deadline: Optional[float] = None,
+    seed: Optional[int] = 0,
+) -> List[ResultHandle]:
+    """Submit ``graphs`` on a Poisson arrival process at ``offered_rps``.
+
+    Returns every handle (including shed ones) once all arrivals are in;
+    callers then block on the handles to collect terminal responses.
+    """
+    if offered_rps <= 0:
+        raise ValueError(f"offered_rps must be > 0, got {offered_rps}")
+    rng = np.random.default_rng(seed)
+    handles: List[ResultHandle] = []
+    next_arrival = time.monotonic()
+    for g in graphs:
+        next_arrival += rng.exponential(1.0 / offered_rps)
+        delay = next_arrival - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        handles.append(server.submit(g, deadline=deadline))
+    return handles
+
+
+def run_closed_loop(
+    server: Server,
+    graphs: Sequence[GraphLike],
+    concurrency: int = 8,
+    deadline: Optional[float] = None,
+) -> List[ResultHandle]:
+    """Serve ``graphs`` from ``concurrency`` synchronous clients.
+
+    Each client thread submits its next request only after its previous
+    one resolved; handles are returned in input order.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    handles: List[Optional[ResultHandle]] = [None] * len(graphs)
+
+    def client(worker: int) -> None:
+        for idx in range(worker, len(graphs), concurrency):
+            handle = server.submit(graphs[idx], deadline=deadline)
+            handles[idx] = handle
+            handle.response()
+
+    threads = [
+        Thread(target=client, args=(w,), name=f"loadgen-client-{w}")
+        for w in range(min(concurrency, max(len(graphs), 1)))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return [h for h in handles if h is not None]

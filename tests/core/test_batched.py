@@ -154,3 +154,49 @@ class TestDtypeSelection:
     def test_labels_always_int64(self):
         res = BatchedGCA([path_graph(8)]).run()
         assert res.labels.dtype == np.int64
+
+
+class TestDegenerateInputs:
+    """Zero-node graphs through the batched engine and the front door.
+
+    Regression tests: ``BatchedGCA`` used to crash building the stacked
+    field for ``n == 0``, and ``connected_components`` dispatched an
+    engine for the empty graph instead of short-circuiting.
+    """
+
+    def test_batched_zero_node_graphs(self):
+        res = BatchedGCA([np.zeros((0, 0), dtype=np.int8)] * 3).run()
+        assert res.labels.shape == (3, 0)
+        assert np.array_equal(res.generations_run(), np.zeros(3))
+        assert np.array_equal(res.iterations_run, np.zeros(3))
+
+    def test_batch_front_end_zero_node_graphs(self):
+        labels = connected_components_batch(
+            [np.zeros((0, 0), dtype=np.int8)] * 2
+        )
+        assert [vec.shape for vec in labels] == [(0,), (0,)]
+
+    def test_connected_components_empty_graph(self):
+        from repro.core.api import connected_components
+
+        result = connected_components(np.zeros((0, 0), dtype=np.int8))
+        assert result.labels.shape == (0,)
+        assert result.component_count == 0
+
+    @pytest.mark.parametrize(
+        "engine", ["vectorized", "interpreter", "edgelist", "contracting"]
+    )
+    def test_connected_components_empty_graph_any_engine(self, engine):
+        from repro.core.api import connected_components
+
+        result = connected_components(
+            np.zeros((0, 0), dtype=np.int8), engine=engine
+        )
+        assert result.labels.shape == (0,)
+        assert result.method == engine
+
+    def test_single_vertex_graph(self):
+        from repro.core.api import connected_components
+
+        result = connected_components(np.zeros((1, 1), dtype=np.int8))
+        assert np.array_equal(result.labels, [0])

@@ -134,3 +134,93 @@ class TestCalibrate:
     def test_calibrated_model_still_dispatches(self):
         model = calibrate(seconds_budget=0.5)
         assert choose_engine(1_000_000, 5_000_000, model=model) in DISPATCHABLE
+
+
+class TestCostModelCache:
+    """Persistence of calibrated cost models (cached_cost_model)."""
+
+    def _fast_calibrate(self, monkeypatch, marker=123.0):
+        import repro.core.dispatch as dispatch
+
+        calls = {"count": 0}
+
+        def fake_calibrate(seconds_budget=1.0):
+            calls["count"] += 1
+            return CostModel(request_overhead=marker)
+
+        monkeypatch.setattr(dispatch, "calibrate", fake_calibrate)
+        return calls
+
+    def test_cache_path_respects_env_override(self, tmp_path, monkeypatch):
+        from repro.core.dispatch import default_cache_path
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_path() == tmp_path / "costmodel.json"
+
+    def test_save_then_load_round_trips(self, tmp_path):
+        from repro.core.dispatch import load_cost_model, save_cost_model
+
+        model = CostModel(request_overhead=42.0)
+        path = save_cost_model(model, tmp_path / "cm.json")
+        assert path.exists()
+        loaded = load_cost_model(path)
+        assert loaded is not None
+        assert loaded.request_overhead == 42.0
+
+    def test_load_missing_returns_none(self, tmp_path):
+        from repro.core.dispatch import load_cost_model
+
+        assert load_cost_model(tmp_path / "absent.json") is None
+
+    def test_load_corrupt_returns_none(self, tmp_path):
+        from repro.core.dispatch import load_cost_model
+
+        path = tmp_path / "cm.json"
+        path.write_text("{not json")
+        assert load_cost_model(path) is None
+
+    def test_load_wrong_version_returns_none(self, tmp_path):
+        import json
+
+        from repro.core.dispatch import load_cost_model
+
+        path = tmp_path / "cm.json"
+        path.write_text(json.dumps({"version": -1, "constants": {}}))
+        assert load_cost_model(path) is None
+
+    def test_load_ignores_unknown_constants(self, tmp_path):
+        import json
+
+        from repro.core.dispatch import load_cost_model
+
+        path = tmp_path / "cm.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "constants": {"request_overhead": 7.0, "not_a_field": 1.0},
+        }))
+        loaded = load_cost_model(path)
+        assert loaded is not None
+        assert loaded.request_overhead == 7.0
+
+    def test_cached_calibrates_once(self, tmp_path, monkeypatch):
+        from repro.core.dispatch import cached_cost_model
+
+        calls = self._fast_calibrate(monkeypatch)
+        path = tmp_path / "cm.json"
+        first = cached_cost_model(path)
+        second = cached_cost_model(path)
+        assert calls["count"] == 1  # second call served from the cache
+        assert first.request_overhead == second.request_overhead == 123.0
+
+    def test_recalibrate_escape_hatch(self, tmp_path, monkeypatch):
+        from repro.core.dispatch import cached_cost_model
+
+        calls = self._fast_calibrate(monkeypatch)
+        path = tmp_path / "cm.json"
+        cached_cost_model(path)
+        cached_cost_model(path, recalibrate=True)
+        assert calls["count"] == 2  # forced fresh measurement
+
+    def test_calibrate_measures_request_overhead(self):
+        model = calibrate(seconds_budget=0.05)
+        assert model.request_overhead > 0

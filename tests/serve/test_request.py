@@ -1,0 +1,136 @@
+"""Tests for the serve request/response value types and ResultHandle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.request import (
+    CCRequest,
+    CCResponse,
+    RequestStatus,
+    ResultHandle,
+    ServeError,
+)
+
+
+def _graph():
+    return np.zeros((2, 2), dtype=np.int8)
+
+
+def _ok_response(request, labels=None):
+    return CCResponse(
+        request_id=request.request_id,
+        status=RequestStatus.OK,
+        labels=labels if labels is not None else np.zeros(2, dtype=np.int64),
+    )
+
+
+class TestCCRequest:
+    def test_auto_request_id_unique(self):
+        a, b = CCRequest(graph=_graph()), CCRequest(graph=_graph())
+        assert a.request_id != b.request_id
+        assert a.request_id.startswith("req-")
+
+    def test_explicit_request_id_kept(self):
+        req = CCRequest(graph=_graph(), request_id="mine")
+        assert req.request_id == "mine"
+
+    @pytest.mark.parametrize("deadline", [0.0, -1.0])
+    def test_nonpositive_deadline_rejected(self, deadline):
+        with pytest.raises(ValueError, match="deadline"):
+            CCRequest(graph=_graph(), deadline=deadline)
+
+
+class TestResultHandle:
+    def test_not_done_until_resolved(self):
+        handle = ResultHandle(CCRequest(graph=_graph()))
+        assert not handle.done()
+        assert handle._resolve(_ok_response(handle.request))
+        assert handle.done()
+
+    def test_resolve_first_writer_wins(self):
+        handle = ResultHandle(CCRequest(graph=_graph()))
+        first = _ok_response(handle.request)
+        second = CCResponse(
+            request_id=handle.request.request_id,
+            status=RequestStatus.ERROR,
+            error="late",
+        )
+        assert handle._resolve(first)
+        assert not handle._resolve(second)
+        assert handle.response() is first
+
+    def test_response_timeout_raises(self):
+        handle = ResultHandle(CCRequest(graph=_graph()))
+        with pytest.raises(ServeError, match="within"):
+            handle.response(timeout=0.01)
+
+    def test_result_raises_on_non_ok(self):
+        handle = ResultHandle(CCRequest(graph=_graph()))
+        handle._resolve(CCResponse(
+            request_id=handle.request.request_id,
+            status=RequestStatus.ERROR,
+            error="boom",
+        ))
+        with pytest.raises(ServeError, match="boom"):
+            handle.result()
+
+    def test_result_returns_labels(self):
+        handle = ResultHandle(CCRequest(graph=_graph()))
+        labels = np.array([0, 0], dtype=np.int64)
+        handle._resolve(_ok_response(handle.request, labels))
+        assert handle.result() is labels
+
+    def test_cancel_before_resolution(self):
+        handle = ResultHandle(CCRequest(graph=_graph()))
+        assert handle.cancel()
+        assert handle.cancel_requested
+        # cancellation only flags; the server still resolves it
+        assert not handle.done()
+
+    def test_cancel_after_resolution_refused(self):
+        handle = ResultHandle(CCRequest(graph=_graph()))
+        handle._resolve(_ok_response(handle.request))
+        assert not handle.cancel()
+        assert not handle.cancel_requested
+
+    def test_blocking_waiter_woken_by_resolver(self):
+        handle = ResultHandle(CCRequest(graph=_graph()))
+        got = []
+
+        def wait():
+            got.append(handle.response(timeout=5.0))
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        response = _ok_response(handle.request)
+        handle._resolve(response)
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert got == [response]
+
+    def test_many_waiters_all_woken(self):
+        handle = ResultHandle(CCRequest(graph=_graph()))
+        got = []
+        lock = threading.Lock()
+
+        def wait():
+            resp = handle.response(timeout=5.0)
+            with lock:
+                got.append(resp)
+
+        waiters = [threading.Thread(target=wait) for _ in range(4)]
+        for t in waiters:
+            t.start()
+        handle._resolve(_ok_response(handle.request))
+        for t in waiters:
+            t.join(timeout=5.0)
+        assert len(got) == 4
+
+    def test_response_fast_path_after_resolution(self):
+        handle = ResultHandle(CCRequest(graph=_graph()))
+        handle._resolve(_ok_response(handle.request))
+        # no condition was ever allocated: nobody blocked
+        assert handle._cond is None
+        assert handle.response(timeout=0).ok

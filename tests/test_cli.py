@@ -153,3 +153,82 @@ class TestSweep:
         assert main(["sweep", "--sizes", "4,6", "--engines", "vectorized",
                      "--jobs", "2"]) == 0
         assert "sweep:" in capsys.readouterr().out
+
+
+class TestSparseSweep:
+    def test_summary(self, capsys):
+        assert main(["sparse-sweep", "--sizes", "50", "--engines",
+                     "edgelist,contracting", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "edgelist" in out and "contracting" in out
+        assert "True" in out
+
+    def test_auto_resolves(self, capsys):
+        assert main(["sparse-sweep", "--sizes", "40", "--engines",
+                     "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "auto" in out
+
+    def test_json_archive(self, tmp_path, capsys):
+        target = tmp_path / "sparse.json"
+        assert main(["sparse-sweep", "--sizes", "30", "--engines",
+                     "contracting", "--json", str(target)]) == 0
+        from repro.analysis.sweep import load_records
+
+        records = load_records(target)
+        assert records and all(r.correct for r in records)
+
+    def test_multiple_edge_factors(self, capsys):
+        assert main(["sparse-sweep", "--sizes", "30", "--edge-factors",
+                     "1.0,3.0", "--engines", "edgelist"]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+
+
+class TestServeBench:
+    def test_closed_loop(self, capsys):
+        assert main(["serve-bench", "--count", "16", "--sizes", "8,16",
+                     "--concurrency", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "served 16/16 ok" in out
+        assert "batches:" in out
+        assert "latency ms:" in out
+
+    def test_open_loop_with_baseline(self, capsys):
+        assert main(["serve-bench", "--count", "12", "--sizes", "8,16",
+                     "--rps", "5000", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "served 12/12 ok" in out
+        assert "naive sequential baseline" in out
+        assert "speedup" in out
+
+    def test_json_snapshot(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "serve.json"
+        assert main(["serve-bench", "--count", "10", "--sizes", "8",
+                     "--concurrency", "2", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["bench"]["ok"] == 10
+        assert payload["bench"]["count"] == 10
+        assert payload["counters"]["completed"] == 10
+        assert "latency" in payload
+
+    def test_dense_fraction_and_deadline(self, capsys):
+        assert main(["serve-bench", "--count", "10", "--sizes", "8,16",
+                     "--dense-fraction", "0.5", "--deadline", "30.0",
+                     "--concurrency", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "served 10/10 ok" in out
+
+    def test_failures_gate_exit_code(self, capsys, monkeypatch):
+        # an impossible deadline with --allow-failures still exits 0;
+        # without it, unresolved requests flip the exit code
+        argv = ["serve-bench", "--count", "6", "--sizes", "64",
+                "--concurrency", "1", "--deadline", "1e-9",
+                "--wait-timeout", "10.0"]
+        rc_strict = main(argv)
+        rc_loose = main(argv + ["--allow-failures"])
+        capsys.readouterr()
+        assert rc_loose == 0
+        assert rc_strict in (0, 1)  # scheduler may still beat the deadline
