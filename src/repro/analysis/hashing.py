@@ -1,4 +1,19 @@
-"""Memory-mapping congestion: deterministic vs universal hashing (Sec. 1).
+"""Hashing: memory-mapping congestion (Sec. 1) and graph fingerprints.
+
+Two unrelated-looking users share this module because both reduce to
+"hash the structure, not the representation":
+
+* the paper's *memory-mapping* discussion (below), where a hash assigns
+  cells to memory modules;
+* the serve layer's *content-addressed result cache*
+  (:mod:`repro.serve.cache`), which keys solved label vectors by
+  :func:`graph_fingerprint` -- a digest of the canonical edge set, so a
+  dense adjacency and an edge list describing the same graph (in any
+  edge order, any orientation, with duplicates) address the same cache
+  entry, while any actual structural difference (including a vertex
+  permutation) changes the key.
+
+Memory-mapping congestion: deterministic vs universal hashing (Sec. 1).
 
 The introduction discusses how PRAM shared memory is mapped onto GCA cells
 or memory modules: "Unfortunate mappings can be prevented either by
@@ -32,16 +47,189 @@ probability (with the O(log p)-ish tail the paper mentions).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.gca.instrumentation import AccessLog
+from repro.graphs.adjacency import AdjacencyMatrix
+from repro.hirschberg.edgelist import (
+    EdgeListGraph,
+    _PACK_LIMIT,
+    _canonical_pairs,
+)
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_positive
 
 Mapping = Callable[[int], int]
+
+GraphInput = Union[AdjacencyMatrix, np.ndarray, EdgeListGraph]
+
+#: Digest size (bytes) of :func:`graph_fingerprint` -- 128 bits, far
+#: below any collision concern at cache scale.
+_FINGERPRINT_BYTES = 16
+
+#: splitmix64 finalizer constants (vectorised PRF-ish mixer).
+_MIX_A = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_B = np.uint64(0x94D049BB133111EB)
+_S30, _S27, _S31 = np.uint64(30), np.uint64(27), np.uint64(31)
+
+
+def _splitmix(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer applied element-wise (wrapping uint64)."""
+    x = x.astype(np.uint64, copy=True)
+    x ^= x >> _S30
+    x *= _MIX_A
+    x ^= x >> _S27
+    x *= _MIX_B
+    x ^= x >> _S31
+    return x
+
+
+def _edge_set_sums(key: np.ndarray) -> Tuple[int, int]:
+    """Two order-invariant 64-bit reductions of a duplicate-free
+    edge-key set: the wrapping sum and the xor of the per-key splitmix64
+    hashes (AdHash-style multiset hashing).  Both reductions commute, so
+    no sort is needed -- the O(m log m) ``np.unique`` that dominated the
+    digest cost for large sparse graphs is gone from every path that can
+    prove its keys are already duplicate-free.  One mixing pass feeds
+    both lanes; a set difference must escape a 128-bit constraint to
+    collide, ample for a result cache that also offers
+    verify-on-first-hit for the paranoid."""
+    x = np.ascontiguousarray(key)
+    if x.dtype != np.uint64:
+        x = x.view(np.uint64)  # reinterpret int64 bits, no copy
+    with np.errstate(over="ignore"):
+        mixed = _splitmix(x)
+        total = int(mixed.sum(dtype=np.uint64))
+        folded = (int(np.bitwise_xor.reduce(mixed)) if mixed.size else 0)
+        return total, folded
+
+
+def _constructor_canonical_keys(graph: "EdgeListGraph") -> "np.ndarray | None":
+    """Packed ``u * n + v`` keys when ``graph`` is in the form the
+    :class:`EdgeListGraph` constructors produce -- first half the sorted
+    duplicate-free ``u < v`` pairs, second half their exact mirror -- or
+    ``None`` to fall back to full canonicalisation.
+
+    Constructor-built graphs carry a ``_canonical`` stamp and are
+    trusted outright (the stamp travels only through the constructors).
+    Unstamped graphs are verified with a handful of O(m) vector
+    comparisons, still an order of magnitude cheaper than re-deriving
+    the canonical set with ``np.unique``.
+    """
+    m = graph.src.size
+    if m & 1 or graph.n > _PACK_LIMIT:
+        return None
+    half = m >> 1
+    u, v = graph.src[:half], graph.dst[:half]
+    if not graph.__dict__.get("_canonical", False):
+        if not bool(np.all(u < v)):
+            return None
+        if not (np.array_equal(graph.src[half:], v)
+                and np.array_equal(graph.dst[half:], u)):
+            return None
+        key = u * np.int64(graph.n) + v
+        if half > 1 and not bool(np.all(key[1:] > key[:-1])):
+            return None  # not duplicate-free; let np.unique sort it out
+        return key
+    return u * np.int64(graph.n) + v
+
+
+def canonical_edge_pairs(graph: GraphInput) -> Tuple[int, np.ndarray, np.ndarray]:
+    """``(n, lo, hi)`` -- the canonical undirected edge set of ``graph``.
+
+    The pairs are duplicate-free, self-loop-free, ``lo < hi`` and sorted
+    lexicographically, regardless of the input representation: a dense
+    0/1 adjacency (symmetrised on read), an
+    :class:`~repro.graphs.adjacency.AdjacencyMatrix`, or an
+    :class:`~repro.hirschberg.edgelist.EdgeListGraph` in any edge order
+    and orientation.  Two inputs describe the same labelled graph iff
+    their canonical triples are equal -- the ground truth the
+    fingerprint digests.
+    """
+    if isinstance(graph, EdgeListGraph):
+        lo = np.minimum(graph.src, graph.dst)
+        hi = np.maximum(graph.src, graph.dst)
+        keep = lo != hi
+        lo, hi = _canonical_pairs(graph.n, lo[keep], hi[keep])
+        return graph.n, lo, hi
+    mat = graph.matrix if isinstance(graph, AdjacencyMatrix) else np.asarray(graph)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError(f"adjacency must be square, got shape {mat.shape}")
+    nz = mat != 0
+    present = nz | nz.T
+    rows, cols = np.nonzero(present)
+    keep = rows < cols
+    # nonzero() walks row-major, so (rows, cols) under rows < cols is
+    # already the sorted, duplicate-free canonical order
+    return mat.shape[0], rows[keep].astype(np.int64), cols[keep].astype(np.int64)
+
+
+def graph_fingerprint(graph: GraphInput) -> str:
+    """Content address of ``graph``: a hex digest of its canonical form.
+
+    Properties (asserted by the property tests in
+    ``tests/serve/test_cache.py``):
+
+    * **representation-independent** -- dense and sparse forms of the
+      same labelled graph, and edge lists differing only in edge order,
+      orientation or duplication, collide by construction;
+    * **structure-sensitive** -- any differing canonical edge set (e.g.
+      a vertex permutation that is not an automorphism) yields a
+      different digest, so cached labels can never be served for a
+      structurally different graph;
+    * equal fingerprints therefore imply equal canonical component
+      labels, the soundness condition of the serve result cache.
+
+    The digest is blake2b over ``(n, edge count, two order-invariant
+    multiset sums of the per-edge splitmix64 hashes)`` -- summation
+    commutes, so the canonical edge *set* can be digested without
+    sorting it.  Edge lists in the form the constructors emit are
+    verified duplicate-free with O(m) comparisons and skip
+    canonicalisation entirely; only inputs with duplicated or unordered
+    edges pay the ``np.unique`` fallback.
+
+    Fingerprints of :class:`EdgeListGraph` inputs are memoised on the
+    instance: the dataclass is frozen, and the serve layer treats
+    submitted graphs as immutable.  Mutating a graph's arrays in place
+    after submitting it voids that contract (as it voids every other
+    cached property of the serve path).
+    """
+    if isinstance(graph, EdgeListGraph):
+        cached = graph.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        key = _constructor_canonical_keys(graph)
+        if key is None:
+            n, lo, hi = canonical_edge_pairs(graph)
+            key = _pack_pairs(n, lo, hi)
+        else:
+            n = graph.n
+    else:
+        n, lo, hi = canonical_edge_pairs(graph)
+        key = _pack_pairs(n, lo, hi)
+    sum_a, sum_b = _edge_set_sums(key)
+    digest = hashlib.blake2b(digest_size=_FINGERPRINT_BYTES)
+    digest.update(int(n).to_bytes(8, "little"))
+    digest.update(int(key.size).to_bytes(8, "little"))
+    digest.update(sum_a.to_bytes(8, "little"))
+    digest.update(sum_b.to_bytes(8, "little"))
+    fingerprint = digest.hexdigest()
+    if isinstance(graph, EdgeListGraph):
+        object.__setattr__(graph, "_fingerprint", fingerprint)
+    return fingerprint
+
+
+def _pack_pairs(n: int, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """One int64 key per canonical pair (``lo * n + hi`` when it fits,
+    a mixed combination beyond the packing limit)."""
+    if n <= _PACK_LIMIT:
+        return lo * np.int64(n) + hi
+    with np.errstate(over="ignore"):
+        return _splitmix(lo.astype(np.uint64)) ^ hi.astype(np.uint64)
 
 _MERSENNE = (1 << 61) - 1  # a Mersenne prime, the classic modulus choice
 

@@ -1,4 +1,4 @@
-"""Zero-copy shared-memory plumbing for parallel sparse sweeps.
+"""Zero-copy shared-memory plumbing for parallel sparse sweeps and serving.
 
 The dense sweep runner ships each grid cell's *parameters* to its worker
 process and regenerates the graphs there -- fine at field sizes, but a
@@ -21,30 +21,77 @@ POSIX shared memory (:mod:`multiprocessing.shared_memory`):
   cross-compare engines without any arrays crossing the process pipe.
 
 Lifetime rules follow the stdlib's: every attachment must be
-``close()``-d, and the creating side additionally ``unlink()``-s.
+``close()``-d, and the creating side additionally ``unlink()``-s (both
+are idempotent here, so teardown paths may overlap safely).
 :class:`SharedArray` is a context manager for the worker side;
 :class:`SharedWorkspace` gathers the parent side's blocks so one
 ``with`` block owns the whole sweep's memory.
+
+Two additions serve the persistent serve-layer pool
+(:mod:`repro.serve.executor`):
+
+* every segment *created* by this process is tracked in a registry until
+  it is unlinked -- :func:`live_segments` lets tests and shutdown hooks
+  assert that nothing leaked into ``/dev/shm``;
+* :class:`SlabPool` recycles fixed-capacity blocks across batches, so a
+  steady-state server performs no shm create/unlink syscalls per flush
+  (workers re-attach the same names and cache the mapping).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.hirschberg.edgelist import EdgeListGraph
 
+# ----------------------------------------------------------------------
+# segment registry (leak accounting)
+# ----------------------------------------------------------------------
+_registry_lock = threading.Lock()
+_live_segments: Dict[str, int] = {}  # name -> nbytes, created by this process
+
+
+def _register_segment(name: str, nbytes: int) -> None:
+    with _registry_lock:
+        _live_segments[name] = nbytes
+
+
+def _unregister_segment(name: str) -> None:
+    with _registry_lock:
+        _live_segments.pop(name, None)
+
+
+def live_segments() -> FrozenSet[str]:
+    """Names of shared-memory segments created by this process and not
+    yet unlinked.  Empty after a clean shutdown -- the leak assertion the
+    shm/serve tests (and CI) check after every server or sweep run."""
+    with _registry_lock:
+        return frozenset(_live_segments)
+
+
+def live_segment_bytes() -> int:
+    """Total bytes of this process's not-yet-unlinked segments."""
+    with _registry_lock:
+        return sum(_live_segments.values())
+
 
 @dataclass(frozen=True)
 class SharedArrayRef:
-    """A picklable pointer to a shared-memory NumPy array."""
+    """A picklable pointer to a shared-memory NumPy array.
+
+    ``offset`` (bytes into the block) lets one pooled slab carry arrays
+    smaller than its capacity; plain refs leave it 0.
+    """
 
     name: str
     shape: Tuple[int, ...]
     dtype: str
+    offset: int = 0
 
     @property
     def nbytes(self) -> int:
@@ -57,7 +104,9 @@ class SharedArray:
     Create on the parent side with :meth:`create` (copies the source data
     in once) or :meth:`zeros`; attach on the worker side with
     :meth:`attach`.  Usable as a context manager (closes on exit; the
-    owner must still :meth:`unlink`).
+    owner must still :meth:`unlink`).  ``close`` and ``unlink`` are
+    idempotent: calling either twice (or from overlapping teardown
+    paths) is a no-op, not an error.
     """
 
     def __init__(self, shm: shared_memory.SharedMemory, ref: SharedArrayRef,
@@ -65,8 +114,11 @@ class SharedArray:
         self._shm = shm
         self.ref = ref
         self.owner = owner
+        self._closed = False
+        self._unlinked = False
         self.array = np.ndarray(
-            ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf,
+            offset=ref.offset,
         )
 
     @classmethod
@@ -76,6 +128,7 @@ class SharedArray:
         shm = shared_memory.SharedMemory(
             create=True, size=max(1, source.nbytes)
         )
+        _register_segment(shm.name, shm.size)
         ref = SharedArrayRef(
             name=shm.name, shape=source.shape, dtype=source.dtype.str
         )
@@ -89,6 +142,7 @@ class SharedArray:
         dtype = np.dtype(dtype)
         size = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
         shm = shared_memory.SharedMemory(create=True, size=size)
+        _register_segment(shm.name, shm.size)
         ref = SharedArrayRef(name=shm.name, shape=tuple(shape), dtype=dtype.str)
         out = cls(shm, ref, owner=True)
         out.array[...] = 0
@@ -96,17 +150,31 @@ class SharedArray:
 
     @classmethod
     def attach(cls, ref: SharedArrayRef) -> "SharedArray":
-        """A zero-copy view of an existing block (worker side)."""
+        """A zero-copy view of an existing block (worker side).
+
+        Raises ``FileNotFoundError`` when the owner has already unlinked
+        the block -- a worker must treat that as "the batch moved on",
+        not corrupt data.
+        """
         return cls(shared_memory.SharedMemory(name=ref.name), ref, owner=False)
 
     def close(self) -> None:
         """Release this process's mapping (views become invalid)."""
+        if self._closed:
+            return
+        self._closed = True
         self.array = None
         self._shm.close()
 
     def unlink(self) -> None:
         """Destroy the block (owner side, after every close)."""
-        self._shm.unlink()
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        finally:
+            _unregister_segment(self.ref.name)
 
     def __enter__(self) -> "SharedArray":
         return self
@@ -169,8 +237,7 @@ class SharedWorkspace:
 
     def close(self) -> None:
         for block in self.blocks:
-            if block.array is not None:
-                block.close()
+            block.close()
 
     def unlink(self) -> None:
         for block in self.blocks:
@@ -182,3 +249,129 @@ class SharedWorkspace:
     def __exit__(self, *exc) -> None:
         self.close()
         self.unlink()
+
+
+# ----------------------------------------------------------------------
+# slab recycling for the persistent serve pool
+# ----------------------------------------------------------------------
+class Slab:
+    """One pooled block plus the array view of its current tenant.
+
+    ``array``/``ref`` describe the *requested* shape laid out at offset
+    0 of a block whose capacity is the next power of two -- the same
+    physical block is re-viewed with a fresh shape on every
+    :meth:`SlabPool.acquire`, so workers keep re-attaching the same
+    segment name batch after batch.
+    """
+
+    __slots__ = ("block", "capacity", "array", "ref", "transient")
+
+    def __init__(self, block: SharedArray, capacity: int, transient: bool):
+        self.block = block
+        self.capacity = capacity
+        self.transient = transient
+        self.array: np.ndarray = None  # type: ignore[assignment]
+        self.ref: SharedArrayRef = None  # type: ignore[assignment]
+
+    def view_as(self, shape: Tuple[int, ...], dtype: np.dtype) -> "Slab":
+        dtype = np.dtype(dtype)
+        self.ref = SharedArrayRef(
+            name=self.block.ref.name, shape=tuple(shape), dtype=dtype.str
+        )
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self.block._shm.buf)
+        return self
+
+
+class SlabPool:
+    """Recycles shared-memory blocks across serve batches.
+
+    ``acquire(shape, dtype)`` hands out a :class:`Slab` backed by a free
+    block of capacity ``>= nbytes`` (capacities are rounded to powers of
+    two so steady mixed-size traffic converges on a handful of reusable
+    blocks); ``release`` returns it to the free list.  When the pooled
+    bytes would exceed ``byte_budget``, the block is created *transient*
+    instead: released transients are unlinked immediately rather than
+    kept.  ``close_all`` (idempotent) unlinks everything -- the pool
+    never leaves segments behind (asserted via :func:`live_segments`).
+
+    Thread-safe: the server's worker threads acquire concurrently.
+    """
+
+    def __init__(self, byte_budget: int = 256 << 20):
+        if byte_budget < 1:
+            raise ValueError(f"byte_budget must be >= 1, got {byte_budget}")
+        self.byte_budget = int(byte_budget)
+        self._lock = threading.Lock()
+        self._free: Dict[int, List[SharedArray]] = {}
+        self._all: Dict[str, SharedArray] = {}  # every live block, by name
+        self._pooled_bytes = 0
+        self._closed = False
+
+    @staticmethod
+    def _capacity(nbytes: int) -> int:
+        return 1 << max(int(nbytes) - 1, 0).bit_length() if nbytes > 1 else 1
+
+    def acquire(self, shape: Tuple[int, ...], dtype=np.int64) -> Slab:
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+        capacity = self._capacity(nbytes)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SlabPool is closed")
+            free = self._free.get(capacity)
+            if free:
+                block = free.pop()
+                return Slab(block, capacity, transient=False).view_as(
+                    tuple(shape), dtype
+                )
+            transient = self._pooled_bytes + capacity > self.byte_budget
+            if not transient:
+                self._pooled_bytes += capacity
+        shm = shared_memory.SharedMemory(create=True, size=capacity)
+        _register_segment(shm.name, capacity)
+        base = SharedArrayRef(name=shm.name, shape=(capacity,), dtype="|u1")
+        block = SharedArray(shm, base, owner=True)
+        with self._lock:
+            self._all[shm.name] = block
+        return Slab(block, capacity, transient).view_as(tuple(shape), dtype)
+
+    def release(self, slab: Slab) -> None:
+        slab.array = None
+        if slab.transient:
+            with self._lock:
+                self._all.pop(slab.block.ref.name, None)
+            slab.block.close()
+            slab.block.unlink()
+            return
+        with self._lock:
+            if self._closed:  # pool torn down while the slab was out
+                self._all.pop(slab.block.ref.name, None)
+                slab.block.close()
+                slab.block.unlink()
+                return
+            self._free.setdefault(slab.capacity, []).append(slab.block)
+
+    @property
+    def pooled_bytes(self) -> int:
+        with self._lock:
+            return self._pooled_bytes
+
+    def close_all(self) -> None:
+        """Unlink every block this pool ever created (idempotent).
+
+        Blocks still checked out are unlinked too -- an in-flight writer
+        keeps scribbling on its (now orphaned) mapping harmlessly, and
+        the slab's late :meth:`release` is a no-op because close and
+        unlink are idempotent.  Nothing can leak past this call.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            blocks = list(self._all.values())
+            self._all.clear()
+            self._free.clear()
+            self._pooled_bytes = 0
+        for block in blocks:
+            block.close()
+            block.unlink()

@@ -42,6 +42,8 @@ Examples::
     python -m repro sparse-sweep --sizes 10000,50000 --jobs 4
     python -m repro serve-bench --count 200 --baseline
     python -m repro serve-bench --rps 2000 --deadline 0.05 --json serve.json
+    python -m repro serve-bench --executor pool --process-workers 2
+    python -m repro serve-bench --cache-bytes 1048576 --duplicate-fraction 0.5
     python -m repro reproduce [--only E1,E6]
 """
 
@@ -258,6 +260,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         size_skew=args.size_skew,
         edge_factor=args.edge_factor,
         dense_fraction=args.dense_fraction,
+        duplicate_fraction=args.duplicate_fraction,
         seed=args.seed,
     )
     graphs = make_workload(spec)
@@ -265,6 +268,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_wait=args.max_wait,
         calibration=args.calibration,
+        executor=args.executor,
+        process_workers=args.process_workers,
+        cache_bytes=args.cache_bytes,
+        cache_verify=args.cache_verify,
     )
     deadline = args.deadline if args.deadline > 0 else None
 
@@ -298,6 +305,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if latency["count"]:
         print(f"latency ms: p50 {latency['p50_ms']}, "
               f"p95 {latency['p95_ms']}, p99 {latency['p99_ms']}")
+    if args.executor == "pool":
+        gauges = snapshot["gauges"]
+        print(f"pool: restarts {gauges['pool_restarts']}, dispatch "
+              f"overhead {gauges['pool_dispatch_overhead_s'] * 1e3:.2f} ms")
+    if "cache" in snapshot:
+        cache = snapshot["cache"]
+        print(f"cache: {cache['hits']} hits, {cache['misses']} misses, "
+              f"{cache['evictions']} evictions, "
+              f"{cache['bytes_used']} bytes used")
     if args.json:
         from pathlib import Path
 
@@ -429,9 +445,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="edges per node for sparse requests")
     serve.add_argument("--dense-fraction", type=float, default=0.0,
                        help="fraction of dense adjacency requests")
+    serve.add_argument("--duplicate-fraction", type=float, default=0.0,
+                       help="probability a request repeats an earlier "
+                            "graph (exercises the result cache)")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--workers", type=int, default=1,
                        help="worker threads (default 1)")
+    serve.add_argument("--executor", choices=["inline", "pool"],
+                       default="inline",
+                       help="'pool' executes flushed batches on a "
+                            "persistent multi-process worker pool")
+    serve.add_argument("--process-workers", type=int, default=0,
+                       help="pool processes (0 = one per core with "
+                            "--executor pool)")
+    serve.add_argument("--cache-bytes", type=int, default=0,
+                       help="content-addressed result cache budget in "
+                            "bytes (0 = cache off)")
+    serve.add_argument("--cache-verify", action="store_true",
+                       help="re-solve and compare on each entry's first "
+                            "cache hit before trusting it")
     serve.add_argument("--max-wait", type=float, default=0.002,
                        help="batching window seconds (default 0.002)")
     serve.add_argument("--rps", type=float, default=0.0,

@@ -103,6 +103,14 @@ class CostModel:
     #: execution pays it once per batch; the serve scheduler uses the
     #: difference for its batch-vs-solo decision.
     request_overhead: float = 2.5e-5
+    #: one round trip through the serve layer's persistent process pool
+    #: (slab write, queue hop, worker attach, result hop).  The serve
+    #: scheduler ships a flush to the pool only when its predicted batch
+    #: seconds dominate this term, so small batches stay inline.  The
+    #: default is a conservative placeholder; a running
+    #: :class:`~repro.serve.executor.PoolExecutor` replaces it with the
+    #: round trip it *measured* during warm-up on this host.
+    pool_dispatch_overhead: float = 2.0e-3
     #: dense field footprint per cell (double-buffered field + adjacency).
     dense_bytes_per_cell: float = 48.0
     #: interpreter footprint per cell (a Python object per cell).

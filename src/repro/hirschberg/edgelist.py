@@ -112,7 +112,13 @@ class EdgeListGraph:
         else:
             src = np.empty(0, dtype=np.int64)
             dst = np.empty(0, dtype=np.int64)
-        return EdgeListGraph(n=n, src=src, dst=dst)
+        graph = EdgeListGraph(n=n, src=src, dst=dst)
+        # the first half of (src, dst) is now the sorted duplicate-free
+        # u < v pair set; stamp that so content hashing can trust it
+        # without re-verifying (the stamp travels only through the
+        # constructors -- direct dataclass construction never has it)
+        object.__setattr__(graph, "_canonical", True)
+        return graph
 
     @staticmethod
     def from_edges(n: int, edges) -> "EdgeListGraph":

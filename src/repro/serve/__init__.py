@@ -30,12 +30,21 @@ Modules
 ``repro.serve.workers``
     Execution backends: dense stacked runs, solo engines, the
     shared-memory process pool for large sparse requests.
+``repro.serve.executor``
+    The persistent pre-forked :class:`PoolExecutor`: whole flushed
+    batches on all cores through shared-memory slabs, with heartbeats,
+    crash replacement and measured dispatch overhead.
+``repro.serve.cache``
+    The content-addressed :class:`ResultCache` keyed by
+    :func:`graph_fingerprint`.
 ``repro.serve.metrics``
     Counters, occupancy and latency percentiles with JSON snapshots.
 ``repro.serve.server``
     The :class:`Server` tying it all together, and :func:`serve_many`.
 """
 
+from repro.serve.cache import ResultCache, graph_fingerprint
+from repro.serve.executor import PoolExecutor
 from repro.serve.metrics import ServeMetrics
 from repro.serve.request import (
     CCRequest,
@@ -54,8 +63,10 @@ __all__ = [
     "BatchPlanner",
     "CCRequest",
     "CCResponse",
+    "PoolExecutor",
     "QueueFull",
     "RequestStatus",
+    "ResultCache",
     "ResultHandle",
     "ServeError",
     "ServeMetrics",
@@ -64,5 +75,6 @@ __all__ = [
     "ServerConfig",
     "SparseProcessPool",
     "WorkerDied",
+    "graph_fingerprint",
     "serve_many",
 ]

@@ -1,0 +1,175 @@
+"""Content-addressed result cache for the serving layer.
+
+Serving traffic repeats itself: health checks, retried uploads, popular
+documents, the same social-graph snapshot queried by many tenants.  A
+connected-components solve is a pure function of the graph, so the
+serve layer can short-circuit repeats to a dictionary lookup -- *if* the
+key is the graph's content, not its representation.
+:func:`repro.analysis.hashing.graph_fingerprint` provides exactly that:
+a digest of the canonical undirected edge set, identical across dense /
+sparse forms and edge orderings, different for any structural change
+(equal fingerprints imply equal canonical labels; see the property
+tests in ``tests/serve/test_cache.py``).
+
+:class:`ResultCache` is the LRU that sits in front of the engines:
+
+* **byte-size budget** -- entries are charged their label-vector bytes
+  and evicted least-recently-used when the budget is exceeded, so a
+  million tiny answers and three huge ones are both handled sanely;
+* **counters** -- hits / misses / inserts / evictions (plus
+  verifications and mismatches) surface in the server's metrics
+  snapshot;
+* **verified-on-first-hit mode** -- for the paranoid: the first time an
+  entry would be served from cache, the engines solve anyway and the
+  stored labels are compared bit-for-bit before the entry is trusted
+  (a mismatch evicts the entry and counts ``mismatches``, which should
+  stay 0 forever).
+
+Stored label vectors are defensive read-only copies; hits return the
+same read-only array to every caller (a caller that wants to mutate
+labels copies explicitly -- that cost belongs to the mutator, not to
+every hit).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.hashing import graph_fingerprint  # noqa: F401  (re-export)
+
+__all__ = ["ResultCache", "graph_fingerprint"]
+
+
+class _Entry:
+    __slots__ = ("labels", "verified")
+
+    def __init__(self, labels: np.ndarray, verified: bool):
+        self.labels = labels
+        self.verified = verified
+
+
+class ResultCache:
+    """LRU label cache keyed by graph fingerprint (see module docstring).
+
+    Parameters
+    ----------
+    byte_budget:
+        Total label bytes the cache may hold; least-recently-used
+        entries are evicted past it.  An entry larger than the whole
+        budget is never stored.
+    verify_first_hit:
+        Arm verified-on-first-hit mode: :meth:`get` reports such entries
+        as *unverified* hits (``labels`` still returned) and the server
+        re-solves and calls :meth:`confirm` with the fresh labels.
+
+    Thread-safe; all methods may be called from any server worker
+    thread.
+    """
+
+    def __init__(self, byte_budget: int, verify_first_hit: bool = False):
+        if byte_budget < 1:
+            raise ValueError(f"byte_budget must be >= 1, got {byte_budget}")
+        self.byte_budget = int(byte_budget)
+        self.verify_first_hit = verify_first_hit
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.verifications = 0
+        self.mismatches = 0
+
+    # -- lookup --------------------------------------------------------
+    def get(self, fingerprint: str):
+        """``(labels, verified)`` for a hit, ``None`` for a miss.
+
+        ``verified`` is ``False`` only in :attr:`verify_first_hit` mode
+        for an entry not yet confirmed -- the caller should treat the
+        hit as advisory, re-solve, and :meth:`confirm`.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            verified = entry.verified or not self.verify_first_hit
+            return entry.labels, verified
+
+    def put(self, fingerprint: str, labels: np.ndarray) -> None:
+        """Store ``labels`` (a read-only copy) under ``fingerprint``."""
+        stored = np.array(labels, dtype=np.int64, copy=True)
+        stored.setflags(write=False)
+        nbytes = int(stored.nbytes)
+        if nbytes > self.byte_budget:
+            return
+        with self._lock:
+            old = self._entries.pop(fingerprint, None)
+            if old is not None:
+                self._bytes -= int(old.labels.nbytes)
+            self._entries[fingerprint] = _Entry(
+                stored, verified=not self.verify_first_hit
+            )
+            self._bytes += nbytes
+            self.inserts += 1
+            while self._bytes > self.byte_budget and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= int(evicted.labels.nbytes)
+                self.evictions += 1
+
+    def confirm(self, fingerprint: str, fresh_labels: np.ndarray) -> bool:
+        """Verified-on-first-hit follow-up: compare a fresh solve
+        against the stored entry.
+
+        Marks the entry verified on a match; evicts it (and counts a
+        mismatch) otherwise.  Returns whether the entry matched.
+        """
+        with self._lock:
+            self.verifications += 1
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return True  # evicted meanwhile; nothing to distrust
+            if np.array_equal(entry.labels, fresh_labels):
+                entry.verified = True
+                return True
+            self._bytes -= int(entry.labels.nbytes)
+            del self._entries[fingerprint]
+            self.mismatches += 1
+            return False
+
+    # -- observability -------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-ready counter snapshot (merged into serve metrics)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "inserts": self.inserts,
+                "evictions": self.evictions,
+                "verifications": self.verifications,
+                "mismatches": self.mismatches,
+                "entries": len(self._entries),
+                "bytes_used": self._bytes,
+                "byte_budget": self.byte_budget,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0

@@ -55,18 +55,29 @@ class LoadSpec:
     size_skew: float = 1.0
     edge_factor: float = 2.0
     dense_fraction: float = 0.0
+    duplicate_fraction: float = 0.0
     p: float = 0.1
     seed: Optional[int] = 0
 
 
 def make_workload(spec: LoadSpec) -> List[GraphLike]:
-    """The request stream described by ``spec``, in arrival order."""
+    """The request stream described by ``spec``, in arrival order.
+
+    ``duplicate_fraction`` re-submits a previously generated graph with
+    that probability (drawn uniformly from the history) -- the shape of
+    real serving traffic with repeats, and the workload the serve
+    result cache is benchmarked on.
+    """
     rng = np.random.default_rng(spec.seed)
     sizes = np.asarray(spec.sizes, dtype=float)
     weights = sizes ** -spec.size_skew
     weights /= weights.sum()
     graphs: List[GraphLike] = []
     for _ in range(spec.count):
+        if (spec.duplicate_fraction and graphs
+                and rng.random() < spec.duplicate_fraction):
+            graphs.append(graphs[int(rng.integers(len(graphs)))])
+            continue
         n = int(rng.choice(sizes, p=weights))
         if spec.dense_fraction and rng.random() < spec.dense_fraction:
             graphs.append(random_graph(n, spec.p,
@@ -77,6 +88,23 @@ def make_workload(spec: LoadSpec) -> List[GraphLike]:
                 seed=int(rng.integers(2**31)),
             ))
     return graphs
+
+
+def poisson_arrivals(count: int, offered_rps: float,
+                     seed: Optional[int]) -> np.ndarray:
+    """Cumulative arrival offsets (seconds) of an open-loop run.
+
+    The arrival process is sampled *up front* from an explicit seed, so
+    a benchmark run is reproducible end to end: same seed, same
+    workload, same instants at which each request is offered.
+    :func:`run_open_loop` consumes exactly this schedule.
+    """
+    if offered_rps <= 0:
+        raise ValueError(f"offered_rps must be > 0, got {offered_rps}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / offered_rps, size=count))
 
 
 def naive_seconds(graphs: Sequence[GraphLike]) -> float:
@@ -96,17 +124,16 @@ def run_open_loop(
 ) -> List[ResultHandle]:
     """Submit ``graphs`` on a Poisson arrival process at ``offered_rps``.
 
-    Returns every handle (including shed ones) once all arrivals are in;
-    callers then block on the handles to collect terminal responses.
+    The arrival schedule comes from :func:`poisson_arrivals` under the
+    explicit ``seed``, so runs are reproducible.  Returns every handle
+    (including shed ones) once all arrivals are in; callers then block
+    on the handles to collect terminal responses.
     """
-    if offered_rps <= 0:
-        raise ValueError(f"offered_rps must be > 0, got {offered_rps}")
-    rng = np.random.default_rng(seed)
+    offsets = poisson_arrivals(len(graphs), offered_rps, seed)
     handles: List[ResultHandle] = []
-    next_arrival = time.monotonic()
-    for g in graphs:
-        next_arrival += rng.exponential(1.0 / offered_rps)
-        delay = next_arrival - time.monotonic()
+    start = time.monotonic()
+    for g, offset in zip(graphs, offsets):
+        delay = start + offset - time.monotonic()
         if delay > 0:
             time.sleep(delay)
         handles.append(server.submit(g, deadline=deadline))

@@ -37,10 +37,20 @@ RESERVOIR_SIZE = 8192
 PERCENTILES = (50.0, 95.0, 99.0)
 
 
-def _summary(samples: Deque[float]) -> Dict[str, float]:
-    """p50/p95/p99/mean/max (milliseconds) of one reservoir."""
+def _summary(samples: Deque[float]) -> Dict[str, Optional[float]]:
+    """p50/p95/p99/mean/max (milliseconds) of one reservoir.
+
+    With zero samples every statistic is ``None`` (JSON ``null``), never
+    ``0.0``: a dashboard must be able to tell "no traffic yet" apart
+    from "everything resolved instantly".
+    """
     if not samples:
-        return {"count": 0}
+        out: Dict[str, Optional[float]] = {"count": 0}
+        for p in PERCENTILES:
+            out[f"p{p:g}_ms"] = None
+        out["mean_ms"] = None
+        out["max_ms"] = None
+        return out
     arr = np.fromiter(samples, dtype=np.float64) * 1e3
     out: Dict[str, float] = {"count": int(arr.size)}
     for p, value in zip(PERCENTILES, np.percentile(arr, PERCENTILES)):
@@ -171,9 +181,11 @@ class ServeMetrics:
                     "batches": self.batches,
                 },
                 "throughput_rps": round(self.completed / elapsed, 3),
+                # mean is null (not 0.0) before the first batch: "no
+                # batches yet" and "empty batches" must not look alike
                 "batch_occupancy": {
                     "mean": round(self._occupancy_sum / self.batches, 3)
-                    if self.batches else 0.0,
+                    if self.batches else None,
                     "max": self._occupancy_max,
                 },
                 "queue_time": _summary(self._queue_s),

@@ -120,7 +120,9 @@ class CCResponse:
         Canonical label vector (``status == OK`` only, else ``None``).
     engine:
         Engine that produced the labels (``"batched"``, ``"contracting"``,
-        ...); ``None`` when no engine ran.
+        ...; prefixed ``"pool:"`` when the batch ran on the process
+        pool, ``"cache"`` for a content-addressed cache hit); ``None``
+        when no engine ran.
     batch_size:
         Occupancy of the batch this request rode in (1 for solo runs).
     queued_seconds / service_seconds / latency_seconds:
@@ -150,6 +152,12 @@ class CCResponse:
     @property
     def ok(self) -> bool:
         return self.status is RequestStatus.OK
+
+    @property
+    def cache_hit(self) -> bool:
+        """Resolved from the content-addressed result cache (no engine
+        ran; ``labels`` are the cached read-only vector)."""
+        return self.engine == "cache"
 
 
 #: Module-wide guard for handle state transitions.  Handles carry no

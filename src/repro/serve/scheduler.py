@@ -60,6 +60,8 @@ class PendingRequest:
     deadline_at: Optional[float]  # absolute monotonic, None = unbounded
     attempts: int = 0
     m_known: Optional[int] = None  # edge count; None = not yet measured
+    fingerprint: Optional[str] = None  # content address, computed lazily
+    cache_unverified: bool = False  # hit awaiting verified-on-first-hit
 
     @property
     def request(self) -> CCRequest:
@@ -356,6 +358,23 @@ class BatchPlanner:
             return 0.0
         per_graph = min(self._priced(key, occupancy, mean_m).values())
         return per_graph * max(occupancy, 1)
+
+    def pool_pays(self, key: BucketKey, occupancy: int,
+                  mean_m: float) -> bool:
+        """Whether shipping one flush to the process pool beats inline.
+
+        A pool dispatch adds one measured round trip
+        (:attr:`~repro.core.dispatch.CostModel.pool_dispatch_overhead`)
+        but runs the batch on another core.  With ``W`` workers the
+        batch costs ``c/W + o`` instead of ``c``, which wins exactly
+        when ``c`` dominates the overhead -- the factor-2 test below is
+        that break-even for the worst useful case ``W = 2``, so small
+        flushes stay inline on any pool size.
+        """
+        if key.size == 0:
+            return False
+        est = self.estimate_batch_seconds(key, occupancy, mean_m)
+        return est >= 2.0 * self.model.pool_dispatch_overhead
 
     def choose_batch_engine(self, key: BucketKey, occupancy: int,
                             mean_m: float) -> str:

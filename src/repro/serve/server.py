@@ -44,6 +44,7 @@ whole workload, block, get responses back in input order.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -59,6 +60,8 @@ from repro.core.dispatch import (
 )
 from repro.graphs.adjacency import AdjacencyMatrix
 from repro.hirschberg.edgelist import EdgeListGraph
+from repro.serve.cache import ResultCache, graph_fingerprint
+from repro.serve.executor import PoolExecutor
 from repro.serve.metrics import ServeMetrics
 from repro.serve.request import (
     CCRequest,
@@ -89,6 +92,9 @@ ADMISSION_POLICIES = ("block", "shed", "fail")
 
 #: Cost-model startup modes.
 CALIBRATION_MODES = ("default", "cached", "recalibrate")
+
+#: Batch execution backends.
+EXECUTORS = ("inline", "pool")
 
 
 @dataclass(frozen=True)
@@ -140,6 +146,21 @@ class ServerConfig:
         host (:func:`~repro.core.dispatch.cached_cost_model`);
         ``"recalibrate"`` forces a fresh measurement and refreshes the
         cache.
+    executor:
+        ``"inline"`` (default) runs flushed batches on the server's
+        worker threads; ``"pool"`` ships them to a persistent
+        shared-memory :class:`~repro.serve.executor.PoolExecutor` of
+        ``process_workers`` processes (all cores when 0), falling back
+        inline whenever the cost model says a flush is too small to pay
+        the measured dispatch overhead.
+    cache_bytes:
+        Byte budget of the content-addressed
+        :class:`~repro.serve.cache.ResultCache` (0 = caching off).
+        Repeat graphs -- same canonical edge set, any representation --
+        resolve from the cache with ``engine="cache"``.
+    cache_verify:
+        Verified-on-first-hit mode: the first hit on each cached entry
+        still solves and compares before the entry is trusted.
     """
 
     max_queue: int = 1024
@@ -156,6 +177,9 @@ class ServerConfig:
     coalesce_units: int = 32_768
     cost_model: Optional[CostModel] = None
     calibration: str = "default"
+    executor: str = "inline"
+    cache_bytes: int = 0
+    cache_verify: bool = False
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -174,6 +198,14 @@ class ServerConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.cache_bytes < 0:
+            raise ValueError(
+                f"cache_bytes must be >= 0, got {self.cache_bytes}"
+            )
 
 
 class Server:
@@ -212,6 +244,12 @@ class Server:
         self._state = "new"
         self._executor = None
         self._sparse_pool: Optional[SparseProcessPool] = None
+        self._pool: Optional[PoolExecutor] = None
+        self._cache: Optional[ResultCache] = None
+        if config.cache_bytes > 0:
+            self._cache = ResultCache(
+                config.cache_bytes, verify_first_hit=config.cache_verify
+            )
         self._scheduler: Optional[threading.Thread] = None
 
     # -- lifecycle -----------------------------------------------------
@@ -226,7 +264,19 @@ class Server:
             max_workers=self.config.workers,
             thread_name_prefix="repro-serve-worker",
         )
-        if self.config.process_workers > 0:
+        if self.config.executor == "pool":
+            self._pool = PoolExecutor(
+                self.config.process_workers or os.cpu_count() or 1
+            ).start()
+            if self._pool.measured_overhead > 0:
+                # replace the shipped constant with this host's measured
+                # round trip so pool_pays() prices real dispatches
+                self.cost_model = replace(
+                    self.cost_model,
+                    pool_dispatch_overhead=self._pool.measured_overhead,
+                )
+                self._planner.model = self.cost_model
+        elif self.config.process_workers > 0:
             self._sparse_pool = SparseProcessPool(self.config.process_workers)
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="repro-serve-scheduler",
@@ -282,6 +332,8 @@ class Server:
             self._executor.shutdown(wait=True)
         if self._sparse_pool is not None:
             self._sparse_pool.shutdown()
+        if self._pool is not None:
+            self._pool.shutdown()
         return drained
 
     def __enter__(self) -> "Server":
@@ -332,6 +384,25 @@ class Server:
             deadline_at=None if budget is None else now + budget,
             m_known=m,
         )
+        if self._cache is not None:
+            # probe before admission: a verified hit costs one memoised
+            # fingerprint and skips the queue, the batching window and
+            # the solve entirely; it also never charges queue capacity
+            pending.fingerprint = graph_fingerprint(request.graph)
+            hit = self._cache.get(pending.fingerprint)
+            if hit is not None:
+                labels, verified = hit
+                if verified:
+                    with self._lock:
+                        if self._state != "running":
+                            raise ServerClosed(
+                                f"server is {self._state}; "
+                                "not accepting requests"
+                            )
+                        self.metrics.record_submitted(admitted=True)
+                    self._resolve_ok(pending, labels, "cache", 1, now)
+                    return handle
+                pending.cache_unverified = True
         with self._lock:
             if self._state != "running":
                 raise ServerClosed(
@@ -390,7 +461,16 @@ class Server:
             }
         if self._sparse_pool is not None:
             gauges["process_pool_restarts"] = self._sparse_pool.restarts
-        return self.metrics.snapshot(gauges)
+        if self._pool is not None:
+            gauges["pool_restarts"] = self._pool.restarts
+            gauges["pool_inflight"] = self._pool.inflight
+            gauges["pool_dispatch_overhead_s"] = round(
+                self._pool.measured_overhead, 6
+            )
+        snap = self.metrics.snapshot(gauges)
+        if self._cache is not None:
+            snap["cache"] = self._cache.stats()
+        return snap
 
     # -- internals -----------------------------------------------------
     def _queued_locked(self) -> int:
@@ -427,8 +507,22 @@ class Server:
             **fields,
         ))
 
+    def _cache_store(self, pending: PendingRequest,
+                     labels: np.ndarray, engine: str) -> None:
+        """File a freshly solved result with the cache: a plain insert
+        on a miss, a :meth:`~repro.serve.cache.ResultCache.confirm` when
+        this solve doubled as the verification of an unverified hit."""
+        if (self._cache is None or engine == "cache"
+                or pending.fingerprint is None):
+            return
+        if pending.cache_unverified:
+            self._cache.confirm(pending.fingerprint, labels)
+        else:
+            self._cache.put(pending.fingerprint, labels)
+
     def _resolve_ok(self, pending: PendingRequest, labels: np.ndarray,
                     engine: str, occupancy: int, started: float) -> None:
+        self._cache_store(pending, labels, engine)
         finished = time.monotonic()
         missed = (pending.deadline_at is not None
                   and finished > pending.deadline_at)
@@ -458,6 +552,8 @@ class Server:
                           started: float) -> None:
         """Resolve a whole flush: one clock read and one metrics lock
         acquisition for the batch instead of one per member."""
+        for pending, vec in zip(members, labels):
+            self._cache_store(pending, vec, engine)
         finished = time.monotonic()
         occupancy = len(members)
         service = finished - started
@@ -495,6 +591,8 @@ class Server:
                     self._resolve(pending, RequestStatus.TIMEOUT)
                 else:
                     runnable.append(pending)
+            if runnable and self._cache is not None:
+                runnable = self._check_cache(runnable, started)
             if runnable:
                 self._run_batch(runnable, started)
         finally:
@@ -502,6 +600,33 @@ class Server:
                 self._in_flight -= len(batch)
                 if self._in_flight == 0 and self._queued_locked() == 0:
                     self._idle_cv.notify_all()
+
+    def _check_cache(self, runnable: List[PendingRequest],
+                     started: float) -> List[PendingRequest]:
+        """Resolve verified cache hits; return the members still to run.
+
+        Requests probed at submission (``fingerprint`` already set) pass
+        straight through -- their hit/miss outcome stands, and probing
+        again would double-count the cache counters.  An *unverified*
+        hit (verify-on-first-hit mode) is not resolved here: the member
+        solves normally and :meth:`_cache_store` turns that solve into
+        the entry's verification.
+        """
+        misses: List[PendingRequest] = []
+        for pending in runnable:
+            if pending.fingerprint is not None:
+                misses.append(pending)
+                continue
+            pending.fingerprint = graph_fingerprint(pending.request.graph)
+            hit = self._cache.get(pending.fingerprint)
+            if hit is not None:
+                labels, verified = hit
+                if verified:
+                    self._resolve_ok(pending, labels, "cache", 1, started)
+                    continue
+                pending.cache_unverified = True
+            misses.append(pending)
+        return misses
 
     def _run_batch(self, runnable: List[PendingRequest],
                    started: float) -> None:
@@ -515,21 +640,29 @@ class Server:
         batched = (key.kind == "dense" and engine == "batched")
         coalesced = (occupancy > 1 and engine in ("edgelist", "contracting"))
         if batched or coalesced:
+            pooled = (self._pool is not None
+                      and self._planner.pool_pays(key, occupancy, mean_m))
             try:
                 if batched:
-                    labels = solve_dense_stack(
-                        [as_dense_matrix(p.request.graph) for p in runnable],
-                        key.size,
-                    )
+                    mats = [as_dense_matrix(p.request.graph)
+                            for p in runnable]
+                    labels = (self._pool.solve_dense_stack(mats, key.size)
+                              if pooled
+                              else solve_dense_stack(mats, key.size))
                 else:
-                    labels = solve_coalesced(
-                        [p.request.graph for p in runnable], engine
-                    )
+                    graphs = [p.request.graph for p in runnable]
+                    labels = (self._pool.solve_coalesced(graphs, engine)
+                              if pooled
+                              else solve_coalesced(graphs, engine))
             except Exception as exc:  # noqa: BLE001 -- batch-level fallback
+                if isinstance(exc, WorkerDied):
+                    self.metrics.record_worker_restart()
                 self.metrics.record_error()
                 for pending in runnable:
                     self._run_solo(pending, started, batch_error=exc)
                 return
+            if pooled:
+                engine = f"pool:{engine}"
             self._resolve_ok_batch(runnable, labels, engine, started)
             return
         for pending in runnable:
@@ -566,7 +699,7 @@ class Server:
         engine = engine or self._solo_engine(pending)
         use_pool = (
             pending.sparse
-            and self._sparse_pool is not None
+            and (self._sparse_pool is not None or self._pool is not None)
             and pending.n + 2 * pending.m >= self.config.sparse_process_units
         )
         last_error: Optional[Exception] = batch_error
@@ -577,11 +710,19 @@ class Server:
             try:
                 if use_pool:
                     try:
-                        labels = self._sparse_pool.solve(
-                            pending.request.graph, engine
-                        )
+                        if self._pool is not None:
+                            labels = self._pool.solve_solo(
+                                pending.request.graph, engine
+                            )
+                        else:
+                            labels = self._sparse_pool.solve(
+                                pending.request.graph, engine
+                            )
                     except WorkerDied:
                         self.metrics.record_worker_restart()
+                        # the pool already retried on a fresh worker
+                        # once; any further attempt runs inline
+                        use_pool = False
                         raise
                 else:
                     labels = solve_solo(pending.request.graph, engine)

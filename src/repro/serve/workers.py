@@ -109,17 +109,69 @@ def as_edge_list(graph: GraphLike) -> EdgeListGraph:
     return EdgeListGraph.from_adjacency(graph)
 
 
+def union_edges(
+    lists: Sequence[EdgeListGraph],
+    offsets: np.ndarray,
+    src_out: Optional[np.ndarray] = None,
+    dst_out: Optional[np.ndarray] = None,
+):
+    """The directed edge arrays of the members' disjoint union.
+
+    ``offsets`` is the node-offset prefix sum (``len(lists) + 1``
+    entries).  ``src_out`` / ``dst_out``, when given, receive the arrays
+    in place -- the process-pool executor passes shared-memory slabs
+    here so the union is built straight into the pages the workers read,
+    with no intermediate copy.  Returns ``(src, dst)``.
+    """
+    # concatenate first, shift once: one repeat + two in-place adds
+    # instead of a tiny ufunc dispatch per member
+    srcs = [e.src for e in lists]
+    dsts = [e.dst for e in lists]
+    if src_out is None:
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+    else:
+        src = np.concatenate(srcs, out=src_out)
+        dst = np.concatenate(dsts, out=dst_out)
+    edge_counts = np.asarray([e.src.size for e in lists])
+    shift = np.repeat(offsets[:-1], edge_counts)
+    src += shift
+    dst += shift
+    return src, dst
+
+
+def split_union_labels(
+    labels: np.ndarray, offsets: np.ndarray, copy: bool = False
+) -> List[np.ndarray]:
+    """Per-member label vectors from a union solve's label vector.
+
+    Components never cross the union's block boundaries, so the union's
+    min-index labels restricted to block ``i`` are exactly graph ``i``'s
+    canonical labels shifted by its node offset -- one subtraction
+    recovers them.  ``copy=True`` detaches the results from ``labels``'s
+    buffer (required when it is a shared-memory slab about to be
+    recycled).
+    """
+    counts = np.diff(offsets)
+    # one vectorized shift back to per-graph numbering, then views --
+    # per-member arithmetic would cost more than the small unions do
+    shifted = labels - np.repeat(offsets[:-1], counts)
+    # plain slices; np.split routes through array_split's generic
+    # swapaxes path, which costs more than the unions themselves here
+    bounds = offsets.tolist()
+    out = [shifted[bounds[i]:bounds[i + 1]] for i in range(len(bounds) - 1)]
+    return [vec.copy() for vec in out] if copy else out
+
+
 def solve_coalesced(
     graphs: Sequence[GraphLike], engine: str = "contracting"
 ) -> List[np.ndarray]:
     """Labels for many graphs via one sparse run on their disjoint union.
 
-    Components never cross the union's block boundaries, so the union's
-    min-index labels restricted to block ``i`` are exactly graph ``i``'s
-    canonical labels shifted by its node offset -- one subtraction
-    recovers them.  The per-iteration NumPy dispatch of the sparse
-    engine is thereby paid once per *batch* instead of once per graph:
-    the sparse-tier counterpart of the stacked dense field.
+    The per-iteration NumPy dispatch of the sparse engine is paid once
+    per *batch* instead of once per graph: the sparse-tier counterpart
+    of the stacked dense field (see :func:`union_edges` /
+    :func:`split_union_labels` for the block-boundary argument).
     """
     lists = [as_edge_list(g) for g in graphs]
     counts = np.asarray([e.n for e in lists])
@@ -127,26 +179,13 @@ def solve_coalesced(
     total = int(offsets[-1])
     if total == 0:
         return [np.empty(0, dtype=np.int64) for _ in lists]
-    # concatenate first, shift once: one repeat + two in-place adds
-    # instead of a tiny ufunc dispatch per member
-    src = np.concatenate([e.src for e in lists])
-    dst = np.concatenate([e.dst for e in lists])
-    edge_counts = np.asarray([e.src.size for e in lists])
-    shift = np.repeat(offsets[:-1], edge_counts)
-    src += shift
-    dst += shift
+    src, dst = union_edges(lists, offsets)
     union = EdgeListGraph(n=total, src=src, dst=dst)
     if engine == "edgelist":
         labels = connected_components_edgelist(union).labels
     else:
         labels = connected_components_contracting(union).labels
-    # one vectorized shift back to per-graph numbering, then views --
-    # per-member arithmetic would cost more than the small unions do
-    labels = labels - np.repeat(offsets[:-1], counts)
-    # plain slices; np.split routes through array_split's generic
-    # swapaxes path, which costs more than the unions themselves here
-    bounds = offsets.tolist()
-    return [labels[bounds[i]:bounds[i + 1]] for i in range(len(lists))]
+    return split_union_labels(labels, offsets)
 
 
 # ----------------------------------------------------------------------

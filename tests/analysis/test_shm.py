@@ -1,0 +1,142 @@
+"""Tests for the shared-memory layer: lifetimes, failure paths, slabs.
+
+The happy-path create/attach round trips live with the sweep tests
+(``tests/analysis/test_sweep.py``); this file covers what goes wrong --
+attach after unlink, double close/unlink -- and the slab pool plus the
+segment registry the leak checks are built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.shm import (
+    Slab,
+    SlabPool,
+    SharedArray,
+    live_segment_bytes,
+    live_segments,
+)
+
+
+class TestFailurePaths:
+    def test_attach_after_unlink_raises(self):
+        owner = SharedArray.zeros((8,), np.int64)
+        ref = owner.ref
+        owner.close()
+        owner.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedArray.attach(ref)
+
+    def test_double_close_is_idempotent(self):
+        owner = SharedArray.zeros((8,), np.int64)
+        owner.close()
+        owner.close()  # must not raise
+        owner.unlink()
+        owner.unlink()  # must not raise
+
+    def test_unlink_without_close_then_close(self):
+        owner = SharedArray.zeros((4,), np.int8)
+        owner.unlink()
+        owner.close()  # order-insensitive teardown
+
+    def test_attached_view_close_does_not_unlink(self):
+        owner = SharedArray.zeros((4,), np.int64)
+        try:
+            view = SharedArray.attach(owner.ref)
+            view.close()
+            again = SharedArray.attach(owner.ref)  # segment still exists
+            again.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+
+class TestSegmentRegistry:
+    def test_create_registers_unlink_unregisters(self):
+        before = live_segments()
+        owner = SharedArray.zeros((16,), np.int64)
+        name = owner.ref.name
+        assert name in live_segments()
+        assert live_segment_bytes() >= 16 * 8
+        owner.close()
+        owner.unlink()
+        assert name not in live_segments()
+        assert live_segments() == before
+
+    def test_attachments_do_not_register(self):
+        owner = SharedArray.zeros((4,), np.int64)
+        try:
+            count = len(live_segments())
+            view = SharedArray.attach(owner.ref)
+            assert len(live_segments()) == count
+            view.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+
+class TestSlabPool:
+    def test_acquire_view_release_recycles(self):
+        pool = SlabPool(byte_budget=1 << 20)
+        try:
+            slab = pool.acquire((10, 10), np.int64)
+            assert isinstance(slab, Slab)
+            assert slab.array.shape == (10, 10)
+            name = slab.ref.name
+            pool.release(slab)
+            again = pool.acquire((10, 10), np.int64)
+            assert again.ref.name == name  # same block, recycled
+            pool.release(again)
+        finally:
+            pool.close_all()
+
+    def test_capacity_classes_round_up(self):
+        pool = SlabPool(byte_budget=1 << 20)
+        try:
+            small = pool.acquire((5,), np.int64)  # 40 bytes -> pow2 class
+            name = small.ref.name
+            pool.release(small)
+            # a slightly larger request in the same class reuses the block
+            other = pool.acquire((6,), np.int64)
+            assert other.ref.name == name
+            pool.release(other)
+        finally:
+            pool.close_all()
+
+    def test_view_as_reinterprets_capacity(self):
+        pool = SlabPool(byte_budget=1 << 20)
+        try:
+            slab = pool.acquire((4, 4), np.int8)
+            slab.view_as((2, 2), np.int8)
+            assert slab.array.shape == (2, 2)
+            slab.array[...] = 7
+            assert slab.ref.shape == (2, 2)
+            pool.release(slab)
+        finally:
+            pool.close_all()
+
+    def test_over_budget_allocations_are_transient(self):
+        pool = SlabPool(byte_budget=64)
+        try:
+            slab = pool.acquire((1024,), np.int64)  # 8 KiB >> 64 B budget
+            assert slab.transient
+            name = slab.ref.name
+            pool.release(slab)
+            assert name not in live_segments()  # unlinked, not pooled
+        finally:
+            pool.close_all()
+
+    def test_close_all_leaves_no_segments(self):
+        before = live_segments()
+        pool = SlabPool(byte_budget=1 << 20)
+        slabs = [pool.acquire((64,), np.int64) for _ in range(4)]
+        for slab in slabs[:2]:
+            pool.release(slab)  # some pooled, some still out
+        pool.close_all()
+        assert live_segments() == before
+
+    def test_close_all_is_idempotent(self):
+        pool = SlabPool(byte_budget=1 << 20)
+        pool.acquire((8,), np.int64)
+        pool.close_all()
+        pool.close_all()  # must not raise

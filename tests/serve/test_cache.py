@@ -1,0 +1,252 @@
+"""Tests for the content-addressed result cache and graph fingerprints.
+
+The property the whole cache rests on: **fingerprint-equal implies
+label-equivalent**.  Hypothesis drives it from both directions --
+representation changes that must NOT move the fingerprint (dense vs
+sparse, edge order, duplicated edges, swapped endpoints) and structural
+changes that MUST move it (any difference in the canonical edge set,
+e.g. a vertex permutation that actually moves an edge).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hashing import canonical_edge_pairs, graph_fingerprint
+from repro.core.api import connected_components
+from repro.graphs.union_find import UnionFind
+from repro.hirschberg.edgelist import EdgeListGraph
+from repro.serve.cache import ResultCache
+
+
+# -- strategies --------------------------------------------------------
+@st.composite
+def edge_lists(draw, max_n=24, max_m=48):
+    # go through from_arrays: the EdgeListGraph contract requires both
+    # directions of every undirected edge, which the constructor
+    # guarantees (self-loops dropped, parallel edges deduplicated)
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return EdgeListGraph.from_arrays(
+        n,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+    )
+
+
+def _labels(graph: EdgeListGraph) -> np.ndarray:
+    uf = UnionFind(graph.n)
+    for s, d in zip(graph.src, graph.dst):
+        uf.union(int(s), int(d))
+    return uf.canonical_labels()
+
+
+def _densify(graph: EdgeListGraph) -> np.ndarray:
+    mat = np.zeros((graph.n, graph.n), dtype=np.int8)
+    mat[graph.src, graph.dst] = 1
+    mat[graph.dst, graph.src] = 1
+    np.fill_diagonal(mat, 0)
+    return mat
+
+
+class TestFingerprintInvariance:
+    @given(edge_lists(), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_representation_independent(self, graph, rng):
+        """Dense form, shuffled edges, swapped endpoints and duplicated
+        edges all share one fingerprint -- and one label vector."""
+        reference = graph_fingerprint(graph)
+        assert graph_fingerprint(_densify(graph)) == reference
+
+        order = list(range(graph.src.size))
+        rng.shuffle(order)
+        shuffled = EdgeListGraph(
+            n=graph.n, src=graph.src[order], dst=graph.dst[order]
+        )
+        assert graph_fingerprint(shuffled) == reference
+
+        swapped = EdgeListGraph(n=graph.n, src=graph.dst, dst=graph.src)
+        assert graph_fingerprint(swapped) == reference
+
+        doubled = EdgeListGraph(
+            n=graph.n,
+            src=np.concatenate([graph.src, graph.src]),
+            dst=np.concatenate([graph.dst, graph.dst]),
+        )
+        assert graph_fingerprint(doubled) == reference
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_equal_implies_label_equal(self, graph):
+        """The contract the server relies on, end to end: the engine
+        labels of the dense and sparse forms of one fingerprint agree."""
+        dense = _densify(graph)
+        assert graph_fingerprint(dense) == graph_fingerprint(graph)
+        sparse_labels = connected_components(graph, engine="contracting")
+        dense_labels = connected_components(dense, engine="vectorized")
+        assert np.array_equal(
+            np.asarray(sparse_labels.labels), np.asarray(dense_labels.labels)
+        )
+        assert np.array_equal(np.asarray(sparse_labels.labels),
+                              _labels(graph))
+
+    @given(edge_lists(), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_permuted_vertices_move_the_fingerprint(self, graph, rng):
+        """A vertex relabelling that changes the canonical edge set must
+        change the fingerprint (no false cache hits on permuted
+        variants); one that happens to be an automorphism must not."""
+        perm = list(range(graph.n))
+        rng.shuffle(perm)
+        perm = np.asarray(perm, dtype=np.int64)
+        permuted = EdgeListGraph(
+            n=graph.n, src=perm[graph.src], dst=perm[graph.dst]
+        )
+
+        def canon(g):
+            n, lo, hi = canonical_edge_pairs(g)
+            return (n, lo.tolist(), hi.tolist())
+
+        same_structure = canon(graph) == canon(permuted)
+        same_print = graph_fingerprint(graph) == graph_fingerprint(permuted)
+        assert same_print == same_structure
+
+
+class TestResultCacheCounters:
+    def test_forced_hit_miss_sequence(self):
+        cache = ResultCache(byte_budget=1 << 20)
+        labels = np.arange(5, dtype=np.int64)
+        assert cache.get("a") is None                    # miss
+        cache.put("a", labels)
+        hit = cache.get("a")                             # hit
+        assert hit is not None and hit[1] is True
+        assert np.array_equal(hit[0], labels)
+        assert cache.get("b") is None                    # miss
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["inserts"] == 1
+        assert stats["evictions"] == 0
+
+    def test_lru_eviction_under_byte_budget(self):
+        one_entry = 8 * 8  # eight int64 labels
+        cache = ResultCache(byte_budget=2 * one_entry)
+        labels = np.zeros(8, dtype=np.int64)
+        cache.put("a", labels)
+        cache.put("b", labels)
+        cache.get("a")          # "a" is now most recent
+        cache.put("c", labels)  # evicts "b", the LRU
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats()["evictions"] == 1
+        assert cache.bytes_used <= cache.byte_budget
+
+    def test_oversized_entry_is_not_stored(self):
+        cache = ResultCache(byte_budget=8)
+        cache.put("big", np.zeros(100, dtype=np.int64))
+        assert len(cache) == 0
+        assert cache.get("big") is None
+
+    def test_hits_return_read_only_labels(self):
+        cache = ResultCache(byte_budget=1 << 10)
+        cache.put("a", np.arange(4, dtype=np.int64))
+        labels, _ = cache.get("a")
+        with pytest.raises(ValueError):
+            labels[0] = 99
+
+    def test_replacement_accounts_bytes_once(self):
+        cache = ResultCache(byte_budget=1 << 10)
+        cache.put("a", np.zeros(8, dtype=np.int64))
+        cache.put("a", np.zeros(16, dtype=np.int64))
+        assert cache.bytes_used == 16 * 8
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = ResultCache(byte_budget=1 << 10)
+        cache.put("a", np.zeros(4, dtype=np.int64))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.bytes_used == 0
+
+
+class TestVerifiedOnFirstHit:
+    def test_first_hit_is_unverified_then_confirmed(self):
+        cache = ResultCache(byte_budget=1 << 10, verify_first_hit=True)
+        labels = np.arange(6, dtype=np.int64)
+        cache.put("a", labels)
+        got, verified = cache.get("a")
+        assert not verified                 # advisory: caller re-solves
+        assert cache.confirm("a", labels)   # fresh solve matches
+        _, verified = cache.get("a")
+        assert verified                     # trusted from now on
+        stats = cache.stats()
+        assert stats["verifications"] == 1
+        assert stats["mismatches"] == 0
+
+    def test_mismatch_evicts_and_counts(self):
+        cache = ResultCache(byte_budget=1 << 10, verify_first_hit=True)
+        cache.put("a", np.arange(6, dtype=np.int64))
+        cache.get("a")
+        wrong = np.zeros(6, dtype=np.int64)
+        assert not cache.confirm("a", wrong)
+        assert cache.get("a") is None       # evicted
+        stats = cache.stats()
+        assert stats["mismatches"] == 1
+
+    def test_confirm_after_eviction_is_benign(self):
+        cache = ResultCache(byte_budget=1 << 10, verify_first_hit=True)
+        assert cache.confirm("gone", np.zeros(2, dtype=np.int64))
+
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_with_real_fingerprints(self, graph):
+        cache = ResultCache(byte_budget=1 << 20)
+        fp = graph_fingerprint(graph)
+        labels = _labels(graph)
+        cache.put(fp, labels)
+        hit = cache.get(fp)
+        assert hit is not None
+        assert np.array_equal(hit[0], labels)
+        # the dense representation hits the same entry
+        assert cache.get(graph_fingerprint(_densify(graph))) is not None
+
+
+class TestServerCacheIntegration:
+    def test_duplicate_stream_hits_and_stays_correct(self):
+        from repro.serve import Server, ServerConfig
+        from repro.hirschberg.edgelist import random_edge_list
+
+        g = random_edge_list(64, 150, seed=7)
+        with Server(ServerConfig(cache_bytes=1 << 20, workers=2)) as server:
+            first = server.submit(g).response()
+            second = server.submit(g).response()
+            snap = server.metrics_snapshot()
+        assert first.ok and second.ok
+        assert second.engine == "cache"
+        assert second.cache_hit and not first.cache_hit
+        assert np.array_equal(first.labels, second.labels)
+        assert np.array_equal(first.labels, _labels(g))
+        assert snap["cache"]["hits"] == 1
+        assert snap["cache"]["misses"] == 1
+
+    def test_verify_mode_resolves_and_confirms(self):
+        from repro.serve import Server, ServerConfig
+        from repro.hirschberg.edgelist import random_edge_list
+
+        g = random_edge_list(48, 100, seed=9)
+        config = ServerConfig(cache_bytes=1 << 20, cache_verify=True,
+                              workers=2)
+        with Server(config) as server:
+            responses = [server.submit(g).response() for _ in range(3)]
+            snap = server.metrics_snapshot()
+        assert [r.engine for r in responses][0] != "cache"
+        assert responses[1].engine != "cache"   # verification solve
+        assert responses[2].engine == "cache"   # trusted now
+        for r in responses:
+            assert np.array_equal(r.labels, _labels(g))
+        assert snap["cache"]["verifications"] == 1
+        assert snap["cache"]["mismatches"] == 0

@@ -69,7 +69,7 @@ class TestOccupancy:
         assert occ["max"] == 8
 
     def test_zero_batches(self):
-        assert ServeMetrics().snapshot()["batch_occupancy"]["mean"] == 0.0
+        assert ServeMetrics().snapshot()["batch_occupancy"]["mean"] is None
 
 
 class TestLatencySummary:
@@ -84,7 +84,19 @@ class TestLatencySummary:
         assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
 
     def test_empty_reservoir_summary(self):
-        assert ServeMetrics().snapshot()["latency"] == {"count": 0}
+        # every statistic is null (not 0.0): "no traffic yet" must not
+        # masquerade as "everything resolved instantly"
+        assert ServeMetrics().snapshot()["latency"] == {
+            "count": 0,
+            "p50_ms": None,
+            "p95_ms": None,
+            "p99_ms": None,
+            "mean_ms": None,
+            "max_ms": None,
+        }
+
+    def test_empty_occupancy_mean_is_null(self):
+        assert ServeMetrics().snapshot()["batch_occupancy"]["mean"] is None
 
     def test_reservoir_is_bounded(self):
         m = ServeMetrics(reservoir_size=8)

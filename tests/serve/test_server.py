@@ -364,6 +364,37 @@ class TestServeManyAndLoadgen:
             handle = server.submit_request(CCRequest(graph=g))
             assert np.array_equal(handle.result(timeout=10.0), _oracle(g))
 
+    def test_poisson_arrivals_are_seeded_and_monotone(self):
+        from repro.serve.loadgen import poisson_arrivals
+
+        a = poisson_arrivals(100, offered_rps=500.0, seed=42)
+        b = poisson_arrivals(100, offered_rps=500.0, seed=42)
+        c = poisson_arrivals(100, offered_rps=500.0, seed=43)
+        assert np.array_equal(a, b)           # explicit seed: reproducible
+        assert not np.array_equal(a, c)
+        assert np.all(np.diff(a) > 0)         # cumulative offsets
+        assert a.shape == (100,)
+        # mean inter-arrival ~ 1/rate
+        assert np.diff(a).mean() == pytest.approx(1 / 500.0, rel=0.5)
+
+    def test_poisson_arrivals_validates_inputs(self):
+        from repro.serve.loadgen import poisson_arrivals
+
+        with pytest.raises(ValueError, match="offered_rps"):
+            poisson_arrivals(10, offered_rps=0.0, seed=0)
+        with pytest.raises(ValueError, match="count"):
+            poisson_arrivals(-1, offered_rps=1.0, seed=0)
+        assert poisson_arrivals(0, offered_rps=1.0, seed=0).size == 0
+
+    def test_workload_duplicate_fraction(self):
+        spec = LoadSpec(count=200, sizes=(8, 16), duplicate_fraction=0.5,
+                        seed=3)
+        graphs = make_workload(spec)
+        unique = len({id(g) for g in graphs})
+        assert unique < len(graphs)  # repeats present by identity
+        no_dup = make_workload(LoadSpec(count=200, sizes=(8, 16), seed=3))
+        assert len({id(g) for g in no_dup}) == len(no_dup)
+
 
 class TestObservability:
     def test_snapshot_has_gauges_and_counters(self):
