@@ -18,8 +18,8 @@ EXPERIMENTS.md for the per-``n`` outcomes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.gca.instrumentation import AccessLog, GenerationStats, merge_stats
 from repro.util.intmath import ceil_log2

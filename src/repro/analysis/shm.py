@@ -55,15 +55,35 @@ from repro.hirschberg.edgelist import EdgeListGraph
 _registry_lock = threading.Lock()
 _live_segments: Dict[str, int] = {}  # name -> nbytes, created by this process
 
+#: Optional observer (see :func:`repro.check.sanitizer.shm_sanitizer`):
+#: an object with ``on_create`` / ``on_unlink`` / ``on_attach`` /
+#: ``on_close`` / ``on_acquire`` / ``on_release`` hooks, notified at the
+#: corresponding lifecycle points.  ``None`` (the default) costs one
+#: attribute load per event.
+_observer = None
+
+
+def set_shm_observer(observer):
+    """Install ``observer`` (or ``None`` to remove); returns the
+    previous observer so sanitizer windows can nest/restore."""
+    global _observer
+    previous = _observer
+    _observer = observer
+    return previous
+
 
 def _register_segment(name: str, nbytes: int) -> None:
     with _registry_lock:
         _live_segments[name] = nbytes
+    if _observer is not None:
+        _observer.on_create(name, nbytes)
 
 
 def _unregister_segment(name: str) -> None:
     with _registry_lock:
         _live_segments.pop(name, None)
+    if _observer is not None:
+        _observer.on_unlink(name)
 
 
 def live_segments() -> FrozenSet[str]:
@@ -156,7 +176,10 @@ class SharedArray:
         the block -- a worker must treat that as "the batch moved on",
         not corrupt data.
         """
-        return cls(shared_memory.SharedMemory(name=ref.name), ref, owner=False)
+        out = cls(shared_memory.SharedMemory(name=ref.name), ref, owner=False)
+        if _observer is not None:
+            _observer.on_attach(ref.name)
+        return out
 
     def close(self) -> None:
         """Release this process's mapping (views become invalid)."""
@@ -165,6 +188,8 @@ class SharedArray:
         self._closed = True
         self.array = None
         self._shm.close()
+        if _observer is not None:
+            _observer.on_close(self.ref.name)
 
     def unlink(self) -> None:
         """Destroy the block (owner side, after every close)."""
@@ -203,7 +228,14 @@ def share_edge_list(graph: EdgeListGraph) -> Tuple["SharedWorkspace", SharedEdge
     and the descriptor to hand to workers.
     """
     src = SharedArray.create(graph.src)
-    dst = SharedArray.create(graph.dst)
+    try:
+        dst = SharedArray.create(graph.dst)
+    except BaseException:
+        # a failed second create (ENOSPC, shm quota) must not leak the
+        # first segment until reboot
+        src.close()
+        src.unlink()
+        raise
     ref = SharedEdgeListRef(n=graph.n, src=src.ref, dst=dst.ref)
     return SharedWorkspace([src, dst]), ref
 
@@ -216,7 +248,13 @@ def attach_edge_list(ref: SharedEdgeListRef) -> Tuple[EdgeListGraph, List[Shared
     and ``close()`` them afterwards.
     """
     src = SharedArray.attach(ref.src)
-    dst = SharedArray.attach(ref.dst)
+    try:
+        dst = SharedArray.attach(ref.dst)
+    except BaseException:
+        # the owner unlinked between the two attaches: drop the first
+        # mapping instead of pinning the orphaned pages
+        src.close()
+        raise
     graph = EdgeListGraph(n=ref.n, src=src.array, dst=dst.array)
     return graph, [src, dst]
 
@@ -321,9 +359,12 @@ class SlabPool:
             free = self._free.get(capacity)
             if free:
                 block = free.pop()
-                return Slab(block, capacity, transient=False).view_as(
+                slab = Slab(block, capacity, transient=False).view_as(
                     tuple(shape), dtype
                 )
+                if _observer is not None:
+                    _observer.on_acquire(slab)
+                return slab
             transient = self._pooled_bytes + capacity > self.byte_budget
             if not transient:
                 self._pooled_bytes += capacity
@@ -333,9 +374,14 @@ class SlabPool:
         block = SharedArray(shm, base, owner=True)
         with self._lock:
             self._all[shm.name] = block
-        return Slab(block, capacity, transient).view_as(tuple(shape), dtype)
+        slab = Slab(block, capacity, transient).view_as(tuple(shape), dtype)
+        if _observer is not None:
+            _observer.on_acquire(slab)
+        return slab
 
     def release(self, slab: Slab) -> None:
+        if _observer is not None:
+            _observer.on_release(slab)
         slab.array = None
         if slab.transient:
             with self._lock:

@@ -1,0 +1,60 @@
+"""Repo-specific static analysis and runtime sanitizers.
+
+The whole stack rests on invariants nothing in Python enforces by
+itself:
+
+* **CROW** -- every cell may read any other cell but writes only its own
+  state (the paper's execution contract; rule objects must be pure);
+* **double-buffer hygiene** -- the fused kernels ping-pong between a
+  read field and a write field, never allocating inside the generation
+  loop, never reading the spare buffer, never mutating a field
+  documented read-only;
+* **shared-memory hygiene** -- every segment created is closed and
+  unlinked on *every* path, no lock is held across a blocking pipe or
+  queue call, and no thread is spawned before the pool forks.
+
+:mod:`repro.check.engine` is a small AST-walking lint framework;
+:mod:`repro.check.rules` holds the repo-specific rules;
+:mod:`repro.check.sanitizer` provides the *runtime* counterparts: a
+write-barrier interpreter that raises on any cross-cell write and an
+shm sanitizer that stamps write epochs on shared slabs.
+
+Run the linter with ``python -m repro check src/`` and the sanitizers
+with ``connected_components(..., sanitize=True)`` /
+``python -m repro serve-bench --sanitize-shm``.
+"""
+
+from repro.check.engine import (
+    CheckEngine,
+    CheckReport,
+    Finding,
+    LintRule,
+    load_baseline,
+    write_baseline,
+)
+from repro.check.rules import all_rules, rule_ids
+from repro.check.sanitizer import (
+    SanitizerMismatch,
+    SanitizerReport,
+    ShmSanitizer,
+    ShmSanitizerError,
+    run_sanitized,
+    shm_sanitizer,
+)
+
+__all__ = [
+    "CheckEngine",
+    "CheckReport",
+    "Finding",
+    "LintRule",
+    "load_baseline",
+    "write_baseline",
+    "all_rules",
+    "rule_ids",
+    "SanitizerMismatch",
+    "SanitizerReport",
+    "ShmSanitizer",
+    "ShmSanitizerError",
+    "run_sanitized",
+    "shm_sanitizer",
+]

@@ -1,0 +1,480 @@
+"""The AST-walking lint framework behind ``python -m repro check``.
+
+The engine is deliberately small: a :class:`LintRule` receives one
+parsed :class:`Module` (path, source, AST) and yields
+:class:`Finding`\\ s; :class:`CheckEngine` walks the requested paths,
+runs every applicable rule, applies inline suppressions and an optional
+committed baseline, and renders the surviving findings as text, JSON or
+SARIF.
+
+Suppression syntax
+------------------
+A finding is suppressed by a trailing comment on the offending line (or
+the line directly above it)::
+
+    snap = cur.copy()  # repro-check: allow[DB101] snapshots are opt-in
+    # repro-check: allow[SHM202] close handled by the caller
+    dst = SharedArray.create(graph.dst)
+
+``allow[*]`` suppresses every rule on that line.  A reason after the
+bracket is conventional (and what review should insist on), but not
+enforced.
+
+Baseline
+--------
+A baseline file (JSON) records known findings by a line-insensitive key
+(``path::rule::message``) so CI fails only on *new* findings while the
+backlog is burned down.  ``python -m repro check --write-baseline``
+regenerates it; an empty baseline means the tree is clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Inline suppression marker: ``# repro-check: allow[RULE1,RULE2] reason``.
+_SUPPRESS_RE = re.compile(r"#\s*repro-check:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+_SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-insensitive identity used by the baseline file (stable
+        across unrelated edits that only shift line numbers)."""
+        return f"{self.path}::{self.rule_id}::{self.message}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+
+class Module:
+    """One parsed source file handed to the rules."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self._suppressions: Optional[Dict[int, Set[str]]] = None
+
+    @property
+    def basename(self) -> str:
+        return Path(self.path).name
+
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """Mapping line -> rule ids allowed on that line (``"*"`` = all).
+
+        A standalone suppression comment also covers the line below it,
+        so the comment can sit above long statements.
+        """
+        if self._suppressions is None:
+            table: Dict[int, Set[str]] = {}
+            for lineno, text in enumerate(self.lines, start=1):
+                match = _SUPPRESS_RE.search(text)
+                if not match:
+                    continue
+                ids = {
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                table.setdefault(lineno, set()).update(ids)
+                if text.lstrip().startswith("#"):
+                    table.setdefault(lineno + 1, set()).update(ids)
+            self._suppressions = table
+        return self._suppressions
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        allowed = self.suppressions().get(finding.line, ())
+        return "*" in allowed or finding.rule_id in allowed
+
+
+class LintRule(ABC):
+    """One mechanical check.  Subclasses set the class attributes and
+    implement :meth:`check`.
+
+    ``basenames`` optionally restricts the rule to files with those
+    names (the double-buffer rules only make sense inside the kernel
+    modules); ``None`` means the rule is structural and runs everywhere.
+    """
+
+    rule_id: str = "RULE000"
+    severity: str = "error"
+    description: str = ""
+    basenames: Optional[frozenset] = None
+
+    def applies_to(self, module: Module) -> bool:
+        return self.basenames is None or module.basename in self.basenames
+
+    @abstractmethod
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield the rule's findings for one module."""
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers (used by the concrete rules)
+# ----------------------------------------------------------------------
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` at the bottom of an attribute/subscript chain,
+    e.g. ``self._slabs.acquire`` -> ``self``, ``D[0][1]`` -> ``D``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted rendering of a call target, e.g.
+    ``np.zeros``, ``SharedArray.create``, ``self._slabs.acquire``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call):
+        parts.append(dotted_name(node.func) + "()")
+    return ".".join(reversed(parts))
+
+
+def name_chain(node: ast.AST) -> str:
+    """Lower-cased dotted chain for fuzzy receiver matching."""
+    return dotted_name(node).lower()
+
+
+def param_names(fn: ast.AST) -> List[str]:
+    """All parameter names of a function definition."""
+    args = fn.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def walk_function(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/lambdas
+    (a closure has its own scope and, usually, its own contract)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def local_names(fn: ast.AST) -> Set[str]:
+    """Names bound by plain assignments / for targets / with-as inside
+    the function (used to exempt locals from parameter-mutation rules)."""
+    out: Set[str] = set()
+
+    def collect_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            out.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                collect_target(elt)
+
+    for node in walk_function(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                collect_target(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            collect_target(node.target)
+        elif isinstance(node, ast.For):
+            collect_target(node.target)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            collect_target(node.optional_vars)
+    return out
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Load a baseline file; returns ``{baseline_key: count}``."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path} is not a repro-check baseline file")
+    return {str(k): int(v) for k, v in payload["findings"].items()}
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> None:
+    """Write the baseline covering ``findings`` (post-suppression)."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.baseline_key] = counts.get(finding.baseline_key, 0) + 1
+    payload = {
+        "version": 1,
+        "comment": (
+            "Known repro-check findings; CI fails only on findings not "
+            "recorded here. Regenerate with: "
+            "python -m repro check src/ --write-baseline"
+        ),
+        "findings": dict(sorted(counts.items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+@dataclass
+class CheckReport:
+    """Outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    parse_errors: List[Finding] = field(default_factory=list)
+    rules_run: List[str] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (no new findings, no parse errors)."""
+        return not self.findings and not self.parse_errors
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return self.parse_errors + self.findings
+
+    def per_rule_counts(self) -> Dict[str, int]:
+        counts = {rule_id: 0 for rule_id in self.rules_run}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    # -- renderers -----------------------------------------------------
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.all_findings]
+        total = len(self.all_findings)
+        lines.append(
+            f"{total} finding{'s' if total != 1 else ''} "
+            f"({self.suppressed} suppressed, {len(self.baselined)} "
+            f"baselined) in {self.files_scanned} files"
+        )
+        return "\n".join(lines)
+
+    def render_stats(self) -> str:
+        """The ``--stats`` trend summary printed in CI logs."""
+        rows = sorted(self.per_rule_counts().items())
+        width = max((len(r) for r, _ in rows), default=4)
+        lines = ["repro-check stats"]
+        for rule_id, count in rows:
+            lines.append(f"  {rule_id:<{width}}  {count}")
+        lines.append(
+            f"  files scanned: {self.files_scanned}, suppressed: "
+            f"{self.suppressed}, baselined: {len(self.baselined)}, "
+            f"runtime: {self.duration_s * 1e3:.1f} ms"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "findings": [
+                {
+                    "rule": f.rule_id,
+                    "severity": f.severity,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                }
+                for f in self.all_findings
+            ],
+            "stats": {
+                "files_scanned": self.files_scanned,
+                "suppressed": self.suppressed,
+                "baselined": len(self.baselined),
+                "per_rule": self.per_rule_counts(),
+                "duration_s": self.duration_s,
+            },
+        }
+
+    def to_sarif(self, rules: Sequence[LintRule]) -> dict:
+        """SARIF 2.1.0 payload (the format code-scanning UIs ingest)."""
+        by_id = {r.rule_id: r for r in rules}
+        return {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-check",
+                            "informationUri": "https://example.invalid/repro",
+                            "rules": [
+                                {
+                                    "id": rule_id,
+                                    "shortDescription": {
+                                        "text": by_id[rule_id].description
+                                    },
+                                }
+                                for rule_id in sorted(by_id)
+                            ],
+                        }
+                    },
+                    "results": [
+                        {
+                            "ruleId": f.rule_id,
+                            "level": (
+                                "error" if f.severity == "error" else "warning"
+                            ),
+                            "message": {"text": f.message},
+                            "locations": [
+                                {
+                                    "physicalLocation": {
+                                        "artifactLocation": {"uri": f.path},
+                                        "region": {
+                                            "startLine": f.line,
+                                            "startColumn": f.col,
+                                        },
+                                    }
+                                }
+                            ],
+                        }
+                        for f in self.all_findings
+                    ],
+                }
+            ],
+        }
+
+
+class CheckEngine:
+    """Run a rule set over files and directories."""
+
+    def __init__(self, rules: Optional[Sequence[LintRule]] = None):
+        if rules is None:
+            from repro.check.rules import all_rules
+
+            rules = all_rules()
+        for rule in rules:
+            if rule.severity not in _SEVERITIES:
+                raise ValueError(
+                    f"{rule.rule_id}: severity must be one of {_SEVERITIES}, "
+                    f"got {rule.severity!r}"
+                )
+        self.rules = list(rules)
+
+    # ------------------------------------------------------------------
+    def check_source(
+        self, path: str, source: str
+    ) -> Tuple[List[Finding], int]:
+        """Run every applicable rule over one in-memory module.
+
+        Returns ``(findings, suppressed_count)``; parse failures raise
+        ``SyntaxError`` (the path-walking entry point converts them to
+        findings instead).
+        """
+        module = Module(path, source)
+        kept: List[Finding] = []
+        suppressed = 0
+        for rule in self.rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                if module.is_suppressed(finding):
+                    suppressed += 1
+                else:
+                    kept.append(finding)
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return kept, suppressed
+
+    def check_paths(
+        self,
+        paths: Sequence[str],
+        baseline: Optional[Dict[str, int]] = None,
+    ) -> CheckReport:
+        """Walk ``paths`` (files or directories) and lint every ``.py``."""
+        started = time.perf_counter()
+        report = CheckReport(rules_run=[r.rule_id for r in self.rules])
+        remaining = dict(baseline or {})
+        for file_path in self._collect(paths):
+            report.files_scanned += 1
+            try:
+                source = file_path.read_text()
+                findings, suppressed = self.check_source(
+                    file_path.as_posix(), source
+                )
+            except SyntaxError as exc:
+                report.parse_errors.append(
+                    Finding(
+                        rule_id="PARSE",
+                        severity="error",
+                        path=file_path.as_posix(),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        message=f"could not parse: {exc.msg}",
+                    )
+                )
+                continue
+            report.suppressed += suppressed
+            for finding in findings:
+                key = finding.baseline_key
+                if remaining.get(key, 0) > 0:
+                    remaining[key] -= 1
+                    report.baselined.append(finding)
+                else:
+                    report.findings.append(finding)
+        report.duration_s = time.perf_counter() - started
+        return report
+
+    @staticmethod
+    def _collect(paths: Sequence[str]) -> List[Path]:
+        files: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if not path.exists():
+                raise FileNotFoundError(f"no such file or directory: {raw}")
+            if path.is_dir():
+                files.extend(
+                    p
+                    for p in sorted(path.rglob("*.py"))
+                    if "__pycache__" not in p.parts
+                )
+            elif path.suffix == ".py":
+                files.append(path)
+        return files

@@ -1,0 +1,71 @@
+"""The repo-specific rule set.
+
+=======  ========  ==========================================================
+id       severity  checks
+=======  ========  ==========================================================
+CROW001  error     a GCA rule method mutates its cell/neighbor view
+CROW002  error     a GCA rule method mutates shared state through ``self``
+CROW003  error     a Hirschberg step function mutates an input vector
+DB101    warning   allocation inside a generation loop of a kernel module
+DB102    error     a fused kernel reads the spare (write) buffer
+DB103    error     ``apply_generation`` mutates the read-only field ``D``
+SHM201   error     a shared-memory acquisition that can never be released
+SHM202   warning   consecutive shm acquisitions without an error-path guard
+LOCK301  error     a blocking pipe/queue/fork call while holding a lock
+FORK302  warning   a thread is spawned before a worker process is forked
+=======  ========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.check.engine import LintRule
+from repro.check.rules.crow import (
+    NeighborWriteRule,
+    SelfStateWriteRule,
+    StepInplaceRule,
+)
+from repro.check.rules.double_buffer import (
+    LoopAllocationRule,
+    ReadFieldWriteRule,
+    WriteBufferReadRule,
+)
+from repro.check.rules.concurrency import (
+    LockAcrossBlockingRule,
+    ThreadBeforeForkRule,
+    UnguardedMultiAcquireRule,
+    UnreleasedSegmentRule,
+)
+
+_ALL = (
+    NeighborWriteRule,
+    SelfStateWriteRule,
+    StepInplaceRule,
+    LoopAllocationRule,
+    WriteBufferReadRule,
+    ReadFieldWriteRule,
+    UnreleasedSegmentRule,
+    UnguardedMultiAcquireRule,
+    LockAcrossBlockingRule,
+    ThreadBeforeForkRule,
+)
+
+
+def all_rules(only: Optional[Sequence[str]] = None) -> List[LintRule]:
+    """Instantiate the full rule set (or the ``only`` subset by id)."""
+    rules: List[LintRule] = [cls() for cls in _ALL]
+    if only is None:
+        return rules
+    wanted = {rule_id.strip().upper() for rule_id in only if rule_id.strip()}
+    unknown = wanted - {r.rule_id for r in rules}
+    if unknown:
+        raise ValueError(
+            f"unknown rule ids {sorted(unknown)}; have {rule_ids()}"
+        )
+    return [r for r in rules if r.rule_id in wanted]
+
+
+def rule_ids() -> List[str]:
+    """All known rule ids, sorted."""
+    return sorted(cls.rule_id for cls in _ALL)

@@ -1,0 +1,315 @@
+"""Shared-memory and process-pool hygiene rules.
+
+The serving stack (:mod:`repro.serve`) and the shared-memory layer
+(:mod:`repro.analysis.shm`) juggle three resources whose misuse is
+invisible to the type system and usually invisible to tests:
+
+* **POSIX shm segments** leak kernel objects until reboot if a create
+  is not paired with ``close``/``unlink`` on *every* path (SHM201,
+  SHM202);
+* **locks held across blocking calls** (pipe recv, queue get, worker
+  spawn) turn a slow worker into a stalled pool (LOCK301);
+* **threads started before the pool forks** leave the forked children
+  with locks held by threads that do not exist in the child (FORK302).
+
+These rules are heuristic by necessity -- they trade a few suppression
+comments for catching the leak/deadlock patterns that actually bit
+this codebase (see ``repro.analysis.shm.share_edge_list`` and
+``PoolExecutor._monitor_loop`` history).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.check.engine import (
+    Finding,
+    LintRule,
+    Module,
+    dotted_name,
+    name_chain,
+    walk_function,
+)
+
+#: Constructors whose result owns a shared-memory segment (or mapping).
+_SHM_FACTORIES = frozenset({"create", "zeros", "attach"})
+
+#: Attribute calls that release a segment or hand ownership onward.
+_RELEASERS = frozenset({"close", "unlink", "release", "close_all"})
+
+
+def _is_shm_acquire(node: ast.Call) -> Optional[str]:
+    """A short label if ``node`` acquires a shared-memory resource."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in _SHM_FACTORIES and "sharedarray" in name_chain(func):
+            return f"SharedArray.{func.attr}"
+        receiver = name_chain(func.value)
+        if func.attr == "acquire" and (
+            "slab" in receiver or "pool" in receiver
+        ):
+            return "SlabPool.acquire"
+    name = dotted_name(func)
+    if name is not None and name.split(".")[-1] == "SharedMemory":
+        return "SharedMemory"
+    return None
+
+
+def _escapes(fn: ast.FunctionDef, var: str, after_line: int) -> bool:
+    """True if local ``var`` leaves the function's hands after binding:
+    passed to a call, returned/yielded, stored into a container or
+    attribute, released directly, or used as a context manager."""
+    for node in walk_function(fn):
+        lineno = getattr(node, "lineno", None)
+        if lineno is None or lineno < after_line:
+            continue
+        if isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name) and sub.id == var:
+                        return True
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                root = func.value
+                if isinstance(root, ast.Name) and root.id == var:
+                    if func.attr in _RELEASERS:
+                        return True
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if value is not None:
+                for sub in ast.walk(value):
+                    if isinstance(sub, ast.Name) and sub.id == var:
+                        return True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name) and sub.id == var:
+                            return True
+        elif isinstance(node, ast.withitem):
+            for sub in ast.walk(node.context_expr):
+                if isinstance(sub, ast.Name) and sub.id == var:
+                    return True
+    return False
+
+
+class UnreleasedSegmentRule(LintRule):
+    """SHM201: a shared-memory acquisition that can never be released.
+
+    Flags ``x = SharedArray.create(...)`` (and friends) where ``x`` is a
+    plain local that is never closed, unlinked, returned, stored, or
+    passed onward -- the segment outlives the process and leaks a
+    kernel object.
+    """
+
+    rule_id = "SHM201"
+    severity = "error"
+    description = "every shm segment acquired must be released or escape"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            for node in walk_function(fn):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not isinstance(node.value, ast.Call):
+                    continue
+                label = _is_shm_acquire(node.value)
+                if label is None:
+                    continue
+                if len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue  # attribute/subscript targets escape by definition
+                if not _escapes(fn, target.id, node.lineno):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{label}() result {target.id!r} in {fn.name!r} is "
+                        "never closed, unlinked, returned, or stored; the "
+                        "segment leaks",
+                    )
+
+
+def _enclosing_guard(stack: List[ast.AST]) -> bool:
+    """True if any enclosing statement is a try with handlers/finally
+    or a with block (i.e. some error path exists for cleanup)."""
+    for node in stack:
+        if isinstance(node, ast.Try) and (node.handlers or node.finalbody):
+            return True
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return True
+    return False
+
+
+class UnguardedMultiAcquireRule(LintRule):
+    """SHM202: consecutive shm acquisitions without an error-path guard.
+
+    ``a = SharedArray.create(...); b = SharedArray.create(...)`` leaks
+    ``a`` whenever the second create throws (ENOSPC, name collision,
+    worker crash).  The second and later acquisitions in a function must
+    sit inside a ``try``/``with`` so the earlier ones can be rolled
+    back.
+    """
+
+    rule_id = "SHM202"
+    severity = "warning"
+    description = "multi-segment acquisition needs an error-path guard"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            yield from self._check_function(module, fn)
+
+    def _check_function(
+        self, module: Module, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        acquires: List[tuple] = []  # (call node, guarded?)
+
+        def visit(node: ast.AST, stack: List[ast.AST]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)) and node is not fn:
+                return
+            if isinstance(node, ast.Call) and _is_shm_acquire(node):
+                acquires.append((node, _enclosing_guard(stack)))
+            stack.append(node)
+            for child in ast.iter_child_nodes(node):
+                visit(child, stack)
+            stack.pop()
+
+        visit(fn, [])
+        for call, guarded in acquires[1:]:
+            if not guarded:
+                label = _is_shm_acquire(call)
+                yield self.finding(
+                    module,
+                    call,
+                    f"{label}() in {fn.name!r} follows an earlier "
+                    "acquisition with no try/with guard; a failure here "
+                    "leaks the earlier segment",
+                )
+
+
+#: Attribute calls that block on a peer (pipe/queue/process traffic).
+_BLOCKING_ATTRS = frozenset({
+    "recv", "recv_bytes", "send", "send_bytes", "join", "select",
+})
+
+#: ``get``/``put`` block only on queue-ish receivers.
+_QUEUEISH = ("queue", "pipe", "conn", "chan", "inbox", "outbox", "result")
+
+
+def _is_blocking_call(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    if attr in _BLOCKING_ATTRS:
+        return attr
+    if attr == "sleep":
+        return attr
+    if attr in ("get", "put"):
+        receiver = name_chain(func.value)
+        if any(q in receiver for q in _QUEUEISH):
+            return attr
+    if attr.startswith("spawn") or attr == "_spawn":
+        return attr
+    return None
+
+
+def _lockish_with_items(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.With, ast.AsyncWith)):
+        return False
+    for item in node.items:
+        for sub in ast.walk(item.context_expr):
+            if isinstance(sub, ast.Name) and "lock" in sub.id.lower():
+                return True
+            if isinstance(sub, ast.Attribute) and "lock" in sub.attr.lower():
+                return True
+    return False
+
+
+class LockAcrossBlockingRule(LintRule):
+    """LOCK301: a blocking pipe/queue/fork call while holding a lock.
+
+    Inside ``with self._lock:`` a ``conn.recv()`` (or a worker spawn,
+    which forks and builds pipes) stalls every other thread contending
+    for the lock for as long as the peer takes -- the exact shape of
+    the pool-wide stall the monitor loop once caused.  ``.wait()`` is
+    exempt: condition variables release the lock while waiting.
+    """
+
+    rule_id = "LOCK301"
+    severity = "error"
+    description = "no blocking pipe/queue/spawn call under a held lock"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            for node in walk_function(fn):
+                if not _lockish_with_items(node):
+                    continue
+                for sub in ast.walk(node):
+                    if isinstance(sub, (ast.FunctionDef, ast.Lambda)):
+                        continue
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    blocked = _is_blocking_call(sub)
+                    if blocked is not None:
+                        yield self.finding(
+                            module,
+                            sub,
+                            f"{fn.name!r} calls blocking {blocked!r} while "
+                            "holding a lock; move the blocking call outside "
+                            "the critical section",
+                        )
+
+
+class ThreadBeforeForkRule(LintRule):
+    """FORK302: a thread is spawned before a worker process is forked.
+
+    A ``fork()`` copies only the calling thread; any lock another
+    thread holds at fork time is copied *locked forever* in the child.
+    Start the pool first, threads after (the executor's monitor thread
+    follows this order).
+    """
+
+    rule_id = "FORK302"
+    severity = "warning"
+    description = "fork the worker pool before starting any threads"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            threads: List[int] = []
+            forks: List[ast.Call] = []
+            # walk_function yields in stack order, not source order --
+            # collect both sides first, compare line numbers after
+            for node in walk_function(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                last = name.split(".")[-1] if name else ""
+                if last == "Thread":
+                    threads.append(node.lineno)
+                elif last == "Process" or last.startswith("spawn_worker"):
+                    forks.append(node)
+            if not threads:
+                continue
+            first_thread = min(threads)
+            for node in forks:
+                if node.lineno > first_thread:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{fn.name!r} forks a worker process after "
+                        f"starting a thread (line {first_thread}); forked "
+                        "children inherit locks held by threads that no "
+                        "longer exist",
+                    )

@@ -1,0 +1,223 @@
+"""CROW (concurrent-read, owner-write) discipline rules.
+
+The paper's execution contract: during a generation every cell may
+*read* any other cell but may *write* only its own state, and all writes
+commit synchronously at the generation boundary.  In this codebase that
+contract has two faces:
+
+* **rule objects** (:mod:`repro.gca.rules`) -- a rule's ``update`` /
+  ``step`` / ``pointer`` receives immutable views and must return a
+  ``CellUpdate``; it must never mutate the views, the read snapshot, or
+  shared state hanging off ``self``;
+* **step functions** (:mod:`repro.hirschberg.steps`) -- the vectorised
+  reference steps are *pure* transformations: they return new vectors
+  and never write their inputs in place (several callers hold the same
+  arrays across steps, e.g. step 6 needs the step-3 ``T`` unchanged).
+
+All three rules here are structural: they trigger on classes whose base
+name ends in ``Rule`` and on module-level functions named ``step<k>_*``
+or ``one_iteration``, so fixtures and future modules are covered without
+path lists.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.check.engine import (
+    Finding,
+    LintRule,
+    Module,
+    param_names,
+    root_name,
+    walk_function,
+)
+
+#: Methods of a rule class that execute inside a generation.
+_RULE_METHODS = frozenset({"is_active", "pointer", "update", "step"})
+
+
+def _is_rule_class(node: ast.ClassDef) -> bool:
+    """A class taking part in the rule protocol: any base whose name
+    ends in ``Rule`` (``Rule``, ``FunctionRule``, ``RuleTable``, ...).
+    ``LintRule`` subclasses are excluded -- the linter is not a GCA."""
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(
+            base, "id", ""
+        )
+        if name.endswith("Rule") and name != "LintRule":
+            return True
+    return False
+
+
+def _rule_methods(
+    module: Module,
+) -> Iterator[Tuple[ast.ClassDef, ast.FunctionDef]]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and _is_rule_class(node):
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name in _RULE_METHODS
+                ):
+                    yield node, item
+
+
+def _store_targets(node: ast.AST) -> List[ast.AST]:
+    """The targets a statement writes through (assign/augassign/del)."""
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    if isinstance(node, ast.Delete):
+        return list(node.targets)
+    return []
+
+
+def _flatten_targets(targets: List[ast.AST]) -> List[ast.AST]:
+    out: List[ast.AST] = []
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out.extend(_flatten_targets(list(target.elts)))
+        else:
+            out.append(target)
+    return out
+
+
+class NeighborWriteRule(LintRule):
+    """CROW001: a rule method writes through a cell/neighbor parameter.
+
+    ``neighbor.data = x`` or ``cell.aux["a"] = 1`` inside ``update`` is
+    a cross-cell (or snapshot) write -- the engine commits only the
+    returned ``CellUpdate``, so such writes are at best dead and at
+    worst corrupt the read snapshot other cells are still reading.
+    """
+
+    rule_id = "CROW001"
+    severity = "error"
+    description = (
+        "GCA rule methods must not mutate their cell/neighbor views"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for _cls, fn in _rule_methods(module):
+            params = {p for p in param_names(fn) if p != "self"}
+            if not params:
+                continue
+            for node in walk_function(fn):
+                for target in _flatten_targets(_store_targets(node)):
+                    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                        continue
+                    root = root_name(target)
+                    if root in params:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"rule method {fn.name!r} writes through "
+                            f"parameter {root!r}; CROW allows a rule to "
+                            "write only via the returned CellUpdate",
+                        )
+
+
+class SelfStateWriteRule(LintRule):
+    """CROW002: a rule method mutates state reachable through ``self``.
+
+    A rule object is shared by every cell of the field in the same
+    generation; ``self._field[j] = x`` (or even ``self.count += 1``)
+    is a hidden cross-cell channel that breaks the synchronous-commit
+    semantics and makes congestion accounting meaningless.
+    """
+
+    rule_id = "CROW002"
+    severity = "error"
+    description = "GCA rule methods must be pure (no writes through self)"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for _cls, fn in _rule_methods(module):
+            for node in walk_function(fn):
+                for target in _flatten_targets(_store_targets(node)):
+                    if isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ) and root_name(target) == "self":
+                        yield self.finding(
+                            module,
+                            node,
+                            f"rule method {fn.name!r} mutates shared state "
+                            "through self; rules run once per cell per "
+                            "generation and must stay pure",
+                        )
+
+
+def _is_step_function(fn: ast.FunctionDef) -> bool:
+    name = fn.name
+    if name == "one_iteration":
+        return True
+    if not name.startswith("step"):
+        return False
+    rest = name[4:]
+    return bool(rest) and rest[0].isdigit()
+
+
+class StepInplaceRule(LintRule):
+    """CROW003: a Hirschberg step function mutates an input in place.
+
+    The step functions are the shared specification the interpreter,
+    the PRAM rendering and the GCA mapping are all validated against;
+    they must return fresh vectors.  Flags subscript/attribute stores
+    and augmented assignments rooted at a parameter, and ``out=``
+    keywords aliasing a parameter.
+    """
+
+    rule_id = "CROW003"
+    severity = "error"
+    description = "Hirschberg step functions must not mutate their inputs"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not _is_step_function(node):
+                continue
+            yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: Module, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        params: Set[str] = set(param_names(fn))
+        for node in walk_function(fn):
+            for target in _flatten_targets(_store_targets(node)):
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = root_name(target)
+                    if root in params:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"step function {fn.name!r} writes input "
+                            f"{root!r} in place; steps must return fresh "
+                            "vectors (callers reuse the inputs)",
+                        )
+                elif (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(target, ast.Name)
+                    and target.id in params
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"step function {fn.name!r} augments parameter "
+                        f"{target.id!r} in place",
+                    )
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg == "out" and root_name(kw.value) in params:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"step function {fn.name!r} passes input "
+                            f"{root_name(kw.value)!r} as out=; steps must "
+                            "not overwrite their inputs",
+                        )
+        # locals shadowing a parameter via plain rebinding (C = C[C]) are
+        # fine -- only writes *through* the parameter alias the caller's
+        # array, and those are caught above.

@@ -1,0 +1,415 @@
+"""Runtime sanitizers: the dynamic half of :mod:`repro.check`.
+
+The lint rules prove discipline *syntactically*; the sanitizers enforce
+it *at runtime*:
+
+* :class:`SanitizedAutomaton` is the interpreter engine with a
+  **write barrier** on its state planes.  While a cell's rule executes,
+  the planes are locked to that cell: any store to a foreign index --
+  however deviously reached (``engine._data[j] = x`` from inside a
+  rule, a leaked snapshot, a mutated aux view) -- raises
+  :class:`~repro.gca.errors.OwnerWriteViolation` at the exact write,
+  turning the paper's CROW contract from documentation into an
+  assertion.  It also re-counts every global read independently of the
+  engine's :class:`~repro.gca.instrumentation.ReadRecorder` and raises
+  :class:`SanitizerMismatch` when the two disagree -- a cross-check of
+  the Table 1 congestion accounting itself.
+* :class:`ShmSanitizer` observes the shared-memory layer
+  (:mod:`repro.analysis.shm`): it tracks every segment created, attached
+  and unlinked during its window, stamps a **write epoch** into the
+  spare tail of every pooled slab handed out and verifies the stamp on
+  release (a concurrent writer overrunning its requested region clobbers
+  the stamp), and flags double-acquisition of a live slab.  On exit it
+  fails loudly on any segment the window leaked.
+
+Entry points: ``connected_components(..., sanitize=True)``,
+:func:`run_sanitized`, and the :func:`shm_sanitizer` context manager
+(``python -m repro serve-bench --sanitize-shm`` wires it around the
+pool).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis import shm as shm_mod
+from repro.gca.automaton import GlobalCellularAutomaton
+from repro.gca.cell import CellUpdate, CellView, Neighbor
+from repro.gca.errors import GCAError, OwnerWriteViolation
+from repro.gca.instrumentation import GenerationStats
+from repro.gca.rules import Rule
+
+
+class SanitizerMismatch(GCAError):
+    """The sanitizer's independent read tally disagrees with the
+    engine's congestion instrumentation -- one of the two is lying."""
+
+
+# ----------------------------------------------------------------------
+# the CROW write barrier
+# ----------------------------------------------------------------------
+class _Guard:
+    """Shared write-lock state of one automaton's planes.
+
+    ``owner is None`` -- unlocked (engine bookkeeping between cells and
+    between generations).  ``owner == i`` -- only element ``i`` may be
+    stored; everything else raises.
+    """
+
+    __slots__ = ("owner",)
+
+    def __init__(self) -> None:
+        self.owner: Optional[int] = None
+
+
+class GuardedArray(np.ndarray):
+    """An int64 plane whose ``__setitem__`` enforces owner-only writes.
+
+    The guard propagates through views (``__array_finalize__``) and the
+    anchor records the plane's buffer span, so a write through *any*
+    alias -- ``engine._pointer[1:]``, a reversed view, a smuggled
+    slice -- is mapped back to the absolute cell index it lands on
+    before the owner check.  Copies are private memory and exempt: a
+    rule may scratch on them freely, and the moment a result is stored
+    back into a real plane the barrier sees it.
+    """
+
+    _guard: Optional[_Guard] = None
+    _anchor: Optional[Tuple[int, int]] = None  # plane buffer [start, end)
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is not None:
+            self._guard = getattr(obj, "_guard", None)
+            self._anchor = getattr(obj, "_anchor", None)
+
+    def __setitem__(self, key, value) -> None:
+        guard = self._guard
+        if (
+            guard is not None
+            and guard.owner is not None
+            and self._overlaps_plane()
+        ):
+            self._check_owner_write(key, guard.owner)
+        super().__setitem__(key, value)
+
+    def _overlaps_plane(self) -> bool:
+        """Whether this array's data lives inside the guarded plane.
+
+        Copies allocate fresh memory outside the anchored span -- they
+        are scratch space, not shared state.  Missing provenance stays
+        conservative."""
+        anchor = self._anchor
+        if anchor is None:
+            return True
+        start, end = anchor
+        addr = int(self.__array_interface__["data"][0])
+        return start <= addr < end
+
+    def _check_owner_write(self, key, owner: int) -> None:
+        if isinstance(key, (int, np.integer)):
+            index = int(key)
+            if index < 0:
+                index += self.shape[0]
+            anchor = self._anchor
+            if anchor is not None and self.ndim == 1:
+                # map the view-local index to the absolute plane index
+                addr = int(self.__array_interface__["data"][0])
+                addr += index * self.strides[0]
+                index = (addr - anchor[0]) // self.itemsize
+            if index == owner:
+                return
+            raise OwnerWriteViolation(
+                f"write to cell {index} while cell {owner} executes; "
+                "CROW permits a cell to write only its own state"
+            )
+        raise OwnerWriteViolation(
+            f"non-scalar write ({key!r}) to a guarded plane while cell "
+            f"{owner} executes; CROW permits only the owner's element"
+        )
+
+
+def _guarded(arr: np.ndarray, guard: _Guard) -> GuardedArray:
+    out = np.asarray(arr).view(GuardedArray)
+    out._guard = guard
+    start = int(out.__array_interface__["data"][0])
+    out._anchor = (start, start + out.nbytes)
+    return out
+
+
+class _SanitizingRule(Rule):
+    """Wraps the scheduled rule: locks the guard to the executing cell
+    and re-counts reads independently of the engine's recorder."""
+
+    def __init__(self, inner: Rule, guard: _Guard, tally: Dict[int, int]):
+        self._inner = inner
+        self._guard = guard
+        self._tally = tally
+
+    def is_active(self, cell: CellView) -> bool:
+        return self._inner.is_active(cell)
+
+    def pointer(self, cell: CellView) -> int:
+        return self._inner.pointer(cell)
+
+    def update(self, cell: CellView, neighbor: Neighbor) -> CellUpdate:
+        return self._inner.update(cell, neighbor)
+
+    def step(
+        self, cell: CellView, read: Callable[[int], Neighbor]
+    ) -> CellUpdate:
+        # the wrapper is the barrier mechanism itself, not a GCA rule:
+        # arming the guard and tallying reads is its entire job
+        self._guard.owner = cell.index  # repro-check: allow[CROW002]
+        tally = self._tally
+
+        def counted_read(target: int) -> Neighbor:
+            neighbor = read(target)
+            tally[neighbor.index] = tally.get(neighbor.index, 0) + 1
+            return neighbor
+
+        return self._inner.step(cell, counted_read)
+
+
+@dataclass
+class SanitizerReport:
+    """What a sanitized run observed (attached to the result)."""
+
+    generations: int = 0
+    total_reads: int = 0
+    peak_congestion: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    def note_generation(
+        self, stats: GenerationStats, tally: Dict[int, int]
+    ) -> None:
+        self.generations += 1
+        self.total_reads += sum(tally.values())
+        self.peak_congestion = max(
+            self.peak_congestion, max(tally.values(), default=0)
+        )
+
+    def summary(self) -> str:
+        return (
+            f"sanitizer: {self.generations} generations verified, "
+            f"{self.total_reads} reads cross-checked, "
+            f"peak congestion {self.peak_congestion}, "
+            f"{len(self.mismatches)} mismatches"
+        )
+
+
+class SanitizedAutomaton(GlobalCellularAutomaton):
+    """The interpreter engine with the CROW write barrier armed.
+
+    Drop-in for :class:`~repro.gca.automaton.GlobalCellularAutomaton`
+    (pass as ``engine_factory`` to
+    :class:`~repro.core.machine.GCAConnectedComponents`).  Each
+    :meth:`step` additionally cross-validates the generation's
+    per-cell read counts against the engine's own recorder.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._guard = _Guard()
+        self._data = _guarded(self._data, self._guard)
+        self._pointer = _guarded(self._pointer, self._guard)
+        self.sanitizer_report = SanitizerReport()
+
+    def step(self, rule: Rule, label: Optional[str] = None) -> GenerationStats:
+        tally: Dict[int, int] = {}
+        wrapped = _SanitizingRule(rule, self._guard, tally)
+        try:
+            stats = super().step(wrapped, label=label)
+        finally:
+            self._guard.owner = None
+            # the commit swapped in freshly-copied planes whose anchors
+            # still describe the previous buffers; re-anchor so the next
+            # generation guards the planes that are actually live
+            self._data = _guarded(self._data, self._guard)
+            self._pointer = _guarded(self._pointer, self._guard)
+        if stats.reads_per_cell != tally:
+            raise SanitizerMismatch(
+                f"generation {stats.label!r}: engine recorded "
+                f"{stats.total_reads} reads (max congestion "
+                f"{stats.max_congestion}), sanitizer counted "
+                f"{sum(tally.values())} (max "
+                f"{max(tally.values(), default=0)})"
+            )
+        self.sanitizer_report.note_generation(stats, tally)
+        return stats
+
+    def load(self, data=None, pointers=None) -> None:
+        super().load(data, pointers)
+        self._data = _guarded(self._data, self._guard)
+        self._pointer = _guarded(self._pointer, self._guard)
+
+
+def run_sanitized(graph, iterations: Optional[int] = None):
+    """Run the full interpreter solve under the CROW write barrier.
+
+    Returns the usual
+    :class:`~repro.core.machine.InterpreterResult`, with
+    :attr:`~repro.core.machine.InterpreterResult.sanitizer` holding the
+    :class:`SanitizerReport`.
+    """
+    from repro.core.machine import GCAConnectedComponents
+
+    machine = GCAConnectedComponents(
+        graph, iterations=iterations, engine_factory=SanitizedAutomaton
+    )
+    result = machine.run()
+    # hand back a plain ndarray, not the guarded view
+    result.labels = np.array(result.labels, dtype=np.int64)
+    return result
+
+
+# ----------------------------------------------------------------------
+# the shared-memory sanitizer
+# ----------------------------------------------------------------------
+class ShmSanitizerError(RuntimeError):
+    """The shm sanitizer found leaked segments or write-epoch races."""
+
+
+#: Bytes of slab tail needed to hold one epoch stamp.
+_STAMP_BYTES = 8
+
+
+class ShmSanitizer:
+    """Observer for :mod:`repro.analysis.shm` (install via
+    :func:`shm_sanitizer`).
+
+    Tracks create/attach/close/unlink per segment, stamps a
+    monotonically increasing epoch into the spare tail of every pooled
+    slab on acquire and re-checks it on release.  Thread-safe (the
+    serve pool acquires from several threads).
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self._lock = threading.Lock()
+        self.created: Dict[str, int] = {}
+        self.unlinked: set = set()
+        self.attaches = 0
+        self.closes = 0
+        self.slab_acquires = 0
+        self.stamps_verified = 0
+        self.violations: List[str] = []
+        self._epoch = 0
+        self._checked_out: Dict[int, Tuple[str, Optional[int], int]] = {}
+
+    # -- observer hooks (called by repro.analysis.shm) ------------------
+    def on_create(self, name: str, nbytes: int) -> None:
+        with self._lock:
+            self.created[name] = nbytes
+
+    def on_unlink(self, name: str) -> None:
+        with self._lock:
+            self.unlinked.add(name)
+
+    def on_attach(self, name: str) -> None:
+        with self._lock:
+            self.attaches += 1
+
+    def on_close(self, name: str) -> None:
+        with self._lock:
+            self.closes += 1
+
+    def on_acquire(self, slab) -> None:
+        tail = self._tail_view(slab)
+        with self._lock:
+            self.slab_acquires += 1
+            self._epoch += 1
+            epoch = self._epoch
+            for _key, (name, _stamp, _e) in self._checked_out.items():
+                if name == slab.block.ref.name:
+                    self.violations.append(
+                        f"slab {name} acquired while already checked out"
+                    )
+            stamp = None
+            if tail is not None:
+                tail[0] = epoch
+                stamp = epoch
+            self._checked_out[id(slab)] = (
+                slab.block.ref.name, stamp, epoch
+            )
+
+    def on_release(self, slab) -> None:
+        tail = self._tail_view(slab)
+        with self._lock:
+            entry = self._checked_out.pop(id(slab), None)
+            if entry is None:
+                self.violations.append(
+                    f"slab {slab.block.ref.name} released but never "
+                    "acquired during the sanitizer window"
+                )
+                return
+            name, stamp, _epoch = entry
+            if stamp is not None and tail is not None:
+                if int(tail[0]) == stamp:
+                    self.stamps_verified += 1
+                else:
+                    self.violations.append(
+                        f"slab {name}: write-epoch stamp clobbered "
+                        f"(expected {stamp}, found {int(tail[0])}); a "
+                        "writer overran its requested region"
+                    )
+
+    # -- verdicts -------------------------------------------------------
+    @staticmethod
+    def _tail_view(slab) -> Optional[np.ndarray]:
+        """The epoch slot: the last 8 bytes of the slab's block, when
+        the requested array leaves at least that much spare capacity."""
+        if slab.capacity - slab.ref.nbytes < _STAMP_BYTES:
+            return None
+        return np.ndarray(
+            (1,), dtype=np.int64, buffer=slab.block._shm.buf,
+            offset=slab.capacity - _STAMP_BYTES,
+        )
+
+    def leaked(self) -> List[str]:
+        """Segments created during the window and never unlinked."""
+        with self._lock:
+            return sorted(set(self.created) - self.unlinked)
+
+    def verify(self) -> None:
+        """Raise :class:`ShmSanitizerError` on leaks or violations."""
+        problems = list(self.violations)
+        leaks = self.leaked()
+        if leaks:
+            problems.append(
+                f"{len(leaks)} leaked shm segment(s): {', '.join(leaks)}"
+            )
+        if problems:
+            raise ShmSanitizerError("; ".join(problems))
+
+    def summary(self) -> str:
+        return (
+            f"shm sanitizer: {len(self.created)} segments created, "
+            f"{self.attaches} attaches, {self.slab_acquires} slab "
+            f"acquires, {self.stamps_verified} epoch stamps verified, "
+            f"{len(self.leaked())} leaked, "
+            f"{len(self.violations)} violations"
+        )
+
+
+@contextmanager
+def shm_sanitizer(strict: bool = True) -> Iterator[ShmSanitizer]:
+    """Install a :class:`ShmSanitizer` for the duration of the block.
+
+    On clean exit, :meth:`ShmSanitizer.verify` runs (unless
+    ``strict=False``) and raises :class:`ShmSanitizerError` on leaked
+    segments or epoch races.  An exception inside the block propagates
+    unmasked; the observer is restored either way.
+    """
+    sanitizer = ShmSanitizer()
+    previous = shm_mod.set_shm_observer(sanitizer)
+    try:
+        yield sanitizer
+    finally:
+        shm_mod.set_shm_observer(previous)
+    if strict:
+        sanitizer.verify()

@@ -28,9 +28,17 @@ Installed as ``python -m repro`` (see ``__main__.py``). Sub-commands:
 ``reproduce``
     Run the acceptance harness: a quick PASS/FAIL verdict for every
     experiment E1-E20.
+``check``
+    Run the repo-specific static analysis (CROW discipline,
+    double-buffer hygiene, shm/concurrency hygiene) over source paths;
+    text, ``--json`` or ``--sarif`` output, optional ``--baseline``.
 
 Examples::
 
+    python -m repro check src/ --stats
+    python -m repro check src/ --json --baseline check_baseline.json
+    python -m repro solve --random 16 --method interpreter --sanitize
+    python -m repro serve-bench --executor pool --sanitize-shm
     python -m repro solve graph.edges --method vectorized
     python -m repro solve --random 64 --p 0.1 --seed 7
     python -m repro solve --random-sparse 100000 300000 --method auto
@@ -68,7 +76,6 @@ from repro.analysis import (
 from repro.core.api import GraphLike, connected_components
 from repro.core.machine import connected_components_interpreter
 from repro.core.trace import TraceRecorder
-from repro.graphs.adjacency import AdjacencyMatrix
 from repro.graphs.generators import from_edges, random_graph
 from repro.graphs.io import load_edge_list
 from repro.hardware import paper_report, synthesize
@@ -110,12 +117,15 @@ _LISTING_LIMIT = 10_000
 def _cmd_solve(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     result = connected_components(
-        graph, engine=args.method, early_exit=args.early_exit
+        graph, engine=args.method, early_exit=args.early_exit,
+        sanitize=args.sanitize,
     )
     shown = (f"auto -> {result.method}" if args.method == "auto"
              else args.method)
     print(f"n = {graph.n}, edges = {graph.edge_count}, method = {shown}")
     print(f"components: {result.component_count}")
+    if args.sanitize and getattr(result.detail, "sanitizer", None) is not None:
+        print(result.detail.sanitizer.summary())
     if args.early_exit and result.detail.converged_at_iteration is not None:
         print(f"converged at iteration {result.detail.converged_at_iteration} "
               f"({result.detail.total_generations} generations)")
@@ -276,18 +286,41 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     deadline = args.deadline if args.deadline > 0 else None
 
     naive = naive_seconds(graphs) if args.baseline else None
-    with Server(config) as server:
-        start = time.perf_counter()
-        if args.rps > 0:
-            handles = run_open_loop(server, graphs, offered_rps=args.rps,
-                                    deadline=deadline, seed=spec.seed)
-        else:
-            handles = run_closed_loop(server, graphs,
-                                      concurrency=args.concurrency,
-                                      deadline=deadline)
-        responses = [h.response(timeout=args.wait_timeout) for h in handles]
-        served = time.perf_counter() - start
-        snapshot = server.metrics_snapshot()
+    shm_report = None
+    if args.sanitize_shm:
+        from contextlib import ExitStack
+
+        from repro.check.sanitizer import shm_sanitizer
+
+        stack = ExitStack()
+        shm_report = stack.enter_context(shm_sanitizer(strict=False))
+    else:
+        stack = None
+    try:
+        with Server(config) as server:
+            start = time.perf_counter()
+            if args.rps > 0:
+                handles = run_open_loop(server, graphs, offered_rps=args.rps,
+                                        deadline=deadline, seed=spec.seed)
+            else:
+                handles = run_closed_loop(server, graphs,
+                                          concurrency=args.concurrency,
+                                          deadline=deadline)
+            responses = [h.response(timeout=args.wait_timeout) for h in handles]
+            served = time.perf_counter() - start
+            snapshot = server.metrics_snapshot()
+    finally:
+        if stack is not None:
+            stack.close()
+    if shm_report is not None:
+        print(shm_report.summary())
+        from repro.check.sanitizer import ShmSanitizerError
+
+        try:
+            shm_report.verify()
+        except ShmSanitizerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     ok = sum(r.ok for r in responses)
     print(f"served {ok}/{len(responses)} ok in {served * 1e3:.1f} ms "
@@ -328,6 +361,36 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                                               sort_keys=True) + "\n")
         print(f"snapshot written to {args.json}")
     return 0 if ok == len(responses) or args.allow_failures else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import (
+        CheckEngine,
+        all_rules,
+        load_baseline,
+        write_baseline,
+    )
+
+    only = [r for r in args.rules.split(",") if r] or None
+    engine = CheckEngine(all_rules(only=only))
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = engine.check_paths(args.paths, baseline=baseline)
+    if args.write_baseline:
+        write_baseline(
+            report.findings + report.baselined, args.write_baseline
+        )
+        print(f"baseline with {len(report.findings) + len(report.baselined)} "
+              f"finding(s) written to {args.write_baseline}")
+        return 0
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif args.sarif:
+        print(json.dumps(report.to_sarif(engine.rules), indent=2))
+    else:
+        print(report.render_text())
+    if args.stats:
+        print(report.render_stats())
+    return 0 if report.ok else 1
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -374,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--early-exit", action="store_true",
                        help="stop at the label fixed point "
                             "(vectorized method only)")
+    solve.add_argument("--sanitize", action="store_true",
+                       help="run on the CROW write-barrier interpreter: "
+                            "any cross-cell write raises and the read "
+                            "accounting is cross-checked (method must be "
+                            "auto or interpreter; slow)")
     solve.set_defaults(func=_cmd_solve)
 
     tables = sub.add_parser("tables", help="print the Table 1/2 reproductions")
@@ -485,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--allow-failures", action="store_true",
                        help="exit 0 even when some requests did not "
                             "resolve ok (overload experiments)")
+    serve.add_argument("--sanitize-shm", action="store_true",
+                       help="observe the shared-memory layer for the whole "
+                            "bench: leaked segments, double-acquired slabs "
+                            "and write-epoch races fail the run")
     serve.add_argument("--json", default="",
                        help="write the metrics snapshot to a file")
     serve.set_defaults(func=_cmd_serve_bench)
@@ -495,6 +567,30 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--only", default="",
                            help="comma-separated experiment ids, e.g. E1,E6")
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    check = sub.add_parser(
+        "check",
+        help="repo-specific static analysis (CROW / double-buffer / shm "
+             "hygiene rules)",
+    )
+    check.add_argument("paths", nargs="*", default=["src"],
+                       help="files or directories to lint (default: src)")
+    check.add_argument("--rules", default="",
+                       help="comma-separated rule ids to run "
+                            "(default: all)")
+    check.add_argument("--json", action="store_true",
+                       help="print the findings as JSON")
+    check.add_argument("--sarif", action="store_true",
+                       help="print the findings as SARIF 2.1.0")
+    check.add_argument("--stats", action="store_true",
+                       help="append the per-rule trend summary (CI logs)")
+    check.add_argument("--baseline", default="",
+                       help="baseline file; only findings not recorded "
+                            "there fail the run")
+    check.add_argument("--write-baseline", default="", metavar="PATH",
+                       help="record the current findings as the baseline "
+                            "and exit 0")
+    check.set_defaults(func=_cmd_check)
 
     return parser
 

@@ -148,6 +148,7 @@ def connected_components(
     iterations: Optional[int] = None,
     early_exit: bool = False,
     cost_model: Optional[CostModel] = None,
+    sanitize: bool = False,
 ) -> ComponentsResult:
     """Compute the connected components of ``graph``.
 
@@ -174,6 +175,14 @@ def connected_components(
         Override the measured :class:`~repro.core.dispatch.CostModel`
         used by ``"auto"`` (e.g. one from
         :func:`repro.core.dispatch.calibrate`).
+    sanitize:
+        Run under the CROW write-barrier engine
+        (:class:`repro.check.sanitizer.SanitizedAutomaton`): every
+        cross-cell write raises at the offending store and the read
+        accounting is independently cross-checked.  Implies the
+        interpreter engine (only ``engine="auto"`` or
+        ``engine="interpreter"`` is accepted); slow -- use for
+        validation at small ``n``.
 
     Returns
     -------
@@ -182,6 +191,13 @@ def connected_components(
     if engine not in _METHODS:
         raise ValueError(f"method must be one of {_METHODS}, got {engine!r}")
     requested = engine
+    if sanitize:
+        if engine not in ("auto", "interpreter"):
+            raise ValueError(
+                "sanitize=True runs on the write-barrier interpreter; "
+                f"engine must be 'auto' or 'interpreter', got {engine!r}"
+            )
+        engine = "interpreter"
     n, m = _graph_shape(graph)
     if n == 0:
         # The empty graph has no components; every engine agrees trivially
@@ -226,9 +242,14 @@ def connected_components(
         )
         labels = detail.labels
     elif engine == "interpreter":
-        detail = connected_components_interpreter(
-            _to_adjacency(graph), iterations=iterations
-        )
+        if sanitize:
+            from repro.check.sanitizer import run_sanitized
+
+            detail = run_sanitized(_to_adjacency(graph), iterations=iterations)
+        else:
+            detail = connected_components_interpreter(
+                _to_adjacency(graph), iterations=iterations
+            )
         labels = detail.labels
     elif engine == "reference":
         detail = hirschberg_reference(_to_adjacency(graph), iterations=iterations)

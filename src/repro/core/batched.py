@@ -195,11 +195,13 @@ class BatchedGCA:
             out_labels[retired] = labels[done]
             iterations_run[retired] = it + 1
             converged_at[retired] = it
-            # compact the survivors into a contiguous prefix
-            D = np.ascontiguousarray(D[changed])
-            not_adjacent = np.ascontiguousarray(not_adjacent[changed])
+            # compact the survivors into a contiguous prefix -- this runs
+            # once per retirement event, not per generation, and shrinks
+            # every later generation's working set
+            D = np.ascontiguousarray(D[changed])  # repro-check: allow[DB101]
+            not_adjacent = np.ascontiguousarray(not_adjacent[changed])  # repro-check: allow[DB101]
             index = index[changed]
-            prev = np.ascontiguousarray(labels[changed])
+            prev = np.ascontiguousarray(labels[changed])  # repro-check: allow[DB101]
             if index.size == 0:
                 break
 

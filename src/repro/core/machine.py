@@ -80,6 +80,10 @@ class InterpreterResult:
     iterations: int
     access_log: AccessLog
     generation_stats: List[GenerationStats] = field(default_factory=list)
+    #: Set on sanitized runs: the
+    #: :class:`repro.check.sanitizer.SanitizerReport` of the write-barrier
+    #: engine.  ``None`` for plain runs.
+    sanitizer: Optional[object] = None
 
     @property
     def total_generations(self) -> int:
@@ -106,6 +110,11 @@ class GCAConnectedComponents:
         Outer iterations (default ``ceil(log2 n)``).
     record_access:
         Keep the per-generation access statistics (needed for Table 1).
+    engine_factory:
+        Callable building the underlying engine (same signature as
+        :class:`~repro.gca.automaton.GlobalCellularAutomaton`); pass
+        :class:`repro.check.sanitizer.SanitizedAutomaton` to run with
+        the CROW write barrier armed.
 
     Attributes
     ----------
@@ -121,12 +130,14 @@ class GCAConnectedComponents:
         graph: GraphLike,
         iterations: Optional[int] = None,
         record_access: bool = True,
+        engine_factory: Optional[Callable[..., GlobalCellularAutomaton]] = None,
     ):
         g = graph if isinstance(graph, AdjacencyMatrix) else AdjacencyMatrix(np.asarray(graph))
         self.field = CellField(g)
         self.layout = self.field.layout
         self.state_machine = HirschbergStateMachine(g.n, iterations=iterations)
-        self.engine = GlobalCellularAutomaton(
+        factory = engine_factory or GlobalCellularAutomaton
+        self.engine = factory(
             size=self.layout.size,
             initial_data=0,
             initial_pointer=0,
@@ -182,6 +193,7 @@ class GCAConnectedComponents:
             iterations=self.state_machine.iterations,
             access_log=self.engine.access_log,
             generation_stats=all_stats,
+            sanitizer=getattr(self.engine, "sanitizer_report", None),
         )
 
 

@@ -38,7 +38,7 @@ below n^2 buys no asymptotic hardware advantage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from repro.core.generations import Generation
 from repro.core.schedule import (
     STEP_OF_GENERATION,
     ScheduledGeneration,

@@ -357,7 +357,8 @@ def run_vectorized(
             counts = (
                 np.bincount(targets, minlength=layout.size)
                 if targets is not None and targets.size
-                else np.zeros(0, dtype=np.int64)
+                # opt-in instrumentation path; size-0 sentinel, not a buffer
+                else np.zeros(0, dtype=np.int64)  # repro-check: allow[DB101]
             )
             log.record(
                 GenerationStats(
@@ -365,7 +366,8 @@ def run_vectorized(
                 )
             )
         if keep_snapshots:
-            snap = cur.copy()
+            # opt-in debugging mode: a per-generation copy is the point
+            snap = cur.copy()  # repro-check: allow[DB101]
             snapshots.append(snap)
         if on_generation is not None:
             view = snap.view() if keep_snapshots else cur.view()

@@ -27,7 +27,7 @@ position -- the standard trick that also powers the paper's CROW claim.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

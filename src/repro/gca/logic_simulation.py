@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.gca.automaton import GlobalCellularAutomaton
 from repro.gca.cell import KEEP, CellUpdate, CellView

@@ -34,7 +34,7 @@ the tests.  The implementations are vectorised (whole-field NumPy, like
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 

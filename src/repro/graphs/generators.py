@@ -14,7 +14,7 @@ All generators return :class:`repro.graphs.adjacency.AdjacencyMatrix`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 

@@ -27,7 +27,7 @@ real packet-stepping simulation with conservation checks, not a formula.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Sequence, Tuple
 
 from repro.util.intmath import ceil_log2, is_power_of_two

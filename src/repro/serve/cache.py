@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

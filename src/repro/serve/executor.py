@@ -72,7 +72,6 @@ from repro.hirschberg.edgelist import EdgeListGraph
 from repro.serve.request import GraphLike
 from repro.serve.workers import (
     WorkerDied,
-    as_dense_matrix,
     as_edge_list,
     split_union_labels,
     union_edges,
@@ -474,6 +473,22 @@ class PoolExecutor:
         assert pending.outcome is not None
         return pending.outcome
 
+    def _acquire_slabs(self, specs: Sequence[Tuple[Tuple[int, ...], object]]) -> List[Slab]:
+        """Acquire one slab per ``(shape, dtype)`` spec, atomically.
+
+        If a later acquisition fails (slab budget forces a fresh segment
+        and ``/dev/shm`` is full), the earlier slabs are discarded -- a
+        partial failure must not leak the first slab of the batch.
+        """
+        slabs: List[Slab] = []
+        try:
+            for shape, dtype in specs:
+                slabs.append(self._slabs.acquire(shape, dtype))
+        except BaseException:
+            self._discard(slabs)
+            raise
+        return slabs
+
     def _discard(self, slabs: Sequence[Slab]) -> None:
         """Unlink (never recycle) slabs a failed task may still write."""
         for slab in slabs:
@@ -532,8 +547,9 @@ class PoolExecutor:
             return [np.empty(0, dtype=np.int64) for _ in matrices]
 
         def build(seq: int):
-            stack = self._slabs.acquire((B, size, size), np.int8)
-            out = self._slabs.acquire((B, size), np.int64)
+            stack, out = self._acquire_slabs(
+                [((B, size, size), np.int8), ((B, size), np.int64)]
+            )
             stack.array[...] = 0
             for i, m in enumerate(matrices):
                 n = m.shape[0]
@@ -564,9 +580,10 @@ class PoolExecutor:
         edge_total = int(sum(e.src.size for e in lists))
 
         def build(seq: int):
-            src = self._slabs.acquire((edge_total,), np.int64)
-            dst = self._slabs.acquire((edge_total,), np.int64)
-            out = self._slabs.acquire((total,), np.int64)
+            src, dst, out = self._acquire_slabs(
+                [((edge_total,), np.int64), ((edge_total,), np.int64),
+                 ((total,), np.int64)]
+            )
             union_edges(lists, offsets, src_out=src.array, dst_out=dst.array)
             task = _Task(
                 seq=seq, kind="sparse", out=out.ref, src=src.ref,
@@ -636,18 +653,40 @@ class PoolExecutor:
             for worker_id, handle in handles:
                 if handle is None or handle.proc.is_alive():
                     continue
+                # Fork the replacement *outside* the lock: a fork plus
+                # two pipe creations can take tens of milliseconds, and
+                # holding the lock that long stalls every submit and
+                # collector pass.  The dead handle stays in its slot
+                # meanwhile, so _submit's least-loaded pick always sees
+                # a full pool (a send to it fails over immediately).
+                replacement = self._spawn(worker_id)
+                dead_pid = handle.proc.pid
+                lost: List[_Pending] = []
                 with self._lock:
-                    if self._state != "running":
-                        return
-                    if self._handles[worker_id] is not handle:
-                        continue  # another pass already replaced it
-                    self.restarts += 1
-                    self._handles[worker_id] = self._spawn(worker_id)
-                    dead_pid = handle.proc.pid
-                    lost = [
-                        p for p in self._pending.values()
-                        if p.outcome is None and p.assigned_pid == dead_pid
-                    ]
+                    stale = (
+                        self._state != "running"
+                        or self._handles[worker_id] is not handle
+                    )
+                    if not stale:
+                        self.restarts += 1
+                        self._handles[worker_id] = replacement
+                        lost = [
+                            p for p in self._pending.values()
+                            if p.outcome is None
+                            and p.assigned_pid == dead_pid
+                        ]
+                if stale:
+                    # raced with shutdown or another pass: retire the
+                    # spare worker we optimistically forked
+                    try:
+                        replacement.task_w.send(None)
+                    except (OSError, ValueError):
+                        pass
+                    replacement.proc.join(timeout=1.0)
+                    if replacement.proc.is_alive():
+                        replacement.proc.terminate()
+                    replacement.close()
+                    continue
                 for pending in lost:
                     pending.resolve(
                         "died", f"worker {dead_pid} died mid-batch"

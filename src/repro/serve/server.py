@@ -74,7 +74,6 @@ from repro.serve.request import (
 )
 from repro.serve.scheduler import (
     BatchPlanner,
-    BucketKey,
     PendingRequest,
     sample_mean_m,
 )

@@ -1,0 +1,24 @@
+"""CROW-violating rule classes (lint fixture, never imported)."""
+
+
+class NeighborScribbleRule(Rule):  # noqa: F821
+    def pointer(self, cell):
+        return cell.pointer
+
+    def update(self, cell, neighbor):
+        neighbor.data = 0  # CROW001: writes the neighbour view
+        cell.aux["a"] = 1  # CROW001: writes the cell snapshot
+        return CellUpdate(data=0)  # noqa: F821
+
+
+class CountingRule(Rule):  # noqa: F821
+    def pointer(self, cell):
+        return cell.index
+
+    def update(self, cell, neighbor):
+        return KEEP  # noqa: F821
+
+    def step(self, cell, read):
+        self.calls += 1  # CROW002: mutates shared state through self
+        self._field[cell.index] = 1  # CROW002
+        return KEEP  # noqa: F821

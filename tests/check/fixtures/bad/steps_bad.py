@@ -1,0 +1,17 @@
+"""In-place-mutating step functions (lint fixture)."""
+
+import numpy as np
+
+
+def step4_merge(C, T):
+    C[T] = T[C]  # CROW003: subscript store into an input
+    C += 1  # CROW003: augmented assignment on an input
+    np.minimum(C, T, out=C)  # CROW003: out= aliases an input
+    return C
+
+
+def one_iteration(C, A):
+    C.sort()  # method mutation is out of scope for the lint (the
+    # sanitizer catches it at runtime); the visible violation:
+    A[0] = 1  # CROW003
+    return C

@@ -1,0 +1,21 @@
+"""CROW-clean rule class: reads views, writes only via CellUpdate.
+
+Lint fixture -- parsed by the AST engine, never imported (the names
+``Rule``/``CellUpdate`` are deliberately unresolved).
+"""
+
+
+class MinLabelRule(Rule):  # noqa: F821
+    def is_active(self, cell):
+        return cell.data > 0
+
+    def pointer(self, cell):
+        return cell.pointer
+
+    def update(self, cell, neighbor):
+        best = min(cell.data, neighbor.data)  # locals are fine
+        return CellUpdate(data=best)  # noqa: F821
+
+    def step(self, cell, read):
+        neighbor = read(self.pointer(cell))
+        return self.update(cell, neighbor)

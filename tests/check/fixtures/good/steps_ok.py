@@ -1,0 +1,19 @@
+"""CROW-clean Hirschberg step functions (lint fixture)."""
+
+import numpy as np
+
+
+def step2_column_min(D):
+    C = D.min(axis=0)  # fresh array, input untouched
+    return C
+
+
+def step5_shortcut(C):
+    C = C[C]  # rebinding a local is fine; the caller's array survives
+    C = np.minimum(C, C[C])
+    return C
+
+
+def one_iteration(C, A):
+    T = step2_column_min(A)
+    return step5_shortcut(np.minimum(C, T))

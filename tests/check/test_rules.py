@@ -1,0 +1,128 @@
+"""Every lint rule, exercised in both directions via the fixture corpus.
+
+The fixtures under ``tests/check/fixtures`` are parsed, never imported:
+``good/*`` must produce zero findings, ``bad/*`` must trip exactly the
+rules it plants.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import CheckEngine, all_rules, rule_ids
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> exact set of rule ids it must trip.
+CASES = [
+    ("good/rules_ok.py", set()),
+    ("bad/rules_bad.py", {"CROW001", "CROW002"}),
+    ("good/steps_ok.py", set()),
+    ("bad/steps_bad.py", {"CROW003"}),
+    ("good/vectorized.py", set()),
+    ("bad/vectorized.py", {"DB101", "DB102", "DB103"}),
+    ("good/shm_ok.py", set()),
+    ("bad/shm_bad.py", {"SHM201", "SHM202", "LOCK301", "FORK302"}),
+]
+
+
+@pytest.fixture(scope="module")
+def engine() -> CheckEngine:
+    return CheckEngine(all_rules())
+
+
+@pytest.mark.parametrize("relpath,expected", CASES)
+def test_fixture_findings(engine, relpath, expected):
+    path = FIXTURES / relpath
+    findings, _ = engine.check_source(path.as_posix(), path.read_text())
+    assert {f.rule_id for f in findings} == expected
+
+
+def test_every_rule_has_a_bad_and_a_good_fixture():
+    """The corpus covers the complete rule table in both directions."""
+    tripped = set().union(*(expected for _, expected in CASES))
+    assert tripped == set(rule_ids())
+    # every bad fixture has a clean counterpart shape
+    assert sum(1 for rel, exp in CASES if not exp) >= 4
+
+
+def test_findings_carry_location_and_severity(engine):
+    path = FIXTURES / "bad/vectorized.py"
+    findings, _ = engine.check_source(path.as_posix(), path.read_text())
+    for f in findings:
+        assert f.line > 0 and f.col > 0
+        assert f.severity in ("error", "warning")
+        assert f.path.endswith("vectorized.py")
+        assert f.rule_id in f.render() and str(f.line) in f.render()
+    # DB101 is a warning, DB102/DB103 are errors
+    by_rule = {f.rule_id: f.severity for f in findings}
+    assert by_rule["DB101"] == "warning"
+    assert by_rule["DB102"] == "error"
+    assert by_rule["DB103"] == "error"
+
+
+def test_crow001_counts_each_write(engine):
+    path = FIXTURES / "bad/rules_bad.py"
+    findings, _ = engine.check_source(path.as_posix(), path.read_text())
+    assert sum(1 for f in findings if f.rule_id == "CROW001") == 2
+    assert sum(1 for f in findings if f.rule_id == "CROW002") == 2
+
+
+def test_rule_subset_selection():
+    engine = CheckEngine(all_rules(only=["DB102"]))
+    path = FIXTURES / "bad/vectorized.py"
+    findings, _ = engine.check_source(path.as_posix(), path.read_text())
+    assert {f.rule_id for f in findings} == {"DB102"}
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule ids"):
+        all_rules(only=["NOPE999"])
+
+
+def test_db101_is_path_scoped(engine):
+    """The same allocation in a non-kernel file does not trip DB101."""
+    source = (FIXTURES / "bad/vectorized.py").read_text()
+    findings, _ = engine.check_source("somewhere/helpers.py", source)
+    assert "DB101" not in {f.rule_id for f in findings}
+    # the structural rules still apply
+    assert "DB102" in {f.rule_id for f in findings}
+
+
+def test_suppression_comment(engine):
+    source = (
+        "def run_kernel(schedule, cur, other, ws, layout):\n"
+        "    for sched in schedule:\n"
+        "        snap = cur.copy()  # repro-check: allow[DB101] snapshots\n"
+    )
+    findings, suppressed = engine.check_source("pkg/vectorized.py", source)
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_suppression_line_above(engine):
+    source = (
+        "def run_kernel(schedule, cur, other, ws, layout):\n"
+        "    for sched in schedule:\n"
+        "        # repro-check: allow[DB101] opt-in snapshot path\n"
+        "        snap = cur.copy()\n"
+    )
+    findings, suppressed = engine.check_source("pkg/vectorized.py", source)
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_suppression_star_and_wrong_id(engine):
+    base = (
+        "def run_kernel(schedule, cur, other, ws, layout):\n"
+        "    for sched in schedule:\n"
+        "        snap = cur.copy(){}\n"
+    )
+    starred = base.format("  # repro-check: allow[*]")
+    findings, suppressed = engine.check_source("pkg/vectorized.py", starred)
+    assert findings == [] and suppressed == 1
+    wrong = base.format("  # repro-check: allow[SHM201]")
+    findings, suppressed = engine.check_source("pkg/vectorized.py", wrong)
+    assert [f.rule_id for f in findings] == ["DB101"] and suppressed == 0
