@@ -1,0 +1,476 @@
+"""E25 -- out-of-core sharded engine: 10^8 edges under a fixed RAM budget.
+
+Exercises :func:`repro.hirschberg.sharded.connected_components_sharded`
+on synthetic edge streams that are **never materialised in RAM** (chunks
+are generated on the fly, partitioned to disk, and solved shard by
+shard), and records three things the in-RAM benches cannot:
+
+* **capacity** -- the full run solves a 100M-edge graph under a resident
+  budget *smaller than the raw edge list* (16 bytes/edge = 1.6 GB of
+  pairs vs a 1.0 GiB budget), with the realized peak RSS (parent plus
+  any worker processes, polled) asserted against the budget;
+* **verification at scale** -- rungs small enough for the Python
+  union-find oracle are checked exactly; the 10^8 rung is verified by
+  the sampled spot-check protocol
+  (:func:`repro.analysis.shards.spot_check_labels`), whose own
+  error-catching power is property-tested in
+  ``tests/analysis/test_shards.py``;
+* **shard scaling** -- wall time of the same problem at 1, 2 and 4
+  pooled workers.  On hosts with 4+ cores the k=4 efficiency must reach
+  0.7x of ideal; on smaller hosts the numbers are recorded honestly
+  with ``enforced: false`` and the reason.
+
+The committed ``BENCH_sharded.json`` doubles as CI's baseline: the smoke
+variant re-runs the shared first rung and fails on a >3x throughput drop
+(``--check``).
+
+Run standalone (CI runs the smoke variant)::
+
+    python benchmarks/bench_sharded.py              # full ladder (slow)
+    python benchmarks/bench_sharded.py --smoke
+    python benchmarks/bench_sharded.py --smoke --check BENCH_sharded.json
+
+or via pytest (report + timed benchmark)::
+
+    pytest benchmarks/bench_sharded.py --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.graphs.union_find import UnionFind
+from repro.hirschberg.sharded import connected_components_sharded
+
+#: The rungs.  ``budget`` is the resident byte budget; the first rung is
+#: shared with ``--smoke`` so the committed full report contains the
+#: baseline point CI's smoke ``--check`` compares against.  The last
+#: rung is the capacity claim: raw pairs (16 bytes/edge) exceed the
+#: budget, so an in-RAM solve of the stream is impossible by
+#: construction and the peak-RSS assertion is meaningful.
+FULL_POINTS = (
+    {"n": 50_000, "m": 200_000, "budget": 64 << 20},
+    {"n": 1_000_000, "m": 10_000_000, "budget": 256 << 20},
+    {"n": 5_000_000, "m": 100_000_000, "budget": 1 << 30,
+     "assert_rss": True},
+)
+SMOKE_POINTS = (FULL_POINTS[0],)
+
+#: Largest n still verified against the union-find oracle (Python loop).
+ORACLE_MAX_N = 60_000
+
+#: ``--check`` fails when throughput drops below baseline/3.
+CHECK_FACTOR = 3.0
+
+#: Shard-scaling acceptance: k=4 must reach this fraction of ideal
+#: speedup -- enforced only on hosts with at least 4 cores.
+SCALING_THRESHOLD = 0.7
+SCALING_WORKERS = (1, 2, 4)
+SCALING_POINT = {"n": 500_000, "m": 4_000_000, "budget": 256 << 20,
+                 "shards": 8}
+
+#: Edges per generated chunk (32 MiB of pairs in flight at a time).
+GEN_CHUNK = 1 << 21
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+
+
+def edge_chunks(n: int, m: int, seed: int):
+    """Deterministic synthetic edge stream, never materialised whole."""
+    for index, start in enumerate(range(0, m, GEN_CHUNK)):
+        count = min(GEN_CHUNK, m - start)
+        rng = np.random.default_rng((seed, index))
+        yield (rng.integers(0, n, size=count, dtype=np.int64),
+               rng.integers(0, n, size=count, dtype=np.int64))
+
+
+class PeakRssTracker:
+    """Polls the resident set of this process *and its children* (the
+    forked shard workers) and keeps the peak of the sum -- ``VmHWM``
+    alone would miss the workers and carry history from earlier rungs."""
+
+    def __init__(self, interval: float = 0.02):
+        self.interval = interval
+        self.peak = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    @staticmethod
+    def _rss_of(pid: int) -> int:
+        try:
+            with open(f"/proc/{pid}/status") as handle:
+                for line in handle:
+                    if line.startswith("VmRSS:"):
+                        return int(line.split()[1]) * 1024
+        except (OSError, ValueError, IndexError):
+            pass
+        return 0
+
+    @staticmethod
+    def _child_pids() -> List[int]:
+        pids: List[int] = []
+        task_dir = f"/proc/{os.getpid()}/task"
+        try:
+            for tid in os.listdir(task_dir):
+                with open(f"{task_dir}/{tid}/children") as handle:
+                    pids.extend(int(p) for p in handle.read().split())
+        except (OSError, ValueError):
+            pass
+        return pids
+
+    def _sample(self) -> int:
+        total = self._rss_of(os.getpid())
+        for pid in self._child_pids():
+            total += self._rss_of(pid)
+        return total
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.peak = max(self.peak, self._sample())
+            self._stop.wait(self.interval)
+
+    def __enter__(self) -> "PeakRssTracker":
+        self.peak = self._sample()
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join()
+        self.peak = max(self.peak, self._sample())
+
+
+def run_point(point: Dict, seed: int = 0, repeats: int = 1) -> Dict:
+    """Solve one rung from a streamed source; verify, then report."""
+    n, m, budget = point["n"], point["m"], point["budget"]
+    best = float("inf")
+    result = None
+    peak = 0
+    for _ in range(max(1, repeats)):
+        tracker = PeakRssTracker()
+        start = time.perf_counter()
+        with tracker:
+            result = connected_components_sharded(
+                (n, edge_chunks(n, m, seed)),
+                edges_hint=m,
+                memory_budget=budget,
+                shards=point.get("shards"),
+                spot_check=True,
+                spot_check_seed=seed,
+            )
+        best = min(best, time.perf_counter() - start)
+        peak = max(peak, tracker.peak)
+    assert result.spot_check is not None and result.spot_check.ok, (
+        f"spot check failed at n={n}, m={m}: {result.spot_check.violations}"
+    )
+    oracle_checked = n <= ORACLE_MAX_N
+    if oracle_checked:
+        uf = UnionFind(n)
+        for u, v in edge_chunks(n, m, seed):
+            for a, b in zip(u.tolist(), v.tolist()):
+                uf.union(a, b)
+        assert np.array_equal(result.labels, uf.canonical_labels()), (
+            f"sharded labels diverged from the union-find oracle at n={n}"
+        )
+    raw_bytes = 16 * m
+    entry = {
+        "n": n,
+        "m": m,
+        "budget_bytes": budget,
+        "raw_edge_bytes": raw_bytes,
+        "out_of_core": raw_bytes > budget,
+        "shards": result.plan.shards,
+        "seconds": best,
+        "edges_per_sec": m / best,
+        "peak_rss_bytes": peak,
+        "rss_within_budget": peak <= budget,
+        "merge_passes": result.merge_passes,
+        "frontier_pairs": result.frontier_pairs,
+        "components": result.components,
+        "spot_check_ok": True,
+        "oracle_checked": oracle_checked,
+    }
+    if point.get("assert_rss"):
+        assert raw_bytes > budget, (
+            "capacity rung misconfigured: raw edges fit the budget"
+        )
+        assert peak <= budget, (
+            f"peak RSS {peak} exceeded the {budget}-byte budget at n={n}"
+        )
+    return entry
+
+
+def run_scaling(seed: int = 0) -> Dict:
+    """Wall time of one fixed problem at 1, 2 and 4 pooled workers."""
+    cores = os.cpu_count() or 1
+    n, m = SCALING_POINT["n"], SCALING_POINT["m"]
+    timings = []
+    for workers in SCALING_WORKERS:
+        start = time.perf_counter()
+        result = connected_components_sharded(
+            (n, edge_chunks(n, m, seed)),
+            edges_hint=m,
+            memory_budget=SCALING_POINT["budget"],
+            shards=SCALING_POINT["shards"],
+            workers=workers,
+        )
+        seconds = time.perf_counter() - start
+        timings.append({
+            "workers": workers,
+            "shards": result.plan.shards,
+            "seconds": seconds,
+        })
+    base = timings[0]["seconds"]
+    for entry in timings:
+        entry["speedup"] = base / entry["seconds"]
+        entry["efficiency"] = entry["speedup"] / entry["workers"]
+    enforced = cores >= 4
+    doc = {
+        "point": dict(SCALING_POINT),
+        "cores": cores,
+        "threshold": SCALING_THRESHOLD,
+        "enforced": enforced,
+        "results": timings,
+    }
+    if not enforced:
+        doc["reason"] = (
+            f"host has {cores} core(s); worker scaling is not measurable "
+            "below 4 cores, numbers recorded unenforced"
+        )
+    return doc
+
+
+def build_report(points: Sequence[Dict], repeats: int = 1,
+                 seed: int = 0, scaling: bool = True) -> Dict:
+    """The full machine-readable benchmark document."""
+    results = [run_point(p, seed=seed, repeats=repeats) for p in points]
+    doc = {
+        "benchmark": "sharded",
+        "config": {
+            "points": [
+                {k: v for k, v in p.items()} for p in points
+            ],
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "results": results,
+    }
+    if scaling:
+        doc["shard_scaling"] = run_scaling(seed=seed)
+    return doc
+
+
+def validate_report(doc: Dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed report."""
+    for key in ("benchmark", "config", "results"):
+        if key not in doc:
+            raise ValueError(f"report missing key {key!r}")
+    if doc["benchmark"] != "sharded":
+        raise ValueError(f"unexpected benchmark id {doc['benchmark']!r}")
+    if len(doc["results"]) != len(doc["config"]["points"]):
+        raise ValueError(
+            f"expected {len(doc['config']['points'])} results, "
+            f"got {len(doc['results'])}"
+        )
+    for r in doc["results"]:
+        for field in ("n", "m", "budget_bytes", "seconds", "edges_per_sec",
+                      "peak_rss_bytes", "shards"):
+            value = r.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(f"bad {field}={value!r} in results")
+        if not r.get("spot_check_ok"):
+            raise ValueError(f"unverified result at n={r.get('n')}")
+    scaling = doc.get("shard_scaling")
+    if scaling is not None:
+        if "enforced" not in scaling or "results" not in scaling:
+            raise ValueError("malformed shard_scaling section")
+        if not scaling["enforced"] and not scaling.get("reason"):
+            raise ValueError("unenforced scaling needs a recorded reason")
+        for entry in scaling["results"]:
+            if entry.get("seconds", 0) <= 0:
+                raise ValueError("bad scaling timing")
+
+
+def check_against_baseline(doc: Dict, baseline: Dict,
+                           factor: float = CHECK_FACTOR) -> List[str]:
+    """Regression guard: throughput must stay within ``factor`` of the
+    committed baseline on every (n, m, budget) rung both reports share.
+
+    Returns the list of violations (empty = pass).
+    """
+    base = {
+        (r["n"], r["m"], r["budget_bytes"]): r["edges_per_sec"]
+        for r in baseline.get("results", [])
+    }
+    problems = []
+    overlap = False
+    for r in doc["results"]:
+        key = (r["n"], r["m"], r["budget_bytes"])
+        if key not in base:
+            continue
+        overlap = True
+        if r["edges_per_sec"] * factor < base[key]:
+            problems.append(
+                f"{key}: {r['edges_per_sec']:.0f} edges/s is more than "
+                f"{factor:.0f}x below baseline {base[key]:.0f}"
+            )
+    if not overlap:
+        problems.append("no overlapping (n, m, budget) rungs with baseline")
+    return problems
+
+
+def render(doc: Dict) -> str:
+    lines = [
+        "Sharded out-of-core engine (repeats={repeats}, seed={seed})".format(
+            **doc["config"]
+        ),
+        f"{'n':>9} | {'m':>11} | {'budget':>8} | {'shards':>6} "
+        f"| {'seconds':>9} | {'edges/s':>11} | {'peak RSS':>9} | ooc",
+        "-" * 88,
+    ]
+    for r in doc["results"]:
+        lines.append(
+            f"{r['n']:>9} | {r['m']:>11} | {r['budget_bytes'] >> 20:>6}M "
+            f"| {r['shards']:>6} | {r['seconds']:>9.3f} "
+            f"| {r['edges_per_sec']:>11.0f} "
+            f"| {r['peak_rss_bytes'] >> 20:>7}M "
+            f"| {'yes' if r['out_of_core'] else 'no'}"
+        )
+    scaling = doc.get("shard_scaling")
+    if scaling is not None:
+        lines.append("")
+        state = ("enforced" if scaling["enforced"]
+                 else f"not enforced ({scaling.get('reason', '')})")
+        lines.append(
+            f"shard scaling on {scaling['cores']} core(s), "
+            f"threshold {scaling['threshold']:.1f}x ideal -- {state}"
+        )
+        for entry in scaling["results"]:
+            lines.append(
+                f"  workers={entry['workers']}: {entry['seconds']:.3f}s, "
+                f"speedup {entry['speedup']:.2f}x, "
+                f"efficiency {entry['efficiency']:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="first rung only, no scaling section (CI-fast)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare against a committed report; exit 1 on "
+                             f"a >{CHECK_FACTOR:.0f}x throughput drop")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT.name})")
+    args = parser.parse_args(argv)
+
+    points = SMOKE_POINTS if args.smoke else FULL_POINTS
+    doc = build_report(points, repeats=args.repeats, seed=args.seed,
+                       scaling=not args.smoke)
+    validate_report(doc)
+    print(render(doc))
+
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\n[report saved to {args.out}]")
+    json.loads(args.out.read_text())  # round-trip sanity
+
+    if not args.smoke:
+        capacity = doc["results"][-1]
+        if not (capacity["out_of_core"] and capacity["rss_within_budget"]):
+            print("error: capacity rung did not stay within its budget",
+                  file=sys.stderr)
+            return 1
+        scaling = doc["shard_scaling"]
+        if scaling["enforced"]:
+            worst = [e for e in scaling["results"] if e["workers"] == 4]
+            if worst and worst[0]["efficiency"] < scaling["threshold"]:
+                print(
+                    f"error: k=4 efficiency {worst[0]['efficiency']:.2f} "
+                    f"below the {scaling['threshold']:.1f} threshold",
+                    file=sys.stderr,
+                )
+                return 1
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        problems = check_against_baseline(doc, baseline)
+        if problems:
+            for problem in problems:
+                print(f"error: perf regression: {problem}", file=sys.stderr)
+            return 1
+        print(f"check ok: within {CHECK_FACTOR:.0f}x of {args.check}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+class TestShardedBench:
+    def test_report(self, record_report):
+        doc = build_report(
+            [{"n": 5_000, "m": 20_000, "budget": 16 << 20}],
+            repeats=1, scaling=False,
+        )
+        validate_report(doc)
+        record_report("sharded", render(doc))
+        from benchmarks.conftest import RESULTS_DIR
+
+        path = RESULTS_DIR / "sharded.json"
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        assert json.loads(path.read_text())["benchmark"] == "sharded"
+
+    def test_validate_rejects_malformed(self):
+        doc = build_report(
+            [{"n": 1_000, "m": 3_000, "budget": 16 << 20}],
+            repeats=1, scaling=False,
+        )
+        bad = json.loads(json.dumps(doc))
+        bad["results"][0]["spot_check_ok"] = False
+        try:
+            validate_report(bad)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("validate_report accepted a malformed doc")
+
+    def test_check_guard_catches_regression(self):
+        doc = build_report(
+            [{"n": 1_000, "m": 3_000, "budget": 16 << 20}],
+            repeats=1, scaling=False,
+        )
+        assert check_against_baseline(doc, doc) == []
+        slowed = json.loads(json.dumps(doc))
+        for r in slowed["results"]:
+            r["edges_per_sec"] /= 10.0
+        assert check_against_baseline(slowed, doc)
+        assert check_against_baseline(doc, {"results": []})
+
+
+class TestShardedBenchmarks:
+    def test_sharded_small(self, benchmark):
+        from repro.hirschberg.edgelist import random_edge_list
+
+        graph = random_edge_list(5_000, 15_000, seed=0)
+        benchmark(lambda: connected_components_sharded(graph, shards=2))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

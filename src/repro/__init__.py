@@ -71,6 +71,10 @@ from repro.hirschberg.edgelist import (
     random_edge_list,
 )
 from repro.hirschberg.reference import hirschberg_reference
+from repro.hirschberg.sharded import (
+    ShardedResult,
+    connected_components_sharded,
+)
 from repro.serve import CCRequest, CCResponse, Server, ServerConfig, serve_many
 
 __version__ = "1.0.0"
@@ -85,6 +89,8 @@ __all__ = [
     "EdgeListGraph",
     "connected_components_edgelist",
     "connected_components_contracting",
+    "connected_components_sharded",
+    "ShardedResult",
     "random_edge_list",
     "BatchedGCA",
     "connected_components_batch",

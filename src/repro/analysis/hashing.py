@@ -100,7 +100,12 @@ def _edge_set_sums(key: np.ndarray) -> Tuple[int, int]:
     verify-on-first-hit for the paranoid."""
     x = np.ascontiguousarray(key)
     if x.dtype != np.uint64:
-        x = x.view(np.uint64)  # reinterpret int64 bits, no copy
+        try:
+            x = x.view(np.uint64)  # reinterpret int64 bits, no copy
+        except (TypeError, ValueError):
+            # exotic layouts where a zero-copy reinterpret is refused
+            # (e.g. some memmap slices); one copy, same bits
+            x = x.astype(np.uint64)
     with np.errstate(over="ignore"):
         mixed = _splitmix(x)
         total = int(mixed.sum(dtype=np.uint64))

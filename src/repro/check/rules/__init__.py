@@ -11,6 +11,7 @@ DB102    error     a fused kernel reads the spare (write) buffer
 DB103    error     ``apply_generation`` mutates the read-only field ``D``
 SHM201   error     a shared-memory acquisition that can never be released
 SHM202   warning   consecutive shm acquisitions without an error-path guard
+SHM203   error     an ``np.memmap`` that is never unmapped
 LOCK301  error     a blocking pipe/queue/fork call while holding a lock
 FORK302  warning   a thread is spawned before a worker process is forked
 =======  ========  ==========================================================
@@ -33,6 +34,7 @@ from repro.check.rules.double_buffer import (
 )
 from repro.check.rules.concurrency import (
     LockAcrossBlockingRule,
+    MemmapDisciplineRule,
     ThreadBeforeForkRule,
     UnguardedMultiAcquireRule,
     UnreleasedSegmentRule,
@@ -47,6 +49,7 @@ _ALL = (
     ReadFieldWriteRule,
     UnreleasedSegmentRule,
     UnguardedMultiAcquireRule,
+    MemmapDisciplineRule,
     LockAcrossBlockingRule,
     ThreadBeforeForkRule,
 )

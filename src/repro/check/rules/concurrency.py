@@ -10,7 +10,12 @@ invisible to the type system and usually invisible to tests:
 * **locks held across blocking calls** (pipe recv, queue get, worker
   spawn) turn a slow worker into a stalled pool (LOCK301);
 * **threads started before the pool forks** leave the forked children
-  with locks held by threads that do not exist in the child (FORK302).
+  with locks held by threads that do not exist in the child (FORK302);
+* **memory mappings without an unmap** keep every touched page in the
+  resident set until garbage collection gets around to the array --
+  which defeats the windowed out-of-core reads of
+  :mod:`repro.analysis.shards` precisely when memory is tightest
+  (SHM203).
 
 These rules are heuristic by necessity -- they trade a few suppression
 comments for catching the leak/deadlock patterns that actually bit
@@ -132,6 +137,75 @@ class UnreleasedSegmentRule(LintRule):
                         "never closed, unlinked, returned, or stored; the "
                         "segment leaks",
                     )
+
+
+def _memmap_closed(fn: ast.FunctionDef, var: str, after_line: int) -> bool:
+    """True if ``var._mmap.close()`` appears after ``after_line``."""
+    for node in walk_function(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        if getattr(node, "lineno", 0) < after_line:
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "close"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "_mmap"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == var
+        ):
+            return True
+    return False
+
+
+class MemmapDisciplineRule(LintRule):
+    """SHM203: an ``np.memmap`` that is never unmapped.
+
+    A memmap'd array holds its mapping until the *array object* is
+    collected -- ``del`` is not enough under reference cycles, and the
+    touched pages count toward RSS the whole time.  The out-of-core
+    paths (:func:`repro.analysis.shards.open_memmap_window`) rely on
+    eager unmapping to keep their peak-memory promise, so every
+    ``x = np.memmap(...)`` bound to a plain local must either be used
+    as a context manager, explicitly unmapped with ``x._mmap.close()``,
+    or hand the mapping onward (returned, stored, passed to a callee
+    that owns the close).
+    """
+
+    rule_id = "SHM203"
+    severity = "error"
+    description = "every np.memmap must be unmapped or hand off ownership"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            for node in walk_function(fn):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not isinstance(node.value, ast.Call):
+                    continue
+                name = dotted_name(node.value.func)
+                if name is None or name.split(".")[-1] != "memmap":
+                    continue
+                if len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue  # attribute/subscript targets escape by definition
+                if _memmap_closed(fn, target.id, node.lineno):
+                    continue
+                if _escapes(fn, target.id, node.lineno):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"memmap {target.id!r} in {fn.name!r} is never "
+                    "unmapped; call ._mmap.close() (or use "
+                    "open_memmap_window) so the pages leave the "
+                    "resident set deterministically",
+                )
 
 
 def _enclosing_guard(stack: List[ast.AST]) -> bool:

@@ -42,6 +42,8 @@ Examples::
     python -m repro solve graph.edges --method vectorized
     python -m repro solve --random 64 --p 0.1 --seed 7
     python -m repro solve --random-sparse 100000 300000 --method auto
+    python -m repro solve --random-sparse 2000000 8000000 --method sharded \
+        --shards 4 --memory-budget 256M
     python -m repro tables --n 8
     python -m repro synthesize --n 16
     python -m repro trace --n 4 --edges 0-1,1-3
@@ -96,6 +98,30 @@ def _parse_edges(spec: str) -> List[tuple]:
     return edges
 
 
+_BYTE_SUFFIXES = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+
+
+def _parse_bytes(spec: str) -> int:
+    """Parse ``"512M"`` / ``"2G"`` / ``"1073741824"`` into bytes."""
+    text = spec.strip().upper()
+    if text.endswith("B"):
+        text = text[:-1]
+    factor = 1
+    if text and text[-1] in _BYTE_SUFFIXES:
+        factor = _BYTE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(float(text) * factor)
+    except ValueError:
+        raise ValueError(
+            f"malformed byte size {spec!r}; expected e.g. 512M, 2G or a "
+            f"plain byte count"
+        ) from None
+    if value < 1:
+        raise ValueError(f"byte size must be >= 1, got {spec!r}")
+    return value
+
+
 def _load_graph(args: argparse.Namespace) -> GraphLike:
     if args.graph_file:
         return load_edge_list(args.graph_file)
@@ -116,9 +142,10 @@ _LISTING_LIMIT = 10_000
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
+    budget = _parse_bytes(args.memory_budget) if args.memory_budget else None
     result = connected_components(
         graph, engine=args.method, early_exit=args.early_exit,
-        sanitize=args.sanitize,
+        sanitize=args.sanitize, shards=args.shards, memory_budget=budget,
     )
     shown = (f"auto -> {result.method}" if args.method == "auto"
              else args.method)
@@ -427,11 +454,19 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--method",
         choices=["auto", "vectorized", "batched", "edgelist", "contracting",
-                 "interpreter", "reference", "pram"],
+                 "sharded", "interpreter", "reference", "pram"],
         default="vectorized",
         help="execution engine; 'auto' dispatches on (n, m) via the "
-             "measured cost model and reports its choice",
+             "measured cost model (including the memory dimension) and "
+             "reports its choice",
     )
+    solve.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="shard count for --method sharded "
+                            "(default: planned from the memory budget)")
+    solve.add_argument("--memory-budget", default="", metavar="BYTES",
+                       help="resident memory budget for --method sharded, "
+                            "e.g. 512M or 2G (default: half of the host's "
+                            "available memory)")
     solve.add_argument("--labels", action="store_true",
                        help="print the raw label vector")
     solve.add_argument("--early-exit", action="store_true",

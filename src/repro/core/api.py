@@ -21,6 +21,12 @@ Most users want one call::
   iteration relabels supervertices and drops settled edges, so iteration
   ``t`` runs on the surviving ``(n_t, m_t)`` only (fastest at large
   sparse scale);
+* ``"sharded"`` -- the out-of-core engine: the edge list is partitioned
+  into disk-backed shards, each solved by the contracting engine under a
+  bounded memory budget, and the per-shard label frontiers merged with a
+  log-step label-propagation pass (capacity bounded by disk, not RAM;
+  ``engine="auto"`` routes here when the estimated working set exceeds
+  the host's available memory);
 * ``"interpreter"`` -- the cell-accurate engine with full congestion
   instrumentation (slow; use for measurement, small ``n``);
 * ``"reference"`` -- the plain data-parallel Listing-1 program (no GCA
@@ -38,7 +44,12 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.core.dispatch import CostModel, choose_engine
+from repro.core.dispatch import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    choose_engine,
+    probe_available_memory,
+)
 from repro.core.machine import connected_components_interpreter
 from repro.core.vectorized import run_vectorized
 from repro.graphs.adjacency import AdjacencyMatrix
@@ -51,7 +62,7 @@ GraphLike = Union[AdjacencyMatrix, np.ndarray, EdgeListGraph]
 
 _METHODS = (
     "auto", "vectorized", "batched", "edgelist", "contracting",
-    "interpreter", "reference", "pram",
+    "sharded", "interpreter", "reference", "pram",
 )
 
 #: Engines that need the dense adjacency field.
@@ -134,6 +145,24 @@ def _to_edge_list(graph: GraphLike) -> EdgeListGraph:
     return EdgeListGraph.from_adjacency(g)
 
 
+#: Lazily probed cost model for ``engine="auto"``: the shipped defaults
+#: with the memory budget replaced by the host's available memory
+#: (probed once per process; pass ``cost_model=`` to override).
+_PROBED_MODEL: Optional[CostModel] = None
+
+
+def _probed_cost_model() -> CostModel:
+    global _PROBED_MODEL
+    if _PROBED_MODEL is None:
+        from dataclasses import replace
+
+        _PROBED_MODEL = replace(
+            DEFAULT_COST_MODEL,
+            memory_budget=float(probe_available_memory()),
+        )
+    return _PROBED_MODEL
+
+
 def _graph_shape(graph: GraphLike):
     """Cheap ``(n, m)`` for the dispatcher, any input kind."""
     if isinstance(graph, EdgeListGraph):
@@ -149,6 +178,8 @@ def connected_components(
     early_exit: bool = False,
     cost_model: Optional[CostModel] = None,
     sanitize: bool = False,
+    shards: Optional[int] = None,
+    memory_budget: Optional[int] = None,
 ) -> ComponentsResult:
     """Compute the connected components of ``graph``.
 
@@ -174,7 +205,15 @@ def connected_components(
     cost_model:
         Override the measured :class:`~repro.core.dispatch.CostModel`
         used by ``"auto"`` (e.g. one from
-        :func:`repro.core.dispatch.calibrate`).
+        :func:`repro.core.dispatch.calibrate`).  When omitted, ``"auto"``
+        uses the shipped constants with the memory budget set from a
+        live probe of the host's available memory, so workloads whose
+        working set exceeds what this machine can hold route to the
+        sharded out-of-core engine.
+    shards, memory_budget:
+        Tuning knobs for the sharded engine (shard count override and
+        resident byte budget); ignored by every other engine.  See
+        :func:`repro.hirschberg.sharded.connected_components_sharded`.
     sanitize:
         Run under the CROW write-barrier engine
         (:class:`repro.check.sanitizer.SanitizedAutomaton`): every
@@ -212,7 +251,8 @@ def connected_components(
         if early_exit:
             engine = "vectorized"
         else:
-            engine = choose_engine(n, m, batch_size=1, model=cost_model)
+            model = cost_model if cost_model is not None else _probed_cost_model()
+            engine = choose_engine(n, m, batch_size=1, model=model)
             if engine == "batched":  # never dispatched for one graph
                 engine = "vectorized"
     if early_exit and engine != "vectorized":
@@ -239,6 +279,18 @@ def connected_components(
     elif engine == "contracting":
         detail = connected_components_contracting(
             _to_edge_list(graph), max_levels=iterations
+        )
+        labels = detail.labels
+    elif engine == "sharded":
+        if iterations is not None:
+            raise ValueError(
+                "the sharded engine does not support an iterations "
+                "override (its merge runs to the fixed point)"
+            )
+        from repro.hirschberg.sharded import connected_components_sharded
+
+        detail = connected_components_sharded(
+            _to_edge_list(graph), shards=shards, memory_budget=memory_budget
         )
         labels = detail.labels
     elif engine == "interpreter":

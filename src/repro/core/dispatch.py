@@ -1,13 +1,13 @@
 """Adaptive engine dispatch from a small measured cost model.
 
-The library now ships five interchangeable execution engines for the
+The library now ships six interchangeable execution engines for the
 same labelling -- the cell-accurate interpreter, the fused vectorised
-field, the stacked batched field, the scatter edge-list variant and the
-contracting sparse variant -- and the right one depends on the workload:
-``n``, the edge count, the batch size and how much memory a dense
-``Theta(n^2)`` field may claim.  This module centralises that decision so
-every caller (``engine="auto"`` in :mod:`repro.core.api`, the CLI, the
-sweep harness) picks the same way.
+field, the stacked batched field, the scatter edge-list variant, the
+contracting sparse variant and the sharded out-of-core variant -- and
+the right one depends on the workload: ``n``, the edge count, the batch
+size and how much memory the engine's working set may claim.  This
+module centralises that decision so every caller (``engine="auto"`` in
+:mod:`repro.core.api`, the CLI, the sweep harness) picks the same way.
 
 The model is deliberately small: a handful of per-unit constants
 (seconds per cell-generation, per scattered edge, per engine-internal
@@ -41,6 +41,21 @@ measurements, not this paragraph.
 'batched'
 >>> choose_engine(2_000_000, 6_000_000)  # large sparse
 'contracting'
+
+The **memory dimension**: every engine's predicted resident working set
+(:func:`predict_memory`) is compared against the model's byte budget,
+and engines that would not fit are priced infeasible.  The sharded
+out-of-core engine bounds its resident set to the budget by
+construction, so it is always feasible -- it is the engine of last
+resort when the edge list outgrows RAM:
+
+>>> tight = CostModel(memory_budget=float(1 << 30))
+>>> choose_engine(50_000_000, 1_000_000_000, model=tight)
+'sharded'
+
+``engine="auto"`` in :mod:`repro.core.api` sizes that budget from a
+live probe of the host's available memory
+(:func:`probe_available_memory`) instead of the shipped default.
 """
 
 from __future__ import annotations
@@ -54,9 +69,11 @@ from typing import Dict, Optional, Union
 
 from repro.util.intmath import ceil_log2
 
-#: Engines the dispatcher selects between (in stable tie-break order).
+#: Engines the dispatcher selects between (in stable tie-break order;
+#: the out-of-core engine comes last so an in-RAM engine wins any tie).
 DISPATCHABLE = (
-    "contracting", "edgelist", "batched", "vectorized", "interpreter"
+    "contracting", "edgelist", "batched", "vectorized", "interpreter",
+    "sharded",
 )
 
 
@@ -111,16 +128,80 @@ class CostModel:
     #: :class:`~repro.serve.executor.PoolExecutor` replaces it with the
     #: round trip it *measured* during warm-up on this host.
     pool_dispatch_overhead: float = 2.0e-3
+    #: sharded out-of-core engine: seconds per undirected edge across
+    #: partition IO, per-shard contraction and the boundary merge.
+    sharded_edge: float = 7.5e-7
+    #: fixed overhead of one sharded run (shard files, plan, pool
+    #: spin-up) -- keeps small graphs away from the disk path.
+    sharded_overhead: float = 0.5
     #: dense field footprint per cell (double-buffered field + adjacency).
     dense_bytes_per_cell: float = 48.0
     #: interpreter footprint per cell (a Python object per cell).
     interpreter_bytes_per_cell: float = 800.0
-    #: memory a dense field may claim before dense engines are infeasible.
+    #: in-RAM sparse engines: resident bytes per directed edge (edge
+    #: arrays plus sort/dedup/CSR temporaries, measured envelope).
+    sparse_bytes_per_edge: float = 80.0
+    #: ...plus resident bytes per vertex (label/pointer arrays).
+    sparse_bytes_per_node: float = 48.0
+    #: bytes an engine's working set may claim before it is infeasible.
     memory_budget: float = float(2 << 30)
 
 
 #: The shipped defaults.
 DEFAULT_COST_MODEL = CostModel()
+
+
+def probe_available_memory(default: Optional[int] = None) -> int:
+    """Bytes of memory the host can spare right now.
+
+    Reads ``MemAvailable`` from ``/proc/meminfo`` (the kernel's estimate
+    of allocatable memory without swapping).  On platforms without it,
+    returns ``default`` when given, else the shipped budget -- the probe
+    must never make dispatch fail, only make it better informed.
+    """
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    if default is not None:
+        return int(default)
+    return int(DEFAULT_COST_MODEL.memory_budget)
+
+
+def predict_memory(
+    n: int, m: int, batch_size: int = 1, model: Optional[CostModel] = None
+) -> Dict[str, float]:
+    """Predicted resident working set in bytes for every engine.
+
+    The dense engines pay per cell, the in-RAM sparse engines per
+    vertex and directed edge, and the sharded out-of-core engine clamps
+    its resident set to the model's budget by construction (its
+    capacity grows with disk, not RAM) -- so its entry is the smaller
+    of the in-RAM footprint and the budget.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    model = model or DEFAULT_COST_MODEL
+    cells = n * (n + 1)
+    sparse = (
+        n * model.sparse_bytes_per_node
+        + 2 * m * model.sparse_bytes_per_edge
+    )
+    return {
+        "interpreter": cells * model.interpreter_bytes_per_cell,
+        "vectorized": cells * model.dense_bytes_per_cell,
+        "batched": cells * model.dense_bytes_per_cell * batch_size,
+        "edgelist": sparse,
+        "contracting": sparse,
+        "sharded": min(sparse, model.memory_budget),
+    }
 
 
 def predict_costs(
@@ -151,36 +232,42 @@ def predict_costs(
     m_directed = 2 * m
 
     costs: Dict[str, float] = {}
-    dense_fits = (
-        cells * model.dense_bytes_per_cell * batch_size <= model.memory_budget
-    )
-    single_dense_fits = (
-        cells * model.dense_bytes_per_cell <= model.memory_budget
-    )
-    interp_fits = (
-        cells * model.interpreter_bytes_per_cell <= model.memory_budget
-    )
+    memory = predict_memory(n, m, batch_size=batch_size, model=model)
+    fits = {
+        name: bytes_needed <= model.memory_budget
+        for name, bytes_needed in memory.items()
+    }
 
     costs["interpreter"] = (
         cells * gens * model.interpreter_cell_gen
-        if interp_fits else float("inf")
+        if fits["interpreter"] else float("inf")
     )
     costs["vectorized"] = (
         gens * (model.vectorized_gen_dispatch + cells * model.vectorized_cell_gen)
-        if single_dense_fits else float("inf")
+        if fits["vectorized"] else float("inf")
     )
     costs["batched"] = (
         gens * (model.vectorized_gen_dispatch / batch_size
                 + cells * model.batched_cell_gen)
-        if batch_size > 1 and dense_fits else float("inf")
+        if batch_size > 1 and fits["batched"] else float("inf")
     )
-    costs["edgelist"] = iters * (
-        model.edgelist_iter_dispatch + m_directed * model.scatter_edge
+    costs["edgelist"] = (
+        iters * (
+            model.edgelist_iter_dispatch + m_directed * model.scatter_edge
+        )
+        if fits["edgelist"] else float("inf")
     )
-    costs["contracting"] = model.contracting_levels * (
-        model.contracting_level_dispatch
-        + (n + m_directed) * model.contracting_unit
+    costs["contracting"] = (
+        model.contracting_levels * (
+            model.contracting_level_dispatch
+            + (n + m_directed) * model.contracting_unit
+        )
+        if fits["contracting"] else float("inf")
     )
+    # The out-of-core engine is always feasible: its resident set is
+    # clamped to the budget by construction.  Its constants price the
+    # disk round trips, so it only wins when nothing in-RAM fits.
+    costs["sharded"] = model.sharded_overhead + m * model.sharded_edge
     return costs
 
 
@@ -214,12 +301,19 @@ def explain_choice(
 ) -> Dict[str, object]:
     """The decision plus its inputs -- for ``--method auto`` CLI output
     and for auditing dispatch decisions in tests/benchmarks."""
+    model = model or DEFAULT_COST_MODEL
     costs = predict_costs(n, m, batch_size=batch_size, model=model)
     return {
         "n": n,
         "m": m,
         "batch_size": batch_size,
         "predicted_seconds": costs,
+        "memory": {
+            "budget_bytes": model.memory_budget,
+            "predicted_bytes": predict_memory(
+                n, m, batch_size=batch_size, model=model
+            ),
+        },
         "feasible": sorted(k for k, v in costs.items() if v != float("inf")),
         "choice": choose_engine(n, m, batch_size=batch_size, model=model),
     }

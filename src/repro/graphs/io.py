@@ -136,6 +136,112 @@ def loads_edge_list_sparse(text: str) -> EdgeListGraph:
     return EdgeListGraph.from_edges(n, pairs)
 
 
+#: Bytes read per block by the streaming loader (split at the last
+#: newline, so lines never straddle blocks).
+_STREAM_BLOCK_BYTES = 16 << 20
+
+
+def open_edge_list_stream(
+    path: PathLike, chunk_edges: int = 1 << 20
+):
+    """Stream an edge-list file as ``(n, iterator of (u, v) chunks)``.
+
+    The out-of-core ingestion path for
+    :func:`repro.hirschberg.sharded.connected_components_sharded`: the
+    header is read eagerly (so ``n`` is available for planning), then
+    the body is consumed lazily in byte blocks, each split at its last
+    newline and parsed with one vectorised ``np.fromstring`` call --
+    the full edge list is **never materialised**; peak memory is one
+    block plus one emitted chunk.  Blocks containing comments or
+    stray tokens fall back to a line-by-line parse of just that block.
+
+    Yields int64 ``(u, v)`` array pairs of at most ``chunk_edges``
+    edges.  Endpoints are *not* range-checked here (the consumer
+    compacts and checks per shard); pairs are emitted exactly as
+    written, so self-loops and duplicates survive to the consumer's
+    normalisation, same as :func:`loads_edge_list_sparse`.
+    """
+    if chunk_edges < 1:
+        raise ValueError(f"chunk_edges must be >= 1, got {chunk_edges}")
+    path = Path(path)
+    handle = open(path, "rb")
+    header = b""
+    try:
+        while True:
+            line = handle.readline()
+            if not line:
+                raise ValueError("empty edge-list document")
+            stripped = line.strip()
+            if stripped and not stripped.startswith(b"#"):
+                header = stripped
+                break
+        n = int(header)
+    except ValueError:
+        handle.close()
+        if header and not header.isdigit():
+            raise ValueError(
+                f"first line must be the node count, got {header.decode()!r}"
+            ) from None
+        raise
+
+    def _parse_block(block: bytes) -> np.ndarray:
+        text = block.decode("ascii", errors="strict")
+        if not text.translate(_SPARSE_FAST_TABLE):
+            values = np.fromstring(text, dtype=np.int64, sep=" ")
+        else:
+            tokens: List[int] = []
+            for ln in text.splitlines():
+                ln = ln.strip()
+                if not ln or ln.startswith("#"):
+                    continue
+                parts = ln.split()
+                if len(parts) != 2:
+                    raise ValueError(f"malformed edge line {ln!r}")
+                tokens.extend((int(parts[0]), int(parts[1])))
+            values = np.asarray(tokens, dtype=np.int64)
+        if values.size % 2:
+            raise ValueError(
+                f"expected (u, v) pairs; got {values.size} tokens in block"
+            )
+        return values
+
+    def chunks():
+        try:
+            carry = b""
+            pending = np.empty(0, dtype=np.int64)
+            while True:
+                block = handle.read(_STREAM_BLOCK_BYTES)
+                if not block:
+                    break
+                block = carry + block
+                cut = block.rfind(b"\n")
+                if cut < 0:
+                    carry = block
+                    continue
+                carry, block = block[cut + 1:], block[:cut + 1]
+                values = _parse_block(block)
+                if pending.size:
+                    values = np.concatenate([pending, values])
+                limit = 2 * chunk_edges
+                start = 0
+                while values.size - start >= limit:
+                    part = values[start:start + limit]
+                    yield part[0::2].copy(), part[1::2].copy()
+                    start += limit
+                pending = values[start:].copy()
+            if carry.strip():
+                tail = _parse_block(carry + b"\n")
+                if tail.size:
+                    pending = np.concatenate([pending, tail])
+            for start in range(0, pending.size, 2 * chunk_edges):
+                part = pending[start:start + 2 * chunk_edges]
+                yield part[0::2].copy(), part[1::2].copy()
+        finally:
+            handle.close()
+
+    return n, chunks()
+
+
 def save_edge_list_sparse(graph: EdgeListGraph, path: PathLike) -> None:
     """Write a sparse graph to ``path`` in edge-list format."""
     Path(path).write_text(dumps_edge_list_sparse(graph))

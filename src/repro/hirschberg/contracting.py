@@ -58,7 +58,7 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.graphs.adjacency import AdjacencyMatrix
-from repro.hirschberg.edgelist import EdgeListGraph
+from repro.hirschberg.edgelist import _PACK_LIMIT, EdgeListGraph
 from repro.util.intmath import jump_iterations, outer_iterations
 
 GraphLike = Union[AdjacencyMatrix, np.ndarray]
@@ -155,7 +155,11 @@ def _dedup_edges(
         table[src * np.int64(k) + dst] = True
         key = np.flatnonzero(table)
         return key // k, key % k, True
-    if src.size <= _DEDUP_SORT_M:
+    if src.size <= _DEDUP_SORT_M and k <= _PACK_LIMIT:
+        # the k guard keeps the packed key inside int64: beyond the
+        # limit ``src * k + dst`` would wrap silently and the "dedup"
+        # would merge unrelated edges -- skipping dedup is always safe
+        # (duplicates only cost time, never correctness)
         key = np.unique(src * np.int64(k) + dst)
         return key // k, key % k, True
     return src, dst, False

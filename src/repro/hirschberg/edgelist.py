@@ -30,8 +30,15 @@ from repro.util.validation import check_positive
 
 GraphLike = Union[AdjacencyMatrix, np.ndarray]
 
-#: Largest ``n`` for which an (u, v) pair can be packed into one int64
-#: (``u * n + v < 2**63``); beyond it the constructors fall back to lexsort.
+#: Largest ``n`` for which an (u, v) pair can be packed into one int64.
+#: The exact overflow boundary for the worst packed key ``n * n + n - 1``
+#: (the scatter-argmin sentinel) is ``floor(sqrt(2**63)) - 1 =
+#: 3_037_000_498``; the limit sits deliberately below it so every packed
+#: form in this package (``u * n + v`` with ``u, v < n``, and the argmin
+#: sentinel) stays inside int64 with margin, including at the
+#: ``n = 2**31`` boundary (which packs fine: ``2**62 < 2**63``).  Beyond
+#: the limit the constructors fall back to lexsort; code paths with no
+#: fallback raise a clear ``ValueError`` instead of wrapping silently.
 _PACK_LIMIT = 3_000_000_000
 
 
@@ -252,6 +259,13 @@ def _scatter_argmin(
     the minimum value together with the smallest witness attaining it --
     the scatter-reduction form of the dense variant's argmin.
     """
+    if n > _PACK_LIMIT:
+        # the packed sentinel is n * n + n - 1; past the limit it (and
+        # packed keys near it) would wrap int64 and corrupt the argmin
+        raise ValueError(
+            f"packed scatter-argmin supports at most n = {_PACK_LIMIT:,} "
+            f"nodes (int64 packing); got n = {n:,}"
+        )
     packed_sentinel = sentinel_value * n + (n - 1)
     packed = np.full(n, packed_sentinel, dtype=np.int64)
     if index.size:
@@ -279,6 +293,14 @@ def spanning_forest_edgelist(
         else EdgeListGraph.from_adjacency(graph)
     )
     n = g.n
+    if n > _PACK_LIMIT:
+        # fail clearly *before* the O(n) allocations below: the packed
+        # argmin reductions would silently wrap int64 past this point
+        raise ValueError(
+            f"spanning_forest_edgelist packs (value, witness) pairs into "
+            f"int64 and supports at most n = {_PACK_LIMIT:,} nodes; got "
+            f"n = {n:,}"
+        )
     total = outer_iterations(n) if iterations is None else iterations
     if total < 0:
         raise ValueError(f"iterations must be >= 0, got {total}")

@@ -1,0 +1,435 @@
+"""Sharded out-of-core connected components: disk-bounded capacity.
+
+Every engine before this one holds the whole edge list (plus same-sized
+temporaries) in RAM, which caps the reproduction far below the paper's
+"as many processing elements as the problem needs" ambition.  This
+module removes the ceiling with the classic three-stage out-of-core
+decomposition:
+
+1. **Partition** -- the edge stream is split by stride into ``k`` shard
+   files (:class:`~repro.analysis.shards.ShardStore`) without ever
+   materialising the full list; the planner
+   (:func:`~repro.analysis.shards.plan_shards`) sizes ``k`` so that the
+   configured number of concurrent shard solves fits the memory budget.
+2. **Per-shard contraction** -- each shard is a subgraph over the
+   *global* vertex ids.  A shard solve compacts the ids it actually
+   touches (``np.unique``), runs the existing contracting CSR engine
+   (:func:`~repro.hirschberg.contracting.connected_components_contracting`),
+   and emits its **frontier**: star pairs ``(v, rep)`` linking every
+   touched vertex to its shard-local component representative (the
+   minimum global id in that shard-component -- ``np.unique`` returns
+   sorted ids, so the local minimum index *is* the global minimum).
+   Shards run either inline or on the PR 4
+   :class:`~repro.serve.executor.PoolExecutor` -- endpoint arrays
+   travel through shared-memory slabs with zero pickling, and a bounded
+   window of in-flight shards keeps peak resident memory under the
+   budget.
+3. **Boundary merge** -- the union of the per-shard star forests
+   connects ``u`` and ``v`` iff some shard path does, and every edge
+   lives in exactly one shard, so the union has the same components as
+   the input.  A vectorized log-step label-propagation pass (in the
+   spirit of Burkhardt's label-propagation connectivity and the
+   Liu--Tarjan framework; same scatter/gather idioms as
+   ``hirschberg/fastsv.py``) resolves it: scatter ``min`` over the
+   frontier pairs, then pointer-jump (``L = L[L]``) to compress, until
+   a full pass changes nothing.
+
+Correctness of the merge rests on two invariants, both preserved by
+every update: ``L[x] <= x`` pointwise (min-updates and jumps only ever
+lower labels, starting from the identity), and ``L[x]`` is always the
+id of a vertex in ``x``'s true component (values propagated are labels
+of in-component vertices).  At the fixpoint each label is therefore the
+component's minimum id -- exactly the canonical convention every other
+engine uses, so results are bit-identical.
+
+Results too large for a full union-find oracle are verified by the
+sampled spot-check protocol
+(:func:`~repro.analysis.shards.spot_check_labels`), re-streamed from
+the shard files.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.shards import (
+    DEFAULT_CHUNK_EDGES,
+    PairFile,
+    ShardPlan,
+    ShardStore,
+    SpotCheckReport,
+    plan_shards,
+    remove_workdir,
+    spot_check_labels,
+)
+from repro.hirschberg.edgelist import EdgeListGraph
+
+__all__ = [
+    "ShardedResult",
+    "connected_components_sharded",
+    "solve_shard_arrays",
+]
+
+#: Below this many edges the engine defaults to inline shard solves --
+#: pool dispatch overhead would dominate.
+_INLINE_EDGE_LIMIT = 2_000_000
+
+#: Auto worker cap (per-shard solves are memory-hungry; the planner
+#: divides the budget between them).
+_MAX_AUTO_WORKERS = 4
+
+#: Fraction of the budget the merge label array may claim before it is
+#: spilled to a memory-mapped file.
+_LABEL_BUDGET_FRACTION = 0.25
+
+ShardSource = Union[
+    EdgeListGraph,
+    str,
+    Path,
+    Tuple[int, Iterable[Tuple[np.ndarray, np.ndarray]]],
+]
+
+
+def solve_shard_arrays(
+    n: int, u: np.ndarray, v: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve one shard; return its frontier star pairs.
+
+    ``u``/``v`` hold global vertex ids in ``[0, n)``.  The shard is
+    compacted to the ids it touches, solved with the contracting
+    engine, and reduced to pairs ``(vertex, representative)`` for every
+    touched vertex whose shard-local representative differs from
+    itself.  Representatives are global minimum ids of their
+    shard-component (``np.unique`` sorts, so local index order is
+    global id order).
+    """
+    from repro.hirschberg.contracting import connected_components_contracting
+
+    u = np.asarray(u, dtype=np.int64).ravel()
+    v = np.asarray(v, dtype=np.int64).ravel()
+    if u.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    verts, inverse = np.unique(np.concatenate([u, v]), return_inverse=True)
+    if verts[0] < 0 or verts[-1] >= n:
+        raise ValueError(
+            f"shard endpoints outside [0, {n}): "
+            f"min={int(verts[0])}, max={int(verts[-1])}"
+        )
+    local = connected_components_contracting(
+        EdgeListGraph.from_arrays(
+            int(verts.size), inverse[: u.size], inverse[u.size:]
+        )
+    )
+    reps = verts[local.labels]
+    keep = reps != verts
+    return verts[keep], reps[keep]
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of one out-of-core solve.
+
+    ``labels`` is the canonical component labelling (min id per
+    component), bit-identical to the in-RAM engines.  ``shard_stats``
+    records per-shard edge and frontier counts; ``seconds`` breaks the
+    wall time into the three stages (plus verification); ``spot_check``
+    is the sampled verification report when requested.
+    """
+
+    labels: np.ndarray
+    plan: ShardPlan
+    edges: int
+    frontier_pairs: int
+    merge_passes: int
+    shard_stats: List[Dict[str, int]] = field(default_factory=list)
+    seconds: Dict[str, float] = field(default_factory=dict)
+    spot_check: Optional[SpotCheckReport] = None
+
+    @property
+    def components(self) -> int:
+        return int(np.unique(self.labels).size)
+
+
+def _as_stream(
+    source: ShardSource,
+    n: Optional[int],
+    edges_hint: Optional[int],
+) -> Tuple[int, int, Iterable[Tuple[np.ndarray, np.ndarray]]]:
+    """Normalise a shard source to ``(n, edge estimate, chunk stream)``.
+
+    The estimate only sizes the plan; the strided partitioner keeps
+    shards balanced whatever the stream's real length turns out to be.
+    """
+    if isinstance(source, EdgeListGraph):
+        edges = int(source.src.size)
+
+        def chunks():
+            for start in range(0, max(edges, 1), DEFAULT_CHUNK_EDGES):
+                stop = min(start + DEFAULT_CHUNK_EDGES, edges)
+                if stop > start:
+                    yield source.src[start:stop], source.dst[start:stop]
+
+        return int(source.n), edges, chunks()
+    if isinstance(source, (str, Path)):
+        from repro.graphs.io import open_edge_list_stream
+
+        file_n, stream = open_edge_list_stream(
+            source, chunk_edges=DEFAULT_CHUNK_EDGES
+        )
+        if edges_hint is None:
+            # ~"u v\n" with modest ids: a crude but plan-sufficient guess
+            edges_hint = max(Path(source).stat().st_size // 12, 1)
+        return file_n, int(edges_hint), stream
+    if isinstance(source, tuple) and len(source) == 2:
+        src_n, stream = source
+        if edges_hint is None:
+            edges_hint = DEFAULT_CHUNK_EDGES
+        return int(src_n), int(edges_hint), stream
+    if n is not None and hasattr(source, "__iter__"):
+        return int(n), int(edges_hint or DEFAULT_CHUNK_EDGES), source
+    raise TypeError(
+        "source must be an EdgeListGraph, a path to an edge-list file, "
+        f"or an (n, chunk-iterable) pair; got {type(source).__name__}"
+    )
+
+
+def _resolve_workers(
+    workers: Optional[int], pool, edges: int
+) -> int:
+    """How many shard solves may be in flight (0 = inline)."""
+    if workers is not None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        return workers
+    if pool is not None:
+        return int(pool.workers)
+    cpu = os.cpu_count() or 1
+    if cpu == 1 or edges < _INLINE_EDGE_LIMIT:
+        return 0
+    return min(cpu, _MAX_AUTO_WORKERS)
+
+
+def _merge_frontier(
+    labels: np.ndarray, frontier: PairFile, chunk_pairs: int
+) -> int:
+    """Vectorized log-step label propagation over the frontier forest.
+
+    Alternates a scatter-min over the star pairs with chunked pointer
+    jumping (``L = min(L, L[L])``) until a full pass changes nothing.
+    Every update strictly lowers some label and labels are bounded
+    below by the component minimum, so termination is guaranteed; the
+    pass count is logarithmic in the length of the longest
+    representative chain across shards (each jump round halves it).
+    Returns the number of outer passes (the last one is the quiescent
+    proof pass).
+    """
+    n = labels.shape[0]
+    passes = 0
+    while True:
+        passes += 1
+        changed = False
+        for u, v in frontier.iter_chunks(chunk_pairs):
+            lo = np.minimum(labels[u], labels[v])
+            if (labels[u] != lo).any() or (labels[v] != lo).any():
+                changed = True
+                np.minimum.at(labels, u, lo)
+                np.minimum.at(labels, v, lo)
+        while True:
+            jumped = False
+            for start in range(0, n, chunk_pairs):
+                block = labels[start:start + chunk_pairs]
+                hop = labels[block]
+                if (hop < block).any():
+                    labels[start:start + chunk_pairs] = np.minimum(block, hop)
+                    jumped = True
+            if not jumped:
+                break
+            changed = True
+        if not changed:
+            return passes
+
+
+def connected_components_sharded(
+    source: ShardSource,
+    n: Optional[int] = None,
+    edges_hint: Optional[int] = None,
+    shards: Optional[int] = None,
+    memory_budget: Optional[int] = None,
+    workers: Optional[int] = None,
+    workdir: Optional[Union[str, Path]] = None,
+    pool=None,
+    spot_check: bool = False,
+    spot_check_seed: int = 0,
+    keep_workdir: bool = False,
+) -> ShardedResult:
+    """Out-of-core connected components over a sharded edge stream.
+
+    Parameters
+    ----------
+    source:
+        An :class:`~repro.hirschberg.edgelist.EdgeListGraph`, a path to
+        an edge-list text file (streamed, never materialised), or a
+        pair ``(n, iterable of (u, v) chunk arrays)``.
+    n, edges_hint:
+        Vertex count / edge estimate for iterable sources (the hint
+        only sizes the plan).
+    shards:
+        Override the planned shard count.
+    memory_budget:
+        Resident byte budget; defaults to half the host's available
+        memory (see :func:`~repro.analysis.shards.plan_shards`).
+    workers:
+        In-flight shard solves.  ``0`` forces inline solving; ``None``
+        picks inline for small inputs and a bounded pool otherwise.
+    workdir:
+        Directory for shard files (a private temp directory by
+        default).  Only files this engine creates are ever deleted.
+    pool:
+        An already-running :class:`~repro.serve.executor.PoolExecutor`
+        to borrow instead of forking a private one.
+    spot_check:
+        Run the sampled verification protocol on the result
+        (re-streamed from the shard files) and attach the report.
+    keep_workdir:
+        Leave the shard files behind (debugging / postmortems).
+    """
+    t_start = time.perf_counter()
+    n, edges_est, stream = _as_stream(source, n, edges_hint)
+    window = _resolve_workers(workers, pool, edges_est)
+    plan = plan_shards(
+        n, edges_est, memory_budget=memory_budget, shards=shards,
+        workers=max(1, window),
+    )
+    owned_dir = workdir is None
+    workdir = Path(
+        tempfile.mkdtemp(prefix="repro-shards-") if owned_dir else workdir
+    )
+    own_pool = None
+    store: Optional[ShardStore] = None
+    frontier: Optional[PairFile] = None
+    seconds: Dict[str, float] = {}
+    try:
+        # -- stage 1: partition the stream into shard files ------------
+        store = ShardStore(workdir, plan.shards)
+        total_edges = store.partition(stream)
+        # A wildly low estimate means shards came out oversized; replan
+        # from the realized total and repartition shard-to-shard (one
+        # extra bounded-memory pass over the files).
+        realized_max = max(
+            store.edge_count(i) for i in range(plan.shards)
+        )
+        if realized_max > 2 * plan.shard_edges and shards is None:
+            replan = plan_shards(
+                n, total_edges, memory_budget=plan.memory_budget,
+                workers=plan.workers,
+            )
+            if replan.shards > plan.shards:
+                redo = ShardStore(workdir / "repart", replan.shards)
+                redo.partition(store.iter_all_chunks(plan.chunk_edges))
+                store.remove()
+                store, plan = redo, replan
+        seconds["partition"] = time.perf_counter() - t_start
+
+        # -- stage 2: per-shard contraction (bounded window) -----------
+        t0 = time.perf_counter()
+        use_pool = pool is not None or window >= 1
+        active_pool = pool
+        if use_pool and active_pool is None:
+            from repro.serve.executor import PoolExecutor
+
+            own_pool = PoolExecutor(workers=window, calibrate=False).start()
+            active_pool = own_pool
+        frontier = PairFile(workdir / "frontier.pairs")
+        shard_stats: List[Dict[str, int]] = []
+        emit_lock = threading.Lock()
+
+        def solve_one(i: int) -> None:
+            u, v = store.read_shard(i)
+            if active_pool is not None:
+                verts, reps = active_pool.solve_shard(n, u, v)
+            else:
+                verts, reps = solve_shard_arrays(n, u, v)
+            with emit_lock:
+                frontier.append(verts, reps)
+                shard_stats.append({
+                    "shard": i,
+                    "edges": int(u.size),
+                    "frontier": int(verts.size),
+                })
+
+        if active_pool is not None and plan.shards > 1:
+            with ThreadPoolExecutor(
+                max_workers=max(1, window), thread_name_prefix="repro-shard"
+            ) as tpe:
+                # list() re-raises the first worker failure
+                list(tpe.map(solve_one, range(plan.shards)))
+        else:
+            for i in range(plan.shards):
+                solve_one(i)
+        frontier.flush()
+        shard_stats.sort(key=lambda s: s["shard"])
+        seconds["solve"] = time.perf_counter() - t0
+
+        # -- stage 3: boundary merge over the frontier forest ----------
+        t0 = time.perf_counter()
+        labels_path = workdir / "labels.bin"
+        spill_labels = n * 8 > plan.memory_budget * _LABEL_BUDGET_FRACTION
+        if spill_labels:
+            labels = np.memmap(
+                labels_path, dtype=np.int64, mode="w+", shape=(n,)
+            )
+            for start in range(0, n, plan.chunk_edges):
+                stop = min(start + plan.chunk_edges, n)
+                labels[start:stop] = np.arange(start, stop, dtype=np.int64)
+        else:
+            labels = np.arange(n, dtype=np.int64)
+        merge_passes = _merge_frontier(labels, frontier, plan.chunk_edges)
+        seconds["merge"] = time.perf_counter() - t0
+
+        # -- optional sampled verification -----------------------------
+        report = None
+        if spot_check:
+            t0 = time.perf_counter()
+            report = spot_check_labels(
+                labels, n,
+                store.iter_all_chunks(plan.chunk_edges),
+                edges_hint=total_edges,
+                seed=spot_check_seed,
+            )
+            seconds["spot_check"] = time.perf_counter() - t0
+
+        final = np.array(labels, dtype=np.int64)
+        if spill_labels:
+            labels._mmap.close()
+        frontier_pairs = frontier.pairs
+        seconds["total"] = time.perf_counter() - t_start
+        return ShardedResult(
+            labels=final,
+            plan=plan,
+            edges=total_edges,
+            frontier_pairs=frontier_pairs,
+            merge_passes=merge_passes,
+            shard_stats=shard_stats,
+            seconds=seconds,
+            spot_check=report,
+        )
+    finally:
+        if own_pool is not None:
+            own_pool.shutdown()
+        if store is not None:
+            store.close()
+        if frontier is not None:
+            frontier.close()
+        if not keep_workdir:
+            remove_workdir(workdir / "repart")
+            remove_workdir(workdir)

@@ -90,12 +90,12 @@ class _Task:
     """Picklable batch descriptor; the arrays stay in shared memory."""
 
     seq: int
-    kind: str                     # "dense" | "sparse" | "ping"
+    kind: str                     # "dense" | "sparse" | "shard" | "ping"
     out: Optional[SharedArrayRef] = None
     stack: Optional[SharedArrayRef] = None   # dense: (B, S, S) adjacency
-    src: Optional[SharedArrayRef] = None     # sparse: union edge arrays
+    src: Optional[SharedArrayRef] = None     # sparse/shard: edge arrays
     dst: Optional[SharedArrayRef] = None
-    n: int = 0                    # sparse: union node count
+    n: int = 0                    # sparse/shard: global node count
     engine: str = "contracting"
     sleep: float = 0.0            # ping: hold the worker busy (tests)
 
@@ -141,6 +141,18 @@ def _run_task(task: _Task, cache: Dict) -> int:
         result = BatchedGCA(list(stack)).run()
         out[...] = result.labels
         return int(result.labels.shape[0])
+    if task.kind == "shard":
+        from repro.hirschberg.sharded import solve_shard_arrays
+
+        verts, reps = solve_shard_arrays(
+            task.n,
+            _attach_view(cache, task.src),
+            _attach_view(cache, task.dst),
+        )
+        count = int(verts.size)
+        out[0, :count] = verts
+        out[1, :count] = reps
+        return count
     graph = EdgeListGraph(
         n=task.n,
         src=_attach_view(cache, task.src),
@@ -500,14 +512,19 @@ class PoolExecutor:
             self._slabs.release(slab)
 
     def _run(self, build, collect):
-        """Submit/await/retry-once skeleton shared by the solve paths."""
+        """Submit/await/retry-once skeleton shared by the solve paths.
+
+        ``collect(slabs, token)`` receives the worker's result token --
+        the shard path uses it as the valid prefix length of its output
+        slab; the other paths ignore it.
+        """
         with self._inflight:
             last_error: Optional[str] = None
             for attempt in range(2):
                 pending, slabs = self._submit(build)
                 kind, payload = self._finish(pending)
                 if kind == "ok":
-                    out = collect(slabs)
+                    out = collect(slabs, payload)
                     self._release(slabs)
                     return out
                 self._discard(slabs)
@@ -528,7 +545,7 @@ class PoolExecutor:
         pin a worker busy)."""
         self._run(
             lambda seq: (_Task(seq=seq, kind="ping", sleep=sleep), []),
-            lambda slabs: None,
+            lambda slabs, token: None,
         )
 
     def solve_dense_stack(
@@ -557,7 +574,7 @@ class PoolExecutor:
             task = _Task(seq=seq, kind="dense", out=out.ref, stack=stack.ref)
             return task, [stack, out]
 
-        def collect(slabs: List[Slab]) -> List[np.ndarray]:
+        def collect(slabs: List[Slab], token) -> List[np.ndarray]:
             out = slabs[1].array
             return [
                 out[i, : matrices[i].shape[0]].copy() for i in range(B)
@@ -591,7 +608,7 @@ class PoolExecutor:
             )
             return task, [src, dst, out]
 
-        def collect(slabs: List[Slab]) -> List[np.ndarray]:
+        def collect(slabs: List[Slab], token) -> List[np.ndarray]:
             return split_union_labels(slabs[2].array, offsets, copy=True)
 
         return self._run(build, collect)
@@ -599,6 +616,45 @@ class PoolExecutor:
     def solve_solo(self, graph: GraphLike, engine: str) -> np.ndarray:
         """One large request on one worker (shared-memory handoff)."""
         return self.solve_coalesced([graph], engine)[0]
+
+    def solve_shard(
+        self, n: int, u: np.ndarray, v: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One out-of-core shard solve on a pool worker.
+
+        The shard's endpoint arrays are written straight into recycled
+        shared slabs (zero pickling -- only the :class:`_Task`
+        descriptor crosses the pipe); the worker compacts the shard,
+        runs the contracting engine, and writes the frontier star pairs
+        ``(vertex, representative)`` into the shared output slab.  The
+        returned arrays are parent-owned copies, so the slabs recycle
+        immediately.  Thread-safe: the sharded engine drives this from
+        a bounded window of submitter threads.
+        """
+        m = int(u.size)
+        if m == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        cap = int(min(2 * m, n))
+
+        def build(seq: int):
+            src, dst, out = self._acquire_slabs(
+                [((m,), np.int64), ((m,), np.int64), ((2, cap), np.int64)]
+            )
+            src.array[...] = u
+            dst.array[...] = v
+            task = _Task(
+                seq=seq, kind="shard", out=out.ref, src=src.ref,
+                dst=dst.ref, n=n,
+            )
+            return task, [src, dst, out]
+
+        def collect(slabs: List[Slab], token) -> Tuple[np.ndarray, np.ndarray]:
+            count = int(token)
+            out = slabs[2].array
+            return out[0, :count].copy(), out[1, :count].copy()
+
+        return self._run(build, collect)
 
     # -- parent-side service threads ------------------------------------
     def _collector_loop(self) -> None:

@@ -106,3 +106,87 @@ class TestPaperClaims:
         ]
         assert peaks == sorted(peaks, reverse=True)
         assert peaks[-1] < peaks[0]
+
+
+class TestFingerprintExoticLayouts:
+    """graph_fingerprint / ResultCache must accept the array layouts the
+    out-of-core paths hand them: read-only views, memmaps (aligned and
+    offset), strided slices, and narrower integer dtypes."""
+
+    def _graph(self, seed=0):
+        import numpy as np
+
+        from repro.hirschberg.edgelist import random_edge_list
+
+        return random_edge_list(500, 900, seed=seed), np
+
+    def test_read_only_arrays_fingerprint_identically(self):
+        from repro.analysis.hashing import graph_fingerprint
+        from repro.hirschberg.edgelist import EdgeListGraph
+
+        g, np = self._graph()
+        want = graph_fingerprint(g)
+        half = g.src.size // 2
+        u = g.src[:half].copy()
+        v = g.dst[:half].copy()
+        u.setflags(write=False)
+        v.setflags(write=False)
+        frozen = EdgeListGraph.from_arrays(g.n, u, v)
+        assert graph_fingerprint(frozen) == want
+
+    @pytest.mark.parametrize("offset_bytes", [0, 8])
+    def test_memmap_arrays_fingerprint_identically(self, tmp_path, offset_bytes):
+        from repro.analysis.hashing import graph_fingerprint
+        from repro.hirschberg.edgelist import EdgeListGraph
+
+        g, np = self._graph(seed=1)
+        want = graph_fingerprint(g)
+        half = g.src.size // 2
+        path = tmp_path / "edges.bin"
+        pad = np.full(offset_bytes // 8, -1, dtype=np.int64)
+        np.concatenate([pad, g.src[:half], g.dst[:half]]).tofile(path)
+        mapped = np.memmap(path, dtype=np.int64, mode="r",
+                           offset=offset_bytes, shape=(2 * half,))
+        try:
+            mm = EdgeListGraph.from_arrays(g.n, mapped[:half], mapped[half:])
+            assert graph_fingerprint(mm) == want
+        finally:
+            mapped._mmap.close()
+
+    def test_strided_and_narrow_dtypes(self):
+        from repro.analysis.hashing import graph_fingerprint
+        from repro.hirschberg.edgelist import EdgeListGraph
+
+        g, np = self._graph(seed=2)
+        want = graph_fingerprint(g)
+        half = g.src.size // 2
+        interleaved = np.empty((half, 2), dtype=np.int64)
+        interleaved[:, 0] = g.src[:half]
+        interleaved[:, 1] = g.dst[:half]
+        strided = EdgeListGraph.from_arrays(
+            g.n, interleaved[:, 0], interleaved[:, 1]
+        )
+        assert graph_fingerprint(strided) == want
+        narrow = EdgeListGraph.from_arrays(
+            g.n,
+            g.src[:half].astype(np.int32),
+            g.dst[:half].astype(np.int32),
+        )
+        assert graph_fingerprint(narrow) == want
+
+    def test_result_cache_round_trip_with_read_only_labels(self):
+        import numpy as np
+
+        from repro.analysis.hashing import graph_fingerprint
+        from repro.serve.cache import ResultCache
+
+        g, _np = self._graph(seed=3)
+        labels = np.zeros(g.n, dtype=np.int64)
+        labels.setflags(write=False)
+        cache = ResultCache(byte_budget=1 << 20)
+        key = graph_fingerprint(g)
+        cache.put(key, labels)
+        hit = cache.get(key)
+        assert hit is not None
+        got, _verified = hit
+        assert np.array_equal(got, labels)

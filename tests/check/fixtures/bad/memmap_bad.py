@@ -1,0 +1,9 @@
+"""Memmap unmap violations (lint fixture, never imported)."""
+
+
+def leaky_window(path, length):
+    mapped = np.memmap(path, dtype="uint8", mode="r",  # SHM203  # noqa: F821
+                       shape=(length,))
+    total = mapped.sum()
+    del mapped  # not enough: the mapping lives until collection
+    return int(total)

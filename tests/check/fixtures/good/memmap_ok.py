@@ -1,0 +1,23 @@
+"""Memmap unmap discipline done right (lint fixture, never imported)."""
+
+
+def windowed_read(path, offset, length):
+    mapped = np.memmap(path, dtype="uint8", mode="r",  # noqa: F821
+                       offset=offset, shape=(length,))
+    try:
+        return mapped[:16].tobytes()
+    finally:
+        mapped._mmap.close()  # unmapped eagerly on every path
+
+
+def checksum(path, n):
+    view = np.memmap(path, dtype="int64", mode="r", shape=(n,))  # noqa: F821
+    total = view.sum()
+    view._mmap.close()
+    return int(total)
+
+
+def spill_labels(path, n):
+    labels = np.memmap(path, dtype="int64", mode="w+", shape=(n,))  # noqa: F821
+    initialise(labels)  # noqa: F821 -- ownership handed to the callee
+    return labels  # ...and onward to the caller

@@ -25,6 +25,8 @@ CASES = [
     ("bad/vectorized.py", {"DB101", "DB102", "DB103"}),
     ("good/shm_ok.py", set()),
     ("bad/shm_bad.py", {"SHM201", "SHM202", "LOCK301", "FORK302"}),
+    ("good/memmap_ok.py", set()),
+    ("bad/memmap_bad.py", {"SHM203"}),
 ]
 
 

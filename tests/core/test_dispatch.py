@@ -33,9 +33,29 @@ class TestPredictCosts:
         costs = predict_costs(10_000, 20_000, model=tiny_budget)
         assert costs["vectorized"] == float("inf")
         assert costs["interpreter"] == float("inf")
-        # sparse engines are never memory-gated by the dense budget
-        assert costs["edgelist"] < float("inf")
-        assert costs["contracting"] < float("inf")
+        # the in-RAM sparse engines are gated by the same budget...
+        assert costs["edgelist"] == float("inf")
+        assert costs["contracting"] == float("inf")
+        # ...while the out-of-core engine stays feasible at any budget
+        assert costs["sharded"] < float("inf")
+
+    def test_memory_gate_thresholds_are_the_predicted_bytes(self):
+        from repro.core.dispatch import predict_memory
+
+        n, m = 10_000, 20_000
+        need = predict_memory(n, m)["edgelist"]
+        fits = CostModel(memory_budget=need)
+        tight = CostModel(memory_budget=need - 1)
+        assert predict_costs(n, m, model=fits)["edgelist"] < float("inf")
+        assert predict_costs(n, m, model=tight)["edgelist"] == float("inf")
+
+    def test_sharded_priced_but_never_preferred_in_ram(self):
+        # with the shipped budget, small and mid workloads never pick
+        # the disk path: its fixed overhead dominates
+        for n, m in ((64, 200), (20_000, 30_000), (2_000_000, 6_000_000)):
+            costs = predict_costs(n, m)
+            assert costs["sharded"] < float("inf")
+            assert costs["contracting"] < costs["sharded"]
 
     def test_rejects_bad_arguments(self):
         with pytest.raises(ValueError):
@@ -84,7 +104,21 @@ class TestExplainChoice:
         tiny = CostModel(memory_budget=1024.0)
         doc = explain_choice(10_000, 100, model=tiny)
         assert "vectorized" not in doc["feasible"]
-        assert doc["choice"] in ("edgelist", "contracting")
+        # nothing in-RAM fits a 1 KiB budget; only the disk path remains
+        assert doc["feasible"] == ["sharded"]
+        assert doc["choice"] == "sharded"
+
+    def test_reports_memory_dimension(self):
+        from repro.core.dispatch import predict_memory
+
+        doc = explain_choice(10_000, 20_000)
+        memory = doc["memory"]
+        assert memory["budget_bytes"] == CostModel().memory_budget
+        assert memory["predicted_bytes"] == predict_memory(10_000, 20_000)
+        assert set(memory["predicted_bytes"]) == set(DISPATCHABLE)
+        # the out-of-core engine's resident set is clamped to the budget
+        assert (memory["predicted_bytes"]["sharded"]
+                <= memory["budget_bytes"])
 
 
 class TestDecisionGridCorrectness:
@@ -119,6 +153,42 @@ class TestDecisionGridCorrectness:
         for engine in DISPATCHABLE:
             forced = connected_components(g, engine=engine).labels
             assert np.array_equal(forced, auto), engine
+
+
+class TestMemoryRouting:
+    """The acceptance surface: auto routes out-of-core when the working
+    set exceeds the budget, and the labels still match the oracle."""
+
+    def test_choose_engine_routes_to_sharded_under_tight_budget(self):
+        tight = CostModel(memory_budget=float(1 << 20))
+        assert choose_engine(100_000, 400_000, model=tight) == "sharded"
+
+    def test_auto_dispatches_sharded_and_matches_oracle(self):
+        g = random_edge_list(3_000, 6_000, seed=11)
+        tight = CostModel(memory_budget=float(64 << 10))
+        res = connected_components(g, engine="auto", cost_model=tight)
+        assert res.method == "sharded"
+        assert res.requested_method == "auto"
+        uf = UnionFind(g.n)
+        half = g.src.size // 2
+        for u, v in zip(g.src[:half].tolist(), g.dst[:half].tolist()):
+            uf.union(u, v)
+        assert np.array_equal(res.labels, uf.canonical_labels())
+
+    def test_probe_available_memory_is_sane(self):
+        from repro.core.dispatch import probe_available_memory
+
+        probed = probe_available_memory()
+        assert isinstance(probed, int)
+        assert probed > 1 << 20  # any real host has more than 1 MiB free
+
+    def test_probe_default_passthrough(self):
+        from unittest import mock
+
+        from repro.core.dispatch import probe_available_memory
+
+        with mock.patch("builtins.open", side_effect=OSError):
+            assert probe_available_memory(default=12345) == 12345
 
 
 class TestCalibrate:

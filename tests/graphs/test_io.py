@@ -138,3 +138,92 @@ class TestFiles:
         save_edge_list_sparse(g, path)
         g2 = load_edge_list_sparse(path)
         assert g2.n == g.n and np.array_equal(g2.src, g.src)
+
+
+class TestOpenEdgeListStream:
+    """The streaming ingestion path of the sharded engine."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "g.edges"
+        path.write_text(text)
+        return path
+
+    def test_round_trips_a_saved_sparse_file(self, tmp_path):
+        from repro.graphs.io import open_edge_list_stream
+        from repro.hirschberg.edgelist import random_edge_list
+
+        g = random_edge_list(200, 400, seed=5)
+        path = tmp_path / "g.edges"
+        save_edge_list_sparse(g, path)
+        n, stream = open_edge_list_stream(path, chunk_edges=64)
+        assert n == g.n
+        us, vs = [], []
+        for u, v in stream:
+            assert u.size == v.size <= 64
+            assert u.dtype == np.int64
+            us.append(u)
+            vs.append(v)
+        got = set(zip(np.concatenate(us).tolist(),
+                      np.concatenate(vs).tolist()))
+        half = g.src.size // 2
+        want = set(zip(g.src[:half].tolist(), g.dst[:half].tolist()))
+        assert got == want
+
+    def test_comments_and_blank_lines_tolerated(self, tmp_path):
+        from repro.graphs.io import open_edge_list_stream
+
+        path = self._write(
+            tmp_path,
+            "# a comment\n\n4\n0 1\n# inline comment line\n\n2 3\n",
+        )
+        n, stream = open_edge_list_stream(path)
+        pairs = [(int(u[i]), int(v[i]))
+                 for u, v in stream for i in range(u.size)]
+        assert n == 4
+        assert pairs == [(0, 1), (2, 3)]
+
+    def test_missing_trailing_newline(self, tmp_path):
+        from repro.graphs.io import open_edge_list_stream
+
+        path = self._write(tmp_path, "3\n0 1\n1 2")
+        n, stream = open_edge_list_stream(path)
+        pairs = [(int(u[i]), int(v[i]))
+                 for u, v in stream for i in range(u.size)]
+        assert pairs == [(0, 1), (1, 2)]
+
+    def test_empty_body_yields_nothing(self, tmp_path):
+        from repro.graphs.io import open_edge_list_stream
+
+        path = self._write(tmp_path, "7\n")
+        n, stream = open_edge_list_stream(path)
+        assert n == 7
+        assert list(stream) == []
+
+    def test_bad_header_is_a_clear_error(self, tmp_path):
+        from repro.graphs.io import open_edge_list_stream
+
+        path = self._write(tmp_path, "nodes=4\n0 1\n")
+        with pytest.raises(ValueError, match="node count"):
+            open_edge_list_stream(path)
+
+    def test_empty_file_is_an_error(self, tmp_path):
+        from repro.graphs.io import open_edge_list_stream
+
+        path = self._write(tmp_path, "")
+        with pytest.raises(ValueError, match="empty"):
+            open_edge_list_stream(path)
+
+    def test_malformed_line_raises_during_iteration(self, tmp_path):
+        from repro.graphs.io import open_edge_list_stream
+
+        path = self._write(tmp_path, "4\n0 1\n0 1 2\n")
+        _n, stream = open_edge_list_stream(path)
+        with pytest.raises(ValueError):
+            list(stream)
+
+    def test_chunk_edges_validated(self, tmp_path):
+        from repro.graphs.io import open_edge_list_stream
+
+        path = self._write(tmp_path, "2\n0 1\n")
+        with pytest.raises(ValueError):
+            open_edge_list_stream(path, chunk_edges=0)

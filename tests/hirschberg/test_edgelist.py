@@ -177,3 +177,103 @@ class TestSpanningForestEdgelist:
             assert uf.union(a, b)
         assert np.array_equal(labels, uf.canonical_labels())
         assert len(forest) == g.n - np.unique(labels).size
+
+
+class TestPackLimitBoundary:
+    """The int64-packing envelope: ``u * n + v`` keys at and beyond the
+    2**31 vertex-count boundary, and the guarded paths past the limit."""
+
+    def _pairs(self, n):
+        # edges touching the extreme ids, fed in reverse and duplicated
+        u = np.array([n - 1, 0, n - 2, n - 1], dtype=np.int64)
+        v = np.array([n - 2, 1, n - 1, n - 2], dtype=np.int64)
+        return u, v
+
+    @pytest.mark.parametrize("n", [2**31 - 1, 2**31])
+    def test_from_arrays_packs_correctly_at_the_boundary(self, n):
+        """The worst packed key ``(n-2) * n + (n-1)`` is ~2**62 here --
+        inside int64, and the constructor must not wrap."""
+        from repro.hirschberg.edgelist import EdgeListGraph
+
+        u, v = self._pairs(n)
+        g = EdgeListGraph.from_arrays(n, u, v)
+        half = g.src.size // 2
+        got = sorted(zip(g.src[:half].tolist(), g.dst[:half].tolist()))
+        assert got == [(0, 1), (n - 2, n - 1)]
+        assert g.edge_count == 2
+
+    def test_lexsort_fallback_agrees_with_packed_path(self):
+        """Past _PACK_LIMIT the constructors switch to lexsort; the two
+        canonicalisations must produce the same pair set."""
+        from repro.hirschberg.edgelist import _PACK_LIMIT, _canonical_pairs
+
+        rng = np.random.default_rng(0)
+        lo = rng.integers(0, 1_000, size=500).astype(np.int64)
+        hi = lo + 1 + rng.integers(0, 1_000, size=500).astype(np.int64)
+        packed = _canonical_pairs(_PACK_LIMIT, lo, hi)
+        lexed = _canonical_pairs(_PACK_LIMIT + 1, lo, hi)
+        assert np.array_equal(packed[0], lexed[0])
+        assert np.array_equal(packed[1], lexed[1])
+
+    def test_boundary_graph_solves_end_to_end(self):
+        """A 2**31-node edge list flows through the contracting solver
+        (label arrays are per-touched-vertex, not per-n, in the sharded
+        shard solve -- this pins the from_arrays + packing contract)."""
+        from repro.hirschberg.sharded import solve_shard_arrays
+
+        n = 2**31
+        u = np.array([n - 1, 5], dtype=np.int64)
+        v = np.array([n - 2, 6], dtype=np.int64)
+        verts, reps = solve_shard_arrays(n, u, v)
+        assert dict(zip(verts.tolist(), reps.tolist())) == {
+            6: 5, n - 1: n - 2,
+        }
+
+    def test_spanning_forest_raises_clearly_past_the_limit(self):
+        from repro.hirschberg.edgelist import (
+            _PACK_LIMIT,
+            EdgeListGraph,
+            spanning_forest_edgelist,
+        )
+
+        n = _PACK_LIMIT + 1
+        g = EdgeListGraph(
+            n=n,
+            src=np.array([0, 1], dtype=np.int64),
+            dst=np.array([1, 0], dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="at most n ="):
+            spanning_forest_edgelist(g)
+
+    def test_scatter_argmin_raises_clearly_past_the_limit(self):
+        from repro.hirschberg.edgelist import _PACK_LIMIT, _scatter_argmin
+
+        with pytest.raises(ValueError, match="scatter-argmin"):
+            _scatter_argmin(
+                _PACK_LIMIT + 1,
+                np.array([0], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                _PACK_LIMIT + 1,
+            )
+
+    def test_dedup_skip_past_the_limit_is_lossless(self):
+        """_dedup_edges refuses the packed sort when k would wrap -- the
+        duplicates survive (harmless) instead of merging wrongly."""
+        from repro.hirschberg.contracting import _dedup_edges
+        from repro.hirschberg.edgelist import _PACK_LIMIT
+
+        k = _PACK_LIMIT + 7
+        src = np.array([0, 0, k - 1], dtype=np.int64)
+        dst = np.array([k - 1, k - 1, 0], dtype=np.int64)
+        out_src, out_dst, deduped = _dedup_edges(k, src, dst)
+        assert not deduped
+        assert np.array_equal(out_src, src)
+        assert np.array_equal(out_dst, dst)
+        # below the limit the same edges do get the packed dedup
+        small_src, small_dst, small_deduped = _dedup_edges(
+            10, np.array([0, 0, 9]), np.array([9, 9, 0])
+        )
+        assert small_deduped
+        assert small_src.tolist() == [0, 9]
+        assert small_dst.tolist() == [9, 0]

@@ -232,3 +232,54 @@ class TestServeBench:
         capsys.readouterr()
         assert rc_loose == 0
         assert rc_strict in (0, 1)  # scheduler may still beat the deadline
+
+
+class TestParseBytes:
+    def test_suffixes(self):
+        from repro.cli import _parse_bytes
+
+        assert _parse_bytes("512") == 512
+        assert _parse_bytes("1K") == 1 << 10
+        assert _parse_bytes("64M") == 64 << 20
+        assert _parse_bytes("2G") == 2 << 30
+        assert _parse_bytes("1T") == 1 << 40
+        assert _parse_bytes("256MB") == 256 << 20
+        assert _parse_bytes("1.5G") == int(1.5 * (1 << 30))
+        assert _parse_bytes(" 2g ") == 2 << 30
+
+    def test_malformed(self):
+        from repro.cli import _parse_bytes
+
+        for bad in ("", "fast", "12Q", "-1", "0"):
+            with pytest.raises(ValueError):
+                _parse_bytes(bad)
+
+
+class TestSolveSharded:
+    def test_sharded_method_with_flags(self, capsys):
+        assert main([
+            "solve", "--random-sparse", "400", "600", "--seed", "7",
+            "--method", "sharded", "--shards", "3",
+            "--memory-budget", "64M",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "method = sharded" in out
+        assert "components:" in out
+
+    def test_sharded_matches_contracting(self, capsys):
+        for method in ("sharded", "contracting"):
+            assert main([
+                "solve", "--random-sparse", "300", "500", "--seed", "8",
+                "--method", method, "--labels",
+            ]) == 0
+        sharded_out, contracting_out = None, None
+        text = capsys.readouterr().out
+        lines = [l for l in text.splitlines() if l.startswith("labels:")]
+        assert len(lines) == 2 and lines[0] == lines[1]
+
+    def test_malformed_budget_is_a_clean_error(self, capsys):
+        assert main([
+            "solve", "--random", "6", "--p", "0.5", "--seed", "0",
+            "--memory-budget", "lots",
+        ]) == 2
+        assert "malformed byte size" in capsys.readouterr().err
