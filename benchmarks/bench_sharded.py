@@ -372,6 +372,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="first rung only, no scaling section (CI-fast)")
+    parser.add_argument("--scaling-only", action="store_true",
+                        help="run just the shard-scaling section and "
+                             "enforce the per-core efficiency bar on "
+                             "4+ core hosts (CI scaling gate)")
     parser.add_argument("--repeats", type=int, default=1,
                         help="timing repeats (best-of)")
     parser.add_argument("--seed", type=int, default=0)
@@ -381,6 +385,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT.name})")
     args = parser.parse_args(argv)
+
+    if args.scaling_only:
+        scaling = run_scaling(seed=args.seed)
+        state = ("enforced" if scaling["enforced"]
+                 else f"not enforced ({scaling.get('reason', '')})")
+        print(f"shard scaling on {scaling['cores']} core(s), "
+              f"threshold {scaling['threshold']:.1f}x ideal -- {state}")
+        for entry in scaling["results"]:
+            print(f"  workers={entry['workers']}: {entry['seconds']:.3f}s, "
+                  f"speedup {entry['speedup']:.2f}x, "
+                  f"efficiency {entry['efficiency']:.2f}")
+        if scaling["enforced"]:
+            worst = [e for e in scaling["results"] if e["workers"] == 4]
+            if worst and worst[0]["efficiency"] < scaling["threshold"]:
+                print(
+                    f"error: k=4 efficiency {worst[0]['efficiency']:.2f} "
+                    f"below the {scaling['threshold']:.1f} threshold",
+                    file=sys.stderr,
+                )
+                return 1
+        return 0
 
     points = SMOKE_POINTS if args.smoke else FULL_POINTS
     doc = build_report(points, repeats=args.repeats, seed=args.seed,

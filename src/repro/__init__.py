@@ -70,6 +70,10 @@ from repro.hirschberg.edgelist import (
     connected_components_edgelist,
     random_edge_list,
 )
+from repro.hirschberg.parallel import (
+    ParallelResult,
+    connected_components_parallel,
+)
 from repro.hirschberg.reference import hirschberg_reference
 from repro.hirschberg.sharded import (
     ShardedResult,
@@ -89,6 +93,8 @@ __all__ = [
     "EdgeListGraph",
     "connected_components_edgelist",
     "connected_components_contracting",
+    "connected_components_parallel",
+    "ParallelResult",
     "connected_components_sharded",
     "ShardedResult",
     "random_edge_list",

@@ -12,6 +12,7 @@ DB103    error     ``apply_generation`` mutates the read-only field ``D``
 SHM201   error     a shared-memory acquisition that can never be released
 SHM202   warning   consecutive shm acquisitions without an error-path guard
 SHM203   error     an ``np.memmap`` that is never unmapped
+SHM204   error     a chunk worker writes a partitioned slab off-slice
 LOCK301  error     a blocking pipe/queue/fork call while holding a lock
 FORK302  warning   a thread is spawned before a worker process is forked
 =======  ========  ==========================================================
@@ -33,6 +34,7 @@ from repro.check.rules.double_buffer import (
     WriteBufferReadRule,
 )
 from repro.check.rules.concurrency import (
+    ChunkOwnerWriteRule,
     LockAcrossBlockingRule,
     MemmapDisciplineRule,
     ThreadBeforeForkRule,
@@ -50,6 +52,7 @@ _ALL = (
     UnreleasedSegmentRule,
     UnguardedMultiAcquireRule,
     MemmapDisciplineRule,
+    ChunkOwnerWriteRule,
     LockAcrossBlockingRule,
     ThreadBeforeForkRule,
 )

@@ -15,7 +15,10 @@ invisible to the type system and usually invisible to tests:
   resident set until garbage collection gets around to the array --
   which defeats the windowed out-of-core reads of
   :mod:`repro.analysis.shards` precisely when memory is tightest
-  (SHM203).
+  (SHM203);
+* **partitioned slabs written outside the owner's chunk slice** race
+  under the chunk-parallel label kernels, corrupting a neighbour
+  chunk's rows only when run concurrently (SHM204).
 
 These rules are heuristic by necessity -- they trade a few suppression
 comments for catching the leak/deadlock patterns that actually bit
@@ -34,6 +37,7 @@ from repro.check.engine import (
     Module,
     dotted_name,
     name_chain,
+    param_names,
     walk_function,
 )
 
@@ -266,6 +270,116 @@ class UnguardedMultiAcquireRule(LintRule):
                     "acquisition with no try/with guard; a failure here "
                     "leaks the earlier segment",
                 )
+
+
+def _mentions_bounds(node: ast.AST) -> bool:
+    """True if the subtree references the chunk bounds ``lo``/``hi``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in ("lo", "hi"):
+            return True
+    return False
+
+
+def _is_exact_chunk_slice(sub: ast.Subscript) -> bool:
+    """True for exactly ``X[lo:hi]`` -- no step, no arithmetic."""
+    sl = sub.slice
+    return (
+        isinstance(sl, ast.Slice)
+        and isinstance(sl.lower, ast.Name) and sl.lower.id == "lo"
+        and isinstance(sl.upper, ast.Name) and sl.upper.id == "hi"
+        and sl.step is None
+    )
+
+
+class ChunkOwnerWriteRule(LintRule):
+    """SHM204: a chunk worker writes a partitioned slab outside its slice.
+
+    The chunk-parallel kernels (:mod:`repro.core.parallel_kernels`) run
+    concurrently on *one* shared output slab with no per-element locks;
+    that is race-free only under owner-write discipline: a worker given
+    the bounds ``lo``/``hi`` may write a **partitioned** slab through
+    exactly ``slab[lo:hi]`` and nothing else.  ``slab[lo:hi + 1]``
+    overlaps the next chunk's slice, and a scatter
+    (``np.minimum.at(slab, idx, ...)``) writes wherever ``idx`` points
+    -- both are ghost writes that corrupt a neighbour's rows and only
+    fail under concurrency.
+
+    Heuristic: inside any function whose parameters include both ``lo``
+    and ``hi`` (the chunk-worker convention), a parameter is treated as
+    *partitioned* the moment the function slices it with those bounds.
+    Every subscript store to a partitioned parameter must then be the
+    exact ``[lo:hi]`` slice, and partitioned parameters must not be
+    scatter targets.  Private per-worker slabs (written full-slab, never
+    sliced by the bounds -- e.g. the hook phase's sentinel-initialised
+    partial) are intentionally exempt.
+    """
+
+    rule_id = "SHM204"
+    severity = "error"
+    description = "chunk workers write partitioned slabs only via [lo:hi]"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            params = set(param_names(fn))
+            if not {"lo", "hi"} <= params:
+                continue
+            yield from self._check_worker(module, fn, params)
+
+    def _check_worker(
+        self, module: Module, fn: ast.FunctionDef, params: set
+    ) -> Iterator[Finding]:
+        partitioned = set()
+        for node in walk_function(fn):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in params
+                and isinstance(node.slice, ast.Slice)
+                and _mentions_bounds(node.slice)
+            ):
+                partitioned.add(node.value.id)
+        if not partitioned:
+            return
+        for node in walk_function(fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in partitioned
+                    ):
+                        continue
+                    if _is_exact_chunk_slice(target):
+                        continue
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{fn.name!r} writes partitioned slab "
+                        f"{target.value.id!r} outside its exact [lo:hi] "
+                        "slice; concurrent chunks ghost-write each "
+                        "other's rows",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "at"
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in partitioned
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{fn.name!r} scatters into partitioned slab "
+                        f"{node.args[0].id!r} through arbitrary indices; "
+                        "scatter into a private per-worker slab and "
+                        "MIN-combine instead",
+                    )
 
 
 #: Attribute calls that block on a peer (pipe/queue/process traffic).

@@ -42,6 +42,8 @@ Examples::
     python -m repro solve graph.edges --method vectorized
     python -m repro solve --random 64 --p 0.1 --seed 7
     python -m repro solve --random-sparse 100000 300000 --method auto
+    python -m repro solve --random-sparse 500000 2000000 --method parallel \
+        --variant fastsv --kernel-workers 4
     python -m repro solve --random-sparse 2000000 8000000 --method sharded \
         --shards 4 --memory-budget 256M
     python -m repro tables --n 8
@@ -146,10 +148,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     result = connected_components(
         graph, engine=args.method, early_exit=args.early_exit,
         sanitize=args.sanitize, shards=args.shards, memory_budget=budget,
+        variant=args.variant, kernel_workers=args.kernel_workers,
     )
     shown = (f"auto -> {result.method}" if args.method == "auto"
              else args.method)
     print(f"n = {graph.n}, edges = {graph.edge_count}, method = {shown}")
+    if result.method == "parallel" and result.detail is not None:
+        d = result.detail
+        mode = (f"pooled x{d.workers}" if d.pooled else "inline")
+        print(f"parallel: variant={d.variant}, rounds={d.rounds} "
+              f"(+{d.confirm_rounds} confirm), chunks={d.chunks}, {mode}")
     print(f"components: {result.component_count}")
     if args.sanitize and getattr(result.detail, "sanitizer", None) is not None:
         print(result.detail.sanitizer.summary())
@@ -454,12 +462,22 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--method",
         choices=["auto", "vectorized", "batched", "edgelist", "contracting",
-                 "sharded", "interpreter", "reference", "pram"],
+                 "parallel", "sharded", "interpreter", "reference", "pram"],
         default="vectorized",
         help="execution engine; 'auto' dispatches on (n, m) via the "
-             "measured cost model (including the memory dimension) and "
-             "reports its choice",
+             "measured cost model (including the memory and parallelism "
+             "dimensions) and reports its choice",
     )
+    solve.add_argument("--variant",
+                       choices=["sv", "fastsv", "stochastic"],
+                       default=None,
+                       help="update rule for --method parallel "
+                            "(default fastsv)")
+    solve.add_argument("--kernel-workers", type=int, default=None,
+                       metavar="W",
+                       help="shm pool workers for --method parallel "
+                            "(1 = inline serial kernels; default: probed "
+                            "core count under --method auto, else 1)")
     solve.add_argument("--shards", type=int, default=None, metavar="K",
                        help="shard count for --method sharded "
                             "(default: planned from the memory budget)")

@@ -21,6 +21,12 @@ Most users want one call::
   iteration relabels supervertices and drops settled edges, so iteration
   ``t`` runs on the surviving ``(n_t, m_t)`` only (fastest at large
   sparse scale);
+* ``"parallel"`` -- the chunk-parallel Liu--Tarjan/FastSV engine:
+  synchronous hook/combine/jump label-propagation rounds whose phases
+  fan out across a pre-forked shared-memory worker pool (serial through
+  the same kernels when no workers are available); ``engine="auto"``
+  routes here only when the per-round scatter work amortises the
+  measured barrier cost on a multi-core host;
 * ``"sharded"`` -- the out-of-core engine: the edge list is partitioned
   into disk-backed shards, each solved by the contracting engine under a
   bounded memory budget, and the per-shard label frontiers merged with a
@@ -39,6 +45,7 @@ Most users want one call::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
@@ -62,7 +69,7 @@ GraphLike = Union[AdjacencyMatrix, np.ndarray, EdgeListGraph]
 
 _METHODS = (
     "auto", "vectorized", "batched", "edgelist", "contracting",
-    "sharded", "interpreter", "reference", "pram",
+    "parallel", "sharded", "interpreter", "reference", "pram",
 )
 
 #: Engines that need the dense adjacency field.
@@ -87,8 +94,9 @@ class ComponentsResult:
     detail:
         The engine-specific result object (``VectorizedResult``,
         ``InterpreterResult``, ``ReferenceResult``, ``PRAMRunResult``,
-        ``EdgeListResult``, ``ContractingResult`` or ``BatchedResult``)
-        for callers that need instrumentation data.
+        ``EdgeListResult``, ``ContractingResult``, ``ParallelResult``,
+        ``ShardedResult`` or ``BatchedResult``) for callers that need
+        instrumentation data.
     requested_method:
         What the caller asked for; differs from ``method`` only for
         ``"auto"``, where ``method`` records the dispatched engine.
@@ -154,13 +162,38 @@ _PROBED_MODEL: Optional[CostModel] = None
 def _probed_cost_model() -> CostModel:
     global _PROBED_MODEL
     if _PROBED_MODEL is None:
+        import os
         from dataclasses import replace
 
         _PROBED_MODEL = replace(
             DEFAULT_COST_MODEL,
             memory_budget=float(probe_available_memory()),
+            parallel_workers=float(os.cpu_count() or 1),
         )
     return _PROBED_MODEL
+
+
+#: Process-global worker pool for ``engine="parallel"``: forked once on
+#: first use (keyed by worker count; a different request replaces it),
+#: reused by every later parallel solve, torn down by the executor's
+#: ``atexit`` hook.  ``None`` entries never exist -- 1-worker requests
+#: run inline and skip the pool entirely.
+_KERNEL_POOL: Optional[tuple] = None
+_KERNEL_POOL_LOCK = threading.Lock()
+
+
+def _kernel_pool(workers: int):
+    global _KERNEL_POOL
+    with _KERNEL_POOL_LOCK:
+        if _KERNEL_POOL is not None and _KERNEL_POOL[0] == workers:
+            return _KERNEL_POOL[1]
+        from repro.serve.executor import PoolExecutor
+
+        if _KERNEL_POOL is not None:
+            _KERNEL_POOL[1].shutdown()
+        pool = PoolExecutor(workers=workers, calibrate=False).start()
+        _KERNEL_POOL = (workers, pool)
+        return pool
 
 
 def _graph_shape(graph: GraphLike):
@@ -180,6 +213,8 @@ def connected_components(
     sanitize: bool = False,
     shards: Optional[int] = None,
     memory_budget: Optional[int] = None,
+    variant: Optional[str] = None,
+    kernel_workers: Optional[int] = None,
 ) -> ComponentsResult:
     """Compute the connected components of ``graph``.
 
@@ -214,6 +249,14 @@ def connected_components(
         Tuning knobs for the sharded engine (shard count override and
         resident byte budget); ignored by every other engine.  See
         :func:`repro.hirschberg.sharded.connected_components_sharded`.
+    variant, kernel_workers:
+        Tuning knobs for the parallel engine: the update rule
+        (``"sv"``, ``"fastsv"`` (default), ``"stochastic"``) and how
+        many pool workers to fan the rounds out on (default: the probed
+        CPU count when ``"auto"`` dispatched here, else inline).
+        ``kernel_workers=1`` forces the inline serial-kernel path;
+        ignored by every other engine.  See
+        :func:`repro.hirschberg.parallel.connected_components_parallel`.
     sanitize:
         Run under the CROW write-barrier engine
         (:class:`repro.check.sanitizer.SanitizedAutomaton`): every
@@ -279,6 +322,30 @@ def connected_components(
     elif engine == "contracting":
         detail = connected_components_contracting(
             _to_edge_list(graph), max_levels=iterations
+        )
+        labels = detail.labels
+    elif engine == "parallel":
+        from repro.hirschberg.parallel import connected_components_parallel
+
+        if kernel_workers is not None and kernel_workers < 1:
+            raise ValueError(
+                f"kernel_workers must be >= 1, got {kernel_workers}"
+            )
+        workers = kernel_workers
+        if workers is None:
+            # auto-dispatch landed here because the probed worker count
+            # amortises the barriers -- honour it; an explicit
+            # engine="parallel" without kernel_workers stays inline.
+            if requested == "auto":
+                model = cost_model if cost_model is not None else _probed_cost_model()
+                workers = max(1, int(model.parallel_workers))
+            else:
+                workers = 1
+        detail = connected_components_parallel(
+            _to_edge_list(graph),
+            variant=variant if variant is not None else "fastsv",
+            pool=_kernel_pool(workers) if workers > 1 else None,
+            max_rounds=iterations,
         )
         labels = detail.labels
     elif engine == "sharded":

@@ -70,10 +70,12 @@ from typing import Dict, Optional, Union
 from repro.util.intmath import ceil_log2
 
 #: Engines the dispatcher selects between (in stable tie-break order;
-#: the out-of-core engine comes last so an in-RAM engine wins any tie).
+#: serial contracting precedes the chunk-parallel engine so a tie never
+#: pays barriers, and the out-of-core engine comes last so an in-RAM
+#: engine wins any tie).
 DISPATCHABLE = (
-    "contracting", "edgelist", "batched", "vectorized", "interpreter",
-    "sharded",
+    "contracting", "parallel", "edgelist", "batched", "vectorized",
+    "interpreter", "sharded",
 )
 
 
@@ -128,6 +130,24 @@ class CostModel:
     #: :class:`~repro.serve.executor.PoolExecutor` replaces it with the
     #: round trip it *measured* during warm-up on this host.
     pool_dispatch_overhead: float = 2.0e-3
+    #: chunk-parallel engine: seconds of synchronisation per round --
+    #: two task-barrier phases (hook, jump) plus the parent-side partial
+    #: combine dispatch.  A conservative placeholder; a running
+    #: :class:`~repro.serve.executor.PoolExecutor` replaces it with
+    #: twice the dispatch round trip it measured during warm-up.
+    parallel_round_sync: float = 4.0e-3
+    #: effective synchronous round count of the fastsv variant (the
+    #: fixpoint lands in a handful of rounds at dispatchable scales;
+    #: priced as a constant like ``contracting_levels``).
+    parallel_rounds: float = 5.0
+    #: per-vertex per-round cost of the parent-side partial combine,
+    #: paid once per live partial slab (so scaled by the worker count).
+    parallel_combine_node: float = 1.5e-9
+    #: kernel workers available to the chunk-parallel engine.  The
+    #: shipped default assumes none (serial hosts must never dispatch
+    #: to it); ``engine="auto"`` replaces it with the probed CPU count
+    #: and pool owners with their actual worker count.
+    parallel_workers: float = 1.0
     #: sharded out-of-core engine: seconds per undirected edge across
     #: partition IO, per-shard contraction and the boundary merge.
     sharded_edge: float = 7.5e-7
@@ -194,13 +214,50 @@ def predict_memory(
         n * model.sparse_bytes_per_node
         + 2 * m * model.sparse_bytes_per_edge
     )
+    workers = max(1, int(model.parallel_workers))
     return {
         "interpreter": cells * model.interpreter_bytes_per_cell,
         "vectorized": cells * model.dense_bytes_per_cell,
         "batched": cells * model.dense_bytes_per_cell * batch_size,
         "edgelist": sparse,
         "contracting": sparse,
+        # shared edge arrays + front/back label slabs + one private
+        # partial slab per worker, 8 bytes per int64 entry
+        "parallel": sparse + (workers + 2) * n * 8.0,
         "sharded": min(sparse, model.memory_budget),
+    }
+
+
+def parallel_verdict(
+    n: int, m: int, model: Optional[CostModel] = None
+) -> Dict[str, object]:
+    """The parallelism decision for one ``(n, m)`` graph, with inputs.
+
+    The chunk-parallel engine pays :attr:`CostModel.parallel_round_sync`
+    every synchronous round regardless of size, so it is only worth
+    dispatching when the round's *serial* scatter work would dominate
+    the barrier: the gate requires at least 2 kernel workers **and**
+    per-round serial seconds >= 2x the measured sync overhead.  Below
+    that, barriers eat the speedup and auto must stay serial (the
+    acceptance bar: small graphs never regress).
+    """
+    model = model or DEFAULT_COST_MODEL
+    workers = max(1, int(model.parallel_workers))
+    m_directed = 2 * m
+    serial_round = m_directed * model.scatter_edge + n * model.parallel_combine_node
+    per_round = (
+        model.parallel_round_sync
+        + m_directed * model.scatter_edge / workers
+        + n * model.parallel_combine_node * workers
+    )
+    amortizes = serial_round >= 2.0 * model.parallel_round_sync
+    return {
+        "workers": workers,
+        "per_round_serial_seconds": serial_round,
+        "per_round_sync_seconds": model.parallel_round_sync,
+        "amortizes_barriers": amortizes,
+        "worth_parallel": workers >= 2 and amortizes,
+        "predicted_seconds": model.parallel_rounds * per_round,
     }
 
 
@@ -264,6 +321,12 @@ def predict_costs(
         )
         if fits["contracting"] else float("inf")
     )
+    verdict = parallel_verdict(n, m, model=model)
+    costs["parallel"] = (
+        float(verdict["predicted_seconds"])  # type: ignore[arg-type]
+        if fits["parallel"] and bool(verdict["worth_parallel"])
+        else float("inf")
+    )
     # The out-of-core engine is always feasible: its resident set is
     # clamped to the budget by construction.  Its constants price the
     # disk round trips, so it only wins when nothing in-RAM fits.
@@ -315,6 +378,7 @@ def explain_choice(
             ),
         },
         "feasible": sorted(k for k, v in costs.items() if v != float("inf")),
+        "parallel": parallel_verdict(n, m, model=model),
         "choice": choose_engine(n, m, batch_size=batch_size, model=model),
     }
 
@@ -409,6 +473,10 @@ def calibrate(
         contracting_unit=contract,
         contracting_level_dispatch=c_dispatch,
         request_overhead=overhead,
+        # a host property rather than a timing, but calibration output
+        # should describe the machine it ran on (the cache is keyed by
+        # host_fingerprint() for the same reason)
+        parallel_workers=float(os.cpu_count() or 1),
     )
 
 
@@ -417,7 +485,25 @@ def calibrate(
 # ----------------------------------------------------------------------
 #: Bumped whenever the :class:`CostModel` schema changes incompatibly;
 #: cache files with a different version are silently ignored.
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """What the calibration constants were measured *on*.
+
+    A calibration file carried to a different machine -- or the same
+    image booted with a different core count -- would silently misprice
+    the pool and chunk-parallel dispatch terms, so the cache is keyed by
+    the facts those terms depend on: logical CPU count, architecture
+    and OS.
+    """
+    import platform
+
+    return {
+        "cpu_count": int(os.cpu_count() or 1),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
 
 
 def default_cache_path() -> Path:
@@ -444,6 +530,7 @@ def save_cost_model(
     payload = {
         "version": _CACHE_VERSION,
         "saved_at": time.time(),
+        "host": host_fingerprint(),
         "constants": asdict(model),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -456,8 +543,11 @@ def load_cost_model(
     """The :class:`CostModel` cached at ``path``, or ``None``.
 
     Returns ``None`` when the file is missing, unparsable, from a
-    different schema version, or holds non-numeric constants -- a stale
-    cache must never break startup, only trigger recalibration.
+    different schema version, measured on a different host (see
+    :func:`host_fingerprint` -- a cache carried to a different core
+    count must recalibrate, not misprice parallel dispatch), or holds
+    non-numeric constants -- a stale cache must never break startup,
+    only trigger recalibration.
     """
     path = Path(path) if path is not None else default_cache_path()
     try:
@@ -465,6 +555,8 @@ def load_cost_model(
     except (OSError, ValueError):
         return None
     if not isinstance(payload, dict) or payload.get("version") != _CACHE_VERSION:
+        return None
+    if payload.get("host") != host_fingerprint():
         return None
     constants = payload.get("constants")
     if not isinstance(constants, dict):

@@ -90,14 +90,18 @@ class _Task:
     """Picklable batch descriptor; the arrays stay in shared memory."""
 
     seq: int
-    kind: str                     # "dense" | "sparse" | "shard" | "ping"
+    kind: str   # "dense" | "sparse" | "shard" | "lt_hook" | "lt_jump" | "ping"
     out: Optional[SharedArrayRef] = None
     stack: Optional[SharedArrayRef] = None   # dense: (B, S, S) adjacency
     src: Optional[SharedArrayRef] = None     # sparse/shard: edge arrays
     dst: Optional[SharedArrayRef] = None
     n: int = 0                    # sparse/shard: global node count
-    engine: str = "contracting"
+    engine: str = "contracting"   # sparse/shard engine, or lt_hook variant
     sleep: float = 0.0            # ping: hold the worker busy (tests)
+    labels: Optional[SharedArrayRef] = None  # lt_*: round-start labels
+    lo: int = 0                   # lt_*: chunk bounds (edges / vertices)
+    hi: int = 0
+    seed: int = -1                # lt_hook: stochastic round seed
 
 
 # ----------------------------------------------------------------------
@@ -148,11 +152,27 @@ def _run_task(task: _Task, cache: Dict) -> int:
             task.n,
             _attach_view(cache, task.src),
             _attach_view(cache, task.dst),
+            engine=task.engine,
         )
         count = int(verts.size)
         out[0, :count] = verts
         out[1, :count] = reps
         return count
+    if task.kind == "lt_hook":
+        from repro.core.parallel_kernels import hook_partial
+
+        return hook_partial(
+            _attach_view(cache, task.labels),
+            _attach_view(cache, task.src),
+            _attach_view(cache, task.dst),
+            task.lo, task.hi, out,
+            variant=task.engine, seed=task.seed,
+        )
+    if task.kind == "lt_jump":
+        from repro.core.parallel_kernels import jump_chunk
+
+        return jump_chunk(_attach_view(cache, task.labels), out,
+                          task.lo, task.hi)
     graph = EdgeListGraph(
         n=task.n,
         src=_attach_view(cache, task.src),
@@ -162,6 +182,14 @@ def _run_task(task: _Task, cache: Dict) -> int:
         labels = connected_components_edgelist(graph).labels
     elif task.engine == "contracting":
         labels = connected_components_contracting(graph).labels
+    elif task.engine == "parallel":
+        # The chunk-parallel engine's serial path: a pool worker cannot
+        # fan out onto its own pool, so a sparse batch routed here runs
+        # the same kernels inline (the server drives the truly pooled
+        # variant from the parent via run_chunk_tasks).
+        from repro.hirschberg.parallel import connected_components_parallel
+
+        labels = connected_components_parallel(graph).labels
     else:
         raise ValueError(f"unknown sparse engine {task.engine!r}")
     out[...] = labels
@@ -618,14 +646,17 @@ class PoolExecutor:
         return self.solve_coalesced([graph], engine)[0]
 
     def solve_shard(
-        self, n: int, u: np.ndarray, v: np.ndarray
+        self, n: int, u: np.ndarray, v: np.ndarray,
+        engine: str = "contracting",
     ) -> Tuple[np.ndarray, np.ndarray]:
         """One out-of-core shard solve on a pool worker.
 
         The shard's endpoint arrays are written straight into recycled
         shared slabs (zero pickling -- only the :class:`_Task`
         descriptor crosses the pipe); the worker compacts the shard,
-        runs the contracting engine, and writes the frontier star pairs
+        runs the selected per-shard engine (``"contracting"`` or the
+        parallel engine's label-propagation kernels with
+        ``"parallel"``), and writes the frontier star pairs
         ``(vertex, representative)`` into the shared output slab.  The
         returned arrays are parent-owned copies, so the slabs recycle
         immediately.  Thread-safe: the sharded engine drives this from
@@ -645,7 +676,7 @@ class PoolExecutor:
             dst.array[...] = v
             task = _Task(
                 seq=seq, kind="shard", out=out.ref, src=src.ref,
-                dst=dst.ref, n=n,
+                dst=dst.ref, n=n, engine=engine,
             )
             return task, [src, dst, out]
 
@@ -655,6 +686,108 @@ class PoolExecutor:
             return out[0, :count].copy(), out[1, :count].copy()
 
         return self._run(build, collect)
+
+    # -- chunk-parallel label rounds (repro.hirschberg.parallel) ---------
+    def run_chunk_tasks(self, builds: Sequence) -> List[int]:
+        """Barrier-run one task per chunk over caller-owned segments.
+
+        Unlike :meth:`_run`, the shared arrays are owned by the *caller*
+        for its whole solve (the parallel engine creates its label and
+        partial slabs once and reuses them every round), so nothing is
+        acquired, released or discarded here, and the in-flight
+        semaphore is not taken: the chunk count is bounded by the
+        partition width (~ worker count) and a label round must never
+        deadlock behind the server's own batch traffic holding permits.
+
+        A task whose worker dies is resubmitted once on a fresh worker --
+        safe because the label kernels are idempotent per chunk (hook
+        reinitialises its private slab from the sentinel, jump rewrites
+        exactly its slice from the untouched front labels).  **All**
+        tasks are awaited before any failure is raised, so when the
+        caller reacts no live worker still holds a chunk of the round.
+
+        Returns the per-chunk result tokens, in ``builds`` order.
+        """
+        pendings = [self._submit(build)[0] for build in builds]
+        tokens: List[int] = [0] * len(builds)
+        errors: List[str] = []
+        deaths: List[str] = []
+        for i, pending in enumerate(pendings):
+            kind, payload = self._finish(pending)
+            if kind == "died":
+                retry, _ = self._submit(builds[i])
+                kind, payload = self._finish(retry)
+                if kind == "died":
+                    deaths.append(f"chunk {i}: {payload}")
+                    continue
+            if kind == "error":
+                errors.append(f"chunk {i}: {payload}")
+            else:
+                tokens[i] = int(payload)
+        if errors:
+            raise RuntimeError(f"pool worker error: {'; '.join(errors)}")
+        if deaths:
+            raise WorkerDied(
+                "pool worker died twice running a label round: "
+                + "; ".join(deaths)
+            )
+        return tokens
+
+    def label_hook_round(
+        self,
+        labels: SharedArrayRef,
+        src: SharedArrayRef,
+        dst: SharedArrayRef,
+        partials: Sequence[SharedArrayRef],
+        bounds: Sequence[int],
+        variant: str = "fastsv",
+        seed: int = -1,
+    ) -> List[int]:
+        """One chunk-parallel hook phase: chunk ``i`` scatter-MINs the
+        edge range ``bounds[i]:bounds[i+1]``'s label proposals into its
+        private slab ``partials[i]`` (``seed=-1`` = deterministic).
+        Returns the per-chunk proposal counts."""
+
+        def make(i: int):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+
+            def build(seq: int) -> Tuple[_Task, List[Slab]]:
+                task = _Task(
+                    seq=seq, kind="lt_hook", out=partials[i], labels=labels,
+                    src=src, dst=dst, lo=lo, hi=hi, engine=variant, seed=seed,
+                )
+                return task, []
+
+            return build
+
+        return self.run_chunk_tasks([make(i) for i in range(len(partials))])
+
+    def label_jump_round(
+        self,
+        front: SharedArrayRef,
+        back: SharedArrayRef,
+        bounds: Sequence[int],
+    ) -> List[int]:
+        """One chunk-parallel pointer-jump phase: chunk ``i`` writes
+        exactly ``back[bounds[i]:bounds[i+1]]`` from the shared ``front``
+        labels.  Returns the per-chunk changed counts (all zero at the
+        fixpoint)."""
+
+        def make(i: int):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+
+            def build(seq: int) -> Tuple[_Task, List[Slab]]:
+                task = _Task(
+                    seq=seq, kind="lt_jump", out=back, labels=front,
+                    lo=lo, hi=hi,
+                )
+                return task, []
+
+            return build
+
+        return self.run_chunk_tasks(
+            [make(i) for i in range(len(bounds) - 1)]
+        )
 
     # -- parent-side service threads ------------------------------------
     def _collector_loop(self) -> None:

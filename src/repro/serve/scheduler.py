@@ -345,6 +345,11 @@ class BatchPlanner:
         else:
             for name in ("edgelist", "contracting"):
                 priced[name] = costs[name] + overhead
+            # chunk-parallel label propagation: predict_costs() already
+            # prices it infinite unless the parallel verdict says the
+            # per-round serial work amortises the pool barriers
+            if costs.get("parallel", float("inf")) != float("inf"):
+                priced["parallel"] = costs["parallel"] + overhead
         if key.kind == "dense":
             priced["batched"] = costs["batched"] + amortized
             for name in ("vectorized", "interpreter"):

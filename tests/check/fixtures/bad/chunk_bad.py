@@ -1,0 +1,22 @@
+"""Owner-write violations in chunk workers (lint fixture, never imported)."""
+
+
+def jump_overlap(front, back, lo, hi):
+    block = front[lo:hi]
+    hop = front[block]
+    back[lo:hi + 1] = np.minimum(block, hop)  # SHM204: overlaps next chunk
+    return int(hop.size)
+
+
+def jump_from_zero(front, back, lo, hi):
+    back[0:hi] = front[0:hi]  # SHM204: rewrites every earlier chunk's rows
+    rest = front[lo:hi]
+    return int(rest.size)
+
+
+def hook_into_shared(f, src, dst, lo, hi, out):
+    out[lo:hi] = f[lo:hi]  # exact slice: marks ``out`` as partitioned
+    u = src[lo:hi]
+    v = dst[lo:hi]
+    np.minimum.at(out, f[u], f[v])  # SHM204: scatter ghost-writes peers' rows
+    return int(u.size)

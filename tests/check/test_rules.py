@@ -27,6 +27,8 @@ CASES = [
     ("bad/shm_bad.py", {"SHM201", "SHM202", "LOCK301", "FORK302"}),
     ("good/memmap_ok.py", set()),
     ("bad/memmap_bad.py", {"SHM203"}),
+    ("good/chunk_ok.py", set()),
+    ("bad/chunk_bad.py", {"SHM204"}),
 ]
 
 
@@ -70,6 +72,27 @@ def test_crow001_counts_each_write(engine):
     findings, _ = engine.check_source(path.as_posix(), path.read_text())
     assert sum(1 for f in findings if f.rule_id == "CROW001") == 2
     assert sum(1 for f in findings if f.rule_id == "CROW002") == 2
+
+
+def test_shm204_counts_each_offslice_write(engine):
+    path = FIXTURES / "bad/chunk_bad.py"
+    findings, _ = engine.check_source(path.as_posix(), path.read_text())
+    assert sum(1 for f in findings if f.rule_id == "SHM204") == 3
+    # the scatter finding names the remedy
+    scatter = [f for f in findings if "scatter" in f.message]
+    assert len(scatter) == 1 and "private per-worker slab" in scatter[0].message
+
+
+def test_shm204_ignores_non_worker_lo_hi(engine):
+    """lo/hi as plain array params (not chunk bounds) never trip."""
+    source = (
+        "def _canonical_pairs(n, lo, hi):\n"
+        "    packed = lo * n + hi\n"
+        "    packed[0] = 0\n"
+        "    return packed\n"
+    )
+    findings, _ = engine.check_source("pkg/edgelist.py", source)
+    assert findings == []
 
 
 def test_rule_subset_selection():

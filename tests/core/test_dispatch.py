@@ -261,16 +261,44 @@ class TestCostModelCache:
     def test_load_ignores_unknown_constants(self, tmp_path):
         import json
 
-        from repro.core.dispatch import load_cost_model
+        from repro.core.dispatch import (
+            _CACHE_VERSION,
+            host_fingerprint,
+            load_cost_model,
+        )
 
         path = tmp_path / "cm.json"
         path.write_text(json.dumps({
-            "version": 1,
+            "version": _CACHE_VERSION,
+            "host": host_fingerprint(),
             "constants": {"request_overhead": 7.0, "not_a_field": 1.0},
         }))
         loaded = load_cost_model(path)
         assert loaded is not None
         assert loaded.request_overhead == 7.0
+
+    def test_load_foreign_host_returns_none(self, tmp_path):
+        """Satellite: a calibration cache carried to a different core
+        count (or arch) must recalibrate, not misprice dispatch."""
+        import json
+
+        from repro.core.dispatch import (
+            host_fingerprint,
+            load_cost_model,
+            save_cost_model,
+        )
+
+        path = save_cost_model(CostModel(), tmp_path / "cm.json")
+        assert load_cost_model(path) is not None
+        payload = json.loads(path.read_text())
+        assert payload["host"] == host_fingerprint()
+        payload["host"]["cpu_count"] = (payload["host"]["cpu_count"] or 0) + 64
+        path.write_text(json.dumps(payload))
+        assert load_cost_model(path) is None
+        # and a cache missing the host stamp entirely is equally stale
+        del payload["host"]
+        path.write_text(json.dumps(payload))
+        assert load_cost_model(path) is None
 
     def test_cached_calibrates_once(self, tmp_path, monkeypatch):
         from repro.core.dispatch import cached_cost_model
@@ -294,3 +322,65 @@ class TestCostModelCache:
     def test_calibrate_measures_request_overhead(self):
         model = calibrate(seconds_budget=0.05)
         assert model.request_overhead > 0
+
+
+class TestParallelDispatch:
+    """The parallelism dimension: chunk-parallel label propagation is
+    offered only when the per-round serial work amortises the measured
+    barrier cost, and never on one core."""
+
+    MULTI = CostModel(parallel_workers=4.0, parallel_round_sync=1e-4)
+
+    def test_one_core_never_prices_parallel(self):
+        costs = predict_costs(1_000_000, 5_000_000, model=CostModel())
+        assert costs["parallel"] == float("inf")
+
+    def test_big_sparse_prefers_parallel_on_many_cores(self):
+        costs = predict_costs(1_000_000, 5_000_000, model=self.MULTI)
+        assert costs["parallel"] < costs["contracting"]
+        assert choose_engine(1_000_000, 5_000_000, model=self.MULTI) \
+            == "parallel"
+
+    def test_small_graphs_never_route_parallel(self):
+        """Acceptance bar: auto never regresses small graphs."""
+        for n, m in ((10, 20), (200, 400), (2_000, 3_000)):
+            assert choose_engine(n, m, model=self.MULTI) != "parallel"
+
+    def test_sync_dominated_rounds_stay_serial(self):
+        slow_barrier = CostModel(
+            parallel_workers=8.0, parallel_round_sync=10.0
+        )
+        costs = predict_costs(1_000_000, 5_000_000, model=slow_barrier)
+        assert costs["parallel"] == float("inf")
+
+    def test_explain_choice_reports_the_verdict(self):
+        exp = explain_choice(1_000_000, 5_000_000, model=self.MULTI)
+        verdict = exp["parallel"]
+        assert verdict["workers"] == 4
+        assert verdict["worth_parallel"] and verdict["amortizes_barriers"]
+        assert verdict["per_round_serial_seconds"] \
+            >= 2.0 * verdict["per_round_sync_seconds"]
+        tiny = explain_choice(100, 200, model=self.MULTI)["parallel"]
+        assert not tiny["amortizes_barriers"]
+        assert not tiny["worth_parallel"]
+
+    def test_gate_is_the_two_x_rule(self):
+        from repro.core.dispatch import parallel_verdict
+
+        v = parallel_verdict(50_000, 100_000, model=self.MULTI)
+        expected = (
+            v["per_round_serial_seconds"] >= 2.0 * v["per_round_sync_seconds"]
+        )
+        assert v["amortizes_barriers"] == expected
+        solo = parallel_verdict(
+            50_000, 100_000,
+            model=CostModel(parallel_workers=1.0, parallel_round_sync=1e-9),
+        )
+        assert not solo["worth_parallel"]  # one worker never "parallel"
+
+    def test_forced_parallel_engine_matches_auto(self):
+        g = random_edge_list(3_000, 8_000, seed=77)
+        auto = connected_components(g)
+        forced = connected_components(g, engine="parallel")
+        assert forced.method == "parallel"
+        assert np.array_equal(auto.labels, forced.labels)
