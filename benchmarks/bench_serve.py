@@ -1,5 +1,7 @@
-"""E23/E24 (harness) -- serve throughput: micro-batching server vs naive
-loop, plus the E24 executor sections (pool vs inline, cache-hit vs cold).
+"""E23/E24/E27 (harness) -- serve throughput: micro-batching server vs
+naive loop, the E24 executor sections (pool vs inline, cache-hit vs
+cold), and the E27 wire section (binary socket gateway at 1000
+concurrent connections).
 
 Drives the :mod:`repro.serve` request server with the mixed open-loop
 workload from the acceptance criterion (sizes 8..256 drawn with a
@@ -38,10 +40,26 @@ Two E24 sections ride along with every report:
   solve -- is checked against the union-find oracle.  The >=1.8x bar
   holds on any host: a hit skips the solve entirely.
 
+The E27 **wire** section measures the asyncio socket gateway
+(:mod:`repro.serve.gateway`): the open-loop Poisson workload travels the
+zero-copy binary protocol over 1000 persistent loopback connections,
+reporting client-side end-to-end latency percentiles (request frame
+written to final label chunk read) and sustained throughput, with every
+label vector of the first round oracle-checked.  An **overhead**
+subsection times sequential per-request round trips -- wire over one
+warm connection vs the in-process ``submit().response()`` path against
+the identical server config -- and enforces the <=2x acceptance bar on
+the standard serving config (2 ms batching window, which both sides
+pay).  The same round trips with the batching window off are recorded
+as ``overhead_unbatched`` but not enforced: that rung isolates the raw
+gateway hop (framing + asyncio + loopback TCP), which on a 1-core host
+costs a few hundred microseconds against a ~150 us in-process path.
+
 The numbers are written as machine-readable JSON (``BENCH_serve.json``
 at the repo root when run as a script); the committed copy doubles as
 CI's performance baseline via ``--check`` (fail when any overlapping
-rung's served requests/sec drops more than 3x below it).
+rung's served requests/sec -- or the wire section's sustained
+requests/sec -- drops more than 3x below it).
 
 Run standalone (CI runs the smoke variant)::
 
@@ -75,11 +93,19 @@ import numpy as np
 from repro.graphs.components import components_union_find
 from repro.graphs.union_find import UnionFind
 from repro.hirschberg.edgelist import EdgeListGraph
+from repro.serve.gateway import GatewayHandle
 from repro.serve.loadgen import (
     LoadSpec,
     make_workload,
     naive_seconds,
     run_open_loop,
+    run_socket_open_loop,
+)
+from repro.serve.protocol import (
+    RESPONSE_HEADER_SIZE,
+    KIND_LABELS,
+    decode_response_header,
+    encode_graph_request,
 )
 from repro.serve.server import Server, ServerConfig
 
@@ -108,6 +134,17 @@ TARGET_SPEEDUP = 3.0
 POOL_TARGET_SPEEDUP = 2.5
 POOL_MIN_CORES = 4
 CACHE_TARGET_SPEEDUP = 1.8
+
+#: E27: concurrent persistent connections of the wire rung (shared by
+#: smoke and full so CI's smoke ``--check`` overlaps the committed
+#: baseline), requests offered over them, and the offered Poisson rate.
+WIRE_CONNECTIONS = 1000
+WIRE_COUNT = 2000
+WIRE_OFFERED_RPS = 4000.0
+
+#: E27 acceptance bar: sequential wire round trip <= 2x the in-process
+#: ``submit().response()`` round trip on the standard serving config.
+WIRE_OVERHEAD_TARGET = 2.0
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
@@ -314,12 +351,167 @@ def run_cache_section(rounds: int, count: int = 24, seed: int = 2) -> dict:
     }
 
 
-def build_report(points: Sequence[Tuple[int, int]], rounds: int) -> dict:
+def _roundtrip_overhead(max_wait: float, graphs, frames,
+                        rounds: int) -> dict:
+    """Median per-request seconds, in-process vs wire, one config.
+
+    Sequential round trips: the in-process side is ``submit()`` +
+    ``response()``; the wire side is one warm persistent connection,
+    frame written, full response read.  Interleaved per round so drift
+    cancels.
+    """
+    import socket
+
+    inproc_s: List[float] = []
+    wire_s: List[float] = []
+    with Server(ServerConfig(workers=1, max_wait=max_wait)) as server:
+        with GatewayHandle(server) as gateway:
+            server.submit(graphs[0]).response(timeout=30.0)  # warm
+            sock = socket.create_connection(gateway.address)
+            stream = sock.makefile("rwb")
+
+            def wire_roundtrip(frame: bytes) -> None:
+                stream.write(frame)
+                stream.flush()
+                while True:
+                    header = decode_response_header(
+                        stream.read(RESPONSE_HEADER_SIZE))
+                    stream.read(header.payload_bytes)
+                    if header.kind != KIND_LABELS or header.final:
+                        return
+
+            wire_roundtrip(frames[0])  # warm
+            for _ in range(rounds):
+                start = time.perf_counter()
+                for g in graphs:
+                    server.submit(g).response(timeout=30.0)
+                inproc_s.append(
+                    (time.perf_counter() - start) / len(graphs))
+                start = time.perf_counter()
+                for frame in frames:
+                    wire_roundtrip(frame)
+                wire_s.append((time.perf_counter() - start) / len(frames))
+            sock.close()
+    inproc = statistics.median(inproc_s)
+    wire = statistics.median(wire_s)
+    return {
+        "requests": len(graphs),
+        "rounds": rounds,
+        "max_wait": max_wait,
+        "inproc_ms_per_request": round(inproc * 1e3, 4),
+        "wire_ms_per_request": round(wire * 1e3, 4),
+        "ratio": round(wire / inproc, 4),
+    }
+
+
+def run_wire_section(rounds: int, connections: int = WIRE_CONNECTIONS,
+                     count: int = WIRE_COUNT,
+                     offered_rps: float = WIRE_OFFERED_RPS,
+                     seed: int = 9) -> dict:
+    """E27: the binary socket gateway under open-loop load.
+
+    ``count`` requests arrive on a Poisson process at ``offered_rps``,
+    round-robined over ``connections`` persistent loopback connections
+    (pipelined -- every connection carries multiple in-flight
+    requests).  Client-side end-to-end latency (frame written to final
+    label chunk read) and sustained throughput are the reported
+    numbers; the first round's label vectors are all oracle-checked.
+    The overhead subsections compare sequential per-request round
+    trips against the in-process submit path (see module docstring).
+    """
+    spec = LoadSpec(count=count, sizes=(8, 16, 32, 64, 128, 256),
+                    size_skew=1.0, edge_factor=2.0, dense_fraction=0.0,
+                    seed=seed)
+    graphs = make_workload(spec)
+    config = ServerConfig(workers=2, max_wait=0.002)
+
+    seconds_r: List[float] = []
+    p50_r: List[float] = []
+    p99_r: List[float] = []
+    ok = mismatches = 0
+    wire_snapshot = None
+    for rnd in range(rounds):
+        verify = rnd == 0
+        with Server(config) as server:
+            with GatewayHandle(server) as gateway:
+                start = time.perf_counter()
+                results = run_socket_open_loop(
+                    gateway.address, graphs, offered_rps=offered_rps,
+                    connections=connections, seed=seed,
+                    collect_labels=verify,
+                )
+                seconds = time.perf_counter() - start
+                snapshot = server.metrics_snapshot()
+        answered = [r for r in results if r is not None]
+        oks = [r for r in answered if r.ok]
+        assert len(oks) == count, (
+            f"wire round {rnd}: {len(oks)}/{count} ok "
+            f"({len(answered)} answered)"
+        )
+        if verify:
+            ok = len(oks)
+            for r in oks:
+                if not np.array_equal(r.labels,
+                                      _oracle(graphs[r.request_id])):
+                    mismatches += 1
+            assert mismatches == 0, (
+                f"{mismatches} wire label vectors diverged from union-find"
+            )
+            wire_snapshot = snapshot["wire"]
+        lat_ms = np.array([r.latency_seconds for r in oks]) * 1e3
+        seconds_r.append(seconds)
+        p50_r.append(float(np.percentile(lat_ms, 50)))
+        p99_r.append(float(np.percentile(lat_ms, 99)))
+
+    overhead_graphs = make_workload(LoadSpec(
+        count=min(300, count), sizes=(8, 16, 32, 64), seed=seed + 1))
+    overhead_frames = [encode_graph_request(g, request_id=i)
+                       for i, g in enumerate(overhead_graphs)]
+    overhead = _roundtrip_overhead(0.002, overhead_graphs,
+                                   overhead_frames, rounds)
+    overhead["target_ratio"] = WIRE_OVERHEAD_TARGET
+    overhead["target_enforced"] = True
+    # the raw gateway hop with the batching window off: recorded for
+    # honesty, not enforced -- it isolates framing + asyncio + TCP
+    # against a ~0.15 ms in-process path
+    unbatched = _roundtrip_overhead(0.0, overhead_graphs,
+                                    overhead_frames, rounds)
+    unbatched["target_enforced"] = False
+
+    seconds_med = statistics.median(seconds_r)
+    return {
+        "connections": connections,
+        "count": count,
+        "offered_rps": offered_rps,
+        "rounds": rounds,
+        "seed": seed,
+        "seconds": seconds_med,
+        "sustained_rps": count / seconds_med,
+        "p50_ms": round(statistics.median(p50_r), 4),
+        "p99_ms": round(statistics.median(p99_r), 4),
+        "ok": ok,
+        "label_mismatches": mismatches,
+        "bytes_in": wire_snapshot["bytes_in"],
+        "bytes_out": wire_snapshot["bytes_out"],
+        "accept_to_admit_p99_ms":
+            wire_snapshot["accept_to_admit"]["p99_ms"],
+        "overhead": overhead,
+        "overhead_unbatched": unbatched,
+    }
+
+
+def build_report(points: Sequence[Tuple[int, int]], rounds: int,
+                 wire_connections: int = WIRE_CONNECTIONS,
+                 wire_count: int = WIRE_COUNT,
+                 wire_offered_rps: float = WIRE_OFFERED_RPS) -> dict:
     """The full machine-readable benchmark document."""
     results = [run_point(count, seed, rounds) for count, seed in points]
     largest = max(results, key=lambda r: r["count"])
     pool = run_pool_section(rounds)
     cache = run_cache_section(rounds)
+    wire = run_wire_section(rounds, connections=wire_connections,
+                            count=wire_count,
+                            offered_rps=wire_offered_rps)
     return {
         "benchmark": "serve",
         "config": {
@@ -332,6 +524,7 @@ def build_report(points: Sequence[Tuple[int, int]], rounds: int) -> dict:
         "overload": run_overload(),
         "pool": pool,
         "cache": cache,
+        "wire": wire,
         "speedups": {
             "serve_vs_naive_at_largest": largest["speedup"],
             "pool_vs_inline": pool["speedup"],
@@ -343,7 +536,7 @@ def build_report(points: Sequence[Tuple[int, int]], rounds: int) -> dict:
 def validate_report(doc: dict) -> None:
     """Raise ``ValueError`` unless ``doc`` is a well-formed report."""
     for key in ("benchmark", "config", "results", "overload", "pool",
-                "cache", "speedups"):
+                "cache", "wire", "speedups"):
         if key not in doc:
             raise ValueError(f"report missing key {key!r}")
     if doc["benchmark"] != "serve":
@@ -380,6 +573,22 @@ def validate_report(doc: dict) -> None:
             raise ValueError(f"bad cache.{field}={value!r}")
     if not isinstance(cache.get("hits"), int) or cache["hits"] <= 0:
         raise ValueError("cache section recorded no hits")
+    wire = doc["wire"]
+    for field in ("connections", "count", "sustained_rps",
+                  "p50_ms", "p99_ms"):
+        value = wire.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"bad wire.{field}={value!r}")
+    if wire.get("label_mismatches") != 0:
+        raise ValueError(
+            f"wire section carries label mismatches: "
+            f"{wire.get('label_mismatches')!r}"
+        )
+    overhead = wire.get("overhead", {})
+    for field in ("inproc_ms_per_request", "wire_ms_per_request", "ratio"):
+        value = overhead.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"bad wire.overhead.{field}={value!r}")
 
 
 def check_against_baseline(doc: dict, baseline: dict,
@@ -407,6 +616,17 @@ def check_against_baseline(doc: dict, baseline: dict,
             )
     if not overlap:
         problems.append("no overlapping (count, seed) rungs with baseline")
+    wire, base_wire = doc.get("wire"), baseline.get("wire")
+    if wire and base_wire and (
+        (wire["connections"], wire["count"])
+        == (base_wire["connections"], base_wire["count"])
+    ):
+        if wire["sustained_rps"] * factor < base_wire["sustained_rps"]:
+            problems.append(
+                f"wire: {wire['sustained_rps']:.0f} req/s sustained is "
+                f"more than {factor:.0f}x below baseline "
+                f"{base_wire['sustained_rps']:.0f}"
+            )
     return problems
 
 
@@ -448,6 +668,20 @@ def render(doc: dict) -> str:
         f"{c['cold_seconds'] * 1e3:.1f} ms -> "
         f"{c['cached_seconds'] * 1e3:.1f} ms, {c['speedup']:.2f}x "
         f"(bar {c['target_speedup']:.1f}x)"
+    )
+    w = doc["wire"]
+    lines.append(
+        f"wire ({w['count']} requests over {w['connections']} "
+        f"connections at {w['offered_rps']:.0f} rps offered): "
+        f"{w['sustained_rps']:.0f} req/s sustained, "
+        f"p50 {w['p50_ms']} ms, p99 {w['p99_ms']} ms end to end"
+    )
+    oh, ohu = w["overhead"], w["overhead_unbatched"]
+    lines.append(
+        f"wire overhead per small request: {oh['wire_ms_per_request']} ms "
+        f"vs {oh['inproc_ms_per_request']} ms in-process = "
+        f"{oh['ratio']:.2f}x (bar {oh['target_ratio']:.1f}x; raw hop "
+        f"with batching off: {ohu['ratio']:.2f}x, recorded only)"
     )
     for name, value in doc["speedups"].items():
         lines.append(f"{name}: {value:.2f}x")
@@ -496,6 +730,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"below the {CACHE_TARGET_SPEEDUP:.1f}x bar",
                   file=sys.stderr)
             return 1
+        overhead = doc["wire"]["overhead"]
+        if overhead["ratio"] > WIRE_OVERHEAD_TARGET:
+            print(f"error: wire overhead {overhead['ratio']:.2f}x is "
+                  f"above the {WIRE_OVERHEAD_TARGET:.1f}x bar",
+                  file=sys.stderr)
+            return 1
     if args.check is not None:
         baseline = json.loads(args.check.read_text())
         problems = check_against_baseline(doc, baseline)
@@ -511,9 +751,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 # pytest entry points
 # ----------------------------------------------------------------------
 
+#: Small wire rung for the pytest entry points: the report shape is
+#: identical, only the scale differs (tier-1 must stay fast).
+_TEST_WIRE = {"wire_connections": 16, "wire_count": 48,
+              "wire_offered_rps": 2000.0}
+
+
 class TestServe:
     def test_report(self, record_report):
-        doc = build_report([(40, 1)], rounds=1)
+        doc = build_report([(40, 1)], rounds=1, **_TEST_WIRE)
         validate_report(doc)
         record_report("serve", render(doc))
         from benchmarks.conftest import RESULTS_DIR
@@ -523,7 +769,7 @@ class TestServe:
         assert json.loads(path.read_text())["benchmark"] == "serve"
 
     def test_validate_rejects_malformed(self):
-        doc = build_report([(20, 1)], rounds=1)
+        doc = build_report([(20, 1)], rounds=1, **_TEST_WIRE)
         bad = dict(doc)
         del bad["overload"]
         try:
@@ -534,7 +780,7 @@ class TestServe:
             raise AssertionError("validate_report accepted a malformed doc")
 
     def test_check_guard_catches_regression(self):
-        doc = build_report([(20, 1)], rounds=1)
+        doc = build_report([(20, 1)], rounds=1, **_TEST_WIRE)
         assert check_against_baseline(doc, doc) == []
         slowed = json.loads(json.dumps(doc))
         for r in slowed["results"]:
@@ -542,8 +788,15 @@ class TestServe:
         assert check_against_baseline(slowed, doc)
 
     def test_check_guard_requires_overlap(self):
-        doc = build_report([(20, 1)], rounds=1)
+        doc = build_report([(20, 1)], rounds=1, **_TEST_WIRE)
         assert check_against_baseline(doc, {"results": []})
+
+    def test_check_guard_catches_wire_regression(self):
+        doc = build_report([(20, 1)], rounds=1, **_TEST_WIRE)
+        slowed = json.loads(json.dumps(doc))
+        slowed["wire"]["sustained_rps"] /= 10.0
+        problems = check_against_baseline(slowed, doc)
+        assert any("wire" in p for p in problems)
 
 
 class TestServeBenchmarks:

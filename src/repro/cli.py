@@ -20,11 +20,19 @@ Installed as ``python -m repro`` (see ``__main__.py``). Sub-commands:
 ``sparse-sweep``
     The sparse-scale counterpart: random edge lists shared with worker
     processes via zero-copy shared memory.
+``serve``
+    Run the request server behind the asyncio socket gateway
+    (``--listen HOST:PORT``): binary wire protocol, JSON lines and a
+    small HTTP surface on one port.  SIGTERM/SIGINT drain before
+    stopping, bounded by ``--drain-timeout``.
 ``serve-bench``
     Drive the micro-batching request server with an open- or closed-loop
     workload and print throughput, occupancy, tail latency and the
     shed/deadline counters (optionally against the naive sequential
-    baseline).
+    baseline).  With ``--listen`` the same workload travels the binary
+    wire protocol over ``--connections`` persistent loopback sockets
+    through an in-process gateway, labels are verified against the
+    oracle, and the report adds client-side wire latency percentiles.
 ``reproduce``
     Run the acceptance harness: a quick PASS/FAIL verdict for every
     experiment E1-E20.
@@ -52,10 +60,13 @@ Examples::
     python -m repro closure --n 6 --edges 0-1,1-2,4-5 --query 0-2
     python -m repro sweep --sizes 8,16 --engines vectorized,unionfind
     python -m repro sparse-sweep --sizes 10000,50000 --jobs 4
+    python -m repro serve --listen 127.0.0.1:7421 --workers 2
+    python -m repro serve --listen 0.0.0.0:7421 --cache-bytes 64M
     python -m repro serve-bench --count 200 --baseline
     python -m repro serve-bench --rps 2000 --deadline 0.05 --json serve.json
     python -m repro serve-bench --executor pool --process-workers 2
     python -m repro serve-bench --cache-bytes 1048576 --duplicate-fraction 0.5
+    python -m repro serve-bench --listen --connections 1000 --rps 4000
     python -m repro reproduce [--only E1,E6]
 """
 
@@ -289,15 +300,81 @@ def _cmd_sparse_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(spec: str) -> tuple:
+    """Parse ``"HOST:PORT"`` (or ``":PORT"`` for all interfaces)."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        raise ValueError(
+            f"malformed listen address {spec!r}; expected HOST:PORT"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"malformed port in listen address {spec!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range in listen address {spec!r}")
+    return (host or "0.0.0.0", port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.gateway import GatewayConfig, run_gateway
+    from repro.serve.server import Server, ServerConfig
+
+    host, port = _parse_listen(args.listen)
+    config = ServerConfig(
+        workers=args.workers,
+        max_wait=args.max_wait,
+        max_queue=args.max_queue,
+        admission=args.admission,
+        calibration=args.calibration,
+        executor=args.executor,
+        process_workers=args.process_workers,
+        cache_bytes=(_parse_bytes(args.cache_bytes)
+                     if args.cache_bytes else 0),
+        cache_verify=args.cache_verify,
+    )
+    gw_config = GatewayConfig(
+        host=host,
+        port=port,
+        max_payload_bytes=_parse_bytes(args.max_payload),
+        chunk_labels=args.chunk_labels,
+        default_deadline=args.deadline if args.deadline > 0 else None,
+        drain_timeout=args.drain_timeout,
+    )
+
+    def announce(bound_host: str, bound_port: int) -> None:
+        print(f"serving on {bound_host}:{bound_port} "
+              f"(binary wire protocol + JSON lines + HTTP)", flush=True)
+
+    with Server(config) as server:
+        drained = run_gateway(server, gw_config, announce=announce)
+    if drained:
+        print("drained and stopped cleanly")
+        return 0
+    print(f"error: drain exceeded {args.drain_timeout:g}s; "
+          f"pending requests were cancelled", file=sys.stderr)
+    return 1
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve.loadgen import (
         LoadSpec,
         make_workload,
         naive_seconds,
+        oracle_labels,
         run_closed_loop,
         run_open_loop,
+        run_socket_closed_loop,
+        run_socket_open_loop,
     )
     from repro.serve.server import Server, ServerConfig
+
+    if args.listen and args.dense_fraction:
+        print("error: --listen carries edge lists only; "
+              "use --dense-fraction 0", file=sys.stderr)
+        return 2
 
     spec = LoadSpec(
         count=args.count,
@@ -331,19 +408,42 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         shm_report = stack.enter_context(shm_sanitizer(strict=False))
     else:
         stack = None
+    wire_results = None
     try:
         with Server(config) as server:
-            start = time.perf_counter()
-            if args.rps > 0:
-                handles = run_open_loop(server, graphs, offered_rps=args.rps,
-                                        deadline=deadline, seed=spec.seed)
+            if args.listen:
+                from repro.serve.gateway import GatewayHandle
+
+                with GatewayHandle(server) as gateway:
+                    start = time.perf_counter()
+                    if args.rps > 0:
+                        wire_results = run_socket_open_loop(
+                            gateway.address, graphs, offered_rps=args.rps,
+                            connections=args.connections, deadline=deadline,
+                            seed=spec.seed,
+                            settle_timeout=args.wait_timeout,
+                        )
+                    else:
+                        wire_results = run_socket_closed_loop(
+                            gateway.address, graphs,
+                            connections=args.connections, deadline=deadline,
+                        )
+                    served = time.perf_counter() - start
+                    snapshot = server.metrics_snapshot()
             else:
-                handles = run_closed_loop(server, graphs,
-                                          concurrency=args.concurrency,
-                                          deadline=deadline)
-            responses = [h.response(timeout=args.wait_timeout) for h in handles]
-            served = time.perf_counter() - start
-            snapshot = server.metrics_snapshot()
+                start = time.perf_counter()
+                if args.rps > 0:
+                    handles = run_open_loop(server, graphs,
+                                            offered_rps=args.rps,
+                                            deadline=deadline, seed=spec.seed)
+                else:
+                    handles = run_closed_loop(server, graphs,
+                                              concurrency=args.concurrency,
+                                              deadline=deadline)
+                responses = [h.response(timeout=args.wait_timeout)
+                             for h in handles]
+                served = time.perf_counter() - start
+                snapshot = server.metrics_snapshot()
     finally:
         if stack is not None:
             stack.close()
@@ -357,7 +457,40 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
 
-    ok = sum(r.ok for r in responses)
+    wire_client = None
+    mismatches = 0
+    if wire_results is not None:
+        total = len(wire_results)
+        answered = [r for r in wire_results if r is not None]
+        oks = [r for r in answered if r.ok]
+        for r in oks:
+            if not np.array_equal(r.labels, oracle_labels(
+                    graphs[r.request_id])):
+                mismatches += 1
+        ok = len(oks) - mismatches
+        lat_ms = np.array([r.latency_seconds for r in oks]) * 1e3 \
+            if oks else np.array([0.0])
+        wire_client = {
+            "connections": args.connections,
+            "answered": len(answered),
+            "ok": len(oks),
+            "label_mismatches": mismatches,
+            "p50_ms": round(float(np.percentile(lat_ms, 50)), 4),
+            "p99_ms": round(float(np.percentile(lat_ms, 99)), 4),
+            "mean_ms": round(float(lat_ms.mean()), 4),
+        }
+        print(f"wire: {len(oks)}/{total} ok over {args.connections} "
+              f"connection(s) in {served * 1e3:.1f} ms "
+              f"({total / served:.0f} rps offered-side)")
+        print(f"wire latency ms: p50 {wire_client['p50_ms']}, "
+              f"p99 {wire_client['p99_ms']} "
+              f"(client-side, end to end)")
+        if mismatches:
+            print(f"error: {mismatches} label vector(s) diverged from "
+                  f"the oracle", file=sys.stderr)
+        responses = answered  # counted below as the served set
+    else:
+        ok = sum(r.ok for r in responses)
     print(f"served {ok}/{len(responses)} ok in {served * 1e3:.1f} ms "
           f"({len(responses) / served:.0f} rps)")
     if naive is not None:
@@ -387,15 +520,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
         payload = dict(snapshot)
         payload["bench"] = {
-            "count": len(responses),
+            "count": len(graphs),
             "ok": ok,
             "served_seconds": served,
             "naive_seconds": naive,
         }
+        if wire_client is not None:
+            payload["bench"]["wire_client"] = wire_client
         Path(args.json).write_text(json.dumps(payload, indent=2,
                                               sort_keys=True) + "\n")
         print(f"snapshot written to {args.json}")
-    return 0 if ok == len(responses) or args.allow_failures else 1
+    return 0 if ok == len(graphs) or args.allow_failures else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -551,6 +686,56 @@ def build_parser() -> argparse.ArgumentParser:
     sparse.add_argument("--json", default="", help="archive records to file")
     sparse.set_defaults(func=_cmd_sparse_sweep)
 
+    listen = sub.add_parser(
+        "serve",
+        help="run the request server behind the asyncio socket gateway",
+    )
+    listen.add_argument("--listen", required=True, metavar="HOST:PORT",
+                        help="bind address, e.g. 127.0.0.1:7421 "
+                             "(port 0 picks an ephemeral port)")
+    listen.add_argument("--workers", type=int, default=1,
+                        help="server worker threads (default 1)")
+    listen.add_argument("--executor", choices=["inline", "pool"],
+                        default="inline",
+                        help="'pool' executes flushed batches on a "
+                             "persistent multi-process worker pool")
+    listen.add_argument("--process-workers", type=int, default=0,
+                        help="pool processes (0 = one per core with "
+                             "--executor pool)")
+    listen.add_argument("--max-wait", type=float, default=0.002,
+                        help="batching window seconds (default 0.002)")
+    listen.add_argument("--max-queue", type=int, default=1024,
+                        help="admission queue depth (default 1024)")
+    listen.add_argument("--admission", choices=["block", "shed", "fail"],
+                        default="shed",
+                        help="full-queue policy; 'shed' answers with a "
+                             "typed SHED error frame (default)")
+    listen.add_argument("--cache-bytes", default="", metavar="BYTES",
+                        help="content-addressed result cache budget, "
+                             "e.g. 64M (default: cache off)")
+    listen.add_argument("--cache-verify", action="store_true",
+                        help="re-solve and compare on each entry's first "
+                             "cache hit before trusting it")
+    listen.add_argument("--deadline", type=float, default=0.0,
+                        help="default deadline seconds for wire requests "
+                             "that carry none; 0 = none")
+    listen.add_argument("--max-payload", default="256M", metavar="BYTES",
+                        help="per-frame edge payload ceiling "
+                             "(default 256M)")
+    listen.add_argument("--chunk-labels", type=int, default=65536,
+                        help="label values per streamed response chunk "
+                             "(default 65536)")
+    listen.add_argument("--drain-timeout", type=float, default=10.0,
+                        help="bound in seconds on the SIGTERM/SIGINT "
+                             "drain (default 10)")
+    listen.add_argument(
+        "--calibration", choices=["default", "cached", "recalibrate"],
+        default="default",
+        help="'cached' loads/measures the per-host cost-model cache; "
+             "'recalibrate' forces a fresh measurement",
+    )
+    listen.set_defaults(func=_cmd_serve)
+
     serve = sub.add_parser(
         "serve-bench",
         help="micro-batching server benchmark (open or closed loop)",
@@ -591,6 +776,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="open-loop offered rate; 0 = closed loop")
     serve.add_argument("--concurrency", type=int, default=8,
                        help="closed-loop client threads (default 8)")
+    serve.add_argument("--listen", action="store_true",
+                       help="drive the workload over the binary wire "
+                            "protocol through an in-process gateway on "
+                            "a loopback socket, verifying every label "
+                            "vector against the oracle")
+    serve.add_argument("--connections", type=int, default=64,
+                       help="persistent wire connections with --listen "
+                            "(default 64)")
     serve.add_argument("--deadline", type=float, default=0.0,
                        help="per-request deadline seconds; 0 = none")
     serve.add_argument("--wait-timeout", type=float, default=120.0,

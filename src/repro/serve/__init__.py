@@ -41,10 +41,37 @@ Modules
     Counters, occupancy and latency percentiles with JSON snapshots.
 ``repro.serve.server``
     The :class:`Server` tying it all together, and :func:`serve_many`.
+``repro.serve.protocol``
+    The compact length-prefixed binary wire codec (plus the JSON-lines
+    convenience dialect): zero-copy encode/decode of edge payloads and
+    chunked label streams.
+``repro.serve.gateway``
+    The asyncio TCP front door: :class:`Gateway` /
+    :class:`GatewayHandle` / :func:`run_gateway` speaking the binary
+    protocol, JSON lines and a minimal HTTP surface in front of a
+    :class:`Server`.
+
+Network quickstart::
+
+    from repro.serve import Server, start_gateway
+
+    with Server(workers=4, max_wait=0.002) as server:
+        with start_gateway(server, port=7421) as gw:
+            print("listening on", gw.address)
+            ...
+
+or from the shell: ``python -m repro serve --listen 127.0.0.1:7421``.
 """
 
 from repro.serve.cache import ResultCache, graph_fingerprint
 from repro.serve.executor import PoolExecutor
+from repro.serve.gateway import (
+    Gateway,
+    GatewayConfig,
+    GatewayHandle,
+    run_gateway,
+    start_gateway,
+)
 from repro.serve.metrics import ServeMetrics
 from repro.serve.request import (
     CCRequest,
@@ -63,6 +90,9 @@ __all__ = [
     "BatchPlanner",
     "CCRequest",
     "CCResponse",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayHandle",
     "PoolExecutor",
     "QueueFull",
     "RequestStatus",
@@ -76,5 +106,7 @@ __all__ = [
     "SparseProcessPool",
     "WorkerDied",
     "graph_fingerprint",
+    "run_gateway",
     "serve_many",
+    "start_gateway",
 ]

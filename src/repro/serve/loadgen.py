@@ -1,16 +1,27 @@
 """Load generators for serve benchmarks and the ``serve-bench`` CLI.
 
-Two classic harness shapes:
+Two classic harness shapes, each in an in-process and a socket-level
+variant:
 
-* **Open loop** (:func:`run_open_loop`) -- requests arrive on a Poisson
-  process at a fixed *offered* rate, regardless of how the server is
-  coping.  This is the honest way to measure tail latency and overload
-  behaviour: a slow server does not slow the arrival of new work, it
-  just watches its queue (and its shed/deadline-miss counters) grow.
-* **Closed loop** (:func:`run_closed_loop`) -- a fixed number of
-  synchronous clients, each submitting its next request only after the
-  previous one resolved.  Offered load adapts to service capacity;
-  good for measuring saturated throughput.
+* **Open loop** (:func:`run_open_loop`, :func:`run_socket_open_loop`) --
+  requests arrive on a Poisson process at a fixed *offered* rate,
+  regardless of how the server is coping.  This is the honest way to
+  measure tail latency and overload behaviour: a slow server does not
+  slow the arrival of new work, it just watches its queue (and its
+  shed/deadline-miss counters) grow.
+* **Closed loop** (:func:`run_closed_loop`,
+  :func:`run_socket_closed_loop`) -- a fixed number of synchronous
+  clients, each submitting its next request only after the previous one
+  resolved.  Offered load adapts to service capacity; good for
+  measuring saturated throughput.
+
+The socket variants speak the binary framing of
+:mod:`repro.serve.protocol` over N persistent TCP connections to a
+running :class:`~repro.serve.gateway.Gateway`, measuring *end-to-end
+wire latency*: first byte of the request frame written to final label
+chunk received.  That is the number E27 reports -- it contains the
+gateway's decode, the admission hop, the solve, and the chunked
+response stream.
 
 :func:`make_workload` builds the mixed-size request stream (dense
 G(n, p) graphs over a size ladder, optionally with a sparse edge-list
@@ -21,16 +32,18 @@ judged against: one-request-at-a-time ``connected_components`` with
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
 from threading import Thread
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.api import connected_components
 from repro.graphs.generators import random_graph
-from repro.hirschberg.edgelist import random_edge_list
+from repro.hirschberg.edgelist import EdgeListGraph, random_edge_list
+from repro.serve import protocol
 from repro.serve.request import GraphLike, ResultHandle
 from repro.serve.server import Server
 
@@ -170,3 +183,236 @@ def run_closed_loop(
     for t in threads:
         t.join()
     return [h for h in handles if h is not None]
+
+
+# ----------------------------------------------------------------------
+# socket-level drivers (binary wire protocol over persistent TCP)
+# ----------------------------------------------------------------------
+
+def oracle_labels(graph: GraphLike) -> np.ndarray:
+    """Reference labels for correctness checks on wire results: the
+    in-process ``connected_components(engine="auto")`` answer the wire
+    layer must reproduce bit-for-bit."""
+    return connected_components(graph, engine="auto").labels
+
+
+@dataclass(slots=True)
+class WireResult:
+    """Terminal outcome of one request driven over the socket.
+
+    ``status`` is a wire status code (:data:`repro.serve.protocol.STATUS_OK`,
+    ``STATUS_SHED``, ...); ``latency_seconds`` is end-to-end on the
+    client side -- request frame written to final response frame read.
+    ``labels`` is the reassembled vector for OK results when the driver
+    ran with ``collect_labels=True``, else ``None``.
+    """
+
+    request_id: int
+    status: int
+    n: int
+    latency_seconds: float
+    labels: Optional[np.ndarray] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == protocol.STATUS_OK
+
+
+def _encode_stream(graphs: Sequence[GraphLike],
+                   deadline: Optional[float]) -> List[bytes]:
+    """Pre-encoded SOLVE frames, request id = input index.
+
+    Encoding up front keeps frame construction out of the measured
+    arrival loop; only edge-list graphs travel over the wire.
+    """
+    frames: List[bytes] = []
+    for idx, g in enumerate(graphs):
+        if not isinstance(g, EdgeListGraph):
+            raise TypeError(
+                f"socket drivers carry edge lists only; request {idx} "
+                f"is {type(g).__name__} (use dense_fraction=0)"
+            )
+        frames.append(protocol.encode_graph_request(
+            g, request_id=idx, deadline=deadline))
+    return frames
+
+
+async def _open_connections(
+    host: str, port: int, count: int
+) -> List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+    conns = await asyncio.gather(*(
+        asyncio.open_connection(host, port) for _ in range(count)
+    ))
+    return list(conns)
+
+
+async def _read_responses(
+    reader: asyncio.StreamReader,
+    send_time: List[float],
+    results: List[Optional[WireResult]],
+    remaining: List[int],
+    done: asyncio.Event,
+    collect_labels: bool,
+) -> None:
+    """Drain one connection: reassemble chunked label streams, record a
+    :class:`WireResult` per terminal frame, tick the shared countdown."""
+    partial: Dict[int, np.ndarray] = {}
+    while remaining[0] > 0:
+        try:
+            head = await reader.readexactly(protocol.RESPONSE_HEADER_SIZE)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            break
+        rh = protocol.decode_response_header(head)
+        payload = b""
+        if rh.payload_bytes:
+            payload = await reader.readexactly(rh.payload_bytes)
+        rid = rh.request_id
+        if rh.kind == protocol.KIND_LABELS:
+            if collect_labels:
+                buf = partial.get(rid)
+                if buf is None:
+                    buf = partial[rid] = np.empty(rh.n, dtype=np.int64)
+                buf[rh.offset:rh.offset + rh.count] = \
+                    protocol.decode_labels(rh, payload)
+            if not rh.final:
+                continue
+            labels = partial.pop(rid, None)
+            result = WireResult(rid, protocol.STATUS_OK, rh.n,
+                                time.monotonic() - send_time[rid], labels)
+        elif rh.kind == protocol.KIND_ERROR:
+            partial.pop(rid, None)
+            result = WireResult(rid, rh.status, rh.n,
+                                time.monotonic() - send_time[rid])
+        else:  # PONG or future kinds: not a request terminal
+            continue
+        results[rid] = result
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            done.set()
+
+
+async def _socket_open_loop(
+    host: str, port: int, frames: List[bytes], offsets: np.ndarray,
+    connections: int, collect_labels: bool, settle_timeout: float,
+) -> List[Optional[WireResult]]:
+    conns = await _open_connections(host, port, connections)
+    results: List[Optional[WireResult]] = [None] * len(frames)
+    send_time = [0.0] * len(frames)
+    remaining = [len(frames)]
+    done = asyncio.Event()
+    readers = [
+        asyncio.ensure_future(_read_responses(
+            reader, send_time, results, remaining, done, collect_labels))
+        for reader, _ in conns
+    ]
+    start = time.monotonic()
+    try:
+        for idx, (frame, offset) in enumerate(zip(frames, offsets)):
+            delay = start + float(offset) - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            writer = conns[idx % connections][1]
+            send_time[idx] = time.monotonic()
+            # open loop: write without awaiting drain -- a slow server
+            # must not slow the offered arrival process
+            writer.write(frame)
+        if remaining[0] > 0:
+            try:
+                await asyncio.wait_for(done.wait(), settle_timeout)
+            except asyncio.TimeoutError:
+                pass
+    finally:
+        for task in readers:
+            task.cancel()
+        await asyncio.gather(*readers, return_exceptions=True)
+        for _, writer in conns:
+            writer.close()
+    return results
+
+
+async def _socket_closed_loop(
+    host: str, port: int, frames: List[bytes],
+    connections: int, collect_labels: bool,
+) -> List[Optional[WireResult]]:
+    conns = await _open_connections(host, port, connections)
+    results: List[Optional[WireResult]] = [None] * len(frames)
+    send_time = [0.0] * len(frames)
+
+    async def client(conn_idx: int) -> None:
+        reader, writer = conns[conn_idx]
+        remaining = [0]  # per-client countdown, ticked before each read
+        done = asyncio.Event()
+        for idx in range(conn_idx, len(frames), connections):
+            send_time[idx] = time.monotonic()
+            writer.write(frames[idx])
+            await writer.drain()
+            remaining[0] = 1
+            done.clear()
+            await _read_responses(reader, send_time, results,
+                                  remaining, done, collect_labels)
+            if results[idx] is None:  # connection died mid-response
+                return
+
+    try:
+        await asyncio.gather(*(
+            client(c) for c in range(min(connections, max(len(frames), 1)))
+        ))
+    finally:
+        for _, writer in conns:
+            writer.close()
+    return results
+
+
+def run_socket_open_loop(
+    address: Tuple[str, int],
+    graphs: Sequence[GraphLike],
+    offered_rps: float,
+    connections: int = 64,
+    deadline: Optional[float] = None,
+    seed: Optional[int] = 0,
+    collect_labels: bool = True,
+    settle_timeout: float = 120.0,
+) -> List[Optional[WireResult]]:
+    """Offer ``graphs`` to a gateway over ``connections`` persistent
+    TCP connections on a Poisson arrival process at ``offered_rps``.
+
+    The arrival schedule is the same :func:`poisson_arrivals` draw the
+    in-process driver uses, so a wire run and an in-process run under
+    one seed offer identical instants.  Arrivals round-robin across the
+    connections and pipeline freely -- a connection does not wait for
+    its previous response before carrying the next request.  Returns one
+    :class:`WireResult` per input (``None`` for requests whose response
+    never arrived within ``settle_timeout`` of the last arrival).
+    """
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    frames = _encode_stream(graphs, deadline)
+    offsets = poisson_arrivals(len(graphs), offered_rps, seed)
+    host, port = address
+    return asyncio.run(_socket_open_loop(
+        host, port, frames, offsets, min(connections, max(len(frames), 1)),
+        collect_labels, settle_timeout,
+    ))
+
+
+def run_socket_closed_loop(
+    address: Tuple[str, int],
+    graphs: Sequence[GraphLike],
+    connections: int = 8,
+    deadline: Optional[float] = None,
+    collect_labels: bool = True,
+) -> List[Optional[WireResult]]:
+    """Serve ``graphs`` from ``connections`` synchronous wire clients.
+
+    Each connection submits its next request only after fully receiving
+    the previous response -- the socket analogue of
+    :func:`run_closed_loop`, measuring saturated wire throughput.
+    """
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    frames = _encode_stream(graphs, deadline)
+    host, port = address
+    return asyncio.run(_socket_closed_loop(
+        host, port, frames, min(connections, max(len(frames), 1)),
+        collect_labels,
+    ))

@@ -9,7 +9,11 @@ a :class:`~repro.serve.server.Server` needs to see at a glance:
   whole point of micro-batching);
 * sliding-window latency reservoirs for time-in-queue, service time and
   end-to-end latency, summarised as p50/p95/p99/mean/max;
-* throughput over the lifetime of the window.
+* throughput over the lifetime of the window;
+* wire-level gauges and counters for the socket gateway: open
+  connections, bytes and frames in/out, protocol errors, and an
+  accept-to-admit latency reservoir (frame fully received to admission
+  decided -- the gateway's own overhead, separate from solve latency).
 
 Everything is thread-safe (one lock, updated on the worker path) and
 cheap: recording a completion is a few counter bumps plus three deque
@@ -86,6 +90,16 @@ class ServeMetrics:
         self._queue_s: Deque[float] = deque(maxlen=reservoir_size)
         self._service_s: Deque[float] = deque(maxlen=reservoir_size)
         self._latency_s: Deque[float] = deque(maxlen=reservoir_size)
+        # wire-level (socket gateway) state; stays all-zero for a
+        # purely in-process server
+        self.wire_connections_open = 0
+        self.wire_connections_total = 0
+        self.wire_bytes_in = 0
+        self.wire_bytes_out = 0
+        self.wire_frames_in = 0
+        self.wire_frames_out = 0
+        self.wire_protocol_errors = 0
+        self._admit_s: Deque[float] = deque(maxlen=reservoir_size)
 
     # -- recording -----------------------------------------------------
     def record_submitted(self, admitted: bool) -> None:
@@ -155,6 +169,38 @@ class ServeMetrics:
         with self._lock:
             self.worker_restarts += 1
 
+    # -- wire (socket gateway) -----------------------------------------
+    def record_connection_open(self) -> None:
+        with self._lock:
+            self.wire_connections_open += 1
+            self.wire_connections_total += 1
+
+    def record_connection_close(self) -> None:
+        with self._lock:
+            self.wire_connections_open -= 1
+
+    def record_wire_in(self, nbytes: int, frames: int = 1) -> None:
+        """Bytes (and decoded frames) received on gateway sockets."""
+        with self._lock:
+            self.wire_bytes_in += nbytes
+            self.wire_frames_in += frames
+
+    def record_wire_out(self, nbytes: int, frames: int = 1) -> None:
+        """Bytes (and frames) written back to gateway sockets."""
+        with self._lock:
+            self.wire_bytes_out += nbytes
+            self.wire_frames_out += frames
+
+    def record_wire_error(self) -> None:
+        """A malformed / rejected frame (bad magic, oversized, ...)."""
+        with self._lock:
+            self.wire_protocol_errors += 1
+
+    def record_admit(self, seconds: float) -> None:
+        """Accept-to-admit: request fully received -> admission decided."""
+        with self._lock:
+            self._admit_s.append(seconds)
+
     # -- reporting -----------------------------------------------------
     def snapshot(self, gauges: Optional[Dict[str, float]] = None) -> Dict:
         """A JSON-ready view of every counter, rate and percentile.
@@ -191,6 +237,16 @@ class ServeMetrics:
                 "queue_time": _summary(self._queue_s),
                 "service_time": _summary(self._service_s),
                 "latency": _summary(self._latency_s),
+                "wire": {
+                    "open_connections": self.wire_connections_open,
+                    "connections_total": self.wire_connections_total,
+                    "bytes_in": self.wire_bytes_in,
+                    "bytes_out": self.wire_bytes_out,
+                    "frames_in": self.wire_frames_in,
+                    "frames_out": self.wire_frames_out,
+                    "protocol_errors": self.wire_protocol_errors,
+                    "accept_to_admit": _summary(self._admit_s),
+                },
             }
         if gauges:
             snap["gauges"] = dict(gauges)

@@ -35,7 +35,7 @@ import itertools
 import threading
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Union
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -171,17 +171,21 @@ class ResultHandle:
     """Thread-safe future for one submitted request.
 
     The server resolves it exactly once; callers block on
-    :meth:`response` / :meth:`result`, poll :meth:`done`, or
-    :meth:`cancel`.
+    :meth:`response` / :meth:`result`, poll :meth:`done`, cancel, or
+    register an :meth:`add_done_callback` -- the non-blocking completion
+    path the asyncio gateway bridges back into its event loop (via
+    ``loop.call_soon_threadsafe``) without parking a thread per request.
     """
 
-    __slots__ = ("request", "_cond", "_response", "_cancel_requested")
+    __slots__ = ("request", "_cond", "_response", "_cancel_requested",
+                 "_callbacks")
 
     def __init__(self, request: CCRequest):
         self.request = request
         self._cond: Optional[threading.Condition] = None
         self._response: Optional[CCResponse] = None
         self._cancel_requested = False
+        self._callbacks: Optional[List[Callable[[CCResponse], None]]] = None
 
     # -- caller side ---------------------------------------------------
     def done(self) -> bool:
@@ -200,6 +204,28 @@ class ResultHandle:
                 return False
             self._cancel_requested = True
             return True
+
+    def add_done_callback(self, fn: Callable[[CCResponse], None]) -> None:
+        """Call ``fn(response)`` once the handle resolves.
+
+        Registered before resolution, ``fn`` runs on the resolving
+        thread (a server worker); registered after, it runs immediately
+        on the caller's thread.  Callbacks must be cheap and must not
+        raise -- exceptions are swallowed so a misbehaving observer
+        cannot take down the resolver (hand heavy work off, e.g. with
+        ``loop.call_soon_threadsafe``).
+        """
+        with _handle_lock:
+            if self._response is None:
+                if self._callbacks is None:
+                    self._callbacks = []
+                self._callbacks.append(fn)
+                return
+            response = self._response
+        try:
+            fn(response)
+        except Exception:  # noqa: BLE001 -- observer errors never propagate
+            pass
 
     def response(self, timeout: Optional[float] = None) -> CCResponse:
         """Block until resolved and return the full :class:`CCResponse`.
@@ -254,7 +280,14 @@ class ResultHandle:
                 return False
             self._response = response
             cond = self._cond
+            callbacks, self._callbacks = self._callbacks, None
         if cond is not None:  # someone is (or was) blocking -- wake them
             with cond:
                 cond.notify_all()
+        if callbacks:
+            for fn in callbacks:
+                try:
+                    fn(response)
+                except Exception:  # noqa: BLE001 -- observer errors stay local
+                    pass
         return True

@@ -125,3 +125,55 @@ class TestSnapshot:
         assert parsed["counters"]["completed"] == 1
         assert parsed["gauges"]["in_flight"] == 0
         assert parsed["throughput_rps"] > 0
+
+
+class TestWireMetrics:
+    def test_connection_gauge_tracks_open_and_total(self):
+        m = ServeMetrics()
+        m.record_connection_open()
+        m.record_connection_open()
+        m.record_connection_close()
+        wire = m.snapshot()["wire"]
+        assert wire["open_connections"] == 1
+        assert wire["connections_total"] == 2
+
+    def test_traffic_counters_accumulate(self):
+        m = ServeMetrics()
+        m.record_wire_in(40)
+        m.record_wire_in(1024, frames=3)
+        m.record_wire_out(36)
+        wire = m.snapshot()["wire"]
+        assert wire["bytes_in"] == 1064
+        assert wire["frames_in"] == 4
+        assert wire["bytes_out"] == 36
+        assert wire["frames_out"] == 1
+
+    def test_protocol_errors_counted(self):
+        m = ServeMetrics()
+        m.record_wire_error()
+        m.record_wire_error()
+        assert m.snapshot()["wire"]["protocol_errors"] == 2
+
+    def test_accept_to_admit_summary(self):
+        m = ServeMetrics()
+        for s in (0.001, 0.002, 0.003):
+            m.record_admit(s)
+        summary = m.snapshot()["wire"]["accept_to_admit"]
+        assert summary["count"] == 3
+        assert summary["p50_ms"] == pytest.approx(2.0, rel=0.2)
+
+    def test_quiet_wire_section_is_all_zero(self):
+        wire = ServeMetrics().snapshot()["wire"]
+        assert wire["open_connections"] == 0
+        assert wire["connections_total"] == 0
+        assert wire["protocol_errors"] == 0
+        assert wire["accept_to_admit"]["count"] == 0
+
+    def test_wire_section_round_trips_through_json(self):
+        m = ServeMetrics()
+        m.record_connection_open()
+        m.record_wire_in(40)
+        m.record_admit(0.001)
+        parsed = json.loads(m.to_json())
+        assert parsed["wire"]["connections_total"] == 1
+        assert parsed["wire"]["frames_in"] == 1

@@ -1,0 +1,285 @@
+"""Tests for the binary wire codec (:mod:`repro.serve.protocol`).
+
+The Hypothesis suites pin the contract the gateway's zero-copy path
+depends on: encode -> decode is the identity for arbitrary edge arrays
+under both dtype codes, the decoded endpoint views alias the payload
+buffer (no copy), and every malformed-header class is rejected with the
+right status and recoverability before any allocation is sized from it.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hirschberg.edgelist import EdgeListGraph, random_edge_list
+from repro.serve import protocol
+from repro.serve.protocol import (
+    DTYPE_I32,
+    DTYPE_I64,
+    KIND_PING,
+    KIND_SOLVE,
+    MAGIC,
+    REQUEST_HEADER_SIZE,
+    RESPONSE_HEADER_SIZE,
+    STATUS_BAD_FRAME,
+    STATUS_OVERSIZED,
+    STATUS_UNSUPPORTED,
+    VERSION,
+    ProtocolError,
+    decode_labels,
+    decode_pairs,
+    decode_request_header,
+    decode_response_header,
+    declared_payload_bytes,
+    declared_request_id,
+    encode_error,
+    encode_graph_request,
+    encode_labels_header,
+    encode_ping,
+    encode_pong,
+    encode_solve_request,
+    graph_from_frame,
+    iter_label_chunks,
+)
+
+
+def _edge_arrays(draw, max_n=64, max_m=128):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    ints = st.integers(min_value=0, max_value=n - 1)
+    u = np.array(draw(st.lists(ints, min_size=m, max_size=m)),
+                 dtype=np.int64)
+    v = np.array(draw(st.lists(ints, min_size=m, max_size=m)),
+                 dtype=np.int64)
+    return n, u, v
+
+
+@st.composite
+def edge_arrays(draw):
+    return _edge_arrays(draw)
+
+
+class TestRoundTrip:
+    @given(edge_arrays(), st.sampled_from([DTYPE_I64, DTYPE_I32]))
+    @settings(max_examples=60)
+    def test_encode_decode_identity(self, arrays, dtype_code):
+        n, u, v = arrays
+        frame = encode_solve_request(n, u, v, request_id=7,
+                                     dtype_code=dtype_code)
+        header = decode_request_header(frame[:REQUEST_HEADER_SIZE])
+        assert header.kind == KIND_SOLVE
+        assert header.request_id == 7
+        assert header.n == n
+        assert header.m == len(u)
+        assert header.deadline is None
+        du, dv = decode_pairs(header, frame[REQUEST_HEADER_SIZE:])
+        assert np.array_equal(du, u)
+        assert np.array_equal(dv, v)
+
+    @given(edge_arrays())
+    @settings(max_examples=30)
+    def test_graph_frame_reproduces_components(self, arrays):
+        n, u, v = arrays
+        frame = encode_solve_request(n, u, v)
+        header = decode_request_header(frame[:REQUEST_HEADER_SIZE])
+        graph = graph_from_frame(header, frame[REQUEST_HEADER_SIZE:])
+        direct = EdgeListGraph.from_arrays(n, u, v)
+        assert graph.n == direct.n
+        assert graph.edge_count == direct.edge_count
+
+    def test_deadline_microseconds_round_trip(self):
+        frame = encode_solve_request(4, np.array([0]), np.array([1]),
+                                     deadline=0.25)
+        header = decode_request_header(frame[:REQUEST_HEADER_SIZE])
+        assert header.deadline == pytest.approx(0.25)
+
+    def test_graph_request_is_canonical_stamped(self):
+        g = random_edge_list(64, 128, seed=3)
+        frame = encode_graph_request(g, request_id=9)
+        header = decode_request_header(frame[:REQUEST_HEADER_SIZE])
+        assert header.canonical
+        rebuilt = graph_from_frame(header, frame[REQUEST_HEADER_SIZE:])
+        assert rebuilt.edge_count == g.edge_count
+
+    def test_ping_pong(self):
+        header = decode_request_header(encode_ping(request_id=3))
+        assert header.kind == KIND_PING and header.request_id == 3
+        pong = decode_response_header(encode_pong(3))
+        assert pong.kind == protocol.KIND_PONG and pong.request_id == 3
+
+
+class TestZeroCopy:
+    def test_decoded_views_alias_the_payload(self):
+        n, m = 100, 50
+        rng = np.random.default_rng(0)
+        u = rng.integers(0, n, m, dtype=np.int64)
+        v = rng.integers(0, n, m, dtype=np.int64)
+        frame = encode_solve_request(n, u, v)
+        payload = np.frombuffer(frame[REQUEST_HEADER_SIZE:], dtype=np.uint8)
+        header = decode_request_header(frame[:REQUEST_HEADER_SIZE])
+        du, dv = decode_pairs(header, payload)
+        assert np.shares_memory(du, payload)
+        assert np.shares_memory(dv, payload)
+        # the u-then-v block layout keeps each endpoint view contiguous,
+        # so downstream ascontiguousarray never copies either
+        assert du.flags["C_CONTIGUOUS"] and dv.flags["C_CONTIGUOUS"]
+        assert np.shares_memory(np.ascontiguousarray(du), payload)
+
+    def test_canonical_frame_decodes_without_renormalising(self):
+        # the canonical stamp lets graph_from_frame feed the payload
+        # views straight into from_arrays(assume_canonical=True): the
+        # decode stage is copy-free (views alias the socket buffer) and
+        # the pair set survives bit-exactly -- no sort, no dedup pass
+        g = random_edge_list(256, 512, seed=1)
+        frame = encode_graph_request(g)
+        payload = np.frombuffer(frame[REQUEST_HEADER_SIZE:], dtype=np.uint8)
+        header = decode_request_header(frame[:REQUEST_HEADER_SIZE])
+        assert header.canonical
+        du, dv = decode_pairs(header, payload)
+        assert np.shares_memory(du, payload)
+        assert np.shares_memory(dv, payload)
+        rebuilt = graph_from_frame(header, payload)
+        m = rebuilt.edge_count
+        assert m == g.edge_count
+        assert np.array_equal(rebuilt.src[:m], du)
+        assert np.array_equal(rebuilt.dst[:m], dv)
+
+    def test_label_chunks_alias_the_vector(self):
+        labels = np.arange(1000, dtype=np.int64)
+        chunks = iter_label_chunks(5, labels, chunk_labels=256)
+        assert len(chunks) == 4
+        for head, payload in chunks:
+            assert np.shares_memory(
+                np.frombuffer(payload, dtype=np.int64), labels)
+
+
+class TestLabelStreaming:
+    @given(st.integers(min_value=1, max_value=500),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40)
+    def test_chunks_reassemble_exactly(self, n, chunk):
+        labels = np.random.default_rng(n).integers(0, n, n, dtype=np.int64)
+        out = np.empty(n, dtype=np.int64)
+        finals = 0
+        for head, payload in iter_label_chunks(1, labels, chunk):
+            rh = decode_response_header(head)
+            assert rh.n == n
+            out[rh.offset:rh.offset + rh.count] = decode_labels(rh, payload)
+            finals += rh.final
+        assert finals == 1
+        assert np.array_equal(out, labels)
+
+    def test_empty_vector_still_sends_a_final_frame(self):
+        chunks = iter_label_chunks(2, np.empty(0, dtype=np.int64), 16)
+        assert len(chunks) == 1
+        rh = decode_response_header(chunks[0][0])
+        assert rh.final and rh.count == 0
+
+
+class TestRejection:
+    def _frame(self, **patch):
+        frame = bytearray(encode_solve_request(
+            8, np.array([0, 1]), np.array([1, 2]), request_id=11))
+        for offset, fmt, value in patch.values():
+            struct.pack_into(fmt, frame, offset, value)
+        return bytes(frame)
+
+    def test_truncated_header_unrecoverable(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_request_header(b"RG\x01")
+        assert not exc.value.recoverable
+
+    def test_bad_magic_unrecoverable(self):
+        bad = self._frame(magic=(0, "<H", 0x0000))
+        with pytest.raises(ProtocolError) as exc:
+            decode_request_header(bad)
+        assert not exc.value.recoverable
+        assert exc.value.status == STATUS_BAD_FRAME
+
+    def test_bad_version_recoverable(self):
+        bad = self._frame(version=(2, "<B", VERSION + 1))
+        with pytest.raises(ProtocolError) as exc:
+            decode_request_header(bad)
+        assert exc.value.recoverable
+        assert exc.value.status == STATUS_UNSUPPORTED
+
+    def test_unknown_kind_and_dtype(self):
+        for patch in ({"kind": (3, "<B", 99)}, {"dtype": (4, "<B", 99)}):
+            with pytest.raises(ProtocolError) as exc:
+                decode_request_header(self._frame(**patch))
+            assert exc.value.status == STATUS_UNSUPPORTED
+
+    def test_oversized_declaration_rejected_before_sizing(self):
+        # declare an absurd payload; the decoder must reject on the
+        # declared size alone, never allocating from it
+        bad = self._frame(m=(20, "<Q", (1 << 61)),
+                          payload=(28, "<Q", (1 << 62)))
+        with pytest.raises(ProtocolError) as exc:
+            decode_request_header(bad, max_payload=1 << 20)
+        assert exc.value.status == STATUS_OVERSIZED
+        assert exc.value.recoverable
+
+    def test_inconsistent_payload_length(self):
+        bad = self._frame(payload=(28, "<Q", 24))  # m=2 needs 32 bytes
+        with pytest.raises(ProtocolError) as exc:
+            decode_request_header(bad)
+        assert exc.value.status == STATUS_BAD_FRAME
+        assert exc.value.recoverable
+
+    def test_zero_n_rejected(self):
+        bad = self._frame(n=(12, "<Q", 0), m=(20, "<Q", 0),
+                          payload=(28, "<Q", 0))
+        with pytest.raises(ProtocolError):
+            decode_request_header(bad)
+
+    def test_declared_fields_survive_rejection(self):
+        bad = self._frame(dtype=(4, "<B", 99))
+        assert declared_payload_bytes(bad) == 32
+        assert declared_request_id(bad) == 11
+        assert declared_payload_bytes(b"short") == 0
+        assert declared_request_id(b"short") == 0
+
+    def test_ping_with_payload_rejected(self):
+        frame = bytearray(encode_ping())
+        struct.pack_into("<Q", frame, 28, 8)
+        with pytest.raises(ProtocolError):
+            decode_request_header(bytes(frame))
+
+
+class TestErrorFrames:
+    def test_error_round_trip(self):
+        frame = encode_error(4, protocol.STATUS_SHED, "queue full", n=10)
+        rh = decode_response_header(frame[:RESPONSE_HEADER_SIZE])
+        assert rh.kind == protocol.KIND_ERROR
+        assert rh.status == protocol.STATUS_SHED
+        assert rh.request_id == 4 and rh.n == 10
+        assert frame[RESPONSE_HEADER_SIZE:].decode() == "queue full"
+
+    def test_response_header_validates_magic(self):
+        with pytest.raises(ProtocolError):
+            decode_response_header(b"\x00" * RESPONSE_HEADER_SIZE)
+
+
+class TestJsonDialect:
+    def test_edges_and_arrays_forms_agree(self):
+        a = protocol.decode_json_request(
+            b'{"n": 4, "edges": [[0, 1], [2, 3]]}')
+        b = protocol.decode_json_request(
+            b'{"n": 4, "u": [0, 2], "v": [1, 3]}')
+        assert a["n"] == b["n"] == 4
+        assert np.array_equal(a["u"], b["u"])
+        assert np.array_equal(a["v"], b["v"])
+
+    def test_id_and_deadline_pass_through(self):
+        fields = protocol.decode_json_request(
+            b'{"id": 9, "n": 2, "edges": [], "deadline": 1.5}')
+        assert fields["id"] == 9
+        assert fields["deadline"] == pytest.approx(1.5)
+
+    def test_malformed_json_raises_protocol_error(self):
+        for raw in (b"{not json", b'{"edges": []}', b'{"n": 2, "u": [0]}'):
+            with pytest.raises(ProtocolError):
+                protocol.decode_json_request(raw)

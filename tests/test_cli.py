@@ -283,3 +283,97 @@ class TestSolveSharded:
             "--memory-budget", "lots",
         ]) == 2
         assert "malformed byte size" in capsys.readouterr().err
+
+
+class TestParseListen:
+    def test_host_and_port(self):
+        from repro.cli import _parse_listen
+
+        assert _parse_listen("127.0.0.1:7421") == ("127.0.0.1", 7421)
+        assert _parse_listen("0.0.0.0:80") == ("0.0.0.0", 80)
+        assert _parse_listen(":9000") == ("0.0.0.0", 9000)
+        assert _parse_listen("localhost:0") == ("localhost", 0)
+
+    def test_malformed(self):
+        from repro.cli import _parse_listen
+
+        for bad in ("", "7421", "host:", "host:notaport", "host:-1",
+                    "host:65536"):
+            with pytest.raises(ValueError):
+                _parse_listen(bad)
+
+
+class TestServeBenchListen:
+    def test_wire_open_loop(self, capsys):
+        assert main(["serve-bench", "--listen", "--count", "24",
+                     "--sizes", "8,16", "--rps", "2000",
+                     "--connections", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "wire: 24/24 ok over 8 connection(s)" in out
+        assert "wire latency ms:" in out
+
+    def test_wire_closed_loop(self, capsys):
+        assert main(["serve-bench", "--listen", "--count", "16",
+                     "--sizes", "8", "--connections", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "wire: 16/16 ok over 4 connection(s)" in out
+
+    def test_wire_json_snapshot(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "wire.json"
+        assert main(["serve-bench", "--listen", "--count", "12",
+                     "--sizes", "8", "--rps", "2000", "--connections",
+                     "4", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        client = payload["bench"]["wire_client"]
+        assert client["ok"] == 12
+        assert client["label_mismatches"] == 0
+        assert client["connections"] == 4
+        assert payload["wire"]["connections_total"] >= 4
+        assert payload["wire"]["frames_in"] >= 12
+
+    def test_listen_rejects_dense_fraction(self, capsys):
+        assert main(["serve-bench", "--listen", "--count", "8",
+                     "--dense-fraction", "0.5"]) == 2
+        assert "dense" in capsys.readouterr().err
+
+
+class TestServeListenCommand:
+    def test_sigint_drains_and_exits_zero(self, tmp_path):
+        import json
+        import os
+        import signal
+        import socket
+        import subprocess
+        import sys as _sys
+        import time
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve",
+             "--listen", "127.0.0.1:0", "--workers", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env, text=True)
+        try:
+            line = proc.stdout.readline()
+            assert "serving on" in line, line
+            port = int(line.split()[2].rsplit(":", 1)[1])
+            # one JSON-lines request proves the listener is live
+            with socket.create_connection(("127.0.0.1", port),
+                                          timeout=10) as sock:
+                stream = sock.makefile("rwb")
+                stream.write(b'{"n": 3, "edges": [[0, 2]]}\n')
+                stream.flush()
+                doc = json.loads(stream.readline())
+                assert doc["labels"] == [0, 1, 0]
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=30)
+        except BaseException:
+            proc.kill()
+            proc.wait()
+            raise
+        assert proc.returncode == 0, (out, err)
+        assert "drained and stopped cleanly" in out
