@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reports examples all clean
+.PHONY: install test bench reports examples precommit all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,14 @@ bench:
 
 reports:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q
+
+# What a commit must survive locally: the repo-specific linter over the
+# files git considers changed (warm cache makes this sub-second), plus
+# the linter's own test suite.  Wire it to git via .pre-commit-config.yaml
+# or plain `make precommit`.
+precommit:
+	PYTHONPATH=src $(PYTHON) -m repro check src --changed-only --stats
+	PYTHONPATH=src $(PYTHON) -m pytest tests/check -q
 
 examples:
 	@for ex in examples/*.py; do \

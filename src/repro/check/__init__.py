@@ -14,10 +14,15 @@ itself:
   queue call, and no thread is spawned before the pool forks.
 
 :mod:`repro.check.engine` is a small AST-walking lint framework;
-:mod:`repro.check.rules` holds the repo-specific rules;
-:mod:`repro.check.sanitizer` provides the *runtime* counterparts: a
-write-barrier interpreter that raises on any cross-cell write and an
-shm sanitizer that stamps write epochs on shared slabs.
+:mod:`repro.check.cfg` / :mod:`repro.check.dataflow` add per-function
+control-flow graphs and a forward fixpoint for the flow-sensitive
+rules; :mod:`repro.check.callgraph` builds the cross-module summaries
+behind the project-wide rules and the incremental cache
+(:mod:`repro.check.cache`); :mod:`repro.check.rules` holds the
+repo-specific rules; :mod:`repro.check.sanitizer` provides the
+*runtime* counterparts: a write-barrier interpreter that raises on any
+cross-cell write and an shm sanitizer that stamps write epochs on
+shared slabs.
 
 Run the linter with ``python -m repro check src/`` and the sanitizers
 with ``connected_components(..., sanitize=True)`` /
@@ -29,32 +34,44 @@ from repro.check.engine import (
     CheckReport,
     Finding,
     LintRule,
+    StaleBaselineError,
     load_baseline,
+    validate_baseline,
     write_baseline,
 )
 from repro.check.rules import all_rules, rule_ids
-from repro.check.sanitizer import (
-    SanitizerMismatch,
-    SanitizerReport,
-    ShmSanitizer,
-    ShmSanitizerError,
-    run_sanitized,
-    shm_sanitizer,
-)
 
-__all__ = [
-    "CheckEngine",
-    "CheckReport",
-    "Finding",
-    "LintRule",
-    "load_baseline",
-    "write_baseline",
-    "all_rules",
-    "rule_ids",
+#: Runtime sanitizer names, re-exported lazily so that importing
+#: ``repro.check`` (the linter) never drags in numpy or the GCA stack
+#: -- the check layer is *closed* over stdlib by design (ARCH601).
+_SANITIZER_EXPORTS = (
     "SanitizerMismatch",
     "SanitizerReport",
     "ShmSanitizer",
     "ShmSanitizerError",
     "run_sanitized",
     "shm_sanitizer",
+)
+
+
+def __getattr__(name: str) -> object:
+    if name in _SANITIZER_EXPORTS:
+        from repro.check import sanitizer
+
+        return getattr(sanitizer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CheckEngine",
+    "CheckReport",
+    "Finding",
+    "LintRule",
+    "StaleBaselineError",
+    "load_baseline",
+    "validate_baseline",
+    "write_baseline",
+    "all_rules",
+    "rule_ids",
+    *_SANITIZER_EXPORTS,
 ]

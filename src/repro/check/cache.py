@@ -1,0 +1,137 @@
+"""Content-addressed incremental checking (``.check_cache.json``).
+
+Same discipline as the serve layer's ``ResultCache``: the key is *what
+the answer depends on*, nothing else.  A cache entry stores, per file,
+the source digest plus everything the engine would recompute for an
+unchanged file -- local findings, the suppression table, and the
+JSON-round-tripped :class:`~repro.check.callgraph.ModuleSummary` the
+project rules consume.  The whole file is guarded by a **pack
+fingerprint**: a hash over the ``repro.check`` package sources, the
+selected rule ids and the resolved config, so editing any rule (or the
+layer map) invalidates every entry at once instead of serving stale
+verdicts.
+
+Project rules always re-run (they are cross-file by definition and
+cheap next to parsing); what a warm run skips is the parse + local-rule
+pass per unchanged file -- the dominant cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_PATH = ".check_cache.json"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
+
+
+def pack_fingerprint(rule_ids: Sequence[str], config: Optional[dict]) -> str:
+    """Hash of everything besides file content that findings depend on:
+    the check package's own sources, the active rule ids, the config."""
+    h = hashlib.sha256()
+    h.update(f"schema:{CACHE_SCHEMA}".encode())
+    package_dir = Path(__file__).parent
+    for path in sorted(package_dir.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        h.update(path.relative_to(package_dir).as_posix().encode())
+        h.update(hashlib.sha256(path.read_bytes()).digest())
+    h.update(json.dumps(sorted(rule_ids)).encode())
+    h.update(json.dumps(config or {}, sort_keys=True, default=str).encode())
+    return h.hexdigest()
+
+
+class CheckCache:
+    """Per-file result store keyed by source digest + pack fingerprint."""
+
+    def __init__(self, path: str, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._files: Dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA
+            or payload.get("fingerprint") != self.fingerprint
+        ):
+            # stale pack: start over rather than mix vintages
+            self._dirty = True
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    def get(self, file_path: str, digest: str) -> Optional[dict]:
+        entry = self._files.get(file_path)
+        if entry is not None and entry.get("digest") == digest:
+            return entry
+        return None
+
+    def put(self, file_path: str, digest: str, entry: dict) -> None:
+        entry = dict(entry)
+        entry["digest"] = digest
+        self._files[file_path] = entry
+        self._dirty = True
+
+    def prune(self, keep: Sequence[str]) -> None:
+        """Drop entries for files no longer part of the scanned set."""
+        wanted = set(keep)
+        stale = [p for p in self._files if p not in wanted]
+        for path in stale:
+            del self._files[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+        }
+        # atomic replace so a crashed run never leaves a torn cache
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent.as_posix() or ".",
+            prefix=self.path.name,
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        self._dirty = False
+
+
+def findings_to_json(findings: Sequence) -> List[dict]:
+    return [
+        {
+            "rule_id": f.rule_id,
+            "severity": f.severity,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "message": f.message,
+        }
+        for f in findings
+    ]

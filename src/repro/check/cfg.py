@@ -1,0 +1,326 @@
+"""Per-function control-flow graphs for the flow-sensitive rules.
+
+:func:`build_cfg` lowers one ``def``/``async def`` body into a graph of
+:class:`Block`\\ s whose contents are *events* -- a flat, analysis-
+friendly encoding of what happens on a path:
+
+``("stmt", node)``
+    A simple statement executed (or the header of a compound one, e.g.
+    the ``for`` target binding).
+``("test", expr)``
+    A branch condition evaluated (``if``/``while``).
+``("guard", expr, sense)``
+    Control continued with ``expr`` known truthy (``sense=True``) or
+    falsy (``sense=False``).  Emitted at the top of each branch arm, so
+    a validation test like ``if m > cap: raise`` sanitises the
+    fall-through path in a taint analysis.
+``("enter_with", withitem, is_async)`` / ``("exit_with", withitem, is_async)``
+    A context manager entered/exited.  Exits are also emitted when a
+    ``return``/``raise``/``break``/``continue`` jumps out of the
+    ``with`` body, which is what makes a lockset analysis on this CFG
+    path-accurate instead of textual.
+
+The graph is deliberately an over-approximation in two places, both
+safe for the *may*-analyses built on it (false positives possible,
+silent false negatives not):
+
+* exceptional edges into ``except`` handlers are added at statement
+  boundaries of the ``try`` body's top level only (an exception raised
+  deep inside a nested compound statement joins at the next boundary);
+* ``finally`` blocks are sequenced on the normal fall-through path (a
+  ``return`` inside ``try`` jumps straight to the function exit).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+#: One CFG event; see the module docstring for the vocabulary.
+Event = Tuple[object, ...]
+
+_MATCH = getattr(ast, "Match", ())
+_TRY_STAR = getattr(ast, "TryStar", ())
+
+
+@dataclass
+class Block:
+    """A straight-line run of events with outgoing edges."""
+
+    id: int
+    events: List[Event] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function definition."""
+
+    fn: ast.AST
+    blocks: List[Block]
+    entry: int
+    exit: int
+
+    def reachable(self) -> List[int]:
+        """Block ids reachable from the entry, in a stable BFS order."""
+        seen = [self.entry]
+        marked = {self.entry}
+        i = 0
+        while i < len(seen):
+            for succ in self.blocks[seen[i]].succs:
+                if succ not in marked:
+                    marked.add(succ)
+                    seen.append(succ)
+            i += 1
+        return seen
+
+
+def walk_stmt_expr(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk an event's subtree without descending into nested scopes.
+
+    Comprehension bodies execute inline and are kept; ``lambda`` bodies
+    and nested ``def``\\ s run later under a different dynamic context
+    and are skipped.
+    """
+    stack: List[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        if isinstance(cur, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(cur))
+
+
+class _Builder:
+    def __init__(self, fn: ast.AST) -> None:
+        self.fn = fn
+        self.blocks: List[Block] = []
+        self.entry = self._new()
+        self.exit = self._new()
+        self.cur: Optional[int] = self.entry
+        # (head_block, after_block, with_depth) per enclosing loop
+        self.loops: List[Tuple[int, int, int]] = []
+        # (withitem, is_async) per statically enclosing with-item
+        self.withs: List[Tuple[ast.withitem, bool]] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _new(self) -> int:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def _edge(self, src: Optional[int], dst: int) -> None:
+        if src is not None and dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+
+    def _emit(self, event: Event) -> None:
+        if self.cur is not None:
+            self.blocks[self.cur].events.append(event)
+
+    def _branch(self, pred: Optional[int]) -> int:
+        nid = self._new()
+        self._edge(pred, nid)
+        return nid
+
+    def _unwind_withs(self, depth: int) -> None:
+        """Emit exit events for every with entered above ``depth`` (a
+        jump out of their bodies still runs their ``__exit__``)."""
+        for item, is_async in reversed(self.withs[depth:]):
+            self._emit(("exit_with", item, is_async))
+
+    # -- statement dispatch --------------------------------------------
+    def _stmts(
+        self, body: List[ast.stmt], exc: Optional[List[int]] = None
+    ) -> None:
+        for stmt in body:
+            if self.cur is None:
+                return  # unreachable tail (after return/raise/break)
+            if exc:
+                for handler in exc:
+                    self._edge(self.cur, handler)
+            self._stmt(stmt)
+        if self.cur is not None and exc:
+            for handler in exc:
+                self._edge(self.cur, handler)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._for(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt, isinstance(stmt, ast.AsyncWith))
+        elif isinstance(stmt, ast.Try) or (
+            _TRY_STAR and isinstance(stmt, _TRY_STAR)
+        ):
+            self._try(stmt)
+        elif _MATCH and isinstance(stmt, _MATCH):
+            self._match(stmt)
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            self._emit(("stmt", stmt))
+            self._unwind_withs(0)
+            self._edge(self.cur, self.exit)
+            self.cur = None
+        elif isinstance(stmt, ast.Break):
+            self._jump(stmt, to_head=False)
+        elif isinstance(stmt, ast.Continue):
+            self._jump(stmt, to_head=True)
+        elif isinstance(stmt, ast.Assert):
+            self._emit(("stmt", stmt))
+            self._emit(("guard", stmt.test, True))
+        else:
+            # simple statements, incl. nested def/class headers
+            self._emit(("stmt", stmt))
+
+    def _jump(self, stmt: ast.stmt, to_head: bool) -> None:
+        self._emit(("stmt", stmt))
+        if self.loops:
+            head, after, depth = self.loops[-1]
+            self._unwind_withs(depth)
+            self._edge(self.cur, head if to_head else after)
+        self.cur = None
+
+    # -- compound statements -------------------------------------------
+    def _if(self, stmt: ast.If) -> None:
+        self._emit(("test", stmt.test))
+        cond = self.cur
+        then_b = self._branch(cond)
+        self.blocks[then_b].events.append(("guard", stmt.test, True))
+        self.cur = then_b
+        self._stmts(stmt.body)
+        then_end = self.cur
+        else_b = self._branch(cond)
+        self.blocks[else_b].events.append(("guard", stmt.test, False))
+        self.cur = else_b
+        if stmt.orelse:
+            self._stmts(stmt.orelse)
+        else_end = self.cur
+        ends = [e for e in (then_end, else_end) if e is not None]
+        if not ends:
+            self.cur = None
+        elif len(ends) == 1:
+            self.cur = ends[0]
+        else:
+            join = self._new()
+            for end in ends:
+                self._edge(end, join)
+            self.cur = join
+
+    def _while(self, stmt: ast.While) -> None:
+        head = self._branch(self.cur)
+        self.cur = head
+        self._emit(("test", stmt.test))
+        body = self._branch(head)
+        self.blocks[body].events.append(("guard", stmt.test, True))
+        after = self._new()
+        always = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        if not always:
+            self._edge(head, after)
+            self.blocks[after].events.append(("guard", stmt.test, False))
+        self.loops.append((head, after, len(self.withs)))
+        self.cur = body
+        self._stmts(stmt.body)
+        self._edge(self.cur, head)
+        self.loops.pop()
+        self.cur = after
+        if stmt.orelse:
+            self._stmts(stmt.orelse)
+
+    def _for(self, stmt: ast.stmt) -> None:
+        head = self._branch(self.cur)
+        self.blocks[head].events.append(("stmt", stmt))  # iter + target bind
+        body = self._branch(head)
+        after = self._branch(head)
+        self.loops.append((head, after, len(self.withs)))
+        self.cur = body
+        self._stmts(stmt.body)
+        self._edge(self.cur, head)
+        self.loops.pop()
+        self.cur = after
+        if stmt.orelse:
+            self._stmts(stmt.orelse)
+
+    def _with(self, stmt: ast.stmt, is_async: bool) -> None:
+        for item in stmt.items:
+            self._emit(("enter_with", item, is_async))
+            self.withs.append((item, is_async))
+        self._stmts(stmt.body)
+        for item in reversed(stmt.items):
+            self.withs.pop()
+            self._emit(("exit_with", item, is_async))
+
+    def _try(self, stmt: ast.stmt) -> None:
+        handler_entries = [self._new() for _ in stmt.handlers]
+        self._stmts(stmt.body, exc=handler_entries or None)
+        if stmt.orelse and self.cur is not None:
+            self._stmts(stmt.orelse)
+        ends = [] if self.cur is None else [self.cur]
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self.cur = entry
+            self._emit(("stmt", handler))  # models the ``as name`` binding
+            self._stmts(handler.body)
+            if self.cur is not None:
+                ends.append(self.cur)
+        if not ends:
+            self.cur = None
+            return
+        if len(ends) == 1:
+            self.cur = ends[0]
+        else:
+            join = self._new()
+            for end in ends:
+                self._edge(end, join)
+            self.cur = join
+        if stmt.finalbody:
+            self._stmts(stmt.finalbody)
+
+    def _match(self, stmt: ast.stmt) -> None:
+        self._emit(("stmt", stmt))  # subject evaluation
+        subject_end = self.cur
+        ends: List[int] = []
+        for case in stmt.cases:
+            arm = self._branch(subject_end)
+            self.cur = arm
+            self._stmts(case.body)
+            if self.cur is not None:
+                ends.append(self.cur)
+        ends.append(subject_end)  # no arm matched
+        join = self._new()
+        for end in ends:
+            self._edge(end, join)
+        self.cur = join
+
+    # -- entry point ---------------------------------------------------
+    def build(self) -> CFG:
+        self._stmts(self.fn.body)
+        self._edge(self.cur, self.exit)
+        return CFG(self.fn, self.blocks, self.entry, self.exit)
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """Build the CFG of one ``FunctionDef``/``AsyncFunctionDef``."""
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"build_cfg wants a function def, got {type(fn)}")
+    return _Builder(fn).build()
+
+
+def function_defs(tree: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(qualname, def-node)`` for every function in ``tree``,
+    including methods (``Cls.meth``) and nested defs (``outer.inner``).
+    """
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")

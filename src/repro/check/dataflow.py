@@ -1,0 +1,150 @@
+"""Intraprocedural forward dataflow over the :mod:`repro.check.cfg` CFG.
+
+The framework is tiny on purpose: an analysis is a *state type*
+(anything hashable-equatable; the built-ins use ``frozenset``), a
+``transfer`` over one CFG event, and a ``join`` at merge points.
+:func:`solve_forward` runs the classic worklist fixpoint;
+:func:`iter_event_states` replays the solution so a rule can ask "what
+was the state just before this statement?" -- which is all the lockset,
+async-discipline and taint rules need.
+
+All concrete analyses here are **may**-analyses with union join:
+over-approximating reachability can create a false positive (silenced
+with a reviewed ``allow[...]``), never a silent false negative.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Iterator, Tuple
+
+from repro.check.cfg import CFG, Event, walk_stmt_expr
+
+#: Dataflow state: a frozenset of analysis-specific facts.
+State = FrozenSet[object]
+
+EMPTY: State = frozenset()
+
+#: ``transfer(state, event) -> state`` over one CFG event.
+Transfer = Callable[[State, Event], State]
+
+
+def solve_forward(
+    cfg: CFG, transfer: Transfer, initial: State = EMPTY
+) -> Dict[int, State]:
+    """Run the worklist fixpoint; returns the state at *entry* of every
+    reachable block (union join at merges)."""
+    states: Dict[int, State] = {cfg.entry: initial}
+    work = deque([cfg.entry])
+    while work:
+        bid = work.popleft()
+        state = states[bid]
+        for event in cfg.blocks[bid].events:
+            state = transfer(state, event)
+        for succ in cfg.blocks[bid].succs:
+            if succ not in states:
+                states[succ] = state
+                work.append(succ)
+            else:
+                merged = states[succ] | state
+                if merged != states[succ]:
+                    states[succ] = merged
+                    work.append(succ)
+    return states
+
+
+def iter_event_states(
+    cfg: CFG, transfer: Transfer, initial: State = EMPTY
+) -> Iterator[Tuple[Event, State]]:
+    """Yield ``(event, state-before-event)`` for every event in every
+    reachable block, after solving to fixpoint."""
+    entry_states = solve_forward(cfg, transfer, initial)
+    for bid in cfg.reachable():
+        state = entry_states[bid]
+        for event in cfg.blocks[bid].events:
+            yield event, state
+            state = transfer(state, event)
+
+
+# ----------------------------------------------------------------------
+# reaching definitions
+# ----------------------------------------------------------------------
+
+def _bound_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bound_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def definitions_in_event(event: Event) -> Iterator[Tuple[str, int]]:
+    """``(name, line)`` for every local name an event (re)binds."""
+    kind = event[0]
+    if kind == "stmt":
+        node = event[1]
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in _bound_names(target):
+                    yield name, node.lineno
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            for name in _bound_names(node.target):
+                yield name, node.lineno
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name in _bound_names(node.target):
+                yield name, node.lineno
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            yield node.name, node.lineno
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            yield node.name, node.lineno
+        elif isinstance(node, (ast.Assign,)):  # pragma: no cover
+            pass
+        elif isinstance(node, ast.Expr):
+            # walrus targets inside expression statements
+            for sub in walk_stmt_expr(node):
+                if isinstance(sub, ast.NamedExpr):
+                    for name in _bound_names(sub.target):
+                        yield name, sub.lineno
+    elif kind == "enter_with":
+        item = event[1]
+        if item.optional_vars is not None:
+            for name in _bound_names(item.optional_vars):
+                yield name, item.context_expr.lineno
+
+
+def reaching_definitions(cfg: CFG) -> Dict[int, State]:
+    """Classic reaching definitions: at each block entry, the set of
+    ``(name, def_line)`` pairs that may reach it.  Parameters are
+    modelled as definitions at the function's header line."""
+
+    def transfer(state: State, event: Event) -> State:
+        defs = list(definitions_in_event(event))
+        if not defs:
+            return state
+        killed = {name for name, _ in defs}
+        kept = {fact for fact in state if fact[0] not in killed}
+        kept.update(defs)
+        return frozenset(kept)
+
+    fn = cfg.fn
+    initial = frozenset(
+        (arg.arg, fn.lineno)
+        for arg in (
+            fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+            + ([fn.args.vararg] if fn.args.vararg else [])
+            + ([fn.args.kwarg] if fn.args.kwarg else [])
+        )
+    )
+    return solve_forward(cfg, transfer, initial)
+
+
+def expr_names(node: ast.AST) -> FrozenSet[str]:
+    """All plain names read in an expression subtree (nested scopes
+    skipped), for "does this expression mention X" queries."""
+    return frozenset(
+        sub.id for sub in walk_stmt_expr(node) if isinstance(sub, ast.Name)
+    )

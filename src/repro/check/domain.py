@@ -1,0 +1,177 @@
+"""Domain helpers shared by the flow-sensitive rule packs.
+
+Lock identity, blocking-call detection and the lockset transfer
+function live here so the LOCKSET rules, the async-discipline rules and
+the callgraph summaries all agree on what "a lock" and "a blocking
+call" mean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.check.cfg import Event, walk_stmt_expr
+from repro.check.engine import dotted_name, name_chain
+
+#: Attribute calls that block on a peer (pipe/queue/process traffic).
+BLOCKING_ATTRS = frozenset({
+    "recv", "recv_bytes", "send", "send_bytes", "join", "select",
+    "accept", "connect", "recvfrom", "sendall",
+})
+
+#: ``get``/``put`` block only on queue-ish receivers.
+QUEUEISH = ("queue", "pipe", "conn", "chan", "inbox", "outbox", "result")
+
+#: ``sleep`` on these roots is a coroutine, not a thread-blocking call.
+_ASYNC_ROOTS = ("asyncio", "anyio", "trio", "curio")
+
+#: ``subprocess`` entry points that wait on the child.
+_SUBPROCESS_BLOCKERS = frozenset({"run", "check_call", "check_output", "call"})
+
+
+def blocking_call_label(node: ast.Call) -> Optional[str]:
+    """A short label if ``node`` blocks the calling thread, else None.
+
+    ``.wait()`` is deliberately exempt: condition variables release
+    their lock while waiting, so it is not a lock-hold hazard, and
+    ``asyncio.wait`` is a coroutine.
+    """
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    receiver = name_chain(func.value)
+    if attr == "sleep":
+        root = receiver.split(".")[0] if receiver else ""
+        if root in _ASYNC_ROOTS:
+            return None
+        return "sleep"
+    if attr in BLOCKING_ATTRS:
+        return attr
+    if attr in ("get", "put"):
+        if any(q in receiver for q in QUEUEISH):
+            return attr
+    if attr in _SUBPROCESS_BLOCKERS and receiver.split(".")[0] == "subprocess":
+        return f"subprocess.{attr}"
+    if attr.startswith("spawn"):
+        # worker-process spawns fork and build pipes; a private
+        # ``_spawn`` task-tracking helper is not one of these
+        return attr
+    return None
+
+
+def awaited_call_ids(node: ast.AST) -> Set[int]:
+    """``id()`` of every Call that is the direct operand of an await."""
+    return {
+        id(sub.value)
+        for sub in walk_stmt_expr(node)
+        if isinstance(sub, ast.Await) and isinstance(sub.value, ast.Call)
+    }
+
+
+def blocking_calls_in(node: ast.AST) -> Iterator[Tuple[ast.Call, str]]:
+    """Non-awaited blocking calls in one statement's subtree."""
+    awaited = awaited_call_ids(node)
+    for sub in walk_stmt_expr(node):
+        if isinstance(sub, ast.Call) and id(sub) not in awaited:
+            label = blocking_call_label(sub)
+            if label is not None:
+                yield sub, label
+
+
+# ----------------------------------------------------------------------
+# lock identity + lockset transfer
+# ----------------------------------------------------------------------
+
+def lock_token(expr: ast.AST) -> Optional[str]:
+    """A stable token naming the lock an expression denotes, or None if
+    the expression is not lock-ish (no segment mentions lock/mutex)."""
+    token = dotted_name(expr)
+    if not token:
+        return None
+    for segment in token.lower().split("."):
+        if "lock" in segment or "mutex" in segment:
+            return token
+    return None
+
+
+def canonical_lock_token(
+    token: str, module: str, class_name: Optional[str]
+) -> str:
+    """Qualify a lock token so the same lock object gets the same name
+    across modules: ``self._lock`` inside ``SlabPool`` becomes
+    ``repro.analysis.shm.SlabPool._lock``."""
+    parts = token.split(".")
+    if parts[0] in ("self", "cls") and class_name:
+        return ".".join([module, class_name] + parts[1:])
+    return f"{module}.{token}"
+
+
+def _acquire_release_tokens(
+    node: ast.AST,
+) -> Iterator[Tuple[str, str, ast.Call]]:
+    """``(op, token, call)`` for explicit ``x.acquire()``/``x.release()``
+    calls on lock-ish receivers inside one statement."""
+    for sub in walk_stmt_expr(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in ("acquire", "release", "release_lock"):
+            continue
+        token = lock_token(func.value)
+        if token is None:
+            continue
+        op = "acquire" if func.attr == "acquire" else "release"
+        yield op, token, sub
+
+def lockset_transfer(
+    state: FrozenSet[object], event: Event
+) -> FrozenSet[object]:
+    """Dataflow transfer tracking the set of *sync* lock tokens held.
+
+    ``async with`` items are ignored -- an asyncio lock never blocks
+    the loop's thread; ASYNC404 is about *sync* locks held across
+    awaits.
+    """
+    kind = event[0]
+    if kind == "enter_with" and not event[2]:
+        token = lock_token(event[1].context_expr)
+        if token is not None:
+            return state | {token}
+    elif kind == "exit_with" and not event[2]:
+        token = lock_token(event[1].context_expr)
+        if token is not None:
+            return state - {token}
+    elif kind == "stmt":
+        changed = False
+        out = set(state)
+        for op, token, _call in _acquire_release_tokens(event[1]):
+            changed = True
+            if op == "acquire":
+                out.add(token)
+            else:
+                out.discard(token)
+        if changed:
+            return frozenset(out)
+    return state
+
+
+def lock_acquisitions(event: Event) -> List[Tuple[str, int, int]]:
+    """``(token, line, col)`` for every lock acquisition an event
+    performs (``with``-entry or explicit ``.acquire()``)."""
+    kind = event[0]
+    out: List[Tuple[str, int, int]] = []
+    if kind == "enter_with" and not event[2]:
+        item = event[1]
+        token = lock_token(item.context_expr)
+        if token is not None:
+            node = item.context_expr
+            out.append((token, node.lineno, node.col_offset + 1))
+    elif kind == "stmt":
+        for op, token, call in _acquire_release_tokens(event[1]):
+            if op == "acquire":
+                out.append((token, call.lineno, call.col_offset + 1))
+    return out

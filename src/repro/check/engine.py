@@ -69,10 +69,37 @@ class Finding:
         )
 
 
+def suppression_table(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Build the line -> allowed-rule-ids table for one file's lines
+    (shared by :class:`Module` and the cached-file path, which applies
+    suppressions to project findings without re-parsing)."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        ids = {
+            part.strip()
+            for part in match.group(1).split(",")
+            if part.strip()
+        }
+        table.setdefault(lineno, set()).update(ids)
+        if text.lstrip().startswith("#"):
+            table.setdefault(lineno + 1, set()).update(ids)
+    return table
+
+
+def is_suppressed_by(
+    finding: "Finding", table: Dict[int, Set[str]]
+) -> bool:
+    allowed = table.get(finding.line, ())
+    return "*" in allowed or finding.rule_id in allowed
+
+
 class Module:
     """One parsed source file handed to the rules."""
 
-    def __init__(self, path: str, source: str):
+    def __init__(self, path: str, source: str) -> None:
         self.path = path
         self.source = source
         self.lines = source.splitlines()
@@ -90,25 +117,11 @@ class Module:
         so the comment can sit above long statements.
         """
         if self._suppressions is None:
-            table: Dict[int, Set[str]] = {}
-            for lineno, text in enumerate(self.lines, start=1):
-                match = _SUPPRESS_RE.search(text)
-                if not match:
-                    continue
-                ids = {
-                    part.strip()
-                    for part in match.group(1).split(",")
-                    if part.strip()
-                }
-                table.setdefault(lineno, set()).update(ids)
-                if text.lstrip().startswith("#"):
-                    table.setdefault(lineno + 1, set()).update(ids)
-            self._suppressions = table
+            self._suppressions = suppression_table(self.lines)
         return self._suppressions
 
     def is_suppressed(self, finding: Finding) -> bool:
-        allowed = self.suppressions().get(finding.line, ())
-        return "*" in allowed or finding.rule_id in allowed
+        return is_suppressed_by(finding, self.suppressions())
 
 
 class LintRule(ABC):
@@ -124,9 +137,18 @@ class LintRule(ABC):
     severity: str = "error"
     description: str = ""
     basenames: Optional[frozenset] = None
+    #: True for cross-module rules (see
+    #: :class:`repro.check.callgraph.ProjectRule`); the engine runs
+    #: them once per invocation over the project index instead of once
+    #: per module.
+    project: bool = False
 
     def applies_to(self, module: Module) -> bool:
         return self.basenames is None or module.basename in self.basenames
+
+    def configure(self, config: Optional[dict]) -> None:
+        """Receive the resolved ``[tool.repro-check]`` config before a
+        run; per-module rules usually ignore it."""
 
     @abstractmethod
     def check(self, module: Module) -> Iterator[Finding]:
@@ -253,6 +275,39 @@ def write_baseline(findings: Sequence[Finding], path: str) -> None:
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
 
+class StaleBaselineError(ValueError):
+    """The baseline names a rule id that no longer exists."""
+
+
+def validate_baseline(
+    baseline: Dict[str, int], known_rule_ids: Set[str]
+) -> None:
+    """Fail loudly when a baselined rule id has left the registry.
+
+    Silently ignoring such keys would let the count-decrement machinery
+    "rebase" debt onto a rule that can never fire again, hiding the
+    fact that the baseline is stale; the fix is to regenerate it.
+    """
+    stale = sorted(
+        {
+            key.split("::")[1]
+            for key in baseline
+            if key.count("::") >= 2
+            and key.split("::")[1] not in known_rule_ids
+        }
+    )
+    malformed = [key for key in baseline if key.count("::") < 2]
+    if malformed:
+        raise StaleBaselineError(
+            f"baseline keys not in path::rule::message form: {malformed[:3]}"
+        )
+    if stale:
+        raise StaleBaselineError(
+            f"baseline references retired rule ids {stale}; regenerate it "
+            "with: python -m repro check src/ --write-baseline"
+        )
+
+
 # ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------
@@ -268,6 +323,8 @@ class CheckReport:
     parse_errors: List[Finding] = field(default_factory=list)
     rules_run: List[str] = field(default_factory=list)
     duration_s: float = 0.0
+    cache_hits: int = 0
+    files_reanalyzed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -307,6 +364,10 @@ class CheckReport:
             f"{self.suppressed}, baselined: {len(self.baselined)}, "
             f"runtime: {self.duration_s * 1e3:.1f} ms"
         )
+        lines.append(
+            f"  cache hits: {self.cache_hits}, reanalyzed: "
+            f"{self.files_reanalyzed}"
+        )
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -328,6 +389,8 @@ class CheckReport:
                 "baselined": len(self.baselined),
                 "per_rule": self.per_rule_counts(),
                 "duration_s": self.duration_s,
+                "cache_hits": self.cache_hits,
+                "files_reanalyzed": self.files_reanalyzed,
             },
         }
 
@@ -384,9 +447,23 @@ class CheckReport:
 
 
 class CheckEngine:
-    """Run a rule set over files and directories."""
+    """Run a rule set over files and directories.
 
-    def __init__(self, rules: Optional[Sequence[LintRule]] = None):
+    ``rules`` may mix per-module :class:`LintRule`\\ s and cross-module
+    project rules (``rule.project`` is True); the engine partitions
+    them itself.  ``config`` is the ``[tool.repro-check]`` table --
+    pass None to auto-discover the nearest ``pyproject.toml`` above the
+    scanned paths.  ``cache_path`` enables the content-addressed
+    incremental cache for :meth:`check_paths`.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[LintRule]] = None,
+        *,
+        config: Optional[dict] = None,
+        cache_path: Optional[str] = None,
+    ) -> None:
         if rules is None:
             from repro.check.rules import all_rules
 
@@ -398,24 +475,59 @@ class CheckEngine:
                     f"got {rule.severity!r}"
                 )
         self.rules = list(rules)
+        self.config = config
+        self.cache_path = cache_path
+
+    @property
+    def local_rules(self) -> List[LintRule]:
+        return [r for r in self.rules if not getattr(r, "project", False)]
+
+    @property
+    def project_rules(self) -> List[LintRule]:
+        return [r for r in self.rules if getattr(r, "project", False)]
+
+    def _known_rule_ids(self) -> Set[str]:
+        # only the *selected* rules can ever service a baseline entry;
+        # an entry for anything else could never decrement, so treating
+        # it as known would hide a stale baseline
+        return {r.rule_id for r in self.rules} | {"PARSE"}
 
     # ------------------------------------------------------------------
+    def _run_local(self, module: Module) -> Tuple[List[Finding], int]:
+        kept: List[Finding] = []
+        suppressed = 0
+        for rule in self.local_rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                if module.is_suppressed(finding):
+                    suppressed += 1
+                else:
+                    kept.append(finding)
+        return kept, suppressed
+
     def check_source(
         self, path: str, source: str
     ) -> Tuple[List[Finding], int]:
-        """Run every applicable rule over one in-memory module.
+        """Run every applicable rule over one in-memory module; project
+        rules see a single-module index (so intra-module lock order,
+        async reachability etc. still fire).
 
         Returns ``(findings, suppressed_count)``; parse failures raise
         ``SyntaxError`` (the path-walking entry point converts them to
         findings instead).
         """
+        from repro.check.callgraph import ProjectIndex, build_module_summary
+
         module = Module(path, source)
-        kept: List[Finding] = []
-        suppressed = 0
-        for rule in self.rules:
-            if not rule.applies_to(module):
-                continue
-            for finding in rule.check(module):
+        kept, suppressed = self._run_local(module)
+        config = self.config or {}
+        index = ProjectIndex(
+            {path: build_module_summary(module)}, config
+        )
+        for rule in self.project_rules:
+            rule.configure(config)
+            for finding in rule.check_project(index):
                 if module.is_suppressed(finding):
                     suppressed += 1
                 else:
@@ -427,38 +539,141 @@ class CheckEngine:
         self,
         paths: Sequence[str],
         baseline: Optional[Dict[str, int]] = None,
+        restrict: Optional[Set[str]] = None,
     ) -> CheckReport:
-        """Walk ``paths`` (files or directories) and lint every ``.py``."""
+        """Walk ``paths`` (files or directories) and lint every ``.py``.
+
+        ``restrict`` limits *reported* findings to the given posix
+        paths (``--changed-only``); every file is still summarised so
+        the cross-module rules see the whole project.
+        """
+        from repro.check.cache import (
+            CheckCache,
+            findings_to_json,
+            pack_fingerprint,
+            source_digest,
+        )
+        from repro.check.callgraph import (
+            ModuleSummary,
+            ProjectIndex,
+            build_module_summary,
+        )
+
         started = time.perf_counter()
         report = CheckReport(rules_run=[r.rule_id for r in self.rules])
+        if self.config is not None:
+            config = self.config
+        else:
+            from repro.check.rules.layering import load_check_config
+
+            config = load_check_config(paths[0] if paths else None)
+        if baseline:
+            validate_baseline(baseline, self._known_rule_ids())
         remaining = dict(baseline or {})
-        for file_path in self._collect(paths):
+
+        files = self._collect(paths)
+        cache = None
+        if self.cache_path:
+            fingerprint = pack_fingerprint(
+                sorted(r.rule_id for r in self.rules), config
+            )
+            cache = CheckCache(self.cache_path, fingerprint)
+
+        summaries: Dict[str, "ModuleSummary"] = {}
+        tables: Dict[str, Dict[int, Set[str]]] = {}
+        collected: List[Finding] = []
+        for file_path in files:
+            posix = file_path.as_posix()
             report.files_scanned += 1
-            try:
-                source = file_path.read_text()
-                findings, suppressed = self.check_source(
-                    file_path.as_posix(), source
-                )
-            except SyntaxError as exc:
-                report.parse_errors.append(
-                    Finding(
-                        rule_id="PARSE",
-                        severity="error",
-                        path=file_path.as_posix(),
-                        line=exc.lineno or 1,
-                        col=(exc.offset or 0) + 1,
-                        message=f"could not parse: {exc.msg}",
+            source = file_path.read_text()
+            digest = source_digest(source)
+            entry = cache.get(posix, digest) if cache else None
+            if entry is not None:
+                try:
+                    if entry.get("parse_error"):
+                        report.cache_hits += 1
+                        report.parse_errors.append(
+                            Finding(**entry["parse_error"])
+                        )
+                        continue
+                    summaries[posix] = ModuleSummary.from_json(
+                        entry["summary"]
                     )
-                )
-                continue
-            report.suppressed += suppressed
-            for finding in findings:
-                key = finding.baseline_key
-                if remaining.get(key, 0) > 0:
-                    remaining[key] -= 1
-                    report.baselined.append(finding)
+                except (KeyError, TypeError, ValueError):
+                    entry = None  # torn/stale entry: recompute
                 else:
-                    report.findings.append(finding)
+                    report.cache_hits += 1
+                    report.suppressed += entry["suppressed"]
+                    tables[posix] = {
+                        int(line): set(ids)
+                        for line, ids in entry["suppressions"].items()
+                    }
+                    collected.extend(
+                        Finding(**f) for f in entry["findings"]
+                    )
+                    continue
+            report.files_reanalyzed += 1
+            try:
+                module = Module(posix, source)
+            except SyntaxError as exc:
+                parse_finding = Finding(
+                    rule_id="PARSE",
+                    severity="error",
+                    path=posix,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"could not parse: {exc.msg}",
+                )
+                report.parse_errors.append(parse_finding)
+                if cache:
+                    cache.put(posix, digest, {
+                        "parse_error": findings_to_json([parse_finding])[0],
+                    })
+                continue
+            findings, suppressed = self._run_local(module)
+            summary = build_module_summary(module)
+            summaries[posix] = summary
+            tables[posix] = module.suppressions()
+            report.suppressed += suppressed
+            collected.extend(findings)
+            if cache:
+                cache.put(posix, digest, {
+                    "findings": findings_to_json(findings),
+                    "suppressed": suppressed,
+                    "suppressions": {
+                        str(line): sorted(ids)
+                        for line, ids in module.suppressions().items()
+                    },
+                    "summary": summary.to_json(),
+                })
+
+        # cross-module rules always run, over cached + fresh summaries
+        index = ProjectIndex(summaries, config)
+        for rule in self.project_rules:
+            rule.configure(config)
+            for finding in rule.check_project(index):
+                table = tables.get(finding.path, {})
+                if is_suppressed_by(finding, table):
+                    report.suppressed += 1
+                else:
+                    collected.append(finding)
+
+        if restrict is not None:
+            collected = [f for f in collected if f.path in restrict]
+            report.parse_errors = [
+                f for f in report.parse_errors if f.path in restrict
+            ]
+        collected.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        for finding in collected:
+            key = finding.baseline_key
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+        if cache:
+            cache.prune([p.as_posix() for p in files])
+            cache.save()
         report.duration_s = time.perf_counter() - started
         return report
 

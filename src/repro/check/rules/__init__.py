@@ -1,21 +1,37 @@
 """The repo-specific rule set.
 
-=======  ========  ==========================================================
-id       severity  checks
-=======  ========  ==========================================================
-CROW001  error     a GCA rule method mutates its cell/neighbor view
-CROW002  error     a GCA rule method mutates shared state through ``self``
-CROW003  error     a Hirschberg step function mutates an input vector
-DB101    warning   allocation inside a generation loop of a kernel module
-DB102    error     a fused kernel reads the spare (write) buffer
-DB103    error     ``apply_generation`` mutates the read-only field ``D``
-SHM201   error     a shared-memory acquisition that can never be released
-SHM202   warning   consecutive shm acquisitions without an error-path guard
-SHM203   error     an ``np.memmap`` that is never unmapped
-SHM204   error     a chunk worker writes a partitioned slab off-slice
-LOCK301  error     a blocking pipe/queue/fork call while holding a lock
-FORK302  warning   a thread is spawned before a worker process is forked
-=======  ========  ==========================================================
+========  ========  ==========================================================
+id        severity  checks
+========  ========  ==========================================================
+CROW001   error     a GCA rule method mutates its cell/neighbor view
+CROW002   error     a GCA rule method mutates shared state through ``self``
+CROW003   error     a Hirschberg step function mutates an input vector
+DB101     warning   allocation inside a generation loop of a kernel module
+DB102     error     a fused kernel reads the spare (write) buffer
+DB103     error     ``apply_generation`` mutates the read-only field ``D``
+SHM201    error     a shared-memory acquisition that can never be released
+SHM202    warning   consecutive shm acquisitions without an error-path guard
+SHM203    error     an ``np.memmap`` never unmapped (local) or handed to a
+                    helper that forgets it (cross-function, via callgraph)
+SHM204    error     a chunk worker writes a partitioned slab off-slice
+LOCK301   error     a blocking pipe/queue/spawn call on a path holding a lock
+                    (lockset dataflow over the CFG)
+LOCK302   error     the same lock pair acquired in both orders (cross-module)
+FORK302   warning   a thread is spawned before a worker process is forked
+ASYNC401  error     blocking call reachable from ``async def`` unbridged
+ASYNC402  error     a coroutine called but never awaited or scheduled
+ASYNC403  error     task handle dropped / unguarded call_soon_threadsafe
+ASYNC404  error     ``await`` while holding a synchronous lock
+PROTO501  error     wire-decoded size reaches an allocation unvalidated
+PROTO502  error     struct format vs size comments / pack arity drift
+ARCH601   error     a top-level import crosses the declared layer map
+========  ========  ==========================================================
+
+Rules marked cross-module are :class:`~repro.check.callgraph.ProjectRule`\\ s:
+they run once per engine invocation over the project index instead of
+once per file, and therefore see relationships (lock order between
+``serve/executor.py`` and ``analysis/shm.py``, blocking work two sync
+frames below an ``async def``) that no per-file pass can.
 """
 
 from __future__ import annotations
@@ -35,12 +51,27 @@ from repro.check.rules.double_buffer import (
 )
 from repro.check.rules.concurrency import (
     ChunkOwnerWriteRule,
-    LockAcrossBlockingRule,
     MemmapDisciplineRule,
+    MemmapHandoffRule,
     ThreadBeforeForkRule,
     UnguardedMultiAcquireRule,
     UnreleasedSegmentRule,
 )
+from repro.check.rules.lockset import (
+    LockAcrossBlockingRule,
+    LockOrderRule,
+)
+from repro.check.rules.async_rules import (
+    AwaitUnderSyncLockRule,
+    BlockingInAsyncRule,
+    DroppedHandleRule,
+    UnawaitedCoroutineRule,
+)
+from repro.check.rules.wire import (
+    FrameTaintRule,
+    StructLayoutRule,
+)
+from repro.check.rules.layering import ArchLayerRule
 
 _ALL = (
     NeighborWriteRule,
@@ -52,9 +83,18 @@ _ALL = (
     UnreleasedSegmentRule,
     UnguardedMultiAcquireRule,
     MemmapDisciplineRule,
+    MemmapHandoffRule,
     ChunkOwnerWriteRule,
     LockAcrossBlockingRule,
+    LockOrderRule,
     ThreadBeforeForkRule,
+    BlockingInAsyncRule,
+    UnawaitedCoroutineRule,
+    DroppedHandleRule,
+    AwaitUnderSyncLockRule,
+    FrameTaintRule,
+    StructLayoutRule,
+    ArchLayerRule,
 )
 
 
@@ -73,5 +113,6 @@ def all_rules(only: Optional[Sequence[str]] = None) -> List[LintRule]:
 
 
 def rule_ids() -> List[str]:
-    """All known rule ids, sorted."""
-    return sorted(cls.rule_id for cls in _ALL)
+    """All known rule ids, sorted (SHM203 has a local and a
+    cross-function half sharing one id)."""
+    return sorted({cls.rule_id for cls in _ALL})

@@ -1,0 +1,336 @@
+"""ASYNC: event-loop discipline for the serve gateway.
+
+One blocking call on the loop's thread stalls *every* connection the
+gateway is multiplexing, and a dropped coroutine fails silently -- the
+two failure classes PR 8's asyncio front door made possible.  The four
+rules here lean on the CFG (lockset across ``await``) and the project
+callgraph (blocking work reachable *through* sync helpers).
+
+========  ============================================================
+ASYNC401  blocking call reachable from an ``async def`` without a
+          thread-pool bridge (``run_in_executor`` / ``to_thread``)
+ASYNC402  a coroutine called but never awaited/scheduled
+ASYNC403  task handles dropped (``create_task`` result discarded) and
+          ``call_soon_threadsafe`` unguarded against the loop-closed
+          ``RuntimeError`` race
+ASYNC404  ``await`` while holding a *sync* lock (blocks the loop for
+          every other task contending for the lock)
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.check.callgraph import (
+    FunctionInfo,
+    ModuleSummary,
+    ProjectIndex,
+    ProjectRule,
+)
+from repro.check.cfg import build_cfg, function_defs, walk_stmt_expr
+from repro.check.dataflow import iter_event_states
+from repro.check.domain import lockset_transfer
+from repro.check.engine import Finding, LintRule, Module
+
+#: ``(label, where, via-chain)`` -- the resolution of one reachability query.
+_Hit = Tuple[str, str, Tuple[str, ...]]
+
+
+class BlockingInAsyncRule(ProjectRule):
+    """ASYNC401: blocking work on the event loop's thread.
+
+    From every ``async def`` the rule follows statically resolvable
+    *sync* call edges (awaited async callees are analysed as their own
+    entry points) and flags the first thread-blocking call each chain
+    reaches.  Calls handed to ``run_in_executor``/``to_thread`` never
+    appear as call edges, so bridged work is naturally exempt.
+    """
+
+    rule_id = "ASYNC401"
+    severity = "error"
+    description = "async code must bridge blocking calls to a thread pool"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        self._memo: Dict[Tuple[str, str], Optional[_Hit]] = {}
+        for summary in index.summaries():
+            for info in summary.functions.values():
+                if not info.is_async:
+                    continue
+                for site in info.blocking:
+                    yield self.finding_at(
+                        summary.path,
+                        site.line,
+                        site.col,
+                        f"async {info.qualname!r} blocks the event loop on "
+                        f"{site.label!r}; bridge it through run_in_executor "
+                        "or asyncio.to_thread",
+                    )
+                for call in info.calls:
+                    if call.awaited or call.wrapped:
+                        continue
+                    resolved = index.resolve(summary, info, call.token)
+                    if resolved is None:
+                        continue
+                    tmod, tinfo = resolved
+                    if tinfo.is_async:
+                        continue
+                    hit = self._first_blocking(index, tmod, tinfo)
+                    if hit is None:
+                        continue
+                    label, where, via = hit
+                    chain = " -> ".join((tinfo.qualname,) + via)
+                    yield self.finding_at(
+                        summary.path,
+                        call.line,
+                        call.col,
+                        f"async {info.qualname!r} reaches blocking "
+                        f"{label!r} via {chain} ({where}) without a "
+                        "thread-pool bridge",
+                    )
+
+    def _first_blocking(
+        self,
+        index: ProjectIndex,
+        summary: ModuleSummary,
+        info: FunctionInfo,
+    ) -> Optional[_Hit]:
+        key = (summary.path, info.qualname)
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = None  # cycle guard
+        hit: Optional[_Hit] = None
+        if info.blocking:
+            site = info.blocking[0]
+            hit = (site.label, f"{summary.path}:{site.line}", ())
+        else:
+            for call in info.calls:
+                resolved = index.resolve(summary, info, call.token)
+                if resolved is None:
+                    continue
+                tmod, tinfo = resolved
+                if tinfo.is_async:
+                    continue
+                sub = self._first_blocking(index, tmod, tinfo)
+                if sub is not None:
+                    label, where, via = sub
+                    hit = (label, where, (tinfo.qualname,) + via)
+                    break
+        self._memo[key] = hit
+        return hit
+
+
+class UnawaitedCoroutineRule(ProjectRule):
+    """ASYNC402: a coroutine constructed and thrown away.
+
+    ``self._flush()`` as a bare statement builds a coroutine object and
+    discards it -- the body never runs, and Python only tells you via a
+    ``RuntimeWarning`` at GC time.  Resolvable calls to ``async def``\\ s
+    must be awaited or handed to a scheduling wrapper
+    (``create_task``/``gather``/...).
+    """
+
+    rule_id = "ASYNC402"
+    severity = "error"
+    description = "coroutines must be awaited or scheduled, never dropped"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for summary in index.summaries():
+            for info in summary.functions.values():
+                for call in info.calls:
+                    if not call.bare or call.awaited or call.wrapped:
+                        continue
+                    resolved = index.resolve(summary, info, call.token)
+                    if resolved is None or not resolved[1].is_async:
+                        continue
+                    yield self.finding_at(
+                        summary.path,
+                        call.line,
+                        call.col,
+                        f"{info.qualname!r} calls coroutine "
+                        f"{call.token!r} without awaiting or scheduling "
+                        "it; the body never runs",
+                    )
+
+
+_SPAWNERS = frozenset({"create_task", "ensure_future",
+                       "run_coroutine_threadsafe"})
+
+_BROAD_CATCHES = frozenset({"RuntimeError", "Exception", "BaseException"})
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _catches_runtime_error(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for t in types:
+        name = t.attr if isinstance(t, ast.Attribute) else (
+            t.id if isinstance(t, ast.Name) else None
+        )
+        if name in _BROAD_CATCHES:
+            return True
+    return False
+
+
+def _suppresses_runtime_error(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    if not isinstance(expr, ast.Call) or _call_name(expr) != "suppress":
+        return False
+    for arg in expr.args:
+        name = arg.attr if isinstance(arg, ast.Attribute) else (
+            arg.id if isinstance(arg, ast.Name) else None
+        )
+        if name in _BROAD_CATCHES:
+            return True
+    return False
+
+
+class DroppedHandleRule(LintRule):
+    """ASYNC403: loop-scheduling results that must not be discarded.
+
+    Two shapes: (a) ``asyncio.create_task(...)`` / ``ensure_future`` /
+    ``run_coroutine_threadsafe`` as a bare statement drops the only
+    strong reference to the task -- the loop keeps a *weak* one, so the
+    task can be garbage-collected mid-flight; (b)
+    ``loop.call_soon_threadsafe(...)`` raises ``RuntimeError`` if the
+    loop closed between the check and the call (the shutdown race), so
+    every call site must sit under a ``try``/``suppress`` catching it.
+    A handler around a ``lambda`` does not count: the lambda body runs
+    later, outside the handler.
+    """
+
+    rule_id = "ASYNC403"
+    severity = "error"
+    description = "keep task handles; guard call_soon_threadsafe shutdown"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        findings: List[Finding] = []
+
+        def visit(node: ast.AST, guarded: bool) -> None:
+            if isinstance(node, ast.Expr) and isinstance(
+                node.value, ast.Call
+            ):
+                if _call_name(node.value) in _SPAWNERS:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.value,
+                            f"result of {_call_name(node.value)!r} is "
+                            "dropped; keep the task handle so the task "
+                            "cannot be garbage-collected mid-flight "
+                            "and its exception is observed",
+                        )
+                    )
+            if isinstance(node, ast.Call):
+                if (
+                    _call_name(node) == "call_soon_threadsafe"
+                    and not guarded
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "call_soon_threadsafe can raise RuntimeError "
+                            "when the loop closes concurrently; wrap it "
+                            "in try/except RuntimeError",
+                        )
+                    )
+            if isinstance(node, ast.Try):
+                body_guarded = guarded or any(
+                    _catches_runtime_error(h) for h in node.handlers
+                )
+                for child in node.body + node.orelse:
+                    visit(child, body_guarded)
+                for handler in node.handlers:
+                    for child in handler.body:
+                        visit(child, guarded)
+                for child in node.finalbody:
+                    visit(child, guarded)
+                return
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                body_guarded = guarded or any(
+                    _suppresses_runtime_error(i) for i in node.items
+                )
+                for item in node.items:
+                    visit(item.context_expr, guarded)
+                for child in node.body:
+                    visit(child, body_guarded)
+                return
+            if isinstance(
+                node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                # the body runs later, outside any enclosing handler
+                for child in ast.iter_child_nodes(node):
+                    visit(child, False)
+                return
+            for child in ast.iter_child_nodes(node):
+                visit(child, guarded)
+
+        visit(module.tree, False)
+        return iter(findings)
+
+
+class AwaitUnderSyncLockRule(LintRule):
+    """ASYNC404: ``await`` while holding a sync lock.
+
+    A ``threading.Lock`` held across an ``await`` is held for as long
+    as the *loop* takes to resume the task -- every thread contending
+    for the lock blocks on scheduler latency, and a second task on the
+    same loop trying to take the lock deadlocks the loop outright.
+    Uses the lockset fixpoint, so releasing before the ``await`` on
+    every path is recognised; ``asyncio`` locks (``async with``) are
+    exempt.
+    """
+
+    rule_id = "ASYNC404"
+    severity = "error"
+    description = "never await while holding a synchronous lock"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for qual, fn in function_defs(module.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            cfg = build_cfg(fn)
+            reported: Set[int] = set()
+            for event, state in iter_event_states(cfg, lockset_transfer):
+                if not state:
+                    continue
+                held = ", ".join(sorted(str(t) for t in state))
+                if event[0] == "enter_with" and event[2]:
+                    item = event[1]
+                    if id(item) not in reported:
+                        reported.add(id(item))
+                        yield self.finding(
+                            module,
+                            item.context_expr,
+                            f"{qual!r} enters an async context while "
+                            f"holding sync lock {held}; release it first",
+                        )
+                elif event[0] == "stmt":
+                    for sub in walk_stmt_expr(event[1]):
+                        if not isinstance(sub, ast.Await):
+                            continue
+                        if id(sub) in reported:
+                            continue
+                        reported.add(id(sub))
+                        yield self.finding(
+                            module,
+                            sub,
+                            f"{qual!r} awaits while holding sync lock "
+                            f"{held}; the loop stalls every contender "
+                            "until this task resumes",
+                        )

@@ -31,6 +31,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Optional
 
+from repro.check.callgraph import (
+    FunctionInfo,
+    ModuleSummary,
+    ProjectIndex,
+    ProjectRule,
+)
 from repro.check.engine import (
     Finding,
     LintRule,
@@ -382,82 +388,6 @@ class ChunkOwnerWriteRule(LintRule):
                     )
 
 
-#: Attribute calls that block on a peer (pipe/queue/process traffic).
-_BLOCKING_ATTRS = frozenset({
-    "recv", "recv_bytes", "send", "send_bytes", "join", "select",
-})
-
-#: ``get``/``put`` block only on queue-ish receivers.
-_QUEUEISH = ("queue", "pipe", "conn", "chan", "inbox", "outbox", "result")
-
-
-def _is_blocking_call(node: ast.Call) -> Optional[str]:
-    func = node.func
-    if not isinstance(func, ast.Attribute):
-        return None
-    attr = func.attr
-    if attr in _BLOCKING_ATTRS:
-        return attr
-    if attr == "sleep":
-        return attr
-    if attr in ("get", "put"):
-        receiver = name_chain(func.value)
-        if any(q in receiver for q in _QUEUEISH):
-            return attr
-    if attr.startswith("spawn") or attr == "_spawn":
-        return attr
-    return None
-
-
-def _lockish_with_items(node: ast.AST) -> bool:
-    if not isinstance(node, (ast.With, ast.AsyncWith)):
-        return False
-    for item in node.items:
-        for sub in ast.walk(item.context_expr):
-            if isinstance(sub, ast.Name) and "lock" in sub.id.lower():
-                return True
-            if isinstance(sub, ast.Attribute) and "lock" in sub.attr.lower():
-                return True
-    return False
-
-
-class LockAcrossBlockingRule(LintRule):
-    """LOCK301: a blocking pipe/queue/fork call while holding a lock.
-
-    Inside ``with self._lock:`` a ``conn.recv()`` (or a worker spawn,
-    which forks and builds pipes) stalls every other thread contending
-    for the lock for as long as the peer takes -- the exact shape of
-    the pool-wide stall the monitor loop once caused.  ``.wait()`` is
-    exempt: condition variables release the lock while waiting.
-    """
-
-    rule_id = "LOCK301"
-    severity = "error"
-    description = "no blocking pipe/queue/spawn call under a held lock"
-
-    def check(self, module: Module) -> Iterator[Finding]:
-        for fn in ast.walk(module.tree):
-            if not isinstance(fn, ast.FunctionDef):
-                continue
-            for node in walk_function(fn):
-                if not _lockish_with_items(node):
-                    continue
-                for sub in ast.walk(node):
-                    if isinstance(sub, (ast.FunctionDef, ast.Lambda)):
-                        continue
-                    if not isinstance(sub, ast.Call):
-                        continue
-                    blocked = _is_blocking_call(sub)
-                    if blocked is not None:
-                        yield self.finding(
-                            module,
-                            sub,
-                            f"{fn.name!r} calls blocking {blocked!r} while "
-                            "holding a lock; move the blocking call outside "
-                            "the critical section",
-                        )
-
-
 class ThreadBeforeForkRule(LintRule):
     """FORK302: a thread is spawned before a worker process is forked.
 
@@ -501,3 +431,81 @@ class ThreadBeforeForkRule(LintRule):
                         "children inherit locks held by threads that no "
                         "longer exist",
                     )
+
+
+class MemmapHandoffRule(ProjectRule):
+    """SHM203 (cross-function half): a memmap handed to a helper that
+    forgets it.
+
+    The local SHM203 rule accepts "passed to a call" as a disposal
+    route on faith -- which is exactly how the false negative through
+    one call level hid: ``m = np.memmap(...); helper(m)`` where
+    ``helper`` neither unmaps, stores, returns nor forwards ``m``.
+    With the callgraph the receiving parameter's disposition is checked
+    for real (following forwards up to two levels); an unresolvable
+    callee stays conservatively trusted.
+    """
+
+    rule_id = "SHM203"
+    severity = "error"
+    description = "a memmap handed to a helper must be disposed by it"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for summary in index.summaries():
+            for info in summary.functions.values():
+                for token, pos, var, line, col in info.memmap_handoffs:
+                    resolved = index.resolve(summary, info, token)
+                    if resolved is None:
+                        continue
+                    tmod, tinfo = resolved
+                    param = self._receiving_param(token, tinfo, pos)
+                    if param is None:
+                        continue
+                    if self._disposes(index, tmod, tinfo, param, depth=2):
+                        continue
+                    yield self.finding_at(
+                        summary.path,
+                        line,
+                        col,
+                        f"memmap {var!r} is handed to "
+                        f"{tinfo.qualname!r}, which neither unmaps, "
+                        "stores nor forwards it; the mapping leaks "
+                        "until garbage collection",
+                    )
+
+    @staticmethod
+    def _receiving_param(
+        token: str, tinfo: FunctionInfo, pos: int
+    ) -> Optional[str]:
+        params = list(tinfo.params)
+        if params and params[0] in ("self", "cls") and (
+            token.startswith("self.") or token.startswith("cls.")
+        ):
+            params = params[1:]
+        return params[pos] if pos < len(params) else None
+
+    def _disposes(
+        self,
+        index: ProjectIndex,
+        summary: ModuleSummary,
+        info: FunctionInfo,
+        param: str,
+        depth: int,
+    ) -> bool:
+        if param in info.closes_params or param in info.escapes_params:
+            return True
+        if depth <= 0:
+            return False
+        for token, fwd_param, pos in info.forwards:
+            if fwd_param != param:
+                continue
+            resolved = index.resolve(summary, info, token)
+            if resolved is None:
+                return True  # unresolvable onward hand-off: trust it
+            tmod, tinfo = resolved
+            nxt = self._receiving_param(token, tinfo, pos)
+            if nxt is not None and self._disposes(
+                index, tmod, tinfo, nxt, depth - 1
+            ):
+                return True
+        return False

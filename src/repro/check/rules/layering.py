@@ -1,0 +1,185 @@
+"""ARCH601: layering enforcement from a declared layer map.
+
+The layer map lives in ``pyproject.toml``::
+
+    [tool.repro-check.layers]
+    "repro.core" = ["repro.gca", "repro.graphs", "repro.util"]
+
+    [tool.repro-check.closed-layers]
+    "repro.check" = ["numpy"]
+
+A module belongs to the *longest* declared prefix that matches its
+dotted name; its **top-level** imports of other declared layers must
+appear in its allow-list (imports inside functions are the sanctioned
+escape hatch for genuinely lazy coupling -- they are deliberately not
+flagged).  A layer listed under ``closed-layers`` additionally
+restricts its *external* top-level imports to stdlib plus the given
+allow-list, which is how "``repro.check`` imports nothing but
+stdlib+numpy" is enforced rather than asserted in a docstring.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.check.callgraph import ProjectIndex, ProjectRule
+from repro.check.engine import Finding
+
+_STDLIB = frozenset(
+    getattr(sys, "stdlib_module_names", ())
+) or frozenset({
+    # 3.9 fallback: the names this repo could plausibly import
+    "abc", "argparse", "array", "ast", "asyncio", "collections",
+    "contextlib", "copy", "csv", "ctypes", "dataclasses", "enum",
+    "errno", "functools", "gc", "hashlib", "heapq", "html", "http",
+    "importlib", "inspect", "io", "itertools", "json", "logging",
+    "math", "mmap", "multiprocessing", "os", "pathlib", "pickle",
+    "platform", "queue", "random", "re", "resource", "secrets",
+    "select", "selectors", "shutil", "signal", "socket", "sqlite3",
+    "stat", "string", "struct", "subprocess", "sys", "tempfile",
+    "textwrap", "threading", "time", "timeit", "tomllib", "traceback",
+    "types", "typing", "unittest", "urllib", "uuid", "warnings",
+    "weakref", "zlib",
+})
+
+
+def load_check_config(start: Optional[str] = None) -> dict:
+    """Locate and parse ``[tool.repro-check]`` from the nearest
+    ``pyproject.toml`` at or above ``start`` (default: cwd).  Returns
+    ``{}`` when no config exists -- the layering rule then no-ops."""
+    here = Path(start or ".").resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in [here] + list(here.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.exists():
+            return parse_check_config(pyproject.read_text())
+    return {}
+
+
+def parse_check_config(text: str) -> dict:
+    """Parse the ``[tool.repro-check.*]`` tables out of pyproject text."""
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: minimal fallback parser
+        return _parse_fallback(text)
+    data = tomllib.loads(text)
+    tool = data.get("tool", {}).get("repro-check", {})
+    return {
+        "layers": dict(tool.get("layers", {})),
+        "closed-layers": dict(tool.get("closed-layers", {})),
+    }
+
+
+_SECTION_RE = re.compile(r"^\[tool\.repro-check\.([a-z-]+)\]\s*$")
+_ANY_SECTION_RE = re.compile(r"^\[")
+_ENTRY_RE = re.compile(r'^"?([\w.-]+)"?\s*=\s*\[(.*)\]\s*$')
+
+
+def _parse_fallback(text: str) -> dict:
+    """A just-enough TOML subset parser (``"key" = ["a", "b"]`` lines
+    inside ``[tool.repro-check.*]`` sections) for Python 3.9/3.10."""
+    config: Dict[str, Dict[str, List[str]]] = {}
+    section: Optional[str] = None
+    for line in text.splitlines():
+        line = line.strip()
+        match = _SECTION_RE.match(line)
+        if match:
+            section = match.group(1)
+            config.setdefault(section, {})
+            continue
+        if _ANY_SECTION_RE.match(line):
+            section = None
+            continue
+        if section is None or not line or line.startswith("#"):
+            continue
+        entry = _ENTRY_RE.match(line)
+        if entry:
+            values = [
+                part.strip().strip('"').strip("'")
+                for part in entry.group(2).split(",")
+                if part.strip()
+            ]
+            config[section][entry.group(1)] = values
+    return {
+        "layers": config.get("layers", {}),
+        "closed-layers": config.get("closed-layers", {}),
+    }
+
+
+def _in_layer(dotted: str, prefix: str) -> bool:
+    return dotted == prefix or dotted.startswith(prefix + ".")
+
+
+class ArchLayerRule(ProjectRule):
+    """ARCH601: a module imports across the declared layer boundaries."""
+
+    rule_id = "ARCH601"
+    severity = "error"
+    description = "top-level imports must respect the declared layer map"
+
+    def _layer_of(self, dotted: str, layers: Dict[str, list]) -> Optional[str]:
+        best: Optional[str] = None
+        for prefix in layers:
+            if _in_layer(dotted, prefix):
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        return best
+
+    @staticmethod
+    def _resolve_allow(entry: str, layers: Dict[str, list]) -> str:
+        """Map a short allow-list entry (``"core"``) to its declared
+        layer key (``"repro.core"``); full keys pass through."""
+        if entry in layers:
+            return entry
+        for key in layers:
+            if key.endswith("." + entry):
+                return key
+        return entry
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        layers: Dict[str, list] = self.config.get("layers") or {}
+        closed: Dict[str, list] = self.config.get("closed-layers") or {}
+        if not layers and not closed:
+            return
+        for summary in index.summaries():
+            own = self._layer_of(summary.module, layers)
+            if own is None:
+                continue
+            allowed = {
+                self._resolve_allow(entry, layers)
+                for entry in layers.get(own, ())
+            }
+            external_ok = closed.get(own)
+            for dotted, line, col in summary.top_imports:
+                if not dotted:
+                    continue  # ``from . import x`` resolved empty
+                target = self._layer_of(dotted, layers)
+                if target is not None:
+                    if target == own or target in allowed:
+                        continue
+                    yield self.finding_at(
+                        summary.path,
+                        line,
+                        col,
+                        f"layer {own!r} must not import layer {target!r} "
+                        f"({dotted}); allowed: "
+                        f"{sorted(allowed) or 'nothing'}",
+                    )
+                elif external_ok is not None:
+                    root = dotted.split(".")[0]
+                    if root in _STDLIB or root in external_ok:
+                        continue
+                    if _in_layer(dotted, own):
+                        continue
+                    yield self.finding_at(
+                        summary.path,
+                        line,
+                        col,
+                        f"closed layer {own!r} imports {dotted!r}; only "
+                        f"stdlib and {sorted(external_ok)} are allowed "
+                        "at the top level",
+                    )

@@ -1,0 +1,105 @@
+"""LOCKSET: path-sensitive lock discipline.
+
+LOCK301 (upgraded): the original rule flagged blocking calls *textually*
+inside a ``with lock:`` block, which both missed
+``lock.acquire()``-style holds and false-positived on code that exits
+the ``with`` before blocking.  The v2 rule runs the lockset dataflow
+fixpoint over the function's CFG and flags a blocking call only when
+some path actually reaches it with a lock held.
+
+LOCK302: inconsistent lock acquisition *order*.  Two code paths taking
+the same pair of locks in opposite orders deadlock the first time they
+interleave; the edges come from the callgraph summaries, so the two
+paths may live in different modules (the executor/shm pair is the
+motivating case).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.check.callgraph import ProjectIndex, ProjectRule
+from repro.check.cfg import build_cfg, function_defs
+from repro.check.dataflow import iter_event_states
+from repro.check.domain import blocking_calls_in, lockset_transfer
+from repro.check.engine import Finding, LintRule, Module
+
+
+class LockAcrossBlockingRule(LintRule):
+    """LOCK301: a blocking pipe/queue/spawn call on a path holding a lock.
+
+    Inside a critical section a ``conn.recv()`` (or worker spawn, which
+    forks and builds pipes) stalls every other thread contending for
+    the lock for as long as the peer takes -- the exact shape of the
+    pool-wide stall the monitor loop once caused.  ``.wait()`` is
+    exempt: condition variables release the lock while waiting.
+    Release before blocking (on every path) and the rule stays quiet.
+    """
+
+    rule_id = "LOCK301"
+    severity = "error"
+    description = "no blocking pipe/queue/spawn call while a lock is held"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for qual, fn in function_defs(module.tree):
+            cfg = build_cfg(fn)
+            reported: Set[int] = set()
+            for event, state in iter_event_states(cfg, lockset_transfer):
+                if event[0] != "stmt" or not state:
+                    continue
+                for call, label in blocking_calls_in(event[1]):
+                    if id(call) in reported:
+                        continue
+                    reported.add(id(call))
+                    held = ", ".join(sorted(str(t) for t in state))
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{qual!r} calls blocking {label!r} while holding "
+                        f"{held}; release the lock before blocking",
+                    )
+
+
+class LockOrderRule(ProjectRule):
+    """LOCK302: the same pair of locks is taken in both orders.
+
+    Every acquisition made while another lock is held contributes an
+    edge ``held -> acquired`` (lock names are class-qualified, so
+    ``PoolExecutor._lock`` and ``SlabPool._lock`` keep their identity
+    across modules).  An edge pair ``A -> B`` and ``B -> A`` means two
+    interleavable paths can each hold the lock the other wants.
+    """
+
+    rule_id = "LOCK302"
+    severity = "error"
+    description = "lock pairs must be acquired in one global order"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        # (held, acquired) -> list of (path, line, col)
+        edges: Dict[Tuple[str, str], List[Tuple[str, int, int]]] = {}
+        for summary in index.summaries():
+            for info in summary.functions.values():
+                for order in info.lock_orders:
+                    edges.setdefault(
+                        (order.held, order.acquired), []
+                    ).append((summary.path, order.line, order.col))
+        seen: Set[Tuple[str, int, str, str]] = set()
+        for (held, acquired), sites in sorted(edges.items()):
+            reverse = edges.get((acquired, held))
+            if not reverse:
+                continue
+            other = reverse[0]
+            for path, line, col in sites:
+                key = (path, line, held, acquired)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding_at(
+                    path,
+                    line,
+                    col,
+                    f"acquires {acquired} while holding {held}, but "
+                    f"{other[0]}:{other[1]} acquires them in the opposite "
+                    "order; pick one global order for this lock pair",
+                )

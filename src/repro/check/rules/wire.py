@@ -1,0 +1,394 @@
+"""PROTO: wire-frame hardening for the binary serve protocol.
+
+A length field decoded from an untrusted frame header that reaches an
+allocation-sizing expression before being validated is a remote memory
+amplifier: one crafted 40-byte header can demand a multi-gigabyte
+``np.zeros``.  PROTO501 is a small flow-sensitive taint pass over the
+CFG: ``struct.unpack`` results and header-parameter fields are taint
+sources, allocation sizes / read lengths / slice bounds are sinks, and
+a comparison mentioning the value (``if m > cap: raise``, ``assert``)
+sanitises it on the paths beyond the test.
+
+PROTO502 cross-checks the declared struct layouts themselves: the
+``# NN`` byte-size comments against ``struct.calcsize``, and
+``pack``/``unpack`` arity against the format's field count -- the
+drift that silently shears every later field when someone widens one.
+
+Both rules only engage in modules that import :mod:`struct`, so the
+kernel code never pays for them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import struct as struct_mod
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.check.cfg import Event, build_cfg, function_defs, walk_stmt_expr
+from repro.check.dataflow import iter_event_states
+from repro.check.engine import Finding, LintRule, Module, dotted_name
+
+State = FrozenSet[Tuple[str, str]]
+
+_HEADER_PARAM_NAMES = ("header", "hdr", "frame")
+_SANITIZER_HINTS = ("valid", "check", "ensure", "clamp")
+_ALLOC_FUNCS = frozenset({"empty", "zeros", "ones", "full"})
+_READ_FUNCS = frozenset({"readexactly", "read_bytes", "read", "recv"})
+
+
+def _module_imports_struct(module: Module) -> bool:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            if any(a.name == "struct" for a in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "struct":
+                return True
+    return False
+
+
+def _header_params(fn: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for arg in fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs:
+        if arg.arg.lower() in _HEADER_PARAM_NAMES:
+            names.add(arg.arg)
+            continue
+        ann = arg.annotation
+        ann_name = None
+        if isinstance(ann, ast.Name):
+            ann_name = ann.id
+        elif isinstance(ann, ast.Attribute):
+            ann_name = ann.attr
+        elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            ann_name = ann.value.split(".")[-1]
+        if ann_name and ann_name.endswith("Header"):
+            names.add(arg.arg)
+    return names
+
+
+class FrameTaintRule(LintRule):
+    """PROTO501: unvalidated wire-header fields sizing allocations."""
+
+    rule_id = "PROTO501"
+    severity = "error"
+    description = "wire-decoded sizes must be bounds-checked before use"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not _module_imports_struct(module):
+            return
+        for qual, fn in function_defs(module.tree):
+            yield from self._check_function(module, qual, fn)
+
+    # -- taint machinery ----------------------------------------------
+    def _tokens_in(
+        self, expr: ast.AST, header_params: Set[str]
+    ) -> Set[str]:
+        tokens: Set[str] = set()
+        for sub in walk_stmt_expr(expr):
+            if isinstance(sub, ast.Name):
+                tokens.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                dotted = dotted_name(sub)
+                parts = dotted.split(".")
+                if len(parts) == 2 and parts[0] in header_params:
+                    tokens.add(dotted)
+        return tokens
+
+    @staticmethod
+    def _is_tainted(token: str, state: State, header_params: Set[str]) -> bool:
+        if ("s", token) in state:
+            return False
+        if ("t", token) in state:
+            return True
+        return "." in token and token.split(".")[0] in header_params
+
+    def _transfer(
+        self, header_params: Set[str]
+    ) -> Callable[[State, Event], State]:
+        def transfer(state: State, event: Event) -> State:
+            kind = event[0]
+            if kind == "guard":
+                expr = event[1]
+                sanitized = set()
+                for sub in walk_stmt_expr(expr):
+                    if isinstance(sub, ast.Compare):
+                        sanitized.update(
+                            self._tokens_in(sub, header_params)
+                        )
+                if sanitized:
+                    return state | {("s", tok) for tok in sanitized}
+                return state
+            if kind != "stmt":
+                return state
+            node = event[1]
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                names: List[str] = []
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name) and isinstance(
+                            sub.ctx, ast.Store
+                        ):
+                            names.append(sub.id)
+                value = node.value
+                if value is None:
+                    return state
+                if isinstance(value, ast.Call):
+                    callee = dotted_name(value.func).split(".")[-1].lower()
+                    if any(h in callee for h in _SANITIZER_HINTS):
+                        # m = _validated_m(header.m): the validator's
+                        # return value is trusted by construction
+                        out = {
+                            fact for fact in state
+                            if fact[1] not in names
+                        }
+                        out.update(("s", name) for name in names)
+                        return frozenset(out)
+                from_unpack = any(
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in ("unpack", "unpack_from")
+                    for sub in walk_stmt_expr(value)
+                )
+                rhs_tainted = from_unpack or any(
+                    self._is_tainted(tok, state, header_params)
+                    for tok in self._tokens_in(value, header_params)
+                )
+                out = {
+                    fact for fact in state if fact[1] not in names
+                }
+                if rhs_tainted:
+                    out.update(("t", name) for name in names)
+                return frozenset(out)
+            if isinstance(node, ast.Expr) and isinstance(
+                node.value, ast.Call
+            ):
+                call = node.value
+                name = dotted_name(call.func).split(".")[-1].lower()
+                if any(hint in name for hint in _SANITIZER_HINTS):
+                    sanitized = set()
+                    for arg in list(call.args) + [
+                        k.value for k in call.keywords
+                    ]:
+                        sanitized.update(
+                            self._tokens_in(arg, header_params)
+                        )
+                    if sanitized:
+                        return state | {("s", t) for t in sanitized}
+            return state
+
+        return transfer
+
+    # -- sinks ---------------------------------------------------------
+    def _sink_exprs(
+        self, node: ast.AST
+    ) -> Iterator[Tuple[ast.AST, str, ast.AST]]:
+        """``(sizing_expr, sink_kind, report_node)`` triples."""
+        for sub in walk_stmt_expr(node):
+            if isinstance(sub, ast.Call):
+                last = dotted_name(sub.func).split(".")[-1]
+                if last == "frombuffer":
+                    for kw in sub.keywords:
+                        if kw.arg == "count":
+                            yield kw.value, "np.frombuffer count", sub
+                elif last in _ALLOC_FUNCS and sub.args:
+                    yield sub.args[0], f"np.{last} shape", sub
+                elif last in ("bytes", "bytearray") and sub.args:
+                    arg = sub.args[0]
+                    if not isinstance(arg, (ast.Constant, ast.Bytes)):
+                        yield arg, f"{last}() size", sub
+                elif last in _READ_FUNCS and sub.args:
+                    yield sub.args[0], f"{last}() length", sub
+            elif isinstance(sub, ast.Subscript) and isinstance(
+                sub.slice, ast.Slice
+            ):
+                for bound in (sub.slice.lower, sub.slice.upper):
+                    if bound is not None and not isinstance(
+                        bound, ast.Constant
+                    ):
+                        yield bound, "slice bound", sub
+
+    def _check_function(
+        self, module: Module, qual: str, fn: ast.AST
+    ) -> Iterator[Finding]:
+        header_params = _header_params(fn)
+        cfg = build_cfg(fn)
+        transfer = self._transfer(header_params)
+        reported: Set[Tuple[int, str]] = set()
+        for event, state in iter_event_states(cfg, transfer):
+            if event[0] != "stmt":
+                continue
+            for sizing, kind, report in self._sink_exprs(event[1]):
+                for token in sorted(
+                    self._tokens_in(sizing, header_params)
+                ):
+                    if not self._is_tainted(token, state, header_params):
+                        continue
+                    key = (id(report), token)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield self.finding(
+                        module,
+                        report,
+                        f"wire-decoded {token!r} reaches {kind} in "
+                        f"{qual!r} before any bounds check; validate "
+                        "it against the payload cap first",
+                    )
+
+
+# ----------------------------------------------------------------------
+# PROTO502: struct layout consistency
+# ----------------------------------------------------------------------
+
+_SIZE_COMMENT_RE = re.compile(r"#\s*(\d+)\s*(?:bytes?)?\s*$")
+
+
+def _format_fields(fmt: str) -> int:
+    """Number of values ``pack``/``unpack`` exchange for a format."""
+    count = 0
+    repeat = ""
+    for ch in fmt:
+        if ch in "@=<>!":
+            continue
+        if ch.isdigit():
+            repeat += ch
+            continue
+        if ch == "x":
+            repeat = ""
+            continue
+        if ch in ("s", "p"):
+            count += 1  # one bytes object regardless of repeat
+        else:
+            count += int(repeat) if repeat else 1
+        repeat = ""
+    return count
+
+
+class StructLayoutRule(LintRule):
+    """PROTO502: packed layouts must match their documented shape.
+
+    Checks, for every ``NAME = struct.Struct("...")`` in the module:
+    a trailing ``# NN`` size comment on ``X = NAME.size`` lines against
+    ``struct.calcsize``; tuple-unpack arity of ``NAME.unpack(...)``
+    against the format's field count; and ``NAME.pack(...)`` argument
+    arity likewise.
+    """
+
+    rule_id = "PROTO502"
+    severity = "error"
+    description = "struct format, size comments and arity must agree"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not _module_imports_struct(module):
+            return
+        layouts: Dict[str, Tuple[str, int, int]] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if not (
+                isinstance(value, ast.Call)
+                and dotted_name(value.func).split(".")[-1] == "Struct"
+                and value.args
+                and isinstance(value.args[0], ast.Constant)
+                and isinstance(value.args[0].value, str)
+            ):
+                continue
+            fmt = value.args[0].value
+            try:
+                size = struct_mod.calcsize(fmt)
+            except struct_mod.error:
+                continue
+            layouts[target.id] = (fmt, size, _format_fields(fmt))
+            line = module.lines[node.lineno - 1]
+            match = _SIZE_COMMENT_RE.search(line)
+            if match and int(match.group(1)) != size:
+                yield self.finding(
+                    module,
+                    node,
+                    f"size comment says {match.group(1)} bytes but "
+                    f"struct.calcsize({fmt!r}) is {size}; fix the "
+                    "comment or the format",
+                )
+
+        if not layouts:
+            return
+        for node in ast.walk(module.tree):
+            yield from self._check_node(module, node, layouts)
+
+    def _check_node(
+        self,
+        module: Module,
+        node: ast.AST,
+        layouts: Dict[str, Tuple[str, int, int]],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Attribute
+        ):
+            value = node.value
+            if (
+                value.attr == "size"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in layouts
+            ):
+                fmt, size, _ = layouts[value.value.id]
+                line = module.lines[node.lineno - 1]
+                match = _SIZE_COMMENT_RE.search(line)
+                if match and int(match.group(1)) != size:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"size comment says {match.group(1)} bytes but "
+                        f"struct.calcsize({fmt!r}) is {size}; fix the "
+                        "comment or the format",
+                    )
+        if isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Call
+        ):
+            call = node.value
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("unpack", "unpack_from")
+                and isinstance(func.value, ast.Name)
+                and func.value.id in layouts
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], (ast.Tuple, ast.List))
+            ):
+                fmt, _, nfields = layouts[func.value.id]
+                got = len(node.targets[0].elts)
+                if got != nfields:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"unpacking {func.value.id} ({fmt!r}, {nfields} "
+                        f"fields) into {got} names; every later field "
+                        "shears",
+                    )
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "pack"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in layouts
+                and not any(isinstance(a, ast.Starred) for a in node.args)
+                and not node.keywords
+            ):
+                fmt, _, nfields = layouts[func.value.id]
+                if node.args and len(node.args) != nfields:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{func.value.id}.pack() called with "
+                        f"{len(node.args)} values but {fmt!r} has "
+                        f"{nfields} fields",
+                    )

@@ -76,7 +76,8 @@ import argparse
 import json
 import sys
 import time
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -533,18 +534,65 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if ok == len(graphs) or args.allow_failures else 1
 
 
+def _changed_python_files(paths: List[str]) -> Optional[Set[str]]:
+    """Posix paths of tracked-but-modified plus untracked ``.py`` files
+    under ``paths``, from git; ``None`` when git is unavailable."""
+    import subprocess
+
+    changed: Set[str] = set()
+    for argv in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                argv, capture_output=True, text=True, timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        changed.update(
+            line.strip() for line in proc.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    roots = [Path(p).as_posix().rstrip("/") for p in paths]
+    return {
+        f for f in changed
+        if any(f == r or f.startswith(r + "/") for r in roots)
+    }
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.check import (
         CheckEngine,
+        StaleBaselineError,
         all_rules,
         load_baseline,
         write_baseline,
     )
 
     only = [r for r in args.rules.split(",") if r] or None
-    engine = CheckEngine(all_rules(only=only))
+    cache_path = None if args.no_cache else args.cache
+    engine = CheckEngine(all_rules(only=only), cache_path=cache_path)
     baseline = load_baseline(args.baseline) if args.baseline else None
-    report = engine.check_paths(args.paths, baseline=baseline)
+    restrict: Optional[Set[str]] = None
+    if args.changed_only:
+        restrict = _changed_python_files(args.paths)
+        if restrict is None:
+            print(
+                "repro check: --changed-only needs a git checkout "
+                "(git diff failed)",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        report = engine.check_paths(
+            args.paths, baseline=baseline, restrict=restrict
+        )
+    except StaleBaselineError as exc:
+        print(f"repro check: stale baseline: {exc}", file=sys.stderr)
+        return 2
     if args.write_baseline:
         write_baseline(
             report.findings + report.baselined, args.write_baseline
@@ -836,6 +884,16 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--write-baseline", default="", metavar="PATH",
                        help="record the current findings as the baseline "
                             "and exit 0")
+    check.add_argument("--changed-only", action="store_true",
+                       help="report findings only for files git considers "
+                            "changed (all files are still summarized so "
+                            "cross-module rules stay sound)")
+    check.add_argument("--cache", default=".check_cache.json",
+                       metavar="PATH",
+                       help="incremental cache file (default: "
+                            ".check_cache.json)")
+    check.add_argument("--no-cache", action="store_true",
+                       help="disable the incremental cache")
     check.set_defaults(func=_cmd_check)
 
     return parser

@@ -20,7 +20,7 @@ Scales comfortably to hundreds of thousands of nodes; see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Iterable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -42,7 +42,9 @@ GraphLike = Union[AdjacencyMatrix, np.ndarray]
 _PACK_LIMIT = 3_000_000_000
 
 
-def _canonical_pairs(n: int, lo: np.ndarray, hi: np.ndarray):
+def _canonical_pairs(
+    n: int, lo: np.ndarray, hi: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
     """Sorted, duplicate-free ``(lo, hi)`` pairs with ``lo < hi``."""
     if lo.size == 0:
         empty = np.empty(0, dtype=np.int64)
@@ -128,7 +130,9 @@ class EdgeListGraph:
         return graph
 
     @staticmethod
-    def from_edges(n: int, edges) -> "EdgeListGraph":
+    def from_edges(
+        n: int, edges: Iterable[Tuple[int, int]]
+    ) -> "EdgeListGraph":
         """Build from an iterable of undirected ``(u, v)`` pairs.
 
         Self-loops are dropped and parallel edges deduplicated (an
@@ -226,7 +230,9 @@ def connected_components_edgelist(
     return EdgeListResult(labels=C, iterations=total)
 
 
-def random_edge_list(n: int, m: int, seed=None) -> EdgeListGraph:
+def random_edge_list(
+    n: int, m: int, seed: Union[None, int, np.random.Generator] = None
+) -> EdgeListGraph:
     """A random multigraph-free edge list with ~``m`` undirected edges --
     the workload generator for the large-scale bench (sampling pairs
     directly instead of materialising an n x n matrix)."""

@@ -36,7 +36,7 @@ minimum-index labelling every other engine emits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -76,7 +76,7 @@ def connected_components_parallel(
     graph: EdgeListGraph,
     variant: str = "fastsv",
     chunks: Optional[int] = None,
-    pool=None,
+    pool: Optional[Any] = None,
     max_rounds: Optional[int] = None,
     seed: int = DEFAULT_SEED,
 ) -> ParallelResult:
@@ -182,7 +182,7 @@ def _solve_pooled(
     graph: EdgeListGraph,
     variant: str,
     chunks: Optional[int],
-    pool,
+    pool: Optional[Any],
     max_rounds: Optional[int],
     seed: int,
 ) -> ParallelResult:

@@ -193,7 +193,7 @@ def _reduce_rows(machine: PRAM, n: int, subgens: int, label: str) -> None:
             if j + stride < n
         ]
 
-        def reduce_pair(ctx: StepContext, _stride=stride) -> None:
+        def reduce_pair(ctx: StepContext, _stride: int = stride) -> None:
             own = ctx.read("TMP", ctx.pid)
             partner = ctx.read("TMP", ctx.pid + _stride)
             if partner < own:

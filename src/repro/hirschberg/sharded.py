@@ -57,7 +57,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -188,7 +188,7 @@ def _as_stream(
     if isinstance(source, EdgeListGraph):
         edges = int(source.src.size)
 
-        def chunks():
+        def chunks() -> Iterator[Tuple[np.ndarray, np.ndarray]]:
             for start in range(0, max(edges, 1), DEFAULT_CHUNK_EDGES):
                 stop = min(start + DEFAULT_CHUNK_EDGES, edges)
                 if stop > start:
@@ -219,7 +219,7 @@ def _as_stream(
 
 
 def _resolve_workers(
-    workers: Optional[int], pool, edges: int
+    workers: Optional[int], pool: Optional[Any], edges: int
 ) -> int:
     """How many shard solves may be in flight (0 = inline)."""
     if workers is not None:
@@ -282,7 +282,7 @@ def connected_components_sharded(
     memory_budget: Optional[int] = None,
     workers: Optional[int] = None,
     workdir: Optional[Union[str, Path]] = None,
-    pool=None,
+    pool: Optional[Any] = None,
     spot_check: bool = False,
     spot_check_seed: int = 0,
     keep_workdir: bool = False,

@@ -738,10 +738,12 @@ def run_gateway(
                     loop.add_signal_handler(signum, stop.set)
                     installed.append(signum)
                 except (NotImplementedError, RuntimeError):
-                    signal.signal(
-                        signum,
-                        lambda *_: loop.call_soon_threadsafe(stop.set),
-                    )
+                    def _request_stop(*_: object) -> None:
+                        try:
+                            loop.call_soon_threadsafe(stop.set)
+                        except RuntimeError:
+                            pass  # loop already closed by a racing stop
+                    signal.signal(signum, _request_stop)
         try:
             await stop.wait()
             wire_drained = await gateway.aclose(drain=True)

@@ -376,6 +376,12 @@ def decode_pairs(
         )
     wire_dtype = DTYPES[header.dtype]
     flat = np.frombuffer(payload, dtype=wire_dtype)
+    if flat.size != 2 * header.m:
+        raise ProtocolError(
+            f"header declares m={header.m} edges but the payload holds "
+            f"{flat.size} {wire_dtype.name} words; refusing to shear "
+            "the endpoint arrays"
+        )
     return flat[:header.m], flat[header.m:]
 
 

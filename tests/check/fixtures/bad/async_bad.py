@@ -1,0 +1,46 @@
+"""Planted async-discipline violations: every ASYNC4xx rule fires.
+
+ASYNC401 both directly (time.sleep in a coroutine) and through a sync
+call chain the per-file v1 visitor could never follow; ASYNC402 a
+coroutine invoked bare; ASYNC403 both a dropped task handle and an
+unguarded cross-thread wakeup; ASYNC404 an await inside a sync
+critical section."""
+
+import asyncio
+import threading
+import time
+
+_state_lock = threading.Lock()
+
+
+def _read_frame(conn):
+    return conn.recv()
+
+
+def _decode(conn):
+    return _read_frame(conn)
+
+
+async def handles_request(conn):
+    frame = _decode(conn)        # ASYNC401: blocking two frames down
+    time.sleep(0.01)             # ASYNC401: blocking in the coroutine
+    return frame
+
+
+async def _refresh():
+    await asyncio.sleep(0)
+
+
+async def kicks_off_work():
+    _refresh()                       # ASYNC402: never awaited
+    asyncio.create_task(_refresh())  # ASYNC403: handle dropped
+
+
+def wake_loop(loop, stop):
+    loop.call_soon_threadsafe(stop.set)  # ASYNC403: loop may be closed
+
+
+async def publishes(result):
+    with _state_lock:
+        await asyncio.sleep(0)       # ASYNC404: await under a sync lock
+        return result

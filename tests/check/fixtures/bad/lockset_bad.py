@@ -1,0 +1,30 @@
+"""Planted lockset violations: LOCK301 (blocking while held, through
+the acquire()/release() style the v1 rule could not see) and LOCK302
+(the same lock pair taken in both orders)."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def blocking_under_acquire(conn):
+    # v1 only saw ``with lock:`` blocks; the flow-sensitive pass sees
+    # the acquire()-style hold too
+    LOCK_A.acquire()
+    try:
+        return conn.recv()
+    finally:
+        LOCK_A.release()
+
+
+def forward_order(conn):
+    with LOCK_A:
+        with LOCK_B:
+            return conn.fileno()
+
+
+def reverse_order(conn):
+    with LOCK_B:
+        with LOCK_A:
+            return conn.fileno()

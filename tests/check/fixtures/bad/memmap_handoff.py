@@ -1,0 +1,15 @@
+"""Planted SHM203 handoff leak: the memmap is passed to a helper, so
+the local rule trusts the handoff -- but the helper only reads the
+array and never unmaps it.  Only the cross-function half (the
+callgraph pass) can see the leak."""
+
+import numpy as np
+
+
+def build_index(path, n):
+    mm = np.memmap(path, dtype=np.uint64, mode="r", shape=(n,))
+    return summarize(mm)
+
+
+def summarize(mm):
+    return int(mm.sum()), int(mm.max())

@@ -1,0 +1,26 @@
+"""Planted wire-protocol violations.
+
+PROTO501: a header-decoded length sizes an allocation and bounds a
+slice with no validation between decode and use.  PROTO502: a size
+comment that drifted from the format, and an unpack that shears the
+trailing field."""
+
+import struct
+
+import numpy as np
+
+HEADER = struct.Struct("<IIQ")  # 12 bytes  (actually 16: drifted)
+
+
+def decode(header, payload):
+    flat = np.frombuffer(payload, dtype=np.uint64, count=header.m)
+    return flat[:header.m]
+
+
+def read_body(sock, hdr):
+    return sock.recv(hdr.payload_bytes)
+
+
+def parse(buf):
+    kind, flags = HEADER.unpack(buf)  # shears the third field
+    return kind, flags

@@ -1,0 +1,58 @@
+"""Async discipline done right: the near-miss twins of async_bad.
+
+Blocking work crosses the loop boundary only through an executor
+bridge, coroutines are awaited or kept as tracked tasks, cross-thread
+wakeups guard against a closing loop, and sync locks are dropped
+before any await."""
+
+import asyncio
+import threading
+import time
+
+_state_lock = threading.Lock()
+_tasks = set()
+
+
+def _read_frame(conn):
+    return conn.recv()
+
+
+def _decode(conn):
+    return _read_frame(conn)
+
+
+async def handles_request(loop, conn):
+    # the sync chain still blocks -- but on a worker thread
+    frame = await loop.run_in_executor(None, _decode, conn)
+    await asyncio.sleep(0.01)
+    return frame
+
+
+async def _refresh():
+    await asyncio.sleep(0)
+
+
+async def kicks_off_work():
+    await _refresh()
+    task = asyncio.create_task(_refresh())
+    _tasks.add(task)
+    task.add_done_callback(_tasks.discard)
+    return task
+
+
+def wake_loop(loop, stop):
+    try:
+        loop.call_soon_threadsafe(stop.set)
+    except RuntimeError:
+        pass  # the loop closed under us during shutdown
+
+
+async def publishes(result):
+    with _state_lock:
+        staged = result
+    await asyncio.sleep(0)
+    return staged
+
+
+def sync_sleep_is_fine():
+    time.sleep(0.001)

@@ -1,0 +1,43 @@
+"""Lock discipline done right: the near-miss shapes of lockset_bad.
+
+Released-before-blocking must stay quiet (the v1 textual rule false
+positived on the first function), and a consistent global order for a
+lock pair is fine however many sites take it."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def release_then_block(conn):
+    LOCK_A.acquire()
+    try:
+        payload = b"x"
+    finally:
+        LOCK_A.release()
+    return conn.recv(), payload
+
+
+def with_exits_before_blocking(conn):
+    with LOCK_A:
+        fd = conn.fileno()
+    return conn.recv(), fd
+
+
+def consistent_order_one(conn):
+    with LOCK_A:
+        with LOCK_B:
+            return conn.fileno()
+
+
+def consistent_order_two(conn):
+    with LOCK_A:
+        with LOCK_B:
+            return conn.fileno() + 1
+
+
+def condition_wait_is_exempt(cond):
+    # Condition.wait releases the lock while waiting
+    with cond.wait_lock:
+        cond.wait()

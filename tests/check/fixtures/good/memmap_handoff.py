@@ -1,0 +1,37 @@
+"""SHM203 handoff done right: the callee either unmaps the mapping on
+every path, stores it for a tracked lifetime, or forwards it to a
+disposer -- all shapes the cross-function pass accepts."""
+
+import numpy as np
+
+
+def build_index(path, n):
+    mm = np.memmap(path, dtype=np.uint64, mode="r", shape=(n,))
+    return summarize_and_close(mm)
+
+
+def summarize_and_close(mm):
+    try:
+        return int(mm.sum()), int(mm.max())
+    finally:
+        mm._mmap.close()
+
+
+def build_forwarded(path, n):
+    mm = np.memmap(path, dtype=np.uint64, mode="r", shape=(n,))
+    return _delegate(mm)
+
+
+def _delegate(mm):
+    return summarize_and_close(mm)
+
+
+class MapOwner:
+    """Storing the mapping hands its lifetime to the owner object."""
+
+    def __init__(self, path, n):
+        mm = np.memmap(path, dtype=np.uint64, mode="r", shape=(n,))
+        self._mm = mm
+
+    def close(self):
+        self._mm._mmap.close()

@@ -1,0 +1,126 @@
+"""A vendored subset of the OASIS SARIF 2.1.0 JSON schema.
+
+The full schema is ~350 KB; this subset pins every property
+``CheckReport.to_sarif`` emits (plus the spec's required fields and
+enum values for them) so a drifting emitter fails loudly, without
+needing network access or the full vendored file.
+"""
+
+SARIF_SCHEMA_SUBSET = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string",
+                                        "format": "uri",
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {
+                                                        "text": {
+                                                            "type": "string"
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type":
+                                                                "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                            "additionalProperties": True,
+                        },
+                    },
+                },
+            },
+        },
+    },
+}

@@ -1,0 +1,56 @@
+"""Strict baselines: retired rule ids and malformed keys fail loudly
+instead of silently rebasing debt."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    CheckEngine,
+    StaleBaselineError,
+    all_rules,
+    validate_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+KNOWN = {r.rule_id for r in all_rules()}
+
+
+def test_valid_baseline_passes():
+    validate_baseline({"src/a.py::LOCK301::holds while blocking": 2}, KNOWN)
+
+
+def test_retired_rule_id_raises():
+    with pytest.raises(StaleBaselineError, match="RETIRED999"):
+        validate_baseline({"src/a.py::RETIRED999::old message": 1}, KNOWN)
+
+
+def test_malformed_key_raises():
+    with pytest.raises(StaleBaselineError, match="path::rule::message"):
+        validate_baseline({"just-a-path.py": 1}, KNOWN)
+
+
+def test_empty_baseline_is_fine():
+    validate_baseline({}, KNOWN)
+
+
+def test_engine_rejects_stale_baseline_on_check_paths():
+    engine = CheckEngine(all_rules())
+    with pytest.raises(StaleBaselineError):
+        engine.check_paths(
+            [(FIXTURES / "good").as_posix()],
+            baseline={"x.py::GONE000::never": 1},
+        )
+
+
+def test_engine_rejects_baseline_for_deselected_rule():
+    # running only LOCK301 makes a CROW001 baseline entry unservable:
+    # its count could never decrement, so it must fail loudly too
+    engine = CheckEngine(all_rules(["LOCK301"]))
+    with pytest.raises(StaleBaselineError):
+        engine.check_paths(
+            [(FIXTURES / "good").as_posix()],
+            baseline={"x.py::CROW001::planted": 1},
+        )

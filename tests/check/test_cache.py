@@ -1,0 +1,133 @@
+"""The content-addressed incremental cache: warm runs skip the parse +
+local pass per unchanged file and reproduce identical findings."""
+
+from __future__ import annotations
+
+import json
+
+from repro.check import CheckEngine, all_rules
+from repro.check.cache import CheckCache, pack_fingerprint, source_digest
+
+BAD = (
+    "import threading\n"
+    "_lock = threading.Lock()\n"
+    "def f(conn):\n"
+    "    with _lock:\n"
+    "        return conn.recv()\n"
+)
+
+
+def _tree(tmp_path):
+    (tmp_path / "a.py").write_text(BAD)
+    (tmp_path / "b.py").write_text("def ok():\n    return 1\n")
+    return tmp_path
+
+
+def _render(report):
+    return [f.render() for f in report.findings]
+
+
+def test_warm_run_reanalyzes_nothing_and_matches(tmp_path):
+    tree = _tree(tmp_path)
+    cache = (tmp_path / "cache.json").as_posix()
+    cold = CheckEngine(all_rules(), cache_path=cache).check_paths(
+        [tree.as_posix()]
+    )
+    assert cold.files_reanalyzed == cold.files_scanned > 0
+    assert cold.cache_hits == 0
+
+    warm = CheckEngine(all_rules(), cache_path=cache).check_paths(
+        [tree.as_posix()]
+    )
+    assert warm.files_reanalyzed == 0
+    assert warm.cache_hits == warm.files_scanned == cold.files_scanned
+    assert _render(warm) == _render(cold)
+
+
+def test_editing_one_file_reanalyzes_only_it(tmp_path):
+    tree = _tree(tmp_path)
+    cache = (tmp_path / "cache.json").as_posix()
+    CheckEngine(all_rules(), cache_path=cache).check_paths([tree.as_posix()])
+    (tree / "b.py").write_text("def ok():\n    return 2\n")
+    again = CheckEngine(all_rules(), cache_path=cache).check_paths(
+        [tree.as_posix()]
+    )
+    assert again.files_reanalyzed == 1
+    assert again.cache_hits == again.files_scanned - 1
+
+
+def test_rule_selection_changes_fingerprint(tmp_path):
+    fp_all = pack_fingerprint([r.rule_id for r in all_rules()], None)
+    fp_some = pack_fingerprint(["LOCK301"], None)
+    fp_conf = pack_fingerprint(
+        [r.rule_id for r in all_rules()], {"layers": {"x": []}}
+    )
+    assert len({fp_all, fp_some, fp_conf}) == 3
+
+
+def test_stale_fingerprint_discards_entries(tmp_path):
+    path = (tmp_path / "c.json").as_posix()
+    cache = CheckCache(path, "fp-one")
+    cache.put("a.py", source_digest("x = 1"), {"findings": []})
+    cache.save()
+    reread = CheckCache(path, "fp-two")
+    assert reread.get("a.py", source_digest("x = 1")) is None
+
+
+def test_digest_mismatch_misses(tmp_path):
+    path = (tmp_path / "c.json").as_posix()
+    cache = CheckCache(path, "fp")
+    cache.put("a.py", source_digest("old"), {"findings": []})
+    assert cache.get("a.py", source_digest("new")) is None
+    assert cache.get("a.py", source_digest("old")) is not None
+
+
+def test_prune_drops_unscanned_files(tmp_path):
+    path = (tmp_path / "c.json").as_posix()
+    cache = CheckCache(path, "fp")
+    cache.put("keep.py", "d1", {"findings": []})
+    cache.put("gone.py", "d2", {"findings": []})
+    cache.prune(["keep.py"])
+    cache.save()
+    payload = json.loads((tmp_path / "c.json").read_text())
+    assert sorted(payload["files"]) == ["keep.py"]
+
+
+def test_corrupt_cache_file_is_ignored(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text("{ not json")
+    cache = CheckCache(path.as_posix(), "fp")
+    assert cache.get("a.py", "digest") is None
+
+
+def test_project_rules_see_cached_summaries(tmp_path):
+    # the LOCK302 inversion spans two files; a warm run must still
+    # report it even though neither file is reanalyzed
+    (tmp_path / "one.py").write_text(
+        "import threading\n"
+        "LOCK_A = threading.Lock()\n"
+        "LOCK_B = threading.Lock()\n"
+        "def fwd(conn):\n"
+        "    with LOCK_A:\n"
+        "        with LOCK_B:\n"
+        "            return conn.fileno()\n"
+    )
+    (tmp_path / "two.py").write_text(
+        "from one import LOCK_A, LOCK_B\n"
+        "def rev(conn):\n"
+        "    with LOCK_B:\n"
+        "        with LOCK_A:\n"
+        "            return conn.fileno()\n"
+    )
+    cache = (tmp_path / "cache.json").as_posix()
+    cold = CheckEngine(all_rules(), cache_path=cache).check_paths(
+        [tmp_path.as_posix()]
+    )
+    warm = CheckEngine(all_rules(), cache_path=cache).check_paths(
+        [tmp_path.as_posix()]
+    )
+    assert warm.files_reanalyzed == 0
+    cold_ids = sorted(f.rule_id for f in cold.findings)
+    warm_ids = sorted(f.rule_id for f in warm.findings)
+    assert "LOCK302" in warm_ids
+    assert warm_ids == cold_ids

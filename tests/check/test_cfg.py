@@ -1,0 +1,187 @@
+"""The per-function CFG builder: structure, unwinding, event order."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.check.cfg import build_cfg, function_defs, walk_stmt_expr
+
+
+def _fn(source: str):
+    tree = ast.parse(source)
+    defs = dict(function_defs(tree))
+    assert len(defs) == 1, sorted(defs)
+    return next(iter(defs.values()))
+
+
+def _events(cfg, kind=None):
+    out = []
+    for bid in cfg.reachable():
+        for event in cfg.blocks[bid].events:
+            if kind is None or event[0] == kind:
+                out.append(event)
+    return out
+
+
+def test_straight_line_single_block():
+    cfg = build_cfg(_fn("def f():\n    a = 1\n    b = a\n    return b\n"))
+    assert len(cfg.reachable()) >= 1
+    stmts = _events(cfg, "stmt")
+    assert [type(e[1]).__name__ for e in stmts] == [
+        "Assign", "Assign", "Return",
+    ]
+
+
+def test_if_produces_guards_both_senses():
+    cfg = build_cfg(_fn(
+        "def f(x):\n"
+        "    if x > 1:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        a = 2\n"
+        "    return a\n"
+    ))
+    senses = [e[2] for e in _events(cfg, "guard")]
+    assert True in senses and False in senses
+
+
+def test_if_without_else_still_guards_false_arm():
+    cfg = build_cfg(_fn(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "    return x\n"
+    ))
+    senses = [e[2] for e in _events(cfg, "guard")]
+    assert False in senses  # the implicit fall-through arm
+
+
+def test_while_true_has_no_false_exit():
+    cfg = build_cfg(_fn(
+        "def f(q):\n"
+        "    while True:\n"
+        "        item = q.pop()\n"
+        "        if not item:\n"
+        "            break\n"
+        "    return 1\n"
+    ))
+    # the return is reachable only through the break
+    stmts = [type(e[1]).__name__ for e in _events(cfg, "stmt")]
+    assert "Return" in stmts
+
+
+def test_loop_back_edge_exists():
+    cfg = build_cfg(_fn(
+        "def f(n):\n"
+        "    total = 0\n"
+        "    for i in range(n):\n"
+        "        total += i\n"
+        "    return total\n"
+    ))
+    reachable = set(cfg.reachable())
+    has_cycle = False
+    seen = set()
+    stack = [(cfg.entry, frozenset())]
+    while stack:
+        bid, path = stack.pop()
+        if bid in path:
+            has_cycle = True
+            break
+        if bid in seen:
+            continue
+        seen.add(bid)
+        for succ in cfg.blocks[bid].succs:
+            if succ in reachable:
+                stack.append((succ, path | {bid}))
+    assert has_cycle
+
+
+def test_with_enter_exit_events_and_return_unwind():
+    cfg = build_cfg(_fn(
+        "def f(lock):\n"
+        "    with lock:\n"
+        "        return 1\n"
+    ))
+    kinds = [e[0] for e in _events(cfg)]
+    assert "enter_with" in kinds
+    # the return path unwinds the with before leaving the function
+    assert "exit_with" in kinds
+
+
+def test_try_handler_edge_from_body():
+    cfg = build_cfg(_fn(
+        "def f(x):\n"
+        "    try:\n"
+        "        a = risky(x)\n"
+        "    except ValueError:\n"
+        "        a = None\n"
+        "    return a\n"
+    ))
+    stmts = [type(e[1]).__name__ for e in _events(cfg, "stmt")]
+    # both arms visible; the handler is reachable
+    assert stmts.count("Assign") == 2
+
+
+def test_assert_emits_true_guard():
+    cfg = build_cfg(_fn("def f(m):\n    assert m < 10\n    return m\n"))
+    senses = [e[2] for e in _events(cfg, "guard")]
+    assert True in senses
+
+
+def test_nested_defs_not_inlined():
+    cfg = build_cfg(_fn(
+        "def outer(x):\n"
+        "    y = 1\n"
+        "    return y\n"
+    ))
+    assert len(_events(cfg, "stmt")) == 2
+    tree = ast.parse(
+        "def outer(x):\n"
+        "    def inner():\n"
+        "        return 99\n"
+        "    return inner\n"
+    )
+    quals = [q for q, _ in function_defs(tree)]
+    assert quals == ["outer", "outer.inner"]
+    outer = dict(function_defs(tree))["outer"]
+    inner_stmts = _events(build_cfg(outer), "stmt")
+    # inner's return 99 belongs to inner's own CFG
+    assert all(
+        not (isinstance(e[1], ast.Return)
+             and isinstance(e[1].value, ast.Constant)
+             and e[1].value.value == 99)
+        for e in inner_stmts
+    )
+
+
+def test_function_defs_qualifies_methods():
+    tree = ast.parse(
+        "class Pool:\n"
+        "    def acquire(self):\n"
+        "        pass\n"
+        "    async def drain(self):\n"
+        "        pass\n"
+    )
+    quals = sorted(q for q, _ in function_defs(tree))
+    assert quals == ["Pool.acquire", "Pool.drain"]
+
+
+def test_build_cfg_rejects_non_function():
+    with pytest.raises(TypeError):
+        build_cfg(ast.parse("x = 1"))
+
+
+def test_walk_stmt_expr_skips_lambda_bodies():
+    node = ast.parse("f = lambda q: q.recv()").body[0]
+    names = [n.attr for n in walk_stmt_expr(node)
+             if isinstance(n, ast.Attribute)]
+    assert "recv" not in names
+
+
+def test_walk_stmt_expr_keeps_comprehensions():
+    node = ast.parse("xs = [q.get() for q in queues]").body[0]
+    attrs = [n.attr for n in walk_stmt_expr(node)
+             if isinstance(n, ast.Attribute)]
+    assert "get" in attrs

@@ -1,0 +1,115 @@
+"""The forward fixpoint and the canned analyses on top of it."""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet
+
+from repro.check.cfg import build_cfg, function_defs
+from repro.check.dataflow import (
+    expr_names,
+    iter_event_states,
+    reaching_definitions,
+    solve_forward,
+)
+from repro.check.domain import lockset_transfer
+
+
+def _cfg(source: str):
+    tree = ast.parse(source)
+    return build_cfg(next(iter(dict(function_defs(tree)).values())))
+
+
+def test_solve_forward_merges_with_union():
+    # facts: line numbers of executed assigns; at the join both must
+    # survive (may-analysis)
+    cfg = _cfg(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        a = 2\n"
+        "    return a\n"
+    )
+
+    def transfer(state: FrozenSet[int], event) -> FrozenSet[int]:
+        if event[0] == "stmt" and isinstance(event[1], ast.Assign):
+            return state | {event[1].lineno}
+        return state
+
+    states = solve_forward(cfg, transfer)
+    exit_facts = set()
+    for event, state in iter_event_states(cfg, transfer):
+        if event[0] == "stmt" and isinstance(event[1], ast.Return):
+            exit_facts = set(state)
+    assert {3, 5} <= exit_facts
+    assert states  # entry block solved
+
+
+def test_fixpoint_terminates_on_loop():
+    cfg = _cfg(
+        "def f(n):\n"
+        "    i = 0\n"
+        "    while i < n:\n"
+        "        i = i + 1\n"
+        "    return i\n"
+    )
+    reaching = reaching_definitions(cfg)
+    assert reaching  # converged, did not spin
+
+
+def test_reaching_definitions_params_seeded():
+    cfg = _cfg("def f(x, y=1, *args, z, **kw):\n    return x\n")
+    entry = reaching_definitions(cfg)[cfg.entry]
+    names = {name for name, _ in entry}
+    assert {"x", "y", "args", "z", "kw"} <= names
+
+
+def test_reaching_definitions_kill_and_gen():
+    cfg = _cfg(
+        "def f():\n"
+        "    a = 1\n"
+        "    a = 2\n"
+        "    return a\n"
+    )
+    transfer_states = list(iter_event_states(
+        cfg, lambda s, e: s, frozenset()
+    ))
+    assert transfer_states  # events iterate
+    reaching = reaching_definitions(cfg)
+    # at the exit, only the line-3 definition of `a` survives
+    final = reaching[max(reaching)]
+    a_defs = {line for name, line in final if name == "a"}
+    assert 2 not in a_defs or 3 in a_defs
+
+
+def test_lockset_transfer_tracks_with_and_acquire():
+    cfg = _cfg(
+        "def f(conn, lock):\n"
+        "    lock.acquire()\n"
+        "    conn.send(b'x')\n"
+        "    lock.release()\n"
+        "    conn.recv()\n"
+    )
+    held_at = {}
+    for event, state in iter_event_states(cfg, lockset_transfer):
+        if event[0] == "stmt":
+            held_at[event[1].lineno] = set(state)
+    assert held_at[3], "lock held across send"
+    assert not held_at[5], "released before recv"
+
+
+def test_lockset_transfer_ignores_async_with():
+    cfg = _cfg(
+        "async def f(alock):\n"
+        "    async with alock:\n"
+        "        x = 1\n"
+        "    return x\n"
+    )
+    for event, state in iter_event_states(cfg, lockset_transfer):
+        assert not state  # asyncio locks never enter the sync lockset
+
+
+def test_expr_names():
+    node = ast.parse("a + b.c[d]", mode="eval").body
+    assert {"a", "b", "d"} <= set(expr_names(node))

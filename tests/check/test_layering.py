@@ -1,0 +1,105 @@
+"""ARCH601: the declared layer map, config discovery and enforcement."""
+
+from __future__ import annotations
+
+from repro.check import CheckEngine, all_rules
+from repro.check.rules.layering import parse_check_config
+
+CONFIG_TOML = """
+[build-system]
+requires = ["setuptools"]
+
+[tool.repro-check.layers]
+"app.util" = []
+"app.core" = ["util"]
+"app.serve" = ["core", "util"]
+"app.check" = []
+
+[tool.repro-check.closed-layers]
+"app.check" = ["numpy"]
+"""
+
+
+def _package(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    current = path.parent
+    while current != tmp_path:
+        init = current / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+        current = current.parent
+    path.write_text(source)
+    return path
+
+
+def _scan(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(CONFIG_TOML)
+    report = CheckEngine(all_rules(["ARCH601"])).check_paths(
+        [tmp_path.as_posix()]
+    )
+    return report.findings
+
+
+def test_parse_config_extracts_both_tables():
+    config = parse_check_config(CONFIG_TOML)
+    assert config["layers"]["app.serve"] == ["core", "util"]
+    assert config["closed-layers"]["app.check"] == ["numpy"]
+
+
+def test_allowed_import_is_quiet(tmp_path):
+    _package(tmp_path, "app/util/misc.py", "import os\n")
+    _package(tmp_path, "app/serve/api.py",
+             "from app.core.engine import solve\n")
+    _package(tmp_path, "app/core/engine.py",
+             "from app.util.misc import helper\n\ndef solve():\n    pass\n")
+    assert _scan(tmp_path) == []
+
+
+def test_upward_import_is_flagged(tmp_path):
+    _package(tmp_path, "app/core/engine.py",
+             "from app.serve.api import route\n")
+    _package(tmp_path, "app/serve/api.py", "def route():\n    pass\n")
+    findings = _scan(tmp_path)
+    assert [f.rule_id for f in findings] == ["ARCH601"]
+    assert "app.core" in findings[0].message
+    assert "app.serve" in findings[0].message
+
+
+def test_function_scope_import_is_the_escape_hatch(tmp_path):
+    _package(tmp_path, "app/core/engine.py",
+             "def lazy():\n    from app.serve.api import route\n"
+             "    return route\n")
+    _package(tmp_path, "app/serve/api.py", "def route():\n    pass\n")
+    assert _scan(tmp_path) == []
+
+
+def test_closed_layer_rejects_externals(tmp_path):
+    _package(tmp_path, "app/check/engine.py",
+             "import ast\nimport numpy as np\nimport requests\n")
+    findings = _scan(tmp_path)
+    assert len(findings) == 1
+    assert "requests" in findings[0].message
+
+
+def test_intra_layer_imports_are_free(tmp_path):
+    _package(tmp_path, "app/serve/api.py",
+             "from app.serve.wire import encode\n")
+    _package(tmp_path, "app/serve/wire.py", "def encode():\n    pass\n")
+    assert _scan(tmp_path) == []
+
+
+def test_no_config_no_findings(tmp_path):
+    _package(tmp_path, "app/core/engine.py",
+             "from app.serve.api import route\n")
+    _package(tmp_path, "app/serve/api.py", "def route():\n    pass\n")
+    report = CheckEngine(all_rules(["ARCH601"]), config={}).check_paths(
+        [tmp_path.as_posix()]
+    )
+    assert report.findings == []
+
+
+def test_fallback_parser_matches_tomllib():
+    from repro.check.rules.layering import _parse_fallback
+
+    assert _parse_fallback(CONFIG_TOML) == parse_check_config(CONFIG_TOML)

@@ -1,0 +1,72 @@
+"""SARIF output validated against a vendored 2.1.0 schema subset."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+jsonschema = pytest.importorskip("jsonschema")
+
+from repro.check import CheckEngine, all_rules  # noqa: E402
+
+from .sarif_schema_2_1_0 import SARIF_SCHEMA_SUBSET  # noqa: E402
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _sarif_for(relpaths):
+    engine = CheckEngine(all_rules())
+    report = engine.check_paths(
+        [(FIXTURES / rel).as_posix() for rel in relpaths]
+    )
+    return report, report.to_sarif(engine.rules)
+
+
+def test_schema_subset_is_itself_valid():
+    jsonschema.Draft7Validator.check_schema(SARIF_SCHEMA_SUBSET)
+
+
+def test_bad_fixtures_sarif_validates():
+    report, sarif = _sarif_for(["bad"])
+    jsonschema.validate(sarif, SARIF_SCHEMA_SUBSET)
+    results = sarif["runs"][0]["results"]
+    assert results, "bad fixtures must produce results"
+    assert len(results) == len(report.findings)
+
+
+def test_clean_tree_sarif_validates_with_empty_results():
+    _, sarif = _sarif_for(["good"])
+    jsonschema.validate(sarif, SARIF_SCHEMA_SUBSET)
+    assert sarif["runs"][0]["results"] == []
+
+
+def test_every_registered_rule_is_declared():
+    _, sarif = _sarif_for(["bad"])
+    declared = {r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]}
+    from repro.check import rule_ids
+
+    assert declared == set(rule_ids())
+
+
+def test_results_reference_declared_rules():
+    _, sarif = _sarif_for(["bad"])
+    run = sarif["runs"][0]
+    declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    used = {r["ruleId"] for r in run["results"]}
+    assert used <= declared
+
+
+def test_locations_are_one_indexed():
+    _, sarif = _sarif_for(["bad"])
+    for result in sarif["runs"][0]["results"]:
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+
+def test_mutated_payload_fails_validation():
+    _, sarif = _sarif_for(["bad"])
+    sarif["version"] = "2.0.0"
+    with pytest.raises(jsonschema.ValidationError):
+        jsonschema.validate(sarif, SARIF_SCHEMA_SUBSET)
